@@ -1,0 +1,180 @@
+// META: metadata repository ingest and query vocabulary (paper Section
+// II-E) — record ingest rate, query latency across repository sizes
+// (10^3 .. 10^6 records), episode derivation, scene retrieval, and
+// save/load throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "metadata/query.h"
+#include "metadata/repository.h"
+
+namespace dievent {
+namespace {
+
+/// A repository with `frames` synthetic look-at + overall records for 6
+/// participants, a shot every 200 frames, a scene every 3 shots.
+MetadataRepository MakeRepo(int frames, uint64_t seed) {
+  MetadataRepository repo;
+  repo.set_fps(15.25);
+  Rng rng(seed);
+  const int n = 6;
+  for (int f = 0; f < frames; ++f) {
+    LookAtMatrix m(n);
+    for (int x = 0; x < n; ++x) {
+      if (rng.NextBool(0.7)) {
+        int y;
+        do {
+          y = static_cast<int>(rng.NextBelow(n));
+        } while (y == x);
+        m.Set(x, y, true);
+      }
+    }
+    (void)repo.AddLookAt(LookAtRecord::FromMatrix(f, f / 15.25, m));
+    OverallEmotionRecord oe;
+    oe.frame = f;
+    oe.timestamp_s = f / 15.25;
+    oe.overall_happiness = rng.NextDouble();
+    oe.mean_valence = rng.Uniform(-1, 1);
+    oe.observed = n;
+    (void)repo.AddOverallEmotion(oe);
+  }
+  VideoStructure vs;
+  vs.num_frames = frames;
+  vs.fps = 15.25;
+  SceneSegment current;
+  for (int begin = 0; begin < frames; begin += 200) {
+    current.shots.push_back(
+        Shot{begin, std::min(frames, begin + 200), {begin}});
+    if (current.shots.size() == 3) {
+      vs.scenes.push_back(current);
+      current = SceneSegment{};
+    }
+  }
+  if (!current.shots.empty()) vs.scenes.push_back(current);
+  repo.SetVideoStructure(vs);
+  return repo;
+}
+
+void BM_IngestLookAt(benchmark::State& state) {
+  for (auto _ : state) {
+    MetadataRepository repo = MakeRepo(static_cast<int>(state.range(0)), 3);
+    benchmark::DoNotOptimize(repo.TotalRecords());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_IngestLookAt)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QueryEyeContact(benchmark::State& state) {
+  MetadataRepository repo = MakeRepo(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Query(&repo).EyeContact(0, 3).Execute());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QueryEyeContact)
+    ->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_QueryTimeRangeAndOH(benchmark::State& state) {
+  MetadataRepository repo = MakeRepo(static_cast<int>(state.range(0)), 6);
+  double t1 = state.range(0) / 15.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Query(&repo)
+                                 .TimeRange(t1 * 0.25, t1 * 0.5)
+                                 .MinOverallHappiness(0.8)
+                                 .Execute());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QueryTimeRangeAndOH)
+    ->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PairIndexLookup(benchmark::State& state) {
+  MetadataRepository repo = MakeRepo(static_cast<int>(state.range(0)), 7);
+  (void)repo.FramesWithLook(0, 1);  // build the index outside the loop
+  int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.FramesWithLook(x % 6, (x + 1) % 6));
+    ++x;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairIndexLookup)->Arg(100000);
+
+void BM_EpisodeDerivation(benchmark::State& state) {
+  MetadataRepository repo = MakeRepo(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.EyeContactEpisodes(2, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EpisodeDerivation)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_SceneRetrieval(benchmark::State& state) {
+  MetadataRepository repo = MakeRepo(static_cast<int>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Query(&repo).AnyoneLookingAt(2).ExecuteScenes(0.5));
+  }
+}
+BENCHMARK(BM_SceneRetrieval)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_SaveLoad(benchmark::State& state) {
+  MetadataRepository repo = MakeRepo(static_cast<int>(state.range(0)), 10);
+  std::string path = "/tmp/dievent_bench_repo.dmr";
+  for (auto _ : state) {
+    if (!repo.Save(path).ok()) state.SkipWithError("save failed");
+    auto loaded = MetadataRepository::Load(path);
+    if (!loaded.ok()) state.SkipWithError("load failed");
+    benchmark::DoNotOptimize(loaded.value().TotalRecords());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_SaveLoad)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+/// Printed scale table: ingest + query latency up to 10^6 records.
+void ScaleReport() {
+  std::printf(
+      "\n==== repository scale (records = look-at + overall rows) ====\n");
+  std::printf("%-12s %-14s %-16s %-16s\n", "frames", "ingest(ms)",
+              "EC query(ms)", "scene query(ms)");
+  for (int frames : {1000, 10000, 100000, 500000}) {
+    auto t0 = std::chrono::steady_clock::now();
+    MetadataRepository repo = MakeRepo(frames, 21);
+    double ingest_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    t0 = std::chrono::steady_clock::now();
+    auto ec = Query(&repo).EyeContact(0, 3).Execute();
+    double ec_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    t0 = std::chrono::steady_clock::now();
+    auto scenes = Query(&repo).AnyoneLookingAt(2).ExecuteScenes(0.4);
+    double scene_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::printf("%-12d %-14.1f %-16.2f %-16.2f (matches: %zu EC frames, "
+                "%zu scenes)\n",
+                frames, ingest_ms, ec_ms, scene_ms, ec.size(),
+                scenes.size());
+  }
+}
+
+}  // namespace
+}  // namespace dievent
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dievent::ScaleReport();
+  return 0;
+}

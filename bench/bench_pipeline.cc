@@ -1,0 +1,170 @@
+// PIPE: per-stage throughput of the five-step DiEvent pipeline (paper
+// Fig. 1) on the meeting prototype — rendering (acquisition stand-in),
+// frame signatures (composition analysis), face detection + landmarks +
+// gaze (feature extraction), identity, fusion + eye contact (multilayer
+// analysis), and metadata storage.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/eye_contact.h"
+#include "analysis/fusion.h"
+#include "core/pipeline.h"
+#include "metadata/repository.h"
+#include "ml/face_recognizer.h"
+#include "sim/scenario.h"
+#include "video/shot_detection.h"
+#include "vision/face_analyzer.h"
+
+namespace dievent {
+namespace {
+
+const DiningScene& Scene() {
+  static const DiningScene* scene = new DiningScene(MakeMeetingScenario());
+  return *scene;
+}
+
+/// Pre-rendered frames of camera 0/1/2/3 at a fixed instant.
+const std::vector<ImageRgb>& Frames() {
+  static const std::vector<ImageRgb>* frames = [] {
+    auto* out = new std::vector<ImageRgb>();
+    auto states = Scene().StateAt(10.0);
+    for (int c = 0; c < 4; ++c)
+      out->push_back(RenderView(Scene(), states, c, RenderOptions{}));
+    return out;
+  }();
+  return *frames;
+}
+
+void BM_Stage1_RenderFrame(benchmark::State& state) {
+  auto states = Scene().StateAt(10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RenderView(Scene(), states, 0, RenderOptions{}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage1_RenderFrame)->Unit(benchmark::kMillisecond);
+
+void BM_Stage2_FrameSignature(benchmark::State& state) {
+  ShotBoundaryDetector det;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.Signature(Frames()[0]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage2_FrameSignature)->Unit(benchmark::kMillisecond);
+
+void BM_Stage3_FaceAnalysis(benchmark::State& state) {
+  FaceAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzer.Analyze(Scene().rig().camera(0), 0, Frames()[0]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage3_FaceAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_Stage3_Identity(benchmark::State& state) {
+  FaceAnalyzer analyzer;
+  FaceRecognizer recognizer;
+  std::vector<ParticipantProfile> profiles;
+  for (const auto& p : Scene().participants())
+    profiles.push_back(p.profile);
+  (void)recognizer.EnrollProfiles(profiles);
+  auto obs = analyzer.Analyze(Scene().rig().camera(0), 0, Frames()[0]);
+  for (auto _ : state) {
+    for (const auto& o : obs) {
+      benchmark::DoNotOptimize(
+          recognizer.Recognize(Frames()[0], o.detection));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * obs.size());
+}
+BENCHMARK(BM_Stage3_Identity)->Unit(benchmark::kMicrosecond);
+
+void BM_Stage4_FusionAndEyeContact(benchmark::State& state) {
+  FaceAnalyzer analyzer;
+  FaceRecognizer recognizer;
+  std::vector<ParticipantProfile> profiles;
+  for (const auto& p : Scene().participants())
+    profiles.push_back(p.profile);
+  (void)recognizer.EnrollProfiles(profiles);
+  std::vector<FaceObservation> all;
+  for (int c = 0; c < 4; ++c) {
+    for (FaceObservation& o :
+         analyzer.Analyze(Scene().rig().camera(c), c, Frames()[c])) {
+      IdentityMatch m = recognizer.Recognize(Frames()[c], o.detection);
+      o.identity = m.id;
+      all.push_back(std::move(o));
+    }
+  }
+  EyeContactDetector ec;
+  for (auto _ : state) {
+    auto fused = FuseObservations(all, 4);
+    benchmark::DoNotOptimize(ec.ComputeLookAt(ToGeometry(fused)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage4_FusionAndEyeContact)->Unit(benchmark::kMicrosecond);
+
+void BM_Stage5_StoreLookAt(benchmark::State& state) {
+  LookAtMatrix m(4);
+  m.Set(0, 2, true);
+  m.Set(2, 0, true);
+  int frame = 0;
+  MetadataRepository repo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        repo.AddLookAt(LookAtRecord::FromMatrix(frame, frame / 15.25, m)));
+    ++frame;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage5_StoreLookAt)->Unit(benchmark::kMicrosecond);
+
+/// Whole-pipeline frames/s in ground-truth and full-vision modes over a
+/// 61-frame slice of the prototype.
+void BM_EndToEnd(benchmark::State& state) {
+  const bool vision = state.range(0) != 0;
+  for (auto _ : state) {
+    PipelineOptions opt;
+    opt.mode =
+        vision ? PipelineMode::kFullVision : PipelineMode::kGroundTruth;
+    opt.frame_stride = 10;
+    opt.analyze_emotions = false;
+    opt.parse_video = false;
+    MetadataRepository repo;
+    auto report = DiEventPipeline(&Scene(), opt).Run(&repo);
+    if (!report.ok()) state.SkipWithError("pipeline failed");
+    benchmark::DoNotOptimize(repo.TotalRecords());
+  }
+  state.SetItemsProcessed(state.iterations() * 61);
+  state.SetLabel(vision ? "full-vision" : "ground-truth");
+}
+BENCHMARK(BM_EndToEnd)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Thread scaling of the per-camera vision work (4 cameras).
+void BM_FullVisionThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PipelineOptions opt;
+    opt.mode = PipelineMode::kFullVision;
+    opt.frame_stride = 20;
+    opt.analyze_emotions = false;
+    opt.parse_video = false;
+    opt.num_threads = threads;
+    MetadataRepository repo;
+    auto report = DiEventPipeline(&Scene(), opt).Run(&repo);
+    if (!report.ok()) state.SkipWithError("pipeline failed");
+    benchmark::DoNotOptimize(repo.TotalRecords());
+  }
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+}
+BENCHMARK(BM_FullVisionThreads)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dievent
+
+BENCHMARK_MAIN();

@@ -1,0 +1,204 @@
+// ROBUST: the two ablations behind the paper's acquisition-platform
+// design claims:
+//   (a) camera count — Section I motivates multiple cameras ("have a
+//       wide view using multiple cameras"); this sweep quantifies what
+//       each corner camera buys in gaze coverage and look-at recall;
+//   (b) pixel noise — how the full vision stack degrades as sensor noise
+//       grows, and how much the eye-contact angular tolerance buys back.
+//
+// Both run the complete vision pipeline on the meeting prototype,
+// measured against simulator ground truth.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/eye_contact.h"
+#include "core/pipeline.h"
+#include "geometry/calibration.h"
+#include "sim/scenario.h"
+
+namespace dievent {
+namespace {
+
+struct RunResult {
+  PipelineAccuracy accuracy;
+  int frames = 0;
+};
+
+RunResult RunVision(const std::vector<int>& cameras, double noise_sigma,
+                    double tolerance_deg) {
+  DiningScene scene = MakeMeetingScenario();
+  PipelineOptions opt;
+  opt.mode = PipelineMode::kFullVision;
+  opt.frame_stride = 10;  // 61 frames per configuration
+  opt.analyze_emotions = false;
+  opt.parse_video = false;
+  opt.camera_subset = cameras;
+  opt.render.noise_sigma = noise_sigma;
+  opt.noise_seed = noise_sigma > 0 ? 99 : 0;
+  opt.eye_contact.angular_tolerance_deg = tolerance_deg;
+  MetadataRepository repo;
+  auto report = DiEventPipeline(&scene, opt).Run(&repo);
+  RunResult out;
+  if (report.ok()) {
+    out.accuracy = report.value().accuracy;
+    out.frames = report.value().frames_processed;
+  } else {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+  }
+  return out;
+}
+
+void CameraSweep() {
+  std::printf(
+      "==== camera-count ablation (clean frames, 12 deg tolerance) "
+      "====\n");
+  std::printf("%-22s %-10s %-10s %-10s %-10s %-10s\n", "cameras",
+              "detect", "gaze-cov", "edge-P", "edge-R", "gaze-err");
+  const std::vector<std::pair<const char*, std::vector<int>>> configs = {
+      {"1 (C1 only)", {0}},
+      {"2 adjacent (C1,C2)", {0, 1}},
+      {"2 opposite (C1,C3)", {0, 2}},
+      {"3 (C1,C2,C3)", {0, 1, 2}},
+      {"4 (full rig)", {0, 1, 2, 3}},
+  };
+  for (const auto& [label, cameras] : configs) {
+    RunResult r = RunVision(cameras, 0.0, 12.0);
+    std::printf("%-22s %-10.3f %-10.3f %-10.3f %-10.3f %-10.1f\n", label,
+                r.accuracy.detection_coverage, r.accuracy.gaze_coverage,
+                r.accuracy.edge_precision, r.accuracy.edge_recall,
+                r.accuracy.mean_gaze_error_deg);
+  }
+  std::printf(
+      "(one camera sees only faces oriented toward it; the corner rig "
+      "exists to give every gaze a frontal witness)\n\n");
+}
+
+void NoiseSweep() {
+  std::printf(
+      "==== pixel-noise robustness (full rig) ====\n");
+  std::printf("%-12s %-12s %-10s %-10s %-10s %-10s\n", "sigma",
+              "tolerance", "detect", "gaze-cov", "edge-R", "gaze-err");
+  for (double sigma : {0.0, 4.0, 8.0, 12.0, 16.0}) {
+    for (double tol : {6.0, 12.0}) {
+      RunResult r = RunVision({}, sigma, tol);
+      std::printf("%-12.0f %-12.0f %-10.3f %-10.3f %-10.3f %-10.1f\n",
+                  sigma, tol, r.accuracy.detection_coverage,
+                  r.accuracy.gaze_coverage, r.accuracy.edge_recall,
+                  r.accuracy.mean_gaze_error_deg);
+    }
+  }
+  std::printf(
+      "(noise first costs gaze precision, then detections; widening the "
+      "Eq. 3 tolerance trades precision back for recall)\n");
+}
+
+void CalibrationSweep() {
+  // The paper assumes known iTj. A deployed rig estimates it from shared
+  // observations; this sweep calibrates the rig from noisy head
+  // positions, then measures how the calibration error propagates into
+  // eye-contact detection (Eq. 2 chains through the estimated iTj).
+  std::printf(
+      "\n==== calibration-in-the-loop (Eq. 2 with estimated iTj) ====\n");
+  std::printf("%-14s %-14s %-14s %-12s %-12s\n", "obs noise(m)",
+              "obs count", "calib rmse(m)", "cell-acc", "edge-R");
+  DiningScene scene = MakeMeetingScenario();
+  const Rig& true_rig = scene.rig();
+
+  for (double obs_noise : {0.0, 0.03, 0.10, 0.20, 0.35}) {
+    for (int obs_count : {10, 100}) {
+      Rng rng(777 + static_cast<uint64_t>(obs_noise * 1000) + obs_count);
+      // Calibrate every camera against the reference (camera 0).
+      std::vector<Pose> est_0_T_j(true_rig.NumCameras(),
+                                  Pose::Identity());
+      double rmse = 0.0;
+      for (int j = 1; j < true_rig.NumCameras(); ++j) {
+        CameraPairCalibrator cal;
+        for (int k = 0; k < obs_count; ++k) {
+          Vec3 w{rng.Uniform(-1, 1), rng.Uniform(-0.8, 0.8),
+                 rng.Uniform(0.9, 1.4)};
+          auto jitter = [&](const Vec3& p) {
+            return p + Vec3{rng.Gaussian(0, obs_noise),
+                            rng.Gaussian(0, obs_noise),
+                            rng.Gaussian(0, obs_noise)};
+          };
+          cal.AddObservation(
+              jitter(true_rig.camera(0).camera_from_world().TransformPoint(
+                  w)),
+              jitter(true_rig.camera(j).camera_from_world().TransformPoint(
+                  w)));
+        }
+        auto est = cal.Calibrate();
+        if (!est.ok()) continue;
+        est_0_T_j[j] = est.value();
+        rmse += cal.Residual(est.value());
+      }
+      rmse /= true_rig.NumCameras() - 1;
+
+      // Build a rig that believes the estimated extrinsics.
+      Rig est_rig;
+      est_rig.AddCamera(true_rig.camera(0));
+      for (int j = 1; j < true_rig.NumCameras(); ++j) {
+        est_rig.AddCamera(CameraModel(
+            true_rig.camera(j).name(), true_rig.camera(j).intrinsics(),
+            true_rig.camera(0).world_from_camera() * est_0_T_j[j]));
+      }
+
+      // EC through Eq. 2 with the estimated calibration, on exact
+      // per-camera observations.
+      EyeContactOptions ec_opt;
+      ec_opt.angular_tolerance_deg = 3.0;
+      EyeContactDetector det(ec_opt);
+      long long agree = 0, total = 0, tp = 0, fn = 0;
+      for (int f = 0; f < scene.num_frames(); f += 10) {
+        double t = scene.TimeOfFrame(f);
+        auto states = scene.StateAt(t);
+        auto gt = scene.GroundTruthLookAt(t);
+        std::vector<CameraFrameGeometry> obs(states.size());
+        for (size_t i = 0; i < states.size(); ++i) {
+          obs[i].camera_index =
+              static_cast<int>(i % true_rig.NumCameras());
+          const Pose& cam_T_world =
+              true_rig.camera(obs[i].camera_index).camera_from_world();
+          obs[i].head_position =
+              cam_T_world.TransformPoint(states[i].head_position);
+          obs[i].gaze_direction =
+              cam_T_world.TransformDirection(states[i].gaze_direction);
+        }
+        auto m = det.ComputeLookAtInCameraFrame(est_rig, 0, obs);
+        if (!m.ok()) continue;
+        for (size_t x = 0; x < states.size(); ++x) {
+          for (size_t y = 0; y < states.size(); ++y) {
+            if (x == y) continue;
+            ++total;
+            bool est = m.value().At(static_cast<int>(x),
+                                    static_cast<int>(y));
+            if (est == gt[x][y]) ++agree;
+            if (gt[x][y]) {
+              est ? ++tp : ++fn;
+            }
+          }
+        }
+      }
+      std::printf("%-14.3f %-14d %-14.4f %-12.3f %-12.3f\n", obs_noise,
+                  obs_count, rmse,
+                  static_cast<double>(agree) / total,
+                  tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 1.0);
+    }
+  }
+  std::printf(
+      "(calibration error shrinks ~1/sqrt(N): ten noisy correspondences "
+      "break eye contact at 10 cm observation noise, a hundred keep it "
+      "perfect up to 20 cm)\n");
+}
+
+}  // namespace
+}  // namespace dievent
+
+int main() {
+  dievent::CameraSweep();
+  dievent::NoiseSweep();
+  dievent::CalibrationSweep();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Smart-restaurant application (paper Section I): indirectly measure
+// customer satisfaction from the emotion layer — no questionnaires.
+//
+// Simulates a six-guest dinner with three courses, runs the pipeline,
+// then answers the restaurant's questions:
+//   - how satisfied was the table over the evening?
+//   - which course landed best / worst (cooking-recipe evaluation)?
+//   - when did the mood dip, and which moments deserve staff review?
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "metadata/event_collection.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace dievent;
+
+  const double kDuration = 90.0;
+  DiningScene dinner = MakeDinnerScenario(/*n=*/6, kDuration, /*fps=*/12.0);
+
+  // Attach the collected (time-invariant) context the paper's acquisition
+  // platform records alongside the video.
+  PipelineOptions opt;
+  opt.mode = PipelineMode::kGroundTruth;  // emotion layer from the script
+  opt.parse_video = false;
+  opt.overall_emotion.smoothing_alpha = 0.15;
+  MetadataRepository repo;
+  DiEventPipeline pipeline(&dinner, opt);
+  auto report = pipeline.Run(&repo);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  EventContext ctx = repo.context();
+  ctx.event_id = "table-7-friday";
+  ctx.location = "La Fourchette, table 7";
+  ctx.occasion = "dinner service";
+  ctx.menu = {"veloute (appetizer)", "duck confit (main)",
+              "tarte tatin (dessert)"};
+  repo.SetContext(ctx);
+
+  const DiEventReport& r = report.value();
+  std::printf("table satisfaction report — %s\n",
+              repo.context().location.c_str());
+  std::printf("guests: %d, duration: %.0f s, frames analyzed: %d\n",
+              dinner.NumParticipants(), kDuration, r.frames_processed);
+  std::printf("\nevening-level: mean happiness %.0f%%, mean valence %+.2f\n",
+              100 * r.mean_overall_happiness, r.mean_valence);
+
+  // Course-by-course scoring: average OH per third of the dinner.
+  const char* courses[3] = {"appetizer", "main course", "dessert"};
+  std::printf("\n%-14s %-12s %-12s %s\n", "course", "happiness", "valence",
+              "verdict");
+  double best = -1, worst = 2;
+  int best_i = 0, worst_i = 0;
+  for (int course = 0; course < 3; ++course) {
+    double t0 = course * kDuration / 3, t1 = (course + 1) * kDuration / 3;
+    double oh = 0, val = 0;
+    int n = 0;
+    for (const auto& oe : r.emotion_timeline) {
+      if (oe.timestamp_s >= t0 && oe.timestamp_s < t1) {
+        oh += oe.overall_happiness;
+        val += oe.mean_valence;
+        ++n;
+      }
+    }
+    oh /= n > 0 ? n : 1;
+    val /= n > 0 ? n : 1;
+    if (oh > best) best = oh, best_i = course;
+    if (oh < worst) worst = oh, worst_i = course;
+    std::printf("%-14s %-12.2f %-12.2f %s\n", courses[course], oh, val,
+                oh > 0.6   ? "a hit"
+                : oh > 0.2 ? "fine"
+                           : "review the recipe");
+  }
+  std::printf("\nbest received: %s; weakest: %s\n", courses[best_i],
+              courses[worst_i]);
+
+  // Moments worth reviewing: low-valence stretches (paper Section II-E's
+  // "querying scenes w.r.t. a particular context", here by threshold).
+  auto happy_frames = Query(&repo).MinOverallHappiness(0.9).Execute();
+  std::printf("\nframes with >90%% of the table visibly happy: %zu\n",
+              happy_frames.size());
+  if (!happy_frames.empty()) {
+    std::printf("first such moment: t = %.1f s (highlight for the chef)\n",
+                happy_frames.front().timestamp_s);
+  }
+
+  // Per-guest check: anyone unhappy during dessert?
+  double dessert_start = 2 * kDuration / 3;
+  int flagged = 0;
+  for (int guest = 0; guest < dinner.NumParticipants(); ++guest) {
+    size_t sad_frames =
+        Query(&repo)
+            .Feeling(guest, Emotion::kSad)
+            .TimeRange(dessert_start, kDuration)
+            .Execute()
+            .size() +
+        Query(&repo)
+            .Feeling(guest, Emotion::kDisgust)
+            .TimeRange(dessert_start, kDuration)
+            .Execute()
+            .size();
+    if (sad_frames > 0) {
+      std::printf("guest P%d showed negative emotion in %zu dessert "
+                  "frames\n",
+                  guest + 1, sad_frames);
+      ++flagged;
+    }
+  }
+  if (flagged == 0) {
+    std::printf("no guest showed negative emotion during dessert\n");
+  }
+
+  // Week in review: the same analysis across several services, compared.
+  std::printf("\n== week in review (cross-event comparison) ==\n");
+  EventCollection week;
+  struct Service {
+    const char* id;
+    int guests;
+    double duration;
+  };
+  for (const Service& service : {Service{"tue-table7", 4, 60.0},
+                                 Service{"fri-table7", 6, 90.0},
+                                 Service{"sat-table7", 8, 75.0}}) {
+    DiningScene evening =
+        MakeDinnerScenario(service.guests, service.duration, 12.0);
+    MetadataRepository evening_repo;
+    PipelineOptions evening_opt;
+    evening_opt.mode = PipelineMode::kGroundTruth;
+    evening_opt.parse_video = false;
+    auto evening_report =
+        DiEventPipeline(&evening, evening_opt).Run(&evening_repo);
+    if (!evening_report.ok()) continue;
+    EventContext evening_ctx = evening_repo.context();
+    evening_ctx.event_id = service.id;
+    evening_repo.SetContext(evening_ctx);
+    week.Add(ComputeEventStats(evening_repo));
+  }
+  std::printf("%s", week.ComparisonTable().c_str());
+  auto ranked = week.RankedBySatisfaction();
+  if (!ranked.empty()) {
+    std::printf("best service of the week: %s (valence %+.2f)\n",
+                ranked.front().event_id.c_str(),
+                ranked.front().mean_valence);
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "analysis/activity.h"
+
+#include <algorithm>
+#include <array>
+
+namespace dievent {
+
+GazeFrameStats ComputeGazeStats(const LookAtMatrix& m) {
+  GazeFrameStats stats;
+  stats.participants = m.size();
+  const int n = m.size();
+  for (int x = 0; x < n; ++x) {
+    bool looking = false;
+    for (int y = 0; y < n; ++y) {
+      if (x == y) continue;
+      if (m.At(x, y)) {
+        ++stats.directed_edges;
+        looking = true;
+      }
+      if (x < y && m.At(x, y) && m.At(y, x)) ++stats.mutual_pairs;
+    }
+    if (!looking) ++stats.heads_down;
+  }
+  for (int y = 0; y < n; ++y) {
+    int in_degree = 0;
+    for (int x = 0; x < n; ++x) {
+      if (x != y && m.At(x, y)) ++in_degree;
+    }
+    if (in_degree > stats.max_in_degree) {
+      stats.second_in_degree = stats.max_in_degree;
+      stats.max_in_degree = in_degree;
+      stats.attention_target = y;
+    } else if (in_degree > stats.second_in_degree) {
+      stats.second_in_degree = in_degree;
+    }
+  }
+  stats.attention_converged =
+      n > 2 && stats.max_in_degree == n - 1;
+  return stats;
+}
+
+namespace {
+
+/// Attention concentration: fraction of the other participants watching
+/// the most-watched one.
+double Concentration(const GazeFrameStats& s) {
+  return s.participants > 1
+             ? static_cast<double>(s.max_in_degree) / (s.participants - 1)
+             : 0.0;
+}
+
+/// One dominant hub and no second hub: the presentation signature.
+/// Dialogue concentrates attention too, but onto *two* speakers.
+bool LooksLikePresentation(const GazeFrameStats& s) {
+  return Concentration(s) >= 0.6 && s.second_in_degree <= 1;
+}
+
+}  // namespace
+
+int SymbolizeLookAt(const LookAtMatrix& m) {
+  GazeFrameStats s = ComputeGazeStats(m);
+  const int n = std::max(1, s.participants);
+  // Edge density buckets: none / below half / at-or-above half of n.
+  int density = s.directed_edges == 0 ? 0
+                : s.directed_edges * 2 < n ? 1
+                                           : 2;
+  int mutual = s.mutual_pairs > 0 ? 1 : 0;
+  int concentrated = LooksLikePresentation(s) ? 1 : 0;
+  return (concentrated * 2 + mutual) * 3 + density;
+}
+
+DiningPhase ClassifyPhaseRule(const LookAtMatrix& m) {
+  GazeFrameStats s = ComputeGazeStats(m);
+  // Presentation first: the presenter may hold mutual gaze with one
+  // audience member, which must not read as discussion.
+  if (LooksLikePresentation(s)) return DiningPhase::kPresentation;
+  if (s.mutual_pairs > 0) return DiningPhase::kDiscussion;
+  if (s.heads_down * 2 >= s.participants) return DiningPhase::kEating;
+  return DiningPhase::kDiscussion;
+}
+
+std::vector<DiningPhase> SmoothPhases(const std::vector<DiningPhase>& raw,
+                                      int half_window) {
+  if (half_window <= 0 || raw.empty()) return raw;
+  const int n = static_cast<int>(raw.size());
+  std::vector<DiningPhase> out(raw.size());
+  for (int i = 0; i < n; ++i) {
+    std::array<int, kNumDiningPhases> votes{};
+    int lo = std::max(0, i - half_window);
+    int hi = std::min(n - 1, i + half_window);
+    for (int j = lo; j <= hi; ++j) votes[static_cast<int>(raw[j])] += 1;
+    int best = 0;
+    for (int p = 1; p < kNumDiningPhases; ++p) {
+      if (votes[p] > votes[best]) best = p;
+    }
+    out[i] = static_cast<DiningPhase>(best);
+  }
+  return out;
+}
+
+double PhaseAccuracy(const std::vector<DiningPhase>& predicted,
+                     const std::vector<DiningPhase>& truth) {
+  if (predicted.empty() || predicted.size() != truth.size()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / truth.size();
+}
+
+std::vector<DiningPhase> MapStatesToPhases(
+    const std::vector<int>& states, const std::vector<DiningPhase>& truth,
+    int num_states) {
+  // votes[state][phase]
+  std::vector<std::array<int, kNumDiningPhases>> votes(
+      num_states, std::array<int, kNumDiningPhases>{});
+  for (size_t i = 0; i < states.size() && i < truth.size(); ++i) {
+    if (states[i] >= 0 && states[i] < num_states) {
+      votes[states[i]][static_cast<int>(truth[i])] += 1;
+    }
+  }
+  std::vector<DiningPhase> mapping(num_states, DiningPhase::kEating);
+  for (int s = 0; s < num_states; ++s) {
+    int best = 0;
+    for (int p = 1; p < kNumDiningPhases; ++p) {
+      if (votes[s][p] > votes[s][best]) best = p;
+    }
+    mapping[s] = static_cast<DiningPhase>(best);
+  }
+  std::vector<DiningPhase> out;
+  out.reserve(states.size());
+  for (int s : states) {
+    out.push_back(s >= 0 && s < num_states ? mapping[s]
+                                           : DiningPhase::kEating);
+  }
+  return out;
+}
+
+}  // namespace dievent

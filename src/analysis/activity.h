@@ -1,0 +1,65 @@
+/// \file activity.h
+/// Dining-activity analysis over the gaze layer: per-frame gaze
+/// statistics, the discrete symbolization consumed by the HMM baseline
+/// (Gao et al. [16]), and DiEvent's own rule-based phase classifier for
+/// the comparison.
+
+#ifndef DIEVENT_ANALYSIS_ACTIVITY_H_
+#define DIEVENT_ANALYSIS_ACTIVITY_H_
+
+#include <vector>
+
+#include "analysis/lookat_matrix.h"
+#include "sim/scenario.h"
+
+namespace dievent {
+
+/// Frame-level gaze-structure statistics.
+struct GazeFrameStats {
+  int participants = 0;
+  int directed_edges = 0;   ///< set off-diagonal cells
+  int mutual_pairs = 0;     ///< eye contacts
+  int heads_down = 0;       ///< participants looking at nobody
+  bool attention_converged = false;  ///< all others on one target
+  int attention_target = -1;  ///< most-watched participant (if any looks)
+  int max_in_degree = 0;      ///< looks received by attention_target
+  int second_in_degree = 0;   ///< looks received by the runner-up — a
+                              ///< second "hub" signals dialogue, not a
+                              ///< presentation
+};
+
+GazeFrameStats ComputeGazeStats(const LookAtMatrix& lookat);
+
+/// Number of observation symbols produced by SymbolizeLookAt.
+inline constexpr int kActivitySymbols = 12;
+
+/// Quantizes a look-at matrix into one of kActivitySymbols symbols:
+/// (edge-density bucket: none/low/high) x (any mutual pair) x
+/// (attention converged).
+int SymbolizeLookAt(const LookAtMatrix& lookat);
+
+/// DiEvent's direct rule-based phase classifier over the same statistics
+/// (the "multilayer analysis" contender in the baseline comparison):
+/// attention convergence -> presentation; any eye contact -> discussion;
+/// mostly heads-down -> eating; sparse residual -> discussion.
+DiningPhase ClassifyPhaseRule(const LookAtMatrix& lookat);
+
+/// Majority-vote temporal smoothing over a (2*half_window+1) window —
+/// phases are seconds-long, so single-frame blips are noise.
+std::vector<DiningPhase> SmoothPhases(const std::vector<DiningPhase>& raw,
+                                      int half_window);
+
+/// Fraction of frames where `predicted` matches `truth`.
+double PhaseAccuracy(const std::vector<DiningPhase>& predicted,
+                     const std::vector<DiningPhase>& truth);
+
+/// Maps unsupervised HMM states to phases by majority ground truth (the
+/// standard clustering-accuracy assignment) and returns the decoded
+/// phase sequence.
+std::vector<DiningPhase> MapStatesToPhases(
+    const std::vector<int>& states, const std::vector<DiningPhase>& truth,
+    int num_states);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ANALYSIS_ACTIVITY_H_

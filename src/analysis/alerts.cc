@@ -1,0 +1,193 @@
+#include "analysis/alerts.h"
+
+#include "common/strings.h"
+
+namespace dievent {
+
+std::string_view AlertTypeName(AlertType type) {
+  switch (type) {
+    case AlertType::kEyeContactStarted:
+      return "eye-contact-started";
+    case AlertType::kEyeContactEnded:
+      return "eye-contact-ended";
+    case AlertType::kEmotionChanged:
+      return "emotion-changed";
+    case AlertType::kGroupMoodDrop:
+      return "group-mood-drop";
+    case AlertType::kGroupMoodRecovered:
+      return "group-mood-recovered";
+    case AlertType::kAttentionConverged:
+      return "attention-converged";
+  }
+  return "unknown";
+}
+
+std::string Alert::ToString(const std::vector<std::string>& names) const {
+  auto name = [&](int i) {
+    if (i < 0) return std::string("-");
+    return i < static_cast<int>(names.size()) ? names[i]
+                                              : StrFormat("P%d", i + 1);
+  };
+  std::string out = StrFormat("[t=%6.2fs] %s", timestamp_s,
+                              std::string(AlertTypeName(type)).c_str());
+  switch (type) {
+    case AlertType::kEyeContactStarted:
+    case AlertType::kEyeContactEnded:
+      out += StrFormat(" %s<->%s", name(a).c_str(), name(b).c_str());
+      break;
+    case AlertType::kEmotionChanged:
+      out += StrFormat(" %s: %s -> %s", name(a).c_str(),
+                       std::string(EmotionName(from)).c_str(),
+                       std::string(EmotionName(to)).c_str());
+      break;
+    case AlertType::kGroupMoodDrop:
+    case AlertType::kGroupMoodRecovered:
+      out += StrFormat(" valence=%.2f", value);
+      break;
+    case AlertType::kAttentionConverged:
+      out += StrFormat(" on %s", name(a).c_str());
+      break;
+  }
+  return out;
+}
+
+AlertMonitor::AlertMonitor(int num_participants, AlertOptions options)
+    : n_(num_participants),
+      options_(options),
+      pairs_(static_cast<size_t>(num_participants) * num_participants),
+      last_emotion_(num_participants),
+      emotion_streak_(num_participants, 0),
+      candidate_emotion_(num_participants) {}
+
+std::vector<Alert> AlertMonitor::Update(
+    int frame, double timestamp_s, const LookAtMatrix& lookat,
+    const std::vector<std::optional<Emotion>>& emotions,
+    const OverallEmotion* overall) {
+  std::vector<Alert> fired;
+  auto fire = [&](Alert alert) {
+    alert.frame = frame;
+    alert.timestamp_s = timestamp_s;
+    fired.push_back(alert);
+  };
+
+  // --- eye contact onsets/offsets (debounced per pair) ------------------
+  const int m = std::min(n_, lookat.size());
+  for (int a = 0; a < m; ++a) {
+    for (int b = a + 1; b < m; ++b) {
+      PairState& ps = pairs_[PairIndex(a, b)];
+      bool ec = lookat.At(a, b) && lookat.At(b, a);
+      if (ec != ps.active) {
+        ps.streak += 1;
+        if (ps.streak >= options_.debounce_frames) {
+          ps.active = ec;
+          ps.streak = 0;
+          Alert alert;
+          alert.type = ec ? AlertType::kEyeContactStarted
+                          : AlertType::kEyeContactEnded;
+          alert.a = a;
+          alert.b = b;
+          fire(alert);
+        }
+      } else {
+        ps.streak = 0;
+      }
+    }
+  }
+
+  // --- per-participant emotion changes (debounced) ----------------------
+  for (int p = 0; p < n_ && p < static_cast<int>(emotions.size()); ++p) {
+    if (!emotions[p]) continue;  // unobserved frames don't advance state
+    if (!last_emotion_[p]) {
+      last_emotion_[p] = emotions[p];  // first observation: baseline
+      continue;
+    }
+    if (*emotions[p] != *last_emotion_[p]) {
+      if (candidate_emotion_[p] == emotions[p]) {
+        emotion_streak_[p] += 1;
+      } else {
+        candidate_emotion_[p] = emotions[p];
+        emotion_streak_[p] = 1;
+      }
+      if (emotion_streak_[p] >= options_.debounce_frames) {
+        Alert alert;
+        alert.type = AlertType::kEmotionChanged;
+        alert.a = p;
+        alert.from = *last_emotion_[p];
+        alert.to = *emotions[p];
+        fire(alert);
+        last_emotion_[p] = emotions[p];
+        emotion_streak_[p] = 0;
+        candidate_emotion_[p].reset();
+      }
+    } else {
+      emotion_streak_[p] = 0;
+      candidate_emotion_[p].reset();
+    }
+  }
+
+  // --- group mood thresholds (already smoothed upstream) ----------------
+  if (overall != nullptr) {
+    if (!mood_low_ &&
+        overall->mean_valence < options_.mood_drop_threshold) {
+      mood_low_ = true;
+      Alert alert;
+      alert.type = AlertType::kGroupMoodDrop;
+      alert.value = overall->mean_valence;
+      fire(alert);
+    } else if (mood_low_ &&
+               overall->mean_valence > options_.mood_recover_threshold) {
+      mood_low_ = false;
+      Alert alert;
+      alert.type = AlertType::kGroupMoodRecovered;
+      alert.value = overall->mean_valence;
+      fire(alert);
+    }
+  }
+
+  // --- attention convergence ---------------------------------------------
+  if (options_.attention_alerts && m > 2) {
+    int target = -1;
+    for (int y = 0; y < m && target == -1; ++y) {
+      bool all = true;
+      for (int x = 0; x < m; ++x) {
+        if (x != y && !lookat.At(x, y)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) target = y;
+    }
+    if (target >= 0 && target == attention_target_) {
+      attention_streak_ += 1;
+      if (!attention_active_ &&
+          attention_streak_ >= options_.debounce_frames) {
+        attention_active_ = true;
+        Alert alert;
+        alert.type = AlertType::kAttentionConverged;
+        alert.a = target;
+        fire(alert);
+      }
+    } else {
+      attention_target_ = target;
+      attention_streak_ = target >= 0 ? 1 : 0;
+      if (target < 0) attention_active_ = false;
+    }
+  }
+
+  history_.insert(history_.end(), fired.begin(), fired.end());
+  return fired;
+}
+
+void AlertMonitor::Reset() {
+  pairs_.assign(pairs_.size(), PairState{});
+  last_emotion_.assign(n_, std::nullopt);
+  emotion_streak_.assign(n_, 0);
+  candidate_emotion_.assign(n_, std::nullopt);
+  mood_low_ = false;
+  attention_target_ = -1;
+  attention_streak_ = 0;
+  attention_active_ = false;
+  history_.clear();
+}
+
+}  // namespace dievent

@@ -1,0 +1,105 @@
+/// \file alerts.h
+/// Alerting functionality (paper conclusion: "helping the sociologist ...
+/// based on the alerting functionalities like the emotion state changes,
+/// and the eye contact detection").
+///
+/// The AlertMonitor consumes the pipeline's per-frame layers as a stream
+/// and emits discrete alerts: eye-contact onsets/offsets, per-participant
+/// emotion changes, group-mood drops and recoveries, and attention
+/// convergence (everyone watching one participant). Debouncing suppresses
+/// single-frame flicker from estimator noise.
+
+#ifndef DIEVENT_ANALYSIS_ALERTS_H_
+#define DIEVENT_ANALYSIS_ALERTS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/lookat_matrix.h"
+#include "analysis/overall_emotion.h"
+#include "common/emotion.h"
+
+namespace dievent {
+
+enum class AlertType {
+  kEyeContactStarted,
+  kEyeContactEnded,
+  kEmotionChanged,
+  kGroupMoodDrop,
+  kGroupMoodRecovered,
+  kAttentionConverged,
+};
+
+std::string_view AlertTypeName(AlertType type);
+
+struct Alert {
+  AlertType type;
+  int frame = 0;
+  double timestamp_s = 0.0;
+  /// Participants involved: the EC pair, the participant whose emotion
+  /// changed, or the attention target. Unused slots are -1.
+  int a = -1;
+  int b = -1;
+  /// For kEmotionChanged: previous and new emotion.
+  Emotion from = Emotion::kNeutral;
+  Emotion to = Emotion::kNeutral;
+  /// For mood alerts: the smoothed valence that crossed the threshold.
+  double value = 0.0;
+
+  std::string ToString(
+      const std::vector<std::string>& names = {}) const;
+};
+
+struct AlertOptions {
+  /// A state must persist this many consecutive frames to fire (and this
+  /// many to clear) — debouncing against single-frame estimator noise.
+  int debounce_frames = 3;
+  /// Group-mood drop fires when smoothed valence falls below this;
+  /// recovery fires when it rises back above `mood_recover_threshold`.
+  double mood_drop_threshold = -0.3;
+  double mood_recover_threshold = 0.0;
+  /// Attention convergence: all other participants look at one target.
+  bool attention_alerts = true;
+};
+
+/// Streaming alert generator. Feed frames in order via Update(); alerts
+/// fired by that frame are returned and also appended to history().
+class AlertMonitor {
+ public:
+  explicit AlertMonitor(int num_participants, AlertOptions options = {});
+
+  /// `emotions` is indexed by participant (std::nullopt = unobserved);
+  /// `overall` may be null when the emotion layer is disabled.
+  std::vector<Alert> Update(
+      int frame, double timestamp_s, const LookAtMatrix& lookat,
+      const std::vector<std::optional<Emotion>>& emotions,
+      const OverallEmotion* overall);
+
+  const std::vector<Alert>& history() const { return history_; }
+  void Reset();
+
+ private:
+  struct PairState {
+    int streak = 0;    ///< consecutive frames in the *candidate* state
+    bool active = false;  ///< debounced eye-contact state
+  };
+
+  int PairIndex(int a, int b) const { return a * n_ + b; }
+
+  int n_;
+  AlertOptions options_;
+  std::vector<PairState> pairs_;      // upper triangle used
+  std::vector<std::optional<Emotion>> last_emotion_;
+  std::vector<int> emotion_streak_;
+  std::vector<std::optional<Emotion>> candidate_emotion_;
+  bool mood_low_ = false;
+  int attention_target_ = -1;
+  int attention_streak_ = 0;
+  bool attention_active_ = false;
+  std::vector<Alert> history_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ANALYSIS_ALERTS_H_

@@ -1,0 +1,67 @@
+#include "analysis/eye_contact.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "geometry/ray.h"
+
+namespace dievent {
+
+double EyeContactDetector::EffectiveRadius(double distance) const {
+  if (options_.angular_tolerance_deg <= 0.0) return options_.head_radius;
+  // A gaze error of theta degrees displaces the ray by distance*tan(theta)
+  // at the target; inflating the sphere by that amount keeps such rays
+  // counted as hits.
+  return options_.head_radius +
+         distance * std::tan(DegToRad(options_.angular_tolerance_deg));
+}
+
+LookAtMatrix EyeContactDetector::ComputeLookAt(
+    const std::vector<ParticipantGeometry>& participants) const {
+  const int n = static_cast<int>(participants.size());
+  LookAtMatrix m(n);
+  // The paper repeats the ray-sphere procedure n(n-1) times (Sec. II-D-1).
+  for (int k = 0; k < n; ++k) {
+    const ParticipantGeometry& pk = participants[k];
+    if (!pk.gaze_direction) continue;
+    Ray gaze{pk.head_position, *pk.gaze_direction};
+    for (int l = 0; l < n; ++l) {
+      if (k == l) continue;
+      const ParticipantGeometry& pl = participants[l];
+      double dist = (pl.head_position - pk.head_position).Norm();
+      Sphere head{pl.head_position, EffectiveRadius(dist)};
+      m.Set(k, l, LooksAt(gaze, head));
+    }
+  }
+  return m;
+}
+
+Result<LookAtMatrix> EyeContactDetector::ComputeLookAtInCameraFrame(
+    const Rig& rig, int reference_camera,
+    const std::vector<CameraFrameGeometry>& participants) const {
+  if (reference_camera < 0 || reference_camera >= rig.NumCameras()) {
+    return Status::InvalidArgument(
+        StrFormat("reference camera %d out of range", reference_camera));
+  }
+  std::vector<ParticipantGeometry> in_ref(participants.size());
+  for (size_t i = 0; i < participants.size(); ++i) {
+    const CameraFrameGeometry& obs = participants[i];
+    if (obs.camera_index < 0 || obs.camera_index >= rig.NumCameras()) {
+      return Status::InvalidArgument(StrFormat(
+          "participant %zu observed by unknown camera %d", i,
+          obs.camera_index));
+    }
+    // Paper Eq. 2: 1V = 1T2 * 2V — chain the observing camera's frame
+    // into the reference camera's frame.
+    Pose ref_T_obs = rig.CameraFromCamera(reference_camera,
+                                          obs.camera_index);
+    in_ref[i].head_position = ref_T_obs.TransformPoint(obs.head_position);
+    if (obs.gaze_direction) {
+      in_ref[i].gaze_direction =
+          ref_T_obs.TransformDirection(*obs.gaze_direction);
+    }
+  }
+  return ComputeLookAt(in_ref);
+}
+
+}  // namespace dievent

@@ -1,0 +1,77 @@
+/// \file eye_contact.h
+/// Eye-contact detection (paper Section II-D-1, Eq. 1–5).
+///
+/// Two equivalent entry points are provided:
+///  - the world-frame path, for callers who already fused observations
+///    into a shared frame;
+///  - the reference-camera path, which follows the paper literally:
+///    per-participant head positions and gaze vectors are given in *their
+///    observing camera's* frame, and everything is chained into camera
+///    F1's frame via the rig's iTj transforms (Eq. 2) before the
+///    ray-sphere test (Eq. 5). A unit test pins both paths to agree.
+
+#ifndef DIEVENT_ANALYSIS_EYE_CONTACT_H_
+#define DIEVENT_ANALYSIS_EYE_CONTACT_H_
+
+#include <optional>
+#include <vector>
+
+#include "analysis/lookat_matrix.h"
+#include "common/result.h"
+#include "geometry/rig.h"
+#include "sim/participant.h"
+
+namespace dievent {
+
+/// Per-participant geometric state in the world frame (after fusion).
+/// `gaze` may be absent when no camera had a frontal view this frame.
+struct ParticipantGeometry {
+  Vec3 head_position;
+  std::optional<Vec3> gaze_direction;
+};
+
+/// Per-participant geometric state expressed in one camera's frame — the
+/// paper's raw OpenFace output shape.
+struct CameraFrameGeometry {
+  int camera_index = -1;   ///< which camera observed this participant
+  Vec3 head_position;      ///< in that camera's frame (the paper's jHP)
+  std::optional<Vec3> gaze_direction;  ///< in that camera's frame (jV)
+};
+
+struct EyeContactOptions {
+  /// Head-sphere radius r of Eq. 3, metres.
+  double head_radius = 0.12;
+  /// Optional angular slack: inflates the sphere so gaze estimation noise
+  /// of roughly this many degrees still hits. 0 = exact paper semantics.
+  double angular_tolerance_deg = 0.0;
+};
+
+class EyeContactDetector {
+ public:
+  explicit EyeContactDetector(EyeContactOptions options = {})
+      : options_(options) {}
+
+  /// World-frame path: fills the n x n look-at matrix with n(n-1)
+  /// ray-sphere tests. Participants without gaze look at nobody.
+  LookAtMatrix ComputeLookAt(
+      const std::vector<ParticipantGeometry>& participants) const;
+
+  /// Reference-camera path (paper Eq. 2): transforms every observation
+  /// into camera `reference_camera`'s frame using the rig calibration,
+  /// then runs the same test. Fails when an observation names an unknown
+  /// camera.
+  Result<LookAtMatrix> ComputeLookAtInCameraFrame(
+      const Rig& rig, int reference_camera,
+      const std::vector<CameraFrameGeometry>& participants) const;
+
+  const EyeContactOptions& options() const { return options_; }
+
+ private:
+  double EffectiveRadius(double distance) const;
+
+  EyeContactOptions options_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ANALYSIS_EYE_CONTACT_H_

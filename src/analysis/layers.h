@@ -1,0 +1,65 @@
+/// \file layers.h
+/// The paper's multilayer information model (Section II-D): time-invariant
+/// context (location, menu, date, occasion, participants, social
+/// relations) and generic time-variant layers sampled per frame (gaze
+/// matrices, emotions). The metadata repository stores both.
+
+#ifndef DIEVENT_ANALYSIS_LAYERS_H_
+#define DIEVENT_ANALYSIS_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+namespace dievent {
+
+/// A declared social relation between two participants (friend, couple,
+/// colleague, family, ...), part of the collected external information.
+struct SocialRelation {
+  int a = -1;
+  int b = -1;
+  std::string relation;
+};
+
+/// Time-invariant information layer: everything about the event that does
+/// not depend on the video clock.
+struct EventContext {
+  std::string event_id;
+  std::string location;         ///< e.g. "IRIT meeting room 12"
+  std::string date;             ///< ISO date of the recording
+  std::string occasion;         ///< e.g. "team dinner", "menu tasting"
+  std::vector<std::string> menu;
+  double temperature_c = 20.0;
+  int num_participants = 0;     ///< the paper's externally-given n
+  std::vector<std::string> participant_names;
+  std::vector<SocialRelation> relations;
+};
+
+/// A named per-frame time series — the generic time-variant layer.
+template <typename T>
+class TimeVariantLayer {
+ public:
+  TimeVariantLayer() = default;
+  TimeVariantLayer(std::string name, double fps)
+      : name_(std::move(name)), fps_(fps) {}
+
+  const std::string& name() const { return name_; }
+  double fps() const { return fps_; }
+  int NumFrames() const { return static_cast<int>(samples_.size()); }
+
+  void Append(T sample) { samples_.push_back(std::move(sample)); }
+  const T& At(int frame) const { return samples_.at(frame); }
+  const std::vector<T>& samples() const { return samples_; }
+
+  double TimeOfFrame(int frame) const {
+    return fps_ > 0 ? frame / fps_ : 0.0;
+  }
+
+ private:
+  std::string name_;
+  double fps_ = 0.0;
+  std::vector<T> samples_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ANALYSIS_LAYERS_H_

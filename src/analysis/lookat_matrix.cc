@@ -1,0 +1,83 @@
+#include "analysis/lookat_matrix.h"
+
+#include "common/strings.h"
+
+namespace dievent {
+
+std::vector<std::pair<int, int>> LookAtMatrix::EyeContactPairs() const {
+  std::vector<std::pair<int, int>> pairs;
+  for (int x = 0; x < n_; ++x) {
+    for (int y = x + 1; y < n_; ++y) {
+      if (At(x, y) && At(y, x)) pairs.emplace_back(x, y);
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::pair<int, int>> LookAtMatrix::DirectedEdges() const {
+  std::vector<std::pair<int, int>> edges;
+  for (int x = 0; x < n_; ++x) {
+    for (int y = 0; y < n_; ++y) {
+      if (x != y && At(x, y)) edges.emplace_back(x, y);
+    }
+  }
+  return edges;
+}
+
+Status LookAtSummary::Accumulate(const LookAtMatrix& m) {
+  if (m.size() != n_) {
+    return Status::InvalidArgument(StrFormat(
+        "matrix size %d does not match summary size %d", m.size(), n_));
+  }
+  for (int x = 0; x < n_; ++x) {
+    for (int y = 0; y < n_; ++y) {
+      if (m.At(x, y)) ++counts_[x * n_ + y];
+    }
+  }
+  ++frames_;
+  return Status::OK();
+}
+
+long long LookAtSummary::ColumnSum(int target) const {
+  long long s = 0;
+  for (int x = 0; x < n_; ++x) s += At(x, target);
+  return s;
+}
+
+long long LookAtSummary::RowSum(int looker) const {
+  long long s = 0;
+  for (int y = 0; y < n_; ++y) s += At(looker, y);
+  return s;
+}
+
+int LookAtSummary::DominantParticipant() const {
+  int best = -1;
+  long long best_sum = -1;
+  for (int y = 0; y < n_; ++y) {
+    long long s = ColumnSum(y);
+    if (s > best_sum) {
+      best_sum = s;
+      best = y;
+    }
+  }
+  return best;
+}
+
+std::string LookAtSummary::ToString(
+    const std::vector<std::string>& names) const {
+  auto name = [&](int i) {
+    return i < static_cast<int>(names.size()) ? names[i]
+                                              : StrFormat("P%d", i + 1);
+  };
+  std::string out = "        ";
+  for (int y = 0; y < n_; ++y) out += StrFormat("%7s", name(y).c_str());
+  out += "\n";
+  for (int x = 0; x < n_; ++x) {
+    out += StrFormat("%7s ", name(x).c_str());
+    for (int y = 0; y < n_; ++y) out += StrFormat("%7lld", At(x, y));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dievent

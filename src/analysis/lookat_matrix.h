@@ -1,0 +1,90 @@
+/// \file lookat_matrix.h
+/// The n x n look-at matrix of paper Fig. 4 and its 610-frame summary of
+/// Fig. 9: entry (x, y) says whether (or, summed, how often) participant x
+/// looks at participant y. Eye contact holds between x and y when both
+/// (x, y) and (y, x) are set.
+
+#ifndef DIEVENT_ANALYSIS_LOOKAT_MATRIX_H_
+#define DIEVENT_ANALYSIS_LOOKAT_MATRIX_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dievent {
+
+/// Boolean per-frame look-at matrix.
+class LookAtMatrix {
+ public:
+  LookAtMatrix() = default;
+  explicit LookAtMatrix(int n) : n_(n), cells_(n * n, 0) {}
+
+  int size() const { return n_; }
+
+  bool At(int looker, int target) const {
+    return cells_[Index(looker, target)] != 0;
+  }
+  void Set(int looker, int target, bool v) {
+    cells_[Index(looker, target)] = v ? 1 : 0;
+  }
+
+  /// Mutual pairs (x < y with both directions set) — the paper's EC test.
+  std::vector<std::pair<int, int>> EyeContactPairs() const;
+
+  /// All directed (looker, target) edges that are set.
+  std::vector<std::pair<int, int>> DirectedEdges() const;
+
+  bool operator==(const LookAtMatrix& o) const {
+    return n_ == o.n_ && cells_ == o.cells_;
+  }
+
+ private:
+  int Index(int looker, int target) const {
+    return looker * n_ + target;
+  }
+
+  int n_ = 0;
+  std::vector<uint8_t> cells_;
+};
+
+/// Integer accumulation of per-frame matrices — the Fig. 9 summary.
+class LookAtSummary {
+ public:
+  LookAtSummary() = default;
+  explicit LookAtSummary(int n) : n_(n), counts_(n * n, 0) {}
+
+  int size() const { return n_; }
+  int frames_accumulated() const { return frames_; }
+
+  long long At(int looker, int target) const {
+    return counts_[looker * n_ + target];
+  }
+
+  /// Adds one per-frame matrix. Sizes must agree.
+  Status Accumulate(const LookAtMatrix& frame_matrix);
+
+  /// Column sum: how often everyone looked at `target` — the paper's
+  /// dominance measure ("the yellow participant is the dominate of the
+  /// meeting since the summation of the participant P1 column is the
+  /// maximum").
+  long long ColumnSum(int target) const;
+  long long RowSum(int looker) const;
+
+  /// Participant with the maximal column sum (ties broken by lower id).
+  int DominantParticipant() const;
+
+  /// Formats the matrix like Fig. 9 (rows = lookers, cols = targets) with
+  /// the given participant names.
+  std::string ToString(const std::vector<std::string>& names = {}) const;
+
+ private:
+  int n_ = 0;
+  int frames_ = 0;
+  std::vector<long long> counts_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ANALYSIS_LOOKAT_MATRIX_H_

@@ -1,0 +1,63 @@
+#include "analysis/overall_emotion.h"
+
+namespace dievent {
+
+OverallEmotion OverallEmotionEstimator::Update(
+    int frame, double timestamp_s,
+    const std::vector<EmotionObservation>& observations) {
+  OverallEmotion out;
+  out.frame = frame;
+  out.timestamp_s = timestamp_s;
+
+  int happy = 0;
+  double valence_sum = 0.0, conf_sum = 0.0;
+  for (const EmotionObservation& obs : observations) {
+    if (!obs.emotion) continue;
+    out.observed += 1;
+    out.counts[static_cast<int>(*obs.emotion)] += 1;
+    if (*obs.emotion == Emotion::kHappy) ++happy;
+    double c = obs.confidence > 0.0 ? obs.confidence : 1.0;
+    valence_sum += EmotionValence(*obs.emotion) * c;
+    conf_sum += c;
+  }
+  double raw_happiness =
+      out.observed > 0 ? static_cast<double>(happy) / out.observed : 0.0;
+  double raw_valence = conf_sum > 0.0 ? valence_sum / conf_sum : 0.0;
+
+  const double a = options_.smoothing_alpha;
+  if (!has_state_ || a >= 1.0) {
+    smoothed_happiness_ = raw_happiness;
+    smoothed_valence_ = raw_valence;
+    has_state_ = true;
+  } else {
+    smoothed_happiness_ = a * raw_happiness + (1.0 - a) * smoothed_happiness_;
+    smoothed_valence_ = a * raw_valence + (1.0 - a) * smoothed_valence_;
+  }
+  out.overall_happiness = smoothed_happiness_;
+  out.mean_valence = smoothed_valence_;
+  timeline_.push_back(out);
+  return out;
+}
+
+double OverallEmotionEstimator::MeanHappiness() const {
+  if (timeline_.empty()) return 0.0;
+  double s = 0.0;
+  for (const OverallEmotion& e : timeline_) s += e.overall_happiness;
+  return s / static_cast<double>(timeline_.size());
+}
+
+double OverallEmotionEstimator::MeanValence() const {
+  if (timeline_.empty()) return 0.0;
+  double s = 0.0;
+  for (const OverallEmotion& e : timeline_) s += e.mean_valence;
+  return s / static_cast<double>(timeline_.size());
+}
+
+void OverallEmotionEstimator::Reset() {
+  timeline_.clear();
+  smoothed_happiness_ = 0.0;
+  smoothed_valence_ = 0.0;
+  has_state_ = false;
+}
+
+}  // namespace dievent

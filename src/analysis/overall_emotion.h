@@ -1,0 +1,73 @@
+/// \file overall_emotion.h
+/// Overall-emotion estimation (paper Section II-D-2, Fig. 5): fuses the
+/// per-participant emotion stream into a group-level satisfaction signal —
+/// the "OH" (overall happiness) percentage of Fig. 5 plus a valence-based
+/// satisfaction score, optionally smoothed over time.
+
+#ifndef DIEVENT_ANALYSIS_OVERALL_EMOTION_H_
+#define DIEVENT_ANALYSIS_OVERALL_EMOTION_H_
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/emotion.h"
+
+namespace dievent {
+
+/// One participant's recognized emotion in one frame; `emotion` is empty
+/// when no camera produced a usable face crop.
+struct EmotionObservation {
+  int participant = -1;
+  std::optional<Emotion> emotion;
+  double confidence = 0.0;
+};
+
+/// Group-level emotion for one frame.
+struct OverallEmotion {
+  int frame = 0;
+  double timestamp_s = 0.0;
+  /// Fraction of *observed* participants that are happy — Fig. 5's OH.
+  double overall_happiness = 0.0;
+  /// Confidence-weighted mean valence in [-1, 1]: the satisfaction proxy.
+  double mean_valence = 0.0;
+  int observed = 0;  ///< participants with an emotion this frame
+  std::array<int, kNumEmotions> counts{};  ///< per-emotion headcount
+};
+
+struct OverallEmotionOptions {
+  /// Exponential smoothing factor in (0, 1]; 1 = no smoothing.
+  double smoothing_alpha = 0.3;
+};
+
+/// Streaming estimator: feed one frame's observations at a time.
+class OverallEmotionEstimator {
+ public:
+  explicit OverallEmotionEstimator(OverallEmotionOptions options = {})
+      : options_(options) {}
+
+  /// Ingests one frame and returns its (smoothed) overall emotion.
+  OverallEmotion Update(int frame, double timestamp_s,
+                        const std::vector<EmotionObservation>& observations);
+
+  /// Everything seen so far, in frame order.
+  const std::vector<OverallEmotion>& timeline() const { return timeline_; }
+
+  /// Mean overall happiness across the timeline (the event-level score a
+  /// smart restaurant would report per table).
+  double MeanHappiness() const;
+  double MeanValence() const;
+
+  void Reset();
+
+ private:
+  OverallEmotionOptions options_;
+  std::vector<OverallEmotion> timeline_;
+  double smoothed_happiness_ = 0.0;
+  double smoothed_valence_ = 0.0;
+  bool has_state_ = false;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ANALYSIS_OVERALL_EMOTION_H_

@@ -1,0 +1,78 @@
+#include "analysis/topview_map.h"
+
+#include <algorithm>
+
+#include "image/draw.h"
+
+namespace dievent {
+
+ImageRgb RenderTopViewMap(const DiningScene& scene, const LookAtMatrix& m,
+                          const TopViewOptions& opt) {
+  ImageRgb img(opt.width, opt.height, 3);
+  for (int y = 0; y < opt.height; ++y)
+    for (int x = 0; x < opt.width; ++x)
+      PutRgb(&img, x, y, opt.background);
+
+  // World (x, y) -> image mapping covering all seats plus a margin.
+  double min_x = scene.table().center.x, max_x = min_x;
+  double min_y = scene.table().center.y, max_y = min_y;
+  for (const auto& p : scene.participants()) {
+    min_x = std::min(min_x, p.seat_head_position.x);
+    max_x = std::max(max_x, p.seat_head_position.x);
+    min_y = std::min(min_y, p.seat_head_position.y);
+    max_y = std::max(max_y, p.seat_head_position.y);
+  }
+  const double margin = 0.6;
+  min_x -= margin;
+  max_x += margin;
+  min_y -= margin;
+  max_y += margin;
+  double sx = opt.width / (max_x - min_x);
+  double sy = opt.height / (max_y - min_y);
+  double s = std::min(sx, sy);
+  auto to_px = [&](double wx, double wy) {
+    return Vec2{(wx - min_x) * s, opt.height - (wy - min_y) * s};
+  };
+
+  // Table rectangle.
+  const Table& t = scene.table();
+  Vec2 a = to_px(t.center.x - t.size.x / 2, t.center.y - t.size.y / 2);
+  Vec2 b = to_px(t.center.x + t.size.x / 2, t.center.y + t.size.y / 2);
+  FillRect(&img, static_cast<int>(std::min(a.x, b.x)),
+           static_cast<int>(std::min(a.y, b.y)),
+           static_cast<int>(std::abs(b.x - a.x)),
+           static_cast<int>(std::abs(b.y - a.y)), opt.table_color);
+
+  const int n = std::min<int>(m.size(), scene.NumParticipants());
+  std::vector<Vec2> centers(n);
+  for (int i = 0; i < n; ++i) {
+    const auto& seat = scene.participants()[i].seat_head_position;
+    centers[i] = to_px(seat.x, seat.y);
+  }
+
+  // Arrows first so discs cover their tails.
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      if (x == y || !m.At(x, y)) continue;
+      bool mutual = m.At(y, x);
+      Vec2 dir = (centers[y] - centers[x]).Normalized();
+      Vec2 from = centers[x] + dir * opt.participant_radius_px;
+      Vec2 to = centers[y] - dir * (opt.participant_radius_px + 4.0);
+      // Offset one of a mutual pair sideways so both arrows stay visible.
+      Vec2 normal{-dir.y, dir.x};
+      Vec2 shift = mutual ? normal * 3.0 : Vec2{0, 0};
+      DrawArrow(&img, from + shift, to + shift, Rgb{40, 40, 40},
+                mutual ? 2.5 : 1.5);
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    FillCircle(&img, centers[i].x, centers[i].y, opt.participant_radius_px,
+               scene.profile(i).marker_color);
+    DrawCircle(&img, centers[i].x, centers[i].y, opt.participant_radius_px,
+               Rgb{30, 30, 30}, 1.5);
+  }
+  return img;
+}
+
+}  // namespace dievent

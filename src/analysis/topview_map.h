@@ -1,0 +1,32 @@
+/// \file topview_map.h
+/// Look-at top-view map rendering (paper Fig. 7b / 8b): a bird's-eye view
+/// of the table with one disc per participant in their identity color and
+/// an arrow for every directed look-at edge; mutual edges (eye contact)
+/// are drawn double-stroked.
+
+#ifndef DIEVENT_ANALYSIS_TOPVIEW_MAP_H_
+#define DIEVENT_ANALYSIS_TOPVIEW_MAP_H_
+
+#include <vector>
+
+#include "analysis/lookat_matrix.h"
+#include "image/image.h"
+#include "sim/scene.h"
+
+namespace dievent {
+
+struct TopViewOptions {
+  int width = 480;
+  int height = 360;
+  Rgb background{235, 235, 230};
+  Rgb table_color{190, 160, 120};
+  double participant_radius_px = 16.0;
+};
+
+/// Renders the top-view map for one frame's look-at matrix.
+ImageRgb RenderTopViewMap(const DiningScene& scene, const LookAtMatrix& m,
+                          const TopViewOptions& options = {});
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ANALYSIS_TOPVIEW_MAP_H_

@@ -1,0 +1,74 @@
+/// \file emotion.h
+/// The six basic emotions recognized by DiEvent (Section II-C) plus
+/// neutral. Shared vocabulary between the simulator, the recognizer, the
+/// overall-emotion fusion, and the metadata repository.
+
+#ifndef DIEVENT_COMMON_EMOTION_H_
+#define DIEVENT_COMMON_EMOTION_H_
+
+#include <array>
+#include <string_view>
+
+namespace dievent {
+
+enum class Emotion : int {
+  kNeutral = 0,
+  kHappy = 1,
+  kSad = 2,
+  kAngry = 3,
+  kDisgust = 4,
+  kFear = 5,
+  kSurprise = 6,
+};
+
+inline constexpr int kNumEmotions = 7;
+
+inline constexpr std::array<Emotion, kNumEmotions> kAllEmotions = {
+    Emotion::kNeutral, Emotion::kHappy,    Emotion::kSad,  Emotion::kAngry,
+    Emotion::kDisgust, Emotion::kFear,     Emotion::kSurprise};
+
+constexpr std::string_view EmotionName(Emotion e) {
+  switch (e) {
+    case Emotion::kNeutral:
+      return "neutral";
+    case Emotion::kHappy:
+      return "happy";
+    case Emotion::kSad:
+      return "sad";
+    case Emotion::kAngry:
+      return "angry";
+    case Emotion::kDisgust:
+      return "disgust";
+    case Emotion::kFear:
+      return "fear";
+    case Emotion::kSurprise:
+      return "surprise";
+  }
+  return "unknown";
+}
+
+/// Valence in [-1, 1] used by overall-emotion fusion: positive emotions
+/// raise the group's satisfaction estimate, negative ones lower it.
+constexpr double EmotionValence(Emotion e) {
+  switch (e) {
+    case Emotion::kHappy:
+      return 1.0;
+    case Emotion::kSurprise:
+      return 0.3;
+    case Emotion::kNeutral:
+      return 0.0;
+    case Emotion::kSad:
+      return -0.7;
+    case Emotion::kFear:
+      return -0.6;
+    case Emotion::kAngry:
+      return -0.9;
+    case Emotion::kDisgust:
+      return -1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_EMOTION_H_

@@ -1,0 +1,51 @@
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components (simulator noise, ML weight init, benchmark
+/// workload generation) draw from Rng so that every run of the test suite
+/// and benchmark harness is reproducible from a seed.
+
+#ifndef DIEVENT_COMMON_RNG_H_
+#define DIEVENT_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dievent {
+
+/// xoshiro256++ generator. Small, fast, and adequately distributed for
+/// simulation workloads; not cryptographic.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Standard normal deviate (Box–Muller, cached spare).
+  double NextGaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t state_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_RNG_H_

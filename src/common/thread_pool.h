@@ -1,0 +1,58 @@
+/// \file thread_pool.h
+/// A small fixed-size worker pool for the pipeline's per-camera
+/// parallelism. The paper's acquisition platform produces one stream per
+/// camera; the per-frame vision work on those streams is embarrassingly
+/// parallel.
+
+#ifndef DIEVENT_COMMON_THREAD_POOL_H_
+#define DIEVENT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dievent {
+
+/// Fixed worker pool. Tasks are void() callables; exceptions escaping a
+/// task terminate (library code reports errors via Status, never throws).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(0) .. fn(count-1) across the pool and blocks until all
+  /// complete. `fn` must be safe to invoke concurrently.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_THREAD_POOL_H_

@@ -1,0 +1,112 @@
+#include "core/frame_analyzer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+FrameAnalyzer::FrameAnalyzer(const Rig* rig, FrameAnalyzerOptions options,
+                             std::vector<int> cameras,
+                             int num_participants)
+    : rig_(rig),
+      options_(options),
+      cameras_(std::move(cameras)),
+      num_participants_(num_participants),
+      analyzer_(options.vision),
+      recognizer_(options.recognizer_reject_distance),
+      ec_detector_(options.eye_contact),
+      trackers_(cameras_.size(), MultiTracker(options.tracker)) {
+  if (options_.num_threads > 1 && cameras_.size() > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::min<int>(options_.num_threads,
+                      static_cast<int>(cameras_.size())));
+  }
+}
+
+Result<FrameAnalyzer> FrameAnalyzer::Create(
+    const Rig* rig, std::vector<ParticipantProfile> profiles,
+    FrameAnalyzerOptions options, std::vector<int> cameras) {
+  if (rig == nullptr || rig->NumCameras() == 0) {
+    return Status::InvalidArgument("need a rig with at least one camera");
+  }
+  if (profiles.empty()) {
+    return Status::InvalidArgument("need at least one enrolled profile");
+  }
+  if (cameras.empty()) {
+    for (int c = 0; c < rig->NumCameras(); ++c) cameras.push_back(c);
+  }
+  for (int c : cameras) {
+    if (c < 0 || c >= rig->NumCameras()) {
+      return Status::InvalidArgument(
+          StrFormat("camera %d not in the rig", c));
+    }
+  }
+  FrameAnalyzer out(rig, std::move(options), std::move(cameras),
+                    static_cast<int>(profiles.size()));
+  DIEVENT_RETURN_NOT_OK(out.recognizer_.EnrollProfiles(profiles));
+  return out;
+}
+
+Result<FrameAnalysis> FrameAnalyzer::Analyze(
+    int frame_index, const std::vector<ImageRgb>& frames) {
+  if (frames.size() != cameras_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "expected %zu frames (one per active camera), got %zu",
+        cameras_.size(), frames.size()));
+  }
+  FrameAnalysis result;
+  result.per_camera.resize(cameras_.size());
+
+  auto process_camera = [&](int c) {
+    const int rig_camera = cameras_[c];
+    auto& obs = result.per_camera[c];
+    obs = analyzer_.Analyze(rig_->camera(rig_camera), rig_camera,
+                            frames[c]);
+    std::vector<FaceDetection> dets;
+    std::vector<int> ids;
+    for (auto& o : obs) {
+      IdentityMatch m = recognizer_.Recognize(frames[c], o.detection);
+      o.identity = m.id;
+      o.identity_confidence = m.confidence;
+      dets.push_back(o.detection);
+      ids.push_back(m.id);
+    }
+    trackers_[c].Update(frame_index, dets, ids);
+    const std::vector<int>& track_ids =
+        trackers_[c].last_detection_track_ids();
+    for (size_t d = 0; d < obs.size(); ++d) {
+      if (obs[d].identity < 0 && d < track_ids.size()) {
+        obs[d].identity = trackers_[c].IdentityOfTrack(track_ids[d]);
+      }
+    }
+  };
+
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(static_cast<int>(cameras_.size()), process_camera);
+  } else {
+    for (int c = 0; c < static_cast<int>(cameras_.size()); ++c) {
+      process_camera(c);
+    }
+  }
+
+  std::vector<FaceObservation> all;
+  for (const auto& cam_obs : result.per_camera) {
+    all.insert(all.end(), cam_obs.begin(), cam_obs.end());
+  }
+  result.fused = FuseObservations(all, num_participants_, options_.fusion);
+  std::vector<ParticipantGeometry> geometry = ToGeometry(result.fused);
+  for (int i = 0; i < num_participants_; ++i) {
+    if (result.fused[i].num_views == 0) {
+      geometry[i].gaze_direction.reset();
+    }
+  }
+  result.lookat = ec_detector_.ComputeLookAt(geometry);
+  return result;
+}
+
+void FrameAnalyzer::ResetTracking() {
+  for (MultiTracker& tracker : trackers_) tracker.Reset();
+}
+
+}  // namespace dievent

@@ -1,0 +1,405 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "core/frame_analyzer.h"
+#include "geometry/ray.h"
+
+namespace dievent {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Adds the elapsed seconds since `start` to `*sink` and resets `start`.
+class StageTimer {
+ public:
+  explicit StageTimer(double* sink)
+      : sink_(sink), start_(Clock::now()) {}
+  ~StageTimer() {
+    *sink_ += std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  double* sink_;
+  Clock::time_point start_;
+};
+
+EventContext ContextFromScene(const DiningScene& scene) {
+  EventContext ctx;
+  ctx.event_id = "dievent-run";
+  ctx.location = "simulated dining room";
+  ctx.occasion = "dining event";
+  ctx.num_participants = scene.NumParticipants();
+  for (const auto& p : scene.participants()) {
+    ctx.participant_names.push_back(p.profile.name);
+  }
+  return ctx;
+}
+
+/// Square crop around a detection matching the training-crop geometry
+/// (face radius = 0.46 * crop size).
+ImageRgb CropFace(const ImageRgb& frame, const FaceDetection& det) {
+  double half = det.radius_px / 0.92;
+  int size = std::max(8, static_cast<int>(2.0 * half));
+  int x0 = static_cast<int>(det.center_px.x - half);
+  int y0 = static_cast<int>(det.center_px.y - half);
+  return frame.Crop(x0, y0, size, size);
+}
+
+}  // namespace
+
+std::string DiEventReport::Summary() const {
+  std::string out;
+  out += StrFormat("frames processed: %d\n", frames_processed);
+  out += "look-at summary:\n" + summary.ToString(participant_names);
+  std::string dominant =
+      dominant_participant >= 0 &&
+              dominant_participant <
+                  static_cast<int>(participant_names.size())
+          ? participant_names[dominant_participant]
+          : StrFormat("P%d", dominant_participant + 1);
+  out += StrFormat("dominant participant: %s\n", dominant.c_str());
+  out += StrFormat("eye-contact episodes: %zu\n",
+                   eye_contact_episodes.size());
+  out += StrFormat("mean overall happiness: %.3f, mean valence: %.3f\n",
+                   mean_overall_happiness, mean_valence);
+  out += StrFormat(
+      "timings (s): acquire %.2f, detect %.2f, identity %.2f, fuse %.2f, "
+      "eye-contact %.3f, emotion %.2f, parse %.2f, store %.3f\n",
+      timings.acquisition, timings.detection, timings.identity,
+      timings.fusion, timings.eye_contact, timings.emotion,
+      timings.parsing, timings.storage);
+  return out;
+}
+
+DiEventPipeline::DiEventPipeline(const DiningScene* scene,
+                                 PipelineOptions options)
+    : scene_(scene), options_(std::move(options)) {}
+
+Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
+  if (repository == nullptr) {
+    return Status::InvalidArgument("repository must not be null");
+  }
+  if (options_.frame_stride < 1) {
+    return Status::InvalidArgument("frame_stride must be >= 1");
+  }
+  const DiningScene& scene = *scene_;
+  const int n = scene.NumParticipants();
+  const bool full = options_.mode == PipelineMode::kFullVision;
+
+  // Resolve the camera subset (empty = the whole rig).
+  std::vector<int> cameras = options_.camera_subset;
+  if (cameras.empty()) {
+    for (int c = 0; c < scene.rig().NumCameras(); ++c) cameras.push_back(c);
+  }
+  for (int c : cameras) {
+    if (c < 0 || c >= scene.rig().NumCameras()) {
+      return Status::InvalidArgument(
+          StrFormat("camera %d not in the rig", c));
+    }
+  }
+  const int num_cameras = static_cast<int>(cameras.size());
+  // Rig camera index -> position within the active subset.
+  std::vector<int> subset_pos(scene.rig().NumCameras(), -1);
+  for (int c = 0; c < num_cameras; ++c) subset_pos[cameras[c]] = c;
+
+  *repository = MetadataRepository();
+  repository->SetContext(ContextFromScene(scene));
+  repository->set_fps(scene.fps());
+
+  DiEventReport report;
+  report.summary = LookAtSummary(n);
+  for (const auto& p : scene.participants()) {
+    report.participant_names.push_back(p.profile.name);
+  }
+
+  // --- one-time setup --------------------------------------------------
+  Rng rng(options_.seed);
+
+  const EmotionRecognizer* recognizer = options_.recognizer;
+  std::unique_ptr<EmotionRecognizer> owned_recognizer;
+  if (options_.analyze_emotions && full && recognizer == nullptr) {
+    StageTimer timer(&report.timings.training);
+    DIEVENT_ASSIGN_OR_RETURN(
+        EmotionRecognizer trained,
+        EmotionRecognizer::Train(options_.emotion, &rng));
+    owned_recognizer =
+        std::make_unique<EmotionRecognizer>(std::move(trained));
+    recognizer = owned_recognizer.get();
+  }
+
+  std::vector<std::unique_ptr<SyntheticVideoSource>> sources;
+  for (int c = 0; c < num_cameras; ++c) {
+    sources.push_back(std::make_unique<SyntheticVideoSource>(
+        &scene, cameras[c], options_.render, options_.scripts,
+        options_.noise_seed == 0
+            ? 0
+            : options_.noise_seed + static_cast<uint64_t>(c) * 7919));
+  }
+
+  FusionOptions fusion_options = options_.fusion;
+  if (options_.seat_prior_from_scene && fusion_options.seat_prior.empty()) {
+    for (const auto& p : scene.participants()) {
+      fusion_options.seat_prior.push_back(p.seat_head_position);
+    }
+  }
+
+  // The per-frame vision engine (kFullVision only).
+  std::unique_ptr<FrameAnalyzer> engine;
+  if (full) {
+    FrameAnalyzerOptions engine_options;
+    engine_options.vision = options_.vision;
+    engine_options.recognizer_reject_distance =
+        options_.recognizer_reject_distance;
+    engine_options.tracker = options_.tracker;
+    engine_options.fusion = fusion_options;
+    engine_options.eye_contact = options_.eye_contact;
+    engine_options.num_threads = options_.num_threads;
+    std::vector<ParticipantProfile> profiles;
+    for (const auto& p : scene.participants()) {
+      profiles.push_back(p.profile);
+    }
+    DIEVENT_ASSIGN_OR_RETURN(
+        FrameAnalyzer created,
+        FrameAnalyzer::Create(&scene.rig(), std::move(profiles),
+                              engine_options, cameras));
+    engine = std::make_unique<FrameAnalyzer>(std::move(created));
+  }
+
+  EyeContactDetector ec_detector(options_.eye_contact);
+  OverallEmotionEstimator overall(options_.overall_emotion);
+  ShotBoundaryDetector signature_maker(options_.parsing.shot);
+  std::vector<Histogram> signatures;  // camera-0, for parsing
+
+  // Accuracy accumulators (kFullVision).
+  long long cell_agree = 0, cell_total = 0;
+  long long edge_tp = 0, edge_fp = 0, edge_fn = 0;
+  double pos_err_sum = 0;
+  long long pos_err_count = 0;
+  double gaze_err_sum = 0;
+  long long gaze_err_count = 0;
+  long long gaze_have = 0, detect_have = 0, pf_total = 0;
+  long long emo_correct = 0, emo_total = 0;
+
+  // --- per-frame loop ----------------------------------------------------
+  for (int f = 0; f < scene.num_frames(); f += options_.frame_stride) {
+    const double t = scene.TimeOfFrame(f);
+    std::vector<ParticipantState> gt = scene.StateAt(t);
+
+    std::vector<ParticipantGeometry> geometry(n);
+    std::vector<EmotionObservation> emotions;
+    std::vector<FusedParticipant> fused;
+    std::vector<std::vector<FaceObservation>> per_camera_obs;
+    std::vector<ImageRgb> frames(num_cameras);
+
+    if (full) {
+      // Decode this frame set (timed as acquisition), then hand it to the
+      // per-frame engine (detection + identity + fusion + eye contact).
+      {
+        StageTimer timer(&report.timings.acquisition);
+        for (int c = 0; c < num_cameras; ++c) {
+          DIEVENT_ASSIGN_OR_RETURN(VideoFrame vf, sources[c]->GetFrame(f));
+          frames[c] = std::move(vf.image);
+        }
+      }
+      FrameAnalysis analysis;
+      {
+        StageTimer timer(&report.timings.detection);
+        DIEVENT_ASSIGN_OR_RETURN(analysis, engine->Analyze(f, frames));
+      }
+      per_camera_obs = std::move(analysis.per_camera);
+      fused = std::move(analysis.fused);
+      geometry = ToGeometry(fused);
+      for (int i = 0; i < n; ++i) {
+        if (fused[i].num_views == 0) {
+          geometry[i].gaze_direction.reset();
+        }
+      }
+
+      if (options_.parse_video) {
+        signatures.push_back(signature_maker.Signature(frames[0]));
+      }
+
+      if (options_.analyze_emotions && recognizer != nullptr) {
+        StageTimer timer(&report.timings.emotion);
+        for (int i = 0; i < n; ++i) {
+          EmotionObservation eo;
+          eo.participant = i;
+          // Pick the largest frontal view of participant i.
+          const FaceObservation* best = nullptr;
+          for (const auto& cam_obs : per_camera_obs) {
+            for (const auto& o : cam_obs) {
+              if (o.identity == i && o.detection.front_facing &&
+                  (best == nullptr ||
+                   o.detection.radius_px > best->detection.radius_px)) {
+                best = &o;
+              }
+            }
+          }
+          if (best != nullptr && best->detection.radius_px >= 8.0) {
+            ImageRgb crop =
+                CropFace(frames[subset_pos[best->camera_index]],
+                         best->detection);
+            EmotionPrediction p = recognizer->Recognize(crop);
+            eo.emotion = p.emotion;
+            eo.confidence = p.confidence;
+            if (eo.emotion == gt[i].emotion) ++emo_correct;
+            ++emo_total;
+          }
+          emotions.push_back(eo);
+        }
+      }
+
+      // Accuracy bookkeeping vs ground truth.
+      for (int i = 0; i < n; ++i) {
+        ++pf_total;
+        if (fused[i].num_views > 0) {
+          ++detect_have;
+          pos_err_sum +=
+              (fused[i].geometry.head_position - gt[i].head_position)
+                  .Norm();
+          ++pos_err_count;
+        }
+        if (geometry[i].gaze_direction) {
+          ++gaze_have;
+          gaze_err_sum += RadToDeg(AngleBetween(
+              *geometry[i].gaze_direction, gt[i].gaze_direction));
+          ++gaze_err_count;
+        }
+      }
+    } else {
+      // Ground-truth mode: geometry straight from the simulator.
+      {
+        StageTimer timer(&report.timings.fusion);
+        for (int i = 0; i < n; ++i) {
+          geometry[i].head_position = gt[i].head_position;
+          geometry[i].gaze_direction = gt[i].gaze_direction;
+        }
+      }
+      if (options_.analyze_emotions) {
+        for (int i = 0; i < n; ++i) {
+          EmotionObservation eo;
+          eo.participant = i;
+          eo.emotion = gt[i].emotion;
+          eo.confidence = 1.0;
+          emotions.push_back(eo);
+        }
+      }
+      if (options_.parse_video) {
+        StageTimer acquire(&report.timings.acquisition);
+        DIEVENT_ASSIGN_OR_RETURN(VideoFrame vf, sources[0]->GetFrame(f));
+        signatures.push_back(signature_maker.Signature(vf.image));
+      }
+    }
+
+    LookAtMatrix lookat;
+    {
+      StageTimer timer(&report.timings.eye_contact);
+      lookat = ec_detector.ComputeLookAt(geometry);
+    }
+    DIEVENT_RETURN_NOT_OK(report.summary.Accumulate(lookat));
+
+    if (full) {
+      std::vector<std::vector<bool>> gt_look = scene.GroundTruthLookAt(t);
+      for (int x = 0; x < n; ++x) {
+        for (int y = 0; y < n; ++y) {
+          if (x == y) continue;
+          bool est = lookat.At(x, y);
+          bool truth = gt_look[x][y];
+          ++cell_total;
+          if (est == truth) ++cell_agree;
+          if (est && truth) ++edge_tp;
+          if (est && !truth) ++edge_fp;
+          if (!est && truth) ++edge_fn;
+        }
+      }
+    }
+
+    {
+      StageTimer timer(&report.timings.storage);
+      DIEVENT_RETURN_NOT_OK(
+          repository->AddLookAt(LookAtRecord::FromMatrix(f, t, lookat)));
+      if (options_.analyze_emotions) {
+        OverallEmotion oe = overall.Update(f, t, emotions);
+        for (const EmotionObservation& eo : emotions) {
+          if (!eo.emotion) continue;
+          EmotionRecord er;
+          er.frame = f;
+          er.timestamp_s = t;
+          er.participant = eo.participant;
+          er.emotion = *eo.emotion;
+          er.confidence = eo.confidence;
+          DIEVENT_RETURN_NOT_OK(repository->AddEmotion(er));
+        }
+        OverallEmotionRecord orec;
+        orec.frame = f;
+        orec.timestamp_s = t;
+        orec.overall_happiness = oe.overall_happiness;
+        orec.mean_valence = oe.mean_valence;
+        orec.observed = oe.observed;
+        DIEVENT_RETURN_NOT_OK(repository->AddOverallEmotion(orec));
+      }
+    }
+    ++report.frames_processed;
+  }
+
+  // --- video composition analysis ---------------------------------------
+  if (options_.parse_video && !signatures.empty()) {
+    StageTimer timer(&report.timings.parsing);
+    VideoParser parser(options_.parsing);
+    report.structure = parser.ParseFromHistograms(
+        signatures, scene.fps() / options_.frame_stride);
+    repository->SetVideoStructure(report.structure);
+  }
+
+  // --- report ------------------------------------------------------------
+  report.dominant_participant = report.summary.DominantParticipant();
+  // Records are frame_stride apart, so the inter-record spacing itself
+  // must not break an episode; allowing one missing record bridges brief
+  // detector dropouts exactly as max_gap=1 does at stride 1.
+  report.eye_contact_episodes = repository->EyeContactEpisodes(
+      /*min_length=*/2, /*max_gap=*/2 * options_.frame_stride - 1);
+  report.emotion_timeline = overall.timeline();
+  report.mean_overall_happiness = overall.MeanHappiness();
+  report.mean_valence = overall.MeanValence();
+
+  if (full) {
+    PipelineAccuracy& acc = report.accuracy;
+    if (cell_total > 0) {
+      acc.lookat_cell_accuracy =
+          static_cast<double>(cell_agree) / cell_total;
+    }
+    if (edge_tp + edge_fp > 0) {
+      acc.edge_precision =
+          static_cast<double>(edge_tp) / (edge_tp + edge_fp);
+    }
+    if (edge_tp + edge_fn > 0) {
+      acc.edge_recall = static_cast<double>(edge_tp) / (edge_tp + edge_fn);
+    }
+    if (pos_err_count > 0) {
+      acc.mean_position_error_m = pos_err_sum / pos_err_count;
+    }
+    if (gaze_err_count > 0) {
+      acc.mean_gaze_error_deg = gaze_err_sum / gaze_err_count;
+    }
+    if (pf_total > 0) {
+      acc.gaze_coverage = static_cast<double>(gaze_have) / pf_total;
+      acc.detection_coverage =
+          static_cast<double>(detect_have) / pf_total;
+    }
+    if (emo_total > 0) {
+      acc.emotion_accuracy = static_cast<double>(emo_correct) / emo_total;
+    }
+  }
+  return report;
+}
+
+}  // namespace dievent

@@ -1,0 +1,166 @@
+/// \file pipeline.h
+/// The DiEvent pipeline (paper Fig. 1): video acquisition -> video
+/// composition analysis -> feature extraction -> multilayer analysis ->
+/// metadata repository, as one configurable facade.
+///
+/// Two modes are supported:
+///  - kFullVision runs the complete stack on rendered frames (detector,
+///    recognizer, tracker, landmarks, gaze, fusion);
+///  - kGroundTruth feeds the simulator's exact geometry to the analysis
+///    layers, isolating the analysis math from vision error. The paper's
+///    prototype numbers (Fig. 7–9) correspond to this path evaluated on
+///    the scripted meeting; the full-vision path measures how close the
+///    estimators get.
+
+#ifndef DIEVENT_CORE_PIPELINE_H_
+#define DIEVENT_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/eye_contact.h"
+#include "analysis/fusion.h"
+#include "analysis/lookat_matrix.h"
+#include "analysis/overall_emotion.h"
+#include "common/result.h"
+#include "metadata/query.h"
+#include "metadata/repository.h"
+#include "ml/emotion_recognizer.h"
+#include "ml/face_recognizer.h"
+#include "ml/tracker.h"
+#include "sim/scene.h"
+#include "video/parser.h"
+#include "video/synthetic_source.h"
+#include "vision/face_analyzer.h"
+
+namespace dievent {
+
+enum class PipelineMode { kFullVision, kGroundTruth };
+
+struct PipelineOptions {
+  PipelineMode mode = PipelineMode::kFullVision;
+
+  // Acquisition / rendering.
+  RenderOptions render;
+  RenderScripts scripts;
+  uint64_t noise_seed = 0;  ///< 0 = noise-free frames
+  /// Rig cameras to use (indices); empty = all. Lets experiments ablate
+  /// the paper's multi-camera design (Section I: "have a wide view using
+  /// multiple cameras").
+  std::vector<int> camera_subset;
+
+  // Feature extraction.
+  FaceAnalyzerOptions vision;
+  double recognizer_reject_distance = 0.35;
+  TrackerOptions tracker;
+
+  // Multilayer analysis.
+  FusionOptions fusion;
+  /// Fill fusion.seat_prior from the scene's seat positions, so
+  /// observations the recognizer cannot identify still resolve to the
+  /// participant whose seat they occupy.
+  bool seat_prior_from_scene = false;
+  EyeContactOptions eye_contact;
+  OverallEmotionOptions overall_emotion;
+
+  // Emotion recognition. Training is the expensive step; callers may
+  // share one trained recognizer across pipelines via `recognizer`.
+  bool analyze_emotions = true;
+  EmotionRecognizerOptions emotion;
+  const EmotionRecognizer* recognizer = nullptr;  ///< not owned; optional
+
+  // Video composition analysis (runs on camera 0's stream).
+  bool parse_video = true;
+  VideoParserOptions parsing;
+
+  /// Process every `frame_stride`-th frame (1 = all).
+  int frame_stride = 1;
+
+  /// Worker threads for per-camera vision work (kFullVision only).
+  /// 1 = sequential with fine-grained stage timings; > 1 runs
+  /// acquisition + detection + identity per camera in parallel, with the
+  /// combined wall time attributed to the detection stage.
+  int num_threads = 1;
+
+  uint64_t seed = 42;  ///< master seed for training/augmentation
+};
+
+/// Wall-clock spent in each pipeline stage, seconds.
+struct StageTimings {
+  double acquisition = 0;  ///< frame decoding in ground-truth mode
+  /// Per-camera vision work: decode + detect + landmarks + gaze +
+  /// identity + tracking (one fused parallel section in kFullVision).
+  double detection = 0;
+  double identity = 0;     ///< reserved (folded into detection)
+  double fusion = 0;
+  double eye_contact = 0;
+  double emotion = 0;
+  double parsing = 0;
+  double storage = 0;
+  double training = 0;     ///< one-time emotion-recognizer training
+
+  double Total() const {
+    return acquisition + detection + identity + fusion + eye_contact +
+           emotion + parsing + storage;
+  }
+};
+
+/// Vision-vs-ground-truth quality measures (kFullVision only).
+struct PipelineAccuracy {
+  /// Fraction of off-diagonal look-at cells agreeing with ground truth.
+  double lookat_cell_accuracy = 0;
+  /// Precision/recall of "looks-at" edges vs ground truth.
+  double edge_precision = 0;
+  double edge_recall = 0;
+  /// Mean head-position error of fused participants, metres.
+  double mean_position_error_m = 0;
+  /// Mean angular gaze error over frames where both GT and estimate have
+  /// gaze, degrees.
+  double mean_gaze_error_deg = 0;
+  /// Fraction of participant-frames with a usable gaze estimate.
+  double gaze_coverage = 0;
+  /// Fraction of participant-frames detected by at least one camera.
+  double detection_coverage = 0;
+  /// Fraction of emotion classifications matching the scripted emotion.
+  double emotion_accuracy = 0;
+};
+
+/// Everything the pipeline produces for one event.
+struct DiEventReport {
+  int frames_processed = 0;
+  std::vector<std::string> participant_names;
+  LookAtSummary summary;
+  int dominant_participant = -1;
+  std::vector<EyeContactEpisode> eye_contact_episodes;
+  std::vector<OverallEmotion> emotion_timeline;
+  double mean_overall_happiness = 0;
+  double mean_valence = 0;
+  VideoStructure structure;  ///< camera-0 parse (when enabled)
+  StageTimings timings;
+  PipelineAccuracy accuracy;  ///< meaningful in kFullVision mode
+
+  std::string Summary() const;
+};
+
+/// The framework facade.
+class DiEventPipeline {
+ public:
+  /// The scene outlives the pipeline (not owned).
+  DiEventPipeline(const DiningScene* scene, PipelineOptions options);
+
+  /// Runs the full pipeline and fills `repository` (cleared first). The
+  /// report aggregates what Section III's prototype reports, plus
+  /// accuracy and timing.
+  Result<DiEventReport> Run(MetadataRepository* repository);
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  const DiningScene* scene_;
+  PipelineOptions options_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_CORE_PIPELINE_H_

@@ -1,0 +1,130 @@
+#include "geometry/calibration.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+/// Principal eigenvector of a symmetric 4x4 matrix by shifted power
+/// iteration (the shift makes the target eigenvalue the largest in
+/// magnitude regardless of sign structure).
+std::array<double, 4> PrincipalEigenvector(
+    const std::array<std::array<double, 4>, 4>& n) {
+  double shift = 0.0;
+  for (const auto& row : n) {
+    double sum = 0.0;
+    for (double v : row) sum += std::abs(v);
+    shift = std::max(shift, sum);
+  }
+  std::array<double, 4> v{0.5, 0.5, 0.5, 0.5};  // generic start
+  for (int iter = 0; iter < 200; ++iter) {
+    std::array<double, 4> next{};
+    for (int r = 0; r < 4; ++r) {
+      next[r] = shift * v[r];
+      for (int c = 0; c < 4; ++c) next[r] += n[r][c] * v[c];
+    }
+    double norm = std::sqrt(next[0] * next[0] + next[1] * next[1] +
+                            next[2] * next[2] + next[3] * next[3]);
+    if (norm < 1e-30) {
+      // Pathological start vector in the null space; perturb.
+      v = {1, 0, 0, 0};
+      continue;
+    }
+    for (int r = 0; r < 4; ++r) v[r] = next[r] / norm;
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Pose> EstimateRigidTransform(const std::vector<Vec3>& source,
+                                    const std::vector<Vec3>& target) {
+  if (source.size() != target.size()) {
+    return Status::InvalidArgument(
+        "source and target correspondence counts differ");
+  }
+  const size_t count = source.size();
+  if (count < 3) {
+    return Status::FailedPrecondition(StrFormat(
+        "need at least 3 correspondences, have %zu", count));
+  }
+
+  Vec3 c_src{}, c_tgt{};
+  for (size_t i = 0; i < count; ++i) {
+    c_src += source[i];
+    c_tgt += target[i];
+  }
+  c_src = c_src / static_cast<double>(count);
+  c_tgt = c_tgt / static_cast<double>(count);
+
+  // Cross-covariance S_ab = sum over points of src_a * tgt_b.
+  double s[3][3] = {};
+  double spread = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    Vec3 p = source[i] - c_src;
+    Vec3 q = target[i] - c_tgt;
+    spread += p.SquaredNorm();
+    const double pv[3] = {p.x, p.y, p.z};
+    const double qv[3] = {q.x, q.y, q.z};
+    for (int a = 0; a < 3; ++a)
+      for (int b = 0; b < 3; ++b) s[a][b] += pv[a] * qv[b];
+  }
+  if (spread < 1e-18) {
+    return Status::FailedPrecondition(
+        "correspondences are coincident; rotation unobservable");
+  }
+
+  // Horn's 4x4 quaternion matrix.
+  std::array<std::array<double, 4>, 4> n{};
+  n[0] = {s[0][0] + s[1][1] + s[2][2], s[1][2] - s[2][1],
+          s[2][0] - s[0][2], s[0][1] - s[1][0]};
+  n[1] = {s[1][2] - s[2][1], s[0][0] - s[1][1] - s[2][2],
+          s[0][1] + s[1][0], s[2][0] + s[0][2]};
+  n[2] = {s[2][0] - s[0][2], s[0][1] + s[1][0],
+          -s[0][0] + s[1][1] - s[2][2], s[1][2] + s[2][1]};
+  n[3] = {s[0][1] - s[1][0], s[2][0] + s[0][2], s[1][2] + s[2][1],
+          -s[0][0] - s[1][1] + s[2][2]};
+
+  std::array<double, 4> q = PrincipalEigenvector(n);
+  Quaternion rotation{q[0], q[1], q[2], q[3]};
+  rotation = rotation.Normalized();
+  Mat3 r = rotation.ToMatrix();
+  Vec3 t = c_tgt - r * c_src;
+  return Pose(r, t);
+}
+
+double AlignmentRmse(const Pose& transform, const std::vector<Vec3>& source,
+                     const std::vector<Vec3>& target) {
+  if (source.empty() || source.size() != target.size()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < source.size(); ++i) {
+    sum += (transform.TransformPoint(source[i]) - target[i]).SquaredNorm();
+  }
+  return std::sqrt(sum / static_cast<double>(source.size()));
+}
+
+void CameraPairCalibrator::AddObservation(const Vec3& in_i,
+                                          const Vec3& in_j) {
+  in_i_.push_back(in_i);
+  in_j_.push_back(in_j);
+}
+
+Result<Pose> CameraPairCalibrator::Calibrate() const {
+  // iTj maps j-frame coordinates into i-frame ones: source = j, target = i.
+  return EstimateRigidTransform(in_j_, in_i_);
+}
+
+double CameraPairCalibrator::Residual(const Pose& i_T_j) const {
+  return AlignmentRmse(i_T_j, in_j_, in_i_);
+}
+
+void CameraPairCalibrator::Reset() {
+  in_i_.clear();
+  in_j_.clear();
+}
+
+}  // namespace dievent

@@ -1,0 +1,64 @@
+/// \file calibration.h
+/// Extrinsic calibration: recovering the paper's iTj camera-to-camera
+/// transforms from corresponding 3-D observations.
+///
+/// The paper assumes the rig calibration (Eq. 1's iTj) is known. A real
+/// deployment must estimate it; the natural correspondences are the head
+/// positions the per-camera head-pose estimator already produces. This
+/// module solves the absolute-orientation problem (Horn's closed-form
+/// quaternion method) and wraps it as a camera-pair calibrator.
+
+#ifndef DIEVENT_GEOMETRY_CALIBRATION_H_
+#define DIEVENT_GEOMETRY_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/pose.h"
+
+namespace dievent {
+
+/// Least-squares rigid transform T such that T * source[i] ~= target[i].
+///
+/// Requires >= 3 non-collinear correspondences. Uses Horn's method: the
+/// optimal rotation is the principal eigenvector of a 4x4 symmetric
+/// matrix built from the cross-covariance of the centred point sets
+/// (found by power iteration with deflation-free shifting, adequate
+/// because the matrix is small and the spectral gap is generically
+/// healthy).
+Result<Pose> EstimateRigidTransform(const std::vector<Vec3>& source,
+                                    const std::vector<Vec3>& target);
+
+/// Root-mean-square alignment residual of T applied to the pairs.
+double AlignmentRmse(const Pose& transform, const std::vector<Vec3>& source,
+                     const std::vector<Vec3>& target);
+
+/// Accumulates simultaneous observations of the same physical points
+/// (e.g. head centres) expressed in two camera frames, then estimates
+/// iTj (the pose of camera j's frame in camera i's frame, mapping
+/// j-frame coordinates into i-frame ones).
+class CameraPairCalibrator {
+ public:
+  /// Adds one correspondence: the same world point seen at `in_i` by
+  /// camera i and at `in_j` by camera j.
+  void AddObservation(const Vec3& in_i, const Vec3& in_j);
+
+  int NumObservations() const { return static_cast<int>(in_i_.size()); }
+
+  /// Estimates iTj. Fails with FailedPrecondition when fewer than 3
+  /// observations were added.
+  Result<Pose> Calibrate() const;
+
+  /// RMSE of a candidate calibration against the stored observations.
+  double Residual(const Pose& i_T_j) const;
+
+  void Reset();
+
+ private:
+  std::vector<Vec3> in_i_;
+  std::vector<Vec3> in_j_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_GEOMETRY_CALIBRATION_H_

@@ -1,0 +1,54 @@
+#include "geometry/camera.h"
+
+#include <cmath>
+
+namespace dievent {
+
+Intrinsics Intrinsics::FromFov(int width, int height, double hfov_rad) {
+  Intrinsics k;
+  k.width = width;
+  k.height = height;
+  k.cx = width / 2.0;
+  k.cy = height / 2.0;
+  k.fx = (width / 2.0) / std::tan(hfov_rad / 2.0);
+  k.fy = k.fx;  // square pixels
+  return k;
+}
+
+std::optional<Vec2> CameraModel::ProjectCameraPoint(
+    const Vec3& p_camera) const {
+  if (p_camera.z <= 1e-9) return std::nullopt;
+  return Vec2{intrinsics_.fx * p_camera.x / p_camera.z + intrinsics_.cx,
+              intrinsics_.fy * p_camera.y / p_camera.z + intrinsics_.cy};
+}
+
+std::optional<Vec2> CameraModel::ProjectWorldPoint(
+    const Vec3& p_world) const {
+  return ProjectCameraPoint(camera_from_world_.TransformPoint(p_world));
+}
+
+bool CameraModel::IsVisible(const Vec3& p_world) const {
+  auto px = ProjectWorldPoint(p_world);
+  if (!px) return false;
+  return px->x >= 0 && px->x < intrinsics_.width && px->y >= 0 &&
+         px->y < intrinsics_.height;
+}
+
+double CameraModel::DepthOf(const Vec3& p_world) const {
+  return camera_from_world_.TransformPoint(p_world).z;
+}
+
+Vec3 CameraModel::BackprojectToWorld(const Vec2& pixel, double depth) const {
+  Vec3 p_camera{(pixel.x - intrinsics_.cx) / intrinsics_.fx * depth,
+                (pixel.y - intrinsics_.cy) / intrinsics_.fy * depth, depth};
+  return world_from_camera_.TransformPoint(p_camera);
+}
+
+Ray CameraModel::PixelRayWorld(const Vec2& pixel) const {
+  Vec3 dir_camera{(pixel.x - intrinsics_.cx) / intrinsics_.fx,
+                  (pixel.y - intrinsics_.cy) / intrinsics_.fy, 1.0};
+  return Ray{Position(),
+             world_from_camera_.TransformDirection(dir_camera).Normalized()};
+}
+
+}  // namespace dievent

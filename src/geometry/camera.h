@@ -1,0 +1,86 @@
+/// \file camera.h
+/// Pinhole camera model: intrinsics + an extrinsic pose in the world frame.
+///
+/// Conventions: the camera frame has +X right, +Y down, +Z along the
+/// viewing direction. `world_from_camera` is the camera's pose expressed in
+/// the world frame (the paper's F1/F2 camera reference frames are exactly
+/// these camera frames).
+
+#ifndef DIEVENT_GEOMETRY_CAMERA_H_
+#define DIEVENT_GEOMETRY_CAMERA_H_
+
+#include <optional>
+#include <string>
+
+#include "geometry/pose.h"
+#include "geometry/ray.h"
+#include "geometry/vec.h"
+
+namespace dievent {
+
+/// Pinhole intrinsics for a width x height sensor.
+struct Intrinsics {
+  double fx = 500.0;  ///< focal length in pixels, x
+  double fy = 500.0;  ///< focal length in pixels, y
+  double cx = 320.0;  ///< principal point x
+  double cy = 240.0;  ///< principal point y
+  int width = 640;
+  int height = 480;
+
+  /// Intrinsics for a sensor with the given horizontal field of view.
+  static Intrinsics FromFov(int width, int height, double hfov_rad);
+};
+
+/// A calibrated camera: where it is, how it is aimed, and how it images.
+class CameraModel {
+ public:
+  CameraModel() = default;
+  CameraModel(std::string name, const Intrinsics& intrinsics,
+              const Pose& world_from_camera)
+      : name_(std::move(name)),
+        intrinsics_(intrinsics),
+        world_from_camera_(world_from_camera),
+        camera_from_world_(world_from_camera.Inverse()) {}
+
+  const std::string& name() const { return name_; }
+  const Intrinsics& intrinsics() const { return intrinsics_; }
+  /// The camera's pose in the world (the paper's camera reference frame).
+  const Pose& world_from_camera() const { return world_from_camera_; }
+  const Pose& camera_from_world() const { return camera_from_world_; }
+
+  /// Camera position in world coordinates.
+  Vec3 Position() const { return world_from_camera_.translation; }
+
+  /// Unit viewing direction (+Z axis of the camera frame) in the world.
+  Vec3 ViewDirection() const { return world_from_camera_.rotation.Col(2); }
+
+  /// Projects a point given in *camera* coordinates to pixels. Returns
+  /// nullopt when the point is at or behind the image plane (z <= 0).
+  std::optional<Vec2> ProjectCameraPoint(const Vec3& p_camera) const;
+
+  /// Projects a *world* point to pixels; nullopt when behind the camera.
+  std::optional<Vec2> ProjectWorldPoint(const Vec3& p_world) const;
+
+  /// True when the world point projects inside the image bounds.
+  bool IsVisible(const Vec3& p_world) const;
+
+  /// Depth (camera-frame z) of a world point; negative means behind.
+  double DepthOf(const Vec3& p_world) const;
+
+  /// Back-projects a pixel at the given camera-frame depth to a world point.
+  Vec3 BackprojectToWorld(const Vec2& pixel, double depth) const;
+
+  /// The world-frame viewing ray through a pixel (origin at the camera
+  /// center).
+  Ray PixelRayWorld(const Vec2& pixel) const;
+
+ private:
+  std::string name_;
+  Intrinsics intrinsics_;
+  Pose world_from_camera_;
+  Pose camera_from_world_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_GEOMETRY_CAMERA_H_

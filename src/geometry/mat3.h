@@ -1,0 +1,127 @@
+/// \file mat3.h
+/// 3x3 matrix, used as the rotation part of rigid transforms and for camera
+/// intrinsics.
+
+#ifndef DIEVENT_GEOMETRY_MAT3_H_
+#define DIEVENT_GEOMETRY_MAT3_H_
+
+#include <array>
+#include <cmath>
+
+#include "geometry/vec.h"
+
+namespace dievent {
+
+/// Row-major 3x3 matrix of doubles.
+struct Mat3 {
+  // m[row][col]
+  std::array<std::array<double, 3>, 3> m{{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+
+  static constexpr Mat3 Identity() { return Mat3{}; }
+
+  static constexpr Mat3 Zero() {
+    Mat3 z;
+    z.m = {{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}};
+    return z;
+  }
+
+  static constexpr Mat3 FromRows(const Vec3& r0, const Vec3& r1,
+                                 const Vec3& r2) {
+    Mat3 out;
+    out.m = {{{r0.x, r0.y, r0.z}, {r1.x, r1.y, r1.z}, {r2.x, r2.y, r2.z}}};
+    return out;
+  }
+
+  static constexpr Mat3 FromCols(const Vec3& c0, const Vec3& c1,
+                                 const Vec3& c2) {
+    Mat3 out;
+    out.m = {{{c0.x, c1.x, c2.x}, {c0.y, c1.y, c2.y}, {c0.z, c1.z, c2.z}}};
+    return out;
+  }
+
+  double& operator()(int r, int c) { return m[r][c]; }
+  double operator()(int r, int c) const { return m[r][c]; }
+
+  Vec3 Row(int r) const { return {m[r][0], m[r][1], m[r][2]}; }
+  Vec3 Col(int c) const { return {m[0][c], m[1][c], m[2][c]}; }
+
+  constexpr Vec3 operator*(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  Mat3 operator*(const Mat3& o) const {
+    Mat3 out = Zero();
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c)
+        for (int k = 0; k < 3; ++k) out.m[r][c] += m[r][k] * o.m[k][c];
+    return out;
+  }
+
+  Mat3 operator+(const Mat3& o) const {
+    Mat3 out = Zero();
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) out.m[r][c] = m[r][c] + o.m[r][c];
+    return out;
+  }
+
+  Mat3 operator*(double s) const {
+    Mat3 out = Zero();
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) out.m[r][c] = m[r][c] * s;
+    return out;
+  }
+
+  Mat3 Transposed() const {
+    Mat3 out;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) out.m[r][c] = m[c][r];
+    return out;
+  }
+
+  double Determinant() const {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  }
+
+  /// General inverse via the adjugate. For rotations prefer Transposed().
+  /// Returns Zero() if the matrix is singular.
+  Mat3 Inverse() const {
+    double det = Determinant();
+    if (det == 0.0) return Zero();
+    double inv = 1.0 / det;
+    Mat3 out;
+    out.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv;
+    out.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv;
+    out.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv;
+    out.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv;
+    out.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv;
+    out.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv;
+    out.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv;
+    out.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv;
+    out.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv;
+    return out;
+  }
+
+  /// Rotation about the X axis by `rad` (right-handed).
+  static Mat3 RotX(double rad) {
+    double c = std::cos(rad), s = std::sin(rad);
+    return FromRows({1, 0, 0}, {0, c, -s}, {0, s, c});
+  }
+  /// Rotation about the Y axis by `rad` (right-handed).
+  static Mat3 RotY(double rad) {
+    double c = std::cos(rad), s = std::sin(rad);
+    return FromRows({c, 0, s}, {0, 1, 0}, {-s, 0, c});
+  }
+  /// Rotation about the Z axis by `rad` (right-handed).
+  static Mat3 RotZ(double rad) {
+    double c = std::cos(rad), s = std::sin(rad);
+    return FromRows({c, -s, 0}, {s, c, 0}, {0, 0, 1});
+  }
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_GEOMETRY_MAT3_H_

@@ -1,0 +1,35 @@
+#include "geometry/pose.h"
+
+#include <cmath>
+
+namespace dievent {
+
+Pose Pose::LookAt(const Vec3& eye, const Vec3& target, const Vec3& up) {
+  Vec3 forward = (target - eye).Normalized();
+  if (forward.SquaredNorm() == 0.0) forward = Vec3{1, 0, 0};
+  Vec3 right = forward.Cross(up);
+  if (right.SquaredNorm() < 1e-12) {
+    // Forward is (anti)parallel to up; pick an arbitrary perpendicular.
+    right = forward.Cross(Vec3{0, 1, 0});
+    if (right.SquaredNorm() < 1e-12) right = forward.Cross(Vec3{1, 0, 0});
+  }
+  right = right.Normalized();
+  Vec3 down = forward.Cross(right).Normalized();
+  // Camera convention: +X right, +Y down (image rows grow downward),
+  // +Z forward (viewing direction). Columns of R are the frame axes
+  // expressed in the parent frame.
+  Mat3 r = Mat3::FromCols(right, down, forward);
+  return Pose(r, eye);
+}
+
+double PoseDistance(const Pose& a, const Pose& b) {
+  double rot = 0.0;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      double d = a.rotation(i, j) - b.rotation(i, j);
+      rot += d * d;
+    }
+  return std::sqrt(rot) + (a.translation - b.translation).Norm();
+}
+
+}  // namespace dievent

@@ -1,0 +1,69 @@
+/// \file pose.h
+/// SE(3) rigid transforms — the paper's frame-to-frame transforms iTj.
+///
+/// A Pose named `a_T_b` maps coordinates expressed in frame b into frame a:
+///   aP = a_T_b * bP            (paper Eq. 1)
+/// Chains compose left-to-right: a_T_c = a_T_b * b_T_c, which is exactly the
+/// 1V_l = 1T2 * 2T4 * 4V_l chain of paper Eq. 2.
+
+#ifndef DIEVENT_GEOMETRY_POSE_H_
+#define DIEVENT_GEOMETRY_POSE_H_
+
+#include "geometry/mat3.h"
+#include "geometry/quaternion.h"
+#include "geometry/vec.h"
+
+namespace dievent {
+
+/// Rigid transform: rotation followed by translation.
+struct Pose {
+  Mat3 rotation;      // R
+  Vec3 translation;   // t
+
+  Pose() = default;
+  Pose(const Mat3& r, const Vec3& t) : rotation(r), translation(t) {}
+
+  static Pose Identity() { return Pose(); }
+
+  /// Builds a pose from a unit quaternion and a translation.
+  static Pose FromQuaternion(const Quaternion& q, const Vec3& t) {
+    return Pose(q.ToMatrix(), t);
+  }
+
+  /// Transforms a point: aP = R * bP + t.
+  Vec3 TransformPoint(const Vec3& p) const {
+    return rotation * p + translation;
+  }
+
+  /// Transforms a direction (rotation only; translations do not apply to
+  /// free vectors such as gaze directions).
+  Vec3 TransformDirection(const Vec3& d) const { return rotation * d; }
+
+  /// Composition: (a_T_b * b_T_c) maps frame-c coordinates into frame a.
+  Pose operator*(const Pose& o) const {
+    return Pose(rotation * o.rotation,
+                rotation * o.translation + translation);
+  }
+
+  /// Inverse: if this is a_T_b, returns b_T_a.
+  Pose Inverse() const {
+    Mat3 rt = rotation.Transposed();
+    return Pose(rt, -(rt * translation));
+  }
+
+  /// Orientation as a unit quaternion.
+  Quaternion Orientation() const { return Quaternion::FromMatrix(rotation); }
+
+  /// A pose located at `eye` whose +Z axis points toward `target`.
+  /// `up` disambiguates roll. Used to aim cameras and head poses.
+  static Pose LookAt(const Vec3& eye, const Vec3& target,
+                     const Vec3& up = Vec3{0, 0, 1});
+};
+
+/// Frobenius-norm distance between two poses' rotations plus the Euclidean
+/// distance between translations; a cheap similarity measure for tests.
+double PoseDistance(const Pose& a, const Pose& b);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_GEOMETRY_POSE_H_

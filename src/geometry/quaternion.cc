@@ -1,0 +1,108 @@
+#include "geometry/quaternion.h"
+
+#include <cmath>
+
+namespace dievent {
+
+Quaternion Quaternion::FromAxisAngle(const Vec3& axis, double rad) {
+  Vec3 u = axis.Normalized();
+  double h = rad * 0.5;
+  double s = std::sin(h);
+  return Quaternion(std::cos(h), u.x * s, u.y * s, u.z * s);
+}
+
+Quaternion Quaternion::FromMatrix(const Mat3& r) {
+  Quaternion q;
+  double trace = r(0, 0) + r(1, 1) + r(2, 2);
+  if (trace > 0.0) {
+    double s = std::sqrt(trace + 1.0) * 2.0;
+    q.w = 0.25 * s;
+    q.x = (r(2, 1) - r(1, 2)) / s;
+    q.y = (r(0, 2) - r(2, 0)) / s;
+    q.z = (r(1, 0) - r(0, 1)) / s;
+  } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+    double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+    q.w = (r(2, 1) - r(1, 2)) / s;
+    q.x = 0.25 * s;
+    q.y = (r(0, 1) + r(1, 0)) / s;
+    q.z = (r(0, 2) + r(2, 0)) / s;
+  } else if (r(1, 1) > r(2, 2)) {
+    double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+    q.w = (r(0, 2) - r(2, 0)) / s;
+    q.x = (r(0, 1) + r(1, 0)) / s;
+    q.y = 0.25 * s;
+    q.z = (r(1, 2) + r(2, 1)) / s;
+  } else {
+    double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+    q.w = (r(1, 0) - r(0, 1)) / s;
+    q.x = (r(0, 2) + r(2, 0)) / s;
+    q.y = (r(1, 2) + r(2, 1)) / s;
+    q.z = 0.25 * s;
+  }
+  return q.Normalized();
+}
+
+Quaternion Quaternion::FromYawPitchRoll(double yaw, double pitch,
+                                        double roll) {
+  return FromAxisAngle({0, 0, 1}, yaw) * FromAxisAngle({0, 1, 0}, pitch) *
+         FromAxisAngle({1, 0, 0}, roll);
+}
+
+Mat3 Quaternion::ToMatrix() const {
+  double xx = x * x, yy = y * y, zz = z * z;
+  double xy = x * y, xz = x * z, yz = y * z;
+  double wx = w * x, wy = w * y, wz = w * z;
+  return Mat3::FromRows(
+      {1 - 2 * (yy + zz), 2 * (xy - wz), 2 * (xz + wy)},
+      {2 * (xy + wz), 1 - 2 * (xx + zz), 2 * (yz - wx)},
+      {2 * (xz - wy), 2 * (yz + wx), 1 - 2 * (xx + yy)});
+}
+
+Quaternion Quaternion::operator*(const Quaternion& o) const {
+  return {w * o.w - x * o.x - y * o.y - z * o.z,
+          w * o.x + x * o.w + y * o.z - z * o.y,
+          w * o.y - x * o.z + y * o.w + z * o.x,
+          w * o.z + x * o.y - y * o.x + z * o.w};
+}
+
+double Quaternion::Norm() const {
+  return std::sqrt(w * w + x * x + y * y + z * z);
+}
+
+Quaternion Quaternion::Normalized() const {
+  double n = Norm();
+  if (n == 0.0) return Identity();
+  return {w / n, x / n, y / n, z / n};
+}
+
+Vec3 Quaternion::Rotate(const Vec3& v) const {
+  // v' = v + 2w(q_v x v) + 2(q_v x (q_v x v))
+  Vec3 qv{x, y, z};
+  Vec3 t = qv.Cross(v) * 2.0;
+  return v + t * w + qv.Cross(t);
+}
+
+Quaternion Quaternion::Slerp(const Quaternion& a, const Quaternion& b,
+                             double t) {
+  double dot = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+  Quaternion bb = b;
+  if (dot < 0.0) {
+    dot = -dot;
+    bb = {-b.w, -b.x, -b.y, -b.z};
+  }
+  if (dot > 0.9995) {
+    // Nearly parallel: lerp + renormalize avoids division by sin(0).
+    Quaternion out{a.w + t * (bb.w - a.w), a.x + t * (bb.x - a.x),
+                   a.y + t * (bb.y - a.y), a.z + t * (bb.z - a.z)};
+    return out.Normalized();
+  }
+  double theta = std::acos(dot);
+  double s = std::sin(theta);
+  double wa = std::sin((1.0 - t) * theta) / s;
+  double wb = std::sin(t * theta) / s;
+  return Quaternion{wa * a.w + wb * bb.w, wa * a.x + wb * bb.x,
+                    wa * a.y + wb * bb.y, wa * a.z + wb * bb.z}
+      .Normalized();
+}
+
+}  // namespace dievent

@@ -1,0 +1,55 @@
+/// \file quaternion.h
+/// Unit quaternions for interpolating head-pose trajectories in the
+/// simulator and for compact rotation storage in metadata records.
+
+#ifndef DIEVENT_GEOMETRY_QUATERNION_H_
+#define DIEVENT_GEOMETRY_QUATERNION_H_
+
+#include "geometry/mat3.h"
+#include "geometry/vec.h"
+
+namespace dievent {
+
+/// Quaternion w + xi + yj + zk. Rotation quaternions are kept normalized.
+struct Quaternion {
+  double w = 1.0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Quaternion() = default;
+  constexpr Quaternion(double w_in, double x_in, double y_in, double z_in)
+      : w(w_in), x(x_in), y(y_in), z(z_in) {}
+
+  static Quaternion Identity() { return {}; }
+
+  /// Rotation of `rad` radians about (unit or non-unit) `axis`.
+  static Quaternion FromAxisAngle(const Vec3& axis, double rad);
+
+  /// Conversion from a rotation matrix (Shepperd's method).
+  static Quaternion FromMatrix(const Mat3& r);
+
+  /// ZYX intrinsic Tait–Bryan angles: yaw about Z, then pitch about Y,
+  /// then roll about X.
+  static Quaternion FromYawPitchRoll(double yaw, double pitch, double roll);
+
+  Mat3 ToMatrix() const;
+
+  Quaternion operator*(const Quaternion& o) const;
+
+  Quaternion Conjugate() const { return {w, -x, -y, -z}; }
+
+  double Norm() const;
+  Quaternion Normalized() const;
+
+  /// Rotates a vector by this (unit) quaternion.
+  Vec3 Rotate(const Vec3& v) const;
+
+  /// Spherical linear interpolation from `a` to `b` with t in [0,1].
+  /// Takes the short arc.
+  static Quaternion Slerp(const Quaternion& a, const Quaternion& b, double t);
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_GEOMETRY_QUATERNION_H_

@@ -1,0 +1,34 @@
+#include "geometry/ray.h"
+
+#include <cmath>
+
+namespace dievent {
+
+std::optional<RaySphereHit> IntersectRaySphere(const Ray& ray,
+                                               const Sphere& sphere) {
+  // Substituting Eq. 4 into Eq. 3 and solving for d:
+  //   ||l||^2 d^2 + 2 l.(o - c) d + ||o - c||^2 - r^2 = 0
+  // The paper writes the solution with oc = o - c (its "HPl - HPk" term):
+  //   d = (-(l.oc) ± sqrt(w)) / ||l||^2
+  //   w = (l.oc)^2 - ||l||^2 (||oc||^2 - r^2)
+  const Vec3 oc = ray.origin - sphere.center;
+  const double ll = ray.direction.SquaredNorm();
+  if (ll == 0.0) return std::nullopt;
+  const double b = ray.direction.Dot(oc);
+  const double c = oc.SquaredNorm() - sphere.radius * sphere.radius;
+  const double w = b * b - ll * c;
+  if (w <= 0.0) return std::nullopt;  // miss or tangent: "not looking"
+  const double sqrt_w = std::sqrt(w);
+  return RaySphereHit{(-b - sqrt_w) / ll, (-b + sqrt_w) / ll};
+}
+
+bool LooksAt(const Ray& gaze, const Sphere& head) {
+  auto hit = IntersectRaySphere(gaze, head);
+  if (!hit) return false;
+  // Gaze is a half-line: the head must be in front of the eyes. If the gaze
+  // origin is inside the sphere (d_near < 0 < d_far) it still counts —
+  // this only happens for overlapping head models.
+  return hit->d_far > 0.0;
+}
+
+}  // namespace dievent

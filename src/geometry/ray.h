@@ -1,0 +1,65 @@
+/// \file ray.h
+/// Rays and ray–sphere intersection — paper Eq. 3–5.
+///
+/// The eye-contact test models participant heads as spheres (Eq. 3) and gaze
+/// as a ray x = o + d*l (Eq. 4); participant k "looks at" participant l when
+/// the discriminant w of the combined quadratic is positive (Eq. 5) and the
+/// intersection lies in front of the gaze origin.
+
+#ifndef DIEVENT_GEOMETRY_RAY_H_
+#define DIEVENT_GEOMETRY_RAY_H_
+
+#include <optional>
+
+#include "geometry/pose.h"
+#include "geometry/vec.h"
+
+namespace dievent {
+
+/// Half-line x = origin + d * direction, d >= 0.
+struct Ray {
+  Vec3 origin;
+  Vec3 direction;  // need not be unit length; Eq. 5 normalizes via ||l||^2
+
+  /// Point at parameter d along the ray.
+  Vec3 At(double d) const { return origin + direction * d; }
+
+  /// Applies a rigid transform: origin as a point, direction as a free
+  /// vector (paper Eq. 1 applied to a gaze ray).
+  Ray Transformed(const Pose& t) const {
+    return Ray{t.TransformPoint(origin), t.TransformDirection(direction)};
+  }
+};
+
+/// Sphere ||x - center||^2 = radius^2 (paper Eq. 3).
+struct Sphere {
+  Vec3 center;
+  double radius = 0.0;
+
+  bool Contains(const Vec3& p) const {
+    return (p - center).SquaredNorm() <= radius * radius;
+  }
+};
+
+/// Result of intersecting a ray with a sphere.
+struct RaySphereHit {
+  double d_near = 0.0;  ///< smaller root of the quadratic
+  double d_far = 0.0;   ///< larger root
+};
+
+/// Intersects `ray` with `sphere` per paper Eq. 5.
+///
+/// Returns the two crossing parameters when the discriminant w is strictly
+/// positive, std::nullopt when the ray misses or is merely tangent (the
+/// paper counts tangency as "not looking"). Roots may be negative — they
+/// are reported as-is; use LooksAt() for the forward-only gaze semantics.
+std::optional<RaySphereHit> IntersectRaySphere(const Ray& ray,
+                                               const Sphere& sphere);
+
+/// The paper's "Pk is staring at Pl" predicate: the gaze ray pierces the
+/// head sphere *in front of* the gaze origin (at least one root d > 0).
+bool LooksAt(const Ray& gaze, const Sphere& head);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_GEOMETRY_RAY_H_

@@ -1,0 +1,58 @@
+#include "geometry/rig.h"
+
+#include "common/strings.h"
+
+namespace dievent {
+
+int Rig::AddCamera(CameraModel camera) {
+  cameras_.push_back(std::move(camera));
+  return static_cast<int>(cameras_.size()) - 1;
+}
+
+Result<int> Rig::FindCamera(const std::string& name) const {
+  for (size_t i = 0; i < cameras_.size(); ++i) {
+    if (cameras_[i].name() == name) return static_cast<int>(i);
+  }
+  return Status::NotFound(StrFormat("no camera named '%s'", name.c_str()));
+}
+
+Pose Rig::CameraFromCamera(int i, int j) const {
+  // iTj = (world_from_i)^-1 * world_from_j.
+  return cameras_.at(i).camera_from_world() *
+         cameras_.at(j).world_from_camera();
+}
+
+Rig Rig::MakeFacingPair(double room_length, double elevation,
+                        double pitch_deg, const Intrinsics& intrinsics) {
+  Rig rig;
+  const double half = room_length / 2.0;
+  // Cameras sit on the X axis at +-half, looking at each other, pitched
+  // down by |pitch_deg|. Aiming via LookAt at a point whose height drop
+  // over the horizontal distance realizes the pitch angle.
+  const double drop = room_length * std::tan(DegToRad(-pitch_deg));
+  Vec3 target1{half, 0.0, elevation - drop};
+  Vec3 target2{-half, 0.0, elevation - drop};
+  rig.AddCamera(CameraModel(
+      "C1", intrinsics, Pose::LookAt({-half, 0.0, elevation}, target1)));
+  rig.AddCamera(CameraModel(
+      "C2", intrinsics, Pose::LookAt({half, 0.0, elevation}, target2)));
+  return rig;
+}
+
+Rig Rig::MakeCornerRig(double room_x, double room_y, double elevation,
+                       const Vec3& target, const Intrinsics& intrinsics) {
+  Rig rig;
+  const double hx = room_x / 2.0;
+  const double hy = room_y / 2.0;
+  const Vec3 corners[4] = {{-hx, -hy, elevation},
+                           {hx, -hy, elevation},
+                           {hx, hy, elevation},
+                           {-hx, hy, elevation}};
+  for (int i = 0; i < 4; ++i) {
+    rig.AddCamera(CameraModel(StrFormat("C%d", i + 1), intrinsics,
+                              Pose::LookAt(corners[i], target)));
+  }
+  return rig;
+}
+
+}  // namespace dievent

@@ -1,0 +1,60 @@
+/// \file rig.h
+/// A calibrated multi-camera rig — the paper's acquisition platform.
+///
+/// Section II-A describes two cameras facing each other at 2.5 m with a
+/// -15 deg pitch; the Section III prototype uses four cameras on the corners
+/// of the room at 2.5 m. Both layouts are provided as factories. The rig
+/// also answers the paper's iTj queries: the pose of camera j's frame
+/// expressed in camera i's frame (Eq. 1–2).
+
+#ifndef DIEVENT_GEOMETRY_RIG_H_
+#define DIEVENT_GEOMETRY_RIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/camera.h"
+
+namespace dievent {
+
+/// An ordered set of calibrated cameras sharing one world frame.
+class Rig {
+ public:
+  Rig() = default;
+
+  /// Adds a camera; returns its index.
+  int AddCamera(CameraModel camera);
+
+  int NumCameras() const { return static_cast<int>(cameras_.size()); }
+  const CameraModel& camera(int index) const { return cameras_.at(index); }
+  const std::vector<CameraModel>& cameras() const { return cameras_; }
+
+  /// Looks up a camera by name.
+  Result<int> FindCamera(const std::string& name) const;
+
+  /// The paper's iTj: pose of camera j's frame w.r.t. camera i's frame,
+  /// so that iV = iTj * jV (Eq. 1).
+  Pose CameraFromCamera(int i, int j) const;
+
+  /// The two-camera platform of Fig. 2: cameras facing each other across
+  /// the room along the X axis, at `elevation` (2.5 m in the paper) with a
+  /// `pitch_deg` downward pitch (-15 deg in the paper). `room_length` is
+  /// the camera separation; both aim at the table centre line.
+  static Rig MakeFacingPair(double room_length, double elevation,
+                            double pitch_deg,
+                            const Intrinsics& intrinsics);
+
+  /// The four-corner prototype layout of Section III: one camera on each
+  /// corner of a `room_x` x `room_y` room at `elevation`, each aimed at
+  /// `target` (typically the table centre at seated-head height).
+  static Rig MakeCornerRig(double room_x, double room_y, double elevation,
+                           const Vec3& target, const Intrinsics& intrinsics);
+
+ private:
+  std::vector<CameraModel> cameras_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_GEOMETRY_RIG_H_

@@ -1,0 +1,133 @@
+/// \file vec.h
+/// Fixed-size 2/3-vector types used throughout DiEvent.
+///
+/// These are deliberately small value types (header-only, constexpr where
+/// possible) — geometry in the eye-contact pipeline is the per-frame inner
+/// loop, so everything here must inline.
+
+#ifndef DIEVENT_GEOMETRY_VEC_H_
+#define DIEVENT_GEOMETRY_VEC_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace dievent {
+
+/// 2-D vector (image coordinates, top-view map coordinates).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  constexpr double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  constexpr double SquaredNorm() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+
+  /// Returns this vector scaled to unit length. Zero vectors are returned
+  /// unchanged.
+  Vec2 Normalized() const {
+    double n = Norm();
+    return n > 0.0 ? (*this) / n : *this;
+  }
+};
+
+inline constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// 3-D vector (world positions, gaze directions, RGB triples in [0,1]).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_in, double y_in, double z_in)
+      : x(x_in), y(y_in), z(z_in) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double SquaredNorm() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+
+  /// Returns this vector scaled to unit length. Zero vectors are returned
+  /// unchanged.
+  Vec3 Normalized() const {
+    double n = Norm();
+    return n > 0.0 ? (*this) / n : *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/// Angle between two vectors in radians, in [0, pi]. Returns 0 for
+/// degenerate (zero-length) inputs.
+inline double AngleBetween(const Vec3& a, const Vec3& b) {
+  double na = a.Norm(), nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double c = a.Dot(b) / (na * nb);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return std::acos(c);
+}
+
+inline constexpr double DegToRad(double deg) {
+  return deg * 3.14159265358979323846 / 180.0;
+}
+inline constexpr double RadToDeg(double rad) {
+  return rad * 180.0 / 3.14159265358979323846;
+}
+
+}  // namespace dievent
+
+#endif  // DIEVENT_GEOMETRY_VEC_H_

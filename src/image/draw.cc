@@ -1,0 +1,120 @@
+#include "image/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dievent {
+
+void FillRect(ImageRgb* img, int x0, int y0, int w, int h,
+              const Rgb& color) {
+  int xa = std::max(0, x0);
+  int ya = std::max(0, y0);
+  int xb = std::min(img->width(), x0 + w);
+  int yb = std::min(img->height(), y0 + h);
+  for (int y = ya; y < yb; ++y)
+    for (int x = xa; x < xb; ++x) PutRgb(img, x, y, color);
+}
+
+void FillCircle(ImageRgb* img, double cx, double cy, double r,
+                const Rgb& color) {
+  FillEllipse(img, cx, cy, r, r, color);
+}
+
+void DrawCircle(ImageRgb* img, double cx, double cy, double r,
+                const Rgb& color, double thickness) {
+  double router = r + thickness / 2.0;
+  double rinner = std::max(0.0, r - thickness / 2.0);
+  int xa = static_cast<int>(std::floor(cx - router));
+  int xb = static_cast<int>(std::ceil(cx + router));
+  int ya = static_cast<int>(std::floor(cy - router));
+  int yb = static_cast<int>(std::ceil(cy + router));
+  double ro2 = router * router, ri2 = rinner * rinner;
+  for (int y = ya; y <= yb; ++y) {
+    for (int x = xa; x <= xb; ++x) {
+      double dx = x - cx, dy = y - cy;
+      double d2 = dx * dx + dy * dy;
+      if (d2 <= ro2 && d2 >= ri2) PutRgb(img, x, y, color);
+    }
+  }
+}
+
+void FillEllipse(ImageRgb* img, double cx, double cy, double rx, double ry,
+                 const Rgb& color) {
+  if (rx <= 0 || ry <= 0) return;
+  int xa = static_cast<int>(std::floor(cx - rx));
+  int xb = static_cast<int>(std::ceil(cx + rx));
+  int ya = static_cast<int>(std::floor(cy - ry));
+  int yb = static_cast<int>(std::ceil(cy + ry));
+  for (int y = ya; y <= yb; ++y) {
+    for (int x = xa; x <= xb; ++x) {
+      double nx = (x - cx) / rx, ny = (y - cy) / ry;
+      if (nx * nx + ny * ny <= 1.0) PutRgb(img, x, y, color);
+    }
+  }
+}
+
+void DrawLine(ImageRgb* img, Vec2 a, Vec2 b, const Rgb& color,
+              double thickness) {
+  Vec2 d = b - a;
+  double len = d.Norm();
+  if (len < 1e-9) {
+    FillCircle(img, a.x, a.y, thickness / 2.0, color);
+    return;
+  }
+  int steps = static_cast<int>(std::ceil(len * 2.0));
+  for (int i = 0; i <= steps; ++i) {
+    Vec2 p = a + d * (static_cast<double>(i) / steps);
+    if (thickness <= 1.0) {
+      PutRgb(img, static_cast<int>(std::lround(p.x)),
+             static_cast<int>(std::lround(p.y)), color);
+    } else {
+      FillCircle(img, p.x, p.y, thickness / 2.0, color);
+    }
+  }
+}
+
+void DrawArrow(ImageRgb* img, Vec2 a, Vec2 b, const Rgb& color,
+               double thickness, double head_len) {
+  DrawLine(img, a, b, color, thickness);
+  Vec2 d = (b - a).Normalized();
+  Vec2 n{-d.y, d.x};
+  Vec2 base = b - d * head_len;
+  DrawLine(img, b, base + n * (head_len * 0.5), color, thickness);
+  DrawLine(img, b, base - n * (head_len * 0.5), color, thickness);
+}
+
+void FillConvexPolygon(ImageRgb* img, const std::vector<Vec2>& pts,
+                       const Rgb& color) {
+  if (pts.size() < 3) return;
+  double ymin = pts[0].y, ymax = pts[0].y;
+  for (const Vec2& p : pts) {
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  int y0 = std::max(0, static_cast<int>(std::ceil(ymin)));
+  int y1 = std::min(img->height() - 1, static_cast<int>(std::floor(ymax)));
+  const size_t n = pts.size();
+  for (int y = y0; y <= y1; ++y) {
+    double xmin = 1e30, xmax = -1e30;
+    for (size_t i = 0; i < n; ++i) {
+      const Vec2& a = pts[i];
+      const Vec2& b = pts[(i + 1) % n];
+      // Does edge (a, b) cross scanline y?
+      if ((a.y <= y && b.y >= y) || (b.y <= y && a.y >= y)) {
+        double denom = b.y - a.y;
+        double x = (std::abs(denom) < 1e-12)
+                       ? std::min(a.x, b.x)
+                       : a.x + (y - a.y) / denom * (b.x - a.x);
+        xmin = std::min(xmin, x);
+        xmax = std::max(xmax, x);
+        if (std::abs(denom) < 1e-12) xmax = std::max(xmax, std::max(a.x, b.x));
+      }
+    }
+    if (xmin > xmax) continue;
+    int xa = std::max(0, static_cast<int>(std::ceil(xmin)));
+    int xb = std::min(img->width() - 1, static_cast<int>(std::floor(xmax)));
+    for (int x = xa; x <= xb; ++x) PutRgb(img, x, y, color);
+  }
+}
+
+}  // namespace dievent

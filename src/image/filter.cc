@@ -1,0 +1,86 @@
+#include "image/filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace dievent {
+
+namespace {
+
+/// Horizontal-then-vertical convolution with a normalized 1-D kernel.
+ImageU8 SeparableConvolve(const ImageU8& in, const std::vector<double>& k) {
+  const int radius = static_cast<int>(k.size()) / 2;
+  ImageF tmp(in.width(), in.height());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      double acc = 0.0;
+      for (int i = -radius; i <= radius; ++i)
+        acc += k[i + radius] * in.AtClamped(x + i, y);
+      tmp.at(x, y) = static_cast<float>(acc);
+    }
+  }
+  ImageU8 out(in.width(), in.height());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      double acc = 0.0;
+      for (int i = -radius; i <= radius; ++i)
+        acc += k[i + radius] * tmp.AtClamped(x, y + i);
+      out.at(x, y) =
+          static_cast<uint8_t>(std::clamp(acc, 0.0, 255.0) + 0.5);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageU8 BoxBlur(const ImageU8& gray, int radius) {
+  assert(gray.channels() == 1);
+  if (radius <= 0) return gray;
+  std::vector<double> k(2 * radius + 1, 1.0 / (2 * radius + 1));
+  return SeparableConvolve(gray, k);
+}
+
+ImageU8 GaussianBlur(const ImageU8& gray, double sigma) {
+  assert(gray.channels() == 1);
+  if (sigma <= 0.0) return gray;
+  int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> k(2 * radius + 1);
+  double total = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    k[i + radius] = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    total += k[i + radius];
+  }
+  for (double& v : k) v /= total;
+  return SeparableConvolve(gray, k);
+}
+
+ImageU8 SobelMagnitude(const ImageU8& gray) {
+  assert(gray.channels() == 1);
+  ImageU8 out(gray.width(), gray.height());
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      auto p = [&](int dx, int dy) {
+        return static_cast<double>(gray.AtClamped(x + dx, y + dy));
+      };
+      double gx = -p(-1, -1) - 2 * p(-1, 0) - p(-1, 1) + p(1, -1) +
+                  2 * p(1, 0) + p(1, 1);
+      double gy = -p(-1, -1) - 2 * p(0, -1) - p(1, -1) + p(-1, 1) +
+                  2 * p(0, 1) + p(1, 1);
+      double mag = std::sqrt(gx * gx + gy * gy) / 4.0;
+      out.at(x, y) = static_cast<uint8_t>(std::clamp(mag, 0.0, 255.0));
+    }
+  }
+  return out;
+}
+
+ImageU8 Threshold(const ImageU8& gray, uint8_t threshold) {
+  ImageU8 out(gray.width(), gray.height(), gray.channels());
+  for (size_t i = 0; i < gray.data().size(); ++i)
+    out.data()[i] = gray.data()[i] >= threshold ? 255 : 0;
+  return out;
+}
+
+}  // namespace dievent

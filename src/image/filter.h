@@ -1,0 +1,26 @@
+/// \file filter.h
+/// Separable filtering and gradients for the vision components.
+
+#ifndef DIEVENT_IMAGE_FILTER_H_
+#define DIEVENT_IMAGE_FILTER_H_
+
+#include "image/image.h"
+
+namespace dievent {
+
+/// Box blur with a (2*radius+1)^2 window, border-clamped.
+ImageU8 BoxBlur(const ImageU8& gray, int radius);
+
+/// Separable Gaussian blur. `sigma` <= 0 returns the input unchanged.
+ImageU8 GaussianBlur(const ImageU8& gray, double sigma);
+
+/// Per-pixel gradient magnitudes from 3x3 Sobel operators, scaled into
+/// [0, 255].
+ImageU8 SobelMagnitude(const ImageU8& gray);
+
+/// Binary threshold: out = (in >= threshold) ? 255 : 0.
+ImageU8 Threshold(const ImageU8& gray, uint8_t threshold);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_IMAGE_FILTER_H_

@@ -1,0 +1,112 @@
+#include "image/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dievent {
+
+namespace {
+
+void Normalize(Histogram* h) {
+  double total = 0.0;
+  for (double b : h->bins) total += b;
+  if (total > 0.0) {
+    for (double& b : h->bins) b /= total;
+  }
+}
+
+}  // namespace
+
+Histogram ComputeGrayHistogram(const ImageU8& gray, int num_bins) {
+  assert(gray.channels() == 1 && num_bins > 0 && num_bins <= 256);
+  Histogram h;
+  h.bins.assign(num_bins, 0.0);
+  const int shift = 256 / num_bins;
+  for (uint8_t v : gray.data()) h.bins[v / shift] += 1.0;
+  Normalize(&h);
+  return h;
+}
+
+Histogram ComputeColorHistogram(const ImageRgb& rgb, int bins_per_channel,
+                                bool soft_binning) {
+  assert(rgb.channels() == 3 && bins_per_channel > 0 &&
+         bins_per_channel <= 256);
+  Histogram h;
+  const int n = bins_per_channel;
+  h.bins.assign(static_cast<size_t>(n) * n * n, 0.0);
+  const int div = 256 / n;
+  const auto& d = rgb.data();
+  if (!soft_binning) {
+    for (size_t i = 0; i + 2 < d.size(); i += 3) {
+      int r = d[i] / div, g = d[i + 1] / div, b = d[i + 2] / div;
+      h.bins[(static_cast<size_t>(r) * n + g) * n + b] += 1.0;
+    }
+  } else {
+    // Per-channel: value v sits at fractional bin position v/div - 0.5;
+    // its mass is linearly split between floor and floor+1 (clamped).
+    auto split = [&](uint8_t v, int* lo, double* w_hi) {
+      double p = static_cast<double>(v) / div - 0.5;
+      double fl = std::floor(p);
+      *w_hi = p - fl;
+      *lo = std::clamp(static_cast<int>(fl), 0, n - 1);
+    };
+    for (size_t i = 0; i + 2 < d.size(); i += 3) {
+      int r0, g0, b0;
+      double rw, gw, bw;
+      split(d[i], &r0, &rw);
+      split(d[i + 1], &g0, &gw);
+      split(d[i + 2], &b0, &bw);
+      for (int dr = 0; dr < 2; ++dr) {
+        int r = std::min(n - 1, r0 + dr);
+        double wr = dr ? rw : 1.0 - rw;
+        if (wr == 0.0) continue;
+        for (int dg = 0; dg < 2; ++dg) {
+          int g = std::min(n - 1, g0 + dg);
+          double wg = dg ? gw : 1.0 - gw;
+          if (wg == 0.0) continue;
+          for (int db = 0; db < 2; ++db) {
+            int b = std::min(n - 1, b0 + db);
+            double wb = db ? bw : 1.0 - bw;
+            if (wb == 0.0) continue;
+            h.bins[(static_cast<size_t>(r) * n + g) * n + b] +=
+                wr * wg * wb;
+          }
+        }
+      }
+    }
+  }
+  Normalize(&h);
+  return h;
+}
+
+double ChiSquareDistance(const Histogram& a, const Histogram& b) {
+  assert(a.bins.size() == b.bins.size());
+  double d = 0.0;
+  for (size_t i = 0; i < a.bins.size(); ++i) {
+    double s = a.bins[i] + b.bins[i];
+    if (s > 0.0) {
+      double diff = a.bins[i] - b.bins[i];
+      d += diff * diff / s;
+    }
+  }
+  return d;
+}
+
+double L1Distance(const Histogram& a, const Histogram& b) {
+  assert(a.bins.size() == b.bins.size());
+  double d = 0.0;
+  for (size_t i = 0; i < a.bins.size(); ++i)
+    d += std::abs(a.bins[i] - b.bins[i]);
+  return d;
+}
+
+double IntersectionSimilarity(const Histogram& a, const Histogram& b) {
+  assert(a.bins.size() == b.bins.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.bins.size(); ++i)
+    s += std::min(a.bins[i], b.bins[i]);
+  return s;
+}
+
+}  // namespace dievent

@@ -1,0 +1,46 @@
+/// \file histogram.h
+/// Intensity and color histograms plus the distance measures used for
+/// shot-boundary detection and key-frame clustering (Section II-B).
+
+#ifndef DIEVENT_IMAGE_HISTOGRAM_H_
+#define DIEVENT_IMAGE_HISTOGRAM_H_
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace dievent {
+
+/// A normalized histogram (bins sum to 1 for non-empty images).
+struct Histogram {
+  std::vector<double> bins;
+
+  int NumBins() const { return static_cast<int>(bins.size()); }
+};
+
+/// Grayscale histogram with `num_bins` equal-width bins over [0, 256).
+Histogram ComputeGrayHistogram(const ImageU8& gray, int num_bins = 64);
+
+/// Joint color histogram with `bins_per_channel`^3 bins (coarse RGB cube).
+/// This is the frame signature used by shot-boundary detection.
+///
+/// With `soft_binning`, each pixel's mass is split trilinearly between the
+/// two nearest bins per channel, so a smooth illumination ramp moves
+/// histogram mass gradually instead of jumping when a flat region crosses
+/// a bin edge (which would read as a spurious hard cut).
+Histogram ComputeColorHistogram(const ImageRgb& rgb,
+                                int bins_per_channel = 8,
+                                bool soft_binning = false);
+
+/// Chi-square distance: 0 for identical histograms; robust to small shifts.
+double ChiSquareDistance(const Histogram& a, const Histogram& b);
+
+/// L1 (sum of absolute differences) distance in [0, 2].
+double L1Distance(const Histogram& a, const Histogram& b);
+
+/// Histogram intersection similarity in [0, 1]; 1 for identical histograms.
+double IntersectionSimilarity(const Histogram& a, const Histogram& b);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_IMAGE_HISTOGRAM_H_

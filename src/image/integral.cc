@@ -1,0 +1,32 @@
+#include "image/integral.h"
+
+#include <cassert>
+
+namespace dievent {
+
+IntegralImage::IntegralImage(const ImageU8& gray)
+    : width_(gray.width()), height_(gray.height()) {
+  assert(gray.channels() == 1);
+  table_.assign(static_cast<size_t>(width_ + 1) * (height_ + 1), 0);
+  for (int y = 0; y < height_; ++y) {
+    uint64_t row = 0;
+    for (int x = 0; x < width_; ++x) {
+      row += gray.at(x, y);
+      table_[static_cast<size_t>(y + 1) * (width_ + 1) + (x + 1)] =
+          At(x + 1, y) + row;
+    }
+  }
+}
+
+uint64_t IntegralImage::Sum(int x0, int y0, int w, int h) const {
+  assert(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0 && x0 + w <= width_ &&
+         y0 + h <= height_);
+  return At(x0 + w, y0 + h) - At(x0, y0 + h) - At(x0 + w, y0) + At(x0, y0);
+}
+
+double IntegralImage::Mean(int x0, int y0, int w, int h) const {
+  if (w == 0 || h == 0) return 0.0;
+  return static_cast<double>(Sum(x0, y0, w, h)) / (static_cast<double>(w) * h);
+}
+
+}  // namespace dievent

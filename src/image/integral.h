@@ -1,0 +1,44 @@
+/// \file integral.h
+/// Summed-area tables for O(1) rectangular sums — the workhorse of the
+/// multi-scale face-detection scan.
+
+#ifndef DIEVENT_IMAGE_INTEGRAL_H_
+#define DIEVENT_IMAGE_INTEGRAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+
+namespace dievent {
+
+/// Summed-area table over a grayscale image. Entry (x, y) holds the sum of
+/// all pixels strictly above-left of (x, y), i.e. the table has one extra
+/// row and column of zeros.
+class IntegralImage {
+ public:
+  explicit IntegralImage(const ImageU8& gray);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Sum of pixels in the window [x0, x0+w) x [y0, y0+h). The window must
+  /// lie within the source image.
+  uint64_t Sum(int x0, int y0, int w, int h) const;
+
+  /// Mean pixel value over the same window.
+  double Mean(int x0, int y0, int w, int h) const;
+
+ private:
+  uint64_t At(int x, int y) const {
+    return table_[static_cast<size_t>(y) * (width_ + 1) + x];
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint64_t> table_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_IMAGE_INTEGRAL_H_

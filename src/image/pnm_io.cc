@@ -1,0 +1,107 @@
+#include "image/pnm_io.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+Status WritePnm(const Image<uint8_t>& image, const std::string& path,
+                const char* magic, int channels) {
+  if (image.channels() != channels) {
+    return Status::InvalidArgument(
+        StrFormat("expected %d-channel image, got %d channels", channels,
+                  image.channels()));
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << magic << "\n"
+      << image.width() << " " << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.data().data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+/// Reads one whitespace-delimited token, skipping '#' comments.
+Status NextToken(std::istream& in, std::string* token) {
+  token->clear();
+  int c;
+  while ((c = in.get()) != EOF) {
+    if (c == '#') {
+      while ((c = in.get()) != EOF && c != '\n') {
+      }
+      continue;
+    }
+    if (!std::isspace(c)) break;
+  }
+  if (c == EOF) return Status::Corruption("unexpected end of PNM header");
+  do {
+    token->push_back(static_cast<char>(c));
+    c = in.get();
+  } while (c != EOF && !std::isspace(c));
+  return Status::OK();
+}
+
+Result<Image<uint8_t>> ReadPnm(const std::string& path, const char* magic,
+                               int channels) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string tok;
+  DIEVENT_RETURN_NOT_OK(NextToken(in, &tok));
+  if (tok != magic) {
+    return Status::Corruption(
+        StrFormat("bad magic '%s' in %s (want %s)", tok.c_str(),
+                  path.c_str(), magic));
+  }
+  int dims[3];
+  for (int& d : dims) {
+    DIEVENT_RETURN_NOT_OK(NextToken(in, &tok));
+    try {
+      d = std::stoi(tok);
+    } catch (...) {
+      return Status::Corruption("non-numeric PNM header field: " + tok);
+    }
+  }
+  if (dims[0] <= 0 || dims[1] <= 0 || dims[2] != 255) {
+    return Status::Corruption("unsupported PNM dimensions/maxval");
+  }
+  // Dimension sanity cap: a corrupt or hostile header must not drive a
+  // multi-gigabyte allocation. 8192 x 8192 is far beyond any frame this
+  // project produces.
+  constexpr int kMaxDim = 8192;
+  if (dims[0] > kMaxDim || dims[1] > kMaxDim) {
+    return Status::Corruption(
+        StrFormat("implausible PNM dimensions %dx%d in %s", dims[0],
+                  dims[1], path.c_str()));
+  }
+  Image<uint8_t> img(dims[0], dims[1], channels);
+  in.read(reinterpret_cast<char*>(img.data().data()),
+          static_cast<std::streamsize>(img.size()));
+  if (in.gcount() != static_cast<std::streamsize>(img.size())) {
+    return Status::Corruption("truncated PNM payload: " + path);
+  }
+  return img;
+}
+
+}  // namespace
+
+Status WritePgm(const ImageU8& image, const std::string& path) {
+  return WritePnm(image, path, "P5", 1);
+}
+
+Status WritePpm(const ImageRgb& image, const std::string& path) {
+  return WritePnm(image, path, "P6", 3);
+}
+
+Result<ImageU8> ReadPgm(const std::string& path) {
+  return ReadPnm(path, "P5", 1);
+}
+
+Result<ImageRgb> ReadPpm(const std::string& path) {
+  return ReadPnm(path, "P6", 3);
+}
+
+}  // namespace dievent

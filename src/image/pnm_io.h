@@ -1,0 +1,32 @@
+/// \file pnm_io.h
+/// Binary PGM (P5) / PPM (P6) reading and writing.
+///
+/// PNM is the only on-disk image format DiEvent needs: it lets examples dump
+/// rendered frames and look-at maps for inspection without any codec
+/// dependency.
+
+#ifndef DIEVENT_IMAGE_PNM_IO_H_
+#define DIEVENT_IMAGE_PNM_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "image/image.h"
+
+namespace dievent {
+
+/// Writes a 1-channel image as binary PGM.
+Status WritePgm(const ImageU8& image, const std::string& path);
+
+/// Writes a 3-channel image as binary PPM.
+Status WritePpm(const ImageRgb& image, const std::string& path);
+
+/// Reads a binary PGM into a 1-channel image.
+Result<ImageU8> ReadPgm(const std::string& path);
+
+/// Reads a binary PPM into a 3-channel image.
+Result<ImageRgb> ReadPpm(const std::string& path);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_IMAGE_PNM_IO_H_

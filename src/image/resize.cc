@@ -1,0 +1,50 @@
+#include "image/resize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dievent {
+
+namespace {
+
+Image<uint8_t> ResizeImpl(const Image<uint8_t>& in, int nw, int nh) {
+  assert(nw > 0 && nh > 0 && !in.empty());
+  Image<uint8_t> out(nw, nh, in.channels());
+  const double sx = static_cast<double>(in.width()) / nw;
+  const double sy = static_cast<double>(in.height()) / nh;
+  for (int y = 0; y < nh; ++y) {
+    double fy = (y + 0.5) * sy - 0.5;
+    int y0 = static_cast<int>(std::floor(fy));
+    double wy = fy - y0;
+    for (int x = 0; x < nw; ++x) {
+      double fx = (x + 0.5) * sx - 0.5;
+      int x0 = static_cast<int>(std::floor(fx));
+      double wx = fx - x0;
+      for (int c = 0; c < in.channels(); ++c) {
+        double v00 = in.AtClamped(x0, y0, c);
+        double v10 = in.AtClamped(x0 + 1, y0, c);
+        double v01 = in.AtClamped(x0, y0 + 1, c);
+        double v11 = in.AtClamped(x0 + 1, y0 + 1, c);
+        double v = v00 * (1 - wx) * (1 - wy) + v10 * wx * (1 - wy) +
+                   v01 * (1 - wx) * wy + v11 * wx * wy;
+        out.at(x, y, c) = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageU8 ResizeBilinear(const ImageU8& gray, int nw, int nh) {
+  assert(gray.channels() == 1);
+  return ResizeImpl(gray, nw, nh);
+}
+
+ImageRgb ResizeBilinearRgb(const ImageRgb& rgb, int nw, int nh) {
+  assert(rgb.channels() == 3);
+  return ResizeImpl(rgb, nw, nh);
+}
+
+}  // namespace dievent

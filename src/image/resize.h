@@ -1,0 +1,20 @@
+/// \file resize.h
+/// Image resampling for multi-scale detection and feature normalization.
+
+#ifndef DIEVENT_IMAGE_RESIZE_H_
+#define DIEVENT_IMAGE_RESIZE_H_
+
+#include "image/image.h"
+
+namespace dievent {
+
+/// Bilinear resampling of a 1-channel image to the given size.
+ImageU8 ResizeBilinear(const ImageU8& gray, int new_width, int new_height);
+
+/// Bilinear resampling of a 3-channel image to the given size.
+ImageRgb ResizeBilinearRgb(const ImageRgb& rgb, int new_width,
+                           int new_height);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_IMAGE_RESIZE_H_

@@ -1,0 +1,103 @@
+#include "metadata/engagement.h"
+
+#include "common/strings.h"
+
+namespace dievent {
+
+int EngagementReport::MostEngaged() const {
+  int best = -1;
+  double best_score = -1;
+  for (const ParticipantEngagement& p : participants) {
+    if (p.score > best_score) {
+      best_score = p.score;
+      best = p.id;
+    }
+  }
+  return best;
+}
+
+std::string EngagementReport::ToString() const {
+  std::string out = StrFormat("%-10s %-8s %-10s %-8s %-12s %-8s\n",
+                              "who", "gives", "receives", "ec", "reciprocity",
+                              "score");
+  for (const ParticipantEngagement& p : participants) {
+    out += StrFormat("%-10s %-8.2f %-10.2f %-8.2f %-12.2f %-8.2f\n",
+                     p.name.c_str(), p.attention_given,
+                     p.attention_received, p.eye_contact, p.reciprocity,
+                     p.score);
+  }
+  out += StrFormat("group eye-contact coverage: %.2f\n", group_eye_contact);
+  return out;
+}
+
+EngagementReport ComputeEngagement(const MetadataRepository& repo) {
+  EngagementReport report;
+  const auto& records = repo.lookat_records();
+  if (records.empty()) return report;
+  const int n = records.front().n;
+  const auto& names = repo.context().participant_names;
+
+  std::vector<long long> gives(n, 0), receives(n, 0), contact(n, 0),
+      returned(n, 0), gave_any(n, 0);
+  std::vector<std::vector<long long>> pair(n,
+                                           std::vector<long long>(n, 0));
+  long long group_contact_frames = 0;
+
+  for (const LookAtRecord& r : records) {
+    bool any_contact = false;
+    std::vector<bool> gave(n, false), got(n, false), ec(n, false);
+    for (int x = 0; x < n; ++x) {
+      for (int y = 0; y < n; ++y) {
+        if (x == y || !r.At(x, y)) continue;
+        gave[x] = true;
+        got[y] = true;
+        if (r.At(y, x)) {
+          ec[x] = true;
+          any_contact = true;
+          if (x < y) {
+            ++pair[x][y];
+            ++pair[y][x];
+          }
+        }
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if (gave[i]) {
+        ++gives[i];
+        ++gave_any[i];
+        if (ec[i]) ++returned[i];
+      }
+      if (got[i]) ++receives[i];
+      if (ec[i]) ++contact[i];
+    }
+    if (any_contact) ++group_contact_frames;
+  }
+
+  const double frames = static_cast<double>(records.size());
+  report.group_eye_contact = group_contact_frames / frames;
+  report.pair_contact.assign(n, std::vector<double>(n, 0.0));
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      report.pair_contact[a][b] = pair[a][b] / frames;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    ParticipantEngagement p;
+    p.id = i;
+    p.name = i < static_cast<int>(names.size()) ? names[i]
+                                                : StrFormat("P%d", i + 1);
+    p.attention_given = gives[i] / frames;
+    p.attention_received = receives[i] / frames;
+    p.eye_contact = contact[i] / frames;
+    p.reciprocity =
+        gave_any[i] > 0
+            ? static_cast<double>(returned[i]) / gave_any[i]
+            : 0.0;
+    p.score =
+        (p.attention_given + p.attention_received + p.eye_contact) / 3.0;
+    report.participants.push_back(std::move(p));
+  }
+  return report;
+}
+
+}  // namespace dievent

@@ -1,0 +1,53 @@
+/// \file engagement.h
+/// Per-participant engagement metrics over the stored gaze layer — the
+/// quantities the paper's sociology use case reads off the look-at data:
+/// attention given/received, eye-contact time, gaze reciprocity, and a
+/// composite engagement score.
+
+#ifndef DIEVENT_METADATA_ENGAGEMENT_H_
+#define DIEVENT_METADATA_ENGAGEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "metadata/repository.h"
+
+namespace dievent {
+
+/// One participant's interaction profile across the event.
+struct ParticipantEngagement {
+  int id = -1;
+  std::string name;
+  /// Fraction of frames this participant looked at somebody.
+  double attention_given = 0;
+  /// Fraction of frames somebody looked at this participant.
+  double attention_received = 0;
+  /// Fraction of frames this participant was in mutual eye contact.
+  double eye_contact = 0;
+  /// Of the frames where this participant looked at someone, the
+  /// fraction where that gaze was returned (Argyle & Dean's reciprocity).
+  double reciprocity = 0;
+  /// Composite in [0, 1]: mean of given, received, and eye contact.
+  double score = 0;
+};
+
+/// Event-level engagement report.
+struct EngagementReport {
+  std::vector<ParticipantEngagement> participants;
+  /// Fraction of frames with at least one mutual eye contact.
+  double group_eye_contact = 0;
+  /// Pairwise mutual-gaze frame fractions, indexed [a][b] (symmetric).
+  std::vector<std::vector<double>> pair_contact;
+
+  /// Participant with the highest composite score, or -1 when empty.
+  int MostEngaged() const;
+
+  std::string ToString() const;
+};
+
+/// Computes the report from a repository's look-at records.
+EngagementReport ComputeEngagement(const MetadataRepository& repository);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_METADATA_ENGAGEMENT_H_

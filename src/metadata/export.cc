@@ -1,0 +1,188 @@
+#include "metadata/export.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+Result<std::ofstream> OpenForWrite(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return out;
+}
+
+Status Finish(std::ofstream* out, const std::string& path) {
+  out->flush();
+  if (!*out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+/// Escapes a string for embedding in JSON output.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ParticipantName(const MetadataRepository& repo, int i) {
+  const auto& names = repo.context().participant_names;
+  return i >= 0 && i < static_cast<int>(names.size())
+             ? names[i]
+             : StrFormat("P%d", i + 1);
+}
+
+}  // namespace
+
+Status ExportLookAtCsv(const MetadataRepository& repo,
+                       const std::string& path) {
+  DIEVENT_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(path));
+  out << "frame,timestamp_s,looker,target\n";
+  for (const LookAtRecord& r : repo.lookat_records()) {
+    for (int x = 0; x < r.n; ++x) {
+      for (int y = 0; y < r.n; ++y) {
+        if (x != y && r.At(x, y)) {
+          out << r.frame << ',' << r.timestamp_s << ','
+              << ParticipantName(repo, x) << ','
+              << ParticipantName(repo, y) << '\n';
+        }
+      }
+    }
+  }
+  return Finish(&out, path);
+}
+
+Status ExportEmotionsCsv(const MetadataRepository& repo,
+                         const std::string& path) {
+  DIEVENT_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(path));
+  out << "frame,timestamp_s,participant,emotion,confidence\n";
+  for (const EmotionRecord& r : repo.emotion_records()) {
+    out << r.frame << ',' << r.timestamp_s << ','
+        << ParticipantName(repo, r.participant) << ','
+        << EmotionName(r.emotion) << ',' << r.confidence << '\n';
+  }
+  return Finish(&out, path);
+}
+
+Status ExportOverallCsv(const MetadataRepository& repo,
+                        const std::string& path) {
+  DIEVENT_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(path));
+  out << "frame,timestamp_s,overall_happiness,mean_valence,observed\n";
+  for (const OverallEmotionRecord& r : repo.overall_records()) {
+    out << r.frame << ',' << r.timestamp_s << ',' << r.overall_happiness
+        << ',' << r.mean_valence << ',' << r.observed << '\n';
+  }
+  return Finish(&out, path);
+}
+
+Status ExportEpisodesCsv(const MetadataRepository& repo,
+                         const std::string& path, int min_length,
+                         int max_gap) {
+  DIEVENT_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(path));
+  const double fps = repo.fps() > 0 ? repo.fps() : 1.0;
+  out << "a,b,begin_frame,end_frame,begin_s,end_s,duration_s\n";
+  for (const EyeContactEpisode& ep :
+       repo.EyeContactEpisodes(min_length, max_gap)) {
+    out << ParticipantName(repo, ep.a) << ','
+        << ParticipantName(repo, ep.b) << ',' << ep.begin_frame << ','
+        << ep.end_frame << ',' << ep.begin_frame / fps << ','
+        << ep.end_frame / fps << ',' << ep.Length() / fps << '\n';
+  }
+  return Finish(&out, path);
+}
+
+std::string EventReportJson(const MetadataRepository& repo) {
+  const EventContext& ctx = repo.context();
+  const double fps = repo.fps() > 0 ? repo.fps() : 1.0;
+  std::string json = "{\n";
+  json += StrFormat("  \"event_id\": \"%s\",\n",
+                    JsonEscape(ctx.event_id).c_str());
+  json += StrFormat("  \"location\": \"%s\",\n",
+                    JsonEscape(ctx.location).c_str());
+  json += StrFormat("  \"occasion\": \"%s\",\n",
+                    JsonEscape(ctx.occasion).c_str());
+  json += StrFormat("  \"num_participants\": %d,\n",
+                    ctx.num_participants);
+  json += StrFormat("  \"frames\": %zu,\n", repo.lookat_records().size());
+  json += StrFormat("  \"fps\": %.4f,\n", fps);
+
+  // Look-at summary and dominance.
+  LookAtSummary summary = repo.Summarize();
+  json += "  \"lookat_summary\": [\n";
+  for (int x = 0; x < summary.size(); ++x) {
+    json += "    [";
+    for (int y = 0; y < summary.size(); ++y) {
+      json += StrFormat("%lld%s", summary.At(x, y),
+                        y + 1 < summary.size() ? ", " : "");
+    }
+    json += x + 1 < summary.size() ? "],\n" : "]\n";
+  }
+  json += "  ],\n";
+  if (summary.size() > 0) {
+    json += StrFormat(
+        "  \"dominant_participant\": \"%s\",\n",
+        ParticipantName(repo, summary.DominantParticipant()).c_str());
+  }
+
+  // Episodes.
+  json += "  \"eye_contact_episodes\": [\n";
+  auto episodes = repo.EyeContactEpisodes(2, 1);
+  for (size_t i = 0; i < episodes.size(); ++i) {
+    const EyeContactEpisode& ep = episodes[i];
+    json += StrFormat(
+        "    {\"a\": \"%s\", \"b\": \"%s\", \"begin_s\": %.3f, "
+        "\"end_s\": %.3f}%s\n",
+        ParticipantName(repo, ep.a).c_str(),
+        ParticipantName(repo, ep.b).c_str(), ep.begin_frame / fps,
+        ep.end_frame / fps, i + 1 < episodes.size() ? "," : "");
+  }
+  json += "  ],\n";
+
+  // Emotion aggregates.
+  double mean_oh = 0, mean_valence = 0;
+  if (!repo.overall_records().empty()) {
+    for (const OverallEmotionRecord& r : repo.overall_records()) {
+      mean_oh += r.overall_happiness;
+      mean_valence += r.mean_valence;
+    }
+    mean_oh /= static_cast<double>(repo.overall_records().size());
+    mean_valence /= static_cast<double>(repo.overall_records().size());
+  }
+  json += StrFormat("  \"mean_overall_happiness\": %.4f,\n", mean_oh);
+  json += StrFormat("  \"mean_valence\": %.4f\n", mean_valence);
+  json += "}\n";
+  return json;
+}
+
+Status ExportEventReportJson(const MetadataRepository& repo,
+                             const std::string& path) {
+  DIEVENT_ASSIGN_OR_RETURN(std::ofstream out, OpenForWrite(path));
+  out << EventReportJson(repo);
+  return Finish(&out, path);
+}
+
+}  // namespace dievent

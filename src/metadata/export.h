@@ -1,0 +1,48 @@
+/// \file export.h
+/// Tabular and structured export of the metadata repository, so the
+/// paper's downstream users (sociologists with statistics software,
+/// restaurant dashboards) can consume DiEvent output without linking the
+/// library: per-layer CSV files and a JSON event report.
+
+#ifndef DIEVENT_METADATA_EXPORT_H_
+#define DIEVENT_METADATA_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "metadata/repository.h"
+
+namespace dievent {
+
+/// CSV of the directed gaze layer: frame,timestamp,looker,target
+/// (one row per set look-at cell).
+Status ExportLookAtCsv(const MetadataRepository& repository,
+                       const std::string& path);
+
+/// CSV of per-participant emotions: frame,timestamp,participant,emotion,
+/// confidence.
+Status ExportEmotionsCsv(const MetadataRepository& repository,
+                         const std::string& path);
+
+/// CSV of the group-emotion timeline: frame,timestamp,overall_happiness,
+/// mean_valence,observed.
+Status ExportOverallCsv(const MetadataRepository& repository,
+                        const std::string& path);
+
+/// CSV of derived eye-contact episodes: a,b,begin_frame,end_frame,
+/// begin_s,end_s,duration_s.
+Status ExportEpisodesCsv(const MetadataRepository& repository,
+                         const std::string& path, int min_length = 2,
+                         int max_gap = 1);
+
+/// JSON event report: context, per-pair look-at summary, dominance,
+/// episode list, emotion aggregates. Self-contained (no external schema).
+std::string EventReportJson(const MetadataRepository& repository);
+
+/// Writes EventReportJson to a file.
+Status ExportEventReportJson(const MetadataRepository& repository,
+                             const std::string& path);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_METADATA_EXPORT_H_

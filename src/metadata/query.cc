@@ -1,0 +1,173 @@
+#include "metadata/query.h"
+
+#include <algorithm>
+
+namespace dievent {
+
+namespace {
+
+/// Returns the [first, last) range of records with the given frame in a
+/// frame-sorted vector.
+template <typename T>
+std::pair<int, int> FrameRange(const std::vector<T>& v, int frame) {
+  auto lo = std::lower_bound(
+      v.begin(), v.end(), frame,
+      [](const T& r, int f) { return r.frame < f; });
+  auto hi = std::upper_bound(
+      v.begin(), v.end(), frame,
+      [](int f, const T& r) { return f < r.frame; });
+  return {static_cast<int>(lo - v.begin()),
+          static_cast<int>(hi - v.begin())};
+}
+
+}  // namespace
+
+Query& Query::TimeRange(double t0, double t1) {
+  time_range_ = {t0, t1};
+  return *this;
+}
+
+Query& Query::Looking(int looker, int target) {
+  looking_.emplace_back(looker, target);
+  return *this;
+}
+
+Query& Query::EyeContact(int a, int b) {
+  eye_contact_.emplace_back(a, b);
+  return *this;
+}
+
+Query& Query::Feeling(int participant, Emotion emotion) {
+  feeling_.emplace_back(participant, emotion);
+  return *this;
+}
+
+Query& Query::MinOverallHappiness(double min_oh) {
+  min_oh_ = min_oh;
+  return *this;
+}
+
+Query& Query::MinValence(double min_valence) {
+  min_valence_ = min_valence;
+  return *this;
+}
+
+Query& Query::AnyoneLookingAt(int target) {
+  anyone_at_.push_back(target);
+  return *this;
+}
+
+bool Query::FrameMatches(const LookAtRecord& r) const {
+  if (time_range_ &&
+      (r.timestamp_s < time_range_->first ||
+       r.timestamp_s >= time_range_->second)) {
+    return false;
+  }
+  for (const auto& [looker, target] : looking_) {
+    if (looker < 0 || looker >= r.n || target < 0 || target >= r.n ||
+        !r.At(looker, target)) {
+      return false;
+    }
+  }
+  for (const auto& [a, b] : eye_contact_) {
+    if (a < 0 || a >= r.n || b < 0 || b >= r.n || !r.At(a, b) ||
+        !r.At(b, a)) {
+      return false;
+    }
+  }
+  for (int target : anyone_at_) {
+    if (target < 0 || target >= r.n) return false;
+    bool any = false;
+    for (int x = 0; x < r.n && !any; ++x) {
+      if (x != target && r.At(x, target)) any = true;
+    }
+    if (!any) return false;
+  }
+
+  if (!feeling_.empty()) {
+    const auto& emotions = repo_->emotion_records();
+    auto [lo, hi] = FrameRange(emotions, r.frame);
+    for (const auto& [participant, emotion] : feeling_) {
+      bool found = false;
+      for (int i = lo; i < hi && !found; ++i) {
+        if (emotions[i].participant == participant &&
+            emotions[i].emotion == emotion) {
+          found = true;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+
+  if (min_oh_ || min_valence_) {
+    const auto& overall = repo_->overall_records();
+    auto [lo, hi] = FrameRange(overall, r.frame);
+    if (lo == hi) return false;
+    const OverallEmotionRecord& rec = overall[lo];
+    if (min_oh_ && rec.overall_happiness < *min_oh_) return false;
+    if (min_valence_ && rec.mean_valence < *min_valence_) return false;
+  }
+  return true;
+}
+
+std::vector<FrameMatch> Query::Execute() const {
+  std::vector<FrameMatch> out;
+  for (const LookAtRecord& r : repo_->lookat_records()) {
+    if (FrameMatches(r)) out.push_back(FrameMatch{r.frame, r.timestamp_s});
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<SegmentMatch> RollUp(
+    const std::vector<FrameMatch>& frames,
+    const std::vector<std::pair<int, std::pair<int, int>>>& segments,
+    double min_coverage) {
+  std::vector<SegmentMatch> out;
+  for (const auto& [index, range] : segments) {
+    const auto [begin, end] = range;
+    if (end <= begin) continue;
+    int hits = 0;
+    for (const FrameMatch& f : frames) {
+      if (f.frame >= begin && f.frame < end) ++hits;
+    }
+    double coverage = static_cast<double>(hits) / (end - begin);
+    if (coverage >= min_coverage) {
+      out.push_back(SegmentMatch{index, begin, end, coverage});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SegmentMatch> Query::ExecuteShots(double min_coverage) const {
+  std::vector<FrameMatch> frames = Execute();
+  std::vector<std::pair<int, std::pair<int, int>>> segs;
+  const auto& shots = repo_->shots();
+  for (size_t i = 0; i < shots.size(); ++i) {
+    segs.emplace_back(static_cast<int>(i),
+                      std::make_pair(shots[i].begin_frame,
+                                     shots[i].end_frame));
+  }
+  return RollUp(frames, segs, min_coverage);
+}
+
+std::vector<SegmentMatch> Query::ExecuteScenes(double min_coverage) const {
+  std::vector<FrameMatch> frames = Execute();
+  // Scene extents are the union of their shots.
+  std::vector<std::pair<int, std::pair<int, int>>> segs;
+  for (int scene = 0; scene < repo_->NumScenes(); ++scene) {
+    int begin = 0x7fffffff, end = 0;
+    for (const StoredShot& s : repo_->shots()) {
+      if (s.scene_index != scene) continue;
+      begin = std::min(begin, s.begin_frame);
+      end = std::max(end, s.end_frame);
+    }
+    if (end > 0) segs.emplace_back(scene, std::make_pair(begin, end));
+  }
+  return RollUp(frames, segs, min_coverage);
+}
+
+}  // namespace dievent

@@ -1,0 +1,87 @@
+/// \file query.h
+/// The repository's query vocabulary (paper Section II-E: "a rich query
+/// vocabulary so that the queries will return more semantic results").
+///
+/// A Query is a conjunction of predicates over the per-frame layers; it
+/// evaluates to matching frames, which can additionally be rolled up into
+/// matching shots or scenes ("querying scenes w.r.t. a particular
+/// context").
+
+#ifndef DIEVENT_METADATA_QUERY_H_
+#define DIEVENT_METADATA_QUERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/emotion.h"
+#include "metadata/repository.h"
+
+namespace dievent {
+
+/// One matched frame.
+struct FrameMatch {
+  int frame = 0;
+  double timestamp_s = 0.0;
+};
+
+/// A matched structural unit (shot or scene) with predicate coverage.
+struct SegmentMatch {
+  int index = 0;        ///< shot or scene index
+  int begin_frame = 0;
+  int end_frame = 0;
+  double coverage = 0;  ///< fraction of the segment's frames that match
+};
+
+/// Fluent conjunction of predicates evaluated against a repository.
+class Query {
+ public:
+  explicit Query(const MetadataRepository* repo) : repo_(repo) {}
+
+  /// Restricts to timestamps in [t0, t1) seconds.
+  Query& TimeRange(double t0, double t1);
+
+  /// Requires participant `looker` to be looking at `target`.
+  Query& Looking(int looker, int target);
+
+  /// Requires mutual eye contact between a and b.
+  Query& EyeContact(int a, int b);
+
+  /// Requires `participant` to show `emotion` (any confidence).
+  Query& Feeling(int participant, Emotion emotion);
+
+  /// Requires the overall happiness to be at least `min_oh`.
+  Query& MinOverallHappiness(double min_oh);
+
+  /// Requires the mean valence to be at least `min_valence`.
+  Query& MinValence(double min_valence);
+
+  /// Requires anybody to be looking at `target` (attention query; useful
+  /// for dominance analysis).
+  Query& AnyoneLookingAt(int target);
+
+  /// Frames satisfying every predicate.
+  std::vector<FrameMatch> Execute() const;
+
+  /// Shots whose matching-frame coverage is at least `min_coverage`.
+  std::vector<SegmentMatch> ExecuteShots(double min_coverage = 0.5) const;
+
+  /// Scenes whose matching-frame coverage is at least `min_coverage` —
+  /// the paper's "querying scenes w.r.t. a particular context".
+  std::vector<SegmentMatch> ExecuteScenes(double min_coverage = 0.5) const;
+
+ private:
+  bool FrameMatches(const LookAtRecord& lookat) const;
+
+  const MetadataRepository* repo_;
+  std::optional<std::pair<double, double>> time_range_;
+  std::vector<std::pair<int, int>> looking_;
+  std::vector<std::pair<int, int>> eye_contact_;
+  std::vector<std::pair<int, Emotion>> feeling_;
+  std::optional<double> min_oh_;
+  std::optional<double> min_valence_;
+  std::vector<int> anyone_at_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_METADATA_QUERY_H_

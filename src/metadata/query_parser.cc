@@ -1,0 +1,207 @@
+#include "metadata/query_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+/// Minimal scanner over the query text.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes `token` (case-insensitive) if present.
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (pos_ + token.size() > text_.size()) return false;
+    for (size_t i = 0; i < token.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(token[i]))) {
+        return false;
+      }
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  /// Reads a lowercase identifier (letters only).
+  std::string Identifier() {
+    SkipSpace();
+    std::string out;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text_[pos_]))));
+      ++pos_;
+    }
+    return out;
+  }
+
+  /// Reads a (possibly signed, possibly fractional) number.
+  Result<double> Number() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrFormat("expected a number at offset %zu", start));
+    }
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  /// Reads a participant: optional 'P' prefix, 1-based index.
+  Result<int> Participant() {
+    SkipSpace();
+    if (pos_ < text_.size() &&
+        std::tolower(static_cast<unsigned char>(text_[pos_])) == 'p') {
+      ++pos_;
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(StrFormat(
+          "expected a participant (e.g. P1) at offset %zu", start));
+    }
+    int one_based = std::stoi(std::string(text_.substr(start, pos_ - start)));
+    if (one_based < 1) {
+      return Status::InvalidArgument("participants are numbered from P1");
+    }
+    return one_based - 1;
+  }
+
+  std::string Context() const {
+    size_t begin = pos_ >= 10 ? pos_ - 10 : 0;
+    return std::string(text_.substr(begin, 20));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<Emotion> ParseEmotion(const std::string& name) {
+  for (Emotion e : kAllEmotions) {
+    if (name == EmotionName(e)) return e;
+  }
+  return Status::InvalidArgument("unknown emotion: " + name);
+}
+
+#define PARSER_EXPECT(scanner, token)                              \
+  do {                                                             \
+    if (!(scanner).Consume(token)) {                               \
+      return Status::InvalidArgument(                              \
+          StrFormat("expected '%s' near \"%s\"", token,            \
+                    (scanner).Context().c_str()));                 \
+    }                                                              \
+  } while (false)
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text,
+                         const MetadataRepository* repository) {
+  if (repository == nullptr) {
+    return Status::InvalidArgument("repository must not be null");
+  }
+  Query query(repository);
+  Scanner scanner(text);
+  bool first = true;
+  while (!scanner.AtEnd()) {
+    if (!first) {
+      if (!scanner.Consume("&&") && !scanner.Consume("&") &&
+          !scanner.Consume("and")) {
+        return Status::InvalidArgument(StrFormat(
+            "expected '&' between terms near \"%s\"",
+            scanner.Context().c_str()));
+      }
+    }
+    first = false;
+
+    std::string keyword = scanner.Identifier();
+    if (keyword == "ec") {
+      PARSER_EXPECT(scanner, "(");
+      DIEVENT_ASSIGN_OR_RETURN(int a, scanner.Participant());
+      PARSER_EXPECT(scanner, ",");
+      DIEVENT_ASSIGN_OR_RETURN(int b, scanner.Participant());
+      PARSER_EXPECT(scanner, ")");
+      query.EyeContact(a, b);
+    } else if (keyword == "look") {
+      PARSER_EXPECT(scanner, "(");
+      DIEVENT_ASSIGN_OR_RETURN(int a, scanner.Participant());
+      PARSER_EXPECT(scanner, ",");
+      DIEVENT_ASSIGN_OR_RETURN(int b, scanner.Participant());
+      PARSER_EXPECT(scanner, ")");
+      query.Looking(a, b);
+    } else if (keyword == "watched") {
+      PARSER_EXPECT(scanner, "(");
+      DIEVENT_ASSIGN_OR_RETURN(int a, scanner.Participant());
+      PARSER_EXPECT(scanner, ")");
+      query.AnyoneLookingAt(a);
+    } else if (keyword == "feel") {
+      PARSER_EXPECT(scanner, "(");
+      DIEVENT_ASSIGN_OR_RETURN(int a, scanner.Participant());
+      PARSER_EXPECT(scanner, ",");
+      std::string emotion_name = scanner.Identifier();
+      DIEVENT_ASSIGN_OR_RETURN(Emotion emotion,
+                               ParseEmotion(emotion_name));
+      PARSER_EXPECT(scanner, ")");
+      query.Feeling(a, emotion);
+    } else if (keyword == "time") {
+      PARSER_EXPECT(scanner, "[");
+      DIEVENT_ASSIGN_OR_RETURN(double t0, scanner.Number());
+      PARSER_EXPECT(scanner, ",");
+      DIEVENT_ASSIGN_OR_RETURN(double t1, scanner.Number());
+      if (!scanner.Consume(")") && !scanner.Consume("]")) {
+        return Status::InvalidArgument("expected ')' or ']' after time");
+      }
+      if (t1 <= t0) {
+        return Status::InvalidArgument("time range must have t1 > t0");
+      }
+      query.TimeRange(t0, t1);
+    } else if (keyword == "oh") {
+      PARSER_EXPECT(scanner, ">=");
+      DIEVENT_ASSIGN_OR_RETURN(double v, scanner.Number());
+      query.MinOverallHappiness(v);
+    } else if (keyword == "valence") {
+      PARSER_EXPECT(scanner, ">=");
+      DIEVENT_ASSIGN_OR_RETURN(double v, scanner.Number());
+      query.MinValence(v);
+    } else if (keyword.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "expected a query term near \"%s\"", scanner.Context().c_str()));
+    } else {
+      return Status::InvalidArgument("unknown query term: " + keyword);
+    }
+  }
+  if (first) {
+    return Status::InvalidArgument("empty query");
+  }
+  return query;
+}
+
+}  // namespace dievent

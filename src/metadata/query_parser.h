@@ -1,0 +1,39 @@
+/// \file query_parser.h
+/// A small textual query language over the metadata repository — the
+/// human-facing face of the paper's "rich query vocabulary" (Section
+/// II-E), so a sociologist can type retrieval requests instead of
+/// composing builder calls.
+///
+/// Grammar (conjunctive; '&' or 'and' between terms; case-insensitive):
+///
+///   ec(P1, P3)          mutual eye contact between P1 and P3
+///   look(P2, P1)        P2 looking at P1
+///   watched(P1)         anyone looking at P1
+///   feel(P2, happy)     P2 showing the named emotion
+///   time[10, 20)        timestamp in [10 s, 20 s)
+///   oh >= 0.5           overall happiness at least 0.5
+///   valence >= -0.2     mean valence at least -0.2
+///
+/// Participants are written 1-based with an optional 'P' prefix ("P1" or
+/// "1") and mapped to the repository's 0-based ids.
+///
+/// Example: "ec(P1,P3) & time[8,12) and oh >= 0.25"
+
+#ifndef DIEVENT_METADATA_QUERY_PARSER_H_
+#define DIEVENT_METADATA_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "metadata/query.h"
+
+namespace dievent {
+
+/// Parses `text` into a Query over `repository`. The repository must
+/// outlive the returned query. Errors carry the offending token.
+Result<Query> ParseQuery(std::string_view text,
+                         const MetadataRepository* repository);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_METADATA_QUERY_PARSER_H_

@@ -1,0 +1,26 @@
+#include "metadata/records.h"
+
+namespace dievent {
+
+LookAtRecord LookAtRecord::FromMatrix(int frame, double t,
+                                      const LookAtMatrix& m) {
+  LookAtRecord r;
+  r.frame = frame;
+  r.timestamp_s = t;
+  r.n = m.size();
+  r.cells.resize(static_cast<size_t>(r.n) * r.n);
+  for (int x = 0; x < r.n; ++x)
+    for (int y = 0; y < r.n; ++y)
+      r.cells[static_cast<size_t>(x) * r.n + y] = m.At(x, y) ? 1 : 0;
+  return r;
+}
+
+LookAtMatrix LookAtRecord::ToMatrix() const {
+  LookAtMatrix m(n);
+  for (int x = 0; x < n; ++x)
+    for (int y = 0; y < n; ++y)
+      m.Set(x, y, cells[static_cast<size_t>(x) * n + y] != 0);
+  return m;
+}
+
+}  // namespace dievent

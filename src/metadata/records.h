@@ -1,0 +1,73 @@
+/// \file records.h
+/// Typed records stored in the metadata repository (paper Section II-E):
+/// extracted time-variant observations (gaze matrices, emotions, overall
+/// emotion) plus the parsed video structure. The time-invariant
+/// EventContext lives in analysis/layers.h and is stored alongside.
+
+#ifndef DIEVENT_METADATA_RECORDS_H_
+#define DIEVENT_METADATA_RECORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/lookat_matrix.h"
+#include "common/emotion.h"
+
+namespace dievent {
+
+/// One frame's look-at matrix, flattened for storage.
+struct LookAtRecord {
+  int frame = 0;
+  double timestamp_s = 0.0;
+  int n = 0;
+  std::vector<uint8_t> cells;  ///< row-major n*n booleans
+
+  static LookAtRecord FromMatrix(int frame, double t,
+                                 const LookAtMatrix& m);
+  LookAtMatrix ToMatrix() const;
+
+  bool At(int looker, int target) const {
+    return cells[static_cast<size_t>(looker) * n + target] != 0;
+  }
+};
+
+/// One participant's recognized emotion in one frame.
+struct EmotionRecord {
+  int frame = 0;
+  double timestamp_s = 0.0;
+  int participant = -1;
+  Emotion emotion = Emotion::kNeutral;
+  double confidence = 0.0;
+};
+
+/// Group-level emotion for one frame.
+struct OverallEmotionRecord {
+  int frame = 0;
+  double timestamp_s = 0.0;
+  double overall_happiness = 0.0;
+  double mean_valence = 0.0;
+  int observed = 0;
+};
+
+/// A maximal run of frames during which a pair held eye contact
+/// (derived from the stored look-at records).
+struct EyeContactEpisode {
+  int a = -1;
+  int b = -1;
+  int begin_frame = 0;  ///< inclusive
+  int end_frame = 0;    ///< exclusive
+
+  int Length() const { return end_frame - begin_frame; }
+};
+
+/// Stored form of the parsed video structure.
+struct StoredShot {
+  int begin_frame = 0;
+  int end_frame = 0;
+  int scene_index = 0;
+  std::vector<int> key_frames;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_METADATA_RECORDS_H_

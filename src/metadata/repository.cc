@@ -1,0 +1,395 @@
+#include "metadata/repository.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x444D5231;  // "DMR1"
+constexpr uint32_t kVersion = 1;
+
+// --- little binary writer/reader helpers -------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::ostream* out) : out_(out) {}
+
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Bytes(const std::vector<uint8_t>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    Raw(v.data(), v.size());
+  }
+  void Ints(const std::vector<int>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (int x : v) I32(x);
+  }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    out_->write(static_cast<const char*>(p),
+                static_cast<std::streamsize>(n));
+  }
+  std::ostream* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream* in) : in_(in) {}
+
+  bool ok() const { return ok_ && in_->good(); }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (!Check(n)) return {};
+    std::string s(n, '\0');
+    Raw(s.data(), n);
+    return s;
+  }
+  std::vector<uint8_t> Bytes() {
+    uint32_t n = U32();
+    if (!Check(n)) return {};
+    std::vector<uint8_t> v(n);
+    Raw(v.data(), n);
+    return v;
+  }
+  std::vector<int> Ints() {
+    uint32_t n = U32();
+    if (!Check(n)) return {};
+    std::vector<int> v(n);
+    for (uint32_t i = 0; i < n; ++i) v[i] = I32();
+    return v;
+  }
+
+ private:
+  bool Check(uint32_t n) {
+    // Field-length sanity: refuse absurd sizes so a corrupt file cannot
+    // trigger a multi-gigabyte allocation.
+    if (n > (64u << 20)) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  void Raw(void* p, size_t n) {
+    in_->read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (in_->gcount() != static_cast<std::streamsize>(n)) ok_ = false;
+  }
+  std::istream* in_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Status MetadataRepository::AddLookAt(LookAtRecord record) {
+  if (record.n <= 0 ||
+      record.cells.size() != static_cast<size_t>(record.n) * record.n) {
+    return Status::InvalidArgument("malformed look-at record");
+  }
+  if (!lookat_.empty() && record.frame < lookat_.back().frame) {
+    return Status::FailedPrecondition(
+        "look-at records must arrive in frame order");
+  }
+  lookat_.push_back(std::move(record));
+  InvalidateIndexes();
+  return Status::OK();
+}
+
+Status MetadataRepository::AddEmotion(EmotionRecord record) {
+  if (!emotions_.empty() && record.frame < emotions_.back().frame) {
+    return Status::FailedPrecondition(
+        "emotion records must arrive in frame order");
+  }
+  emotions_.push_back(record);
+  return Status::OK();
+}
+
+Status MetadataRepository::AddOverallEmotion(OverallEmotionRecord record) {
+  if (!overall_.empty() && record.frame < overall_.back().frame) {
+    return Status::FailedPrecondition(
+        "overall-emotion records must arrive in frame order");
+  }
+  overall_.push_back(record);
+  return Status::OK();
+}
+
+void MetadataRepository::SetVideoStructure(const VideoStructure& structure) {
+  shots_.clear();
+  num_scenes_ = static_cast<int>(structure.scenes.size());
+  if (structure.fps > 0) fps_ = structure.fps;
+  for (int si = 0; si < num_scenes_; ++si) {
+    for (const Shot& shot : structure.scenes[si].shots) {
+      StoredShot s;
+      s.begin_frame = shot.begin_frame;
+      s.end_frame = shot.end_frame;
+      s.scene_index = si;
+      s.key_frames = shot.key_frames;
+      shots_.push_back(std::move(s));
+    }
+  }
+}
+
+Result<int> MetadataRepository::FindLookAtIndex(int frame) const {
+  auto it = std::lower_bound(
+      lookat_.begin(), lookat_.end(), frame,
+      [](const LookAtRecord& r, int f) { return r.frame < f; });
+  if (it == lookat_.end() || it->frame != frame) {
+    return Status::NotFound(StrFormat("no look-at record for frame %d",
+                                      frame));
+  }
+  return static_cast<int>(it - lookat_.begin());
+}
+
+LookAtSummary MetadataRepository::Summarize(int begin_frame,
+                                            int end_frame) const {
+  if (lookat_.empty()) return LookAtSummary(0);
+  LookAtSummary summary(lookat_.front().n);
+  for (const LookAtRecord& r : lookat_) {
+    if (r.frame < begin_frame || r.frame >= end_frame) continue;
+    // Cheap accumulate without materializing a LookAtMatrix.
+    LookAtMatrix m = r.ToMatrix();
+    (void)summary.Accumulate(m);
+  }
+  return summary;
+}
+
+void MetadataRepository::InvalidateIndexes() { pair_index_valid_ = false; }
+
+void MetadataRepository::BuildPairIndex() const {
+  pair_index_.clear();
+  for (size_t i = 0; i < lookat_.size(); ++i) {
+    const LookAtRecord& r = lookat_[i];
+    for (int x = 0; x < r.n; ++x) {
+      for (int y = 0; y < r.n; ++y) {
+        if (x != y && r.At(x, y)) {
+          pair_index_[{x, y}].push_back(static_cast<int>(i));
+        }
+      }
+    }
+  }
+  pair_index_valid_ = true;
+}
+
+const std::vector<int>& MetadataRepository::FramesWithLook(
+    int looker, int target) const {
+  static const std::vector<int> kEmpty;
+  if (!pair_index_valid_) BuildPairIndex();
+  auto it = pair_index_.find({looker, target});
+  return it == pair_index_.end() ? kEmpty : it->second;
+}
+
+std::vector<EyeContactEpisode> MetadataRepository::EyeContactEpisodes(
+    int min_length, int max_gap) const {
+  std::vector<EyeContactEpisode> episodes;
+  if (lookat_.empty()) return episodes;
+  const int n = lookat_.front().n;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      int run_begin = -1;
+      int last_hit = -1;
+      for (const LookAtRecord& r : lookat_) {
+        bool ec = r.At(a, b) && r.At(b, a);
+        if (ec) {
+          if (run_begin < 0) {
+            run_begin = r.frame;
+          } else if (last_hit >= 0 && r.frame - last_hit - 1 > max_gap) {
+            if (last_hit + 1 - run_begin >= min_length) {
+              episodes.push_back(
+                  EyeContactEpisode{a, b, run_begin, last_hit + 1});
+            }
+            run_begin = r.frame;
+          }
+          last_hit = r.frame;
+        }
+      }
+      if (run_begin >= 0 && last_hit + 1 - run_begin >= min_length) {
+        episodes.push_back(EyeContactEpisode{a, b, run_begin, last_hit + 1});
+      }
+    }
+  }
+  std::sort(episodes.begin(), episodes.end(),
+            [](const EyeContactEpisode& x, const EyeContactEpisode& y) {
+              return x.begin_frame < y.begin_frame;
+            });
+  return episodes;
+}
+
+Status MetadataRepository::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  Writer w(&out);
+  w.U32(kMagic);
+  w.U32(kVersion);
+
+  // Context.
+  w.Str(context_.event_id);
+  w.Str(context_.location);
+  w.Str(context_.date);
+  w.Str(context_.occasion);
+  w.U32(static_cast<uint32_t>(context_.menu.size()));
+  for (const auto& m : context_.menu) w.Str(m);
+  w.F64(context_.temperature_c);
+  w.I32(context_.num_participants);
+  w.U32(static_cast<uint32_t>(context_.participant_names.size()));
+  for (const auto& nm : context_.participant_names) w.Str(nm);
+  w.U32(static_cast<uint32_t>(context_.relations.size()));
+  for (const auto& rel : context_.relations) {
+    w.I32(rel.a);
+    w.I32(rel.b);
+    w.Str(rel.relation);
+  }
+
+  w.F64(fps_);
+
+  w.U32(static_cast<uint32_t>(lookat_.size()));
+  for (const auto& r : lookat_) {
+    w.I32(r.frame);
+    w.F64(r.timestamp_s);
+    w.I32(r.n);
+    w.Bytes(r.cells);
+  }
+  w.U32(static_cast<uint32_t>(emotions_.size()));
+  for (const auto& r : emotions_) {
+    w.I32(r.frame);
+    w.F64(r.timestamp_s);
+    w.I32(r.participant);
+    w.I32(static_cast<int32_t>(r.emotion));
+    w.F64(r.confidence);
+  }
+  w.U32(static_cast<uint32_t>(overall_.size()));
+  for (const auto& r : overall_) {
+    w.I32(r.frame);
+    w.F64(r.timestamp_s);
+    w.F64(r.overall_happiness);
+    w.F64(r.mean_valence);
+    w.I32(r.observed);
+  }
+  w.U32(static_cast<uint32_t>(shots_.size()));
+  w.I32(num_scenes_);
+  for (const auto& s : shots_) {
+    w.I32(s.begin_frame);
+    w.I32(s.end_frame);
+    w.I32(s.scene_index);
+    w.Ints(s.key_frames);
+  }
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<MetadataRepository> MetadataRepository::Load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  Reader r(&in);
+  if (r.U32() != kMagic) {
+    return Status::Corruption("bad repository magic: " + path);
+  }
+  if (r.U32() != kVersion) {
+    return Status::Corruption("unsupported repository version: " + path);
+  }
+
+  MetadataRepository repo;
+  EventContext ctx;
+  ctx.event_id = r.Str();
+  ctx.location = r.Str();
+  ctx.date = r.Str();
+  ctx.occasion = r.Str();
+  uint32_t n_menu = r.U32();
+  for (uint32_t i = 0; i < n_menu && r.ok(); ++i) {
+    ctx.menu.push_back(r.Str());
+  }
+  ctx.temperature_c = r.F64();
+  ctx.num_participants = r.I32();
+  uint32_t n_names = r.U32();
+  for (uint32_t i = 0; i < n_names && r.ok(); ++i) {
+    ctx.participant_names.push_back(r.Str());
+  }
+  uint32_t n_rel = r.U32();
+  for (uint32_t i = 0; i < n_rel && r.ok(); ++i) {
+    SocialRelation rel;
+    rel.a = r.I32();
+    rel.b = r.I32();
+    rel.relation = r.Str();
+    ctx.relations.push_back(std::move(rel));
+  }
+  repo.SetContext(std::move(ctx));
+
+  repo.fps_ = r.F64();
+
+  uint32_t n_look = r.U32();
+  for (uint32_t i = 0; i < n_look && r.ok(); ++i) {
+    LookAtRecord rec;
+    rec.frame = r.I32();
+    rec.timestamp_s = r.F64();
+    rec.n = r.I32();
+    rec.cells = r.Bytes();
+    if (rec.n < 0 ||
+        rec.cells.size() != static_cast<size_t>(rec.n) * rec.n) {
+      return Status::Corruption("malformed look-at record in " + path);
+    }
+    repo.lookat_.push_back(std::move(rec));
+  }
+  uint32_t n_emo = r.U32();
+  for (uint32_t i = 0; i < n_emo && r.ok(); ++i) {
+    EmotionRecord rec;
+    rec.frame = r.I32();
+    rec.timestamp_s = r.F64();
+    rec.participant = r.I32();
+    int32_t e = r.I32();
+    if (e < 0 || e >= kNumEmotions) {
+      return Status::Corruption("invalid emotion id in " + path);
+    }
+    rec.emotion = static_cast<Emotion>(e);
+    rec.confidence = r.F64();
+    repo.emotions_.push_back(rec);
+  }
+  uint32_t n_overall = r.U32();
+  for (uint32_t i = 0; i < n_overall && r.ok(); ++i) {
+    OverallEmotionRecord rec;
+    rec.frame = r.I32();
+    rec.timestamp_s = r.F64();
+    rec.overall_happiness = r.F64();
+    rec.mean_valence = r.F64();
+    rec.observed = r.I32();
+    repo.overall_.push_back(rec);
+  }
+  uint32_t n_shots = r.U32();
+  repo.num_scenes_ = r.I32();
+  for (uint32_t i = 0; i < n_shots && r.ok(); ++i) {
+    StoredShot s;
+    s.begin_frame = r.I32();
+    s.end_frame = r.I32();
+    s.scene_index = r.I32();
+    s.key_frames = r.Ints();
+    repo.shots_.push_back(std::move(s));
+  }
+  if (!r.ok()) return Status::Corruption("truncated repository: " + path);
+  return repo;
+}
+
+}  // namespace dievent

@@ -1,0 +1,96 @@
+/// \file repository.h
+/// The metadata repository (paper Section II-E): stores the collected
+/// (time-invariant) and extracted (time-variant) metadata of one analyzed
+/// event, maintains lookup indexes, derives eye-contact episodes, and
+/// persists everything to a single binary file.
+
+#ifndef DIEVENT_METADATA_REPOSITORY_H_
+#define DIEVENT_METADATA_REPOSITORY_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/layers.h"
+#include "common/result.h"
+#include "metadata/records.h"
+#include "video/video_structure.h"
+
+namespace dievent {
+
+class MetadataRepository {
+ public:
+  MetadataRepository() = default;
+
+  // --- time-invariant layer -------------------------------------------
+  void SetContext(EventContext context) { context_ = std::move(context); }
+  const EventContext& context() const { return context_; }
+
+  // --- ingestion (records must arrive in non-decreasing frame order) ---
+  Status AddLookAt(LookAtRecord record);
+  Status AddEmotion(EmotionRecord record);
+  Status AddOverallEmotion(OverallEmotionRecord record);
+  void SetVideoStructure(const VideoStructure& structure);
+
+  // --- access -----------------------------------------------------------
+  const std::vector<LookAtRecord>& lookat_records() const {
+    return lookat_;
+  }
+  const std::vector<EmotionRecord>& emotion_records() const {
+    return emotions_;
+  }
+  const std::vector<OverallEmotionRecord>& overall_records() const {
+    return overall_;
+  }
+  const std::vector<StoredShot>& shots() const { return shots_; }
+  int NumScenes() const { return num_scenes_; }
+  double fps() const { return fps_; }
+  void set_fps(double fps) { fps_ = fps; }
+
+  /// Index of the look-at record for `frame`, or NotFound.
+  Result<int> FindLookAtIndex(int frame) const;
+
+  /// Builds the Fig. 9 summary over a frame range ([0, INT_MAX) = all).
+  LookAtSummary Summarize(int begin_frame = 0,
+                          int end_frame = 0x7fffffff) const;
+
+  /// Frames (indices into lookat_records) where `looker` looks at
+  /// `target`; served from the lazily-built pair index.
+  const std::vector<int>& FramesWithLook(int looker, int target) const;
+
+  /// Derives maximal eye-contact episodes of at least `min_length`
+  /// frames, allowing gaps up to `max_gap` frames (detector dropouts).
+  std::vector<EyeContactEpisode> EyeContactEpisodes(int min_length = 1,
+                                                    int max_gap = 0) const;
+
+  // --- persistence ------------------------------------------------------
+  Status Save(const std::string& path) const;
+  static Result<MetadataRepository> Load(const std::string& path);
+
+  /// Total stored record count across all types.
+  size_t TotalRecords() const {
+    return lookat_.size() + emotions_.size() + overall_.size() +
+           shots_.size();
+  }
+
+ private:
+  void InvalidateIndexes();
+  void BuildPairIndex() const;
+
+  EventContext context_;
+  double fps_ = 0.0;
+  std::vector<LookAtRecord> lookat_;
+  std::vector<EmotionRecord> emotions_;
+  std::vector<OverallEmotionRecord> overall_;
+  std::vector<StoredShot> shots_;
+  int num_scenes_ = 0;
+
+  // Lazy pair index: (looker, target) -> sorted record indices.
+  mutable bool pair_index_valid_ = false;
+  mutable std::map<std::pair<int, int>, std::vector<int>> pair_index_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_METADATA_REPOSITORY_H_

@@ -1,0 +1,172 @@
+#include "metadata/summarization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+/// Index of the stored look-at record closest to `frame`, or -1.
+int NearestLookAt(const MetadataRepository& repo, int frame) {
+  const auto& records = repo.lookat_records();
+  if (records.empty()) return -1;
+  auto it = std::lower_bound(
+      records.begin(), records.end(), frame,
+      [](const LookAtRecord& r, int f) { return r.frame < f; });
+  if (it == records.end()) return static_cast<int>(records.size()) - 1;
+  if (it == records.begin()) return 0;
+  auto prev = it - 1;
+  return (it->frame - frame < frame - prev->frame)
+             ? static_cast<int>(it - records.begin())
+             : static_cast<int>(prev - records.begin());
+}
+
+/// Overall happiness at the stored record nearest to `frame`;
+/// fallback 0 when none exists.
+double OverallHappinessNear(const MetadataRepository& repo, int frame) {
+  const auto& records = repo.overall_records();
+  if (records.empty()) return 0.0;
+  auto it = std::lower_bound(
+      records.begin(), records.end(), frame,
+      [](const OverallEmotionRecord& r, int f) { return r.frame < f; });
+  if (it == records.end()) --it;
+  return it->overall_happiness;
+}
+
+}  // namespace
+
+Result<std::vector<SummaryEntry>> VideoSummarizer::Summarize(
+    const VideoStructure& structure,
+    const std::vector<Histogram>& signatures,
+    const MetadataRepository& repository) const {
+  if (options_.max_entries <= 0) {
+    return Status::InvalidArgument("max_entries must be positive");
+  }
+  const double fps = structure.fps > 0 ? structure.fps : 1.0;
+
+  // Candidate pool: every key frame of every shot.
+  struct Candidate {
+    int frame;
+    double semantic = 0.0;
+    std::string reason;
+  };
+  std::vector<Candidate> candidates;
+  for (const Shot& shot : structure.AllShots()) {
+    for (int kf : shot.key_frames) candidates.push_back({kf, 0.0, ""});
+  }
+  if (candidates.empty()) return std::vector<SummaryEntry>{};
+
+  // Semantic importance from the metadata layers.
+  std::vector<EyeContactEpisode> episodes =
+      repository.EyeContactEpisodes(/*min_length=*/1, /*max_gap=*/2);
+  const auto& names = repository.context().participant_names;
+  auto name = [&](int i) {
+    return i < static_cast<int>(names.size()) ? names[i]
+                                              : StrFormat("P%d", i + 1);
+  };
+  for (Candidate& c : candidates) {
+    // Eye-contact onset nearby.
+    for (const EyeContactEpisode& ep : episodes) {
+      if (std::abs(ep.begin_frame - c.frame) <= options_.event_window) {
+        c.semantic += 0.5;
+        if (c.reason.empty()) {
+          c.reason = StrFormat("eye contact begins (%s,%s)",
+                               name(ep.a).c_str(), name(ep.b).c_str());
+        }
+      }
+    }
+    // Attention concentration: one participant drawing most looks.
+    int li = NearestLookAt(repository, c.frame);
+    if (li >= 0) {
+      const LookAtRecord& r = repository.lookat_records()[li];
+      if (r.n > 1) {
+        int best_col = 0, best_count = 0;
+        for (int y = 0; y < r.n; ++y) {
+          int count = 0;
+          for (int x = 0; x < r.n; ++x) {
+            if (x != y && r.At(x, y)) ++count;
+          }
+          if (count > best_count) {
+            best_count = count;
+            best_col = y;
+          }
+        }
+        double concentration =
+            static_cast<double>(best_count) / (r.n - 1);
+        if (concentration >= 0.6) {
+          c.semantic += 0.3 * concentration;
+          if (c.reason.empty()) {
+            c.reason = StrFormat("group attention on %s",
+                                 name(best_col).c_str());
+          }
+        }
+      }
+    }
+    // Group-emotion swing around the frame.
+    double before =
+        OverallHappinessNear(repository, c.frame - options_.event_window);
+    double after =
+        OverallHappinessNear(repository, c.frame + options_.event_window);
+    double swing = std::abs(after - before);
+    if (swing > 0.1) {
+      c.semantic += 0.4 * swing;
+      if (c.reason.empty()) {
+        c.reason = after > before ? "group mood rises" : "group mood drops";
+      }
+    }
+    if (c.reason.empty()) c.reason = "representative key frame";
+  }
+
+  // Greedy selection maximizing semantic * w + novelty * (1 - w).
+  const bool have_sigs = !signatures.empty();
+  std::vector<SummaryEntry> summary;
+  std::vector<bool> used(candidates.size(), false);
+  std::vector<int> selected_frames;
+  const int budget =
+      std::min<int>(options_.max_entries,
+                    static_cast<int>(candidates.size()));
+  for (int pick = 0; pick < budget; ++pick) {
+    int best = -1;
+    double best_score = -1;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      double novelty = 1.0;
+      if (have_sigs &&
+          candidates[i].frame < static_cast<int>(signatures.size())) {
+        for (int sel : selected_frames) {
+          if (sel < static_cast<int>(signatures.size())) {
+            novelty = std::min(
+                novelty,
+                ChiSquareDistance(signatures[candidates[i].frame],
+                                  signatures[sel]));
+          }
+        }
+      }
+      double score = options_.semantic_weight * candidates[i].semantic +
+                     (1.0 - options_.semantic_weight) * novelty;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0 || best_score < options_.min_score) break;
+    used[best] = true;
+    selected_frames.push_back(candidates[best].frame);
+    SummaryEntry entry;
+    entry.frame = candidates[best].frame;
+    entry.timestamp_s = candidates[best].frame / fps;
+    entry.score = best_score;
+    entry.reason = candidates[best].reason;
+    summary.push_back(std::move(entry));
+  }
+  std::sort(summary.begin(), summary.end(),
+            [](const SummaryEntry& a, const SummaryEntry& b) {
+              return a.frame < b.frame;
+            });
+  return summary;
+}
+
+}  // namespace dievent

@@ -1,0 +1,68 @@
+/// \file summarization.h
+/// Video summarization — the sixth component of the paper's framework
+/// ("detecting and highlighting the most important scenes, shots, and
+/// events inside videos; reducing the time needed for analyzing a video
+/// by sociologists or locating the relevant scenes").
+///
+/// A summary is a ranked selection of key frames. Each candidate key
+/// frame (from the parsed video structure) is scored by combining visual
+/// novelty (histogram distance from the previously selected entry) with
+/// semantic importance mined from the metadata repository: eye-contact
+/// onsets, attention concentration, and group-emotion swings near the
+/// frame.
+
+#ifndef DIEVENT_METADATA_SUMMARIZATION_H_
+#define DIEVENT_METADATA_SUMMARIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "image/histogram.h"
+#include "metadata/repository.h"
+#include "video/video_structure.h"
+
+namespace dievent {
+
+/// One selected summary frame with its provenance.
+struct SummaryEntry {
+  int frame = 0;
+  double timestamp_s = 0.0;
+  double score = 0.0;
+  /// Human-readable justification, e.g. "eye contact begins (P1,P3)".
+  std::string reason;
+};
+
+struct SummaryOptions {
+  /// Maximum entries in the summary (<= number of key frames).
+  int max_entries = 8;
+  /// Weight of semantic (metadata) importance vs visual novelty.
+  double semantic_weight = 0.6;
+  /// Half-window (frames) around a key frame in which metadata events
+  /// count toward its importance.
+  int event_window = 12;
+  /// Entries scoring below this are dropped even if the budget remains.
+  double min_score = 0.05;
+};
+
+/// Builds a summary from a parsed structure, the per-frame signature
+/// table (indexed absolutely, as produced by the parser), and the
+/// repository's time-variant layers. `signatures` may be empty, in which
+/// case only semantic importance is used.
+class VideoSummarizer {
+ public:
+  explicit VideoSummarizer(SummaryOptions options = {})
+      : options_(options) {}
+
+  Result<std::vector<SummaryEntry>> Summarize(
+      const VideoStructure& structure,
+      const std::vector<Histogram>& signatures,
+      const MetadataRepository& repository) const;
+
+ private:
+  SummaryOptions options_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_METADATA_SUMMARIZATION_H_

@@ -1,0 +1,296 @@
+#include "ml/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+Status NormalizeRow(std::vector<double>* row, const char* what) {
+  double total = 0.0;
+  for (double v : *row) {
+    if (v < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("%s contains a negative entry", what));
+    }
+    total += v;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("%s row sums to zero", what));
+  }
+  for (double& v : *row) v /= total;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DiscreteHmm> DiscreteHmm::CreateRandom(int num_states,
+                                              int num_symbols, Rng* rng) {
+  if (num_states <= 0 || num_symbols <= 0) {
+    return Status::InvalidArgument("states and symbols must be positive");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  std::vector<double> pi(num_states);
+  std::vector<std::vector<double>> a(num_states,
+                                     std::vector<double>(num_states));
+  std::vector<std::vector<double>> b(num_states,
+                                     std::vector<double>(num_symbols));
+  for (double& v : pi) v = 0.5 + rng->NextDouble();
+  for (auto& row : a) {
+    for (double& v : row) v = 0.5 + rng->NextDouble();
+  }
+  for (auto& row : b) {
+    for (double& v : row) v = 0.5 + rng->NextDouble();
+  }
+  return Create(std::move(pi), std::move(a), std::move(b));
+}
+
+Result<DiscreteHmm> DiscreteHmm::Create(
+    std::vector<double> initial, std::vector<std::vector<double>> transition,
+    std::vector<std::vector<double>> emission) {
+  const int k = static_cast<int>(initial.size());
+  if (k == 0 || static_cast<int>(transition.size()) != k ||
+      static_cast<int>(emission.size()) != k) {
+    return Status::InvalidArgument("inconsistent HMM dimensions");
+  }
+  const int m = static_cast<int>(emission[0].size());
+  if (m == 0) return Status::InvalidArgument("need at least one symbol");
+  for (const auto& row : transition) {
+    if (static_cast<int>(row.size()) != k) {
+      return Status::InvalidArgument("transition matrix is not square");
+    }
+  }
+  for (const auto& row : emission) {
+    if (static_cast<int>(row.size()) != m) {
+      return Status::InvalidArgument("ragged emission matrix");
+    }
+  }
+  DIEVENT_RETURN_NOT_OK(NormalizeRow(&initial, "initial distribution"));
+  for (auto& row : transition) {
+    DIEVENT_RETURN_NOT_OK(NormalizeRow(&row, "transition"));
+  }
+  for (auto& row : emission) {
+    DIEVENT_RETURN_NOT_OK(NormalizeRow(&row, "emission"));
+  }
+  DiscreteHmm hmm(k, m);
+  hmm.pi_ = std::move(initial);
+  hmm.a_ = std::move(transition);
+  hmm.b_ = std::move(emission);
+  return hmm;
+}
+
+Status DiscreteHmm::ValidateObservations(const std::vector<int>& obs) const {
+  if (obs.empty()) {
+    return Status::InvalidArgument("empty observation sequence");
+  }
+  for (int o : obs) {
+    if (o < 0 || o >= m_) {
+      return Status::OutOfRange(
+          StrFormat("symbol %d outside [0, %d)", o, m_));
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> DiscreteHmm::LogLikelihood(
+    const std::vector<int>& obs) const {
+  DIEVENT_RETURN_NOT_OK(ValidateObservations(obs));
+  const int t_end = static_cast<int>(obs.size());
+  std::vector<double> alpha(k_);
+  double log_like = 0.0;
+  for (int i = 0; i < k_; ++i) alpha[i] = pi_[i] * b_[i][obs[0]];
+  for (int t = 0;; ++t) {
+    double scale = 0.0;
+    for (double v : alpha) scale += v;
+    if (scale <= 0.0) {
+      return Status::InvalidArgument(
+          "observation sequence has zero probability under the model");
+    }
+    log_like += std::log(scale);
+    for (double& v : alpha) v /= scale;
+    if (t + 1 >= t_end) break;
+    std::vector<double> next(k_, 0.0);
+    for (int j = 0; j < k_; ++j) {
+      double acc = 0.0;
+      for (int i = 0; i < k_; ++i) acc += alpha[i] * a_[i][j];
+      next[j] = acc * b_[j][obs[t + 1]];
+    }
+    alpha.swap(next);
+  }
+  return log_like;
+}
+
+Result<std::vector<int>> DiscreteHmm::Viterbi(
+    const std::vector<int>& obs) const {
+  DIEVENT_RETURN_NOT_OK(ValidateObservations(obs));
+  const int t_end = static_cast<int>(obs.size());
+  constexpr double kNegInf = -1e300;
+  auto safe_log = [](double v) {
+    return v > 0.0 ? std::log(v) : -1e300;
+  };
+  std::vector<std::vector<double>> delta(t_end, std::vector<double>(k_));
+  std::vector<std::vector<int>> psi(t_end, std::vector<int>(k_, 0));
+  for (int i = 0; i < k_; ++i) {
+    delta[0][i] = safe_log(pi_[i]) + safe_log(b_[i][obs[0]]);
+  }
+  for (int t = 1; t < t_end; ++t) {
+    for (int j = 0; j < k_; ++j) {
+      double best = kNegInf;
+      int arg = 0;
+      for (int i = 0; i < k_; ++i) {
+        double v = delta[t - 1][i] + safe_log(a_[i][j]);
+        if (v > best) {
+          best = v;
+          arg = i;
+        }
+      }
+      delta[t][j] = best + safe_log(b_[j][obs[t]]);
+      psi[t][j] = arg;
+    }
+  }
+  std::vector<int> path(t_end);
+  int last = 0;
+  double best = kNegInf;
+  for (int i = 0; i < k_; ++i) {
+    if (delta[t_end - 1][i] > best) {
+      best = delta[t_end - 1][i];
+      last = i;
+    }
+  }
+  path[t_end - 1] = last;
+  for (int t = t_end - 1; t > 0; --t) path[t - 1] = psi[t][path[t]];
+  return path;
+}
+
+Result<std::vector<double>> DiscreteHmm::BaumWelch(
+    const std::vector<std::vector<int>>& sequences, int max_iterations,
+    double tolerance) {
+  if (sequences.empty()) {
+    return Status::InvalidArgument("no training sequences");
+  }
+  for (const auto& seq : sequences) {
+    DIEVENT_RETURN_NOT_OK(ValidateObservations(seq));
+  }
+  std::vector<double> history;
+  double prev = -1e300;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::vector<double> pi_acc(k_, 1e-9);
+    std::vector<std::vector<double>> a_num(k_,
+                                           std::vector<double>(k_, 1e-9));
+    std::vector<double> a_den(k_, 1e-9);
+    std::vector<std::vector<double>> b_num(k_,
+                                           std::vector<double>(m_, 1e-9));
+    std::vector<double> b_den(k_, 1e-9);
+    double total_ll = 0.0;
+
+    for (const auto& obs : sequences) {
+      const int t_end = static_cast<int>(obs.size());
+      // Scaled forward.
+      std::vector<std::vector<double>> alpha(t_end,
+                                             std::vector<double>(k_));
+      std::vector<double> scale(t_end, 0.0);
+      for (int i = 0; i < k_; ++i) alpha[0][i] = pi_[i] * b_[i][obs[0]];
+      for (int t = 0; t < t_end; ++t) {
+        if (t > 0) {
+          for (int j = 0; j < k_; ++j) {
+            double acc = 0.0;
+            for (int i = 0; i < k_; ++i) acc += alpha[t - 1][i] * a_[i][j];
+            alpha[t][j] = acc * b_[j][obs[t]];
+          }
+        }
+        for (int i = 0; i < k_; ++i) scale[t] += alpha[t][i];
+        if (scale[t] <= 0.0) {
+          return Status::Internal("zero-probability sequence in training");
+        }
+        for (int i = 0; i < k_; ++i) alpha[t][i] /= scale[t];
+        total_ll += std::log(scale[t]);
+      }
+      // Scaled backward (same scale factors).
+      std::vector<std::vector<double>> beta(t_end,
+                                            std::vector<double>(k_, 1.0));
+      for (int t = t_end - 2; t >= 0; --t) {
+        for (int i = 0; i < k_; ++i) {
+          double acc = 0.0;
+          for (int j = 0; j < k_; ++j) {
+            acc += a_[i][j] * b_[j][obs[t + 1]] * beta[t + 1][j];
+          }
+          beta[t][i] = acc / scale[t + 1];
+        }
+      }
+      // Accumulate expected counts.
+      for (int t = 0; t < t_end; ++t) {
+        double gamma_norm = 0.0;
+        for (int i = 0; i < k_; ++i) gamma_norm += alpha[t][i] * beta[t][i];
+        if (gamma_norm <= 0.0) continue;
+        for (int i = 0; i < k_; ++i) {
+          double gamma = alpha[t][i] * beta[t][i] / gamma_norm;
+          if (t == 0) pi_acc[i] += gamma;
+          b_num[i][obs[t]] += gamma;
+          b_den[i] += gamma;
+          if (t + 1 < t_end) a_den[i] += gamma;
+        }
+        if (t + 1 < t_end) {
+          double xi_norm = 0.0;
+          for (int i = 0; i < k_; ++i) {
+            for (int j = 0; j < k_; ++j) {
+              xi_norm += alpha[t][i] * a_[i][j] * b_[j][obs[t + 1]] *
+                         beta[t + 1][j];
+            }
+          }
+          if (xi_norm > 0.0) {
+            for (int i = 0; i < k_; ++i) {
+              for (int j = 0; j < k_; ++j) {
+                a_num[i][j] += alpha[t][i] * a_[i][j] *
+                               b_[j][obs[t + 1]] * beta[t + 1][j] /
+                               xi_norm;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // M-step.
+    double pi_total = 0.0;
+    for (double v : pi_acc) pi_total += v;
+    for (int i = 0; i < k_; ++i) pi_[i] = pi_acc[i] / pi_total;
+    for (int i = 0; i < k_; ++i) {
+      for (int j = 0; j < k_; ++j) a_[i][j] = a_num[i][j] / a_den[i];
+      (void)NormalizeRow(&a_[i], "transition");
+      for (int s = 0; s < m_; ++s) b_[i][s] = b_num[i][s] / b_den[i];
+      (void)NormalizeRow(&b_[i], "emission");
+    }
+
+    history.push_back(total_ll);
+    if (iter > 0 && total_ll - prev < tolerance) break;
+    prev = total_ll;
+  }
+  return history;
+}
+
+void DiscreteHmm::Sample(int length, Rng* rng, std::vector<int>* states,
+                         std::vector<int>* symbols) const {
+  states->clear();
+  symbols->clear();
+  auto draw = [&](const std::vector<double>& dist) {
+    double u = rng->NextDouble();
+    double acc = 0.0;
+    for (size_t i = 0; i < dist.size(); ++i) {
+      acc += dist[i];
+      if (u < acc) return static_cast<int>(i);
+    }
+    return static_cast<int>(dist.size()) - 1;
+  };
+  int state = draw(pi_);
+  for (int t = 0; t < length; ++t) {
+    states->push_back(state);
+    symbols->push_back(draw(b_[state]));
+    state = draw(a_[state]);
+  }
+}
+
+}  // namespace dievent

@@ -1,0 +1,73 @@
+/// \file hmm.h
+/// Discrete hidden Markov model — the baseline method of the paper's
+/// closest prior work (Gao et al., "Dining activity analysis using a
+/// hidden Markov model", ICPR 2004, cited as [16]).
+///
+/// Full classic toolkit: scaled forward/backward, Viterbi decoding, and
+/// Baum-Welch estimation, for small state/symbol alphabets. Used by the
+/// activity-analysis baseline bench to compare HMM phase segmentation
+/// against DiEvent's multilayer analysis.
+
+#ifndef DIEVENT_ML_HMM_H_
+#define DIEVENT_ML_HMM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace dievent {
+
+class DiscreteHmm {
+ public:
+  /// Random (row-stochastic) initialization with `num_states` hidden
+  /// states over `num_symbols` observation symbols.
+  static Result<DiscreteHmm> CreateRandom(int num_states, int num_symbols,
+                                          Rng* rng);
+
+  /// Explicit parameter construction; rows must be near-stochastic (they
+  /// are renormalized; validation rejects non-positive rows).
+  static Result<DiscreteHmm> Create(
+      std::vector<double> initial,
+      std::vector<std::vector<double>> transition,
+      std::vector<std::vector<double>> emission);
+
+  int num_states() const { return k_; }
+  int num_symbols() const { return m_; }
+  const std::vector<double>& initial() const { return pi_; }
+  const std::vector<std::vector<double>>& transition() const { return a_; }
+  const std::vector<std::vector<double>>& emission() const { return b_; }
+
+  /// Log likelihood of a symbol sequence (scaled forward algorithm).
+  Result<double> LogLikelihood(const std::vector<int>& observations) const;
+
+  /// Most probable state sequence (Viterbi, log domain).
+  Result<std::vector<int>> Viterbi(
+      const std::vector<int>& observations) const;
+
+  /// Baum-Welch expectation-maximization over one or more sequences.
+  /// Returns per-iteration total log likelihood (non-decreasing up to
+  /// numerical noise). Stops early when improvement < `tolerance`.
+  Result<std::vector<double>> BaumWelch(
+      const std::vector<std::vector<int>>& sequences, int max_iterations,
+      double tolerance = 1e-4);
+
+  /// Samples a (states, symbols) trajectory; for tests.
+  void Sample(int length, Rng* rng, std::vector<int>* states,
+              std::vector<int>* symbols) const;
+
+ private:
+  DiscreteHmm(int k, int m) : k_(k), m_(m) {}
+
+  Status ValidateObservations(const std::vector<int>& obs) const;
+
+  int k_ = 0;
+  int m_ = 0;
+  std::vector<double> pi_;                  // k
+  std::vector<std::vector<double>> a_;      // k x k
+  std::vector<std::vector<double>> b_;      // k x m
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ML_HMM_H_

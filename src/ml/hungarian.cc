@@ -1,0 +1,77 @@
+#include "ml/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dievent {
+
+std::vector<int> SolveAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const int rows = static_cast<int>(cost.size());
+  if (rows == 0) return {};
+  const int cols = static_cast<int>(cost[0].size());
+  if (cols == 0) return std::vector<int>(rows, -1);
+
+  // Square the matrix by padding with zeros (padded cells are assignment
+  // sinks that never beat real cells because real costs are shifted to be
+  // non-negative relative to them only through the potentials).
+  const int n = std::max(rows, cols);
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Classic O(n^3) Hungarian with row/column potentials. 1-indexed
+  // internals per the standard formulation.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  auto a = [&](int i, int j) -> double {
+    // 1-indexed access with zero padding.
+    if (i - 1 < rows && j - 1 < cols) return cost[i - 1][j - 1];
+    return 0.0;
+  };
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      int i0 = p[j0], j1 = 0;
+      double delta = kInf;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = a(i0, j) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0);
+  }
+
+  std::vector<int> match(rows, -1);
+  for (int j = 1; j <= n; ++j) {
+    int i = p[j];
+    if (i >= 1 && i <= rows && j <= cols) match[i - 1] = j - 1;
+  }
+  return match;
+}
+
+}  // namespace dievent

@@ -1,0 +1,21 @@
+/// \file hungarian.h
+/// Minimum-cost bipartite assignment (Kuhn–Munkres with potentials),
+/// used by the multi-target face tracker to match detections to tracks.
+
+#ifndef DIEVENT_ML_HUNGARIAN_H_
+#define DIEVENT_ML_HUNGARIAN_H_
+
+#include <vector>
+
+namespace dievent {
+
+/// Solves min-cost assignment over a rows x cols cost matrix
+/// (`cost[r][c]`). Rectangular inputs are padded internally. Returns, for
+/// each row, the assigned column or -1 when the row is left unassigned
+/// (only happens when rows > cols).
+std::vector<int> SolveAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ML_HUNGARIAN_H_

@@ -1,0 +1,101 @@
+#include "ml/lbp.h"
+
+#include <array>
+#include <cassert>
+
+namespace dievent {
+
+namespace {
+
+/// Builds the uniform-pattern lookup table once: a code is "uniform" when
+/// its circular bit string has at most two 0-1 transitions.
+std::array<int, 256> BuildUniformTable() {
+  std::array<int, 256> table{};
+  int next_bin = 0;
+  for (int code = 0; code < 256; ++code) {
+    int transitions = 0;
+    for (int b = 0; b < 8; ++b) {
+      int cur = (code >> b) & 1;
+      int nxt = (code >> ((b + 1) % 8)) & 1;
+      if (cur != nxt) ++transitions;
+    }
+    table[code] = transitions <= 2 ? next_bin++ : -1;
+  }
+  // next_bin == 58 here; non-uniform codes share the last bin.
+  for (int code = 0; code < 256; ++code) {
+    if (table[code] < 0) table[code] = next_bin;
+  }
+  return table;
+}
+
+const std::array<int, 256>& UniformTable() {
+  static const std::array<int, 256> table = BuildUniformTable();
+  return table;
+}
+
+}  // namespace
+
+ImageU8 ComputeLbpCodes(const ImageU8& gray) {
+  assert(gray.channels() == 1);
+  ImageU8 out(gray.width(), gray.height());
+  // Neighbour order: clockwise from top-left, the standard LBP(8,1) ring.
+  const int dx[8] = {-1, 0, 1, 1, 1, 0, -1, -1};
+  const int dy[8] = {-1, -1, -1, 0, 1, 1, 1, 0};
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      uint8_t center = gray.at(x, y);
+      uint8_t code = 0;
+      for (int b = 0; b < 8; ++b) {
+        if (gray.AtClamped(x + dx[b], y + dy[b]) >= center) {
+          code |= static_cast<uint8_t>(1u << b);
+        }
+      }
+      out.at(x, y) = code;
+    }
+  }
+  return out;
+}
+
+int UniformLbpBin(uint8_t code) { return UniformTable()[code]; }
+
+std::vector<float> LbpHistogram(const ImageU8& gray) {
+  ImageU8 codes = ComputeLbpCodes(gray);
+  std::vector<float> hist(kUniformLbpBins, 0.0f);
+  for (uint8_t c : codes.data()) hist[UniformLbpBin(c)] += 1.0f;
+  float total = static_cast<float>(codes.size());
+  if (total > 0) {
+    for (float& v : hist) v /= total;
+  }
+  return hist;
+}
+
+std::vector<float> LbpGridFeatures(const ImageU8& gray, int grid_x,
+                                   int grid_y) {
+  assert(grid_x > 0 && grid_y > 0);
+  std::vector<float> features;
+  features.reserve(static_cast<size_t>(grid_x) * grid_y * kUniformLbpBins);
+  ImageU8 codes = ComputeLbpCodes(gray);
+  for (int gy = 0; gy < grid_y; ++gy) {
+    for (int gx = 0; gx < grid_x; ++gx) {
+      int x0 = gx * gray.width() / grid_x;
+      int x1 = (gx + 1) * gray.width() / grid_x;
+      int y0 = gy * gray.height() / grid_y;
+      int y1 = (gy + 1) * gray.height() / grid_y;
+      std::vector<float> hist(kUniformLbpBins, 0.0f);
+      int count = 0;
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          hist[UniformLbpBin(codes.at(x, y))] += 1.0f;
+          ++count;
+        }
+      }
+      if (count > 0) {
+        for (float& v : hist) v /= static_cast<float>(count);
+      }
+      features.insert(features.end(), hist.begin(), hist.end());
+    }
+  }
+  return features;
+}
+
+}  // namespace dievent

@@ -1,0 +1,40 @@
+/// \file lbp.h
+/// Local Binary Patterns — the paper's stated feature extractor for emotion
+/// recognition (Section II-C: "we consider the Local Binary Patterns as a
+/// feature extractor and neural network as a classifier").
+///
+/// Implements the classic LBP(8,1) operator with the uniform-pattern
+/// mapping (58 uniform codes + 1 bucket for the rest) and spatially-gridded
+/// histograms, the standard texture descriptor for facial expression.
+
+#ifndef DIEVENT_ML_LBP_H_
+#define DIEVENT_ML_LBP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+
+namespace dievent {
+
+/// Number of bins of a uniform-LBP histogram (58 uniform + 1 non-uniform).
+inline constexpr int kUniformLbpBins = 59;
+
+/// Per-pixel LBP(8,1) codes. Border pixels use clamped neighbours.
+ImageU8 ComputeLbpCodes(const ImageU8& gray);
+
+/// Maps a raw 8-bit LBP code to its uniform-pattern bin in [0, 59).
+int UniformLbpBin(uint8_t code);
+
+/// Normalized uniform-LBP histogram of a whole (sub)image.
+std::vector<float> LbpHistogram(const ImageU8& gray);
+
+/// Concatenated, per-cell-normalized uniform-LBP histograms over a
+/// grid_x x grid_y partition of the image — the feature vector fed to the
+/// emotion classifier. Length: grid_x * grid_y * kUniformLbpBins.
+std::vector<float> LbpGridFeatures(const ImageU8& gray, int grid_x,
+                                   int grid_y);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_ML_LBP_H_

@@ -1,0 +1,340 @@
+#include "ml/neural_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x444E4E31;  // "DNN1"
+
+void Softmax(std::vector<float>* v) {
+  float mx = *std::max_element(v->begin(), v->end());
+  float sum = 0.0f;
+  for (float& x : *v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  if (sum > 0) {
+    for (float& x : *v) x /= sum;
+  }
+}
+
+}  // namespace
+
+Result<NeuralNet> NeuralNet::Create(const std::vector<int>& layer_sizes,
+                                    Rng* rng) {
+  if (layer_sizes.size() < 2) {
+    return Status::InvalidArgument("need at least input and output layers");
+  }
+  for (int s : layer_sizes) {
+    if (s <= 0) return Status::InvalidArgument("layer sizes must be > 0");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  NeuralNet net;
+  net.layer_sizes_ = layer_sizes;
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    Layer layer;
+    layer.in = layer_sizes[i];
+    layer.out = layer_sizes[i + 1];
+    layer.weights.resize(static_cast<size_t>(layer.in) * layer.out);
+    layer.bias.assign(layer.out, 0.0f);
+    // He initialization for ReLU layers.
+    double scale = std::sqrt(2.0 / layer.in);
+    for (float& w : layer.weights) {
+      w = static_cast<float>(rng->Gaussian(0.0, scale));
+    }
+    net.layers_.push_back(std::move(layer));
+  }
+  return net;
+}
+
+void NeuralNet::Forward(
+    const std::vector<float>& input,
+    std::vector<std::vector<float>>* activations) const {
+  activations->clear();
+  activations->push_back(input);
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const std::vector<float>& prev = activations->back();
+    std::vector<float> cur(layer.out);
+    for (int o = 0; o < layer.out; ++o) {
+      const float* wrow = &layer.weights[static_cast<size_t>(o) * layer.in];
+      float acc = layer.bias[o];
+      for (int i = 0; i < layer.in; ++i) acc += wrow[i] * prev[i];
+      cur[o] = acc;
+    }
+    const bool last = (li + 1 == layers_.size());
+    if (last) {
+      Softmax(&cur);
+    } else {
+      // Leaky ReLU: the small negative slope keeps gradients alive even
+      // after an aggressive update pushes a unit negative (plain ReLU
+      // units die permanently under SGD+momentum on spiky features).
+      for (float& v : cur) {
+        if (v < 0.0f) v *= 0.01f;
+      }
+    }
+    activations->push_back(std::move(cur));
+  }
+}
+
+std::vector<float> NeuralNet::Predict(const std::vector<float>& input) const {
+  std::vector<std::vector<float>> acts;
+  Forward(input, &acts);
+  return acts.back();
+}
+
+int NeuralNet::Classify(const std::vector<float>& input) const {
+  std::vector<float> probs = Predict(input);
+  return static_cast<int>(std::distance(
+      probs.begin(), std::max_element(probs.begin(), probs.end())));
+}
+
+Result<std::vector<EpochStats>> NeuralNet::Train(
+    const std::vector<TrainSample>& samples, const TrainOptions& options,
+    Rng* rng) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("no training samples");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  for (const TrainSample& s : samples) {
+    if (static_cast<int>(s.features.size()) != InputSize()) {
+      return Status::InvalidArgument(StrFormat(
+          "sample feature size %zu != input size %d", s.features.size(),
+          InputSize()));
+    }
+    if (s.label < 0 || s.label >= OutputSize()) {
+      return Status::InvalidArgument(
+          StrFormat("label %d outside [0, %d)", s.label, OutputSize()));
+    }
+  }
+
+  // Optimizer state mirroring weights and biases: momentum (SGD) or
+  // first/second moment estimates (Adam).
+  std::vector<std::vector<float>> vw(layers_.size()), vb(layers_.size());
+  std::vector<std::vector<float>> mw(layers_.size()), mb(layers_.size());
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    vw[li].assign(layers_[li].weights.size(), 0.0f);
+    vb[li].assign(layers_[li].bias.size(), 0.0f);
+    mw[li].assign(layers_[li].weights.size(), 0.0f);
+    mb[li].assign(layers_[li].bias.size(), 0.0f);
+  }
+  long long adam_step = 0;
+
+  std::vector<int> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  std::vector<std::vector<float>> acts;
+  // Per-layer error terms (delta) for the backward pass.
+  std::vector<std::vector<float>> deltas(layers_.size());
+
+  // Gradient accumulators, reused across batches.
+  std::vector<std::vector<float>> gw(layers_.size()), gb(layers_.size());
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    gw[li].assign(layers_[li].weights.size(), 0.0f);
+    gb[li].assign(layers_[li].bias.size(), 0.0f);
+  }
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.shuffle) {
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng->NextBelow(i)]);
+      }
+    }
+    double loss_sum = 0.0;
+    int correct = 0;
+
+    for (size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(options.batch_size));
+      int batch = static_cast<int>(end - start);
+      for (size_t li = 0; li < layers_.size(); ++li) {
+        std::fill(gw[li].begin(), gw[li].end(), 0.0f);
+        std::fill(gb[li].begin(), gb[li].end(), 0.0f);
+      }
+
+      for (size_t s = start; s < end; ++s) {
+        const TrainSample& sample = samples[order[s]];
+        Forward(sample.features, &acts);
+        const std::vector<float>& probs = acts.back();
+        loss_sum += -std::log(std::max(1e-9f, probs[sample.label]));
+        int pred = static_cast<int>(std::distance(
+            probs.begin(), std::max_element(probs.begin(), probs.end())));
+        if (pred == sample.label) ++correct;
+
+        // Output delta: softmax + cross-entropy gives (p - y).
+        deltas.back() = probs;
+        deltas.back()[sample.label] -= 1.0f;
+
+        // Backpropagate through hidden layers.
+        for (int li = static_cast<int>(layers_.size()) - 1; li > 0; --li) {
+          const Layer& layer = layers_[li];
+          std::vector<float>& below = deltas[li - 1];
+          below.assign(layer.in, 0.0f);
+          for (int o = 0; o < layer.out; ++o) {
+            const float d = deltas[li][o];
+            if (d == 0.0f) continue;
+            const float* wrow =
+                &layer.weights[static_cast<size_t>(o) * layer.in];
+            for (int i = 0; i < layer.in; ++i) below[i] += wrow[i] * d;
+          }
+          // Leaky-ReLU derivative of the hidden activation.
+          const std::vector<float>& act = acts[li];
+          for (int i = 0; i < layer.in; ++i) {
+            if (act[i] < 0.0f) below[i] *= 0.01f;
+          }
+        }
+
+        // Accumulate gradients.
+        for (size_t li = 0; li < layers_.size(); ++li) {
+          const std::vector<float>& in_act = acts[li];
+          const std::vector<float>& d = deltas[li];
+          Layer& layer = layers_[li];
+          for (int o = 0; o < layer.out; ++o) {
+            const float dv = d[o];
+            if (dv == 0.0f) continue;
+            float* grow = &gw[li][static_cast<size_t>(o) * layer.in];
+            for (int i = 0; i < layer.in; ++i) grow[i] += dv * in_act[i];
+            gb[li][o] += dv;
+          }
+        }
+      }
+
+      const float l2 = static_cast<float>(options.l2);
+      if (options.optimizer == Optimizer::kSgdMomentum) {
+        const float lr = static_cast<float>(options.learning_rate / batch);
+        const float mom = static_cast<float>(options.momentum);
+        for (size_t li = 0; li < layers_.size(); ++li) {
+          Layer& layer = layers_[li];
+          for (size_t i = 0; i < layer.weights.size(); ++i) {
+            vw[li][i] = mom * vw[li][i] -
+                        lr * (gw[li][i] + l2 * batch * layer.weights[i]);
+            layer.weights[i] += vw[li][i];
+          }
+          for (size_t i = 0; i < layer.bias.size(); ++i) {
+            vb[li][i] = mom * vb[li][i] - lr * gb[li][i];
+            layer.bias[i] += vb[li][i];
+          }
+        }
+      } else {
+        // Adam with bias correction; m* holds the first moment, v* the
+        // second. Gradients are averaged over the batch.
+        ++adam_step;
+        const float lr = static_cast<float>(options.learning_rate);
+        const float b1 = static_cast<float>(options.adam_beta1);
+        const float b2 = static_cast<float>(options.adam_beta2);
+        const float eps = static_cast<float>(options.adam_epsilon);
+        const float inv_batch = 1.0f / static_cast<float>(batch);
+        const float corr1 =
+            1.0f - std::pow(b1, static_cast<float>(adam_step));
+        const float corr2 =
+            1.0f - std::pow(b2, static_cast<float>(adam_step));
+        const float alpha = lr * std::sqrt(corr2) / corr1;
+        for (size_t li = 0; li < layers_.size(); ++li) {
+          Layer& layer = layers_[li];
+          for (size_t i = 0; i < layer.weights.size(); ++i) {
+            float g = gw[li][i] * inv_batch + l2 * layer.weights[i];
+            mw[li][i] = b1 * mw[li][i] + (1.0f - b1) * g;
+            vw[li][i] = b2 * vw[li][i] + (1.0f - b2) * g * g;
+            layer.weights[i] -=
+                alpha * mw[li][i] / (std::sqrt(vw[li][i]) + eps);
+          }
+          for (size_t i = 0; i < layer.bias.size(); ++i) {
+            float g = gb[li][i] * inv_batch;
+            mb[li][i] = b1 * mb[li][i] + (1.0f - b1) * g;
+            vb[li][i] = b2 * vb[li][i] + (1.0f - b2) * g * g;
+            layer.bias[i] -=
+                alpha * mb[li][i] / (std::sqrt(vb[li][i]) + eps);
+          }
+        }
+      }
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = loss_sum / static_cast<double>(samples.size());
+    stats.accuracy = static_cast<double>(correct) / samples.size();
+    history.push_back(stats);
+    if (options.target_loss > 0.0 && stats.mean_loss < options.target_loss) {
+      break;
+    }
+  }
+  return history;
+}
+
+double NeuralNet::Evaluate(const std::vector<TrainSample>& samples) const {
+  if (samples.empty()) return 0.0;
+  int correct = 0;
+  for (const TrainSample& s : samples) {
+    if (Classify(s.features) == s.label) ++correct;
+  }
+  return static_cast<double>(correct) / samples.size();
+}
+
+Status NeuralNet::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  auto write_u32 = [&out](uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_u32(kMagic);
+  write_u32(static_cast<uint32_t>(layer_sizes_.size()));
+  for (int s : layer_sizes_) write_u32(static_cast<uint32_t>(s));
+  for (const Layer& layer : layers_) {
+    out.write(reinterpret_cast<const char*>(layer.weights.data()),
+              static_cast<std::streamsize>(layer.weights.size() *
+                                           sizeof(float)));
+    out.write(reinterpret_cast<const char*>(layer.bias.data()),
+              static_cast<std::streamsize>(layer.bias.size() *
+                                           sizeof(float)));
+  }
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<NeuralNet> NeuralNet::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  auto read_u32 = [&in]() -> uint32_t {
+    uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  if (read_u32() != kMagic) {
+    return Status::Corruption("bad neural-net file magic: " + path);
+  }
+  uint32_t num_sizes = read_u32();
+  if (!in || num_sizes < 2 || num_sizes > 64) {
+    return Status::Corruption("implausible layer count in " + path);
+  }
+  std::vector<int> sizes(num_sizes);
+  for (uint32_t i = 0; i < num_sizes; ++i) {
+    sizes[i] = static_cast<int>(read_u32());
+    if (sizes[i] <= 0 || sizes[i] > (1 << 22)) {
+      return Status::Corruption("implausible layer size in " + path);
+    }
+  }
+  Rng dummy(1);
+  DIEVENT_ASSIGN_OR_RETURN(NeuralNet net, NeuralNet::Create(sizes, &dummy));
+  for (Layer& layer : net.layers_) {
+    in.read(reinterpret_cast<char*>(layer.weights.data()),
+            static_cast<std::streamsize>(layer.weights.size() *
+                                         sizeof(float)));
+    in.read(reinterpret_cast<char*>(layer.bias.data()),
+            static_cast<std::streamsize>(layer.bias.size() * sizeof(float)));
+  }
+  if (!in) return Status::Corruption("truncated neural-net file: " + path);
+  return net;
+}
+
+}  // namespace dievent

@@ -1,0 +1,85 @@
+/// \file face_renderer.h
+/// Parametric face rasterization.
+///
+/// Faces are drawn as a skin-tone disc carrying an identity marker (a
+/// colored cap, standing in for the paper's color-coded participants), two
+/// eyes whose iris offsets encode the camera-frame gaze direction, and a
+/// mouth/brow configuration that depends on the facial expression. The
+/// constants below form a *shared appearance model*: the gaze estimator and
+/// emotion recognizer invert exactly this parameterization, the way
+/// OpenFace's landmark model inverts real face appearance.
+
+#ifndef DIEVENT_RENDER_FACE_RENDERER_H_
+#define DIEVENT_RENDER_FACE_RENDERER_H_
+
+#include "common/emotion.h"
+#include "geometry/vec.h"
+#include "image/image.h"
+
+namespace dievent {
+
+/// Appearance-model constants, all expressed as fractions of the face
+/// radius (or of the eye radius where noted).
+namespace face_model {
+inline constexpr double kEyeOffsetX = 0.35;   ///< eye centres at +-this * r
+inline constexpr double kEyeOffsetY = -0.18;  ///< above face centre
+inline constexpr double kEyeRadius = 0.18;    ///< eye half-width * r
+inline constexpr double kIrisRadius = 0.50;   ///< iris radius * eye radius
+inline constexpr double kIrisSwing = 0.55;    ///< iris offset per unit gaze,
+                                              ///< * eye radius
+inline constexpr double kMouthY = 0.45;       ///< mouth baseline below centre
+/// Identity cap. Its lower edge (kHatOffsetY + kHatRadius = -0.47 r) sits
+/// well above the eye search windows so a dark cap (the paper's "black"
+/// participant) can never pollute an iris centroid.
+inline constexpr double kHatOffsetY = -0.85;
+inline constexpr double kHatRadius = 0.38;
+inline constexpr Rgb kSkin{215, 170, 140};
+inline constexpr Rgb kHair{70, 50, 35};
+/// Default scene background; deliberately far (> any detector tolerance)
+/// from both kSkin and kHair so color-gated masks never bleed into it.
+inline constexpr Rgb kDefaultBackground{90, 105, 125};
+inline constexpr Rgb kEyeWhite{245, 245, 245};
+inline constexpr Rgb kIris{25, 20, 20};
+inline constexpr Rgb kMouth{120, 40, 40};
+/// Brow brown is kept > the detector's hair tolerance away from kHair so
+/// tilted brows can never masquerade as small back-of-head blobs.
+inline constexpr Rgb kBrow{110, 75, 55};
+/// A face is rendered frontally only when the camera-frame gaze z component
+/// is below this (gaze clearly toward the camera); otherwise the back of
+/// the head (hair + identity cap) is drawn.
+inline constexpr double kFrontFacingMaxZ = -0.15;
+/// The eye-white centroid shifts *away* from the iris because the iris
+/// covers part of the white ellipse: with iris/white area ratio
+/// rho = A_iris / (A_eye - A_iris) = 0.25/(0.75-0.25) = 0.5, the true iris
+/// offset is (iris_centroid - white_centroid) / (1 + rho). Estimators
+/// divide by this factor.
+inline constexpr double kIrisWhiteSeparationGain = 1.5;
+}  // namespace face_model
+
+/// Everything needed to draw one face into a frame.
+struct FaceRenderParams {
+  Vec2 center_px;         ///< projected head centre
+  double radius_px = 20;  ///< projected head radius
+  Rgb marker_color;       ///< identity cap color
+  Emotion emotion = Emotion::kNeutral;
+  double intensity = 1.0;  ///< expression strength, 0..1
+  /// Camera-frame gaze x/y components (image right / image down). Only
+  /// meaningful when `front_facing`.
+  double gaze_x = 0.0;
+  double gaze_y = 0.0;
+  bool front_facing = true;
+};
+
+/// Draws one face (or the back of a head) into `canvas`, clipped.
+void RenderFace(ImageRgb* canvas, const FaceRenderParams& params);
+
+/// Renders a standalone face crop of the given square size — the training
+/// and evaluation sample source for the emotion recognizer.
+ImageRgb RenderFaceCrop(int size, Emotion emotion, double intensity,
+                        double gaze_x = 0.0, double gaze_y = 0.0,
+                        Rgb marker_color = Rgb{230, 200, 40},
+                        Rgb background = face_model::kDefaultBackground);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_RENDER_FACE_RENDERER_H_

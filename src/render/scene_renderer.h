@@ -1,0 +1,50 @@
+/// \file scene_renderer.h
+/// Projects a simulated dining scene into per-camera frames — the stand-in
+/// for the paper's surveillance cameras. Output frames are 640x480 RGB
+/// unless the rig's intrinsics say otherwise.
+
+#ifndef DIEVENT_RENDER_SCENE_RENDERER_H_
+#define DIEVENT_RENDER_SCENE_RENDERER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/camera.h"
+#include "image/image.h"
+#include "sim/scene.h"
+
+namespace dievent {
+
+/// Knobs affecting frame appearance (used to stress the vision stack and to
+/// script shot changes for video parsing).
+struct RenderOptions {
+  Rgb background{90, 105, 125};
+  bool draw_table = true;
+  Rgb table_color{150, 105, 60};
+  /// Additive Gaussian pixel noise (sigma in intensity levels, 0 = off).
+  double noise_sigma = 0.0;
+  /// Global illumination scale (1 = nominal). Scripted lighting changes
+  /// produce gradual transitions for the shot-boundary detector.
+  double illumination = 1.0;
+};
+
+/// Renders what camera `camera_index` sees given the instantaneous
+/// participant states. Faces are drawn far-to-near so closer heads occlude
+/// farther ones. When `rng` is null the frame is noise-free regardless of
+/// `options.noise_sigma`.
+ImageRgb RenderView(const DiningScene& scene,
+                    const std::vector<ParticipantState>& states,
+                    int camera_index, const RenderOptions& options,
+                    Rng* rng = nullptr);
+
+/// Convenience: renders camera `camera_index` at time t.
+ImageRgb RenderViewAt(const DiningScene& scene, double t, int camera_index,
+                      const RenderOptions& options, Rng* rng = nullptr);
+
+/// True when the participant's gaze (and hence face) is oriented toward the
+/// camera closely enough for the frontal appearance model to be drawn.
+bool IsFrontFacing(const CameraModel& camera, const ParticipantState& state);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_RENDER_SCENE_RENDERER_H_

@@ -1,0 +1,37 @@
+/// \file participant.h
+/// Static profile and per-instant state of a dining-event participant.
+
+#ifndef DIEVENT_SIM_PARTICIPANT_H_
+#define DIEVENT_SIM_PARTICIPANT_H_
+
+#include <string>
+
+#include "common/emotion.h"
+#include "geometry/pose.h"
+#include "geometry/vec.h"
+#include "image/image.h"
+
+namespace dievent {
+
+/// Time-invariant description of a participant (part of the paper's
+/// time-invariant information layer: identity and social dimensions).
+struct ParticipantProfile {
+  int id = 0;                 ///< zero-based participant index
+  std::string name;           ///< display name, e.g. "P1"
+  Rgb marker_color;           ///< identity marker color (paper: yellow/blue/green/black)
+  double head_radius = 0.12;  ///< head-sphere radius in metres (paper Eq. 3's r)
+};
+
+/// Instantaneous ground-truth state sampled from the scene scripts.
+struct ParticipantState {
+  Vec3 head_position;        ///< head-sphere centre, world frame (metres)
+  Pose world_from_head;      ///< head pose (the paper's iF3/iF4 frames)
+  Vec3 gaze_direction;       ///< unit gaze vector, world frame
+  int gaze_target = -1;      ///< scripted target participant id, -1 = none
+  Emotion emotion = Emotion::kNeutral;
+  double emotion_intensity = 1.0;  ///< 0..1 blend from neutral
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_SIM_PARTICIPANT_H_

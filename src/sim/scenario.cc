@@ -1,0 +1,377 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+constexpr double kMeetingFps = 15.25;  // 610 frames / 40 s (Section III)
+constexpr int kMeetingFrames = 610;
+constexpr double kHeadHeight = 1.15;   // seated head-centre height, metres
+
+ScriptedParticipant MakeParticipant(int id, const char* name, Rgb color,
+                                    Vec3 seat) {
+  ScriptedParticipant p;
+  p.profile.id = id;
+  p.profile.name = name;
+  p.profile.marker_color = color;
+  p.profile.head_radius = 0.12;
+  p.seat_head_position = seat;
+  return p;
+}
+
+/// Adds a gaze segment given *frame* bounds (the prototype scripts are
+/// specified in frames so the Fig. 9 sums are exact).
+void GazeFrames(ScriptedParticipant* p, int f0, int f1, int target) {
+  DIEVENT_CHECK(
+      p->gaze.Add(f0 / kMeetingFps, f1 / kMeetingFps, GazeTarget{target})
+          .ok())
+      << "bad gaze segment for " << p->profile.name;
+}
+
+}  // namespace
+
+DiningScene MakeMeetingScenario() {
+  // Colors follow the paper's Section III narration: P1 yellow, P2 blue,
+  // P3 green, P4 black.
+  std::vector<ScriptedParticipant> people;
+  people.push_back(MakeParticipant(0, "P1", Rgb{230, 200, 40},
+                                   {-1.0, 0.0, kHeadHeight}));
+  people.push_back(MakeParticipant(1, "P2", Rgb{40, 80, 220},
+                                   {0.0, -0.75, kHeadHeight}));
+  people.push_back(MakeParticipant(2, "P3", Rgb{40, 180, 60},
+                                   {1.0, 0.0, kHeadHeight}));
+  people.push_back(MakeParticipant(3, "P4", Rgb{35, 35, 35},
+                                   {0.0, 0.75, kHeadHeight}));
+
+  constexpr int kP1 = 0, kP2 = 1, kP3 = 2, kP4 = 3;
+  constexpr int kTable = GazeTarget::kTableCenter;
+
+  // P1 (yellow): looks at P3 in exactly 200 + 157 = 357 frames (Fig. 9).
+  GazeFrames(&people[kP1], 0, 200, kP3);
+  GazeFrames(&people[kP1], 200, 280, kTable);  // covers t=15 (Fig. 8)
+  GazeFrames(&people[kP1], 280, 437, kP3);
+  GazeFrames(&people[kP1], 437, 530, kP4);
+  GazeFrames(&people[kP1], 530, 610, kP2);
+
+  // P2 (blue): at t=10 looks at P3, at t=15 at P1; 430 frames at P1 total.
+  GazeFrames(&people[kP2], 0, 120, kP1);
+  GazeFrames(&people[kP2], 120, 180, kP3);  // covers t=10 (Fig. 7)
+  GazeFrames(&people[kP2], 180, 300, kP1);  // covers t=15 (Fig. 8)
+  GazeFrames(&people[kP2], 300, 420, kP4);
+  GazeFrames(&people[kP2], 420, 610, kP1);
+
+  // P3 (green): mutual EC with P1 around t=10; 340 frames at P1 total.
+  GazeFrames(&people[kP3], 0, 60, kTable);
+  GazeFrames(&people[kP3], 60, 250, kP1);  // covers t=10 and t=15
+  GazeFrames(&people[kP3], 250, 330, kP4);
+  GazeFrames(&people[kP3], 330, 480, kP1);
+  GazeFrames(&people[kP3], 480, 610, kP2);
+
+  // P4 (black): at t=10 looks at P2, at t=15 at P1; 310 frames at P1.
+  GazeFrames(&people[kP4], 0, 100, kTable);
+  GazeFrames(&people[kP4], 100, 180, kP2);  // covers t=10 (Fig. 7)
+  GazeFrames(&people[kP4], 180, 320, kP1);  // covers t=15 (Fig. 8)
+  GazeFrames(&people[kP4], 320, 440, kP3);
+  GazeFrames(&people[kP4], 440, 610, kP1);
+
+  // Mild emotion colouring; the meeting prototype's focus is gaze.
+  DIEVENT_CHECK(people[kP1]
+                    .emotion.Add(5.0, 15.0, {Emotion::kHappy, 1.0})
+                    .ok());
+  DIEVENT_CHECK(people[kP3]
+                    .emotion.Add(10.0, 20.0, {Emotion::kHappy, 1.0})
+                    .ok());
+  DIEVENT_CHECK(people[kP2]
+                    .emotion.Add(20.0, 24.0, {Emotion::kSurprise, 1.0})
+                    .ok());
+
+  Table table;
+  table.center = {0, 0, 0.75};
+  table.size = {1.8, 1.0};
+
+  Rig rig = Rig::MakeCornerRig(/*room_x=*/5.0, /*room_y=*/4.0,
+                               /*elevation=*/2.5, /*target=*/{0, 0, 1.0},
+                               Intrinsics::FromFov(640, 480, DegToRad(70)));
+
+  auto scene = DiningScene::Create(table, std::move(rig), std::move(people),
+                                   kMeetingFps, kMeetingFrames);
+  DIEVENT_CHECK(scene.ok()) << scene.status();
+  return scene.TakeValue();
+}
+
+DiningScene MakeDinnerScenario(int n, double duration_s, double fps) {
+  DIEVENT_CHECK(n >= 2) << "dinner needs at least two participants";
+  std::vector<ScriptedParticipant> people;
+  const Rgb palette[] = {{230, 200, 40}, {40, 80, 220}, {40, 180, 60},
+                         {35, 35, 35},   {220, 60, 180}, {240, 120, 30},
+                         {90, 200, 220}, {150, 90, 200}};
+  const double table_r = 0.9;
+  for (int i = 0; i < n; ++i) {
+    double a = 2.0 * 3.14159265358979323846 * i / n;
+    Vec3 seat{table_r * std::cos(a), table_r * std::sin(a), kHeadHeight};
+    people.push_back(MakeParticipant(
+        i, StrFormat("P%d", i + 1).c_str(), palette[i % 8], seat));
+  }
+
+  // Three "courses" split the dinner; gaze alternates between the plate
+  // and conversation partners, emotions shift per course. Neighbours'
+  // schedules are parity-mirrored so conversation slices produce real
+  // mutual gaze (everyone looking "left" in lockstep never would).
+  const double c1 = duration_s / 3.0, c2 = 2.0 * duration_s / 3.0;
+  for (int i = 0; i < n; ++i) {
+    ScriptedParticipant& p = people[i];
+    int left = (i + 1) % n;
+    int right = (i + n - 1) % n;
+    int first = (i % 2 == 0) ? left : right;
+    int second = (i % 2 == 0) ? right : left;
+    double slice = duration_s / 8.0;
+    int targets[8] = {GazeTarget::kTableCenter, first,
+                      GazeTarget::kTableCenter, second,
+                      first,  GazeTarget::kTableCenter,
+                      second, GazeTarget::kTableCenter};
+    for (int s = 0; s < 8; ++s) {
+      DIEVENT_CHECK(
+          p.gaze.Add(s * slice, (s + 1) * slice, GazeTarget{targets[s]})
+              .ok());
+    }
+    // Appetizer: neutral. Main: happy. Dessert: mixed by parity.
+    DIEVENT_CHECK(p.emotion.Add(0.0, c1, {Emotion::kNeutral, 1.0}).ok());
+    DIEVENT_CHECK(p.emotion.Add(c1, c2, {Emotion::kHappy, 1.0}).ok());
+    Emotion dessert = (i % 3 == 0) ? Emotion::kHappy
+                      : (i % 3 == 1) ? Emotion::kSurprise
+                                     : Emotion::kNeutral;
+    DIEVENT_CHECK(
+        p.emotion.Add(c2, duration_s, {dessert, 1.0}).ok());
+  }
+
+  Table table;
+  table.center = {0, 0, 0.75};
+  table.size = {1.8, 1.8};
+
+  Rig rig = Rig::MakeFacingPair(/*room_length=*/5.0, /*elevation=*/2.5,
+                                /*pitch_deg=*/-15.0,
+                                Intrinsics::FromFov(640, 480, DegToRad(70)));
+
+  int frames = static_cast<int>(duration_s * fps);
+  auto scene = DiningScene::Create(table, std::move(rig), std::move(people),
+                                   fps, frames);
+  DIEVENT_CHECK(scene.ok()) << scene.status();
+  return scene.TakeValue();
+}
+
+std::string_view DiningPhaseName(DiningPhase phase) {
+  switch (phase) {
+    case DiningPhase::kEating:
+      return "eating";
+    case DiningPhase::kDiscussion:
+      return "discussion";
+    case DiningPhase::kPresentation:
+      return "presentation";
+  }
+  return "unknown";
+}
+
+PhasedScene MakePhasedDinnerScenario(
+    int n, const std::vector<std::pair<DiningPhase, double>>& phases,
+    double fps, Rng* rng) {
+  DIEVENT_CHECK(n >= 3 && fps > 0 && rng != nullptr && !phases.empty());
+  std::vector<ScriptedParticipant> people;
+  const Rgb palette[] = {{230, 200, 40}, {40, 80, 220}, {40, 180, 60},
+                         {35, 35, 35},   {220, 60, 180}, {240, 120, 30},
+                         {90, 200, 220}, {150, 90, 200}};
+  const double table_r = 0.9;
+  for (int i = 0; i < n; ++i) {
+    double a = 2.0 * 3.14159265358979323846 * i / n;
+    people.push_back(MakeParticipant(
+        i, StrFormat("P%d", i + 1).c_str(), palette[i % 8],
+        {table_r * std::cos(a), table_r * std::sin(a), kHeadHeight}));
+  }
+
+  constexpr int kTable = GazeTarget::kTableCenter;
+  auto random_other = [&](int self) {
+    int target;
+    do {
+      target = static_cast<int>(rng->NextBelow(n));
+    } while (target == self);
+    return target;
+  };
+
+  double t = 0.0;
+  for (const auto& [phase, duration] : phases) {
+    const double t_end = t + duration;
+    switch (phase) {
+      case DiningPhase::kEating: {
+        // Per-participant sub-segments: mostly plate, occasional glance.
+        for (int i = 0; i < n; ++i) {
+          double s = t;
+          while (s < t_end - 1e-9) {
+            double len = std::min(t_end - s, rng->Uniform(0.8, 2.0));
+            int target =
+                rng->NextBool(0.8) ? kTable : random_other(i);
+            DIEVENT_CHECK(
+                people[i].gaze.Add(s, s + len, GazeTarget{target}).ok());
+            s += len;
+          }
+          DIEVENT_CHECK(people[i]
+                            .emotion
+                            .Add(t, t_end, {Emotion::kNeutral, 1.0})
+                            .ok());
+        }
+        break;
+      }
+      case DiningPhase::kDiscussion: {
+        // Rotating speaker pairs; onlookers watch one of the speakers.
+        double s = t;
+        std::vector<double> boundaries;
+        while (s < t_end - 1e-9) {
+          double len = std::min(t_end - s, rng->Uniform(2.0, 4.0));
+          int a = static_cast<int>(rng->NextBelow(n));
+          int b = random_other(a);
+          for (int i = 0; i < n; ++i) {
+            int target;
+            if (i == a) {
+              target = b;
+            } else if (i == b) {
+              target = a;
+            } else {
+              target = rng->NextBool(0.15)
+                           ? kTable
+                           : (rng->NextBool() ? a : b);
+              if (target == i) target = a != i ? a : b;
+            }
+            DIEVENT_CHECK(
+                people[i].gaze.Add(s, s + len, GazeTarget{target}).ok());
+          }
+          s += len;
+        }
+        for (int i = 0; i < n; ++i) {
+          Emotion e = rng->NextBool(0.5) ? Emotion::kHappy
+                                         : Emotion::kNeutral;
+          DIEVENT_CHECK(
+              people[i].emotion.Add(t, t_end, {e, 1.0}).ok());
+        }
+        break;
+      }
+      case DiningPhase::kPresentation: {
+        int presenter = static_cast<int>(rng->NextBelow(n));
+        for (int i = 0; i < n; ++i) {
+          if (i == presenter) {
+            // The presenter sweeps the audience in sub-segments.
+            double s = t;
+            while (s < t_end - 1e-9) {
+              double len = std::min(t_end - s, rng->Uniform(1.0, 2.5));
+              DIEVENT_CHECK(
+                  people[i]
+                      .gaze
+                      .Add(s, s + len, GazeTarget{random_other(i)})
+                      .ok());
+              s += len;
+            }
+          } else {
+            // Audience locks on, with rare plate glances.
+            double s = t;
+            while (s < t_end - 1e-9) {
+              double len = std::min(t_end - s, rng->Uniform(1.5, 3.5));
+              int target = rng->NextBool(0.9) ? presenter : kTable;
+              DIEVENT_CHECK(
+                  people[i].gaze.Add(s, s + len, GazeTarget{target}).ok());
+              s += len;
+            }
+          }
+          DIEVENT_CHECK(people[i]
+                            .emotion
+                            .Add(t, t_end,
+                                 {i == presenter ? Emotion::kNeutral
+                                                 : Emotion::kSurprise,
+                                  0.8})
+                            .ok());
+        }
+        break;
+      }
+    }
+    t = t_end;
+  }
+
+  Table table;
+  table.center = {0, 0, 0.75};
+  table.size = {1.8, 1.8};
+  Rig rig = Rig::MakeCornerRig(5.0, 4.0, 2.5, {0, 0, 1.0},
+                               Intrinsics::FromFov(640, 480, DegToRad(70)));
+  int frames = static_cast<int>(std::lround(t * fps));
+  auto scene = DiningScene::Create(table, std::move(rig), std::move(people),
+                                   fps, frames);
+  DIEVENT_CHECK(scene.ok()) << scene.status();
+
+  PhasedScene out{scene.TakeValue(), {}};
+  out.frame_phase.reserve(frames);
+  for (int f = 0; f < frames; ++f) {
+    double ft = f / fps;
+    double acc = 0.0;
+    DiningPhase phase = phases.back().first;
+    for (const auto& [p, duration] : phases) {
+      acc += duration;
+      if (ft < acc) {
+        phase = p;
+        break;
+      }
+    }
+    out.frame_phase.push_back(phase);
+  }
+  return out;
+}
+
+DiningScene MakeRandomScenario(int n, int num_frames, double fps, Rng* rng) {
+  DIEVENT_CHECK(n >= 2 && num_frames > 0 && fps > 0 && rng != nullptr);
+  std::vector<ScriptedParticipant> people;
+  const double table_r = 0.9;
+  for (int i = 0; i < n; ++i) {
+    double a = 2.0 * 3.14159265358979323846 * i / n +
+               rng->Uniform(-0.05, 0.05);
+    Vec3 seat{table_r * std::cos(a), table_r * std::sin(a),
+              kHeadHeight + rng->Uniform(-0.05, 0.05)};
+    Rgb color{static_cast<uint8_t>(40 + rng->NextBelow(200)),
+              static_cast<uint8_t>(40 + rng->NextBelow(200)),
+              static_cast<uint8_t>(40 + rng->NextBelow(200))};
+    people.push_back(
+        MakeParticipant(i, StrFormat("P%d", i + 1).c_str(), color, seat));
+  }
+  const double duration = num_frames / fps;
+  for (int i = 0; i < n; ++i) {
+    double t = 0.0;
+    while (t < duration) {
+      double len = rng->Uniform(0.5, 4.0);
+      double end = std::min(duration, t + len);
+      int target;
+      if (rng->NextBool(0.7)) {
+        do {
+          target = static_cast<int>(rng->NextBelow(n));
+        } while (target == i);
+      } else {
+        target = rng->NextBool() ? GazeTarget::kTableCenter
+                                 : GazeTarget::kAway;
+      }
+      DIEVENT_CHECK(people[i].gaze.Add(t, end, GazeTarget{target}).ok());
+      Emotion e = kAllEmotions[rng->NextBelow(kNumEmotions)];
+      DIEVENT_CHECK(
+          people[i].emotion.Add(t, end, {e, rng->Uniform(0.5, 1.0)}).ok());
+      t = end;
+    }
+  }
+
+  Table table;
+  table.center = {0, 0, 0.75};
+  table.size = {1.8, 1.8};
+  Rig rig = Rig::MakeCornerRig(5.0, 4.0, 2.5, {0, 0, 1.0},
+                               Intrinsics::FromFov(640, 480, DegToRad(70)));
+  auto scene = DiningScene::Create(table, std::move(rig), std::move(people),
+                                   fps, num_frames);
+  DIEVENT_CHECK(scene.ok()) << scene.status();
+  return scene.TakeValue();
+}
+
+}  // namespace dievent

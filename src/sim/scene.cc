@@ -1,0 +1,89 @@
+#include "sim/scene.h"
+
+#include "common/strings.h"
+#include "geometry/ray.h"
+
+namespace dievent {
+
+Result<DiningScene> DiningScene::Create(
+    Table table, Rig rig, std::vector<ScriptedParticipant> people,
+    double fps, int num_frames) {
+  if (people.empty()) {
+    return Status::InvalidArgument("scene needs at least one participant");
+  }
+  if (rig.NumCameras() == 0) {
+    return Status::InvalidArgument("scene needs at least one camera");
+  }
+  if (fps <= 0.0) {
+    return Status::InvalidArgument("fps must be positive");
+  }
+  if (num_frames <= 0) {
+    return Status::InvalidArgument("num_frames must be positive");
+  }
+  const int n = static_cast<int>(people.size());
+  for (const auto& p : people) {
+    for (const auto& seg : p.gaze.segments()) {
+      if (seg.value.IsParticipant() &&
+          (seg.value.target >= n || seg.value.target == p.profile.id)) {
+        return Status::InvalidArgument(StrFormat(
+            "participant %d gaze targets invalid id %d", p.profile.id,
+            seg.value.target));
+      }
+    }
+  }
+  DiningScene scene;
+  scene.table_ = table;
+  scene.rig_ = std::move(rig);
+  scene.people_ = std::move(people);
+  scene.fps_ = fps;
+  scene.num_frames_ = num_frames;
+  return scene;
+}
+
+std::vector<ParticipantState> DiningScene::StateAt(double t) const {
+  std::vector<ParticipantState> states(people_.size());
+  for (size_t i = 0; i < people_.size(); ++i) {
+    const ScriptedParticipant& p = people_[i];
+    ParticipantState& s = states[i];
+    s.head_position = p.seat_head_position;
+    GazeTarget target = p.gaze.Sample(t);
+    Vec3 aim;
+    if (target.IsParticipant()) {
+      aim = people_[target.target].seat_head_position;
+      s.gaze_target = target.target;
+    } else if (target.target == GazeTarget::kTableCenter) {
+      aim = table_.center;
+      s.gaze_target = -1;
+    } else {
+      // kAway: gaze outward, away from the table centre, level.
+      Vec3 out = s.head_position - table_.center;
+      out.z = 0.0;
+      aim = s.head_position + out.Normalized() * 3.0;
+      s.gaze_target = -1;
+    }
+    s.gaze_direction = (aim - s.head_position).Normalized();
+    s.world_from_head = Pose::LookAt(s.head_position, aim);
+    EmotionSample es = p.emotion.Sample(t);
+    s.emotion = es.emotion;
+    s.emotion_intensity = es.intensity;
+  }
+  return states;
+}
+
+std::vector<std::vector<bool>> DiningScene::GroundTruthLookAt(
+    double t) const {
+  std::vector<ParticipantState> states = StateAt(t);
+  const int n = static_cast<int>(states.size());
+  std::vector<std::vector<bool>> looks(n, std::vector<bool>(n, false));
+  for (int k = 0; k < n; ++k) {
+    Ray gaze{states[k].head_position, states[k].gaze_direction};
+    for (int l = 0; l < n; ++l) {
+      if (k == l) continue;
+      Sphere head{states[l].head_position, people_[l].profile.head_radius};
+      looks[k][l] = LooksAt(gaze, head);
+    }
+  }
+  return looks;
+}
+
+}  // namespace dievent

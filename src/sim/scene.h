@@ -1,0 +1,80 @@
+/// \file scene.h
+/// The simulated dining scene: room, table, participants, camera rig, and
+/// scripts — DiEvent's substitute for the paper's physical acquisition
+/// platform (Section II-A). Unlike the physical rig, the scene also yields
+/// exact ground truth for every quantity the pipeline later estimates.
+
+#ifndef DIEVENT_SIM_SCENE_H_
+#define DIEVENT_SIM_SCENE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/rig.h"
+#include "sim/participant.h"
+#include "sim/script.h"
+
+namespace dievent {
+
+/// Rectangular dining table centred at `center`, axis-aligned, `size.x` by
+/// `size.y` metres, at height `height`.
+struct Table {
+  Vec3 center{0, 0, 0.75};
+  Vec2 size{1.8, 1.0};
+  double height = 0.75;
+};
+
+/// One scripted participant: profile + seat + behaviour timelines.
+struct ScriptedParticipant {
+  ParticipantProfile profile;
+  Vec3 seat_head_position;  ///< nominal head centre when seated (world)
+  GazeScript gaze{GazeTarget{}};
+  EmotionScript emotion{EmotionSample{}};
+};
+
+/// Full scene description. After construction, `StateAt` samples the exact
+/// world state at any time.
+class DiningScene {
+ public:
+  DiningScene() = default;
+
+  /// Validates and freezes the scene. Fails when there are no participants,
+  /// no cameras, fps <= 0, or a gaze script references an unknown id.
+  static Result<DiningScene> Create(Table table, Rig rig,
+                                    std::vector<ScriptedParticipant> people,
+                                    double fps, int num_frames);
+
+  const Table& table() const { return table_; }
+  const Rig& rig() const { return rig_; }
+  int NumParticipants() const { return static_cast<int>(people_.size()); }
+  const std::vector<ScriptedParticipant>& participants() const {
+    return people_;
+  }
+  const ParticipantProfile& profile(int id) const {
+    return people_.at(id).profile;
+  }
+  double fps() const { return fps_; }
+  int num_frames() const { return num_frames_; }
+  double DurationSeconds() const { return num_frames_ / fps_; }
+  double TimeOfFrame(int frame_index) const { return frame_index / fps_; }
+
+  /// Exact world state of every participant at time t (seconds).
+  std::vector<ParticipantState> StateAt(double t) const;
+
+  /// Ground-truth look-at matrix at time t: entry (k, l) is true when
+  /// participant k's scripted gaze ray pierces participant l's head sphere
+  /// (paper Eq. 3–5 evaluated on noiseless ground truth).
+  std::vector<std::vector<bool>> GroundTruthLookAt(double t) const;
+
+ private:
+  Table table_;
+  Rig rig_;
+  std::vector<ScriptedParticipant> people_;
+  double fps_ = 15.25;
+  int num_frames_ = 0;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_SIM_SCENE_H_

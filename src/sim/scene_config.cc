@@ -1,0 +1,264 @@
+#include "sim/scene_config.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+Status LineError(int line, const std::string& message) {
+  return Status::InvalidArgument(
+      StrFormat("line %d: %s", line, message.c_str()));
+}
+
+Result<double> ParseNumber(const std::string& token, int line) {
+  try {
+    size_t used = 0;
+    double v = std::stod(token, &used);
+    if (used != token.size()) {
+      return LineError(line, "trailing characters in number: " + token);
+    }
+    return v;
+  } catch (...) {
+    return LineError(line, "expected a number, got: " + token);
+  }
+}
+
+}  // namespace
+
+Result<DiningScene> ParseSceneConfig(std::string_view text) {
+  double fps = 15.25;
+  int frames = 0;
+  Table table;
+  Rig rig;
+  bool have_rig = false;
+  std::vector<ScriptedParticipant> people;
+  std::map<std::string, int> name_to_id;
+
+  // Gaze targets may reference participants declared later, so segment
+  // directives are buffered and resolved at the end.
+  struct GazeLine {
+    int line;
+    int participant;
+    double t0, t1;
+    std::string target;
+  };
+  std::vector<GazeLine> gaze_lines;
+
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = StripWhitespace(line.substr(0, hash));
+    }
+    std::istringstream tokens{std::string(line)};
+    std::string directive;
+    tokens >> directive;
+    std::vector<std::string> args;
+    for (std::string tok; tokens >> tok;) args.push_back(tok);
+    auto num = [&](size_t i) -> Result<double> {
+      if (i >= args.size()) {
+        return LineError(line_no,
+                         StrFormat("missing argument %zu for '%s'", i + 1,
+                                   directive.c_str()));
+      }
+      return ParseNumber(args[i], line_no);
+    };
+
+    if (directive == "fps") {
+      DIEVENT_ASSIGN_OR_RETURN(fps, num(0));
+      if (fps <= 0) return LineError(line_no, "fps must be positive");
+    } else if (directive == "frames") {
+      DIEVENT_ASSIGN_OR_RETURN(double v, num(0));
+      frames = static_cast<int>(v);
+      if (frames <= 0) return LineError(line_no, "frames must be positive");
+    } else if (directive == "table") {
+      DIEVENT_ASSIGN_OR_RETURN(table.center.x, num(0));
+      DIEVENT_ASSIGN_OR_RETURN(table.center.y, num(1));
+      DIEVENT_ASSIGN_OR_RETURN(table.center.z, num(2));
+      table.height = table.center.z;
+      DIEVENT_ASSIGN_OR_RETURN(table.size.x, num(3));
+      DIEVENT_ASSIGN_OR_RETURN(table.size.y, num(4));
+    } else if (directive == "rig") {
+      if (args.empty()) return LineError(line_no, "rig needs a layout");
+      Intrinsics k = Intrinsics::FromFov(640, 480, DegToRad(70));
+      if (args[0] == "corners") {
+        DIEVENT_ASSIGN_OR_RETURN(double rx, num(1));
+        DIEVENT_ASSIGN_OR_RETURN(double ry, num(2));
+        DIEVENT_ASSIGN_OR_RETURN(double elev, num(3));
+        rig = Rig::MakeCornerRig(rx, ry, elev, {0, 0, 1.0}, k);
+      } else if (args[0] == "facing") {
+        DIEVENT_ASSIGN_OR_RETURN(double length, num(1));
+        DIEVENT_ASSIGN_OR_RETURN(double elev, num(2));
+        DIEVENT_ASSIGN_OR_RETURN(double pitch, num(3));
+        rig = Rig::MakeFacingPair(length, elev, pitch, k);
+      } else {
+        return LineError(line_no, "unknown rig layout: " + args[0]);
+      }
+      have_rig = true;
+    } else if (directive == "participant") {
+      if (args.size() < 7) {
+        return LineError(line_no,
+                         "participant needs: name r g b seat_x y z");
+      }
+      if (name_to_id.count(args[0])) {
+        return LineError(line_no, "duplicate participant: " + args[0]);
+      }
+      ScriptedParticipant p;
+      p.profile.id = static_cast<int>(people.size());
+      p.profile.name = args[0];
+      DIEVENT_ASSIGN_OR_RETURN(double r, num(1));
+      DIEVENT_ASSIGN_OR_RETURN(double g, num(2));
+      DIEVENT_ASSIGN_OR_RETURN(double b, num(3));
+      if (r < 0 || r > 255 || g < 0 || g > 255 || b < 0 || b > 255) {
+        return LineError(line_no, "color channels must be 0..255");
+      }
+      p.profile.marker_color = Rgb{static_cast<uint8_t>(r),
+                                   static_cast<uint8_t>(g),
+                                   static_cast<uint8_t>(b)};
+      DIEVENT_ASSIGN_OR_RETURN(p.seat_head_position.x, num(4));
+      DIEVENT_ASSIGN_OR_RETURN(p.seat_head_position.y, num(5));
+      DIEVENT_ASSIGN_OR_RETURN(p.seat_head_position.z, num(6));
+      name_to_id[args[0]] = p.profile.id;
+      people.push_back(std::move(p));
+    } else if (directive == "gaze") {
+      if (args.size() < 4) {
+        return LineError(line_no, "gaze needs: name t0 t1 target");
+      }
+      auto it = name_to_id.find(args[0]);
+      if (it == name_to_id.end()) {
+        return LineError(line_no, "unknown participant: " + args[0]);
+      }
+      GazeLine gl;
+      gl.line = line_no;
+      gl.participant = it->second;
+      DIEVENT_ASSIGN_OR_RETURN(gl.t0, num(1));
+      DIEVENT_ASSIGN_OR_RETURN(gl.t1, num(2));
+      gl.target = args[3];
+      gaze_lines.push_back(std::move(gl));
+    } else if (directive == "emotion") {
+      if (args.size() < 4) {
+        return LineError(line_no,
+                         "emotion needs: name t0 t1 emotion [intensity]");
+      }
+      auto it = name_to_id.find(args[0]);
+      if (it == name_to_id.end()) {
+        return LineError(line_no, "unknown participant: " + args[0]);
+      }
+      DIEVENT_ASSIGN_OR_RETURN(double t0, num(1));
+      DIEVENT_ASSIGN_OR_RETURN(double t1, num(2));
+      Emotion emotion = Emotion::kNeutral;
+      bool found = false;
+      for (Emotion e : kAllEmotions) {
+        if (args[3] == EmotionName(e)) {
+          emotion = e;
+          found = true;
+        }
+      }
+      if (!found) return LineError(line_no, "unknown emotion: " + args[3]);
+      double intensity = 1.0;
+      if (args.size() > 4) {
+        DIEVENT_ASSIGN_OR_RETURN(intensity, num(4));
+      }
+      Status st = people[it->second].emotion.Add(t0, t1,
+                                                 {emotion, intensity});
+      if (!st.ok()) return LineError(line_no, st.message());
+    } else {
+      return LineError(line_no, "unknown directive: " + directive);
+    }
+  }
+
+  // Resolve gaze targets now that every participant is known.
+  for (const GazeLine& gl : gaze_lines) {
+    GazeTarget target;
+    if (gl.target == "table") {
+      target.target = GazeTarget::kTableCenter;
+    } else if (gl.target == "away") {
+      target.target = GazeTarget::kAway;
+    } else {
+      auto it = name_to_id.find(gl.target);
+      if (it == name_to_id.end()) {
+        return LineError(gl.line, "unknown gaze target: " + gl.target);
+      }
+      target.target = it->second;
+    }
+    Status st = people[gl.participant].gaze.Add(gl.t0, gl.t1, target);
+    if (!st.ok()) return LineError(gl.line, st.message());
+  }
+
+  if (!have_rig) {
+    rig = Rig::MakeCornerRig(5.0, 4.0, 2.5, {0, 0, 1.0},
+                             Intrinsics::FromFov(640, 480, DegToRad(70)));
+  }
+  if (frames == 0) {
+    // Default: cover the longest scripted segment.
+    double end = 0;
+    for (const auto& p : people) {
+      if (!p.gaze.segments().empty()) {
+        end = std::max(end, p.gaze.segments().back().end_s);
+      }
+      if (!p.emotion.segments().empty()) {
+        end = std::max(end, p.emotion.segments().back().end_s);
+      }
+    }
+    frames = std::max(1, static_cast<int>(end * fps));
+  }
+  return DiningScene::Create(table, std::move(rig), std::move(people),
+                             fps, frames);
+}
+
+Result<DiningScene> LoadSceneConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open scene config: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSceneConfig(buffer.str());
+}
+
+std::string SceneToConfig(const DiningScene& scene) {
+  std::string out;
+  out += StrFormat("fps %.6g\n", scene.fps());
+  out += StrFormat("frames %d\n", scene.num_frames());
+  const Table& t = scene.table();
+  out += StrFormat("table %.6g %.6g %.6g %.6g %.6g\n", t.center.x,
+                   t.center.y, t.center.z, t.size.x, t.size.y);
+  out += "# rig is emitted as explicit layout only when it matches a\n";
+  out += "# factory; re-declare your rig when editing by hand.\n";
+  for (const auto& p : scene.participants()) {
+    out += StrFormat("participant %s %d %d %d %.6g %.6g %.6g\n",
+                     p.profile.name.c_str(), p.profile.marker_color.r,
+                     p.profile.marker_color.g, p.profile.marker_color.b,
+                     p.seat_head_position.x, p.seat_head_position.y,
+                     p.seat_head_position.z);
+  }
+  auto target_name = [&scene](const GazeTarget& target) -> std::string {
+    if (target.target == GazeTarget::kTableCenter) return "table";
+    if (target.target == GazeTarget::kAway) return "away";
+    return scene.profile(target.target).name;
+  };
+  for (const auto& p : scene.participants()) {
+    for (const auto& seg : p.gaze.segments()) {
+      out += StrFormat("gaze %s %.6g %.6g %s\n", p.profile.name.c_str(),
+                       seg.begin_s, seg.end_s,
+                       target_name(seg.value).c_str());
+    }
+    for (const auto& seg : p.emotion.segments()) {
+      out += StrFormat("emotion %s %.6g %.6g %s %.6g\n",
+                       p.profile.name.c_str(), seg.begin_s, seg.end_s,
+                       std::string(EmotionName(seg.value.emotion)).c_str(),
+                       seg.value.intensity);
+    }
+  }
+  return out;
+}
+
+}  // namespace dievent

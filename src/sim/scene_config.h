@@ -1,0 +1,44 @@
+/// \file scene_config.h
+/// A line-oriented text format for defining dining scenes, so scenarios
+/// (and the collected external information of the paper's acquisition
+/// platform) can be authored without recompiling.
+///
+/// Format (one directive per line; '#' starts a comment):
+///
+///   fps 15.25
+///   frames 610
+///   table 0 0 0.75 1.8 1.0          # cx cy height size_x size_y
+///   rig corners 5.0 4.0 2.5          # room_x room_y elevation
+///   rig facing 5.0 2.5 -15           # length elevation pitch_deg
+///   participant P1 230 200 40 -1.0 0.0 1.15   # name r g b seat_x y z
+///   gaze P1 0 13.1 P3                # name t0 t1 target (name|table|away)
+///   emotion P1 5 15 happy 1.0        # name t0 t1 emotion intensity
+///
+/// Directives may appear in any order except that `gaze`/`emotion` must
+/// follow the `participant` they refer to, and segments per participant
+/// must be in time order (same rule as Script::Add).
+
+#ifndef DIEVENT_SIM_SCENE_CONFIG_H_
+#define DIEVENT_SIM_SCENE_CONFIG_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "sim/scene.h"
+
+namespace dievent {
+
+/// Parses a scene definition. Errors carry the offending line number.
+Result<DiningScene> ParseSceneConfig(std::string_view text);
+
+/// Reads and parses a scene definition file.
+Result<DiningScene> LoadSceneConfig(const std::string& path);
+
+/// Serializes a scene back to the config format (round-trip support for
+/// tooling; scripts are emitted segment by segment).
+std::string SceneToConfig(const DiningScene& scene);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_SIM_SCENE_CONFIG_H_

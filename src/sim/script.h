@@ -1,0 +1,97 @@
+/// \file script.h
+/// Piecewise-constant behaviour scripts driving the simulated participants.
+///
+/// A script is a sorted list of segments over the video timeline. Gaze
+/// scripts say *whom* (or what) a participant is looking at; emotion
+/// scripts say what their facial expression is. Scripts are the ground
+/// truth every estimator in the pipeline is evaluated against.
+
+#ifndef DIEVENT_SIM_SCRIPT_H_
+#define DIEVENT_SIM_SCRIPT_H_
+
+#include <vector>
+
+#include "common/emotion.h"
+#include "common/status.h"
+
+namespace dievent {
+
+/// What a participant's gaze is aimed at during one segment.
+struct GazeTarget {
+  /// Target participant id, or one of the sentinels below.
+  int target = kTableCenter;
+
+  static constexpr int kTableCenter = -1;  ///< look down at the table/plate
+  static constexpr int kAway = -2;         ///< look off into the distance
+
+  bool IsParticipant() const { return target >= 0; }
+};
+
+/// Half-open time segment [begin_s, end_s).
+template <typename T>
+struct Segment {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  T value{};
+};
+
+/// A piecewise-constant timeline. Segments must be added in order and may
+/// not overlap; gaps fall back to a default value.
+template <typename T>
+class Script {
+ public:
+  explicit Script(T default_value = T{}) : default_(default_value) {}
+
+  /// Appends a segment. Returns InvalidArgument when it is empty or
+  /// overlaps/precedes the previous segment.
+  Status Add(double begin_s, double end_s, T value) {
+    if (end_s <= begin_s) {
+      return Status::InvalidArgument("script segment must have end > begin");
+    }
+    if (!segments_.empty() && begin_s < segments_.back().end_s) {
+      return Status::InvalidArgument(
+          "script segments must be non-overlapping and ordered");
+    }
+    segments_.push_back(Segment<T>{begin_s, end_s, value});
+    return Status::OK();
+  }
+
+  /// Value at time t (default value inside gaps / outside the timeline).
+  T Sample(double t) const {
+    // Binary search over begin times.
+    int lo = 0, hi = static_cast<int>(segments_.size()) - 1, found = -1;
+    while (lo <= hi) {
+      int mid = (lo + hi) / 2;
+      if (segments_[mid].begin_s <= t) {
+        found = mid;
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    if (found >= 0 && t < segments_[found].end_s)
+      return segments_[found].value;
+    return default_;
+  }
+
+  const std::vector<Segment<T>>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+ private:
+  T default_;
+  std::vector<Segment<T>> segments_;
+};
+
+using GazeScript = Script<GazeTarget>;
+
+/// Emotion segments carry the expression and a 0..1 intensity.
+struct EmotionSample {
+  Emotion emotion = Emotion::kNeutral;
+  double intensity = 1.0;
+};
+
+using EmotionScript = Script<EmotionSample>;
+
+}  // namespace dievent
+
+#endif  // DIEVENT_SIM_SCRIPT_H_

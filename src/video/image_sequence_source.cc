@@ -1,0 +1,44 @@
+#include "video/image_sequence_source.h"
+
+#include <filesystem>
+
+#include "common/strings.h"
+#include "image/pnm_io.h"
+
+namespace dievent {
+
+std::string ImageSequenceSource::FramePath(int index) const {
+  return StrFormat(pattern_.c_str(), first_index_ + index);
+}
+
+Result<ImageSequenceSource> ImageSequenceSource::Open(
+    const std::string& pattern, double fps, int first_index) {
+  if (fps <= 0) return Status::InvalidArgument("fps must be positive");
+  if (pattern.find("%d") == std::string::npos &&
+      pattern.find("%0") == std::string::npos) {
+    return Status::InvalidArgument(
+        "pattern must contain a %d-style frame placeholder: " + pattern);
+  }
+  ImageSequenceSource probe(pattern, fps, first_index, 0);
+  if (!std::filesystem::exists(probe.FramePath(0))) {
+    return Status::NotFound("no frame at " + probe.FramePath(0));
+  }
+  int count = 1;
+  while (std::filesystem::exists(probe.FramePath(count))) ++count;
+  return ImageSequenceSource(pattern, fps, first_index, count);
+}
+
+Result<VideoFrame> ImageSequenceSource::GetFrame(int index) {
+  if (index < 0 || index >= num_frames_) {
+    return Status::OutOfRange(
+        StrFormat("frame %d outside [0, %d)", index, num_frames_));
+  }
+  DIEVENT_ASSIGN_OR_RETURN(ImageRgb image, ReadPpm(FramePath(index)));
+  VideoFrame frame;
+  frame.index = index;
+  frame.timestamp_s = index / fps_;
+  frame.image = std::move(image);
+  return frame;
+}
+
+}  // namespace dievent

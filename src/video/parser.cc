@@ -1,0 +1,35 @@
+#include "video/parser.h"
+
+#include "common/strings.h"
+
+namespace dievent {
+
+Result<VideoStructure> VideoParser::Parse(VideoSource* source) const {
+  std::vector<Histogram> sigs;
+  sigs.reserve(source->NumFrames());
+  ShotBoundaryDetector detector(options_.shot);
+  for (int i = 0; i < source->NumFrames(); ++i) {
+    DIEVENT_ASSIGN_OR_RETURN(VideoFrame f, source->GetFrame(i));
+    sigs.push_back(detector.Signature(f.image));
+  }
+  return ParseFromHistograms(sigs, source->Fps());
+}
+
+VideoStructure VideoParser::ParseFromHistograms(
+    const std::vector<Histogram>& sigs, double fps) const {
+  VideoStructure out;
+  out.num_frames = static_cast<int>(sigs.size());
+  out.fps = fps;
+  if (sigs.empty()) return out;
+
+  ShotBoundaryDetector detector(options_.shot);
+  std::vector<ShotBoundary> cuts = detector.DetectFromHistograms(sigs);
+  std::vector<Shot> shots = BoundariesToShots(cuts, out.num_frames);
+  for (Shot& shot : shots) {
+    shot.key_frames = ExtractKeyFrames(sigs, shot, options_.key_frames);
+  }
+  out.scenes = SegmentScenes(shots, sigs, options_.scenes);
+  return out;
+}
+
+}  // namespace dievent

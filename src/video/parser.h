@@ -1,0 +1,45 @@
+/// \file parser.h
+/// End-to-end video parsing (paper Section II-B / Fig. 3): shot-boundary
+/// detection, key-frame extraction, and scene segmentation in one pass.
+
+#ifndef DIEVENT_VIDEO_PARSER_H_
+#define DIEVENT_VIDEO_PARSER_H_
+
+#include "common/result.h"
+#include "video/keyframes.h"
+#include "video/scene_segmentation.h"
+#include "video/shot_detection.h"
+#include "video/video_structure.h"
+
+namespace dievent {
+
+struct VideoParserOptions {
+  ShotDetectorOptions shot;
+  KeyFrameOptions key_frames;
+  SceneSegmentationOptions scenes;
+};
+
+/// Decomposes a video into the Fig. 3 hierarchy. Frame signatures are
+/// computed once and shared by all three stages.
+class VideoParser {
+ public:
+  explicit VideoParser(VideoParserOptions options = {})
+      : options_(options) {}
+
+  /// Parses an entire source.
+  Result<VideoStructure> Parse(VideoSource* source) const;
+
+  /// Parses from precomputed per-frame signatures (used when the caller
+  /// already holds decoded frames — e.g. the full DiEvent pipeline).
+  VideoStructure ParseFromHistograms(
+      const std::vector<Histogram>& signatures, double fps) const;
+
+  const VideoParserOptions& options() const { return options_; }
+
+ private:
+  VideoParserOptions options_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VIDEO_PARSER_H_

@@ -1,0 +1,56 @@
+#include "video/scene_segmentation.h"
+
+#include <algorithm>
+
+namespace dievent {
+
+namespace {
+
+/// Best histogram intersection between any key-frame pair of two shots.
+double ShotSimilarity(const Shot& a, const Shot& b,
+                      const std::vector<Histogram>& sigs) {
+  double best = 0.0;
+  for (int ka : a.key_frames) {
+    for (int kb : b.key_frames) {
+      if (ka < 0 || kb < 0 || ka >= static_cast<int>(sigs.size()) ||
+          kb >= static_cast<int>(sigs.size())) {
+        continue;
+      }
+      best = std::max(best, IntersectionSimilarity(sigs[ka], sigs[kb]));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<SceneSegment> SegmentScenes(
+    const std::vector<Shot>& shots, const std::vector<Histogram>& signatures,
+    const SceneSegmentationOptions& options) {
+  std::vector<SceneSegment> scenes;
+  for (const Shot& shot : shots) {
+    bool merged = false;
+    if (!scenes.empty()) {
+      SceneSegment& last = scenes.back();
+      int lookback = std::min<int>(options.lookback_shots,
+                                   static_cast<int>(last.shots.size()));
+      for (int i = 1; i <= lookback && !merged; ++i) {
+        const Shot& prev = last.shots[last.shots.size() - i];
+        if (ShotSimilarity(prev, shot, signatures) >=
+            options.merge_similarity) {
+          merged = true;
+        }
+      }
+    }
+    if (merged) {
+      scenes.back().shots.push_back(shot);
+    } else {
+      SceneSegment s;
+      s.shots.push_back(shot);
+      scenes.push_back(std::move(s));
+    }
+  }
+  return scenes;
+}
+
+}  // namespace dievent

@@ -1,0 +1,36 @@
+/// \file scene_segmentation.h
+/// Scene segmentation — step 3 of the paper's video composition analysis.
+///
+/// Consecutive shots whose key-frame signatures are similar enough are
+/// grouped into one scene (e.g. alternating camera angles of the same
+/// dinner). Similarity is the best histogram-intersection between any pair
+/// of key frames of the two shots.
+
+#ifndef DIEVENT_VIDEO_SCENE_SEGMENTATION_H_
+#define DIEVENT_VIDEO_SCENE_SEGMENTATION_H_
+
+#include <vector>
+
+#include "image/histogram.h"
+#include "video/video_structure.h"
+
+namespace dievent {
+
+struct SceneSegmentationOptions {
+  /// Shots with best key-frame intersection >= this merge into one scene.
+  double merge_similarity = 0.6;
+  /// Look back up to this many shots when testing for a merge (captures
+  /// A-B-A camera alternation within a scene).
+  int lookback_shots = 2;
+};
+
+/// Groups shots (with key frames already filled in) into scenes, using the
+/// whole-video signature table.
+std::vector<SceneSegment> SegmentScenes(
+    const std::vector<Shot>& shots,
+    const std::vector<Histogram>& signatures,
+    const SceneSegmentationOptions& options);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VIDEO_SCENE_SEGMENTATION_H_

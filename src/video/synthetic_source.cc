@@ -1,0 +1,41 @@
+#include "video/synthetic_source.h"
+
+#include "common/strings.h"
+
+namespace dievent {
+
+Result<VideoFrame> SyntheticVideoSource::GetFrame(int index) {
+  if (index < 0 || index >= NumFrames()) {
+    return Status::OutOfRange(
+        StrFormat("frame %d outside [0, %d)", index, NumFrames()));
+  }
+  const double t = scene_->TimeOfFrame(index);
+  RenderOptions opts = options_;
+  opts.background = scripts_.background.Sample(t);
+  opts.illumination = scripts_.illumination.Sample(t);
+
+  VideoFrame f;
+  f.index = index;
+  f.timestamp_s = t;
+  if (noise_seed_ != 0 && opts.noise_sigma > 0.0) {
+    Rng rng(noise_seed_ * 0x9e3779b97f4a7c15ull + index);
+    f.image = RenderViewAt(*scene_, t, camera_index_, opts, &rng);
+  } else {
+    f.image = RenderViewAt(*scene_, t, camera_index_, opts, nullptr);
+  }
+  return f;
+}
+
+Result<MultiCameraSource> SyntheticVideoSource::ForAllCameras(
+    const DiningScene* scene, RenderOptions options, RenderScripts scripts,
+    uint64_t noise_seed) {
+  std::vector<std::unique_ptr<VideoSource>> sources;
+  for (int c = 0; c < scene->rig().NumCameras(); ++c) {
+    sources.push_back(std::make_unique<SyntheticVideoSource>(
+        scene, c, options, scripts,
+        noise_seed == 0 ? 0 : noise_seed + static_cast<uint64_t>(c) * 7919));
+  }
+  return MultiCameraSource::Create(std::move(sources));
+}
+
+}  // namespace dievent

@@ -1,0 +1,49 @@
+#include "video/video_source.h"
+
+#include "common/strings.h"
+
+namespace dievent {
+
+Result<MultiCameraSource> MultiCameraSource::Create(
+    std::vector<std::unique_ptr<VideoSource>> sources) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("need at least one camera source");
+  }
+  const int frames = sources[0]->NumFrames();
+  const double fps = sources[0]->Fps();
+  for (size_t i = 1; i < sources.size(); ++i) {
+    if (sources[i]->NumFrames() != frames || sources[i]->Fps() != fps) {
+      return Status::InvalidArgument(StrFormat(
+          "camera %zu is not synchronized (frames/fps mismatch)", i));
+    }
+  }
+  MultiCameraSource out;
+  out.sources_ = std::move(sources);
+  out.num_frames_ = frames;
+  out.fps_ = fps;
+  return out;
+}
+
+Result<std::vector<VideoFrame>> MultiCameraSource::GetFrames(int index) {
+  std::vector<VideoFrame> frames;
+  frames.reserve(sources_.size());
+  for (auto& src : sources_) {
+    DIEVENT_ASSIGN_OR_RETURN(VideoFrame f, src->GetFrame(index));
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+Result<VideoFrame> MemoryVideoSource::GetFrame(int index) {
+  if (index < 0 || index >= NumFrames()) {
+    return Status::OutOfRange(
+        StrFormat("frame %d outside [0, %d)", index, NumFrames()));
+  }
+  VideoFrame f;
+  f.index = index;
+  f.timestamp_s = index / fps_;
+  f.image = frames_[index];
+  return f;
+}
+
+}  // namespace dievent

@@ -1,0 +1,78 @@
+/// \file video_source.h
+/// Frame-addressable video sources. The synthetic source plays the role of
+/// the paper's recorded surveillance streams; the interface would equally
+/// sit in front of a file decoder.
+
+#ifndef DIEVENT_VIDEO_VIDEO_SOURCE_H_
+#define DIEVENT_VIDEO_VIDEO_SOURCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "image/image.h"
+
+namespace dievent {
+
+/// One decoded frame.
+struct VideoFrame {
+  int index = 0;
+  double timestamp_s = 0.0;
+  ImageRgb image;
+};
+
+/// Random-access video stream.
+class VideoSource {
+ public:
+  virtual ~VideoSource() = default;
+
+  virtual int NumFrames() const = 0;
+  virtual double Fps() const = 0;
+
+  /// Decodes frame `index`. OutOfRange for indices outside [0, NumFrames).
+  virtual Result<VideoFrame> GetFrame(int index) = 0;
+};
+
+/// A set of per-camera sources sharing one clock — the paper's synchronized
+/// multi-camera recording.
+class MultiCameraSource {
+ public:
+  /// All sources must agree on frame count and fps.
+  static Result<MultiCameraSource> Create(
+      std::vector<std::unique_ptr<VideoSource>> sources);
+
+  int NumCameras() const { return static_cast<int>(sources_.size()); }
+  int NumFrames() const { return num_frames_; }
+  double Fps() const { return fps_; }
+
+  /// Decodes the synchronized frame `index` from every camera.
+  Result<std::vector<VideoFrame>> GetFrames(int index);
+
+  VideoSource& source(int camera) { return *sources_.at(camera); }
+
+ private:
+  MultiCameraSource() = default;
+
+  std::vector<std::unique_ptr<VideoSource>> sources_;
+  int num_frames_ = 0;
+  double fps_ = 0.0;
+};
+
+/// An in-memory source over pre-rendered frames; useful in tests.
+class MemoryVideoSource : public VideoSource {
+ public:
+  MemoryVideoSource(std::vector<ImageRgb> frames, double fps)
+      : frames_(std::move(frames)), fps_(fps) {}
+
+  int NumFrames() const override { return static_cast<int>(frames_.size()); }
+  double Fps() const override { return fps_; }
+  Result<VideoFrame> GetFrame(int index) override;
+
+ private:
+  std::vector<ImageRgb> frames_;
+  double fps_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VIDEO_VIDEO_SOURCE_H_

@@ -1,0 +1,23 @@
+#include "video/video_structure.h"
+
+#include "common/strings.h"
+
+namespace dievent {
+
+std::string VideoStructure::ToString() const {
+  std::string out = StrFormat("video: %d frames @ %.2f fps, %zu scene(s)\n",
+                              num_frames, fps, scenes.size());
+  for (size_t si = 0; si < scenes.size(); ++si) {
+    const SceneSegment& sc = scenes[si];
+    out += StrFormat("  scene %zu: frames [%d, %d), %zu shot(s)\n", si,
+                     sc.begin_frame(), sc.end_frame(), sc.shots.size());
+    for (size_t hi = 0; hi < sc.shots.size(); ++hi) {
+      const Shot& sh = sc.shots[hi];
+      out += StrFormat("    shot [%d, %d) with %zu key frame(s)\n",
+                       sh.begin_frame, sh.end_frame, sh.key_frames.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace dievent

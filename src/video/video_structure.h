@@ -1,0 +1,66 @@
+/// \file video_structure.h
+/// The video parsing hierarchy of paper Fig. 3: a video decomposes into
+/// scenes, scenes into shots, and each shot contributes key frames.
+
+#ifndef DIEVENT_VIDEO_VIDEO_STRUCTURE_H_
+#define DIEVENT_VIDEO_VIDEO_STRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+namespace dievent {
+
+/// A maximal run of frames recorded without a transition.
+struct Shot {
+  int begin_frame = 0;  ///< inclusive
+  int end_frame = 0;    ///< exclusive
+  std::vector<int> key_frames;  ///< representative frame indices
+
+  int Length() const { return end_frame - begin_frame; }
+  bool Contains(int frame) const {
+    return frame >= begin_frame && frame < end_frame;
+  }
+};
+
+/// A group of visually-related consecutive shots.
+struct SceneSegment {
+  std::vector<Shot> shots;
+
+  int begin_frame() const {
+    return shots.empty() ? 0 : shots.front().begin_frame;
+  }
+  int end_frame() const { return shots.empty() ? 0 : shots.back().end_frame; }
+};
+
+/// The full decomposition of one video stream.
+struct VideoStructure {
+  int num_frames = 0;
+  double fps = 0.0;
+  std::vector<SceneSegment> scenes;
+
+  int NumShots() const {
+    int n = 0;
+    for (const auto& s : scenes) n += static_cast<int>(s.shots.size());
+    return n;
+  }
+  int NumKeyFrames() const {
+    int n = 0;
+    for (const auto& sc : scenes)
+      for (const auto& sh : sc.shots)
+        n += static_cast<int>(sh.key_frames.size());
+    return n;
+  }
+  /// All shots flattened in order.
+  std::vector<Shot> AllShots() const {
+    std::vector<Shot> out;
+    for (const auto& sc : scenes)
+      out.insert(out.end(), sc.shots.begin(), sc.shots.end());
+    return out;
+  }
+  /// Human-readable summary for logs and examples.
+  std::string ToString() const;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VIDEO_VIDEO_STRUCTURE_H_

@@ -1,0 +1,52 @@
+/// \file face_analyzer.h
+/// Per-camera, per-frame orchestration of the vision stack: detect faces,
+/// localize landmarks, lift head position to 3-D, and estimate gaze.
+/// Identity assignment is layered on top by the ml library's recognizer.
+
+#ifndef DIEVENT_VISION_FACE_ANALYZER_H_
+#define DIEVENT_VISION_FACE_ANALYZER_H_
+
+#include <vector>
+
+#include "geometry/camera.h"
+#include "vision/face_detector.h"
+#include "vision/gaze_estimator.h"
+#include "vision/head_pose.h"
+#include "vision/landmarks.h"
+
+namespace dievent {
+
+struct FaceAnalyzerOptions {
+  FaceDetectorOptions detector;
+  LandmarkOptions landmarks;
+  HeadPoseOptions head_pose;
+};
+
+class FaceAnalyzer {
+ public:
+  explicit FaceAnalyzer(FaceAnalyzerOptions options = {})
+      : options_(options),
+        detector_(options.detector),
+        localizer_(options.landmarks),
+        head_pose_(options.head_pose) {}
+
+  /// Analyzes one frame from `camera`. Every detection yields an
+  /// observation; `has_gaze` is set only for frontal faces with valid eye
+  /// landmarks.
+  std::vector<FaceObservation> Analyze(const CameraModel& camera,
+                                       int camera_index,
+                                       const ImageRgb& frame) const;
+
+  const FaceDetector& detector() const { return detector_; }
+
+ private:
+  FaceAnalyzerOptions options_;
+  FaceDetector detector_;
+  LandmarkLocalizer localizer_;
+  GazeEstimator gaze_;
+  HeadPoseEstimator head_pose_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VISION_FACE_ANALYZER_H_

@@ -1,0 +1,140 @@
+#include "vision/face_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "render/face_renderer.h"
+
+namespace dievent {
+
+double IoU(const BBox& a, const BBox& b) {
+  int x1 = std::max(a.x, b.x);
+  int y1 = std::max(a.y, b.y);
+  int x2 = std::min(a.x2(), b.x2());
+  int y2 = std::min(a.y2(), b.y2());
+  int inter = std::max(0, x2 - x1) * std::max(0, y2 - y1);
+  int uni = a.Area() + b.Area() - inter;
+  return uni > 0 ? static_cast<double>(inter) / uni : 0.0;
+}
+
+namespace {
+
+bool NearColor(const ImageRgb& img, int x, int y, const Rgb& ref, int tol) {
+  return std::abs(img.at(x, y, 0) - ref.r) <= tol &&
+         std::abs(img.at(x, y, 1) - ref.g) <= tol &&
+         std::abs(img.at(x, y, 2) - ref.b) <= tol;
+}
+
+struct Component {
+  BBox bbox;
+  long long area = 0;
+};
+
+/// 4-connected component extraction over a binary mask.
+std::vector<Component> FindComponents(const std::vector<uint8_t>& mask,
+                                      int width, int height) {
+  std::vector<Component> comps;
+  std::vector<int> label(mask.size(), -1);
+  std::vector<int> stack;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      size_t idx = static_cast<size_t>(y) * width + x;
+      if (!mask[idx] || label[idx] >= 0) continue;
+      int id = static_cast<int>(comps.size());
+      Component c;
+      c.bbox = BBox{x, y, 1, 1};
+      int min_x = x, max_x = x, min_y = y, max_y = y;
+      stack.clear();
+      stack.push_back(static_cast<int>(idx));
+      label[idx] = id;
+      while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        int cx = cur % width, cy = cur / width;
+        ++c.area;
+        min_x = std::min(min_x, cx);
+        max_x = std::max(max_x, cx);
+        min_y = std::min(min_y, cy);
+        max_y = std::max(max_y, cy);
+        const int nbr[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+        for (auto& d : nbr) {
+          int nx = cx + d[0], ny = cy + d[1];
+          if (nx < 0 || nx >= width || ny < 0 || ny >= height) continue;
+          size_t nidx = static_cast<size_t>(ny) * width + nx;
+          if (mask[nidx] && label[nidx] < 0) {
+            label[nidx] = id;
+            stack.push_back(static_cast<int>(nidx));
+          }
+        }
+      }
+      c.bbox = BBox{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+      comps.push_back(c);
+    }
+  }
+  return comps;
+}
+
+}  // namespace
+
+std::vector<FaceDetection> FaceDetector::Detect(const ImageRgb& frame) const {
+  const int w = frame.width(), h = frame.height();
+  std::vector<FaceDetection> raw;
+
+  for (bool front : {true, false}) {
+    const Rgb ref = front ? face_model::kSkin : face_model::kHair;
+    const int tol = front ? options_.skin_tolerance : options_.hair_tolerance;
+    std::vector<uint8_t> mask(static_cast<size_t>(w) * h, 0);
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x)
+        mask[static_cast<size_t>(y) * w + x] =
+            NearColor(frame, x, y, ref, tol) ? 1 : 0;
+
+    for (const Component& c : FindComponents(mask, w, h)) {
+      // The head disc's widest extent is skin/hair on both sides, so the
+      // bbox width is the best radius estimate; the bottom of the disc is
+      // uncovered, so the centre sits one radius above the bbox bottom.
+      double radius = c.bbox.w / 2.0;
+      if (radius < options_.min_radius_px) continue;
+      if (radius > options_.max_radius_fraction * std::min(w, h)) continue;
+      double aspect = static_cast<double>(c.bbox.w) / c.bbox.h;
+      if (aspect < options_.min_aspect || aspect > options_.max_aspect) {
+        continue;
+      }
+      double fill = static_cast<double>(c.area) /
+                    (3.14159265358979323846 * radius * radius);
+      if (fill < options_.min_fill_ratio) continue;
+      FaceDetection det;
+      det.bbox = c.bbox;
+      det.radius_px = radius;
+      // Pixel centres: the last covered row sits ~0.5 px above the disc's
+      // true bottom edge, hence the -0.5 to keep the centre unbiased.
+      det.center_px =
+          Vec2{c.bbox.x + (c.bbox.w - 1) / 2.0, c.bbox.y2() - 0.5 - radius};
+      det.score = std::min(1.0, fill);
+      det.front_facing = front;
+      raw.push_back(det);
+    }
+  }
+
+  // Non-max suppression across both classes (a face and its own hat gap
+  // should never produce two detections, but merged blobs can).
+  std::sort(raw.begin(), raw.end(),
+            [](const FaceDetection& a, const FaceDetection& b) {
+              return a.score > b.score;
+            });
+  std::vector<FaceDetection> out;
+  for (const FaceDetection& det : raw) {
+    bool keep = true;
+    for (const FaceDetection& kept : out) {
+      if (IoU(det.bbox, kept.bbox) > options_.nms_iou) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(det);
+  }
+  return out;
+}
+
+}  // namespace dievent

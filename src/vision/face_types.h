@@ -1,0 +1,67 @@
+/// \file face_types.h
+/// Common value types flowing through the per-frame vision stack.
+
+#ifndef DIEVENT_VISION_FACE_TYPES_H_
+#define DIEVENT_VISION_FACE_TYPES_H_
+
+#include <optional>
+#include <vector>
+
+#include "geometry/vec.h"
+
+namespace dievent {
+
+/// Axis-aligned integer box.
+struct BBox {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  int Area() const { return w * h; }
+  Vec2 Center() const { return {x + w / 2.0, y + h / 2.0}; }
+  int x2() const { return x + w; }
+  int y2() const { return y + h; }
+};
+
+/// Intersection-over-union of two boxes, in [0, 1].
+double IoU(const BBox& a, const BBox& b);
+
+/// A face (or back-of-head) found in one camera frame.
+struct FaceDetection {
+  BBox bbox;
+  Vec2 center_px;        ///< estimated head-disc centre
+  double radius_px = 0;  ///< estimated head-disc radius
+  double score = 0;      ///< detector confidence (fill ratio)
+  bool front_facing = true;  ///< skin (face) vs hair (back of head)
+};
+
+/// 2-D landmarks localized inside a frontal detection.
+struct FaceLandmarks {
+  Vec2 left_eye;    ///< eye-socket centre, image coords
+  Vec2 right_eye;
+  Vec2 left_iris;
+  Vec2 right_iris;
+  Vec2 mouth;
+  bool eyes_valid = false;
+  bool mouth_valid = false;
+};
+
+/// Fully-analyzed face in one camera: geometry lifted to 3-D.
+struct FaceObservation {
+  int camera_index = -1;
+  FaceDetection detection;
+  FaceLandmarks landmarks;
+  int identity = -1;  ///< participant id assigned by the recognizer
+  double identity_confidence = 0.0;
+
+  Vec3 head_position_world;  ///< backprojected head-sphere centre
+  Vec3 head_position_camera; ///< same, in the camera frame
+  bool has_gaze = false;
+  Vec3 gaze_camera;  ///< unit gaze direction in the camera frame
+  Vec3 gaze_world;   ///< unit gaze direction in the world frame
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VISION_FACE_TYPES_H_

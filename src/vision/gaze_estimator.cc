@@ -1,0 +1,48 @@
+#include "vision/gaze_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "render/face_renderer.h"
+
+namespace dievent {
+
+std::optional<Vec3> GazeEstimator::EstimateCameraGaze(
+    const FaceDetection& det, const FaceLandmarks& lm) const {
+  if (!lm.eyes_valid || det.radius_px <= 0.0) return std::nullopt;
+  const double er = face_model::kEyeRadius * det.radius_px;
+  if (er < 1.0) return std::nullopt;
+
+  // Average the two irises' normalized offsets (they encode the same
+  // gaze). The eye anchor is the measured white centroid, so the raw
+  // separation overstates the offset by the known area-ratio gain.
+  const double gain = face_model::kIrisWhiteSeparationGain;
+  Vec2 off_left = (lm.left_iris - lm.left_eye) / gain;
+  Vec2 off_right = (lm.right_iris - lm.right_eye) / gain;
+  double gx = (off_left.x + off_right.x) / 2.0 /
+              (face_model::kIrisSwing * er);
+  double gy = (off_left.y + off_right.y) / 2.0 /
+              (face_model::kIrisSwing * er * 0.75);
+  gx = std::clamp(gx, -1.0, 1.0);
+  gy = std::clamp(gy, -1.0, 1.0);
+  double xy2 = gx * gx + gy * gy;
+  if (xy2 > 1.0) {
+    double s = 1.0 / std::sqrt(xy2);
+    gx *= s;
+    gy *= s;
+    xy2 = 1.0;
+  }
+  // Frontal faces gaze into the camera half-space: z < 0.
+  double gz = -std::sqrt(std::max(0.0, 1.0 - xy2));
+  return Vec3{gx, gy, gz}.Normalized();
+}
+
+std::optional<Vec3> GazeEstimator::EstimateWorldGaze(
+    const CameraModel& camera, const FaceDetection& det,
+    const FaceLandmarks& lm) const {
+  auto cam_gaze = EstimateCameraGaze(det, lm);
+  if (!cam_gaze) return std::nullopt;
+  return camera.world_from_camera().TransformDirection(*cam_gaze);
+}
+
+}  // namespace dievent

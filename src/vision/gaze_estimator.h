@@ -1,0 +1,36 @@
+/// \file gaze_estimator.h
+/// Gaze-direction estimation from iris offsets — the OpenFace-toolkit
+/// substitute for eye-gaze.
+///
+/// The renderer displaces each iris from its socket centre proportionally
+/// to the camera-frame gaze (x, y); the estimator inverts that mapping and
+/// reconstructs z from the unit-vector constraint (frontal faces always
+/// gaze toward the camera half-space, so z < 0).
+
+#ifndef DIEVENT_VISION_GAZE_ESTIMATOR_H_
+#define DIEVENT_VISION_GAZE_ESTIMATOR_H_
+
+#include <optional>
+
+#include "geometry/camera.h"
+#include "vision/face_types.h"
+
+namespace dievent {
+
+class GazeEstimator {
+ public:
+  /// Camera-frame unit gaze direction from landmarks; nullopt when the
+  /// landmarks are invalid.
+  std::optional<Vec3> EstimateCameraGaze(const FaceDetection& detection,
+                                         const FaceLandmarks& lm) const;
+
+  /// Convenience: camera gaze lifted to the world frame via the camera's
+  /// extrinsics (paper Eq. 1 applied to the gaze vector).
+  std::optional<Vec3> EstimateWorldGaze(const CameraModel& camera,
+                                        const FaceDetection& detection,
+                                        const FaceLandmarks& lm) const;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VISION_GAZE_ESTIMATOR_H_

@@ -1,0 +1,22 @@
+#include "vision/head_pose.h"
+
+namespace dievent {
+
+Vec3 HeadPoseEstimator::EstimateCameraPosition(
+    const CameraModel& camera, const FaceDetection& det) const {
+  const Intrinsics& k = camera.intrinsics();
+  // Pinhole similar triangles: radius_px = fx * R / depth.
+  double depth = det.radius_px > 0.0
+                     ? k.fx * options_.head_radius_m / det.radius_px
+                     : 0.0;
+  return Vec3{(det.center_px.x - k.cx) / k.fx * depth,
+              (det.center_px.y - k.cy) / k.fy * depth, depth};
+}
+
+Vec3 HeadPoseEstimator::EstimateWorldPosition(
+    const CameraModel& camera, const FaceDetection& det) const {
+  return camera.world_from_camera().TransformPoint(
+      EstimateCameraPosition(camera, det));
+}
+
+}  // namespace dievent

@@ -1,0 +1,41 @@
+/// \file head_pose.h
+/// Monocular head-position estimation: the projected head-disc radius plus
+/// a calibrated head-size prior give depth; backprojection gives the 3-D
+/// head-sphere centre (the paper's iHP terms of Eq. 5).
+
+#ifndef DIEVENT_VISION_HEAD_POSE_H_
+#define DIEVENT_VISION_HEAD_POSE_H_
+
+#include "geometry/camera.h"
+#include "vision/face_types.h"
+
+namespace dievent {
+
+struct HeadPoseOptions {
+  /// Physical head-sphere radius prior in metres (matches the simulator's
+  /// default profile; in a real deployment this is a population prior).
+  double head_radius_m = 0.12;
+};
+
+class HeadPoseEstimator {
+ public:
+  explicit HeadPoseEstimator(HeadPoseOptions options = {})
+      : options_(options) {}
+
+  /// Camera-frame head centre from a detection.
+  Vec3 EstimateCameraPosition(const CameraModel& camera,
+                              const FaceDetection& detection) const;
+
+  /// World-frame head centre (camera position composed with extrinsics).
+  Vec3 EstimateWorldPosition(const CameraModel& camera,
+                             const FaceDetection& detection) const;
+
+  const HeadPoseOptions& options() const { return options_; }
+
+ private:
+  HeadPoseOptions options_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VISION_HEAD_POSE_H_

@@ -1,0 +1,40 @@
+/// \file landmarks.h
+/// Facial-landmark localization inside a frontal face detection: eye
+/// sockets, irises, and mouth. The localizer searches the appearance
+/// model's nominal regions for the corresponding colors, so it tolerates
+/// detector jitter and pixel noise.
+
+#ifndef DIEVENT_VISION_LANDMARKS_H_
+#define DIEVENT_VISION_LANDMARKS_H_
+
+#include "image/image.h"
+#include "vision/face_types.h"
+
+namespace dievent {
+
+struct LandmarkOptions {
+  /// Color gate half-widths.
+  int eye_white_tolerance = 60;
+  /// Tight enough to exclude eyebrow pixels (kBrow is 35 levels away).
+  int iris_tolerance = 30;
+  /// Tight enough to exclude hair pixels from occluding heads.
+  int mouth_tolerance = 45;
+};
+
+class LandmarkLocalizer {
+ public:
+  explicit LandmarkLocalizer(LandmarkOptions options = {})
+      : options_(options) {}
+
+  /// Localizes landmarks for one frontal detection. Non-frontal detections
+  /// return landmarks with all validity flags false.
+  FaceLandmarks Localize(const ImageRgb& frame,
+                         const FaceDetection& detection) const;
+
+ private:
+  LandmarkOptions options_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VISION_LANDMARKS_H_

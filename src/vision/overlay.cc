@@ -1,0 +1,123 @@
+#include "vision/overlay.h"
+
+#include "common/strings.h"
+#include "image/draw.h"
+
+namespace dievent {
+
+namespace {
+
+/// 5x7 glyphs for 'P' and the digits, one bit per pixel, row-major.
+const uint8_t* Glyph(char c) {
+  // clang-format off
+  static const uint8_t kP[7]      = {0b11110, 0b10001, 0b10001, 0b11110,
+                                     0b10000, 0b10000, 0b10000};
+  static const uint8_t kDigits[10][7] = {
+      {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110},  // 0
+      {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},  // 1
+      {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111},  // 2
+      {0b01110, 0b10001, 0b00001, 0b00110, 0b00001, 0b10001, 0b01110},  // 3
+      {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010},  // 4
+      {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110},  // 5
+      {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110},  // 6
+      {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000},  // 7
+      {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110},  // 8
+      {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100},  // 9
+  };
+  // clang-format on
+  if (c == 'P' || c == 'p') return kP;
+  if (c >= '0' && c <= '9') return kDigits[c - '0'];
+  return nullptr;
+}
+
+}  // namespace
+
+void DrawLabel(ImageRgb* frame, const Vec2& position,
+               const std::string& text, const Rgb& color) {
+  int x0 = static_cast<int>(position.x);
+  int y0 = static_cast<int>(position.y);
+  for (char c : text) {
+    const uint8_t* glyph = Glyph(c);
+    if (glyph != nullptr) {
+      for (int row = 0; row < 7; ++row) {
+        for (int col = 0; col < 5; ++col) {
+          if (glyph[row] & (1 << (4 - col))) {
+            PutRgb(frame, x0 + col, y0 + row, color);
+          }
+        }
+      }
+    }
+    x0 += 6;
+  }
+}
+
+void DrawObservation(ImageRgb* frame, const FaceObservation& obs,
+                     const OverlayOptions& opt) {
+  const FaceDetection& det = obs.detection;
+  const Rgb box =
+      det.front_facing ? opt.box_color_front : opt.box_color_back;
+  // Bounding box.
+  DrawLine(frame, {static_cast<double>(det.bbox.x),
+                   static_cast<double>(det.bbox.y)},
+           {static_cast<double>(det.bbox.x2()),
+            static_cast<double>(det.bbox.y)},
+           box);
+  DrawLine(frame, {static_cast<double>(det.bbox.x2()),
+                   static_cast<double>(det.bbox.y)},
+           {static_cast<double>(det.bbox.x2()),
+            static_cast<double>(det.bbox.y2())},
+           box);
+  DrawLine(frame, {static_cast<double>(det.bbox.x2()),
+                   static_cast<double>(det.bbox.y2())},
+           {static_cast<double>(det.bbox.x),
+            static_cast<double>(det.bbox.y2())},
+           box);
+  DrawLine(frame, {static_cast<double>(det.bbox.x),
+                   static_cast<double>(det.bbox.y2())},
+           {static_cast<double>(det.bbox.x),
+            static_cast<double>(det.bbox.y)},
+           box);
+
+  if (opt.draw_landmarks && obs.landmarks.eyes_valid) {
+    for (const Vec2& p :
+         {obs.landmarks.left_eye, obs.landmarks.right_eye,
+          obs.landmarks.left_iris, obs.landmarks.right_iris}) {
+      FillCircle(frame, p.x, p.y, 1.2, opt.landmark_color);
+    }
+  }
+  if (opt.draw_landmarks && obs.landmarks.mouth_valid) {
+    FillCircle(frame, obs.landmarks.mouth.x, obs.landmarks.mouth.y, 1.2,
+               opt.landmark_color);
+  }
+
+  if (opt.draw_gaze && obs.has_gaze) {
+    // Project the camera-frame gaze onto the image plane for a 2-D arrow.
+    Vec2 dir{obs.gaze_camera.x, obs.gaze_camera.y};
+    if (dir.Norm() > 1e-6) {
+      dir = dir.Normalized();
+      Vec2 from = det.center_px;
+      Vec2 to = from + dir * (opt.gaze_length * det.radius_px);
+      DrawArrow(frame, from, to, opt.gaze_color, 1.5,
+                0.4 * det.radius_px);
+    }
+  }
+
+  if (opt.draw_identity && obs.identity >= 0) {
+    DrawLabel(frame,
+              {det.center_px.x - 6,
+               det.center_px.y - det.radius_px * 1.6 - 8},
+              StrFormat("P%d", obs.identity + 1), box);
+  }
+}
+
+ImageRgb RenderOverlay(const ImageRgb& frame,
+                       const std::vector<FaceObservation>& observations,
+                       const OverlayOptions& options) {
+  ImageRgb out = frame;
+  for (const FaceObservation& obs : observations) {
+    DrawObservation(&out, obs, options);
+  }
+  return out;
+}
+
+}  // namespace dievent

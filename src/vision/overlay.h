@@ -1,0 +1,46 @@
+/// \file overlay.h
+/// Diagnostic overlays: draws what the vision stack saw — detections,
+/// landmarks, gaze directions, identity labels — onto a copy of the
+/// frame, for debugging and for the example applications' image dumps.
+
+#ifndef DIEVENT_VISION_OVERLAY_H_
+#define DIEVENT_VISION_OVERLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/camera.h"
+#include "image/image.h"
+#include "vision/face_types.h"
+
+namespace dievent {
+
+struct OverlayOptions {
+  Rgb box_color_front{40, 255, 80};
+  Rgb box_color_back{255, 160, 40};
+  Rgb landmark_color{255, 40, 220};
+  Rgb gaze_color{40, 120, 255};
+  /// Length of the drawn gaze arrow, in face radii.
+  double gaze_length = 3.0;
+  bool draw_landmarks = true;
+  bool draw_gaze = true;
+  bool draw_identity = true;
+};
+
+/// Draws one observation onto the frame in place.
+void DrawObservation(ImageRgb* frame, const FaceObservation& observation,
+                     const OverlayOptions& options = {});
+
+/// Copies the frame and draws every observation onto it.
+ImageRgb RenderOverlay(const ImageRgb& frame,
+                       const std::vector<FaceObservation>& observations,
+                       const OverlayOptions& options = {});
+
+/// Draws a tiny 5x7 bitmap-font label (digits and 'P') above a position;
+/// used for identity tags without a font dependency.
+void DrawLabel(ImageRgb* frame, const Vec2& position,
+               const std::string& text, const Rgb& color);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VISION_OVERLAY_H_

@@ -1,0 +1,166 @@
+// Tests for dining-activity analysis: gaze statistics, symbolization,
+// phase rules, and the phased-scenario ground truth they run against.
+
+#include "analysis/activity.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+LookAtMatrix Matrix(int n, std::vector<std::pair<int, int>> edges) {
+  LookAtMatrix m(n);
+  for (auto [a, b] : edges) m.Set(a, b, true);
+  return m;
+}
+
+TEST(GazeStats, CountsEdgesPairsAndHeadsDown) {
+  LookAtMatrix m = Matrix(4, {{0, 1}, {1, 0}, {2, 0}});
+  GazeFrameStats s = ComputeGazeStats(m);
+  EXPECT_EQ(s.participants, 4);
+  EXPECT_EQ(s.directed_edges, 3);
+  EXPECT_EQ(s.mutual_pairs, 1);
+  EXPECT_EQ(s.heads_down, 1);  // P4 looks at nobody
+  EXPECT_EQ(s.max_in_degree, 2);   // P1 watched by P2 and P3
+  EXPECT_EQ(s.attention_target, 0);
+  EXPECT_EQ(s.second_in_degree, 1);
+  EXPECT_FALSE(s.attention_converged);
+}
+
+TEST(GazeStats, ConvergenceRequiresAllOthers) {
+  LookAtMatrix m = Matrix(4, {{1, 0}, {2, 0}, {3, 0}});
+  GazeFrameStats s = ComputeGazeStats(m);
+  EXPECT_TRUE(s.attention_converged);
+  EXPECT_EQ(s.attention_target, 0);
+  // Two-person "convergence" is not meaningful.
+  LookAtMatrix two = Matrix(2, {{1, 0}});
+  EXPECT_FALSE(ComputeGazeStats(two).attention_converged);
+}
+
+TEST(Symbolize, ProducesDistinctSymbolsForPhasePrototypes) {
+  // Eating: nobody looks at anybody.
+  int eating = SymbolizeLookAt(Matrix(6, {}));
+  // Discussion: a mutual pair plus onlookers split between the speakers.
+  int discussion = SymbolizeLookAt(
+      Matrix(6, {{0, 1}, {1, 0}, {2, 0}, {3, 1}, {4, 0}, {5, 1}}));
+  // Presentation: everyone on P1, P1 on one audience member.
+  int presentation = SymbolizeLookAt(
+      Matrix(6, {{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {0, 3}}));
+  EXPECT_NE(eating, discussion);
+  EXPECT_NE(discussion, presentation);
+  EXPECT_NE(eating, presentation);
+  for (int s : {eating, discussion, presentation}) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, kActivitySymbols);
+  }
+}
+
+TEST(PhaseRule, ClassifiesPrototypes) {
+  EXPECT_EQ(ClassifyPhaseRule(Matrix(6, {})), DiningPhase::kEating);
+  EXPECT_EQ(ClassifyPhaseRule(Matrix(6, {{2, 3}})),
+            DiningPhase::kEating);  // one glance, rest heads-down
+  EXPECT_EQ(ClassifyPhaseRule(Matrix(
+                6, {{0, 1}, {1, 0}, {2, 0}, {3, 1}, {4, 0}, {5, 1}})),
+            DiningPhase::kDiscussion);
+  EXPECT_EQ(ClassifyPhaseRule(Matrix(
+                6, {{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {0, 3}})),
+            DiningPhase::kPresentation);
+  // Presenter holding mutual gaze with one audience member is still a
+  // presentation (the regression the second-hub margin fixes).
+  EXPECT_EQ(ClassifyPhaseRule(Matrix(
+                6, {{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {0, 5}})),
+            DiningPhase::kPresentation);
+}
+
+TEST(SmoothPhases, MajorityVoteRemovesBlips) {
+  using P = DiningPhase;
+  std::vector<P> raw = {P::kEating, P::kEating, P::kDiscussion,
+                        P::kEating, P::kEating, P::kEating};
+  auto smooth = SmoothPhases(raw, 2);
+  for (P p : smooth) EXPECT_EQ(p, P::kEating);
+  // Zero window is the identity.
+  EXPECT_EQ(SmoothPhases(raw, 0), raw);
+}
+
+TEST(PhaseAccuracy, CountsMatches) {
+  using P = DiningPhase;
+  std::vector<P> truth = {P::kEating, P::kEating, P::kDiscussion};
+  std::vector<P> pred = {P::kEating, P::kDiscussion, P::kDiscussion};
+  EXPECT_NEAR(PhaseAccuracy(pred, truth), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(PhaseAccuracy({}, {}), 0.0);
+  EXPECT_EQ(PhaseAccuracy(pred, {}), 0.0);
+}
+
+TEST(MapStatesToPhases, MajorityAssignment) {
+  using P = DiningPhase;
+  std::vector<int> states = {0, 0, 0, 1, 1, 1};
+  std::vector<P> truth = {P::kEating, P::kEating, P::kDiscussion,
+                          P::kPresentation, P::kPresentation, P::kEating};
+  auto mapped = MapStatesToPhases(states, truth, 2);
+  EXPECT_EQ(mapped[0], P::kEating);        // state 0 -> eating (2 of 3)
+  EXPECT_EQ(mapped[3], P::kPresentation);  // state 1 -> presentation
+}
+
+TEST(PhasedScenario, GroundTruthStatsMatchPhases) {
+  Rng rng(77);
+  PhasedScene phased = MakePhasedDinnerScenario(
+      6,
+      {{DiningPhase::kEating, 20},
+       {DiningPhase::kDiscussion, 20},
+       {DiningPhase::kPresentation, 20}},
+      10.0, &rng);
+  ASSERT_EQ(phased.scene.num_frames(), 600);
+  ASSERT_EQ(phased.frame_phase.size(), 600u);
+
+  // Aggregate per-phase statistics on ground truth.
+  double eating_down = 0, pres_concentration = 0;
+  int eating_n = 0, disc_mutual = 0, disc_n = 0, pres_n = 0;
+  for (int f = 0; f < 600; ++f) {
+    auto gt = phased.scene.GroundTruthLookAt(phased.scene.TimeOfFrame(f));
+    LookAtMatrix m(6);
+    for (int x = 0; x < 6; ++x)
+      for (int y = 0; y < 6; ++y) m.Set(x, y, gt[x][y]);
+    GazeFrameStats s = ComputeGazeStats(m);
+    switch (phased.frame_phase[f]) {
+      case DiningPhase::kEating:
+        eating_down += s.heads_down;
+        ++eating_n;
+        break;
+      case DiningPhase::kDiscussion:
+        disc_mutual += s.mutual_pairs > 0 ? 1 : 0;
+        ++disc_n;
+        break;
+      case DiningPhase::kPresentation:
+        pres_concentration +=
+            static_cast<double>(s.max_in_degree) / 5.0;
+        ++pres_n;
+        break;
+    }
+  }
+  EXPECT_GT(eating_down / eating_n, 3.5);           // mostly heads-down
+  EXPECT_GT(static_cast<double>(disc_mutual) / disc_n, 0.8);
+  EXPECT_GT(pres_concentration / pres_n, 0.7);
+}
+
+TEST(PhasedScenario, RulePipelineBeatsChanceComfortably) {
+  Rng rng(88);
+  PhasedScene phased = MakePhasedDinnerScenario(
+      5,
+      {{DiningPhase::kDiscussion, 15},
+       {DiningPhase::kEating, 15},
+       {DiningPhase::kPresentation, 15}},
+      10.0, &rng);
+  std::vector<DiningPhase> predicted;
+  for (int f = 0; f < phased.scene.num_frames(); ++f) {
+    auto gt = phased.scene.GroundTruthLookAt(phased.scene.TimeOfFrame(f));
+    LookAtMatrix m(5);
+    for (int x = 0; x < 5; ++x)
+      for (int y = 0; y < 5; ++y) m.Set(x, y, gt[x][y]);
+    predicted.push_back(ClassifyPhaseRule(m));
+  }
+  predicted = SmoothPhases(predicted, 10);
+  EXPECT_GT(PhaseAccuracy(predicted, phased.frame_phase), 0.8);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,167 @@
+// Tests for the alerting functionality (paper conclusion).
+
+#include "analysis/alerts.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+LookAtMatrix Matrix(int n, std::vector<std::pair<int, int>> edges) {
+  LookAtMatrix m(n);
+  for (auto [a, b] : edges) m.Set(a, b, true);
+  return m;
+}
+
+std::vector<std::optional<Emotion>> NoEmotions(int n) {
+  return std::vector<std::optional<Emotion>>(n);
+}
+
+std::vector<std::optional<Emotion>> AllFeel(int n, Emotion e) {
+  return std::vector<std::optional<Emotion>>(n, e);
+}
+
+TEST(AlertMonitor, EyeContactOnsetAfterDebounce) {
+  AlertOptions opt;
+  opt.debounce_frames = 3;
+  AlertMonitor monitor(4, opt);
+  LookAtMatrix ec = Matrix(4, {{0, 2}, {2, 0}});
+  LookAtMatrix none(4);
+  // Two frames of EC: not yet.
+  EXPECT_TRUE(monitor.Update(0, 0.0, ec, NoEmotions(4), nullptr).empty());
+  EXPECT_TRUE(monitor.Update(1, 0.1, ec, NoEmotions(4), nullptr).empty());
+  // Third frame fires.
+  auto fired = monitor.Update(2, 0.2, ec, NoEmotions(4), nullptr);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].type, AlertType::kEyeContactStarted);
+  EXPECT_EQ(fired[0].a, 0);
+  EXPECT_EQ(fired[0].b, 2);
+  // Sustained EC fires nothing further.
+  EXPECT_TRUE(monitor.Update(3, 0.3, ec, NoEmotions(4), nullptr).empty());
+  // Ending also debounces.
+  EXPECT_TRUE(
+      monitor.Update(4, 0.4, none, NoEmotions(4), nullptr).empty());
+  EXPECT_TRUE(
+      monitor.Update(5, 0.5, none, NoEmotions(4), nullptr).empty());
+  fired = monitor.Update(6, 0.6, none, NoEmotions(4), nullptr);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].type, AlertType::kEyeContactEnded);
+}
+
+TEST(AlertMonitor, SingleFrameFlickerSuppressed) {
+  AlertOptions opt;
+  opt.debounce_frames = 3;
+  AlertMonitor monitor(3, opt);
+  LookAtMatrix ec = Matrix(3, {{0, 1}, {1, 0}});
+  LookAtMatrix none(3);
+  for (int f = 0; f < 20; ++f) {
+    // EC only every 3rd frame: never 3 consecutive -> never fires.
+    const LookAtMatrix& m = (f % 3 == 0) ? ec : none;
+    EXPECT_TRUE(monitor.Update(f, f * 0.1, m, NoEmotions(3), nullptr)
+                    .empty())
+        << f;
+  }
+}
+
+TEST(AlertMonitor, EmotionChangeFiresWithOldAndNew) {
+  AlertOptions opt;
+  opt.debounce_frames = 2;
+  AlertMonitor monitor(2, opt);
+  LookAtMatrix none(2);
+  // Establish the baseline emotion.
+  monitor.Update(0, 0.0, none, AllFeel(2, Emotion::kNeutral), nullptr);
+  monitor.Update(1, 0.1, none, AllFeel(2, Emotion::kNeutral), nullptr);
+  // P0 turns happy for 2 consecutive frames.
+  std::vector<std::optional<Emotion>> mixed = {Emotion::kHappy,
+                                               Emotion::kNeutral};
+  EXPECT_TRUE(monitor.Update(2, 0.2, none, mixed, nullptr).empty());
+  auto fired = monitor.Update(3, 0.3, none, mixed, nullptr);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].type, AlertType::kEmotionChanged);
+  EXPECT_EQ(fired[0].a, 0);
+  EXPECT_EQ(fired[0].from, Emotion::kNeutral);
+  EXPECT_EQ(fired[0].to, Emotion::kHappy);
+}
+
+TEST(AlertMonitor, UnobservedFramesDoNotResetEmotionState) {
+  AlertOptions opt;
+  opt.debounce_frames = 2;
+  AlertMonitor monitor(1, opt);
+  LookAtMatrix none(1);
+  monitor.Update(0, 0.0, none, AllFeel(1, Emotion::kNeutral), nullptr);
+  monitor.Update(1, 0.1, none, {std::nullopt}, nullptr);  // detector gap
+  std::vector<std::optional<Emotion>> sad = {Emotion::kSad};
+  monitor.Update(2, 0.2, none, sad, nullptr);
+  auto fired = monitor.Update(3, 0.3, none, sad, nullptr);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].from, Emotion::kNeutral);
+}
+
+TEST(AlertMonitor, MoodDropAndRecoveryWithHysteresis) {
+  AlertMonitor monitor(3, {});
+  LookAtMatrix none(3);
+  OverallEmotion low;
+  low.mean_valence = -0.5;
+  OverallEmotion mid;
+  mid.mean_valence = -0.1;  // between the two thresholds: no alert
+  OverallEmotion high;
+  high.mean_valence = 0.3;
+
+  auto fired = monitor.Update(0, 0.0, none, NoEmotions(3), &low);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].type, AlertType::kGroupMoodDrop);
+  // Hysteresis: mid-band produces nothing, and a second low does not
+  // re-fire.
+  EXPECT_TRUE(monitor.Update(1, 0.1, none, NoEmotions(3), &mid).empty());
+  EXPECT_TRUE(monitor.Update(2, 0.2, none, NoEmotions(3), &low).empty());
+  fired = monitor.Update(3, 0.3, none, NoEmotions(3), &high);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].type, AlertType::kGroupMoodRecovered);
+}
+
+TEST(AlertMonitor, AttentionConvergenceAlert) {
+  AlertOptions opt;
+  opt.debounce_frames = 2;
+  AlertMonitor monitor(4, opt);
+  LookAtMatrix all_on_p1 = Matrix(4, {{1, 0}, {2, 0}, {3, 0}});
+  EXPECT_TRUE(
+      monitor.Update(0, 0.0, all_on_p1, NoEmotions(4), nullptr).empty());
+  auto fired = monitor.Update(1, 0.1, all_on_p1, NoEmotions(4), nullptr);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].type, AlertType::kAttentionConverged);
+  EXPECT_EQ(fired[0].a, 0);
+  // Sustained convergence does not re-fire.
+  EXPECT_TRUE(
+      monitor.Update(2, 0.2, all_on_p1, NoEmotions(4), nullptr).empty());
+}
+
+TEST(AlertMonitor, HistoryAccumulatesAndResets) {
+  AlertOptions opt;
+  opt.debounce_frames = 1;
+  AlertMonitor monitor(2, opt);
+  LookAtMatrix ec = Matrix(2, {{0, 1}, {1, 0}});
+  monitor.Update(0, 0.0, ec, NoEmotions(2), nullptr);
+  EXPECT_EQ(monitor.history().size(), 1u);
+  monitor.Reset();
+  EXPECT_TRUE(monitor.history().empty());
+  // After reset the same transition fires again.
+  auto fired = monitor.Update(0, 0.0, ec, NoEmotions(2), nullptr);
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(Alert, ToStringIsReadable) {
+  Alert alert;
+  alert.type = AlertType::kEmotionChanged;
+  alert.timestamp_s = 12.5;
+  alert.a = 1;
+  alert.from = Emotion::kNeutral;
+  alert.to = Emotion::kHappy;
+  std::string s = alert.ToString({"Alice", "Bob"});
+  EXPECT_NE(s.find("Bob"), std::string::npos);
+  EXPECT_NE(s.find("neutral"), std::string::npos);
+  EXPECT_NE(s.find("happy"), std::string::npos);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dievent

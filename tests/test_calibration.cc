@@ -1,0 +1,137 @@
+// Tests for extrinsic calibration (recovering the paper's iTj).
+
+#include "geometry/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/rig.h"
+
+namespace dievent {
+namespace {
+
+Pose RandomPose(Rng* rng) {
+  Vec3 axis{rng->Uniform(-1, 1), rng->Uniform(-1, 1), rng->Uniform(-1, 1)};
+  if (axis.Norm() < 1e-6) axis = {0, 0, 1};
+  return Pose::FromQuaternion(
+      Quaternion::FromAxisAngle(axis, rng->Uniform(-3, 3)),
+      {rng->Uniform(-4, 4), rng->Uniform(-4, 4), rng->Uniform(-4, 4)});
+}
+
+TEST(EstimateRigidTransform, ExactRecoveryOnCleanPoints) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    Pose truth = RandomPose(&rng);
+    std::vector<Vec3> src, tgt;
+    for (int i = 0; i < 10; ++i) {
+      Vec3 p{rng.Uniform(-2, 2), rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+      src.push_back(p);
+      tgt.push_back(truth.TransformPoint(p));
+    }
+    auto est = EstimateRigidTransform(src, tgt);
+    ASSERT_TRUE(est.ok()) << est.status();
+    EXPECT_LT(PoseDistance(est.value(), truth), 1e-6) << trial;
+    EXPECT_LT(AlignmentRmse(est.value(), src, tgt), 1e-8);
+  }
+}
+
+TEST(EstimateRigidTransform, MinimumOfThreePoints) {
+  Rng rng(12);
+  Pose truth = RandomPose(&rng);
+  std::vector<Vec3> src = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  std::vector<Vec3> tgt;
+  for (const Vec3& p : src) tgt.push_back(truth.TransformPoint(p));
+  auto est = EstimateRigidTransform(src, tgt);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(AlignmentRmse(est.value(), src, tgt), 1e-8);
+}
+
+TEST(EstimateRigidTransform, RejectsBadInputs) {
+  std::vector<Vec3> two = {{0, 0, 0}, {1, 0, 0}};
+  EXPECT_EQ(EstimateRigidTransform(two, two).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::vector<Vec3> three(3, Vec3{1, 2, 3});
+  // Coincident points: rotation unobservable.
+  EXPECT_EQ(EstimateRigidTransform(three, three).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::vector<Vec3> four(4);
+  EXPECT_EQ(EstimateRigidTransform(three, four).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EstimateRigidTransform, NoisyRecoveryDegradesGracefully) {
+  Rng rng(13);
+  Pose truth = RandomPose(&rng);
+  std::vector<Vec3> src, tgt;
+  const double kNoise = 0.01;
+  for (int i = 0; i < 100; ++i) {
+    Vec3 p{rng.Uniform(-2, 2), rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    src.push_back(p);
+    Vec3 q = truth.TransformPoint(p);
+    tgt.push_back(q + Vec3{rng.Gaussian(0, kNoise),
+                           rng.Gaussian(0, kNoise),
+                           rng.Gaussian(0, kNoise)});
+  }
+  auto est = EstimateRigidTransform(src, tgt);
+  ASSERT_TRUE(est.ok());
+  // With 100 points and 1 cm noise, the estimate is ~mm-accurate.
+  EXPECT_LT(PoseDistance(est.value(), truth), 0.02);
+  EXPECT_NEAR(AlignmentRmse(est.value(), src, tgt), kNoise * 1.7, 0.01);
+}
+
+TEST(EstimateRigidTransform, RotationIsProper) {
+  // The estimated rotation must have determinant +1 (no reflections),
+  // even for noisy near-planar point sets.
+  Rng rng(14);
+  Pose truth = RandomPose(&rng);
+  std::vector<Vec3> src, tgt;
+  for (int i = 0; i < 20; ++i) {
+    Vec3 p{rng.Uniform(-2, 2), rng.Uniform(-2, 2), 0.01 * rng.NextDouble()};
+    src.push_back(p);
+    tgt.push_back(truth.TransformPoint(p) +
+                  Vec3{rng.Gaussian(0, 0.005), rng.Gaussian(0, 0.005),
+                       rng.Gaussian(0, 0.005)});
+  }
+  auto est = EstimateRigidTransform(src, tgt);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value().rotation.Determinant(), 1.0, 1e-6);
+}
+
+TEST(CameraPairCalibrator, RecoversRigExtrinsics) {
+  // The deployment story: head positions observed simultaneously by two
+  // cameras calibrate the paper's iTj.
+  Rig rig = Rig::MakeCornerRig(5, 4, 2.5, {0, 0, 1},
+                               Intrinsics::FromFov(640, 480, DegToRad(70)));
+  Rng rng(15);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      CameraPairCalibrator cal;
+      for (int k = 0; k < 40; ++k) {
+        Vec3 w{rng.Uniform(-1, 1), rng.Uniform(-0.8, 0.8),
+               rng.Uniform(0.9, 1.4)};
+        cal.AddObservation(
+            rig.camera(i).camera_from_world().TransformPoint(w),
+            rig.camera(j).camera_from_world().TransformPoint(w));
+      }
+      auto est = cal.Calibrate();
+      ASSERT_TRUE(est.ok());
+      EXPECT_LT(PoseDistance(est.value(), rig.CameraFromCamera(i, j)),
+                1e-6);
+      EXPECT_LT(cal.Residual(est.value()), 1e-8);
+    }
+  }
+}
+
+TEST(CameraPairCalibrator, NeedsThreeObservations) {
+  CameraPairCalibrator cal;
+  cal.AddObservation({0, 0, 1}, {1, 0, 1});
+  cal.AddObservation({0, 1, 1}, {1, 1, 1});
+  EXPECT_FALSE(cal.Calibrate().ok());
+  EXPECT_EQ(cal.NumObservations(), 2);
+  cal.Reset();
+  EXPECT_EQ(cal.NumObservations(), 0);
+}
+
+}  // namespace
+}  // namespace dievent

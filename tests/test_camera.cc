@@ -1,0 +1,115 @@
+#include "geometry/camera.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dievent {
+namespace {
+
+CameraModel MakeTestCamera() {
+  Intrinsics k = Intrinsics::FromFov(640, 480, DegToRad(70));
+  // At (0,0,1) looking along +x, z-up world.
+  return CameraModel("test", k, Pose::LookAt({0, 0, 1}, {5, 0, 1}));
+}
+
+TEST(Intrinsics, FromFovCentersPrincipalPoint) {
+  Intrinsics k = Intrinsics::FromFov(640, 480, DegToRad(90));
+  EXPECT_EQ(k.width, 640);
+  EXPECT_EQ(k.height, 480);
+  EXPECT_DOUBLE_EQ(k.cx, 320);
+  EXPECT_DOUBLE_EQ(k.cy, 240);
+  // 90 deg hfov: fx = (w/2)/tan(45) = w/2.
+  EXPECT_NEAR(k.fx, 320, 1e-9);
+  EXPECT_DOUBLE_EQ(k.fx, k.fy);
+}
+
+TEST(Camera, PointOnAxisProjectsToPrincipalPoint) {
+  CameraModel cam = MakeTestCamera();
+  auto px = cam.ProjectWorldPoint({3, 0, 1});
+  ASSERT_TRUE(px.has_value());
+  EXPECT_NEAR(px->x, 320, 1e-9);
+  EXPECT_NEAR(px->y, 240, 1e-9);
+}
+
+TEST(Camera, PointBehindCameraDoesNotProject) {
+  CameraModel cam = MakeTestCamera();
+  EXPECT_FALSE(cam.ProjectWorldPoint({-3, 0, 1}).has_value());
+  EXPECT_FALSE(cam.ProjectCameraPoint({0, 0, 0}).has_value());
+}
+
+TEST(Camera, LeftOfViewProjectsLeftOfCenter) {
+  CameraModel cam = MakeTestCamera();
+  // World +y is to the camera's left when looking along +x with z-up.
+  auto px = cam.ProjectWorldPoint({3, 1, 1});
+  ASSERT_TRUE(px.has_value());
+  EXPECT_LT(px->x, 320);
+  // Above the axis projects above the centre (smaller y).
+  auto py = cam.ProjectWorldPoint({3, 0, 2});
+  ASSERT_TRUE(py.has_value());
+  EXPECT_LT(py->y, 240);
+}
+
+TEST(Camera, DepthOfMatchesDistanceAlongAxis) {
+  CameraModel cam = MakeTestCamera();
+  EXPECT_NEAR(cam.DepthOf({4, 0, 1}), 4.0, 1e-12);
+  EXPECT_LT(cam.DepthOf({-2, 0, 1}), 0.0);
+}
+
+TEST(Camera, BackprojectInvertsProject) {
+  CameraModel cam = MakeTestCamera();
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    Vec3 p{rng.Uniform(1, 10), rng.Uniform(-3, 3), rng.Uniform(-1, 3)};
+    auto px = cam.ProjectWorldPoint(p);
+    ASSERT_TRUE(px.has_value());
+    Vec3 back = cam.BackprojectToWorld(*px, cam.DepthOf(p));
+    EXPECT_NEAR((back - p).Norm(), 0.0, 1e-9) << i;
+  }
+}
+
+TEST(Camera, PixelRayPassesThroughPoint) {
+  CameraModel cam = MakeTestCamera();
+  Vec3 p{6, 1.5, 0.5};
+  auto px = cam.ProjectWorldPoint(p);
+  ASSERT_TRUE(px.has_value());
+  Ray ray = cam.PixelRayWorld(*px);
+  // Distance from p to the ray should be ~0.
+  Vec3 to_p = p - ray.origin;
+  Vec3 closest = ray.origin + ray.direction * to_p.Dot(ray.direction);
+  EXPECT_NEAR((closest - p).Norm(), 0.0, 1e-9);
+  EXPECT_NEAR(ray.direction.Norm(), 1.0, 1e-12);
+}
+
+TEST(Camera, IsVisibleRespectsBounds) {
+  CameraModel cam = MakeTestCamera();
+  EXPECT_TRUE(cam.IsVisible({3, 0, 1}));
+  EXPECT_FALSE(cam.IsVisible({-3, 0, 1}));    // behind
+  EXPECT_FALSE(cam.IsVisible({1, 30, 1}));    // far off to the side
+}
+
+TEST(Camera, ViewDirectionIsUnitAndForward) {
+  CameraModel cam = MakeTestCamera();
+  Vec3 dir = cam.ViewDirection();
+  EXPECT_NEAR(dir.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(dir.x, 1.0, 1e-9);
+}
+
+TEST(Camera, ProjectedSizeShrinksWithDistance) {
+  // The head-pose estimator depends on radius_px = fx * R / depth.
+  CameraModel cam = MakeTestCamera();
+  const double kR = 0.12;
+  auto apparent = [&](double depth) {
+    auto top = cam.ProjectWorldPoint({depth, 0, 1 + kR});
+    auto bot = cam.ProjectWorldPoint({depth, 0, 1 - kR});
+    return (bot->y - top->y) / 2.0;
+  };
+  double r2 = apparent(2.0), r4 = apparent(4.0);
+  EXPECT_NEAR(r2 / r4, 2.0, 1e-9);
+  EXPECT_NEAR(r2, cam.intrinsics().fx * kR / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,128 @@
+// LBP + neural-network emotion recognition (paper Section II-C). Uses a
+// reduced configuration so training stays test-suite friendly.
+
+#include "ml/emotion_recognizer.h"
+
+#include <gtest/gtest.h>
+
+#include "render/face_renderer.h"
+
+namespace dievent {
+namespace {
+
+EmotionRecognizerOptions SmallOptions() {
+  // Production crop/grid (32 px crops lose the thin expression strokes),
+  // but a reduced sample budget to keep the test fast (~5 s).
+  EmotionRecognizerOptions opt;
+  opt.samples_per_class = 100;
+  opt.train.epochs = 30;
+  opt.train_noise_sigma = 4.0;
+  return opt;
+}
+
+TEST(EmotionRecognizer, OptionsFeatureSize) {
+  EmotionRecognizerOptions opt;
+  opt.lbp_grid = 6;
+  EXPECT_EQ(opt.FeatureSize(), 6 * 6 * 59);
+}
+
+TEST(EmotionRecognizer, TrainValidatesOptions) {
+  Rng rng(1);
+  EmotionRecognizerOptions bad = SmallOptions();
+  bad.crop_size = 8;
+  EXPECT_FALSE(EmotionRecognizer::Train(bad, &rng).ok());
+  bad = SmallOptions();
+  bad.lbp_grid = 24;  // cells < 3 px
+  EXPECT_FALSE(EmotionRecognizer::Train(bad, &rng).ok());
+  EXPECT_FALSE(EmotionRecognizer::Train(SmallOptions(), nullptr).ok());
+}
+
+TEST(EmotionRecognizer, LearnsToSeparateEmotions) {
+  Rng rng(2);
+  auto rec = EmotionRecognizer::Train(SmallOptions(), &rng);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  double acc = rec.value().EvaluateOnRendered(25, &rng);
+  // 7 classes, chance = 14%; the heavily-augmented eval set (random
+  // marker colors, gaze, intensity, noise) keeps the ceiling below 1.
+  EXPECT_GT(acc, 0.6) << "accuracy " << acc;
+}
+
+TEST(EmotionRecognizer, CleanCropsClassifiedCorrectly) {
+  Rng rng(3);
+  auto rec = EmotionRecognizer::Train(SmallOptions(), &rng);
+  ASSERT_TRUE(rec.ok());
+  int correct = 0;
+  for (Emotion e : kAllEmotions) {
+    ImageRgb crop = RenderFaceCrop(48, e, 1.0);
+    if (rec.value().Recognize(crop).emotion == e) ++correct;
+  }
+  EXPECT_GE(correct, 6);  // at most one confusion on clean inputs
+}
+
+TEST(EmotionRecognizer, RecognizeResizesArbitraryCrops) {
+  Rng rng(4);
+  auto rec = EmotionRecognizer::Train(SmallOptions(), &rng);
+  ASSERT_TRUE(rec.ok());
+  // A 57x57 crop (not the training size) still classifies.
+  ImageRgb crop = RenderFaceCrop(57, Emotion::kSurprise, 1.0);
+  EmotionPrediction p = rec.value().Recognize(crop);
+  EXPECT_EQ(p.class_probabilities.size(),
+            static_cast<size_t>(kNumEmotions));
+  EXPECT_GT(p.confidence, 1.0 / kNumEmotions);
+}
+
+TEST(EmotionRecognizer, ConfusionMatrixRowsNormalized) {
+  Rng rng(5);
+  auto rec = EmotionRecognizer::Train(SmallOptions(), &rng);
+  ASSERT_TRUE(rec.ok());
+  auto confusion = rec.value().ConfusionOnRendered(10, &rng);
+  ASSERT_EQ(confusion.size(), static_cast<size_t>(kNumEmotions));
+  for (const auto& row : confusion) {
+    double total = 0;
+    for (double v : row) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  // Diagonal dominates on average.
+  double diag = 0;
+  for (int i = 0; i < kNumEmotions; ++i) diag += confusion[i][i];
+  EXPECT_GT(diag / kNumEmotions, 0.5);
+}
+
+TEST(EmotionRecognizer, SaveLoadViaNetwork) {
+  Rng rng(6);
+  auto rec = EmotionRecognizer::Train(SmallOptions(), &rng);
+  ASSERT_TRUE(rec.ok());
+  std::string path = testing::TempDir() + "/emotion_net.bin";
+  ASSERT_TRUE(rec.value().network().Save(path).ok());
+  auto net = NeuralNet::Load(path);
+  ASSERT_TRUE(net.ok());
+  auto rec2 =
+      EmotionRecognizer::FromNetwork(SmallOptions(), net.TakeValue());
+  ASSERT_TRUE(rec2.ok()) << rec2.status();
+  ImageRgb crop = RenderFaceCrop(48, Emotion::kHappy, 1.0);
+  EXPECT_EQ(rec.value().Recognize(crop).emotion,
+            rec2.value().Recognize(crop).emotion);
+}
+
+TEST(EmotionRecognizer, FromNetworkRejectsShapeMismatch) {
+  Rng rng(7);
+  auto net = NeuralNet::Create({10, 4, kNumEmotions}, &rng);
+  ASSERT_TRUE(net.ok());
+  EXPECT_FALSE(
+      EmotionRecognizer::FromNetwork(SmallOptions(), net.TakeValue()).ok());
+}
+
+TEST(EmotionRecognizer, DeterministicTrainingGivenSeed) {
+  auto train_once = [] {
+    Rng rng(42);
+    auto rec = EmotionRecognizer::Train(SmallOptions(), &rng);
+    ImageRgb crop = RenderFaceCrop(48, Emotion::kSad, 1.0);
+    return rec.value().Recognize(crop).class_probabilities;
+  };
+  auto a = train_once();
+  auto b = train_once();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace dievent

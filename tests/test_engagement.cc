@@ -1,0 +1,99 @@
+// Tests for engagement metrics over the gaze layer.
+
+#include "metadata/engagement.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "sim/scenario.h"
+
+namespace dievent {
+namespace {
+
+LookAtRecord Rec(int frame, int n,
+                 std::vector<std::pair<int, int>> edges) {
+  LookAtMatrix m(n);
+  for (auto [a, b] : edges) m.Set(a, b, true);
+  return LookAtRecord::FromMatrix(frame, frame / 10.0, m);
+}
+
+TEST(Engagement, EmptyRepositoryYieldsEmptyReport) {
+  MetadataRepository repo;
+  EngagementReport report = ComputeEngagement(repo);
+  EXPECT_TRUE(report.participants.empty());
+  EXPECT_EQ(report.MostEngaged(), -1);
+}
+
+TEST(Engagement, CountsPerParticipantFractions) {
+  MetadataRepository repo;
+  repo.set_fps(10.0);
+  EventContext ctx;
+  ctx.participant_names = {"A", "B", "C"};
+  repo.SetContext(ctx);
+  // 4 frames: A<->B contact in 2; C watches A in all 4; C never watched.
+  for (int f = 0; f < 4; ++f) {
+    std::vector<std::pair<int, int>> edges = {{2, 0}};
+    if (f < 2) {
+      edges.push_back({0, 1});
+      edges.push_back({1, 0});
+    }
+    ASSERT_TRUE(repo.AddLookAt(Rec(f, 3, edges)).ok());
+  }
+  EngagementReport report = ComputeEngagement(repo);
+  ASSERT_EQ(report.participants.size(), 3u);
+  const auto& a = report.participants[0];
+  const auto& b = report.participants[1];
+  const auto& c = report.participants[2];
+  EXPECT_DOUBLE_EQ(a.attention_given, 0.5);     // A looks in 2 of 4
+  EXPECT_DOUBLE_EQ(a.attention_received, 1.0);  // B or C watch A always
+  EXPECT_DOUBLE_EQ(a.eye_contact, 0.5);
+  EXPECT_DOUBLE_EQ(a.reciprocity, 1.0);  // whenever A looked, B returned
+  EXPECT_DOUBLE_EQ(b.eye_contact, 0.5);
+  EXPECT_DOUBLE_EQ(c.attention_given, 1.0);
+  EXPECT_DOUBLE_EQ(c.attention_received, 0.0);
+  EXPECT_DOUBLE_EQ(c.reciprocity, 0.0);  // C's gaze never returned
+  EXPECT_DOUBLE_EQ(report.group_eye_contact, 0.5);
+  EXPECT_DOUBLE_EQ(report.pair_contact[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(report.pair_contact[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(report.pair_contact[0][2], 0.0);
+  // A has the top composite (gives 0.5 + receives 1.0 + ec 0.5).
+  EXPECT_EQ(report.MostEngaged(), 0);
+}
+
+TEST(Engagement, ToStringNamesEveryone) {
+  MetadataRepository repo;
+  EventContext ctx;
+  ctx.participant_names = {"Ana", "Bo"};
+  repo.SetContext(ctx);
+  ASSERT_TRUE(repo.AddLookAt(Rec(0, 2, {{0, 1}})).ok());
+  std::string s = ComputeEngagement(repo).ToString();
+  EXPECT_NE(s.find("Ana"), std::string::npos);
+  EXPECT_NE(s.find("Bo"), std::string::npos);
+  EXPECT_NE(s.find("reciprocity"), std::string::npos);
+}
+
+TEST(Engagement, MeetingPrototypeProfile) {
+  // On the paper's prototype, the dominant participant (P1) receives the
+  // most attention, and reciprocity is high for the P1-P3 axis.
+  DiningScene scene = MakeMeetingScenario();
+  PipelineOptions opt;
+  opt.mode = PipelineMode::kGroundTruth;
+  opt.parse_video = false;
+  MetadataRepository repo;
+  ASSERT_TRUE(DiEventPipeline(&scene, opt).Run(&repo).ok());
+  EngagementReport report = ComputeEngagement(repo);
+  ASSERT_EQ(report.participants.size(), 4u);
+  // P1 receives the most attention.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GT(report.participants[0].attention_received,
+              report.participants[i].attention_received);
+  }
+  // The P1-P3 pair holds the most mutual contact.
+  double p1p3 = report.pair_contact[0][2];
+  EXPECT_GT(p1p3, report.pair_contact[0][1]);
+  EXPECT_GT(p1p3, report.pair_contact[1][3]);
+  EXPECT_GT(report.group_eye_contact, 0.5);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,138 @@
+#include "metadata/export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace dievent {
+namespace {
+
+LookAtRecord Rec(int frame, double t, int n,
+                 std::vector<std::pair<int, int>> edges) {
+  LookAtMatrix m(n);
+  for (auto [a, b] : edges) m.Set(a, b, true);
+  return LookAtRecord::FromMatrix(frame, t, m);
+}
+
+MetadataRepository SmallRepo() {
+  MetadataRepository repo;
+  EventContext ctx;
+  ctx.event_id = "evt-\"quoted\"";
+  ctx.location = "room";
+  ctx.occasion = "test";
+  ctx.num_participants = 3;
+  ctx.participant_names = {"Ana", "Bo", "Cy"};
+  repo.SetContext(ctx);
+  repo.set_fps(10.0);
+  EXPECT_TRUE(repo.AddLookAt(Rec(0, 0.0, 3, {{0, 1}, {1, 0}})).ok());
+  EXPECT_TRUE(repo.AddLookAt(Rec(1, 0.1, 3, {{0, 1}, {1, 0}})).ok());
+  EXPECT_TRUE(repo.AddLookAt(Rec(2, 0.2, 3, {{2, 0}})).ok());
+  EmotionRecord er;
+  er.frame = 1;
+  er.timestamp_s = 0.1;
+  er.participant = 2;
+  er.emotion = Emotion::kSurprise;
+  er.confidence = 0.6;
+  EXPECT_TRUE(repo.AddEmotion(er).ok());
+  OverallEmotionRecord oe;
+  oe.frame = 1;
+  oe.timestamp_s = 0.1;
+  oe.overall_happiness = 0.25;
+  oe.mean_valence = 0.1;
+  oe.observed = 3;
+  EXPECT_TRUE(repo.AddOverallEmotion(oe).ok());
+  return repo;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int CountLines(const std::string& s) {
+  int n = 0;
+  for (char c : s) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+TEST(Export, LookAtCsvHasOneRowPerEdge) {
+  MetadataRepository repo = SmallRepo();
+  std::string path = testing::TempDir() + "/lookat.csv";
+  ASSERT_TRUE(ExportLookAtCsv(repo, path).ok());
+  std::string csv = ReadAll(path);
+  EXPECT_EQ(CountLines(csv), 1 + 5);  // header + 2+2+1 edges
+  EXPECT_NE(csv.find("frame,timestamp_s,looker,target"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,0,Ana,Bo"), std::string::npos);
+  EXPECT_NE(csv.find("2,0.2,Cy,Ana"), std::string::npos);
+}
+
+TEST(Export, EmotionsCsv) {
+  MetadataRepository repo = SmallRepo();
+  std::string path = testing::TempDir() + "/emotions.csv";
+  ASSERT_TRUE(ExportEmotionsCsv(repo, path).ok());
+  std::string csv = ReadAll(path);
+  EXPECT_EQ(CountLines(csv), 2);
+  EXPECT_NE(csv.find("Cy,surprise,0.6"), std::string::npos);
+}
+
+TEST(Export, OverallCsv) {
+  MetadataRepository repo = SmallRepo();
+  std::string path = testing::TempDir() + "/overall.csv";
+  ASSERT_TRUE(ExportOverallCsv(repo, path).ok());
+  std::string csv = ReadAll(path);
+  EXPECT_EQ(CountLines(csv), 2);
+  EXPECT_NE(csv.find("0.25,0.1,3"), std::string::npos);
+}
+
+TEST(Export, EpisodesCsvUsesFps) {
+  MetadataRepository repo = SmallRepo();
+  std::string path = testing::TempDir() + "/episodes.csv";
+  ASSERT_TRUE(ExportEpisodesCsv(repo, path, 2, 0).ok());
+  std::string csv = ReadAll(path);
+  // One episode: Ana<->Bo over frames [0, 2) = 0.2 s at 10 fps.
+  EXPECT_EQ(CountLines(csv), 2);
+  EXPECT_NE(csv.find("Ana,Bo,0,2,0,0.2,0.2"), std::string::npos);
+}
+
+TEST(Export, JsonReportContainsTheStory) {
+  MetadataRepository repo = SmallRepo();
+  std::string json = EventReportJson(repo);
+  EXPECT_NE(json.find("\"event_id\": \"evt-\\\"quoted\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"lookat_summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"dominant_participant\""), std::string::npos);
+  EXPECT_NE(json.find("\"eye_contact_episodes\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_overall_happiness\": 0.25"),
+            std::string::npos);
+  // Balanced braces (crude structural check).
+  int depth = 0;
+  bool negative = false;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    negative |= depth < 0;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(negative);
+  // File variant writes the same content.
+  std::string path = testing::TempDir() + "/report.json";
+  ASSERT_TRUE(ExportEventReportJson(repo, path).ok());
+  EXPECT_EQ(ReadAll(path), json);
+}
+
+TEST(Export, UnwritablePathIsIoError) {
+  MetadataRepository repo = SmallRepo();
+  EXPECT_EQ(ExportLookAtCsv(repo, "/nonexistent/x.csv").code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ExportEventReportJson(repo, "/nonexistent/x.json").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,170 @@
+// Tests for eye-contact detection — the paper's Eq. 1-5 machinery.
+
+#include "analysis/eye_contact.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/scenario.h"
+
+namespace dievent {
+namespace {
+
+ParticipantGeometry At(Vec3 pos, Vec3 gaze) {
+  ParticipantGeometry g;
+  g.head_position = pos;
+  g.gaze_direction = gaze.Normalized();
+  return g;
+}
+
+ParticipantGeometry Blind(Vec3 pos) {
+  ParticipantGeometry g;
+  g.head_position = pos;
+  return g;
+}
+
+TEST(EyeContact, MutualGazeFillsBothCells) {
+  EyeContactDetector det;
+  std::vector<ParticipantGeometry> people = {
+      At({0, 0, 1}, {1, 0, 0}), At({2, 0, 1}, {-1, 0, 0})};
+  LookAtMatrix m = det.ComputeLookAt(people);
+  EXPECT_TRUE(m.At(0, 1));
+  EXPECT_TRUE(m.At(1, 0));
+  EXPECT_EQ(m.EyeContactPairs().size(), 1u);
+}
+
+TEST(EyeContact, OneWayGazeIsNotEyeContact) {
+  EyeContactDetector det;
+  std::vector<ParticipantGeometry> people = {
+      At({0, 0, 1}, {1, 0, 0}), At({2, 0, 1}, {0, 1, 0})};
+  LookAtMatrix m = det.ComputeLookAt(people);
+  EXPECT_TRUE(m.At(0, 1));
+  EXPECT_FALSE(m.At(1, 0));
+  EXPECT_TRUE(m.EyeContactPairs().empty());
+}
+
+TEST(EyeContact, MissingGazeLooksAtNobody) {
+  EyeContactDetector det;
+  std::vector<ParticipantGeometry> people = {
+      Blind({0, 0, 1}), At({2, 0, 1}, {-1, 0, 0})};
+  LookAtMatrix m = det.ComputeLookAt(people);
+  EXPECT_FALSE(m.At(0, 1));
+  EXPECT_TRUE(m.At(1, 0));
+}
+
+TEST(EyeContact, HeadRadiusControlsAngularWindow) {
+  // Gaze 5 degrees off-target at 2 m distance: misses a 12 cm head
+  // (angular radius 3.4 deg) but hits a 25 cm one (7.1 deg).
+  Vec3 gaze{std::cos(DegToRad(5)), std::sin(DegToRad(5)), 0};
+  std::vector<ParticipantGeometry> people = {At({0, 0, 1}, gaze),
+                                             Blind({2, 0, 1})};
+  EyeContactOptions small;
+  small.head_radius = 0.12;
+  EXPECT_FALSE(EyeContactDetector(small).ComputeLookAt(people).At(0, 1));
+  EyeContactOptions big;
+  big.head_radius = 0.25;
+  EXPECT_TRUE(EyeContactDetector(big).ComputeLookAt(people).At(0, 1));
+}
+
+TEST(EyeContact, AngularToleranceAbsorbsGazeNoise) {
+  Vec3 gaze{std::cos(DegToRad(8)), std::sin(DegToRad(8)), 0};
+  std::vector<ParticipantGeometry> people = {At({0, 0, 1}, gaze),
+                                             Blind({2, 0, 1})};
+  EyeContactOptions strict;  // tolerance 0
+  EXPECT_FALSE(EyeContactDetector(strict).ComputeLookAt(people).At(0, 1));
+  EyeContactOptions slack;
+  slack.angular_tolerance_deg = 10.0;
+  EXPECT_TRUE(EyeContactDetector(slack).ComputeLookAt(people).At(0, 1));
+}
+
+TEST(EyeContact, AgreesWithSceneGroundTruth) {
+  DiningScene scene = MakeMeetingScenario();
+  EyeContactDetector det;  // head radius matches profile default
+  for (int f = 0; f < scene.num_frames(); f += 50) {
+    double t = scene.TimeOfFrame(f);
+    auto states = scene.StateAt(t);
+    std::vector<ParticipantGeometry> people;
+    for (const auto& s : states) {
+      people.push_back(At(s.head_position, s.gaze_direction));
+    }
+    LookAtMatrix m = det.ComputeLookAt(people);
+    auto gt = scene.GroundTruthLookAt(t);
+    for (int x = 0; x < 4; ++x) {
+      for (int y = 0; y < 4; ++y) {
+        if (x != y) {
+          EXPECT_EQ(m.At(x, y), gt[x][y]) << f << x << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(EyeContact, CameraFramePathMatchesWorldPath) {
+  // The paper's Eq. 2 chain: observations expressed in per-camera frames,
+  // chained into the reference camera, must yield the same matrix as the
+  // world-frame computation.
+  DiningScene scene = MakeMeetingScenario();
+  const Rig& rig = scene.rig();
+  EyeContactDetector det;
+  Rng rng(3);
+  for (int f = 0; f < scene.num_frames(); f += 77) {
+    auto states = scene.StateAt(scene.TimeOfFrame(f));
+    std::vector<ParticipantGeometry> world;
+    std::vector<CameraFrameGeometry> in_cameras;
+    for (const auto& s : states) {
+      world.push_back(At(s.head_position, s.gaze_direction));
+      CameraFrameGeometry cfg;
+      // Each participant observed by a random camera.
+      cfg.camera_index = static_cast<int>(rng.NextBelow(4));
+      const Pose& cam_T_world =
+          rig.camera(cfg.camera_index).camera_from_world();
+      cfg.head_position = cam_T_world.TransformPoint(s.head_position);
+      cfg.gaze_direction =
+          cam_T_world.TransformDirection(s.gaze_direction);
+      in_cameras.push_back(cfg);
+    }
+    LookAtMatrix world_m = det.ComputeLookAt(world);
+    for (int ref = 0; ref < 4; ++ref) {
+      auto cam_m = det.ComputeLookAtInCameraFrame(rig, ref, in_cameras);
+      ASSERT_TRUE(cam_m.ok()) << cam_m.status();
+      EXPECT_TRUE(cam_m.value() == world_m) << "ref " << ref;
+    }
+  }
+}
+
+TEST(EyeContact, CameraFramePathValidatesIndexes) {
+  DiningScene scene = MakeMeetingScenario();
+  EyeContactDetector det;
+  std::vector<CameraFrameGeometry> obs(1);
+  obs[0].camera_index = 99;
+  EXPECT_FALSE(
+      det.ComputeLookAtInCameraFrame(scene.rig(), 0, obs).ok());
+  obs[0].camera_index = 0;
+  EXPECT_FALSE(
+      det.ComputeLookAtInCameraFrame(scene.rig(), -1, obs).ok());
+  EXPECT_TRUE(
+      det.ComputeLookAtInCameraFrame(scene.rig(), 0, obs).ok());
+}
+
+TEST(EyeContact, NPersonMatrixDoesNPairsChecks) {
+  // Everyone in a circle looking at their clockwise neighbour: exactly n
+  // directed edges, no mutual pairs (n > 2).
+  const int n = 6;
+  std::vector<ParticipantGeometry> people;
+  for (int i = 0; i < n; ++i) {
+    double a = 2 * 3.14159265 * i / n;
+    people.push_back(Blind({std::cos(a), std::sin(a), 1.0}));
+  }
+  for (int i = 0; i < n; ++i) {
+    int next = (i + 1) % n;
+    people[i].gaze_direction =
+        (people[next].head_position - people[i].head_position).Normalized();
+  }
+  EyeContactDetector det;
+  LookAtMatrix m = det.ComputeLookAt(people);
+  EXPECT_EQ(m.DirectedEdges().size(), static_cast<size_t>(n));
+  EXPECT_TRUE(m.EyeContactPairs().empty());
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,121 @@
+#include "render/face_renderer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace dievent {
+namespace {
+
+using face_model::kHair;
+using face_model::kIris;
+using face_model::kSkin;
+
+int CountNear(const ImageRgb& img, const Rgb& ref, int tol) {
+  int n = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      Rgb c = GetRgb(img, x, y);
+      if (std::abs(c.r - ref.r) <= tol && std::abs(c.g - ref.g) <= tol &&
+          std::abs(c.b - ref.b) <= tol) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+TEST(RenderFaceCrop, FrontalContainsExpectedColors) {
+  Rgb marker{10, 200, 10};
+  ImageRgb crop = RenderFaceCrop(64, Emotion::kNeutral, 1.0, 0, 0, marker);
+  EXPECT_GT(CountNear(crop, kSkin, 2), 800);
+  EXPECT_GT(CountNear(crop, marker, 2), 50);
+  EXPECT_GT(CountNear(crop, kIris, 2), 4);
+  EXPECT_GT(CountNear(crop, face_model::kEyeWhite, 2), 10);
+  EXPECT_EQ(CountNear(crop, kHair, 2), 0);
+}
+
+TEST(RenderFace, BackOfHeadShowsHairNoFaceFeatures) {
+  ImageRgb img(64, 64, 3);
+  FaceRenderParams p;
+  p.center_px = {32, 32};
+  p.radius_px = 28;
+  p.marker_color = Rgb{200, 10, 10};
+  p.front_facing = false;
+  RenderFace(&img, p);
+  EXPECT_GT(CountNear(img, kHair, 2), 800);
+  EXPECT_EQ(CountNear(img, kSkin, 2), 0);
+  EXPECT_EQ(CountNear(img, face_model::kEyeWhite, 2), 0);
+  EXPECT_GT(CountNear(img, p.marker_color, 2), 50);
+}
+
+TEST(RenderFace, TinyRadiusIsNoop) {
+  ImageRgb img(16, 16, 3);
+  FaceRenderParams p;
+  p.center_px = {8, 8};
+  p.radius_px = 0.5;
+  RenderFace(&img, p);
+  for (uint8_t v : img.data()) EXPECT_EQ(v, 0);
+}
+
+TEST(RenderFace, GazeMovesIrisCentroid) {
+  auto iris_centroid_x = [](double gx) {
+    ImageRgb crop = RenderFaceCrop(96, Emotion::kNeutral, 1.0, gx, 0.0);
+    double sx = 0;
+    int n = 0;
+    for (int y = 0; y < 96; ++y) {
+      for (int x = 0; x < 96; ++x) {
+        Rgb c = GetRgb(crop, x, y);
+        if (std::abs(c.r - kIris.r) <= 2 && std::abs(c.g - kIris.g) <= 2) {
+          sx += x;
+          ++n;
+        }
+      }
+    }
+    return n > 0 ? sx / n : -1.0;
+  };
+  double left = iris_centroid_x(-0.8);
+  double center = iris_centroid_x(0.0);
+  double right = iris_centroid_x(0.8);
+  EXPECT_LT(left, center);
+  EXPECT_LT(center, right);
+  EXPECT_GT(right - left, 2.0);
+}
+
+TEST(RenderFace, EmotionsProduceDistinctAppearance) {
+  // Each emotion's crop must differ from neutral's (otherwise the
+  // recognizer has nothing to learn).
+  ImageRgb neutral = RenderFaceCrop(48, Emotion::kNeutral, 1.0);
+  for (Emotion e : {Emotion::kHappy, Emotion::kSad, Emotion::kAngry,
+                    Emotion::kDisgust, Emotion::kFear, Emotion::kSurprise}) {
+    ImageRgb other = RenderFaceCrop(48, e, 1.0);
+    EXPECT_FALSE(other == neutral) << EmotionName(e);
+  }
+}
+
+TEST(RenderFace, IntensityZeroNearNeutral) {
+  // At zero intensity, the happy mouth collapses onto a line like
+  // neutral's (brows may differ by a hair's breadth).
+  ImageRgb happy0 = RenderFaceCrop(48, Emotion::kHappy, 0.0);
+  ImageRgb happy1 = RenderFaceCrop(48, Emotion::kHappy, 1.0);
+  ImageRgb neutral = RenderFaceCrop(48, Emotion::kNeutral, 1.0);
+  int diff0 = 0, diff1 = 0;
+  for (size_t i = 0; i < neutral.data().size(); ++i) {
+    if (happy0.data()[i] != neutral.data()[i]) ++diff0;
+    if (happy1.data()[i] != neutral.data()[i]) ++diff1;
+  }
+  EXPECT_LT(diff0, diff1);
+}
+
+TEST(RenderFace, ClipsAtCanvasBorder) {
+  ImageRgb img(32, 32, 3);
+  FaceRenderParams p;
+  p.center_px = {0, 0};  // mostly off-canvas
+  p.radius_px = 20;
+  p.front_facing = true;
+  RenderFace(&img, p);  // must not crash; some skin visible
+  EXPECT_GT(CountNear(img, kSkin, 2), 10);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,81 @@
+#include "image/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+TEST(BoxBlur, PreservesUniformImage) {
+  ImageU8 img(9, 9);
+  img.Fill(100);
+  ImageU8 out = BoxBlur(img, 2);
+  for (uint8_t v : out.data()) EXPECT_EQ(v, 100);
+}
+
+TEST(BoxBlur, ZeroRadiusIsIdentity) {
+  ImageU8 img(5, 5);
+  img.at(2, 2) = 200;
+  EXPECT_TRUE(BoxBlur(img, 0) == img);
+}
+
+TEST(BoxBlur, SpreadsImpulse) {
+  ImageU8 img(9, 9);
+  img.at(4, 4) = 90;
+  ImageU8 out = BoxBlur(img, 1);
+  // The 3x3 neighbourhood receives 90/9 = 10 each.
+  for (int y = 3; y <= 5; ++y)
+    for (int x = 3; x <= 5; ++x) EXPECT_EQ(out.at(x, y), 10);
+  EXPECT_EQ(out.at(0, 0), 0);
+}
+
+TEST(GaussianBlur, NonPositiveSigmaIsIdentity) {
+  ImageU8 img(5, 5);
+  img.at(1, 1) = 50;
+  EXPECT_TRUE(GaussianBlur(img, 0.0) == img);
+  EXPECT_TRUE(GaussianBlur(img, -1.0) == img);
+}
+
+TEST(GaussianBlur, ConservesMassApproximately) {
+  ImageU8 img(21, 21);
+  img.at(10, 10) = 255;
+  ImageU8 out = GaussianBlur(img, 1.5);
+  long sum_in = 255, sum_out = 0;
+  for (uint8_t v : out.data()) sum_out += v;
+  // Rounding to u8 loses a little; stay within 30%.
+  EXPECT_NEAR(sum_out, sum_in, 0.3 * 255);
+  // Peak is at the centre and reduced.
+  EXPECT_GT(out.at(10, 10), out.at(12, 10));
+  EXPECT_LT(out.at(10, 10), 255);
+}
+
+TEST(SobelMagnitude, FlatImageHasNoEdges) {
+  ImageU8 img(8, 8);
+  img.Fill(128);
+  ImageU8 out = SobelMagnitude(img);
+  for (uint8_t v : out.data()) EXPECT_EQ(v, 0);
+}
+
+TEST(SobelMagnitude, VerticalEdgeDetected) {
+  ImageU8 img(10, 10);
+  for (int y = 0; y < 10; ++y)
+    for (int x = 5; x < 10; ++x) img.at(x, y) = 200;
+  ImageU8 out = SobelMagnitude(img);
+  // Strong response at the boundary columns, none in the flat interior.
+  EXPECT_GT(out.at(5, 5), 100);
+  EXPECT_EQ(out.at(2, 5), 0);
+  EXPECT_EQ(out.at(8, 5), 0);
+}
+
+TEST(Threshold, BinarizesAtCutoff) {
+  ImageU8 img(3, 1);
+  img.at(0, 0) = 10;
+  img.at(1, 0) = 100;
+  img.at(2, 0) = 200;
+  ImageU8 out = Threshold(img, 100);
+  EXPECT_EQ(out.at(0, 0), 0);
+  EXPECT_EQ(out.at(1, 0), 255);  // >= threshold
+  EXPECT_EQ(out.at(2, 0), 255);
+}
+
+}  // namespace
+}  // namespace dievent

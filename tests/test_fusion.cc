@@ -1,0 +1,156 @@
+#include "analysis/fusion.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+FaceObservation Obs(int camera, int identity, Vec3 pos_world,
+                    double radius_px, bool frontal,
+                    Vec3 gaze_world = {0, 0, 0}) {
+  FaceObservation o;
+  o.camera_index = camera;
+  o.identity = identity;
+  o.identity_confidence = 1.0;
+  o.head_position_world = pos_world;
+  o.detection.radius_px = radius_px;
+  o.detection.front_facing = frontal;
+  if (frontal && gaze_world.Norm() > 0) {
+    o.has_gaze = true;
+    o.gaze_world = gaze_world.Normalized();
+  }
+  return o;
+}
+
+TEST(Fusion, WeightsPositionsByRadius) {
+  // Camera 0 sees the head closer (larger radius) -> more weight.
+  std::vector<FaceObservation> obs = {
+      Obs(0, 0, {1.0, 0, 0}, 30, false),
+      Obs(1, 0, {2.0, 0, 0}, 10, false),
+  };
+  auto fused = FuseObservations(obs, 1);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].num_views, 2);
+  EXPECT_NEAR(fused[0].geometry.head_position.x, 1.25, 1e-9);
+}
+
+TEST(Fusion, BestViewGazeComesFromLargestFrontal) {
+  std::vector<FaceObservation> obs = {
+      Obs(0, 0, {0, 0, 0}, 12, true, {1, 0, 0}),
+      Obs(1, 0, {0, 0, 0}, 25, true, {0, 1, 0}),  // larger -> wins
+      Obs(2, 0, {0, 0, 0}, 40, false),            // back view: no gaze
+  };
+  FusionOptions opt;
+  opt.gaze_mode = GazeFusionMode::kBestView;
+  auto fused = FuseObservations(obs, 1, opt);
+  ASSERT_TRUE(fused[0].geometry.gaze_direction.has_value());
+  EXPECT_NEAR(fused[0].geometry.gaze_direction->y, 1.0, 1e-9);
+  EXPECT_EQ(fused[0].best_camera, 1);
+  EXPECT_EQ(fused[0].num_frontal_views, 2);
+}
+
+TEST(Fusion, AverageGazeMode) {
+  std::vector<FaceObservation> obs = {
+      Obs(0, 0, {0, 0, 0}, 20, true, {1, 0, 0}),
+      Obs(1, 0, {0, 0, 0}, 20, true, {0, 1, 0}),
+  };
+  FusionOptions opt;
+  opt.gaze_mode = GazeFusionMode::kAverage;
+  auto fused = FuseObservations(obs, 1, opt);
+  ASSERT_TRUE(fused[0].geometry.gaze_direction.has_value());
+  Vec3 g = *fused[0].geometry.gaze_direction;
+  EXPECT_NEAR(g.x, g.y, 1e-9);
+  EXPECT_NEAR(g.Norm(), 1.0, 1e-9);
+}
+
+TEST(Fusion, UnseenParticipantHasNoViewsOrGaze) {
+  std::vector<FaceObservation> obs = {Obs(0, 1, {1, 1, 1}, 15, false)};
+  auto fused = FuseObservations(obs, 3);
+  EXPECT_EQ(fused[0].num_views, 0);
+  EXPECT_FALSE(fused[0].geometry.gaze_direction.has_value());
+  EXPECT_EQ(fused[1].num_views, 1);
+  EXPECT_EQ(fused[2].num_views, 0);
+  EXPECT_EQ(fused[2].best_camera, -1);
+}
+
+TEST(Fusion, IgnoresUnidentifiedAndOutOfRange) {
+  std::vector<FaceObservation> obs = {
+      Obs(0, -1, {9, 9, 9}, 50, true, {1, 0, 0}),
+      Obs(0, 7, {9, 9, 9}, 50, true, {1, 0, 0}),  // beyond num_participants
+      Obs(0, 0, {1, 0, 0}, 20, false),
+  };
+  auto fused = FuseObservations(obs, 2);
+  EXPECT_EQ(fused[0].num_views, 1);
+  EXPECT_EQ(fused[1].num_views, 0);
+}
+
+TEST(Fusion, ConfidenceGateFiltersWeakIdentities) {
+  FaceObservation weak = Obs(0, 0, {5, 5, 5}, 20, false);
+  weak.identity_confidence = 0.1;
+  FusionOptions opt;
+  opt.min_identity_confidence = 0.5;
+  auto fused = FuseObservations({weak}, 1, opt);
+  EXPECT_EQ(fused[0].num_views, 0);
+}
+
+TEST(Fusion, SeatPriorResolvesUnknownIdentities) {
+  FaceObservation unknown = Obs(0, -1, {1.02, 0.03, 1.15}, 20, true,
+                                {1, 0, 0});
+  unknown.identity_confidence = 0.0;
+  FusionOptions opt;
+  opt.seat_prior = {{-1.0, 0, 1.15}, {1.0, 0, 1.15}};
+  auto fused = FuseObservations({unknown}, 2, opt);
+  EXPECT_EQ(fused[0].num_views, 0);
+  EXPECT_EQ(fused[1].num_views, 1);  // adopted seat 1
+  ASSERT_TRUE(fused[1].geometry.gaze_direction.has_value());
+}
+
+TEST(Fusion, SeatPriorRespectsGateRadius) {
+  // An unknown head half a metre from every seat stays unknown.
+  FaceObservation far_away = Obs(0, -1, {0.0, 3.0, 1.15}, 20, false);
+  FusionOptions opt;
+  opt.seat_prior = {{-1.0, 0, 1.15}, {1.0, 0, 1.15}};
+  opt.seat_radius_m = 0.45;
+  auto fused = FuseObservations({far_away}, 2, opt);
+  EXPECT_EQ(fused[0].num_views, 0);
+  EXPECT_EQ(fused[1].num_views, 0);
+}
+
+TEST(Fusion, SeatPriorDoesNotOverrideRecognizer) {
+  // A recognized observation sitting near the wrong seat keeps its
+  // appearance-based identity.
+  FaceObservation recognized = Obs(0, 0, {1.0, 0, 1.15}, 20, false);
+  FusionOptions opt;
+  opt.seat_prior = {{-1.0, 0, 1.15}, {1.0, 0, 1.15}};
+  auto fused = FuseObservations({recognized}, 2, opt);
+  EXPECT_EQ(fused[0].num_views, 1);
+  EXPECT_EQ(fused[1].num_views, 0);
+}
+
+TEST(Fusion, SeatPriorServesMultipleViewsOfOnePerson) {
+  // Two cameras, both unidentified, both near seat 0: both observations
+  // must fuse into participant 0 (a seat is not "consumed").
+  FaceObservation a = Obs(0, -1, {-1.02, 0.01, 1.15}, 18, false);
+  FaceObservation b = Obs(1, -1, {-0.97, -0.02, 1.16}, 22, false);
+  FusionOptions opt;
+  opt.seat_prior = {{-1.0, 0, 1.15}, {1.0, 0, 1.15}};
+  auto fused = FuseObservations({a, b}, 2, opt);
+  EXPECT_EQ(fused[0].num_views, 2);
+}
+
+TEST(Fusion, ToGeometryPreservesOrder) {
+  std::vector<FaceObservation> obs = {
+      Obs(0, 1, {2, 0, 0}, 20, true, {0, 0, 1}),
+      Obs(0, 0, {1, 0, 0}, 20, false),
+  };
+  auto fused = FuseObservations(obs, 2);
+  auto geo = ToGeometry(fused);
+  ASSERT_EQ(geo.size(), 2u);
+  EXPECT_NEAR(geo[0].head_position.x, 1.0, 1e-9);
+  EXPECT_NEAR(geo[1].head_position.x, 2.0, 1e-9);
+  EXPECT_TRUE(geo[1].gaze_direction.has_value());
+  EXPECT_FALSE(geo[0].gaze_direction.has_value());
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,96 @@
+#include "vision/gaze_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "render/face_renderer.h"
+#include "vision/face_detector.h"
+#include "vision/landmarks.h"
+
+namespace dievent {
+namespace {
+
+std::optional<Vec3> EstimateFor(double gx, double gy, int size) {
+  ImageRgb crop = RenderFaceCrop(size, Emotion::kNeutral, 1.0, gx, gy);
+  FaceDetector det;
+  auto found = det.Detect(crop);
+  if (found.size() != 1) return std::nullopt;
+  LandmarkLocalizer loc;
+  FaceLandmarks lm = loc.Localize(crop, found[0]);
+  GazeEstimator ge;
+  return ge.EstimateCameraGaze(found[0], lm);
+}
+
+TEST(GazeEstimator, RecoversRenderedGazeLargeFace) {
+  for (double gx : {-0.6, -0.3, 0.0, 0.3, 0.6}) {
+    for (double gy : {-0.4, 0.0, 0.4}) {
+      auto est = EstimateFor(gx, gy, 160);
+      ASSERT_TRUE(est.has_value()) << gx << "," << gy;
+      double gz = -std::sqrt(std::max(0.0, 1 - gx * gx - gy * gy));
+      double err = RadToDeg(AngleBetween(*est, Vec3{gx, gy, gz}));
+      EXPECT_LT(err, 4.0) << gx << "," << gy;
+    }
+  }
+}
+
+TEST(GazeEstimator, ModerateFaceStillUsable) {
+  // ~r=18 px, the typical size in the 640x480 meeting views.
+  for (double gx : {-0.5, 0.0, 0.5}) {
+    auto est = EstimateFor(gx, 0.0, 40);
+    ASSERT_TRUE(est.has_value());
+    double gz = -std::sqrt(1 - gx * gx);
+    EXPECT_LT(RadToDeg(AngleBetween(*est, Vec3{gx, 0, gz})), 15.0);
+  }
+}
+
+TEST(GazeEstimator, OutputIsUnitAndTowardCamera) {
+  auto est = EstimateFor(0.2, -0.1, 100);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->Norm(), 1.0, 1e-9);
+  EXPECT_LT(est->z, 0.0);
+}
+
+TEST(GazeEstimator, InvalidLandmarksRejected) {
+  GazeEstimator ge;
+  FaceDetection det;
+  det.radius_px = 30;
+  FaceLandmarks lm;  // eyes_valid = false
+  EXPECT_FALSE(ge.EstimateCameraGaze(det, lm).has_value());
+  // Tiny eye radius also rejected.
+  FaceDetection tiny;
+  tiny.radius_px = 2.0;
+  FaceLandmarks lm2;
+  lm2.eyes_valid = true;
+  EXPECT_FALSE(ge.EstimateCameraGaze(tiny, lm2).has_value());
+}
+
+TEST(GazeEstimator, WorldGazeAppliesExtrinsics) {
+  // Camera rotated 90 deg about Z: camera-frame gaze maps accordingly.
+  ImageRgb crop = RenderFaceCrop(160, Emotion::kNeutral, 1.0, 0.0, 0.0);
+  FaceDetector det;
+  auto found = det.Detect(crop);
+  ASSERT_EQ(found.size(), 1u);
+  LandmarkLocalizer loc;
+  FaceLandmarks lm = loc.Localize(crop, found[0]);
+  GazeEstimator ge;
+  CameraModel cam("c", Intrinsics{},
+                  Pose::LookAt({0, 0, 1}, {5, 0, 1}));  // +x view, z-up
+  auto world = ge.EstimateWorldGaze(cam, found[0], lm);
+  ASSERT_TRUE(world.has_value());
+  // Straight-at-camera gaze (0,0,-1) in camera frame = -x in world.
+  EXPECT_NEAR(world->x, -1.0, 0.05);
+  EXPECT_NEAR(world->Norm(), 1.0, 1e-9);
+}
+
+TEST(GazeEstimator, ClampsExtremeOffsets) {
+  // Saturated gaze (|g| = 1) still yields a unit vector without NaN.
+  auto est = EstimateFor(0.95, 0.0, 120);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_FALSE(std::isnan(est->x));
+  EXPECT_NEAR(est->Norm(), 1.0, 1e-9);
+  EXPECT_GT(est->x, 0.7);
+}
+
+}  // namespace
+}  // namespace dievent

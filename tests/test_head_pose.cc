@@ -1,0 +1,86 @@
+#include "vision/head_pose.h"
+
+#include <gtest/gtest.h>
+
+#include "render/scene_renderer.h"
+#include "sim/scenario.h"
+#include "vision/face_detector.h"
+
+namespace dievent {
+namespace {
+
+TEST(HeadPose, DepthFromRadiusFollowsPinholeModel) {
+  CameraModel cam("c", Intrinsics::FromFov(640, 480, DegToRad(70)),
+                  Pose::Identity());
+  HeadPoseEstimator est;  // default 0.12 m prior
+  FaceDetection det;
+  det.center_px = {cam.intrinsics().cx, cam.intrinsics().cy};
+  det.radius_px = cam.intrinsics().fx * 0.12 / 3.0;  // head at 3 m
+  Vec3 p = est.EstimateCameraPosition(cam, det);
+  EXPECT_NEAR(p.z, 3.0, 1e-9);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(HeadPose, OffAxisPositionBackprojects) {
+  CameraModel cam("c", Intrinsics::FromFov(640, 480, DegToRad(70)),
+                  Pose::Identity());
+  HeadPoseEstimator est;
+  FaceDetection det;
+  det.center_px = {400, 300};
+  det.radius_px = cam.intrinsics().fx * 0.12 / 2.0;
+  Vec3 p = est.EstimateCameraPosition(cam, det);
+  auto back = cam.ProjectCameraPoint(p);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_NEAR(back->x, 400, 1e-9);
+  EXPECT_NEAR(back->y, 300, 1e-9);
+  EXPECT_NEAR(p.z, 2.0, 1e-9);
+}
+
+TEST(HeadPose, ZeroRadiusGivesZeroDepth) {
+  CameraModel cam("c", Intrinsics{}, Pose::Identity());
+  HeadPoseEstimator est;
+  FaceDetection det;
+  det.radius_px = 0;
+  EXPECT_EQ(est.EstimateCameraPosition(cam, det).z, 0.0);
+}
+
+TEST(HeadPose, WorldPositionOnRenderedScene) {
+  // End-to-end: detect rendered heads and recover their 3-D positions
+  // within a few centimetres.
+  DiningScene scene = MakeMeetingScenario();
+  HeadPoseEstimator est;
+  FaceDetector det;
+  for (int c = 0; c < 4; ++c) {
+    ImageRgb frame = RenderViewAt(scene, 10.0, c, RenderOptions{});
+    auto states = scene.StateAt(10.0);
+    for (const FaceDetection& d : det.Detect(frame)) {
+      Vec3 world = est.EstimateWorldPosition(scene.rig().camera(c), d);
+      // Must be within 12 cm of *some* ground-truth head.
+      double best = 1e9;
+      for (const auto& s : states) {
+        best = std::min(best, (world - s.head_position).Norm());
+      }
+      EXPECT_LT(best, 0.12) << "camera " << c;
+    }
+  }
+}
+
+TEST(HeadPose, RadiusPriorScalesDepth) {
+  CameraModel cam("c", Intrinsics::FromFov(640, 480, DegToRad(70)),
+                  Pose::Identity());
+  HeadPoseOptions small;
+  small.head_radius_m = 0.06;
+  HeadPoseOptions big;
+  big.head_radius_m = 0.24;
+  FaceDetection det;
+  det.center_px = {320, 240};
+  det.radius_px = 20;
+  double d_small =
+      HeadPoseEstimator(small).EstimateCameraPosition(cam, det).z;
+  double d_big = HeadPoseEstimator(big).EstimateCameraPosition(cam, det).z;
+  EXPECT_NEAR(d_big / d_small, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dievent

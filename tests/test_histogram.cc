@@ -1,0 +1,149 @@
+#include "image/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dievent {
+namespace {
+
+TEST(GrayHistogram, NormalizedAndBinned) {
+  ImageU8 img(10, 10);
+  img.Fill(0);
+  Histogram h = ComputeGrayHistogram(img, 64);
+  ASSERT_EQ(h.NumBins(), 64);
+  EXPECT_DOUBLE_EQ(h.bins[0], 1.0);
+  for (int i = 1; i < 64; ++i) EXPECT_DOUBLE_EQ(h.bins[i], 0.0);
+}
+
+TEST(GrayHistogram, SplitsBetweenBins) {
+  ImageU8 img(2, 1);
+  img.at(0, 0) = 0;
+  img.at(1, 0) = 255;
+  Histogram h = ComputeGrayHistogram(img, 4);
+  EXPECT_DOUBLE_EQ(h.bins[0], 0.5);
+  EXPECT_DOUBLE_EQ(h.bins[3], 0.5);
+}
+
+TEST(ColorHistogram, JointBinsSumToOne) {
+  Rng rng(61);
+  ImageRgb img(16, 16, 3);
+  for (uint8_t& v : img.data()) v = static_cast<uint8_t>(rng.NextBelow(256));
+  Histogram h = ComputeColorHistogram(img, 8);
+  ASSERT_EQ(h.NumBins(), 512);
+  double total = 0;
+  for (double b : h.bins) total += b;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ColorHistogram, SolidColorHitsOneBin) {
+  ImageRgb img(4, 4, 3);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) PutRgb(&img, x, y, Rgb{255, 0, 128});
+  Histogram h = ComputeColorHistogram(img, 4);
+  int nonzero = 0;
+  for (double b : h.bins) {
+    if (b > 0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 1);
+}
+
+TEST(ColorHistogram, SoftBinningStillNormalized) {
+  Rng rng(62);
+  ImageRgb img(16, 16, 3);
+  for (uint8_t& v : img.data()) v = static_cast<uint8_t>(rng.NextBelow(256));
+  Histogram h = ComputeColorHistogram(img, 8, /*soft_binning=*/true);
+  double total = 0;
+  for (double b : h.bins) total += b;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ColorHistogram, SoftBinningSmoothsRamp) {
+  // A uniform background brightening by one intensity level per frame:
+  // hard binning jumps an entire bin at the 32-level boundary while soft
+  // binning moves mass gradually. Measure the worst consecutive-frame
+  // chi-square distance across the ramp.
+  auto solid = [](uint8_t v) {
+    ImageRgb img(16, 16, 3);
+    for (int y = 0; y < 16; ++y)
+      for (int x = 0; x < 16; ++x) PutRgb(&img, x, y, Rgb{v, v, v});
+    return img;
+  };
+  double worst_hard = 0, worst_soft = 0;
+  for (uint8_t v = 24; v < 40; ++v) {
+    Histogram ha = ComputeColorHistogram(solid(v), 8, false);
+    Histogram hb = ComputeColorHistogram(solid(v + 1), 8, false);
+    worst_hard = std::max(worst_hard, ChiSquareDistance(ha, hb));
+    Histogram sa = ComputeColorHistogram(solid(v), 8, true);
+    Histogram sb = ComputeColorHistogram(solid(v + 1), 8, true);
+    worst_soft = std::max(worst_soft, ChiSquareDistance(sa, sb));
+  }
+  EXPECT_GT(worst_hard, 1.0);   // the full mass jumps bins at 31->32
+  EXPECT_LT(worst_soft, 0.05);  // soft binning moves ~3% of mass per step
+}
+
+TEST(ColorHistogram, SoftBinningBoundaryValuesClamped) {
+  // Extreme channel values (0, 255) must not index out of range.
+  ImageRgb img(2, 1, 3);
+  PutRgb(&img, 0, 0, Rgb{0, 0, 0});
+  PutRgb(&img, 1, 0, Rgb{255, 255, 255});
+  Histogram h = ComputeColorHistogram(img, 8, true);
+  double total = 0;
+  for (double b : h.bins) total += b;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Distances, IdenticalHistogramsScoreZeroAndOne) {
+  ImageRgb img(8, 8, 3);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      PutRgb(&img, x, y, Rgb{static_cast<uint8_t>(x * 30), 100, 50});
+  Histogram h = ComputeColorHistogram(img, 8);
+  EXPECT_DOUBLE_EQ(ChiSquareDistance(h, h), 0.0);
+  EXPECT_DOUBLE_EQ(L1Distance(h, h), 0.0);
+  EXPECT_NEAR(IntersectionSimilarity(h, h), 1.0, 1e-9);
+}
+
+TEST(Distances, DisjointHistogramsAreMaximal) {
+  Histogram a, b;
+  a.bins = {1.0, 0.0};
+  b.bins = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(IntersectionSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareDistance(a, b), 2.0);
+}
+
+TEST(Distances, SymmetricAndOrdered) {
+  Histogram a, b, c;
+  a.bins = {0.5, 0.5, 0.0};
+  b.bins = {0.4, 0.5, 0.1};
+  c.bins = {0.0, 0.2, 0.8};
+  EXPECT_DOUBLE_EQ(ChiSquareDistance(a, b), ChiSquareDistance(b, a));
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), L1Distance(b, a));
+  // b is closer to a than c is.
+  EXPECT_LT(ChiSquareDistance(a, b), ChiSquareDistance(a, c));
+  EXPECT_LT(L1Distance(a, b), L1Distance(a, c));
+  EXPECT_GT(IntersectionSimilarity(a, b), IntersectionSimilarity(a, c));
+}
+
+TEST(Distances, SmallShiftSmallerThanSceneChange) {
+  // The shot detector's working assumption: small lighting drift produces
+  // far smaller distances than a background swap.
+  ImageRgb base(32, 32, 3);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) PutRgb(&base, x, y, Rgb{100, 120, 90});
+  ImageRgb drift = base;
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x)
+      if ((x + y) % 7 == 0) PutRgb(&drift, x, y, Rgb{104, 124, 94});
+  ImageRgb changed(32, 32, 3);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) PutRgb(&changed, x, y, Rgb{20, 200, 220});
+  Histogram hb = ComputeColorHistogram(base, 8);
+  Histogram hd = ComputeColorHistogram(drift, 8);
+  Histogram hc = ComputeColorHistogram(changed, 8);
+  EXPECT_LT(ChiSquareDistance(hb, hd) * 10, ChiSquareDistance(hb, hc));
+}
+
+}  // namespace
+}  // namespace dievent

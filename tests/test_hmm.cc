@@ -1,0 +1,150 @@
+// Tests for the discrete HMM (the Gao et al. [16] baseline machinery).
+
+#include "ml/hmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dievent {
+namespace {
+
+/// A strongly identifiable 2-state model: state 0 emits symbol 0, state 1
+/// emits symbol 1, with sticky transitions.
+DiscreteHmm StickyModel() {
+  auto hmm = DiscreteHmm::Create(
+      {0.5, 0.5},
+      {{0.95, 0.05}, {0.05, 0.95}},
+      {{0.9, 0.1}, {0.1, 0.9}});
+  EXPECT_TRUE(hmm.ok());
+  return hmm.TakeValue();
+}
+
+TEST(DiscreteHmm, CreateValidates) {
+  Rng rng(1);
+  EXPECT_FALSE(DiscreteHmm::CreateRandom(0, 3, &rng).ok());
+  EXPECT_FALSE(DiscreteHmm::CreateRandom(3, 0, &rng).ok());
+  EXPECT_FALSE(DiscreteHmm::CreateRandom(3, 3, nullptr).ok());
+  EXPECT_FALSE(DiscreteHmm::Create({1.0}, {{1.0}}, {{}}).ok());
+  EXPECT_FALSE(DiscreteHmm::Create({1.0, 1.0}, {{1.0}}, {{1.0}}).ok());
+  EXPECT_FALSE(
+      DiscreteHmm::Create({1.0}, {{-0.5}}, {{1.0}}).ok());  // negative
+  auto ok = DiscreteHmm::Create({2.0}, {{3.0}}, {{4.0, 4.0}});
+  ASSERT_TRUE(ok.ok());  // rows renormalized
+  EXPECT_DOUBLE_EQ(ok.value().initial()[0], 1.0);
+  EXPECT_DOUBLE_EQ(ok.value().emission()[0][1], 0.5);
+}
+
+TEST(DiscreteHmm, LikelihoodPrefersModelConsistentSequences) {
+  DiscreteHmm hmm = StickyModel();
+  // A sticky sequence fits; a rapidly alternating one fits worse.
+  std::vector<int> sticky = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  std::vector<int> alternating = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  auto l_sticky = hmm.LogLikelihood(sticky);
+  auto l_alt = hmm.LogLikelihood(alternating);
+  ASSERT_TRUE(l_sticky.ok());
+  ASSERT_TRUE(l_alt.ok());
+  EXPECT_GT(l_sticky.value(), l_alt.value());
+}
+
+TEST(DiscreteHmm, LikelihoodMatchesHandComputation) {
+  // One state, deterministic emission: L = product of emission probs.
+  auto hmm = DiscreteHmm::Create({1.0}, {{1.0}}, {{0.25, 0.75}});
+  ASSERT_TRUE(hmm.ok());
+  auto ll = hmm.value().LogLikelihood({0, 1, 1});
+  ASSERT_TRUE(ll.ok());
+  EXPECT_NEAR(ll.value(), std::log(0.25 * 0.75 * 0.75), 1e-12);
+}
+
+TEST(DiscreteHmm, ValidatesObservations) {
+  DiscreteHmm hmm = StickyModel();
+  EXPECT_FALSE(hmm.LogLikelihood({}).ok());
+  EXPECT_EQ(hmm.LogLikelihood({0, 5}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(hmm.Viterbi({-1}).ok());
+}
+
+TEST(DiscreteHmm, ViterbiRecoversStatesFromCleanEmissions) {
+  DiscreteHmm hmm = StickyModel();
+  std::vector<int> obs = {0, 0, 0, 1, 1, 1, 1, 0, 0, 0};
+  auto path = hmm.Viterbi(obs);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path.value(),
+            (std::vector<int>{0, 0, 0, 1, 1, 1, 1, 0, 0, 0}));
+}
+
+TEST(DiscreteHmm, ViterbiSmoothsIsolatedOutliers) {
+  // With sticky transitions, a single contrary symbol inside a long run
+  // is explained by emission noise, not a state flip.
+  DiscreteHmm hmm = StickyModel();
+  std::vector<int> obs = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+  auto path = hmm.Viterbi(obs);
+  ASSERT_TRUE(path.ok());
+  for (int s : path.value()) EXPECT_EQ(s, 0);
+}
+
+TEST(DiscreteHmm, SampleIsDeterministicAndValid) {
+  DiscreteHmm hmm = StickyModel();
+  Rng rng1(9), rng2(9);
+  std::vector<int> s1, o1, s2, o2;
+  hmm.Sample(200, &rng1, &s1, &o1);
+  hmm.Sample(200, &rng2, &s2, &o2);
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(s1, s2);
+  for (size_t i = 0; i < o1.size(); ++i) {
+    EXPECT_GE(o1[i], 0);
+    EXPECT_LT(o1[i], 2);
+  }
+}
+
+TEST(DiscreteHmm, BaumWelchIncreasesLikelihood) {
+  // Train a random model on data sampled from the sticky model; the
+  // log-likelihood must be monotone (up to tolerance) and the fitted
+  // model must beat the initial one.
+  DiscreteHmm truth = StickyModel();
+  Rng rng(10);
+  std::vector<int> states, symbols;
+  truth.Sample(600, &rng, &states, &symbols);
+
+  auto learned = DiscreteHmm::CreateRandom(2, 2, &rng);
+  ASSERT_TRUE(learned.ok());
+  auto initial_ll = learned.value().LogLikelihood(symbols);
+  ASSERT_TRUE(initial_ll.ok());
+  auto history = learned.value().BaumWelch({symbols}, 50);
+  ASSERT_TRUE(history.ok());
+  ASSERT_GE(history.value().size(), 2u);
+  for (size_t i = 1; i < history.value().size(); ++i) {
+    EXPECT_GE(history.value()[i], history.value()[i - 1] - 1e-6) << i;
+  }
+  auto final_ll = learned.value().LogLikelihood(symbols);
+  ASSERT_TRUE(final_ll.ok());
+  EXPECT_GT(final_ll.value(), initial_ll.value());
+}
+
+TEST(DiscreteHmm, BaumWelchRecoversStickyStructure) {
+  DiscreteHmm truth = StickyModel();
+  Rng rng(20);
+  std::vector<std::vector<int>> dataset;
+  for (int seq = 0; seq < 5; ++seq) {
+    std::vector<int> states, symbols;
+    truth.Sample(400, &rng, &states, &symbols);
+    dataset.push_back(symbols);
+  }
+  auto learned = DiscreteHmm::CreateRandom(2, 2, &rng);
+  ASSERT_TRUE(learned.ok());
+  ASSERT_TRUE(learned.value().BaumWelch(dataset, 80).ok());
+  // Self-transition dominance is recovered in both states (up to state
+  // relabeling, self-transitions are label-invariant).
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_GT(learned.value().transition()[s][s], 0.75) << s;
+  }
+}
+
+TEST(DiscreteHmm, BaumWelchValidates) {
+  DiscreteHmm hmm = StickyModel();
+  EXPECT_FALSE(hmm.BaumWelch({}, 10).ok());
+  EXPECT_FALSE(hmm.BaumWelch({{0, 9}}, 10).ok());
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,137 @@
+#include "ml/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dievent {
+namespace {
+
+double AssignmentCost(const std::vector<std::vector<double>>& cost,
+                      const std::vector<int>& match) {
+  double total = 0;
+  for (size_t r = 0; r < match.size(); ++r) {
+    if (match[r] >= 0) total += cost[r][match[r]];
+  }
+  return total;
+}
+
+/// Brute-force optimum for small square instances.
+double BruteForce(const std::vector<std::vector<double>>& cost) {
+  int n = static_cast<int>(cost.size());
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  double best = 1e300;
+  do {
+    double total = 0;
+    for (int i = 0; i < n; ++i) total += cost[i][perm[i]];
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Hungarian, TrivialCases) {
+  EXPECT_TRUE(SolveAssignment({}).empty());
+  auto one = SolveAssignment({{5.0}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0);
+}
+
+TEST(Hungarian, PicksObviousDiagonal) {
+  std::vector<std::vector<double>> cost = {
+      {0, 9, 9}, {9, 0, 9}, {9, 9, 0}};
+  auto m = SolveAssignment(cost);
+  EXPECT_EQ(m, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Hungarian, AntiDiagonal) {
+  std::vector<std::vector<double>> cost = {
+      {9, 9, 0}, {9, 0, 9}, {0, 9, 9}};
+  auto m = SolveAssignment(cost);
+  EXPECT_EQ(m, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomSquares) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = 2 + static_cast<int>(rng.NextBelow(5));  // 2..6
+    std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+    for (auto& row : cost)
+      for (double& c : row) c = rng.Uniform(0, 10);
+    auto m = SolveAssignment(cost);
+    // Valid permutation.
+    std::vector<bool> used(n, false);
+    for (int r = 0; r < n; ++r) {
+      ASSERT_GE(m[r], 0);
+      ASSERT_LT(m[r], n);
+      ASSERT_FALSE(used[m[r]]);
+      used[m[r]] = true;
+    }
+    EXPECT_NEAR(AssignmentCost(cost, m), BruteForce(cost), 1e-9) << trial;
+  }
+}
+
+TEST(Hungarian, RectangularWideAssignsAllRows) {
+  // 2 rows, 4 columns: every row gets a distinct column.
+  std::vector<std::vector<double>> cost = {
+      {5, 1, 7, 9}, {5, 2, 7, 0}};
+  auto m = SolveAssignment(cost);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 3);
+}
+
+TEST(Hungarian, RectangularTallLeavesRowsUnassigned) {
+  // 3 rows, 1 column: only one row can win it (the cheapest).
+  std::vector<std::vector<double>> cost = {{5}, {1}, {3}};
+  auto m = SolveAssignment(cost);
+  ASSERT_EQ(m.size(), 3u);
+  int assigned = 0;
+  for (int r = 0; r < 3; ++r) {
+    if (m[r] == 0) {
+      ++assigned;
+      EXPECT_EQ(r, 1);  // cheapest row
+    } else {
+      EXPECT_EQ(m[r], -1);
+    }
+  }
+  EXPECT_EQ(assigned, 1);
+}
+
+TEST(Hungarian, HandlesNegativeCosts) {
+  std::vector<std::vector<double>> cost = {{-5, 0}, {0, -5}};
+  auto m = SolveAssignment(cost);
+  EXPECT_EQ(m, (std::vector<int>{0, 1}));
+}
+
+TEST(Hungarian, LargeInstanceRunsAndIsValid) {
+  Rng rng(102);
+  int n = 64;
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost)
+    for (double& c : row) c = rng.Uniform(0, 100);
+  auto m = SolveAssignment(cost);
+  std::vector<bool> used(n, false);
+  for (int r = 0; r < n; ++r) {
+    ASSERT_GE(m[r], 0);
+    ASSERT_FALSE(used[m[r]]);
+    used[m[r]] = true;
+  }
+  // Sanity: beats a greedy row-by-row baseline (or at least matches it).
+  double greedy = 0;
+  std::vector<bool> taken(n, false);
+  for (int r = 0; r < n; ++r) {
+    int best = -1;
+    for (int c = 0; c < n; ++c) {
+      if (!taken[c] && (best < 0 || cost[r][c] < cost[r][best])) best = c;
+    }
+    taken[best] = true;
+    greedy += cost[r][best];
+  }
+  EXPECT_LE(AssignmentCost(cost, m), greedy + 1e-9);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,58 @@
+#include "image/integral.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dievent {
+namespace {
+
+TEST(IntegralImage, SumsMatchBruteForce) {
+  Rng rng(51);
+  ImageU8 img(17, 13);
+  for (uint8_t& v : img.data()) v = static_cast<uint8_t>(rng.NextBelow(256));
+  IntegralImage ii(img);
+  for (int trial = 0; trial < 200; ++trial) {
+    int x0 = static_cast<int>(rng.NextBelow(17));
+    int y0 = static_cast<int>(rng.NextBelow(13));
+    int w = static_cast<int>(rng.NextBelow(17 - x0)) + 1;
+    int h = static_cast<int>(rng.NextBelow(13 - y0)) + 1;
+    uint64_t expect = 0;
+    for (int y = y0; y < y0 + h; ++y)
+      for (int x = x0; x < x0 + w; ++x) expect += img.at(x, y);
+    EXPECT_EQ(ii.Sum(x0, y0, w, h), expect);
+  }
+}
+
+TEST(IntegralImage, FullImageSum) {
+  ImageU8 img(4, 4);
+  img.Fill(10);
+  IntegralImage ii(img);
+  EXPECT_EQ(ii.Sum(0, 0, 4, 4), 160u);
+}
+
+TEST(IntegralImage, EmptyWindowIsZero) {
+  ImageU8 img(4, 4);
+  img.Fill(255);
+  IntegralImage ii(img);
+  EXPECT_EQ(ii.Sum(2, 2, 0, 0), 0u);
+  EXPECT_EQ(ii.Mean(2, 2, 0, 0), 0.0);
+}
+
+TEST(IntegralImage, MeanOfUniformIsValue) {
+  ImageU8 img(8, 8);
+  img.Fill(42);
+  IntegralImage ii(img);
+  EXPECT_DOUBLE_EQ(ii.Mean(1, 2, 5, 3), 42.0);
+}
+
+TEST(IntegralImage, NoOverflowOnLargeBrightImage) {
+  ImageU8 img(640, 480);
+  img.Fill(255);
+  IntegralImage ii(img);
+  EXPECT_EQ(ii.Sum(0, 0, 640, 480),
+            static_cast<uint64_t>(640) * 480 * 255);
+}
+
+}  // namespace
+}  // namespace dievent

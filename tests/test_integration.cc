@@ -1,0 +1,164 @@
+// End-to-end integration: the full DiEvent pipeline (render -> vision ->
+// multilayer analysis -> metadata repository -> queries) on the paper's
+// prototype scenario, plus persistence round trips.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "sim/scenario.h"
+
+namespace dievent {
+namespace {
+
+constexpr int kP1 = 0, kP2 = 1, kP3 = 2, kP4 = 3;
+
+/// One shared full run (vision mode, every 5th frame) reused across tests;
+/// building it once keeps the suite fast.
+struct FullRun {
+  DiningScene scene = MakeMeetingScenario();
+  MetadataRepository repo;
+  DiEventReport report;
+
+  FullRun() {
+    PipelineOptions opt;
+    opt.mode = PipelineMode::kFullVision;
+    opt.frame_stride = 5;
+    opt.eye_contact.angular_tolerance_deg = 12.0;
+    opt.analyze_emotions = true;
+    opt.emotion.samples_per_class = 100;
+    opt.emotion.train.epochs = 30;
+    opt.parse_video = true;
+    DiEventPipeline pipeline(&scene, opt);
+    auto result = pipeline.Run(&repo);
+    EXPECT_TRUE(result.ok()) << result.status();
+    if (result.ok()) report = result.TakeValue();
+  }
+};
+
+FullRun& SharedRun() {
+  static FullRun* run = new FullRun();
+  return *run;
+}
+
+TEST(Integration, VisionPipelineRecoversDominance) {
+  const DiEventReport& report = SharedRun().report;
+  EXPECT_EQ(report.frames_processed, 122);
+  // The paper's headline finding survives the full vision stack:
+  // P1 (yellow) dominates the meeting (maximum column sum), and the
+  // single largest directed count is P2 -> P1 (as in the ground truth,
+  // where it is 430 of 610 frames).
+  EXPECT_EQ(report.dominant_participant, kP1);
+  long long best = -1;
+  int best_x = -1, best_y = -1;
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      if (report.summary.At(x, y) > best) {
+        best = report.summary.At(x, y);
+        best_x = x;
+        best_y = y;
+      }
+    }
+  }
+  EXPECT_EQ(best_x, kP2);
+  EXPECT_EQ(best_y, kP1);
+}
+
+TEST(Integration, VisionAccuracyIsReported) {
+  const PipelineAccuracy& acc = SharedRun().report.accuracy;
+  EXPECT_GT(acc.detection_coverage, 0.9);
+  EXPECT_GT(acc.lookat_cell_accuracy, 0.85);
+  EXPECT_GT(acc.edge_precision, 0.7);
+  EXPECT_GT(acc.edge_recall, 0.7);
+  EXPECT_LT(acc.mean_position_error_m, 0.15);
+  EXPECT_GT(acc.emotion_accuracy, 0.4);  // 7-way, small far faces
+}
+
+TEST(Integration, MeetingParsesAsSingleShot) {
+  const DiEventReport& report = SharedRun().report;
+  // One continuous recording: one scene, one shot.
+  EXPECT_EQ(report.structure.NumShots(), 1);
+  EXPECT_EQ(report.structure.scenes.size(), 1u);
+}
+
+TEST(Integration, RepositoryIsQueryable) {
+  MetadataRepository& repo = SharedRun().repo;
+  EXPECT_EQ(repo.lookat_records().size(), 122u);
+  EXPECT_EQ(repo.overall_records().size(), 122u);
+  EXPECT_GT(repo.emotion_records().size(), 200u);
+
+  // Around t=10s (Fig. 7) the repository must report P1<->P3 contact.
+  auto ec_frames =
+      Query(&repo).EyeContact(kP1, kP3).TimeRange(8.0, 12.0).Execute();
+  EXPECT_GT(ec_frames.size(), 5u);
+
+  // Around t=15s (Fig. 8) everyone watches P1.
+  auto attention =
+      Query(&repo).AnyoneLookingAt(kP1).TimeRange(14.0, 16.0).Execute();
+  EXPECT_GT(attention.size(), 3u);
+}
+
+TEST(Integration, EyeContactEpisodesSurfaceP1P3) {
+  const DiEventReport& report = SharedRun().report;
+  bool found = false;
+  for (const auto& ep : report.eye_contact_episodes) {
+    if (ep.a == kP1 && ep.b == kP3 && ep.Length() > 50) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Integration, RepositoryPersistsAndReloads) {
+  MetadataRepository& repo = SharedRun().repo;
+  std::string path = testing::TempDir() + "/integration.dmr";
+  ASSERT_TRUE(repo.Save(path).ok());
+  auto loaded = MetadataRepository::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().lookat_records().size(),
+            repo.lookat_records().size());
+  // Queries work identically on the reloaded repository.
+  auto a = Query(&repo).EyeContact(kP1, kP3).Execute();
+  auto b = Query(&loaded.value()).EyeContact(kP1, kP3).Execute();
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(Integration, GroundTruthModeIsExactOnTheSameScenario) {
+  DiningScene scene = MakeMeetingScenario();
+  PipelineOptions opt;
+  opt.mode = PipelineMode::kGroundTruth;
+  opt.parse_video = false;
+  DiEventPipeline pipeline(&scene, opt);
+  MetadataRepository repo;
+  auto report = pipeline.Run(&repo);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().summary.At(kP1, kP3), 357);
+  // The vision run's P1->P3 rate should be within 20% of exact
+  // (1/5th sampling and estimator noise both included).
+  double exact_rate = 357.0 / 610.0;
+  double vision_rate =
+      static_cast<double>(SharedRun().report.summary.At(kP1, kP3)) /
+      SharedRun().report.frames_processed;
+  EXPECT_NEAR(vision_rate, exact_rate, 0.2 * exact_rate);
+}
+
+TEST(Integration, EmotionTimelineReflectsScript) {
+  // P1 scripted happy 5-15 s, P3 happy 10-20 s: overall happiness around
+  // t=12 s must exceed the happiness around t=30 s (all neutral).
+  const DiEventReport& report = SharedRun().report;
+  double mid = 0, late = 0;
+  int mid_n = 0, late_n = 0;
+  for (const auto& oe : report.emotion_timeline) {
+    if (oe.timestamp_s > 11 && oe.timestamp_s < 14) {
+      mid += oe.overall_happiness;
+      ++mid_n;
+    }
+    if (oe.timestamp_s > 28 && oe.timestamp_s < 38) {
+      late += oe.overall_happiness;
+      ++late_n;
+    }
+  }
+  ASSERT_GT(mid_n, 0);
+  ASSERT_GT(late_n, 0);
+  EXPECT_GT(mid / mid_n, late / late_n + 0.15);
+}
+
+}  // namespace
+}  // namespace dievent

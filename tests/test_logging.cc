@@ -1,0 +1,68 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/emotion.h"
+
+namespace dievent {
+namespace {
+
+TEST(Logging, ThresholdRoundTrips) {
+  LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kDebug);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kDebug);
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(original);
+}
+
+TEST(Logging, BelowThresholdIsSilent) {
+  LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  DIEVENT_LOG(Info) << "should not appear";
+  DIEVENT_LOG(Warning) << "also below";  // kWarning < kError
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty()) << err;
+  SetLogThreshold(original);
+}
+
+TEST(Logging, AtOrAboveThresholdEmitsWithLocation) {
+  LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  DIEVENT_LOG(Error) << "disk " << 42 << " gone";
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("ERROR"), std::string::npos);
+  EXPECT_NE(err.find("test_logging.cc"), std::string::npos);
+  EXPECT_NE(err.find("disk 42 gone"), std::string::npos);
+  SetLogThreshold(original);
+}
+
+TEST(Logging, CheckPassesSilently) {
+  testing::internal::CaptureStderr();
+  DIEVENT_CHECK(1 + 1 == 2) << "never evaluated";
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LoggingDeath, CheckFailureAborts) {
+  EXPECT_DEATH({ DIEVENT_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(EmotionVocabulary, NamesAndValences) {
+  EXPECT_EQ(EmotionName(Emotion::kHappy), "happy");
+  EXPECT_EQ(EmotionName(Emotion::kDisgust), "disgust");
+  EXPECT_EQ(kAllEmotions.size(), static_cast<size_t>(kNumEmotions));
+  // Valence signs match intuition and stay in [-1, 1].
+  EXPECT_GT(EmotionValence(Emotion::kHappy), 0);
+  EXPECT_LT(EmotionValence(Emotion::kSad), 0);
+  EXPECT_LT(EmotionValence(Emotion::kAngry), 0);
+  EXPECT_EQ(EmotionValence(Emotion::kNeutral), 0);
+  for (Emotion e : kAllEmotions) {
+    EXPECT_GE(EmotionValence(e), -1.0);
+    EXPECT_LE(EmotionValence(e), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dievent

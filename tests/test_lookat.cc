@@ -1,0 +1,111 @@
+// Tests for the look-at matrix (paper Fig. 4) and its summary (Fig. 9).
+
+#include "analysis/lookat_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+TEST(LookAtMatrix, SetAndGet) {
+  LookAtMatrix m(3);
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_FALSE(m.At(0, 1));
+  m.Set(0, 1, true);
+  EXPECT_TRUE(m.At(0, 1));
+  EXPECT_FALSE(m.At(1, 0));
+  m.Set(0, 1, false);
+  EXPECT_FALSE(m.At(0, 1));
+}
+
+TEST(LookAtMatrix, EyeContactRequiresMutuality) {
+  // Paper: "if the values in both positions (x, y) and (y, x) equal 1,
+  // then there is an EC between participants x and y".
+  LookAtMatrix m(4);
+  m.Set(0, 2, true);
+  EXPECT_TRUE(m.EyeContactPairs().empty());
+  m.Set(2, 0, true);
+  auto pairs = m.EyeContactPairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(0, 2));
+  // Additional one-way edges change nothing.
+  m.Set(1, 3, true);
+  EXPECT_EQ(m.EyeContactPairs().size(), 1u);
+}
+
+TEST(LookAtMatrix, DirectedEdgesEnumeration) {
+  LookAtMatrix m(3);
+  m.Set(0, 1, true);
+  m.Set(2, 1, true);
+  auto edges = m.DirectedEdges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 1));
+  EXPECT_EQ(edges[1], std::make_pair(2, 1));
+}
+
+TEST(LookAtSummary, AccumulateCountsFrames) {
+  LookAtSummary sum(2);
+  LookAtMatrix a(2), b(2);
+  a.Set(0, 1, true);
+  b.Set(0, 1, true);
+  b.Set(1, 0, true);
+  ASSERT_TRUE(sum.Accumulate(a).ok());
+  ASSERT_TRUE(sum.Accumulate(b).ok());
+  ASSERT_TRUE(sum.Accumulate(a).ok());
+  EXPECT_EQ(sum.frames_accumulated(), 3);
+  EXPECT_EQ(sum.At(0, 1), 3);
+  EXPECT_EQ(sum.At(1, 0), 1);
+  EXPECT_EQ(sum.At(0, 0), 0);
+}
+
+TEST(LookAtSummary, RejectsSizeMismatch) {
+  LookAtSummary sum(2);
+  LookAtMatrix wrong(3);
+  EXPECT_EQ(sum.Accumulate(wrong).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LookAtSummary, ColumnAndRowSums) {
+  LookAtSummary sum(3);
+  LookAtMatrix m(3);
+  m.Set(0, 2, true);
+  m.Set(1, 2, true);
+  m.Set(2, 0, true);
+  ASSERT_TRUE(sum.Accumulate(m).ok());
+  ASSERT_TRUE(sum.Accumulate(m).ok());
+  EXPECT_EQ(sum.ColumnSum(2), 4);  // 0->2 and 1->2, twice
+  EXPECT_EQ(sum.ColumnSum(0), 2);
+  EXPECT_EQ(sum.ColumnSum(1), 0);
+  EXPECT_EQ(sum.RowSum(2), 2);
+  EXPECT_EQ(sum.RowSum(0), 2);
+}
+
+TEST(LookAtSummary, DominantIsMaxColumn) {
+  // The paper's dominance rule: maximum column sum.
+  LookAtSummary sum(3);
+  LookAtMatrix m(3);
+  m.Set(0, 1, true);
+  m.Set(2, 1, true);
+  ASSERT_TRUE(sum.Accumulate(m).ok());
+  EXPECT_EQ(sum.DominantParticipant(), 1);
+}
+
+TEST(LookAtSummary, DominantTieBreaksToLowerId) {
+  LookAtSummary sum(2);
+  EXPECT_EQ(sum.DominantParticipant(), 0);  // all-zero: lowest id
+}
+
+TEST(LookAtSummary, ToStringShowsCountsAndNames) {
+  LookAtSummary sum(2);
+  LookAtMatrix m(2);
+  m.Set(0, 1, true);
+  for (int i = 0; i < 357; ++i) ASSERT_TRUE(sum.Accumulate(m).ok());
+  std::string s = sum.ToString({"P1", "P2"});
+  EXPECT_NE(s.find("357"), std::string::npos);
+  EXPECT_NE(s.find("P1"), std::string::npos);
+  // Default names kick in when none are given.
+  std::string s2 = sum.ToString();
+  EXPECT_NE(s2.find("P2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,88 @@
+#include "geometry/mat3.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+void ExpectMatNear(const Mat3& a, const Mat3& b, double tol = 1e-12) {
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(a(r, c), b(r, c), tol) << "(" << r << "," << c << ")";
+}
+
+TEST(Mat3, IdentityActsTrivially) {
+  Mat3 i = Mat3::Identity();
+  Vec3 v{1, -2, 3};
+  EXPECT_EQ(i * v, v);
+  ExpectMatNear(i * i, i);
+}
+
+TEST(Mat3, RowColConstruction) {
+  Mat3 m = Mat3::FromRows({1, 2, 3}, {4, 5, 6}, {7, 8, 9});
+  EXPECT_EQ(m(1, 2), 6);
+  EXPECT_EQ(m.Row(2), (Vec3{7, 8, 9}));
+  EXPECT_EQ(m.Col(0), (Vec3{1, 4, 7}));
+  Mat3 mc = Mat3::FromCols({1, 4, 7}, {2, 5, 8}, {3, 6, 9});
+  ExpectMatNear(m, mc);
+}
+
+TEST(Mat3, MatrixVectorProduct) {
+  Mat3 m = Mat3::FromRows({1, 0, 0}, {0, 2, 0}, {0, 0, 3});
+  EXPECT_EQ(m * Vec3(1, 1, 1), (Vec3{1, 2, 3}));
+}
+
+TEST(Mat3, TransposeAndProduct) {
+  Mat3 a = Mat3::FromRows({1, 2, 0}, {0, 1, 4}, {5, 0, 1});
+  ExpectMatNear(a.Transposed().Transposed(), a);
+  // (AB)^T == B^T A^T
+  Mat3 b = Mat3::FromRows({2, 0, 1}, {1, 1, 0}, {0, 3, 1});
+  ExpectMatNear((a * b).Transposed(), b.Transposed() * a.Transposed());
+}
+
+TEST(Mat3, DeterminantAndInverse) {
+  Mat3 a = Mat3::FromRows({2, 0, 0}, {0, 3, 0}, {0, 0, 4});
+  EXPECT_DOUBLE_EQ(a.Determinant(), 24.0);
+  ExpectMatNear(a * a.Inverse(), Mat3::Identity());
+  Mat3 b = Mat3::FromRows({1, 2, 3}, {0, 1, 4}, {5, 6, 0});
+  ExpectMatNear(b * b.Inverse(), Mat3::Identity(), 1e-9);
+  ExpectMatNear(b.Inverse() * b, Mat3::Identity(), 1e-9);
+}
+
+TEST(Mat3, SingularInverseIsZero) {
+  Mat3 s = Mat3::FromRows({1, 2, 3}, {2, 4, 6}, {0, 0, 1});
+  ExpectMatNear(s.Inverse(), Mat3::Zero());
+}
+
+TEST(Mat3, RotationsAreOrthonormal) {
+  for (double rad : {0.1, 1.0, 2.5, -0.7}) {
+    for (const Mat3& r :
+         {Mat3::RotX(rad), Mat3::RotY(rad), Mat3::RotZ(rad)}) {
+      ExpectMatNear(r * r.Transposed(), Mat3::Identity(), 1e-12);
+      EXPECT_NEAR(r.Determinant(), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Mat3, RotZQuarterTurn) {
+  Mat3 r = Mat3::RotZ(DegToRad(90));
+  Vec3 v = r * Vec3{1, 0, 0};
+  EXPECT_NEAR(v.x, 0, 1e-12);
+  EXPECT_NEAR(v.y, 1, 1e-12);
+  EXPECT_NEAR(v.z, 0, 1e-12);
+}
+
+TEST(Mat3, RotXQuarterTurn) {
+  Vec3 v = Mat3::RotX(DegToRad(90)) * Vec3{0, 1, 0};
+  EXPECT_NEAR(v.z, 1, 1e-12);
+  EXPECT_NEAR(v.y, 0, 1e-12);
+}
+
+TEST(Mat3, AdditionAndScaling) {
+  Mat3 a = Mat3::Identity();
+  Mat3 two = a * 2.0;
+  ExpectMatNear(a + a, two);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,151 @@
+#include "ml/neural_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+namespace dievent {
+namespace {
+
+/// Two-ring XOR-ish dataset: class is the XOR of sign bits.
+std::vector<TrainSample> XorData(int n, Rng* rng) {
+  std::vector<TrainSample> out;
+  for (int i = 0; i < n; ++i) {
+    float x = static_cast<float>(rng->Uniform(-1, 1));
+    float y = static_cast<float>(rng->Uniform(-1, 1));
+    TrainSample s;
+    s.features = {x, y};
+    s.label = ((x > 0) != (y > 0)) ? 1 : 0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(NeuralNet, CreateValidates) {
+  Rng rng(1);
+  EXPECT_FALSE(NeuralNet::Create({5}, &rng).ok());
+  EXPECT_FALSE(NeuralNet::Create({5, 0, 2}, &rng).ok());
+  EXPECT_FALSE(NeuralNet::Create({5, 3}, nullptr).ok());
+  auto net = NeuralNet::Create({5, 3, 2}, &rng);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net.value().InputSize(), 5);
+  EXPECT_EQ(net.value().OutputSize(), 2);
+}
+
+TEST(NeuralNet, PredictIsSoftmaxDistribution) {
+  Rng rng(2);
+  auto net = NeuralNet::Create({4, 8, 3}, &rng);
+  ASSERT_TRUE(net.ok());
+  auto probs = net.value().Predict({0.1f, -0.2f, 0.3f, 0.4f});
+  ASSERT_EQ(probs.size(), 3u);
+  float total = 0;
+  for (float p : probs) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5);
+}
+
+TEST(NeuralNet, LearnsXor) {
+  Rng rng(3);
+  auto net = NeuralNet::Create({2, 16, 2}, &rng);
+  ASSERT_TRUE(net.ok());
+  auto train = XorData(400, &rng);
+  TrainOptions opt;
+  opt.epochs = 120;
+  opt.learning_rate = 0.1;
+  auto history = net.value().Train(train, opt, &rng);
+  ASSERT_TRUE(history.ok()) << history.status();
+  auto test = XorData(200, &rng);
+  EXPECT_GT(net.value().Evaluate(test), 0.93);
+  // Loss decreased over training.
+  EXPECT_LT(history.value().back().mean_loss,
+            history.value().front().mean_loss);
+}
+
+TEST(NeuralNet, TrainValidatesInputs) {
+  Rng rng(4);
+  auto net = NeuralNet::Create({2, 4, 2}, &rng);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net.value().Train({}, {}, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+  TrainSample bad_features;
+  bad_features.features = {1.0f, 2.0f, 3.0f};
+  bad_features.label = 0;
+  EXPECT_FALSE(net.value().Train({bad_features}, {}, &rng).ok());
+  TrainSample bad_label;
+  bad_label.features = {1.0f, 2.0f};
+  bad_label.label = 7;
+  EXPECT_FALSE(net.value().Train({bad_label}, {}, &rng).ok());
+}
+
+TEST(NeuralNet, TargetLossStopsEarly) {
+  Rng rng(5);
+  auto net = NeuralNet::Create({2, 16, 2}, &rng);
+  ASSERT_TRUE(net.ok());
+  auto train = XorData(300, &rng);
+  TrainOptions opt;
+  opt.epochs = 500;
+  opt.learning_rate = 0.1;
+  opt.target_loss = 0.3;
+  auto history = net.value().Train(train, opt, &rng);
+  ASSERT_TRUE(history.ok());
+  EXPECT_LT(history.value().size(), 500u);
+  EXPECT_LT(history.value().back().mean_loss, 0.3);
+}
+
+TEST(NeuralNet, DeterministicGivenSeed) {
+  auto run = [] {
+    Rng rng(42);
+    auto net = NeuralNet::Create({2, 8, 2}, &rng);
+    auto train = XorData(100, &rng);
+    TrainOptions opt;
+    opt.epochs = 5;
+    (void)net.value().Train(train, opt, &rng);
+    return net.value().Predict({0.5f, -0.5f});
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(NeuralNet, SaveLoadRoundTrip) {
+  Rng rng(6);
+  auto net = NeuralNet::Create({3, 5, 2}, &rng);
+  ASSERT_TRUE(net.ok());
+  std::string path = testing::TempDir() + "/net.bin";
+  ASSERT_TRUE(net.value().Save(path).ok());
+  auto loaded = NeuralNet::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::vector<float> in = {0.3f, -0.7f, 1.1f};
+  auto pa = net.value().Predict(in);
+  auto pb = loaded.value().Predict(in);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_FLOAT_EQ(pa[i], pb[i]);
+}
+
+TEST(NeuralNet, LoadRejectsGarbage) {
+  std::string path = testing::TempDir() + "/garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a network";
+  }
+  EXPECT_EQ(NeuralNet::Load(path).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(NeuralNet::Load("/no/such/file").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(NeuralNet, ClassifyReturnsArgmax) {
+  Rng rng(7);
+  auto net = NeuralNet::Create({2, 4, 3}, &rng);
+  ASSERT_TRUE(net.ok());
+  std::vector<float> in = {1.0f, -1.0f};
+  auto probs = net.value().Predict(in);
+  int cls = net.value().Classify(in);
+  for (float p : probs) EXPECT_LE(p, probs[cls]);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,109 @@
+// Tests for overall-emotion estimation (paper Fig. 5: OH percentage).
+
+#include "analysis/overall_emotion.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+EmotionObservation Obs(int p, Emotion e, double conf = 1.0) {
+  EmotionObservation o;
+  o.participant = p;
+  o.emotion = e;
+  o.confidence = conf;
+  return o;
+}
+
+EmotionObservation Missing(int p) {
+  EmotionObservation o;
+  o.participant = p;
+  return o;
+}
+
+TEST(OverallEmotion, HappinessFractionOfObserved) {
+  OverallEmotionOptions opt;
+  opt.smoothing_alpha = 1.0;  // raw values
+  OverallEmotionEstimator est(opt);
+  OverallEmotion oe = est.Update(0, 0.0,
+                                 {Obs(0, Emotion::kHappy),
+                                  Obs(1, Emotion::kHappy),
+                                  Obs(2, Emotion::kSad),
+                                  Obs(3, Emotion::kNeutral)});
+  EXPECT_EQ(oe.observed, 4);
+  EXPECT_DOUBLE_EQ(oe.overall_happiness, 0.5);
+  EXPECT_EQ(oe.counts[static_cast<int>(Emotion::kHappy)], 2);
+  EXPECT_EQ(oe.counts[static_cast<int>(Emotion::kSad)], 1);
+}
+
+TEST(OverallEmotion, MissingObservationsExcluded) {
+  OverallEmotionOptions opt;
+  opt.smoothing_alpha = 1.0;
+  OverallEmotionEstimator est(opt);
+  OverallEmotion oe = est.Update(
+      0, 0.0, {Obs(0, Emotion::kHappy), Missing(1), Missing(2)});
+  EXPECT_EQ(oe.observed, 1);
+  EXPECT_DOUBLE_EQ(oe.overall_happiness, 1.0);
+}
+
+TEST(OverallEmotion, EmptyFrameIsNeutral) {
+  OverallEmotionOptions opt;
+  opt.smoothing_alpha = 1.0;
+  OverallEmotionEstimator est(opt);
+  OverallEmotion oe = est.Update(0, 0.0, {});
+  EXPECT_EQ(oe.observed, 0);
+  EXPECT_DOUBLE_EQ(oe.overall_happiness, 0.0);
+  EXPECT_DOUBLE_EQ(oe.mean_valence, 0.0);
+}
+
+TEST(OverallEmotion, ValenceSignsMatchEmotions) {
+  OverallEmotionOptions opt;
+  opt.smoothing_alpha = 1.0;
+  OverallEmotionEstimator happy_est(opt);
+  EXPECT_GT(happy_est.Update(0, 0, {Obs(0, Emotion::kHappy)}).mean_valence,
+            0.5);
+  OverallEmotionEstimator sad_est(opt);
+  EXPECT_LT(sad_est.Update(0, 0, {Obs(0, Emotion::kDisgust)}).mean_valence,
+            -0.5);
+}
+
+TEST(OverallEmotion, ConfidenceWeightsValence) {
+  OverallEmotionOptions opt;
+  opt.smoothing_alpha = 1.0;
+  OverallEmotionEstimator est(opt);
+  // A confident happy outweighs an unsure disgust.
+  OverallEmotion oe = est.Update(0, 0.0,
+                                 {Obs(0, Emotion::kHappy, 0.9),
+                                  Obs(1, Emotion::kDisgust, 0.1)});
+  EXPECT_GT(oe.mean_valence, 0.0);
+}
+
+TEST(OverallEmotion, SmoothingDampsSpikes) {
+  OverallEmotionOptions opt;
+  opt.smoothing_alpha = 0.25;
+  OverallEmotionEstimator est(opt);
+  for (int f = 0; f < 10; ++f) {
+    est.Update(f, f / 10.0, {Obs(0, Emotion::kNeutral)});
+  }
+  // A single happy frame cannot jump the smoothed OH to 1.
+  OverallEmotion spike = est.Update(10, 1.0, {Obs(0, Emotion::kHappy)});
+  EXPECT_GT(spike.overall_happiness, 0.2);
+  EXPECT_LT(spike.overall_happiness, 0.35);
+}
+
+TEST(OverallEmotion, TimelineAndMeansAccumulate) {
+  OverallEmotionOptions opt;
+  opt.smoothing_alpha = 1.0;
+  OverallEmotionEstimator est(opt);
+  est.Update(0, 0.0, {Obs(0, Emotion::kHappy)});
+  est.Update(1, 0.1, {Obs(0, Emotion::kSad)});
+  ASSERT_EQ(est.timeline().size(), 2u);
+  EXPECT_DOUBLE_EQ(est.MeanHappiness(), 0.5);
+  EXPECT_NEAR(est.MeanValence(), (1.0 - 0.7) / 2.0, 1e-9);
+  est.Reset();
+  EXPECT_TRUE(est.timeline().empty());
+  EXPECT_DOUBLE_EQ(est.MeanHappiness(), 0.0);
+}
+
+}  // namespace
+}  // namespace dievent

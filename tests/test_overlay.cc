@@ -1,0 +1,100 @@
+#include "vision/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include "render/scene_renderer.h"
+#include "sim/scenario.h"
+#include "vision/face_analyzer.h"
+
+namespace dievent {
+namespace {
+
+int CountColor(const ImageRgb& img, const Rgb& c) {
+  int n = 0;
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      if (GetRgb(img, x, y) == c) ++n;
+  return n;
+}
+
+FaceObservation SimpleObservation(bool front, bool gaze) {
+  FaceObservation obs;
+  obs.detection.bbox = BBox{40, 40, 40, 38};
+  obs.detection.center_px = {60, 60};
+  obs.detection.radius_px = 20;
+  obs.detection.front_facing = front;
+  obs.identity = 2;
+  if (gaze) {
+    obs.has_gaze = true;
+    obs.gaze_camera = Vec3{0.7, 0.0, -0.71};
+  }
+  return obs;
+}
+
+TEST(Overlay, DrawsBoxInClassColor) {
+  ImageRgb frame(160, 120, 3);
+  OverlayOptions opt;
+  ImageRgb front = RenderOverlay(frame, {SimpleObservation(true, false)},
+                                 opt);
+  EXPECT_GT(CountColor(front, opt.box_color_front), 100);
+  EXPECT_EQ(CountColor(front, opt.box_color_back), 0);
+  ImageRgb back = RenderOverlay(frame, {SimpleObservation(false, false)},
+                                opt);
+  EXPECT_GT(CountColor(back, opt.box_color_back), 100);
+}
+
+TEST(Overlay, GazeArrowOnlyWhenPresent) {
+  ImageRgb frame(160, 120, 3);
+  OverlayOptions opt;
+  ImageRgb with = RenderOverlay(frame, {SimpleObservation(true, true)},
+                                opt);
+  ImageRgb without = RenderOverlay(frame, {SimpleObservation(true, false)},
+                                   opt);
+  EXPECT_GT(CountColor(with, opt.gaze_color), 20);
+  EXPECT_EQ(CountColor(without, opt.gaze_color), 0);
+}
+
+TEST(Overlay, OptionsDisableLayers) {
+  ImageRgb frame(160, 120, 3);
+  OverlayOptions opt;
+  opt.draw_gaze = false;
+  opt.draw_identity = false;
+  ImageRgb img = RenderOverlay(frame, {SimpleObservation(true, true)}, opt);
+  EXPECT_EQ(CountColor(img, opt.gaze_color), 0);
+}
+
+TEST(Overlay, OriginalFrameUntouched) {
+  ImageRgb frame(160, 120, 3);
+  ImageRgb copy = frame;
+  (void)RenderOverlay(frame, {SimpleObservation(true, true)});
+  EXPECT_TRUE(frame == copy);
+}
+
+TEST(DrawLabel, RendersGlyphPixels) {
+  ImageRgb frame(60, 20, 3);
+  DrawLabel(&frame, {2, 2}, "P3", Rgb{255, 255, 255});
+  int lit = CountColor(frame, Rgb{255, 255, 255});
+  EXPECT_GT(lit, 15);
+  EXPECT_LT(lit, 70);
+  // Unknown glyphs are skipped, not drawn as garbage.
+  ImageRgb frame2(60, 20, 3);
+  DrawLabel(&frame2, {2, 2}, "!?", Rgb{255, 255, 255});
+  EXPECT_EQ(CountColor(frame2, Rgb{255, 255, 255}), 0);
+}
+
+TEST(Overlay, EndToEndOnRenderedScene) {
+  // The overlay of a real analyzed frame draws something for every
+  // participant without crashing at the borders.
+  DiningScene scene = MakeMeetingScenario();
+  ImageRgb frame = RenderViewAt(scene, 10.0, 1, RenderOptions{});
+  FaceAnalyzer analyzer;
+  auto obs = analyzer.Analyze(scene.rig().camera(1), 1, frame);
+  ASSERT_EQ(obs.size(), 4u);
+  OverlayOptions opt;
+  ImageRgb annotated = RenderOverlay(frame, obs, opt);
+  EXPECT_FALSE(annotated == frame);
+  EXPECT_GT(CountColor(annotated, opt.box_color_front), 50);
+}
+
+}  // namespace
+}  // namespace dievent

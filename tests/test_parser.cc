@@ -1,0 +1,103 @@
+// End-to-end video parsing (paper Fig. 3 hierarchy).
+
+#include "video/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/scenario.h"
+#include "video/synthetic_source.h"
+
+namespace dievent {
+namespace {
+
+TEST(VideoParser, SingleShotVideo) {
+  std::vector<ImageRgb> frames;
+  for (int i = 0; i < 40; ++i) {
+    ImageRgb f(32, 32, 3);
+    f.Fill(100);
+    frames.push_back(std::move(f));
+  }
+  MemoryVideoSource src(std::move(frames), 25.0);
+  VideoParser parser;
+  auto vs = parser.Parse(&src);
+  ASSERT_TRUE(vs.ok());
+  EXPECT_EQ(vs.value().num_frames, 40);
+  EXPECT_EQ(vs.value().scenes.size(), 1u);
+  EXPECT_EQ(vs.value().NumShots(), 1);
+  EXPECT_EQ(vs.value().NumKeyFrames(), 1);
+}
+
+TEST(VideoParser, CutsProduceShotsAndScenes) {
+  std::vector<ImageRgb> frames;
+  Rng rng(77);
+  auto push_shot = [&](int n, Rgb color) {
+    for (int i = 0; i < n; ++i) {
+      ImageRgb f(48, 48, 3);
+      for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 48; ++x) PutRgb(&f, x, y, color);
+      frames.push_back(std::move(f));
+    }
+  };
+  push_shot(30, Rgb{200, 40, 40});
+  push_shot(30, Rgb{40, 200, 40});
+  push_shot(30, Rgb{200, 40, 40});  // back to the first setting
+  MemoryVideoSource src(std::move(frames), 25.0);
+  VideoParser parser;
+  auto vs = parser.Parse(&src);
+  ASSERT_TRUE(vs.ok());
+  EXPECT_EQ(vs.value().NumShots(), 3);
+  // Shots tile the frame range.
+  auto shots = vs.value().AllShots();
+  EXPECT_EQ(shots.front().begin_frame, 0);
+  EXPECT_EQ(shots.back().end_frame, 90);
+  for (size_t i = 1; i < shots.size(); ++i) {
+    EXPECT_EQ(shots[i].begin_frame, shots[i - 1].end_frame);
+  }
+  // Each shot has at least one key frame.
+  for (const auto& s : shots) EXPECT_GE(s.key_frames.size(), 1u);
+}
+
+TEST(VideoParser, EmptyHistogramsYieldEmptyStructure) {
+  VideoParser parser;
+  VideoStructure vs = parser.ParseFromHistograms({}, 25.0);
+  EXPECT_EQ(vs.num_frames, 0);
+  EXPECT_TRUE(vs.scenes.empty());
+}
+
+TEST(VideoParser, MeetingSceneWithScriptedCuts) {
+  // Inject two background cuts into the meeting video; the parser must
+  // recover three shots.
+  DiningScene scene = MakeMeetingScenario();
+  RenderScripts scripts;
+  ASSERT_TRUE(scripts.background.Add(0.0, 13.0, Rgb{90, 105, 125}).ok());
+  ASSERT_TRUE(scripts.background.Add(13.0, 26.0, Rgb{40, 45, 55}).ok());
+  ASSERT_TRUE(scripts.background.Add(26.0, 41.0, Rgb{150, 160, 170}).ok());
+  SyntheticVideoSource src(&scene, 0, RenderOptions{}, scripts);
+  ShotBoundaryDetector det;
+  std::vector<Histogram> sigs;
+  for (int f = 0; f < src.NumFrames(); f += 2) {
+    sigs.push_back(det.Signature(src.GetFrame(f).value().image));
+  }
+  VideoParser parser;
+  VideoStructure vs = parser.ParseFromHistograms(sigs, 15.25 / 2);
+  EXPECT_EQ(vs.NumShots(), 3);
+}
+
+TEST(VideoStructure, ToStringSummarizes) {
+  VideoStructure vs;
+  vs.num_frames = 100;
+  vs.fps = 25.0;
+  SceneSegment scene;
+  scene.shots.push_back(Shot{0, 60, {0, 30}});
+  scene.shots.push_back(Shot{60, 100, {60}});
+  vs.scenes.push_back(scene);
+  std::string s = vs.ToString();
+  EXPECT_NE(s.find("100 frames"), std::string::npos);
+  EXPECT_NE(s.find("2 shot(s)"), std::string::npos);
+  EXPECT_NE(s.find("2 key frame(s)"), std::string::npos);
+  EXPECT_EQ(vs.NumKeyFrames(), 3);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,88 @@
+#include "image/pnm_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace dievent {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(PnmIo, PgmRoundTrip) {
+  ImageU8 img(7, 5);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 7; ++x)
+      img.at(x, y) = static_cast<uint8_t>(x * 30 + y);
+  std::string path = TempPath("roundtrip.pgm");
+  ASSERT_TRUE(WritePgm(img, path).ok());
+  auto back = ReadPgm(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back.value() == img);
+}
+
+TEST(PnmIo, PpmRoundTrip) {
+  ImageRgb img(3, 4, 3);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 3; ++x)
+      PutRgb(&img, x, y,
+             Rgb{static_cast<uint8_t>(x * 80), static_cast<uint8_t>(y * 60),
+                 200});
+  std::string path = TempPath("roundtrip.ppm");
+  ASSERT_TRUE(WritePpm(img, path).ok());
+  auto back = ReadPpm(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back.value() == img);
+}
+
+TEST(PnmIo, WriteRejectsWrongChannelCount) {
+  ImageRgb rgb(2, 2, 3);
+  EXPECT_EQ(WritePgm(rgb, TempPath("bad.pgm")).code(),
+            StatusCode::kInvalidArgument);
+  ImageU8 gray(2, 2, 1);
+  EXPECT_EQ(WritePpm(gray, TempPath("bad.ppm")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PnmIo, ReadMissingFileIsIoError) {
+  EXPECT_EQ(ReadPgm("/nonexistent/nowhere.pgm").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(PnmIo, ReadRejectsBadMagic) {
+  std::string path = TempPath("badmagic.pgm");
+  std::ofstream(path) << "P9\n2 2\n255\nxxxx";
+  EXPECT_EQ(ReadPgm(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(PnmIo, ReadRejectsTruncatedPayload) {
+  std::string path = TempPath("trunc.pgm");
+  std::ofstream(path) << "P5\n10 10\n255\nshort";
+  EXPECT_EQ(ReadPgm(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(PnmIo, ReadSkipsComments) {
+  std::string path = TempPath("comments.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n# a comment line\n2 # inline\n1\n255\n";
+    out.put(static_cast<char>(42));
+    out.put(static_cast<char>(43));
+  }
+  auto img = ReadPgm(path);
+  ASSERT_TRUE(img.ok()) << img.status();
+  EXPECT_EQ(img.value().at(0, 0), 42);
+  EXPECT_EQ(img.value().at(1, 0), 43);
+}
+
+TEST(PnmIo, ReadRejectsNonNumericHeader) {
+  std::string path = TempPath("nonnum.pgm");
+  std::ofstream(path) << "P5\nabc def\n255\n";
+  EXPECT_EQ(ReadPgm(path).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dievent

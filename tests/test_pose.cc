@@ -1,0 +1,115 @@
+// Tests for SE(3) poses — the paper's iTj frame transforms (Eq. 1-2).
+
+#include "geometry/pose.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dievent {
+namespace {
+
+void ExpectVecNear(const Vec3& a, const Vec3& b, double tol = 1e-10) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(a.z, b.z, tol);
+}
+
+Pose RandomPose(Rng* rng) {
+  Vec3 axis{rng->Uniform(-1, 1), rng->Uniform(-1, 1), rng->Uniform(-1, 1)};
+  if (axis.Norm() < 1e-6) axis = {1, 0, 0};
+  Quaternion q = Quaternion::FromAxisAngle(axis, rng->Uniform(-3, 3));
+  Vec3 t{rng->Uniform(-5, 5), rng->Uniform(-5, 5), rng->Uniform(-5, 5)};
+  return Pose::FromQuaternion(q, t);
+}
+
+TEST(Pose, IdentityIsNeutral) {
+  Pose id = Pose::Identity();
+  ExpectVecNear(id.TransformPoint({1, 2, 3}), {1, 2, 3});
+  ExpectVecNear(id.TransformDirection({1, 2, 3}), {1, 2, 3});
+}
+
+TEST(Pose, TranslationAffectsPointsNotDirections) {
+  Pose p(Mat3::Identity(), {10, 0, 0});
+  ExpectVecNear(p.TransformPoint({1, 0, 0}), {11, 0, 0});
+  ExpectVecNear(p.TransformDirection({1, 0, 0}), {1, 0, 0});
+}
+
+TEST(Pose, InverseUndoesTransform) {
+  Rng rng(21);
+  for (int i = 0; i < 30; ++i) {
+    Pose p = RandomPose(&rng);
+    Vec3 v{rng.Uniform(-3, 3), rng.Uniform(-3, 3), rng.Uniform(-3, 3)};
+    ExpectVecNear(p.Inverse().TransformPoint(p.TransformPoint(v)), v, 1e-9);
+    ExpectVecNear(p.TransformPoint(p.Inverse().TransformPoint(v)), v, 1e-9);
+  }
+}
+
+TEST(Pose, CompositionAssociatesLikeEquation1) {
+  // Paper Eq. 2: 1V = 1T2 * 2T4 * 4V — chained transforms.
+  Rng rng(22);
+  for (int i = 0; i < 30; ++i) {
+    Pose t12 = RandomPose(&rng);
+    Pose t24 = RandomPose(&rng);
+    Vec3 v4{rng.Uniform(-3, 3), rng.Uniform(-3, 3), rng.Uniform(-3, 3)};
+    Vec3 chained = (t12 * t24).TransformPoint(v4);
+    Vec3 sequential = t12.TransformPoint(t24.TransformPoint(v4));
+    ExpectVecNear(chained, sequential, 1e-9);
+  }
+}
+
+TEST(Pose, InverseOfCompositionReversesOrder) {
+  Rng rng(23);
+  Pose a = RandomPose(&rng), b = RandomPose(&rng);
+  Pose lhs = (a * b).Inverse();
+  Pose rhs = b.Inverse() * a.Inverse();
+  EXPECT_LT(PoseDistance(lhs, rhs), 1e-9);
+}
+
+TEST(Pose, LookAtAimsZAxisAtTarget) {
+  Vec3 eye{0, 0, 2};
+  Vec3 target{3, 1, 0};
+  Pose p = Pose::LookAt(eye, target);
+  Vec3 fwd = p.rotation.Col(2);
+  ExpectVecNear(fwd, (target - eye).Normalized(), 1e-9);
+  ExpectVecNear(p.translation, eye);
+  // Rotation is orthonormal.
+  Mat3 should_be_identity = p.rotation * p.rotation.Transposed();
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_NEAR(should_be_identity(r, c), r == c ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Pose, LookAtStraightDownHandlesDegenerateUp) {
+  Pose p = Pose::LookAt({0, 0, 5}, {0, 0, 0});  // forward anti-parallel to up
+  Vec3 fwd = p.rotation.Col(2);
+  ExpectVecNear(fwd, {0, 0, -1}, 1e-9);
+  // Still orthonormal.
+  EXPECT_NEAR(p.rotation.Determinant(), 1.0, 1e-9);
+}
+
+TEST(Pose, LookAtYAxisPointsImageDown) {
+  // With Z-up world and a horizontal view, the +Y camera axis (image
+  // "down") must point toward -Z (the floor).
+  Pose p = Pose::LookAt({0, 0, 1}, {5, 0, 1});
+  Vec3 down = p.rotation.Col(1);
+  EXPECT_LT(down.z, -0.99);
+}
+
+TEST(Pose, OrientationQuaternionMatchesRotation) {
+  Rng rng(24);
+  Pose p = RandomPose(&rng);
+  Quaternion q = p.Orientation();
+  Vec3 v{1, 2, 3};
+  ExpectVecNear(q.Rotate(v), p.rotation * v, 1e-9);
+}
+
+TEST(PoseDistance, ZeroForEqualPoses) {
+  Rng rng(25);
+  Pose p = RandomPose(&rng);
+  EXPECT_NEAR(PoseDistance(p, p), 0.0, 1e-12);
+  EXPECT_GT(PoseDistance(p, RandomPose(&rng)), 0.0);
+}
+
+}  // namespace
+}  // namespace dievent

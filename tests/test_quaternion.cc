@@ -1,0 +1,102 @@
+#include "geometry/quaternion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dievent {
+namespace {
+
+void ExpectVecNear(const Vec3& a, const Vec3& b, double tol = 1e-10) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST(Quaternion, IdentityRotatesNothing) {
+  Quaternion q = Quaternion::Identity();
+  ExpectVecNear(q.Rotate({1, 2, 3}), {1, 2, 3});
+}
+
+TEST(Quaternion, AxisAngleQuarterTurnZ) {
+  Quaternion q = Quaternion::FromAxisAngle({0, 0, 1}, DegToRad(90));
+  ExpectVecNear(q.Rotate({1, 0, 0}), {0, 1, 0});
+}
+
+TEST(Quaternion, RotateAgreesWithMatrix) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    Vec3 axis{rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    if (axis.Norm() < 1e-6) continue;
+    double angle = rng.Uniform(-3.1, 3.1);
+    Quaternion q = Quaternion::FromAxisAngle(axis, angle);
+    Mat3 m = q.ToMatrix();
+    Vec3 v{rng.Uniform(-2, 2), rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    ExpectVecNear(q.Rotate(v), m * v, 1e-9);
+  }
+}
+
+TEST(Quaternion, MatrixRoundTrip) {
+  Rng rng(18);
+  for (int i = 0; i < 50; ++i) {
+    Vec3 axis{rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    if (axis.Norm() < 1e-6) continue;
+    Quaternion q = Quaternion::FromAxisAngle(axis, rng.Uniform(-3, 3));
+    Quaternion q2 = Quaternion::FromMatrix(q.ToMatrix());
+    // q and -q encode the same rotation; compare their action.
+    Vec3 v{1, -2, 0.5};
+    ExpectVecNear(q.Rotate(v), q2.Rotate(v), 1e-9);
+  }
+}
+
+TEST(Quaternion, CompositionMatchesSequentialRotation) {
+  Quaternion qa = Quaternion::FromAxisAngle({0, 0, 1}, DegToRad(90));
+  Quaternion qb = Quaternion::FromAxisAngle({1, 0, 0}, DegToRad(90));
+  Vec3 v{0, 1, 0};
+  ExpectVecNear((qa * qb).Rotate(v), qa.Rotate(qb.Rotate(v)));
+}
+
+TEST(Quaternion, ConjugateInverts) {
+  Quaternion q = Quaternion::FromAxisAngle({1, 2, 3}, 0.8);
+  Vec3 v{4, 5, 6};
+  ExpectVecNear(q.Conjugate().Rotate(q.Rotate(v)), v, 1e-9);
+}
+
+TEST(Quaternion, NormalizedHasUnitNorm) {
+  Quaternion q{3, 4, 0, 0};
+  EXPECT_NEAR(q.Normalized().Norm(), 1.0, 1e-12);
+  // Zero quaternion normalizes to identity instead of NaN.
+  Quaternion z{0, 0, 0, 0};
+  EXPECT_NEAR(z.Normalized().w, 1.0, 1e-12);
+}
+
+TEST(Quaternion, SlerpEndpoints) {
+  Quaternion a = Quaternion::Identity();
+  Quaternion b = Quaternion::FromAxisAngle({0, 0, 1}, DegToRad(90));
+  Vec3 v{1, 0, 0};
+  ExpectVecNear(Quaternion::Slerp(a, b, 0.0).Rotate(v), v, 1e-9);
+  ExpectVecNear(Quaternion::Slerp(a, b, 1.0).Rotate(v), {0, 1, 0}, 1e-9);
+}
+
+TEST(Quaternion, SlerpHalfwayIsHalfAngle) {
+  Quaternion a = Quaternion::Identity();
+  Quaternion b = Quaternion::FromAxisAngle({0, 0, 1}, DegToRad(90));
+  Quaternion mid = Quaternion::Slerp(a, b, 0.5);
+  Vec3 v = mid.Rotate({1, 0, 0});
+  EXPECT_NEAR(RadToDeg(AngleBetween(v, {1, 0, 0})), 45.0, 1e-6);
+}
+
+TEST(Quaternion, SlerpNearlyParallelStable) {
+  Quaternion a = Quaternion::Identity();
+  Quaternion b = Quaternion::FromAxisAngle({0, 0, 1}, 1e-7);
+  Quaternion mid = Quaternion::Slerp(a, b, 0.5);
+  EXPECT_NEAR(mid.Norm(), 1.0, 1e-12);
+}
+
+TEST(Quaternion, FromYawPitchRollYawOnly) {
+  Quaternion q = Quaternion::FromYawPitchRoll(DegToRad(90), 0, 0);
+  ExpectVecNear(q.Rotate({1, 0, 0}), {0, 1, 0}, 1e-9);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,158 @@
+// Tests for the query vocabulary over the metadata repository — the
+// paper's "querying scenes w.r.t. a particular context".
+
+#include "metadata/query.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+LookAtRecord Rec(int frame, double t, int n,
+                 std::vector<std::pair<int, int>> edges) {
+  LookAtMatrix m(n);
+  for (auto [a, b] : edges) m.Set(a, b, true);
+  return LookAtRecord::FromMatrix(frame, t, m);
+}
+
+/// 10 frames at 10 fps: P1<->P2 EC in frames 2-5; P3 watches P1 in 4-9;
+/// P1 is happy in frames 0-4; overall happiness ramps 0.0 .. 0.9.
+MetadataRepository DemoRepo() {
+  MetadataRepository repo;
+  repo.set_fps(10.0);
+  for (int f = 0; f < 10; ++f) {
+    std::vector<std::pair<int, int>> edges;
+    if (f >= 2 && f <= 5) {
+      edges.push_back({0, 1});
+      edges.push_back({1, 0});
+    }
+    if (f >= 4) edges.push_back({2, 0});
+    EXPECT_TRUE(repo.AddLookAt(Rec(f, f / 10.0, 3, edges)).ok());
+    if (f <= 4) {
+      EmotionRecord er;
+      er.frame = f;
+      er.timestamp_s = f / 10.0;
+      er.participant = 0;
+      er.emotion = Emotion::kHappy;
+      er.confidence = 1.0;
+      EXPECT_TRUE(repo.AddEmotion(er).ok());
+    }
+    OverallEmotionRecord oe;
+    oe.frame = f;
+    oe.timestamp_s = f / 10.0;
+    oe.overall_happiness = f * 0.1;
+    oe.mean_valence = f * 0.1 - 0.5;
+    oe.observed = 3;
+    EXPECT_TRUE(repo.AddOverallEmotion(oe).ok());
+  }
+  // Two shots [0,6) and [6,10) in two scenes.
+  VideoStructure vs;
+  vs.num_frames = 10;
+  vs.fps = 10.0;
+  SceneSegment s1, s2;
+  s1.shots.push_back(Shot{0, 6, {0}});
+  s2.shots.push_back(Shot{6, 10, {6}});
+  vs.scenes = {s1, s2};
+  repo.SetVideoStructure(vs);
+  return repo;
+}
+
+TEST(Query, UnconstrainedReturnsEveryFrame) {
+  MetadataRepository repo = DemoRepo();
+  EXPECT_EQ(Query(&repo).Execute().size(), 10u);
+}
+
+TEST(Query, TimeRangeFilters) {
+  MetadataRepository repo = DemoRepo();
+  auto frames = Query(&repo).TimeRange(0.3, 0.7).Execute();
+  ASSERT_EQ(frames.size(), 4u);  // t = 0.3, 0.4, 0.5, 0.6
+  EXPECT_EQ(frames.front().frame, 3);
+  EXPECT_EQ(frames.back().frame, 6);
+}
+
+TEST(Query, LookingPredicate) {
+  MetadataRepository repo = DemoRepo();
+  auto frames = Query(&repo).Looking(2, 0).Execute();
+  EXPECT_EQ(frames.size(), 6u);  // frames 4..9
+  EXPECT_TRUE(Query(&repo).Looking(1, 2).Execute().empty());
+}
+
+TEST(Query, EyeContactRequiresMutual) {
+  MetadataRepository repo = DemoRepo();
+  auto frames = Query(&repo).EyeContact(0, 1).Execute();
+  EXPECT_EQ(frames.size(), 4u);  // frames 2..5
+  // Order of the pair does not matter.
+  EXPECT_EQ(Query(&repo).EyeContact(1, 0).Execute().size(), 4u);
+  EXPECT_TRUE(Query(&repo).EyeContact(0, 2).Execute().empty());
+}
+
+TEST(Query, FeelingPredicateJoinsEmotions) {
+  MetadataRepository repo = DemoRepo();
+  auto frames = Query(&repo).Feeling(0, Emotion::kHappy).Execute();
+  EXPECT_EQ(frames.size(), 5u);  // frames 0..4
+  EXPECT_TRUE(Query(&repo).Feeling(1, Emotion::kHappy).Execute().empty());
+  EXPECT_TRUE(Query(&repo).Feeling(0, Emotion::kSad).Execute().empty());
+}
+
+TEST(Query, OverallHappinessThreshold) {
+  MetadataRepository repo = DemoRepo();
+  auto frames = Query(&repo).MinOverallHappiness(0.65).Execute();
+  EXPECT_EQ(frames.size(), 3u);  // frames 7, 8, 9
+  auto valence = Query(&repo).MinValence(0.35).Execute();
+  EXPECT_EQ(valence.size(), 1u);  // frame 9 (0.4)
+}
+
+TEST(Query, AnyoneLookingAtAttention) {
+  MetadataRepository repo = DemoRepo();
+  // P1 receives attention from P2 (2-5) or P3 (4-9): frames 2..9.
+  EXPECT_EQ(Query(&repo).AnyoneLookingAt(0).Execute().size(), 8u);
+  // Nobody ever looks at P3.
+  EXPECT_TRUE(Query(&repo).AnyoneLookingAt(2).Execute().empty());
+}
+
+TEST(Query, ConjunctionOfPredicates) {
+  MetadataRepository repo = DemoRepo();
+  auto frames = Query(&repo)
+                    .EyeContact(0, 1)
+                    .Feeling(0, Emotion::kHappy)
+                    .Execute();
+  EXPECT_EQ(frames.size(), 3u);  // frames 2, 3, 4
+  auto narrowed = Query(&repo)
+                      .EyeContact(0, 1)
+                      .Feeling(0, Emotion::kHappy)
+                      .TimeRange(0.3, 10.0)
+                      .Execute();
+  EXPECT_EQ(narrowed.size(), 2u);  // frames 3, 4
+}
+
+TEST(Query, OutOfRangeParticipantsMatchNothing) {
+  MetadataRepository repo = DemoRepo();
+  EXPECT_TRUE(Query(&repo).Looking(7, 0).Execute().empty());
+  EXPECT_TRUE(Query(&repo).EyeContact(0, 9).Execute().empty());
+  EXPECT_TRUE(Query(&repo).AnyoneLookingAt(-1).Execute().empty());
+}
+
+TEST(Query, ShotRollupUsesCoverage) {
+  MetadataRepository repo = DemoRepo();
+  // EC(0,1) matches frames 2-5, all inside shot [0,6): coverage 4/6.
+  auto shots = Query(&repo).EyeContact(0, 1).ExecuteShots(0.5);
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0].begin_frame, 0);
+  EXPECT_NEAR(shots[0].coverage, 4.0 / 6.0, 1e-9);
+  EXPECT_TRUE(
+      Query(&repo).EyeContact(0, 1).ExecuteShots(0.9).empty());
+}
+
+TEST(Query, SceneRollupFindsAttentionScene) {
+  MetadataRepository repo = DemoRepo();
+  // "Scenes where someone looks at P1": scene 0 covers frames 2-5 of 6
+  // (0.67), scene 1 covers 6-9 of 4 (1.0).
+  auto scenes = Query(&repo).AnyoneLookingAt(0).ExecuteScenes(0.9);
+  ASSERT_EQ(scenes.size(), 1u);
+  EXPECT_EQ(scenes[0].index, 1);
+  auto both = Query(&repo).AnyoneLookingAt(0).ExecuteScenes(0.5);
+  EXPECT_EQ(both.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,134 @@
+// Tests for the textual query language (Section II-E's query vocabulary).
+
+#include "metadata/query_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+LookAtRecord Rec(int frame, double t, int n,
+                 std::vector<std::pair<int, int>> edges) {
+  LookAtMatrix m(n);
+  for (auto [a, b] : edges) m.Set(a, b, true);
+  return LookAtRecord::FromMatrix(frame, t, m);
+}
+
+/// Same fixture as test_query: 10 frames @ 10 fps, EC(P1,P2) in 2-5,
+/// P3->P1 from 4, P1 happy in 0-4, OH ramps 0.0..0.9.
+MetadataRepository DemoRepo() {
+  MetadataRepository repo;
+  repo.set_fps(10.0);
+  for (int f = 0; f < 10; ++f) {
+    std::vector<std::pair<int, int>> edges;
+    if (f >= 2 && f <= 5) {
+      edges.push_back({0, 1});
+      edges.push_back({1, 0});
+    }
+    if (f >= 4) edges.push_back({2, 0});
+    EXPECT_TRUE(repo.AddLookAt(Rec(f, f / 10.0, 3, edges)).ok());
+    if (f <= 4) {
+      EmotionRecord er;
+      er.frame = f;
+      er.timestamp_s = f / 10.0;
+      er.participant = 0;
+      er.emotion = Emotion::kHappy;
+      er.confidence = 1.0;
+      EXPECT_TRUE(repo.AddEmotion(er).ok());
+    }
+    OverallEmotionRecord oe;
+    oe.frame = f;
+    oe.timestamp_s = f / 10.0;
+    oe.overall_happiness = f * 0.1;
+    oe.mean_valence = f * 0.1 - 0.5;
+    oe.observed = 3;
+    EXPECT_TRUE(repo.AddOverallEmotion(oe).ok());
+  }
+  return repo;
+}
+
+size_t Count(const MetadataRepository& repo, std::string_view text) {
+  auto query = ParseQuery(text, &repo);
+  EXPECT_TRUE(query.ok()) << text << " -> " << query.status();
+  if (!query.ok()) return 0;
+  return query.value().Execute().size();
+}
+
+TEST(QueryParser, SingleTerms) {
+  MetadataRepository repo = DemoRepo();
+  EXPECT_EQ(Count(repo, "ec(P1, P2)"), 4u);
+  EXPECT_EQ(Count(repo, "look(P3, P1)"), 6u);
+  EXPECT_EQ(Count(repo, "watched(P1)"), 8u);
+  EXPECT_EQ(Count(repo, "feel(P1, happy)"), 5u);
+  EXPECT_EQ(Count(repo, "time[0.3, 0.7)"), 4u);
+  EXPECT_EQ(Count(repo, "oh >= 0.65"), 3u);
+  EXPECT_EQ(Count(repo, "valence >= 0.35"), 1u);
+}
+
+TEST(QueryParser, ParticipantSyntaxVariants) {
+  MetadataRepository repo = DemoRepo();
+  EXPECT_EQ(Count(repo, "ec(1, 2)"), 4u);     // bare 1-based ids
+  EXPECT_EQ(Count(repo, "ec(p1, P2)"), 4u);   // mixed case prefix
+  EXPECT_EQ(Count(repo, "EC(P1,P2)"), 4u);    // keyword case-insensitive
+}
+
+TEST(QueryParser, ConjunctionsInAllSpellings) {
+  MetadataRepository repo = DemoRepo();
+  EXPECT_EQ(Count(repo, "ec(P1,P2) & feel(P1,happy)"), 3u);
+  EXPECT_EQ(Count(repo, "ec(P1,P2) and feel(P1,happy)"), 3u);
+  EXPECT_EQ(Count(repo, "ec(P1,P2) && feel(P1,happy)"), 3u);
+  EXPECT_EQ(
+      Count(repo, "ec(P1,P2) & feel(P1,happy) & time[0.3, 10)"), 2u);
+}
+
+TEST(QueryParser, NegativeNumbers) {
+  MetadataRepository repo = DemoRepo();
+  // valence ramps -0.5 .. 0.4: >= -0.25 matches frames 3..9.
+  EXPECT_EQ(Count(repo, "valence >= -0.25"), 7u);
+}
+
+TEST(QueryParser, RejectsMalformedQueries) {
+  MetadataRepository repo = DemoRepo();
+  for (const char* bad : {
+           "",
+           "ec(P1 P2)",          // missing comma
+           "ec(P1,P2",           // unclosed paren
+           "stare(P1,P2)",       // unknown keyword
+           "feel(P1, angryish)", // unknown emotion
+           "time[5, 2)",         // empty range
+           "oh > 0.5",           // only >= supported
+           "ec(P0, P1)",         // participants start at P1
+           "ec(P1,P2) extra",    // trailing garbage without '&'
+           "ec(P1,P2) & ",       // dangling conjunction
+       }) {
+    auto q = ParseQuery(bad, &repo);
+    EXPECT_FALSE(q.ok()) << "should reject: " << bad;
+    EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  EXPECT_FALSE(ParseQuery("ec(P1,P2)", nullptr).ok());
+}
+
+TEST(QueryParser, MatchesBuilderEquivalents) {
+  MetadataRepository repo = DemoRepo();
+  auto parsed =
+      ParseQuery("watched(P1) & time[0.2, 0.8) & oh >= 0.3", &repo);
+  ASSERT_TRUE(parsed.ok());
+  auto built = Query(&repo)
+                   .AnyoneLookingAt(0)
+                   .TimeRange(0.2, 0.8)
+                   .MinOverallHappiness(0.3)
+                   .Execute();
+  auto from_text = parsed.value().Execute();
+  ASSERT_EQ(from_text.size(), built.size());
+  for (size_t i = 0; i < built.size(); ++i) {
+    EXPECT_EQ(from_text[i].frame, built[i].frame);
+  }
+}
+
+TEST(QueryParser, WhitespaceInsensitive) {
+  MetadataRepository repo = DemoRepo();
+  EXPECT_EQ(Count(repo, "  ec ( P1 , P2 )   &   oh>=0.2  "), 4u);
+}
+
+}  // namespace
+}  // namespace dievent

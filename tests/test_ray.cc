@@ -1,0 +1,124 @@
+// Tests for ray-sphere intersection — paper Eq. 3-5, the core of eye
+// contact detection.
+
+#include "geometry/ray.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dievent {
+namespace {
+
+TEST(RaySphere, HeadOnHitHasSymmetricRoots) {
+  Ray ray{{0, 0, 0}, {1, 0, 0}};
+  Sphere s{{5, 0, 0}, 1.0};
+  auto hit = IntersectRaySphere(ray, s);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->d_near, 4.0, 1e-12);
+  EXPECT_NEAR(hit->d_far, 6.0, 1e-12);
+}
+
+TEST(RaySphere, NonUnitDirectionScalesRoots) {
+  // Paper Eq. 5 divides by ||l||^2, so non-unit directions must work.
+  Ray ray{{0, 0, 0}, {2, 0, 0}};
+  Sphere s{{5, 0, 0}, 1.0};
+  auto hit = IntersectRaySphere(ray, s);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->d_near, 2.0, 1e-12);
+  EXPECT_NEAR(hit->d_far, 3.0, 1e-12);
+  EXPECT_NEAR((ray.At(hit->d_near) - s.center).Norm(), s.radius, 1e-9);
+}
+
+TEST(RaySphere, MissReturnsNullopt) {
+  Ray ray{{0, 0, 0}, {1, 0, 0}};
+  Sphere s{{5, 3, 0}, 1.0};
+  EXPECT_FALSE(IntersectRaySphere(ray, s).has_value());
+}
+
+TEST(RaySphere, TangentCountsAsMiss) {
+  // The paper: w must be strictly positive; tangency is "not looking".
+  Ray ray{{0, 1, 0}, {1, 0, 0}};
+  Sphere s{{5, 0, 0}, 1.0};
+  EXPECT_FALSE(IntersectRaySphere(ray, s).has_value());
+}
+
+TEST(RaySphere, ZeroDirectionIsRejected) {
+  Ray ray{{0, 0, 0}, {0, 0, 0}};
+  Sphere s{{1, 0, 0}, 10.0};
+  EXPECT_FALSE(IntersectRaySphere(ray, s).has_value());
+}
+
+TEST(RaySphere, SphereBehindOriginHasNegativeRoots) {
+  Ray ray{{0, 0, 0}, {1, 0, 0}};
+  Sphere s{{-5, 0, 0}, 1.0};
+  auto hit = IntersectRaySphere(ray, s);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_LT(hit->d_far, 0.0);
+}
+
+TEST(LooksAt, TrueForTargetInFront) {
+  EXPECT_TRUE(LooksAt(Ray{{0, 0, 0}, {1, 0, 0}}, Sphere{{3, 0, 0}, 0.2}));
+}
+
+TEST(LooksAt, FalseForTargetBehind) {
+  EXPECT_FALSE(LooksAt(Ray{{0, 0, 0}, {1, 0, 0}}, Sphere{{-3, 0, 0}, 0.2}));
+}
+
+TEST(LooksAt, FalseWhenGazeGrazesPast) {
+  // Slightly more than the angular radius off-target.
+  Sphere head{{2, 0, 0}, 0.12};
+  double angular_radius = std::asin(0.12 / 2.0);
+  double off = angular_radius * 1.05;
+  Ray gaze{{0, 0, 0}, {std::cos(off), std::sin(off), 0}};
+  EXPECT_FALSE(LooksAt(gaze, head));
+  Ray gaze_on{{0, 0, 0}, {std::cos(angular_radius * 0.9),
+                          std::sin(angular_radius * 0.9), 0}};
+  EXPECT_TRUE(LooksAt(gaze_on, head));
+}
+
+TEST(LooksAt, TrueWhenOriginInsideSphere) {
+  EXPECT_TRUE(LooksAt(Ray{{0, 0, 0}, {0, 1, 0}}, Sphere{{0, 0, 0}, 1.0}));
+}
+
+TEST(Ray, TransformedMapsOriginAndDirectionDifferently) {
+  Pose p(Mat3::RotZ(DegToRad(90)), {10, 0, 0});
+  Ray r{{1, 0, 0}, {1, 0, 0}};
+  Ray tr = r.Transformed(p);
+  EXPECT_NEAR(tr.origin.x, 10, 1e-12);
+  EXPECT_NEAR(tr.origin.y, 1, 1e-12);
+  EXPECT_NEAR(tr.direction.x, 0, 1e-12);
+  EXPECT_NEAR(tr.direction.y, 1, 1e-12);
+}
+
+TEST(RaySphere, TransformInvariance) {
+  // Paper Eq. 2: the look-at predicate must be frame-independent — the
+  // whole point of transforming into a common reference frame.
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    Ray ray{{rng.Uniform(-2, 2), rng.Uniform(-2, 2), rng.Uniform(-2, 2)},
+            {rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)}};
+    if (ray.direction.Norm() < 1e-3) continue;
+    Sphere s{{rng.Uniform(-3, 3), rng.Uniform(-3, 3), rng.Uniform(-3, 3)},
+             rng.Uniform(0.05, 0.5)};
+    Vec3 axis{rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    if (axis.Norm() < 1e-3) axis = {0, 0, 1};
+    Pose p = Pose::FromQuaternion(
+        Quaternion::FromAxisAngle(axis, rng.Uniform(-3, 3)),
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+    Sphere ts{p.TransformPoint(s.center), s.radius};
+    EXPECT_EQ(LooksAt(ray, s), LooksAt(ray.Transformed(p), ts)) << i;
+  }
+}
+
+TEST(Sphere, ContainsBoundaryAndInterior) {
+  Sphere s{{0, 0, 0}, 1.0};
+  EXPECT_TRUE(s.Contains({0.5, 0, 0}));
+  EXPECT_TRUE(s.Contains({1.0, 0, 0}));
+  EXPECT_FALSE(s.Contains({1.01, 0, 0}));
+}
+
+}  // namespace
+}  // namespace dievent

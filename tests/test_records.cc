@@ -1,0 +1,35 @@
+#include "metadata/records.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+TEST(LookAtRecord, RoundTripsThroughMatrix) {
+  LookAtMatrix m(4);
+  m.Set(0, 2, true);
+  m.Set(3, 1, true);
+  LookAtRecord r = LookAtRecord::FromMatrix(17, 1.7, m);
+  EXPECT_EQ(r.frame, 17);
+  EXPECT_DOUBLE_EQ(r.timestamp_s, 1.7);
+  EXPECT_EQ(r.n, 4);
+  EXPECT_TRUE(r.At(0, 2));
+  EXPECT_FALSE(r.At(2, 0));
+  EXPECT_TRUE(r.ToMatrix() == m);
+}
+
+TEST(LookAtRecord, EmptyMatrix) {
+  LookAtMatrix m(3);
+  LookAtRecord r = LookAtRecord::FromMatrix(0, 0.0, m);
+  EXPECT_EQ(r.cells.size(), 9u);
+  for (int x = 0; x < 3; ++x)
+    for (int y = 0; y < 3; ++y) EXPECT_FALSE(r.At(x, y));
+}
+
+TEST(EyeContactEpisode, LengthIsHalfOpen) {
+  EyeContactEpisode ep{0, 1, 10, 25};
+  EXPECT_EQ(ep.Length(), 15);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,97 @@
+// Tests for the multi-camera rig and the paper's iTj calibration queries.
+
+#include "geometry/rig.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+Intrinsics TestK() { return Intrinsics::FromFov(640, 480, DegToRad(70)); }
+
+TEST(Rig, AddAndFindCameras) {
+  Rig rig;
+  EXPECT_EQ(rig.AddCamera(CameraModel("A", TestK(), Pose::Identity())), 0);
+  EXPECT_EQ(rig.AddCamera(CameraModel("B", TestK(), Pose::Identity())), 1);
+  EXPECT_EQ(rig.NumCameras(), 2);
+  auto idx = rig.FindCamera("B");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1);
+  EXPECT_EQ(rig.FindCamera("C").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rig, CameraFromCameraRoundTrip) {
+  Rig rig = Rig::MakeCornerRig(5, 4, 2.5, {0, 0, 1}, TestK());
+  // iTj composed with jTi must be identity.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      Pose round = rig.CameraFromCamera(i, j) * rig.CameraFromCamera(j, i);
+      EXPECT_LT(PoseDistance(round, Pose::Identity()), 1e-9);
+    }
+  }
+}
+
+TEST(Rig, CameraFromCameraMapsSharedPoint) {
+  // A world point observed in camera j's frame, transformed by iTj, must
+  // equal the same point observed in camera i's frame (paper Eq. 1).
+  Rig rig = Rig::MakeCornerRig(5, 4, 2.5, {0, 0, 1}, TestK());
+  Vec3 world_point{0.3, -0.2, 1.1};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      Vec3 in_j = rig.camera(j).camera_from_world().TransformPoint(
+          world_point);
+      Vec3 in_i_via_t =
+          rig.CameraFromCamera(i, j).TransformPoint(in_j);
+      Vec3 in_i = rig.camera(i).camera_from_world().TransformPoint(
+          world_point);
+      EXPECT_NEAR((in_i_via_t - in_i).Norm(), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Rig, FacingPairGeometryMatchesPaper) {
+  // Fig. 2: cameras face each other at 2.5 m with -15 deg pitch.
+  Rig rig = Rig::MakeFacingPair(5.0, 2.5, -15.0, TestK());
+  ASSERT_EQ(rig.NumCameras(), 2);
+  EXPECT_NEAR(rig.camera(0).Position().z, 2.5, 1e-12);
+  EXPECT_NEAR(rig.camera(1).Position().z, 2.5, 1e-12);
+  EXPECT_NEAR((rig.camera(0).Position() - rig.camera(1).Position()).Norm(),
+              5.0, 1e-12);
+  // Pitch: the view direction makes -15 deg with the horizontal.
+  for (int c = 0; c < 2; ++c) {
+    Vec3 d = rig.camera(c).ViewDirection();
+    double pitch = RadToDeg(std::asin(d.z));
+    EXPECT_NEAR(pitch, -15.0, 0.5);
+  }
+  // They face each other: opposite horizontal directions.
+  EXPECT_LT(rig.camera(0).ViewDirection().x *
+                rig.camera(1).ViewDirection().x,
+            0.0);
+}
+
+TEST(Rig, CornerRigSeesTheTable) {
+  Rig rig = Rig::MakeCornerRig(5, 4, 2.5, {0, 0, 1}, TestK());
+  ASSERT_EQ(rig.NumCameras(), 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_TRUE(rig.camera(c).IsVisible({0, 0, 1.0}));
+    EXPECT_TRUE(rig.camera(c).IsVisible({0.5, 0.5, 1.2}));
+    EXPECT_NEAR(rig.camera(c).Position().z, 2.5, 1e-12);
+  }
+  // Cameras sit on distinct corners.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_GT(
+          (rig.camera(a).Position() - rig.camera(b).Position()).Norm(),
+          1.0);
+    }
+  }
+}
+
+TEST(Rig, CornerRigNamesAreC1ToC4) {
+  Rig rig = Rig::MakeCornerRig(5, 4, 2.5, {0, 0, 1}, TestK());
+  EXPECT_EQ(rig.camera(0).name(), "C1");
+  EXPECT_EQ(rig.camera(3).name(), "C4");
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace dievent {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(0.0, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowCoversRangeWithoutOverflow) {
+  Rng rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit in 1000 draws
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, GaussianMomentsAreSane) {
+  Rng rng(9);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScalesAndShifts) {
+  Rng rng(10);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,143 @@
+// Tests for the prototype meeting scenario (paper Section III): the
+// scripted ground truth must reproduce the published Fig. 7/8/9 facts
+// exactly.
+
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/eye_contact.h"
+#include "analysis/lookat_matrix.h"
+
+namespace dievent {
+namespace {
+
+constexpr int kP1 = 0, kP2 = 1, kP3 = 2, kP4 = 3;
+
+LookAtMatrix GroundTruthMatrix(const DiningScene& scene, double t) {
+  auto gt = scene.GroundTruthLookAt(t);
+  LookAtMatrix m(static_cast<int>(gt.size()));
+  for (size_t x = 0; x < gt.size(); ++x)
+    for (size_t y = 0; y < gt.size(); ++y)
+      m.Set(static_cast<int>(x), static_cast<int>(y), gt[x][y]);
+  return m;
+}
+
+TEST(MeetingScenario, HasPrototypeShape) {
+  DiningScene scene = MakeMeetingScenario();
+  EXPECT_EQ(scene.NumParticipants(), 4);
+  EXPECT_EQ(scene.rig().NumCameras(), 4);
+  EXPECT_EQ(scene.num_frames(), 610);
+  EXPECT_NEAR(scene.DurationSeconds(), 40.0, 1e-9);
+  // Cameras at 2.5 m elevation per the paper.
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(scene.rig().camera(c).Position().z, 2.5, 1e-9);
+  }
+}
+
+TEST(MeetingScenario, Fig7LookAtConfigurationAtT10) {
+  DiningScene scene = MakeMeetingScenario();
+  LookAtMatrix m = GroundTruthMatrix(scene, 10.0);
+  // Fig. 7: yellow (P1) and green (P3) look at each other.
+  EXPECT_TRUE(m.At(kP1, kP3));
+  EXPECT_TRUE(m.At(kP3, kP1));
+  // Black (P4) looks at blue (P2); blue looks at green (P3).
+  EXPECT_TRUE(m.At(kP4, kP2));
+  EXPECT_TRUE(m.At(kP2, kP3));
+  // And nothing else.
+  EXPECT_EQ(m.DirectedEdges().size(), 4u);
+  // Exactly one eye contact: P1 <-> P3.
+  auto pairs = m.EyeContactPairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(kP1, kP3));
+}
+
+TEST(MeetingScenario, Fig8LookAtConfigurationAtT15) {
+  DiningScene scene = MakeMeetingScenario();
+  LookAtMatrix m = GroundTruthMatrix(scene, 15.0);
+  // Fig. 8: green, blue, and black all look at yellow (P1).
+  EXPECT_TRUE(m.At(kP2, kP1));
+  EXPECT_TRUE(m.At(kP3, kP1));
+  EXPECT_TRUE(m.At(kP4, kP1));
+  // P1 looks at the table: no outgoing edge.
+  EXPECT_FALSE(m.At(kP1, kP2));
+  EXPECT_FALSE(m.At(kP1, kP3));
+  EXPECT_FALSE(m.At(kP1, kP4));
+  EXPECT_EQ(m.DirectedEdges().size(), 3u);
+  EXPECT_TRUE(m.EyeContactPairs().empty());
+}
+
+TEST(MeetingScenario, Fig9SummaryCounts) {
+  DiningScene scene = MakeMeetingScenario();
+  LookAtSummary summary(4);
+  for (int f = 0; f < scene.num_frames(); ++f) {
+    ASSERT_TRUE(
+        summary
+            .Accumulate(GroundTruthMatrix(scene, scene.TimeOfFrame(f)))
+            .ok());
+  }
+  // The published count: P1 (yellow) looked at P3 (green) 357 times.
+  EXPECT_EQ(summary.At(kP1, kP3), 357);
+  // Zero diagonal ("the participant couldn't look to himself").
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(summary.At(i, i), 0);
+  // P1's column sum is the maximum: P1 dominates the meeting.
+  EXPECT_EQ(summary.DominantParticipant(), kP1);
+  long long p1_col = summary.ColumnSum(kP1);
+  for (int y = 1; y < 4; ++y) EXPECT_LT(summary.ColumnSum(y), p1_col);
+  // Every frame was accumulated.
+  EXPECT_EQ(summary.frames_accumulated(), 610);
+}
+
+TEST(MeetingScenario, ScriptedGazeHitsOnlyIntendedTargets) {
+  DiningScene scene = MakeMeetingScenario();
+  // At every frame, each participant's ground-truth look-at row matches
+  // the scripted target (no accidental pass-through hits at this layout).
+  for (int f = 0; f < scene.num_frames(); f += 7) {
+    double t = scene.TimeOfFrame(f);
+    auto states = scene.StateAt(t);
+    auto looks = scene.GroundTruthLookAt(t);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        if (i == j) continue;
+        EXPECT_EQ(looks[i][j], states[i].gaze_target == j)
+            << "frame " << f << " participant " << i << " -> " << j;
+      }
+    }
+  }
+}
+
+TEST(DinnerScenario, BuildsWithVariousSizes) {
+  for (int n : {2, 4, 6, 8}) {
+    DiningScene scene = MakeDinnerScenario(n, 30.0, 10.0);
+    EXPECT_EQ(scene.NumParticipants(), n);
+    EXPECT_EQ(scene.rig().NumCameras(), 2);
+    EXPECT_EQ(scene.num_frames(), 300);
+  }
+}
+
+TEST(DinnerScenario, EmotionsFollowCourses) {
+  DiningScene scene = MakeDinnerScenario(4, 60.0, 10.0);
+  auto early = scene.StateAt(5.0);
+  auto mid = scene.StateAt(30.0);
+  for (const auto& s : early) EXPECT_EQ(s.emotion, Emotion::kNeutral);
+  for (const auto& s : mid) EXPECT_EQ(s.emotion, Emotion::kHappy);
+}
+
+TEST(RandomScenario, IsDeterministicGivenSeed) {
+  Rng rng1(123), rng2(123);
+  DiningScene a = MakeRandomScenario(5, 100, 10.0, &rng1);
+  DiningScene b = MakeRandomScenario(5, 100, 10.0, &rng2);
+  for (int f = 0; f < 100; f += 13) {
+    auto sa = a.StateAt(a.TimeOfFrame(f));
+    auto sb = b.StateAt(b.TimeOfFrame(f));
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(sa[i].gaze_target, sb[i].gaze_target);
+      EXPECT_EQ(sa[i].emotion, sb[i].emotion);
+      EXPECT_NEAR((sa[i].head_position - sb[i].head_position).Norm(), 0,
+                  1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,111 @@
+#include "sim/scene.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace dievent {
+namespace {
+
+ScriptedParticipant Person(int id, Vec3 seat) {
+  ScriptedParticipant p;
+  p.profile.id = id;
+  p.profile.name = "P" + std::to_string(id + 1);
+  p.seat_head_position = seat;
+  return p;
+}
+
+Rig TwoCameraRig() {
+  return Rig::MakeFacingPair(5.0, 2.5, -15.0,
+                             Intrinsics::FromFov(640, 480, DegToRad(70)));
+}
+
+TEST(DiningScene, CreateValidates) {
+  Table table;
+  EXPECT_FALSE(
+      DiningScene::Create(table, TwoCameraRig(), {}, 10.0, 100).ok());
+  std::vector<ScriptedParticipant> people;
+  people.push_back(Person(0, {0, 0, 1.2}));
+  EXPECT_FALSE(
+      DiningScene::Create(table, Rig{}, people, 10.0, 100).ok());
+  EXPECT_FALSE(
+      DiningScene::Create(table, TwoCameraRig(), people, 0.0, 100).ok());
+  EXPECT_FALSE(
+      DiningScene::Create(table, TwoCameraRig(), people, 10.0, 0).ok());
+  EXPECT_TRUE(
+      DiningScene::Create(table, TwoCameraRig(), people, 10.0, 100).ok());
+}
+
+TEST(DiningScene, RejectsGazeAtUnknownOrSelf) {
+  Table table;
+  std::vector<ScriptedParticipant> people;
+  people.push_back(Person(0, {-0.5, 0, 1.2}));
+  people.push_back(Person(1, {0.5, 0, 1.2}));
+  ASSERT_TRUE(people[0].gaze.Add(0, 1, GazeTarget{5}).ok());
+  EXPECT_FALSE(
+      DiningScene::Create(table, TwoCameraRig(), people, 10.0, 10).ok());
+
+  std::vector<ScriptedParticipant> selfish;
+  selfish.push_back(Person(0, {-0.5, 0, 1.2}));
+  selfish.push_back(Person(1, {0.5, 0, 1.2}));
+  ASSERT_TRUE(selfish[1].gaze.Add(0, 1, GazeTarget{1}).ok());
+  EXPECT_FALSE(
+      DiningScene::Create(table, TwoCameraRig(), selfish, 10.0, 10).ok());
+}
+
+TEST(DiningScene, GazeAimsAtScriptedTarget) {
+  Table table;
+  std::vector<ScriptedParticipant> people;
+  people.push_back(Person(0, {-1, 0, 1.2}));
+  people.push_back(Person(1, {1, 0, 1.2}));
+  ASSERT_TRUE(people[0].gaze.Add(0.0, 5.0, GazeTarget{1}).ok());
+  auto scene =
+      DiningScene::Create(table, TwoCameraRig(), people, 10.0, 50);
+  ASSERT_TRUE(scene.ok());
+  auto states = scene.value().StateAt(1.0);
+  EXPECT_EQ(states[0].gaze_target, 1);
+  EXPECT_NEAR(states[0].gaze_direction.x, 1.0, 1e-9);
+  EXPECT_NEAR(states[0].gaze_direction.y, 0.0, 1e-9);
+  // Default gaze (no script): table centre, i.e. downward-ish.
+  EXPECT_EQ(states[1].gaze_target, -1);
+  EXPECT_LT(states[1].gaze_direction.z, 0.0);
+}
+
+TEST(DiningScene, AwayGazePointsOutward) {
+  Table table;
+  std::vector<ScriptedParticipant> people;
+  people.push_back(Person(0, {-1, 0, 1.2}));
+  people.push_back(Person(1, {1, 0, 1.2}));
+  ASSERT_TRUE(people[0].gaze.Add(0.0, 5.0,
+                                 GazeTarget{GazeTarget::kAway}).ok());
+  auto scene =
+      DiningScene::Create(table, TwoCameraRig(), people, 10.0, 50);
+  ASSERT_TRUE(scene.ok());
+  auto states = scene.value().StateAt(1.0);
+  // Away from the table centre: negative x for the (-1, 0) seat.
+  EXPECT_LT(states[0].gaze_direction.x, 0.0);
+}
+
+TEST(DiningScene, HeadPoseForwardFollowsGaze) {
+  DiningScene scene = MakeMeetingScenario();
+  auto states = scene.StateAt(10.0);
+  for (const auto& s : states) {
+    Vec3 fwd = s.world_from_head.rotation.Col(2);
+    EXPECT_NEAR(RadToDeg(AngleBetween(fwd, s.gaze_direction)), 0.0, 1e-6);
+  }
+}
+
+TEST(DiningScene, GroundTruthLookAtHasZeroDiagonal) {
+  DiningScene scene = MakeMeetingScenario();
+  auto looks = scene.GroundTruthLookAt(12.3);
+  for (size_t i = 0; i < looks.size(); ++i) EXPECT_FALSE(looks[i][i]);
+}
+
+TEST(DiningScene, TimeOfFrameRoundTrips) {
+  DiningScene scene = MakeMeetingScenario();
+  EXPECT_DOUBLE_EQ(scene.TimeOfFrame(0), 0.0);
+  EXPECT_NEAR(scene.TimeOfFrame(610), 40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,143 @@
+// Tests for the scene-config text format.
+
+#include "sim/scene_config.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace dievent {
+namespace {
+
+constexpr const char* kTwoPersonConfig = R"(
+# a two-person lunch
+fps 10
+frames 100
+table 0 0 0.75 1.2 0.8
+rig facing 4.0 2.5 -15
+participant Ana 230 200 40 -0.8 0 1.15
+participant Bo  40  80 220  0.8 0 1.15
+gaze Ana 0 5 Bo          # mutual chat
+gaze Ana 5 10 table
+gaze Bo  0 5 Ana
+gaze Bo  5 10 away
+emotion Ana 0 10 happy 0.8
+emotion Bo  2 6 surprise
+)";
+
+TEST(SceneConfig, ParsesFullExample) {
+  auto scene = ParseSceneConfig(kTwoPersonConfig);
+  ASSERT_TRUE(scene.ok()) << scene.status();
+  const DiningScene& s = scene.value();
+  EXPECT_EQ(s.NumParticipants(), 2);
+  EXPECT_EQ(s.rig().NumCameras(), 2);
+  EXPECT_DOUBLE_EQ(s.fps(), 10.0);
+  EXPECT_EQ(s.num_frames(), 100);
+  EXPECT_EQ(s.profile(0).name, "Ana");
+  EXPECT_EQ(s.profile(1).marker_color, (Rgb{40, 80, 220}));
+
+  // Scripted behaviour resolves: at t=2 they look at each other.
+  auto states = s.StateAt(2.0);
+  EXPECT_EQ(states[0].gaze_target, 1);
+  EXPECT_EQ(states[1].gaze_target, 0);
+  EXPECT_EQ(states[0].emotion, Emotion::kHappy);
+  EXPECT_DOUBLE_EQ(states[0].emotion_intensity, 0.8);
+  EXPECT_EQ(states[1].emotion, Emotion::kSurprise);
+  // At t=7: Ana at the table, Bo looking away (outward).
+  states = s.StateAt(7.0);
+  EXPECT_EQ(states[0].gaze_target, -1);
+  EXPECT_LT(states[0].gaze_direction.z, 0);  // down toward the table
+  EXPECT_GT(states[1].gaze_direction.x, 0);  // outward from centre
+}
+
+TEST(SceneConfig, ForwardGazeReferencesAllowed) {
+  // P1's gaze references P2 before P2 is declared.
+  constexpr const char* config = R"(
+fps 10
+frames 10
+participant P1 230 200 40 -1 0 1.15
+gaze P1 0 1 P2
+participant P2 40 80 220 1 0 1.15
+)";
+  auto scene = ParseSceneConfig(config);
+  ASSERT_TRUE(scene.ok()) << scene.status();
+  EXPECT_EQ(scene.value().StateAt(0.5)[0].gaze_target, 1);
+}
+
+TEST(SceneConfig, DefaultFrameCountCoversScripts) {
+  constexpr const char* config = R"(
+fps 10
+participant P1 230 200 40 -1 0 1.15
+participant P2 40 80 220 1 0 1.15
+gaze P1 0 12.5 P2
+)";
+  auto scene = ParseSceneConfig(config);
+  ASSERT_TRUE(scene.ok());
+  EXPECT_EQ(scene.value().num_frames(), 125);
+  // Default rig when none declared: 4 corners.
+  EXPECT_EQ(scene.value().rig().NumCameras(), 4);
+}
+
+TEST(SceneConfig, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* config;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"bogus 1 2\n", "line 1"},
+      {"fps -3\n", "fps must be positive"},
+      {"participant P1 999 0 0 0 0 1\n", "0..255"},
+      {"fps 10\ngaze P9 0 1 table\n", "unknown participant"},
+      {"participant P1 1 2 3 0 0 1\ngaze P1 0 1 Px\n",
+       "unknown gaze target"},
+      {"participant P1 1 2 3 0 0 1\nemotion P1 0 1 angryish\n",
+       "unknown emotion"},
+      {"participant P1 1 2 3 0 0 1\nparticipant P1 1 2 3 1 0 1\n",
+       "duplicate"},
+      {"participant P1 1 2 3 0 0 1\n"
+       "participant P2 9 9 9 1 0 1\n"
+       "gaze P1 5 3 P2\n",
+       "line 3"},
+      {"rig diagonal 1 2 3\n", "unknown rig layout"},
+      {"participant P1 abc 2 3 0 0 1\n", "expected a number"},
+  };
+  for (const Case& c : cases) {
+    auto scene = ParseSceneConfig(c.config);
+    ASSERT_FALSE(scene.ok()) << c.config;
+    EXPECT_NE(scene.status().message().find(c.expect), std::string::npos)
+        << c.config << " -> " << scene.status();
+  }
+}
+
+TEST(SceneConfig, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/scene.cfg";
+  std::ofstream(path) << kTwoPersonConfig;
+  auto scene = LoadSceneConfig(path);
+  ASSERT_TRUE(scene.ok()) << scene.status();
+  EXPECT_EQ(scene.value().NumParticipants(), 2);
+  EXPECT_EQ(LoadSceneConfig("/no/such.cfg").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(SceneConfig, SerializeParseRoundTrip) {
+  auto original = ParseSceneConfig(kTwoPersonConfig);
+  ASSERT_TRUE(original.ok());
+  std::string serialized = SceneToConfig(original.value());
+  auto reparsed = ParseSceneConfig(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << serialized;
+  const DiningScene& a = original.value();
+  const DiningScene& b = reparsed.value();
+  EXPECT_EQ(a.NumParticipants(), b.NumParticipants());
+  EXPECT_EQ(a.num_frames(), b.num_frames());
+  for (double t : {1.0, 4.0, 7.0}) {
+    auto sa = a.StateAt(t);
+    auto sb = b.StateAt(t);
+    for (int i = 0; i < a.NumParticipants(); ++i) {
+      EXPECT_EQ(sa[i].gaze_target, sb[i].gaze_target) << t << " " << i;
+      EXPECT_EQ(sa[i].emotion, sb[i].emotion);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,132 @@
+#include "render/scene_renderer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "render/face_renderer.h"
+#include "sim/scenario.h"
+
+namespace dievent {
+namespace {
+
+int CountNear(const ImageRgb& img, const Rgb& ref, int tol) {
+  int n = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      Rgb c = GetRgb(img, x, y);
+      if (std::abs(c.r - ref.r) <= tol && std::abs(c.g - ref.g) <= tol &&
+          std::abs(c.b - ref.b) <= tol) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+TEST(SceneRenderer, FrameHasRigResolution) {
+  DiningScene scene = MakeMeetingScenario();
+  ImageRgb frame = RenderViewAt(scene, 0.0, 0, RenderOptions{});
+  EXPECT_EQ(frame.width(), 640);
+  EXPECT_EQ(frame.height(), 480);
+  EXPECT_EQ(frame.channels(), 3);
+}
+
+TEST(SceneRenderer, ContainsFacesAndTable) {
+  DiningScene scene = MakeMeetingScenario();
+  RenderOptions opt;
+  ImageRgb frame = RenderViewAt(scene, 10.0, 0, opt);
+  EXPECT_GT(CountNear(frame, face_model::kSkin, 2), 200);
+  EXPECT_GT(CountNear(frame, opt.table_color, 2), 2000);
+  EXPECT_GT(CountNear(frame, opt.background, 2), 50000);
+}
+
+TEST(SceneRenderer, DisableTableRemovesIt) {
+  DiningScene scene = MakeMeetingScenario();
+  RenderOptions opt;
+  opt.draw_table = false;
+  ImageRgb frame = RenderViewAt(scene, 10.0, 0, opt);
+  EXPECT_EQ(CountNear(frame, opt.table_color, 2), 0);
+}
+
+TEST(SceneRenderer, IlluminationScalesBackground) {
+  DiningScene scene = MakeMeetingScenario();
+  RenderOptions dim;
+  dim.illumination = 0.5;
+  ImageRgb frame = RenderViewAt(scene, 0.0, 0, dim);
+  Rgb corner = GetRgb(frame, 0, 0);
+  EXPECT_NEAR(corner.r, dim.background.r * 0.5, 2);
+  EXPECT_NEAR(corner.g, dim.background.g * 0.5, 2);
+}
+
+TEST(SceneRenderer, NoiseRequiresRng) {
+  DiningScene scene = MakeMeetingScenario();
+  RenderOptions opt;
+  opt.noise_sigma = 10.0;
+  ImageRgb clean = RenderViewAt(scene, 0.0, 0, opt, nullptr);
+  ImageRgb clean2 = RenderViewAt(scene, 0.0, 0, opt, nullptr);
+  EXPECT_TRUE(clean == clean2);
+  Rng rng(99);
+  ImageRgb noisy = RenderViewAt(scene, 0.0, 0, opt, &rng);
+  EXPECT_FALSE(noisy == clean);
+}
+
+TEST(SceneRenderer, IsFrontFacingMatchesGazeGeometry) {
+  DiningScene scene = MakeMeetingScenario();
+  auto states = scene.StateAt(10.0);
+  // P1 at (-1,0) looks at P3 at (1,0): away from cameras on the -x wall,
+  // towards cameras on the +x wall.
+  const CameraModel& c1 = scene.rig().camera(0);  // corner (-2.5, -2)
+  const CameraModel& c2 = scene.rig().camera(1);  // corner (+2.5, -2)
+  EXPECT_FALSE(IsFrontFacing(c1, states[0]));
+  EXPECT_TRUE(IsFrontFacing(c2, states[0]));
+}
+
+TEST(SceneRenderer, EveryParticipantFrontalSomewhere) {
+  // The prototype's 4-corner rig guarantees at least one frontal view per
+  // participant whenever they look at another participant — the paper's
+  // reason for using four cameras.
+  DiningScene scene = MakeMeetingScenario();
+  for (int f = 0; f < scene.num_frames(); f += 25) {
+    auto states = scene.StateAt(scene.TimeOfFrame(f));
+    for (int i = 0; i < scene.NumParticipants(); ++i) {
+      if (states[i].gaze_target < 0) continue;  // looking at the table
+      bool frontal = false;
+      for (int c = 0; c < scene.rig().NumCameras(); ++c) {
+        if (IsFrontFacing(scene.rig().camera(c), states[i])) frontal = true;
+      }
+      EXPECT_TRUE(frontal) << "frame " << f << " participant " << i;
+    }
+  }
+}
+
+TEST(SceneRenderer, OcclusionDrawsNearFaceOnTop) {
+  // Two participants on one viewing ray: the nearer head must occlude.
+  Table table;
+  std::vector<ScriptedParticipant> people;
+  ScriptedParticipant a, b;
+  a.profile.id = 0;
+  a.profile.name = "near";
+  a.profile.marker_color = Rgb{250, 0, 0};
+  a.seat_head_position = {1.0, 0, 1.0};
+  b.profile.id = 1;
+  b.profile.name = "far";
+  b.profile.marker_color = Rgb{0, 0, 250};
+  b.seat_head_position = {2.0, 0, 1.0};
+  people.push_back(a);
+  people.push_back(b);
+  Rig rig;
+  rig.AddCamera(CameraModel("C", Intrinsics::FromFov(640, 480, 1.2),
+                            Pose::LookAt({-1, 0, 1.0}, {1, 0, 1.0})));
+  auto scene = DiningScene::Create(table, std::move(rig), people, 10, 10);
+  ASSERT_TRUE(scene.ok());
+  RenderOptions opt;
+  opt.draw_table = false;
+  ImageRgb frame = RenderViewAt(scene.value(), 0.0, 0, opt);
+  // Near (red-capped) head visible; far (blue-capped) fully hidden.
+  EXPECT_GT(CountNear(frame, Rgb{250, 0, 0}, 2), 20);
+  EXPECT_EQ(CountNear(frame, Rgb{0, 0, 250}, 2), 0);
+}
+
+}  // namespace
+}  // namespace dievent

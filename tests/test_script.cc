@@ -1,0 +1,74 @@
+#include "sim/script.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+TEST(Script, EmptyReturnsDefault) {
+  Script<int> s(42);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Sample(0.0), 42);
+  EXPECT_EQ(s.Sample(100.0), 42);
+}
+
+TEST(Script, SampleInsideSegments) {
+  Script<int> s(0);
+  ASSERT_TRUE(s.Add(1.0, 2.0, 10).ok());
+  ASSERT_TRUE(s.Add(2.0, 3.0, 20).ok());
+  ASSERT_TRUE(s.Add(5.0, 6.0, 30).ok());
+  EXPECT_EQ(s.Sample(0.5), 0);    // before first
+  EXPECT_EQ(s.Sample(1.0), 10);   // inclusive start
+  EXPECT_EQ(s.Sample(1.999), 10);
+  EXPECT_EQ(s.Sample(2.0), 20);   // exclusive end / next start
+  EXPECT_EQ(s.Sample(4.0), 0);    // gap
+  EXPECT_EQ(s.Sample(5.5), 30);
+  EXPECT_EQ(s.Sample(6.0), 0);    // after last (exclusive)
+}
+
+TEST(Script, RejectsEmptyAndBackwardSegments) {
+  Script<int> s(0);
+  EXPECT_EQ(s.Add(2.0, 2.0, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.Add(3.0, 1.0, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Script, RejectsOverlapAndDisorder) {
+  Script<int> s(0);
+  ASSERT_TRUE(s.Add(1.0, 3.0, 1).ok());
+  EXPECT_EQ(s.Add(2.0, 4.0, 2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.Add(0.0, 0.5, 3).code(), StatusCode::kInvalidArgument);
+  // Touching segments are fine.
+  EXPECT_TRUE(s.Add(3.0, 4.0, 4).ok());
+}
+
+TEST(Script, ManySegmentsBinarySearch) {
+  Script<int> s(-1);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(s.Add(i, i + 0.5, i).ok());
+  }
+  EXPECT_EQ(s.Sample(0.25), 0);
+  EXPECT_EQ(s.Sample(500.25), 500);
+  EXPECT_EQ(s.Sample(500.75), -1);  // in the gap
+  EXPECT_EQ(s.Sample(999.49), 999);
+}
+
+TEST(GazeTarget, SentinelsAndParticipants) {
+  GazeTarget table{GazeTarget::kTableCenter};
+  GazeTarget away{GazeTarget::kAway};
+  GazeTarget person{3};
+  EXPECT_FALSE(table.IsParticipant());
+  EXPECT_FALSE(away.IsParticipant());
+  EXPECT_TRUE(person.IsParticipant());
+}
+
+TEST(EmotionScript, CarriesIntensity) {
+  EmotionScript s(EmotionSample{});
+  ASSERT_TRUE(s.Add(0.0, 5.0, {Emotion::kHappy, 0.7}).ok());
+  EmotionSample at = s.Sample(2.0);
+  EXPECT_EQ(at.emotion, Emotion::kHappy);
+  EXPECT_DOUBLE_EQ(at.intensity, 0.7);
+  EXPECT_EQ(s.Sample(6.0).emotion, Emotion::kNeutral);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,61 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+TEST(Split, BasicFields) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = Split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparatorYieldsWhole) {
+  auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  std::vector<std::string> v = {"p1", "p2", "p3"};
+  EXPECT_EQ(Join(v, "/"), "p1/p2/p3");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"solo"}, "/"), "solo");
+}
+
+TEST(StripWhitespace, TrimsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("nows"), "nows");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(StartsWith("dievent", "die"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("die", "dievent"));
+  EXPECT_FALSE(StartsWith("dievent", "event"));
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+  // Long outputs survive the two-pass sizing.
+  std::string long_out = StrFormat("%0500d", 7);
+  EXPECT_EQ(long_out.size(), 500u);
+}
+
+}  // namespace
+}  // namespace dievent

@@ -1,0 +1,157 @@
+// Tests for video summarization (framework component 6).
+
+#include "metadata/summarization.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+LookAtRecord Rec(int frame, double t, int n,
+                 std::vector<std::pair<int, int>> edges) {
+  LookAtMatrix m(n);
+  for (auto [a, b] : edges) m.Set(a, b, true);
+  return LookAtRecord::FromMatrix(frame, t, m);
+}
+
+/// 100 frames: quiet until 40, P1<->P2 eye contact during [40, 60),
+/// group attention on P3 during [70, 90).
+MetadataRepository EventfulRepo() {
+  MetadataRepository repo;
+  repo.set_fps(10.0);
+  for (int f = 0; f < 100; ++f) {
+    std::vector<std::pair<int, int>> edges;
+    if (f >= 40 && f < 60) {
+      edges.push_back({0, 1});
+      edges.push_back({1, 0});
+    }
+    if (f >= 70 && f < 90) {
+      edges.push_back({0, 2});
+      edges.push_back({1, 2});
+      edges.push_back({3, 2});
+    }
+    EXPECT_TRUE(repo.AddLookAt(Rec(f, f / 10.0, 4, edges)).ok());
+    OverallEmotionRecord oe;
+    oe.frame = f;
+    oe.timestamp_s = f / 10.0;
+    oe.overall_happiness = f >= 40 && f < 60 ? 0.8 : 0.1;
+    oe.observed = 4;
+    EXPECT_TRUE(repo.AddOverallEmotion(oe).ok());
+  }
+  return repo;
+}
+
+VideoStructure StructureWithKeyFrames(std::vector<int> key_frames,
+                                      int num_frames) {
+  VideoStructure vs;
+  vs.num_frames = num_frames;
+  vs.fps = 10.0;
+  SceneSegment scene;
+  Shot shot{0, num_frames, std::move(key_frames)};
+  scene.shots.push_back(shot);
+  vs.scenes.push_back(scene);
+  return vs;
+}
+
+TEST(Summarizer, PrefersEventfulKeyFrames) {
+  MetadataRepository repo = EventfulRepo();
+  VideoStructure vs = StructureWithKeyFrames({5, 25, 45, 75}, 100);
+  SummaryOptions opt;
+  opt.max_entries = 2;
+  VideoSummarizer summarizer(opt);
+  auto summary = summarizer.Summarize(vs, {}, repo);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_EQ(summary.value().size(), 2u);
+  // The two eventful key frames (EC onset at ~40, attention at ~75) win
+  // over the quiet ones.
+  EXPECT_EQ(summary.value()[0].frame, 45);
+  EXPECT_EQ(summary.value()[1].frame, 75);
+  EXPECT_FALSE(summary.value()[0].reason.empty());
+}
+
+TEST(Summarizer, ReasonsNameTheEvents) {
+  MetadataRepository repo = EventfulRepo();
+  EventContext ctx;
+  ctx.participant_names = {"P1", "P2", "P3", "P4"};
+  repo.SetContext(ctx);
+  VideoStructure vs = StructureWithKeyFrames({45, 75}, 100);
+  VideoSummarizer summarizer;
+  auto summary = summarizer.Summarize(vs, {}, repo);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary.value().size(), 2u);
+  EXPECT_NE(summary.value()[0].reason.find("eye contact"),
+            std::string::npos);
+  EXPECT_NE(summary.value()[1].reason.find("attention"),
+            std::string::npos);
+  EXPECT_NE(summary.value()[1].reason.find("P3"), std::string::npos);
+}
+
+TEST(Summarizer, EntriesSortedByFrameWithTimestamps) {
+  MetadataRepository repo = EventfulRepo();
+  VideoStructure vs = StructureWithKeyFrames({75, 45, 5}, 100);
+  SummaryOptions opt;
+  opt.max_entries = 3;
+  opt.min_score = 0.0;
+  auto summary = VideoSummarizer(opt).Summarize(vs, {}, repo);
+  ASSERT_TRUE(summary.ok());
+  for (size_t i = 1; i < summary.value().size(); ++i) {
+    EXPECT_LT(summary.value()[i - 1].frame, summary.value()[i].frame);
+  }
+  for (const auto& e : summary.value()) {
+    EXPECT_NEAR(e.timestamp_s, e.frame / 10.0, 1e-9);
+  }
+}
+
+TEST(Summarizer, VisualNoveltyBreaksTiesWhenSignaturesGiven) {
+  // Two semantically-equal quiet key frames; one visually distinct. With
+  // signatures, the summary picks visually diverse frames.
+  MetadataRepository repo;
+  repo.set_fps(10.0);
+  for (int f = 0; f < 30; ++f) {
+    EXPECT_TRUE(repo.AddLookAt(Rec(f, f / 10.0, 2, {})).ok());
+  }
+  std::vector<Histogram> sigs(30);
+  for (int f = 0; f < 30; ++f) {
+    sigs[f].bins = {1.0, 0.0};
+  }
+  sigs[20].bins = {0.0, 1.0};  // frame 20 looks different
+  VideoStructure vs = StructureWithKeyFrames({0, 10, 20}, 30);
+  SummaryOptions opt;
+  opt.max_entries = 2;
+  opt.min_score = 0.0;
+  auto summary = VideoSummarizer(opt).Summarize(vs, sigs, repo);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary.value().size(), 2u);
+  bool has_20 = summary.value()[0].frame == 20 ||
+                summary.value()[1].frame == 20;
+  EXPECT_TRUE(has_20);
+}
+
+TEST(Summarizer, MinScoreCutsQuietFrames) {
+  MetadataRepository repo;
+  repo.set_fps(10.0);
+  for (int f = 0; f < 20; ++f) {
+    EXPECT_TRUE(repo.AddLookAt(Rec(f, f / 10.0, 2, {})).ok());
+  }
+  VideoStructure vs = StructureWithKeyFrames({0, 10}, 20);
+  SummaryOptions opt;
+  opt.max_entries = 5;
+  opt.min_score = 0.5;  // nothing semantic, no signatures -> below cut
+  auto summary = VideoSummarizer(opt).Summarize(vs, {}, repo);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary.value().empty());
+}
+
+TEST(Summarizer, ValidatesOptionsAndHandlesEmpty) {
+  MetadataRepository repo;
+  SummaryOptions bad;
+  bad.max_entries = 0;
+  EXPECT_FALSE(
+      VideoSummarizer(bad).Summarize({}, {}, repo).ok());
+  auto empty = VideoSummarizer().Summarize({}, {}, repo);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+}  // namespace
+}  // namespace dievent

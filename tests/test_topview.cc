@@ -1,0 +1,82 @@
+// Tests for the look-at top-view map (paper Fig. 7b / 8b).
+
+#include "analysis/topview_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/scenario.h"
+
+namespace dievent {
+namespace {
+
+int CountNear(const ImageRgb& img, const Rgb& ref, int tol) {
+  int n = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      Rgb c = GetRgb(img, x, y);
+      if (std::abs(c.r - ref.r) <= tol && std::abs(c.g - ref.g) <= tol &&
+          std::abs(c.b - ref.b) <= tol) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+LookAtMatrix Fig7Matrix() {
+  LookAtMatrix m(4);
+  m.Set(0, 2, true);  // P1 -> P3
+  m.Set(2, 0, true);  // P3 -> P1 (mutual EC)
+  m.Set(3, 1, true);  // P4 -> P2
+  m.Set(1, 2, true);  // P2 -> P3
+  return m;
+}
+
+TEST(TopViewMap, HasRequestedDimensionsAndBackground) {
+  DiningScene scene = MakeMeetingScenario();
+  TopViewOptions opt;
+  opt.width = 320;
+  opt.height = 240;
+  ImageRgb map = RenderTopViewMap(scene, Fig7Matrix(), opt);
+  EXPECT_EQ(map.width(), 320);
+  EXPECT_EQ(map.height(), 240);
+  EXPECT_GT(CountNear(map, opt.background, 2), 320 * 240 / 3);
+}
+
+TEST(TopViewMap, DrawsAllParticipantDiscs) {
+  DiningScene scene = MakeMeetingScenario();
+  TopViewOptions opt;
+  ImageRgb map = RenderTopViewMap(scene, Fig7Matrix(), opt);
+  double disc_area = 3.14159 * opt.participant_radius_px *
+                     opt.participant_radius_px;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(CountNear(map, scene.profile(i).marker_color, 2),
+              disc_area * 0.5)
+        << "participant " << i;
+  }
+  EXPECT_GT(CountNear(map, opt.table_color, 2), 1000);
+}
+
+TEST(TopViewMap, ArrowsOnlyWhenEdgesExist) {
+  DiningScene scene = MakeMeetingScenario();
+  TopViewOptions opt;
+  ImageRgb empty_map = RenderTopViewMap(scene, LookAtMatrix(4), opt);
+  ImageRgb busy_map = RenderTopViewMap(scene, Fig7Matrix(), opt);
+  // Arrows are dark strokes; the busy map has many more dark pixels.
+  int dark_empty = CountNear(empty_map, Rgb{40, 40, 40}, 12);
+  int dark_busy = CountNear(busy_map, Rgb{40, 40, 40}, 12);
+  EXPECT_GT(dark_busy, dark_empty + 50);
+}
+
+TEST(TopViewMap, HandlesMatrixSmallerThanScene) {
+  DiningScene scene = MakeMeetingScenario();
+  LookAtMatrix two(2);
+  two.Set(0, 1, true);
+  ImageRgb map = RenderTopViewMap(scene, two, TopViewOptions{});
+  EXPECT_FALSE(map.empty());  // no crash, best-effort rendering
+}
+
+}  // namespace
+}  // namespace dievent

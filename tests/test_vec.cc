@@ -1,0 +1,84 @@
+#include "geometry/vec.h"
+
+#include <gtest/gtest.h>
+
+namespace dievent {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ((a + b).x, 4);
+  EXPECT_EQ((a + b).y, -2);
+  EXPECT_EQ((a - b).x, -2);
+  EXPECT_EQ((a * 2.0).y, 4);
+  EXPECT_EQ((2.0 * a).y, 4);
+  EXPECT_EQ((-a).x, -1);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  Vec2 v{3, 4};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  Vec2 u = v.Normalized();
+  EXPECT_NEAR(u.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+  // Zero vector normalizes to itself without NaN.
+  Vec2 z{0, 0};
+  EXPECT_EQ(z.Normalized().x, 0.0);
+}
+
+TEST(Vec3, DotAndCross) {
+  Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.Dot(y), 0.0);
+  EXPECT_EQ(x.Cross(y), z);
+  EXPECT_EQ(y.Cross(z), x);
+  EXPECT_EQ(z.Cross(x), y);
+  // Anti-commutativity.
+  EXPECT_EQ(y.Cross(x), -z);
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += Vec3{1, 2, 3};
+  EXPECT_EQ(v, (Vec3{2, 3, 4}));
+  v -= Vec3{2, 2, 2};
+  EXPECT_EQ(v, (Vec3{0, 1, 2}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{0, 3, 6}));
+}
+
+TEST(Vec3, NormalizedZeroSafe) {
+  Vec3 z{0, 0, 0};
+  Vec3 n = z.Normalized();
+  EXPECT_EQ(n, z);
+}
+
+TEST(AngleBetween, KnownAngles) {
+  Vec3 x{1, 0, 0}, y{0, 1, 0};
+  EXPECT_NEAR(AngleBetween(x, y), DegToRad(90), 1e-12);
+  EXPECT_NEAR(AngleBetween(x, x), 0.0, 1e-7);
+  EXPECT_NEAR(AngleBetween(x, -x), DegToRad(180), 1e-7);
+  EXPECT_NEAR(AngleBetween(x, Vec3{1, 1, 0}), DegToRad(45), 1e-12);
+  // Magnitude-invariant.
+  EXPECT_NEAR(AngleBetween(x * 10.0, y * 0.01), DegToRad(90), 1e-12);
+}
+
+TEST(AngleBetween, DegenerateInputsReturnZero) {
+  EXPECT_EQ(AngleBetween(Vec3{}, Vec3{1, 0, 0}), 0.0);
+}
+
+TEST(AngleBetween, ClampsRoundoff) {
+  // Nearly-parallel vectors whose normalized dot may exceed 1 by roundoff.
+  Vec3 a{1, 1e-9, 0};
+  Vec3 b{1, 0, 0};
+  double ang = AngleBetween(a, b);
+  EXPECT_GE(ang, 0.0);
+  EXPECT_LT(ang, 1e-6);
+}
+
+TEST(DegRadConversion, RoundTrips) {
+  EXPECT_NEAR(RadToDeg(DegToRad(123.4)), 123.4, 1e-12);
+  EXPECT_NEAR(DegToRad(180.0), 3.14159265358979, 1e-10);
+}
+
+}  // namespace
+}  // namespace dievent

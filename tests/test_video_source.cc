@@ -1,0 +1,119 @@
+#include "video/video_source.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+#include "video/synthetic_source.h"
+
+namespace dievent {
+namespace {
+
+std::vector<ImageRgb> ThreeFrames() {
+  std::vector<ImageRgb> frames;
+  for (int i = 0; i < 3; ++i) {
+    ImageRgb f(4, 4, 3);
+    f.Fill(static_cast<uint8_t>(i * 10));
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+TEST(MemoryVideoSource, ServesFramesWithTimestamps) {
+  MemoryVideoSource src(ThreeFrames(), 10.0);
+  EXPECT_EQ(src.NumFrames(), 3);
+  EXPECT_DOUBLE_EQ(src.Fps(), 10.0);
+  auto f1 = src.GetFrame(1);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1.value().index, 1);
+  EXPECT_DOUBLE_EQ(f1.value().timestamp_s, 0.1);
+  EXPECT_EQ(f1.value().image.at(0, 0, 0), 10);
+}
+
+TEST(MemoryVideoSource, OutOfRangeIsError) {
+  MemoryVideoSource src(ThreeFrames(), 10.0);
+  EXPECT_EQ(src.GetFrame(-1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(src.GetFrame(3).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MultiCameraSource, RequiresSynchronizedSources) {
+  std::vector<std::unique_ptr<VideoSource>> ok_sources;
+  ok_sources.push_back(
+      std::make_unique<MemoryVideoSource>(ThreeFrames(), 10.0));
+  ok_sources.push_back(
+      std::make_unique<MemoryVideoSource>(ThreeFrames(), 10.0));
+  EXPECT_TRUE(MultiCameraSource::Create(std::move(ok_sources)).ok());
+
+  std::vector<std::unique_ptr<VideoSource>> bad_fps;
+  bad_fps.push_back(
+      std::make_unique<MemoryVideoSource>(ThreeFrames(), 10.0));
+  bad_fps.push_back(
+      std::make_unique<MemoryVideoSource>(ThreeFrames(), 25.0));
+  EXPECT_FALSE(MultiCameraSource::Create(std::move(bad_fps)).ok());
+
+  EXPECT_FALSE(MultiCameraSource::Create({}).ok());
+}
+
+TEST(MultiCameraSource, GetFramesReturnsOnePerCamera) {
+  std::vector<std::unique_ptr<VideoSource>> sources;
+  sources.push_back(
+      std::make_unique<MemoryVideoSource>(ThreeFrames(), 10.0));
+  sources.push_back(
+      std::make_unique<MemoryVideoSource>(ThreeFrames(), 10.0));
+  auto multi = MultiCameraSource::Create(std::move(sources));
+  ASSERT_TRUE(multi.ok());
+  auto frames = multi.value().GetFrames(2);
+  ASSERT_TRUE(frames.ok());
+  EXPECT_EQ(frames.value().size(), 2u);
+  EXPECT_EQ(frames.value()[0].index, 2);
+  EXPECT_EQ(frames.value()[1].index, 2);
+}
+
+TEST(SyntheticVideoSource, MatchesSceneDimensions) {
+  DiningScene scene = MakeMeetingScenario();
+  SyntheticVideoSource src(&scene, 0);
+  EXPECT_EQ(src.NumFrames(), 610);
+  EXPECT_DOUBLE_EQ(src.Fps(), 15.25);
+  auto f = src.GetFrame(0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().image.width(), 640);
+}
+
+TEST(SyntheticVideoSource, DeterministicWithoutNoise) {
+  DiningScene scene = MakeMeetingScenario();
+  SyntheticVideoSource a(&scene, 0), b(&scene, 0);
+  EXPECT_TRUE(a.GetFrame(7).value().image == b.GetFrame(7).value().image);
+}
+
+TEST(SyntheticVideoSource, NoiseSeedReproducible) {
+  DiningScene scene = MakeMeetingScenario();
+  RenderOptions opt;
+  opt.noise_sigma = 5.0;
+  SyntheticVideoSource a(&scene, 0, opt, {}, 123);
+  SyntheticVideoSource b(&scene, 0, opt, {}, 123);
+  SyntheticVideoSource c(&scene, 0, opt, {}, 456);
+  EXPECT_TRUE(a.GetFrame(5).value().image == b.GetFrame(5).value().image);
+  EXPECT_FALSE(a.GetFrame(5).value().image == c.GetFrame(5).value().image);
+}
+
+TEST(SyntheticVideoSource, BackgroundScriptChangesFrames) {
+  DiningScene scene = MakeMeetingScenario();
+  RenderScripts scripts;
+  ASSERT_TRUE(scripts.background.Add(0.0, 1.0, Rgb{10, 10, 10}).ok());
+  ASSERT_TRUE(scripts.background.Add(1.0, 2.0, Rgb{200, 200, 200}).ok());
+  SyntheticVideoSource src(&scene, 0, RenderOptions{}, scripts);
+  ImageRgb early = src.GetFrame(0).value().image;
+  ImageRgb late = src.GetFrame(20).value().image;  // t = 1.31 s
+  EXPECT_EQ(GetRgb(early, 0, 0), (Rgb{10, 10, 10}));
+  EXPECT_EQ(GetRgb(late, 0, 0), (Rgb{200, 200, 200}));
+}
+
+TEST(SyntheticVideoSource, ForAllCamerasBuildsSynchronizedBundle) {
+  DiningScene scene = MakeMeetingScenario();
+  auto multi = SyntheticVideoSource::ForAllCameras(&scene);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi.value().NumCameras(), 4);
+  EXPECT_EQ(multi.value().NumFrames(), 610);
+}
+
+}  // namespace
+}  // namespace dievent
