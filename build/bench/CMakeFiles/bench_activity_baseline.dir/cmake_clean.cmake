@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_activity_baseline.dir/bench_activity_baseline.cc.o"
+  "CMakeFiles/bench_activity_baseline.dir/bench_activity_baseline.cc.o.d"
+  "bench_activity_baseline"
+  "bench_activity_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_activity_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

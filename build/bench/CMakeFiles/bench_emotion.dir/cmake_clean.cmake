@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emotion.dir/bench_emotion.cc.o"
+  "CMakeFiles/bench_emotion.dir/bench_emotion.cc.o.d"
+  "bench_emotion"
+  "bench_emotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eye_contact.dir/bench_eye_contact.cc.o"
+  "CMakeFiles/bench_eye_contact.dir/bench_eye_contact.cc.o.d"
+  "bench_eye_contact"
+  "bench_eye_contact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eye_contact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

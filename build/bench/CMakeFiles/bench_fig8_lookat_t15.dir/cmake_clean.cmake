@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_lookat_t15.dir/bench_fig8_lookat_t15.cc.o"
+  "CMakeFiles/bench_fig8_lookat_t15.dir/bench_fig8_lookat_t15.cc.o.d"
+  "bench_fig8_lookat_t15"
+  "bench_fig8_lookat_t15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_lookat_t15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_video_parsing.dir/bench_video_parsing.cc.o"
+  "CMakeFiles/bench_video_parsing.dir/bench_video_parsing.cc.o.d"
+  "bench_video_parsing"
+  "bench_video_parsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_video_parsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_scene.dir/analyze_scene.cpp.o"
+  "CMakeFiles/analyze_scene.dir/analyze_scene.cpp.o.d"
+  "analyze_scene"
+  "analyze_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_monitor.dir/event_monitor.cpp.o"
+  "CMakeFiles/event_monitor.dir/event_monitor.cpp.o.d"
+  "event_monitor"
+  "event_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meeting_prototype.dir/meeting_prototype.cpp.o"
+  "CMakeFiles/meeting_prototype.dir/meeting_prototype.cpp.o.d"
+  "meeting_prototype"
+  "meeting_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meeting_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

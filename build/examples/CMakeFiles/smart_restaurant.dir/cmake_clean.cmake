@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_restaurant.dir/smart_restaurant.cpp.o"
+  "CMakeFiles/smart_restaurant.dir/smart_restaurant.cpp.o.d"
+  "smart_restaurant"
+  "smart_restaurant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_restaurant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

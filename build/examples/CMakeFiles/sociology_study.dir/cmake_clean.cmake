@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sociology_study.dir/sociology_study.cpp.o"
+  "CMakeFiles/sociology_study.dir/sociology_study.cpp.o.d"
+  "sociology_study"
+  "sociology_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sociology_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
