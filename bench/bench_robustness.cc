@@ -1,12 +1,16 @@
-// ROBUST: the two ablations behind the paper's acquisition-platform
-// design claims:
+// ROBUST: the ablations behind the paper's acquisition-platform design
+// claims:
 //   (a) camera count — Section I motivates multiple cameras ("have a
 //       wide view using multiple cameras"); this sweep quantifies what
 //       each corner camera buys in gaze coverage and look-at recall;
 //   (b) pixel noise — how the full vision stack degrades as sensor noise
-//       grows, and how much the eye-contact angular tolerance buys back.
+//       grows, and how much the eye-contact angular tolerance buys back;
+//   (c) frame drops — injected camera faults (the production failure
+//       mode the paper's always-healthy rig never sees): how look-at
+//       precision/recall and gaze coverage hold up as one camera, then
+//       every camera, drops a growing share of frames.
 //
-// Both run the complete vision pipeline on the meeting prototype,
+// All run the complete vision pipeline on the meeting prototype,
 // measured against simulator ground truth.
 
 #include <cstdio>
@@ -22,6 +26,7 @@ namespace {
 
 struct RunResult {
   PipelineAccuracy accuracy;
+  DegradationStats degradation;
   int frames = 0;
 };
 
@@ -42,12 +47,68 @@ RunResult RunVision(const std::vector<int>& cameras, double noise_sigma,
   RunResult out;
   if (report.ok()) {
     out.accuracy = report.value().accuracy;
+    out.degradation = report.value().degradation;
     out.frames = report.value().frames_processed;
   } else {
     std::fprintf(stderr, "run failed: %s\n",
                  report.status().ToString().c_str());
   }
   return out;
+}
+
+RunResult RunWithFaults(double drop_rate, bool all_cameras) {
+  DiningScene scene = MakeMeetingScenario();
+  PipelineOptions opt;
+  opt.mode = PipelineMode::kFullVision;
+  opt.frame_stride = 10;
+  opt.analyze_emotions = false;
+  opt.parse_video = false;
+  opt.eye_contact.angular_tolerance_deg = 12.0;
+  opt.camera_faults.resize(4);
+  for (size_t c = 0; c < opt.camera_faults.size(); ++c) {
+    if (!all_cameras && c != 1) continue;
+    opt.camera_faults[c].seed = 1000 + c;
+    opt.camera_faults[c].drop_probability = drop_rate;
+  }
+  opt.acquisition.retry_budget = 1;
+  opt.acquisition.min_camera_quorum = 2;
+  MetadataRepository repo;
+  auto report = DiEventPipeline(&scene, opt).Run(&repo);
+  RunResult out;
+  if (report.ok()) {
+    out.accuracy = report.value().accuracy;
+    out.degradation = report.value().degradation;
+    out.frames = report.value().frames_processed;
+  } else {
+    std::fprintf(stderr, "faulted run failed: %s\n",
+                 report.status().ToString().c_str());
+  }
+  return out;
+}
+
+void FaultSweep() {
+  std::printf(
+      "==== frame-drop degradation (injected faults, retry budget 1, "
+      "quorum 2) ====\n");
+  std::printf("%-16s %-10s %-10s %-10s %-10s %-10s %-10s\n", "drop rate",
+              "degraded", "held", "edge-P", "edge-R", "gaze-cov",
+              "gaze-err");
+  for (bool all_cameras : {false, true}) {
+    std::printf("--- %s ---\n",
+                all_cameras ? "all four cameras" : "one camera (C2)");
+    for (double rate : {0.0, 0.1, 0.2, 0.3}) {
+      RunResult r = RunWithFaults(rate, all_cameras);
+      std::printf("%-16.2f %-10d %-10lld %-10.3f %-10.3f %-10.3f %-10.1f\n",
+                  rate, r.degradation.frames_degraded,
+                  r.degradation.frames_held, r.accuracy.edge_precision,
+                  r.accuracy.edge_recall, r.accuracy.gaze_coverage,
+                  r.accuracy.mean_gaze_error_deg);
+    }
+  }
+  std::printf(
+      "(a retry budget of one absorbs most independent drops; the "
+      "hold-last-good fallback bridges the rest, so look-at recall decays "
+      "gently rather than collapsing with the first dead read)\n\n");
 }
 
 void CameraSweep() {
@@ -199,6 +260,7 @@ void CalibrationSweep() {
 int main() {
   dievent::CameraSweep();
   dievent::NoiseSweep();
+  dievent::FaultSweep();
   dievent::CalibrationSweep();
   return 0;
 }

@@ -257,9 +257,9 @@ bench/CMakeFiles/bench_fig9_summary.dir/bench_fig9_summary.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/analysis/layers.h \
  /root/repo/src/metadata/records.h /root/repo/src/video/video_structure.h \
  /root/repo/src/ml/emotion_recognizer.h /root/repo/src/ml/neural_net.h \
- /root/repo/src/ml/tracker.h /root/repo/src/video/parser.h \
+ /root/repo/src/ml/tracker.h /root/repo/src/video/fault_injection.h \
+ /root/repo/src/video/video_source.h /root/repo/src/video/parser.h \
  /root/repo/src/video/keyframes.h /root/repo/src/image/histogram.h \
- /root/repo/src/video/video_source.h \
  /root/repo/src/video/scene_segmentation.h \
  /root/repo/src/video/shot_detection.h \
  /root/repo/src/video/synthetic_source.h

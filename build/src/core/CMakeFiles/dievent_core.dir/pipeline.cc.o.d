@@ -251,9 +251,9 @@ src/core/CMakeFiles/dievent_core.dir/pipeline.cc.o: \
  /root/repo/src/ml/emotion_recognizer.h /root/repo/src/common/rng.h \
  /root/repo/src/ml/neural_net.h /root/repo/src/ml/face_recognizer.h \
  /root/repo/src/ml/tracker.h /root/repo/src/sim/scene.h \
- /root/repo/src/sim/script.h /root/repo/src/video/parser.h \
+ /root/repo/src/sim/script.h /root/repo/src/video/fault_injection.h \
+ /root/repo/src/video/video_source.h /root/repo/src/video/parser.h \
  /root/repo/src/video/keyframes.h /root/repo/src/image/histogram.h \
- /root/repo/src/video/video_source.h \
  /root/repo/src/video/scene_segmentation.h \
  /root/repo/src/video/shot_detection.h \
  /root/repo/src/video/synthetic_source.h \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/fault_injection.cc" "src/video/CMakeFiles/dievent_video.dir/fault_injection.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/fault_injection.cc.o.d"
   "/root/repo/src/video/image_sequence_source.cc" "src/video/CMakeFiles/dievent_video.dir/image_sequence_source.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/image_sequence_source.cc.o.d"
   "/root/repo/src/video/keyframes.cc" "src/video/CMakeFiles/dievent_video.dir/keyframes.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/keyframes.cc.o.d"
   "/root/repo/src/video/parser.cc" "src/video/CMakeFiles/dievent_video.dir/parser.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/parser.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/dievent_video.dir/fault_injection.cc.o"
+  "CMakeFiles/dievent_video.dir/fault_injection.cc.o.d"
   "CMakeFiles/dievent_video.dir/image_sequence_source.cc.o"
   "CMakeFiles/dievent_video.dir/image_sequence_source.cc.o.d"
   "CMakeFiles/dievent_video.dir/keyframes.cc.o"

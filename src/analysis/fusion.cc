@@ -49,18 +49,26 @@ std::vector<FusedParticipant> FuseObservations(
   std::vector<double> weight_sum(num_participants, 0.0);
   std::vector<Vec3> gaze_sum(num_participants, Vec3{});
 
+  // Best-view selection compares stale-discounted scores, so a fresh view
+  // beats a larger-but-stale one; best_radius_px keeps the winner's true
+  // radius.
+  std::vector<double> best_score(num_participants, 0.0);
   for (const FaceObservation& obs : resolved) {
     if (obs.identity < 0 || obs.identity >= num_participants) continue;
     if (obs.identity_confidence < options.min_identity_confidence) continue;
+    const double staleness = obs.stale ? options.stale_view_weight : 1.0;
+    if (staleness <= 0.0) continue;
     FusedParticipant& f = fused[obs.identity];
     f.num_views += 1;
-    double w = obs.detection.radius_px;
+    if (obs.stale) f.num_stale_views += 1;
+    double w = obs.detection.radius_px * staleness;
     pos_sum[obs.identity] += obs.head_position_world * w;
     weight_sum[obs.identity] += w;
     if (obs.detection.front_facing && obs.has_gaze) {
       f.num_frontal_views += 1;
-      gaze_sum[obs.identity] += obs.gaze_world;
-      if (obs.detection.radius_px > f.best_radius_px) {
+      gaze_sum[obs.identity] += obs.gaze_world * staleness;
+      if (w > best_score[obs.identity]) {
+        best_score[obs.identity] = w;
         f.best_radius_px = obs.detection.radius_px;
         f.best_camera = obs.camera_index;
         if (options.gaze_mode == GazeFusionMode::kBestView) {

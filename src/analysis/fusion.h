@@ -35,6 +35,12 @@ struct FusionOptions {
   /// seat is a strong identity cue when appearance fails.
   std::vector<Vec3> seat_prior;
   double seat_radius_m = 0.45;
+  /// Weight multiplier for observations extracted from held (stale)
+  /// frames — a failed camera's last good read substituted by the
+  /// acquisition layer. Heads move little over a few frames, so stale
+  /// views still anchor position, but fresh views must dominate and win
+  /// best-view gaze selection. 0 discards stale views entirely.
+  double stale_view_weight = 0.5;
 };
 
 /// Fused per-participant state plus bookkeeping on where it came from.
@@ -43,6 +49,7 @@ struct FusedParticipant {
   ParticipantGeometry geometry;
   int num_views = 0;        ///< cameras that saw this participant
   int num_frontal_views = 0;
+  int num_stale_views = 0;  ///< views from held (substituted) frames
   int best_camera = -1;     ///< camera with the largest frontal face
   double best_radius_px = 0;
 };

@@ -50,15 +50,37 @@ Result<FrameAnalyzer> FrameAnalyzer::Create(
 
 Result<FrameAnalysis> FrameAnalyzer::Analyze(
     int frame_index, const std::vector<ImageRgb>& frames) {
+  return Analyze(frame_index, frames,
+                 std::vector<CameraFrameQuality>(
+                     frames.size(), CameraFrameQuality::kFresh));
+}
+
+Result<FrameAnalysis> FrameAnalyzer::Analyze(
+    int frame_index, const std::vector<ImageRgb>& frames,
+    const std::vector<CameraFrameQuality>& quality) {
   if (frames.size() != cameras_.size()) {
     return Status::InvalidArgument(StrFormat(
         "expected %zu frames (one per active camera), got %zu",
         cameras_.size(), frames.size()));
   }
+  if (quality.size() != frames.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "expected %zu quality flags (one per frame), got %zu",
+        frames.size(), quality.size()));
+  }
   FrameAnalysis result;
   result.per_camera.resize(cameras_.size());
+  for (CameraFrameQuality q : quality) {
+    result.cameras_used += q != CameraFrameQuality::kAbsent ? 1 : 0;
+  }
 
   auto process_camera = [&](int c) {
+    if (quality[c] == CameraFrameQuality::kAbsent) {
+      // The camera produced nothing: feed the tracker an empty detection
+      // set so its tracks age out instead of freezing at the last sight.
+      trackers_[c].Update(frame_index, {}, {});
+      return;
+    }
     const int rig_camera = cameras_[c];
     auto& obs = result.per_camera[c];
     obs = analyzer_.Analyze(rig_->camera(rig_camera), rig_camera,
@@ -69,6 +91,7 @@ Result<FrameAnalysis> FrameAnalyzer::Analyze(
       IdentityMatch m = recognizer_.Recognize(frames[c], o.detection);
       o.identity = m.id;
       o.identity_confidence = m.confidence;
+      o.stale = quality[c] == CameraFrameQuality::kStale;
       dets.push_back(o.detection);
       ids.push_back(m.id);
     }

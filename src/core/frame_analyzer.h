@@ -36,6 +36,14 @@ struct FrameAnalyzerOptions {
   int num_threads = 1;
 };
 
+/// Per-frame quality of one active camera's image, as reported by the
+/// acquisition layer.
+enum class CameraFrameQuality : uint8_t {
+  kAbsent = 0,  ///< camera delivered nothing this frame (skip it)
+  kFresh = 1,   ///< a real decode of this frame
+  kStale = 2,   ///< a held last-good substitute (observations marked stale)
+};
+
 /// Everything extracted from one synchronized frame set.
 struct FrameAnalysis {
   /// Per active camera (same order as the camera list), the identified
@@ -43,6 +51,7 @@ struct FrameAnalysis {
   std::vector<std::vector<FaceObservation>> per_camera;
   std::vector<FusedParticipant> fused;
   LookAtMatrix lookat;
+  int cameras_used = 0;  ///< cameras that contributed an image this frame
 };
 
 class FrameAnalyzer {
@@ -57,6 +66,16 @@ class FrameAnalyzer {
   /// camera list. Tracking state advances with `frame_index`.
   Result<FrameAnalysis> Analyze(int frame_index,
                                 const std::vector<ImageRgb>& frames);
+
+  /// Degradation-aware variant: `quality` (parallel to `frames`) marks
+  /// which cameras actually delivered an image this frame. Absent cameras
+  /// are skipped (their trackers see an empty detection set, so tracks age
+  /// out naturally); stale cameras are analyzed but their observations are
+  /// flagged for down-weighted fusion. `frames[c]` is ignored for absent
+  /// cameras and may be empty.
+  Result<FrameAnalysis> Analyze(int frame_index,
+                                const std::vector<ImageRgb>& frames,
+                                const std::vector<CameraFrameQuality>& quality);
 
   /// Clears tracking state (e.g. when seeking in the video).
   void ResetTracking();

@@ -56,6 +56,28 @@ ImageRgb CropFace(const ImageRgb& frame, const FaceDetection& det) {
 
 }  // namespace
 
+std::string DegradationStats::ToString() const {
+  std::string out = StrFormat(
+      "frames: %d healthy, %d degraded, %d skipped (below quorum); "
+      "retries %lld, held frames %lld, quarantine events %d, "
+      "readmissions %d\n",
+      frames_fully_healthy, frames_degraded, frames_skipped, retries_spent,
+      frames_held, quarantine_events, readmissions);
+  for (size_t c = 0; c < camera_drops.size(); ++c) {
+    long long corruptions =
+        c < camera_corruptions.size() ? camera_corruptions[c] : 0;
+    if (camera_drops[c] == 0 && corruptions == 0) continue;
+    out += StrFormat("  camera %zu: %lld dropped reads, %lld corrupted\n",
+                     c, camera_drops[c], corruptions);
+  }
+  if (!cameras_quarantined.empty()) {
+    out += "  quarantined at end of run:";
+    for (int c : cameras_quarantined) out += StrFormat(" %d", c);
+    out += "\n";
+  }
+  return out;
+}
+
 std::string DiEventReport::Summary() const {
   std::string out;
   out += StrFormat("frames processed: %d\n", frames_processed);
@@ -77,6 +99,9 @@ std::string DiEventReport::Summary() const {
       timings.acquisition, timings.detection, timings.identity,
       timings.fusion, timings.eye_contact, timings.emotion,
       timings.parsing, timings.storage);
+  if (degradation.Degraded()) {
+    out += "acquisition degradation:\n" + degradation.ToString();
+  }
   return out;
 }
 
@@ -136,14 +161,51 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     recognizer = owned_recognizer.get();
   }
 
-  std::vector<std::unique_ptr<SyntheticVideoSource>> sources;
-  for (int c = 0; c < num_cameras; ++c) {
-    sources.push_back(std::make_unique<SyntheticVideoSource>(
+  if (!options_.camera_faults.empty() &&
+      static_cast<int>(options_.camera_faults.size()) != num_cameras) {
+    return Status::InvalidArgument(StrFormat(
+        "camera_faults has %zu entries but %d cameras are active",
+        options_.camera_faults.size(), num_cameras));
+  }
+
+  auto make_source = [&](int c) -> std::unique_ptr<VideoSource> {
+    return std::make_unique<SyntheticVideoSource>(
         &scene, cameras[c], options_.render, options_.scripts,
         options_.noise_seed == 0
             ? 0
-            : options_.noise_seed + static_cast<uint64_t>(c) * 7919));
+            : options_.noise_seed + static_cast<uint64_t>(c) * 7919);
+  };
+
+  // Full-vision acquisition goes through the degradation-aware
+  // synchronized reader, with fault injectors (when configured) between
+  // it and the renderer. Ground-truth mode takes geometry straight from
+  // the simulator and only decodes camera 0 for video parsing.
+  std::unique_ptr<MultiCameraSource> multi;
+  std::vector<const FaultyVideoSource*> injectors(num_cameras, nullptr);
+  std::unique_ptr<VideoSource> parse_source;
+  if (full) {
+    std::vector<std::unique_ptr<VideoSource>> cam_sources;
+    for (int c = 0; c < num_cameras; ++c) {
+      std::unique_ptr<VideoSource> src = make_source(c);
+      if (!options_.camera_faults.empty() &&
+          options_.camera_faults[c].HasFaults()) {
+        auto faulty = std::make_unique<FaultyVideoSource>(
+            std::move(src), options_.camera_faults[c]);
+        injectors[c] = faulty.get();
+        src = std::move(faulty);
+      }
+      cam_sources.push_back(std::move(src));
+    }
+    DIEVENT_ASSIGN_OR_RETURN(
+        MultiCameraSource created,
+        MultiCameraSource::Create(std::move(cam_sources),
+                                  options_.acquisition));
+    multi = std::make_unique<MultiCameraSource>(std::move(created));
+  } else {
+    parse_source = make_source(0);
   }
+  report.degradation.camera_drops.assign(num_cameras, 0);
+  report.degradation.camera_corruptions.assign(num_cameras, 0);
 
   FusionOptions fusion_options = options_.fusion;
   if (options_.seat_prior_from_scene && fusion_options.seat_prior.empty()) {
@@ -189,6 +251,8 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   long long gaze_have = 0, detect_have = 0, pf_total = 0;
   long long emo_correct = 0, emo_total = 0;
 
+  int consecutive_below_quorum = 0;
+
   // --- per-frame loop ----------------------------------------------------
   for (int f = 0; f < scene.num_frames(); f += options_.frame_stride) {
     const double t = scene.TimeOfFrame(f);
@@ -201,19 +265,55 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     std::vector<ImageRgb> frames(num_cameras);
 
     if (full) {
-      // Decode this frame set (timed as acquisition), then hand it to the
-      // per-frame engine (detection + identity + fusion + eye contact).
+      // Decode this frame set through the degradation-aware reader (timed
+      // as acquisition), then hand the usable views to the per-frame
+      // engine (detection + identity + fusion + eye contact).
+      SynchronizedFrameSet set;
       {
         StageTimer timer(&report.timings.acquisition);
-        for (int c = 0; c < num_cameras; ++c) {
-          DIEVENT_ASSIGN_OR_RETURN(VideoFrame vf, sources[c]->GetFrame(f));
-          frames[c] = std::move(vf.image);
+        DIEVENT_ASSIGN_OR_RETURN(set, multi->GetFrames(f));
+      }
+      const int usable = set.NumUsable();
+      if (usable < options_.acquisition.min_camera_quorum) {
+        ++report.degradation.frames_skipped;
+        ++consecutive_below_quorum;
+        if (consecutive_below_quorum >
+            options_.acquisition.max_consecutive_below_quorum) {
+          std::string quarantined;
+          for (int c : multi->QuarantinedCameras()) {
+            quarantined += StrFormat(" %d", c);
+          }
+          return Status::FailedPrecondition(StrFormat(
+              "acquisition collapsed at frame %d: %d consecutive frame "
+              "sets below quorum (%d usable of %d cameras, quorum %d; "
+              "quarantined:%s)",
+              f, consecutive_below_quorum, usable, num_cameras,
+              options_.acquisition.min_camera_quorum,
+              quarantined.empty() ? " none" : quarantined.c_str()));
         }
+        continue;  // no analysis, no records for this frame
+      }
+      consecutive_below_quorum = 0;
+      if (set.FullyHealthy()) {
+        ++report.degradation.frames_fully_healthy;
+      } else {
+        ++report.degradation.frames_degraded;
+      }
+      std::vector<CameraFrameQuality> quality(num_cameras,
+                                              CameraFrameQuality::kAbsent);
+      for (int c = 0; c < num_cameras; ++c) {
+        CameraFrame& slot = set.cameras[c];
+        if (!slot.usable()) continue;
+        quality[c] = slot.status == CameraFrameStatus::kHeld
+                         ? CameraFrameQuality::kStale
+                         : CameraFrameQuality::kFresh;
+        frames[c] = std::move(slot.frame.image);
       }
       FrameAnalysis analysis;
       {
         StageTimer timer(&report.timings.detection);
-        DIEVENT_ASSIGN_OR_RETURN(analysis, engine->Analyze(f, frames));
+        DIEVENT_ASSIGN_OR_RETURN(analysis,
+                                 engine->Analyze(f, frames, quality));
       }
       per_camera_obs = std::move(analysis.per_camera);
       fused = std::move(analysis.fused);
@@ -224,7 +324,8 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
         }
       }
 
-      if (options_.parse_video) {
+      if (options_.parse_video &&
+          quality[0] != CameraFrameQuality::kAbsent) {
         signatures.push_back(signature_maker.Signature(frames[0]));
       }
 
@@ -295,7 +396,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       }
       if (options_.parse_video) {
         StageTimer acquire(&report.timings.acquisition);
-        DIEVENT_ASSIGN_OR_RETURN(VideoFrame vf, sources[0]->GetFrame(f));
+        DIEVENT_ASSIGN_OR_RETURN(VideoFrame vf, parse_source->GetFrame(f));
         signatures.push_back(signature_maker.Signature(vf.image));
       }
     }
@@ -358,6 +459,30 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     report.structure = parser.ParseFromHistograms(
         signatures, scene.fps() / options_.frame_stride);
     repository->SetVideoStructure(report.structure);
+  }
+
+  // --- degradation accounting --------------------------------------------
+  if (full) {
+    DegradationStats& deg = report.degradation;
+    for (int c = 0; c < num_cameras; ++c) {
+      const CameraHealth& health = multi->health(c);
+      deg.camera_drops[c] = health.failures;
+      deg.retries_spent += health.retries;
+      deg.frames_held += health.held;
+      deg.quarantine_events += health.quarantine_events;
+      deg.readmissions += health.readmissions;
+      if (injectors[c] != nullptr) {
+        deg.camera_corruptions[c] = injectors[c]->counters().corruptions;
+      }
+    }
+    deg.cameras_quarantined = multi->QuarantinedCameras();
+    if (report.frames_processed == 0 && deg.frames_skipped > 0) {
+      return Status::FailedPrecondition(StrFormat(
+          "no frame set reached the camera quorum (%d of %d cameras "
+          "required): %d frame sets skipped",
+          options_.acquisition.min_camera_quorum, num_cameras,
+          deg.frames_skipped));
+    }
   }
 
   // --- report ------------------------------------------------------------

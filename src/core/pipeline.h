@@ -30,6 +30,7 @@
 #include "ml/face_recognizer.h"
 #include "ml/tracker.h"
 #include "sim/scene.h"
+#include "video/fault_injection.h"
 #include "video/parser.h"
 #include "video/synthetic_source.h"
 #include "vision/face_analyzer.h"
@@ -49,6 +50,13 @@ struct PipelineOptions {
   /// the paper's multi-camera design (Section I: "have a wide view using
   /// multiple cameras").
   std::vector<int> camera_subset;
+  /// Per-active-camera fault schedules (parallel to the resolved camera
+  /// list; empty = no injected faults). Applied to the full-vision
+  /// acquisition path to exercise degradation handling deterministically.
+  std::vector<FaultSpec> camera_faults;
+  /// Degradation behavior of the synchronized multi-camera read: retries,
+  /// hold-last-good fallback, quorum, circuit breaker.
+  AcquisitionPolicy acquisition;
 
   // Feature extraction.
   FaceAnalyzerOptions vision;
@@ -126,6 +134,27 @@ struct PipelineAccuracy {
   double emotion_accuracy = 0;
 };
 
+/// How the acquisition path degraded over a run (kFullVision mode).
+/// All-zero for a fault-free run over healthy sources.
+struct DegradationStats {
+  int frames_fully_healthy = 0;  ///< every camera delivered a fresh decode
+  int frames_degraded = 0;  ///< analyzed with held/missing/quarantined slots
+  int frames_skipped = 0;   ///< below quorum; no analysis, no records
+  long long retries_spent = 0;  ///< extra read attempts across all cameras
+  long long frames_held = 0;    ///< slots filled from a last good frame
+  /// Per active camera (pipeline camera-subset order).
+  std::vector<long long> camera_drops;        ///< failed reads after retries
+  std::vector<long long> camera_corruptions;  ///< injected corrupted frames
+  std::vector<int> cameras_quarantined;  ///< breaker open at end of run
+  int quarantine_events = 0;
+  int readmissions = 0;
+
+  bool Degraded() const {
+    return frames_degraded > 0 || frames_skipped > 0;
+  }
+  std::string ToString() const;
+};
+
 /// Everything the pipeline produces for one event.
 struct DiEventReport {
   int frames_processed = 0;
@@ -139,6 +168,7 @@ struct DiEventReport {
   VideoStructure structure;  ///< camera-0 parse (when enabled)
   StageTimings timings;
   PipelineAccuracy accuracy;  ///< meaningful in kFullVision mode
+  DegradationStats degradation;  ///< acquisition health (kFullVision mode)
 
   std::string Summary() const;
 };

@@ -1,0 +1,111 @@
+#include "video/fault_injection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates structured inputs into a uniform
+/// 64-bit hash. Pure, so every fault decision is a function of its inputs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from (seed, frame, attempt, salt).
+double HashUniform(uint64_t seed, int frame, int attempt, uint64_t salt) {
+  uint64_t h = Mix(seed ^ Mix(static_cast<uint64_t>(frame) ^
+                              Mix(static_cast<uint64_t>(attempt) ^ salt)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kDropSalt = 0xd309u;
+constexpr uint64_t kCorruptSalt = 0xc089u;
+constexpr uint64_t kJitterSalt = 0x71773u;
+
+}  // namespace
+
+bool FaultSpec::InScheduledOutage(int frame) const {
+  if (outage_after_frame >= 0 && frame >= outage_after_frame) return true;
+  for (const FlakyWindow& w : flaky_windows) {
+    if (w.Contains(frame)) return true;
+  }
+  return false;
+}
+
+bool FaultSpec::ShouldDrop(int frame, int attempt) const {
+  if (drop_probability <= 0) return false;
+  return HashUniform(seed, frame, attempt, kDropSalt) < drop_probability;
+}
+
+bool FaultSpec::ShouldCorrupt(int frame) const {
+  if (corrupt_probability <= 0) return false;
+  return HashUniform(seed, frame, 0, kCorruptSalt) < corrupt_probability;
+}
+
+double FaultSpec::TimestampJitter(int frame) const {
+  if (timestamp_jitter_s <= 0) return 0.0;
+  return (2.0 * HashUniform(seed, frame, 0, kJitterSalt) - 1.0) *
+         timestamp_jitter_s;
+}
+
+Result<VideoFrame> FaultyVideoSource::GetFrame(int index) {
+  ++counters_.attempts;
+  if (spec_.InScheduledOutage(index)) {
+    ++counters_.outages;
+    return Status::IoError(
+        StrFormat("camera offline (scheduled outage at frame %d)", index));
+  }
+  if (index >= 0) {
+    if (attempts_seen_.empty()) {
+      attempts_seen_.assign(std::max(inner_->NumFrames(), index + 1), 0);
+    }
+    if (index >= static_cast<int>(attempts_seen_.size())) {
+      attempts_seen_.resize(index + 1, 0);
+    }
+    const int attempt = attempts_seen_[index]++;
+    if (spec_.ShouldDrop(index, attempt)) {
+      ++counters_.drops;
+      return Status::IoError(
+          StrFormat("dropped frame %d (attempt %d)", index, attempt + 1));
+    }
+  }
+
+  DIEVENT_ASSIGN_OR_RETURN(VideoFrame frame, inner_->GetFrame(index));
+  frame.timestamp_s += spec_.TimestampJitter(index);
+
+  if (spec_.ShouldCorrupt(index)) {
+    ++counters_.corruptions;
+    // Pixel damage draws from an Rng seeded per (seed, frame) so the same
+    // corruption pattern appears on every delivery of this frame.
+    Rng rng(Mix(spec_.seed ^ Mix(static_cast<uint64_t>(index))));
+    ImageRgb& img = frame.image;
+    if (spec_.corruption == CorruptionModel::kGaussianNoise) {
+      for (auto& v : img.data()) {
+        double noisy = v + rng.Gaussian(0.0, spec_.corrupt_sigma);
+        v = static_cast<uint8_t>(std::clamp(noisy, 0.0, 255.0));
+      }
+    } else {  // kBlackout: zero a band of ~1/4 of the rows.
+      if (img.height() > 0) {
+        int band = std::max(1, img.height() / 4);
+        int y0 = static_cast<int>(rng.NextBelow(
+            static_cast<uint64_t>(std::max(1, img.height() - band))));
+        for (int y = y0; y < y0 + band && y < img.height(); ++y) {
+          for (int x = 0; x < img.width(); ++x) {
+            for (int c = 0; c < img.channels(); ++c) img.at(x, y, c) = 0;
+          }
+        }
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace dievent

@@ -1,0 +1,121 @@
+/// \file fault_injection.h
+/// Deterministic fault injection for video sources.
+///
+/// A production acquisition platform sees dropped frames, corrupted sensor
+/// reads, cameras that die mid-event, and clocks that drift. FaultyVideoSource
+/// wraps any VideoSource and reproduces those failure modes on a schedule
+/// derived purely from a seed, so every degraded run — and every test
+/// asserting on one — is bit-for-bit reproducible.
+///
+/// Random faults (drops, corruption) are a pure function of
+/// (seed, frame index, attempt number): re-reading a frame is a fresh
+/// attempt, which is what gives an acquisition-level retry budget a chance
+/// to recover a transient failure. Scheduled faults (permanent outage,
+/// flaky windows) depend only on the frame index.
+
+#ifndef DIEVENT_VIDEO_FAULT_INJECTION_H_
+#define DIEVENT_VIDEO_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "video/video_source.h"
+
+namespace dievent {
+
+/// How a corrupted frame's pixels are damaged.
+enum class CorruptionModel {
+  kGaussianNoise,  ///< additive per-pixel Gaussian noise of `corrupt_sigma`
+  kBlackout,       ///< a horizontal band of rows zeroed (dead sensor region)
+};
+
+/// A half-open frame range [begin, end) during which the camera is down —
+/// models a transiently flaky link (loose cable, congested switch).
+struct FlakyWindow {
+  int begin = 0;
+  int end = 0;
+
+  bool Contains(int frame) const { return frame >= begin && frame < end; }
+};
+
+/// The full fault schedule for one camera. Default-constructed = no faults.
+struct FaultSpec {
+  /// Seed for the random components. Two specs with equal seeds and equal
+  /// probabilities produce identical schedules.
+  uint64_t seed = 1;
+
+  /// Per-attempt probability that a read fails with IoError.
+  double drop_probability = 0.0;
+
+  /// Per-frame probability that a read succeeds but returns damaged pixels.
+  double corrupt_probability = 0.0;
+  CorruptionModel corruption = CorruptionModel::kGaussianNoise;
+  /// Noise sigma (kGaussianNoise) in 8-bit pixel units.
+  double corrupt_sigma = 40.0;
+
+  /// Camera dies permanently at this frame index (-1 = never). Models a
+  /// mid-event hardware failure.
+  int outage_after_frame = -1;
+
+  /// Transient dead windows; reads inside any window fail.
+  std::vector<FlakyWindow> flaky_windows;
+
+  /// Uniform timestamp jitter in [-j, +j] seconds — desynchronized clocks.
+  double timestamp_jitter_s = 0.0;
+
+  bool HasFaults() const {
+    return drop_probability > 0 || corrupt_probability > 0 ||
+           outage_after_frame >= 0 || !flaky_windows.empty() ||
+           timestamp_jitter_s > 0;
+  }
+
+  /// True when `frame` falls in a scheduled (non-random) dead period.
+  bool InScheduledOutage(int frame) const;
+
+  /// True when attempt `attempt` at reading `frame` is randomly dropped.
+  bool ShouldDrop(int frame, int attempt) const;
+
+  /// True when `frame` is delivered with corrupted pixels.
+  bool ShouldCorrupt(int frame) const;
+
+  /// Deterministic timestamp jitter for `frame`, in seconds.
+  double TimestampJitter(int frame) const;
+};
+
+/// Decorates a VideoSource with the failures described by a FaultSpec.
+/// Thin and stateless apart from lifetime counters, so wrapping a source
+/// costs nothing on the healthy path.
+class FaultyVideoSource : public VideoSource {
+ public:
+  /// Lifetime tallies, for degradation reporting and tests.
+  struct Counters {
+    long long attempts = 0;     ///< GetFrame calls observed
+    long long drops = 0;        ///< random drops injected
+    long long outages = 0;      ///< scheduled-outage failures injected
+    long long corruptions = 0;  ///< corrupted frames delivered
+  };
+
+  FaultyVideoSource(std::unique_ptr<VideoSource> inner, FaultSpec spec)
+      : inner_(std::move(inner)), spec_(spec) {}
+
+  int NumFrames() const override { return inner_->NumFrames(); }
+  double Fps() const override { return inner_->Fps(); }
+  Result<VideoFrame> GetFrame(int index) override;
+
+  const FaultSpec& spec() const { return spec_; }
+  const Counters& counters() const { return counters_; }
+  VideoSource& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<VideoSource> inner_;
+  FaultSpec spec_;
+  Counters counters_;
+  /// Attempt counters keyed by frame index, so retries of the same frame
+  /// draw fresh failure decisions. Sized lazily from NumFrames().
+  std::vector<int> attempts_seen_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VIDEO_FAULT_INJECTION_H_

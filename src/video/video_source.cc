@@ -1,37 +1,161 @@
 #include "video/video_source.h"
 
+#include <cmath>
+
 #include "common/strings.h"
 
 namespace dievent {
 
+int SynchronizedFrameSet::NumUsable() const {
+  int n = 0;
+  for (const CameraFrame& c : cameras) n += c.usable() ? 1 : 0;
+  return n;
+}
+
+int SynchronizedFrameSet::NumFresh() const {
+  int n = 0;
+  for (const CameraFrame& c : cameras) n += c.fresh() ? 1 : 0;
+  return n;
+}
+
 Result<MultiCameraSource> MultiCameraSource::Create(
-    std::vector<std::unique_ptr<VideoSource>> sources) {
+    std::vector<std::unique_ptr<VideoSource>> sources,
+    AcquisitionPolicy policy) {
   if (sources.empty()) {
     return Status::InvalidArgument("need at least one camera source");
+  }
+  if (policy.retry_budget < 0 || policy.min_camera_quorum < 1 ||
+      policy.quarantine_after < 1) {
+    return Status::InvalidArgument(
+        "acquisition policy: retry_budget must be >= 0, "
+        "min_camera_quorum and quarantine_after must be >= 1");
   }
   const int frames = sources[0]->NumFrames();
   const double fps = sources[0]->Fps();
   for (size_t i = 1; i < sources.size(); ++i) {
-    if (sources[i]->NumFrames() != frames || sources[i]->Fps() != fps) {
+    if (sources[i]->NumFrames() != frames) {
       return Status::InvalidArgument(StrFormat(
-          "camera %zu is not synchronized (frames/fps mismatch)", i));
+          "camera %zu is not synchronized: %d frames vs %d on camera 0", i,
+          sources[i]->NumFrames(), frames));
+    }
+    // Exact == on fps would reject streams whose containers report the
+    // same nominal rate with encoder rounding (25.0 vs 25.000001).
+    const double fps_i = sources[i]->Fps();
+    if (std::abs(fps_i - fps) > 1e-6 * std::max(1.0, std::abs(fps))) {
+      return Status::InvalidArgument(StrFormat(
+          "camera %zu is not synchronized: %.9g fps vs %.9g fps on "
+          "camera 0",
+          i, fps_i, fps));
     }
   }
   MultiCameraSource out;
   out.sources_ = std::move(sources);
+  out.health_.resize(out.sources_.size());
+  out.policy_ = policy;
   out.num_frames_ = frames;
   out.fps_ = fps;
   return out;
 }
 
-Result<std::vector<VideoFrame>> MultiCameraSource::GetFrames(int index) {
-  std::vector<VideoFrame> frames;
-  frames.reserve(sources_.size());
-  for (auto& src : sources_) {
-    DIEVENT_ASSIGN_OR_RETURN(VideoFrame f, src->GetFrame(index));
-    frames.push_back(std::move(f));
+std::vector<int> MultiCameraSource::QuarantinedCameras() const {
+  std::vector<int> out;
+  for (size_t c = 0; c < health_.size(); ++c) {
+    if (health_[c].breaker != CameraHealth::Breaker::kClosed) {
+      out.push_back(static_cast<int>(c));
+    }
   }
-  return frames;
+  return out;
+}
+
+Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
+  if (index < 0 || index >= num_frames_) {
+    return Status::OutOfRange(
+        StrFormat("frame %d outside [0, %d)", index, num_frames_));
+  }
+  SynchronizedFrameSet set;
+  set.frame_index = index;
+  set.cameras.resize(sources_.size());
+
+  for (size_t c = 0; c < sources_.size(); ++c) {
+    CameraHealth& health = health_[c];
+    CameraFrame& slot = set.cameras[c];
+
+    // Circuit breaker: an open camera is skipped entirely until the
+    // cooldown elapses, then probed once (half-open).
+    if (health.breaker == CameraHealth::Breaker::kOpen) {
+      const bool cooldown_over =
+          policy_.readmit_after > 0 &&
+          index - health.quarantined_at_frame >= policy_.readmit_after;
+      if (!cooldown_over) {
+        slot.status = CameraFrameStatus::kQuarantined;
+        slot.error = Status::FailedPrecondition(StrFormat(
+            "camera %zu quarantined since frame %d (%d consecutive "
+            "failures)",
+            c, health.quarantined_at_frame, health.consecutive_failures));
+        continue;
+      }
+      health.breaker = CameraHealth::Breaker::kHalfOpen;
+    }
+    const bool probing = health.breaker == CameraHealth::Breaker::kHalfOpen;
+    // A probe gets a single attempt; a healthy camera gets the budget.
+    const int attempts = probing ? 1 : 1 + policy_.retry_budget;
+
+    Status last_error;
+    bool got = false;
+    for (int a = 0; a < attempts && !got; ++a) {
+      Result<VideoFrame> r = sources_[c]->GetFrame(index);
+      if (r.ok()) {
+        slot.frame = std::move(r).value();
+        slot.status = a == 0 ? CameraFrameStatus::kFresh
+                             : CameraFrameStatus::kRetried;
+        got = true;
+      } else {
+        last_error = r.status().WithContext(
+            StrFormat("camera %zu frame %d", c, index));
+        if (a > 0) ++health.retries;
+      }
+    }
+
+    if (got) {
+      if (probing) {
+        ++health.readmissions;
+        health.quarantined_at_frame = -1;
+      }
+      health.breaker = CameraHealth::Breaker::kClosed;
+      health.consecutive_failures = 0;
+      health.last_good = slot.frame;
+      continue;
+    }
+
+    // All attempts failed.
+    ++health.failures;
+    ++health.consecutive_failures;
+    slot.error = last_error;
+
+    if (probing) {
+      // Failed probe: back to open, cooldown restarts from this frame.
+      health.breaker = CameraHealth::Breaker::kOpen;
+      health.quarantined_at_frame = index;
+      slot.status = CameraFrameStatus::kQuarantined;
+      continue;
+    }
+    if (health.consecutive_failures >= policy_.quarantine_after) {
+      health.breaker = CameraHealth::Breaker::kOpen;
+      health.quarantined_at_frame = index;
+      ++health.quarantine_events;
+      slot.status = CameraFrameStatus::kQuarantined;
+      continue;
+    }
+    if (policy_.hold_last_good && health.last_good.has_value() &&
+        index - health.last_good->index <= policy_.max_held_age) {
+      slot.frame = *health.last_good;
+      slot.status = CameraFrameStatus::kHeld;
+      ++health.held;
+    } else {
+      slot.status = CameraFrameStatus::kMissing;
+    }
+  }
+  return set;
 }
 
 Result<VideoFrame> MemoryVideoSource::GetFrame(int index) {

@@ -2,11 +2,19 @@
 /// Frame-addressable video sources. The synthetic source plays the role of
 /// the paper's recorded surveillance streams; the interface would equally
 /// sit in front of a file decoder.
+///
+/// MultiCameraSource is the acquisition platform's synchronization point.
+/// Real capture hardware degrades — frames drop, links flap, cameras die —
+/// so a synchronized read returns a per-camera SynchronizedFrameSet with
+/// health flags rather than all-or-nothing, governed by an
+/// AcquisitionPolicy (retry budget, hold-last-good fallback, quorum, and a
+/// per-camera circuit breaker).
 
 #ifndef DIEVENT_VIDEO_VIDEO_SOURCE_H_
 #define DIEVENT_VIDEO_VIDEO_SOURCE_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -33,27 +41,127 @@ class VideoSource {
   virtual Result<VideoFrame> GetFrame(int index) = 0;
 };
 
+/// How one camera's slot in a synchronized read was filled.
+enum class CameraFrameStatus {
+  kFresh,        ///< decoded on the first attempt
+  kRetried,      ///< decoded within the retry budget
+  kHeld,         ///< read failed; last good frame substituted
+  kMissing,      ///< read failed and no usable fallback
+  kQuarantined,  ///< circuit breaker open; camera not read at all
+};
+
+/// One camera's contribution to a synchronized frame set.
+struct CameraFrame {
+  CameraFrameStatus status = CameraFrameStatus::kMissing;
+  /// Valid when usable(); for kHeld this is the last good frame (its
+  /// `index` names the frame it was decoded from, not the requested one).
+  VideoFrame frame;
+  /// The failure that produced a non-usable or held slot.
+  Status error;
+
+  bool usable() const {
+    return status == CameraFrameStatus::kFresh ||
+           status == CameraFrameStatus::kRetried ||
+           status == CameraFrameStatus::kHeld;
+  }
+  bool fresh() const {
+    return status == CameraFrameStatus::kFresh ||
+           status == CameraFrameStatus::kRetried;
+  }
+};
+
+/// The per-camera outcome of one synchronized read.
+struct SynchronizedFrameSet {
+  int frame_index = 0;
+  std::vector<CameraFrame> cameras;
+
+  int NumUsable() const;
+  int NumFresh() const;
+  /// Every camera delivered a first-attempt or retried decode.
+  bool FullyHealthy() const { return NumFresh() == NumCameras(); }
+  int NumCameras() const { return static_cast<int>(cameras.size()); }
+};
+
+/// Degradation behavior of the synchronized acquisition path.
+struct AcquisitionPolicy {
+  /// Extra read attempts per camera per frame after a failed first read.
+  int retry_budget = 1;
+  /// Minimum usable cameras for a frame set to be analyzable. Callers
+  /// (e.g. the pipeline) skip sets below quorum.
+  int min_camera_quorum = 1;
+  /// On failure, substitute the camera's last good frame (instead of
+  /// reporting the slot missing) when it is at most `max_held_age` frames
+  /// old. false = a failed camera is simply absent from the set.
+  bool hold_last_good = true;
+  int max_held_age = 5;
+  /// Circuit breaker: after this many consecutive failed frames the camera
+  /// is quarantined (not read at all).
+  int quarantine_after = 3;
+  /// A quarantined camera is probed again after this many frames
+  /// (half-open state); a successful probe readmits it. 0 = never readmit.
+  int readmit_after = 30;
+  /// Consecutive below-quorum frame sets a caller should tolerate before
+  /// declaring the event unanalyzable.
+  int max_consecutive_below_quorum = 25;
+};
+
+/// Per-camera acquisition health, maintained across GetFrames calls.
+struct CameraHealth {
+  /// Circuit-breaker state machine: kClosed (healthy) -> kOpen
+  /// (quarantined after `quarantine_after` consecutive failures) ->
+  /// kHalfOpen (probing after `readmit_after` frames) -> kClosed again on
+  /// a successful probe.
+  enum class Breaker { kClosed, kOpen, kHalfOpen };
+
+  Breaker breaker = Breaker::kClosed;
+  int consecutive_failures = 0;
+  int quarantined_at_frame = -1;  ///< frame index that opened the breaker
+  std::optional<VideoFrame> last_good;
+
+  // Lifetime tallies for degradation reporting.
+  long long failures = 0;      ///< failed frames (after retries)
+  long long retries = 0;       ///< extra attempts spent
+  long long held = 0;          ///< slots filled from last_good
+  int quarantine_events = 0;   ///< breaker openings
+  int readmissions = 0;        ///< successful half-open probes
+};
+
 /// A set of per-camera sources sharing one clock — the paper's synchronized
 /// multi-camera recording.
 class MultiCameraSource {
  public:
-  /// All sources must agree on frame count and fps.
+  /// All sources must agree on frame count and fps (fps compared with a
+  /// small relative tolerance; real encoders report e.g. 25.0 vs
+  /// 25.000001). The policy governs degradation during GetFrames.
   static Result<MultiCameraSource> Create(
-      std::vector<std::unique_ptr<VideoSource>> sources);
+      std::vector<std::unique_ptr<VideoSource>> sources,
+      AcquisitionPolicy policy = {});
 
   int NumCameras() const { return static_cast<int>(sources_.size()); }
   int NumFrames() const { return num_frames_; }
   double Fps() const { return fps_; }
+  const AcquisitionPolicy& policy() const { return policy_; }
 
-  /// Decodes the synchronized frame `index` from every camera.
-  Result<std::vector<VideoFrame>> GetFrames(int index);
+  /// Reads the synchronized frame `index` from every camera, applying the
+  /// policy: retries, hold-last-good fallback, and the per-camera circuit
+  /// breaker. Always returns a set for a valid index — per-camera failures
+  /// are reported in the slots, not as an error. OutOfRange only for
+  /// indices outside [0, NumFrames).
+  Result<SynchronizedFrameSet> GetFrames(int index);
 
   VideoSource& source(int camera) { return *sources_.at(camera); }
+  const CameraHealth& health(int camera) const {
+    return health_.at(camera);
+  }
+  /// Cameras whose circuit breaker is currently open or probing.
+  std::vector<int> QuarantinedCameras() const;
 
  private:
   MultiCameraSource() = default;
 
   std::vector<std::unique_ptr<VideoSource>> sources_;
+  std::vector<CameraHealth> health_;
+  AcquisitionPolicy policy_;
   int num_frames_ = 0;
   double fps_ = 0.0;
 };

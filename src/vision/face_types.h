@@ -54,6 +54,9 @@ struct FaceObservation {
   FaceLandmarks landmarks;
   int identity = -1;  ///< participant id assigned by the recognizer
   double identity_confidence = 0.0;
+  /// True when the source frame was a held (stale) substitute for a failed
+  /// camera read; fusion down-weights stale views.
+  bool stale = false;
 
   Vec3 head_position_world;  ///< backprojected head-sphere centre
   Vec3 head_position_camera; ///< same, in the camera frame

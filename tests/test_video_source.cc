@@ -48,9 +48,25 @@ TEST(MultiCameraSource, RequiresSynchronizedSources) {
       std::make_unique<MemoryVideoSource>(ThreeFrames(), 10.0));
   bad_fps.push_back(
       std::make_unique<MemoryVideoSource>(ThreeFrames(), 25.0));
-  EXPECT_FALSE(MultiCameraSource::Create(std::move(bad_fps)).ok());
+  auto mismatch = MultiCameraSource::Create(std::move(bad_fps));
+  ASSERT_FALSE(mismatch.ok());
+  // The observed rates must be in the message so a degraded-rig log is
+  // actionable.
+  EXPECT_NE(mismatch.status().message().find("25"), std::string::npos);
+  EXPECT_NE(mismatch.status().message().find("10"), std::string::npos);
 
   EXPECT_FALSE(MultiCameraSource::Create({}).ok());
+}
+
+TEST(MultiCameraSource, FpsComparisonToleratesEncoderRounding) {
+  // Exact != on doubles would reject 10.0 vs 10.0 + 1e-9 — the same
+  // nominal rate with container rounding.
+  std::vector<std::unique_ptr<VideoSource>> sources;
+  sources.push_back(
+      std::make_unique<MemoryVideoSource>(ThreeFrames(), 10.0));
+  sources.push_back(
+      std::make_unique<MemoryVideoSource>(ThreeFrames(), 10.0 + 1e-9));
+  EXPECT_TRUE(MultiCameraSource::Create(std::move(sources)).ok());
 }
 
 TEST(MultiCameraSource, GetFramesReturnsOnePerCamera) {
@@ -61,11 +77,17 @@ TEST(MultiCameraSource, GetFramesReturnsOnePerCamera) {
       std::make_unique<MemoryVideoSource>(ThreeFrames(), 10.0));
   auto multi = MultiCameraSource::Create(std::move(sources));
   ASSERT_TRUE(multi.ok());
-  auto frames = multi.value().GetFrames(2);
-  ASSERT_TRUE(frames.ok());
-  EXPECT_EQ(frames.value().size(), 2u);
-  EXPECT_EQ(frames.value()[0].index, 2);
-  EXPECT_EQ(frames.value()[1].index, 2);
+  auto set = multi.value().GetFrames(2);
+  ASSERT_TRUE(set.ok());
+  ASSERT_EQ(set.value().NumCameras(), 2);
+  EXPECT_TRUE(set.value().FullyHealthy());
+  EXPECT_EQ(set.value().NumUsable(), 2);
+  EXPECT_EQ(set.value().cameras[0].status, CameraFrameStatus::kFresh);
+  EXPECT_EQ(set.value().cameras[0].frame.index, 2);
+  EXPECT_EQ(set.value().cameras[1].frame.index, 2);
+
+  EXPECT_EQ(multi.value().GetFrames(3).status().code(),
+            StatusCode::kOutOfRange);
 }
 
 TEST(SyntheticVideoSource, MatchesSceneDimensions) {
