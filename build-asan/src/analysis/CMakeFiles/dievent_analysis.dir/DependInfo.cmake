@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/activity.cc" "src/analysis/CMakeFiles/dievent_analysis.dir/activity.cc.o" "gcc" "src/analysis/CMakeFiles/dievent_analysis.dir/activity.cc.o.d"
+  "/root/repo/src/analysis/alerts.cc" "src/analysis/CMakeFiles/dievent_analysis.dir/alerts.cc.o" "gcc" "src/analysis/CMakeFiles/dievent_analysis.dir/alerts.cc.o.d"
+  "/root/repo/src/analysis/eye_contact.cc" "src/analysis/CMakeFiles/dievent_analysis.dir/eye_contact.cc.o" "gcc" "src/analysis/CMakeFiles/dievent_analysis.dir/eye_contact.cc.o.d"
+  "/root/repo/src/analysis/fusion.cc" "src/analysis/CMakeFiles/dievent_analysis.dir/fusion.cc.o" "gcc" "src/analysis/CMakeFiles/dievent_analysis.dir/fusion.cc.o.d"
+  "/root/repo/src/analysis/lookat_matrix.cc" "src/analysis/CMakeFiles/dievent_analysis.dir/lookat_matrix.cc.o" "gcc" "src/analysis/CMakeFiles/dievent_analysis.dir/lookat_matrix.cc.o.d"
+  "/root/repo/src/analysis/overall_emotion.cc" "src/analysis/CMakeFiles/dievent_analysis.dir/overall_emotion.cc.o" "gcc" "src/analysis/CMakeFiles/dievent_analysis.dir/overall_emotion.cc.o.d"
+  "/root/repo/src/analysis/topview_map.cc" "src/analysis/CMakeFiles/dievent_analysis.dir/topview_map.cc.o" "gcc" "src/analysis/CMakeFiles/dievent_analysis.dir/topview_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/vision/CMakeFiles/dievent_vision.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/dievent_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geometry/CMakeFiles/dievent_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/image/CMakeFiles/dievent_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dievent_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/render/CMakeFiles/dievent_render.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

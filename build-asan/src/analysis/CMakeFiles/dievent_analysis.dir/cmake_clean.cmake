@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_analysis.dir/activity.cc.o"
+  "CMakeFiles/dievent_analysis.dir/activity.cc.o.d"
+  "CMakeFiles/dievent_analysis.dir/alerts.cc.o"
+  "CMakeFiles/dievent_analysis.dir/alerts.cc.o.d"
+  "CMakeFiles/dievent_analysis.dir/eye_contact.cc.o"
+  "CMakeFiles/dievent_analysis.dir/eye_contact.cc.o.d"
+  "CMakeFiles/dievent_analysis.dir/fusion.cc.o"
+  "CMakeFiles/dievent_analysis.dir/fusion.cc.o.d"
+  "CMakeFiles/dievent_analysis.dir/lookat_matrix.cc.o"
+  "CMakeFiles/dievent_analysis.dir/lookat_matrix.cc.o.d"
+  "CMakeFiles/dievent_analysis.dir/overall_emotion.cc.o"
+  "CMakeFiles/dievent_analysis.dir/overall_emotion.cc.o.d"
+  "CMakeFiles/dievent_analysis.dir/topview_map.cc.o"
+  "CMakeFiles/dievent_analysis.dir/topview_map.cc.o.d"
+  "libdievent_analysis.a"
+  "libdievent_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

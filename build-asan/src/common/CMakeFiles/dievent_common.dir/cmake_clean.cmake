@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_common.dir/logging.cc.o"
+  "CMakeFiles/dievent_common.dir/logging.cc.o.d"
+  "CMakeFiles/dievent_common.dir/rng.cc.o"
+  "CMakeFiles/dievent_common.dir/rng.cc.o.d"
+  "CMakeFiles/dievent_common.dir/status.cc.o"
+  "CMakeFiles/dievent_common.dir/status.cc.o.d"
+  "CMakeFiles/dievent_common.dir/strings.cc.o"
+  "CMakeFiles/dievent_common.dir/strings.cc.o.d"
+  "CMakeFiles/dievent_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dievent_common.dir/thread_pool.cc.o.d"
+  "libdievent_common.a"
+  "libdievent_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

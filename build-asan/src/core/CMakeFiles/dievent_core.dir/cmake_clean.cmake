@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_core.dir/frame_analyzer.cc.o"
+  "CMakeFiles/dievent_core.dir/frame_analyzer.cc.o.d"
+  "CMakeFiles/dievent_core.dir/pipeline.cc.o"
+  "CMakeFiles/dievent_core.dir/pipeline.cc.o.d"
+  "libdievent_core.a"
+  "libdievent_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

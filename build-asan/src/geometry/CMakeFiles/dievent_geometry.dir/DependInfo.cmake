@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/calibration.cc" "src/geometry/CMakeFiles/dievent_geometry.dir/calibration.cc.o" "gcc" "src/geometry/CMakeFiles/dievent_geometry.dir/calibration.cc.o.d"
+  "/root/repo/src/geometry/camera.cc" "src/geometry/CMakeFiles/dievent_geometry.dir/camera.cc.o" "gcc" "src/geometry/CMakeFiles/dievent_geometry.dir/camera.cc.o.d"
+  "/root/repo/src/geometry/pose.cc" "src/geometry/CMakeFiles/dievent_geometry.dir/pose.cc.o" "gcc" "src/geometry/CMakeFiles/dievent_geometry.dir/pose.cc.o.d"
+  "/root/repo/src/geometry/quaternion.cc" "src/geometry/CMakeFiles/dievent_geometry.dir/quaternion.cc.o" "gcc" "src/geometry/CMakeFiles/dievent_geometry.dir/quaternion.cc.o.d"
+  "/root/repo/src/geometry/ray.cc" "src/geometry/CMakeFiles/dievent_geometry.dir/ray.cc.o" "gcc" "src/geometry/CMakeFiles/dievent_geometry.dir/ray.cc.o.d"
+  "/root/repo/src/geometry/rig.cc" "src/geometry/CMakeFiles/dievent_geometry.dir/rig.cc.o" "gcc" "src/geometry/CMakeFiles/dievent_geometry.dir/rig.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dievent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_geometry.dir/calibration.cc.o"
+  "CMakeFiles/dievent_geometry.dir/calibration.cc.o.d"
+  "CMakeFiles/dievent_geometry.dir/camera.cc.o"
+  "CMakeFiles/dievent_geometry.dir/camera.cc.o.d"
+  "CMakeFiles/dievent_geometry.dir/pose.cc.o"
+  "CMakeFiles/dievent_geometry.dir/pose.cc.o.d"
+  "CMakeFiles/dievent_geometry.dir/quaternion.cc.o"
+  "CMakeFiles/dievent_geometry.dir/quaternion.cc.o.d"
+  "CMakeFiles/dievent_geometry.dir/ray.cc.o"
+  "CMakeFiles/dievent_geometry.dir/ray.cc.o.d"
+  "CMakeFiles/dievent_geometry.dir/rig.cc.o"
+  "CMakeFiles/dievent_geometry.dir/rig.cc.o.d"
+  "libdievent_geometry.a"
+  "libdievent_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

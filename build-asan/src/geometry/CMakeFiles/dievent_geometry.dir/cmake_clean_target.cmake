@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdievent_geometry.a"
+)

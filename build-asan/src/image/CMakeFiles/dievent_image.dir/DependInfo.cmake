@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/draw.cc" "src/image/CMakeFiles/dievent_image.dir/draw.cc.o" "gcc" "src/image/CMakeFiles/dievent_image.dir/draw.cc.o.d"
+  "/root/repo/src/image/filter.cc" "src/image/CMakeFiles/dievent_image.dir/filter.cc.o" "gcc" "src/image/CMakeFiles/dievent_image.dir/filter.cc.o.d"
+  "/root/repo/src/image/histogram.cc" "src/image/CMakeFiles/dievent_image.dir/histogram.cc.o" "gcc" "src/image/CMakeFiles/dievent_image.dir/histogram.cc.o.d"
+  "/root/repo/src/image/integral.cc" "src/image/CMakeFiles/dievent_image.dir/integral.cc.o" "gcc" "src/image/CMakeFiles/dievent_image.dir/integral.cc.o.d"
+  "/root/repo/src/image/pnm_io.cc" "src/image/CMakeFiles/dievent_image.dir/pnm_io.cc.o" "gcc" "src/image/CMakeFiles/dievent_image.dir/pnm_io.cc.o.d"
+  "/root/repo/src/image/resize.cc" "src/image/CMakeFiles/dievent_image.dir/resize.cc.o" "gcc" "src/image/CMakeFiles/dievent_image.dir/resize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dievent_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geometry/CMakeFiles/dievent_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_image.dir/draw.cc.o"
+  "CMakeFiles/dievent_image.dir/draw.cc.o.d"
+  "CMakeFiles/dievent_image.dir/filter.cc.o"
+  "CMakeFiles/dievent_image.dir/filter.cc.o.d"
+  "CMakeFiles/dievent_image.dir/histogram.cc.o"
+  "CMakeFiles/dievent_image.dir/histogram.cc.o.d"
+  "CMakeFiles/dievent_image.dir/integral.cc.o"
+  "CMakeFiles/dievent_image.dir/integral.cc.o.d"
+  "CMakeFiles/dievent_image.dir/pnm_io.cc.o"
+  "CMakeFiles/dievent_image.dir/pnm_io.cc.o.d"
+  "CMakeFiles/dievent_image.dir/resize.cc.o"
+  "CMakeFiles/dievent_image.dir/resize.cc.o.d"
+  "libdievent_image.a"
+  "libdievent_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

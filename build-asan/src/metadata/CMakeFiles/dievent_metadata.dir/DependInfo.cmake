@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/engagement.cc" "src/metadata/CMakeFiles/dievent_metadata.dir/engagement.cc.o" "gcc" "src/metadata/CMakeFiles/dievent_metadata.dir/engagement.cc.o.d"
+  "/root/repo/src/metadata/event_collection.cc" "src/metadata/CMakeFiles/dievent_metadata.dir/event_collection.cc.o" "gcc" "src/metadata/CMakeFiles/dievent_metadata.dir/event_collection.cc.o.d"
+  "/root/repo/src/metadata/export.cc" "src/metadata/CMakeFiles/dievent_metadata.dir/export.cc.o" "gcc" "src/metadata/CMakeFiles/dievent_metadata.dir/export.cc.o.d"
+  "/root/repo/src/metadata/query.cc" "src/metadata/CMakeFiles/dievent_metadata.dir/query.cc.o" "gcc" "src/metadata/CMakeFiles/dievent_metadata.dir/query.cc.o.d"
+  "/root/repo/src/metadata/query_parser.cc" "src/metadata/CMakeFiles/dievent_metadata.dir/query_parser.cc.o" "gcc" "src/metadata/CMakeFiles/dievent_metadata.dir/query_parser.cc.o.d"
+  "/root/repo/src/metadata/records.cc" "src/metadata/CMakeFiles/dievent_metadata.dir/records.cc.o" "gcc" "src/metadata/CMakeFiles/dievent_metadata.dir/records.cc.o.d"
+  "/root/repo/src/metadata/repository.cc" "src/metadata/CMakeFiles/dievent_metadata.dir/repository.cc.o" "gcc" "src/metadata/CMakeFiles/dievent_metadata.dir/repository.cc.o.d"
+  "/root/repo/src/metadata/summarization.cc" "src/metadata/CMakeFiles/dievent_metadata.dir/summarization.cc.o" "gcc" "src/metadata/CMakeFiles/dievent_metadata.dir/summarization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/analysis/CMakeFiles/dievent_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/video/CMakeFiles/dievent_video.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dievent_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vision/CMakeFiles/dievent_vision.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/render/CMakeFiles/dievent_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/dievent_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/image/CMakeFiles/dievent_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geometry/CMakeFiles/dievent_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_metadata.dir/engagement.cc.o"
+  "CMakeFiles/dievent_metadata.dir/engagement.cc.o.d"
+  "CMakeFiles/dievent_metadata.dir/event_collection.cc.o"
+  "CMakeFiles/dievent_metadata.dir/event_collection.cc.o.d"
+  "CMakeFiles/dievent_metadata.dir/export.cc.o"
+  "CMakeFiles/dievent_metadata.dir/export.cc.o.d"
+  "CMakeFiles/dievent_metadata.dir/query.cc.o"
+  "CMakeFiles/dievent_metadata.dir/query.cc.o.d"
+  "CMakeFiles/dievent_metadata.dir/query_parser.cc.o"
+  "CMakeFiles/dievent_metadata.dir/query_parser.cc.o.d"
+  "CMakeFiles/dievent_metadata.dir/records.cc.o"
+  "CMakeFiles/dievent_metadata.dir/records.cc.o.d"
+  "CMakeFiles/dievent_metadata.dir/repository.cc.o"
+  "CMakeFiles/dievent_metadata.dir/repository.cc.o.d"
+  "CMakeFiles/dievent_metadata.dir/summarization.cc.o"
+  "CMakeFiles/dievent_metadata.dir/summarization.cc.o.d"
+  "libdievent_metadata.a"
+  "libdievent_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/emotion_recognizer.cc" "src/ml/CMakeFiles/dievent_ml.dir/emotion_recognizer.cc.o" "gcc" "src/ml/CMakeFiles/dievent_ml.dir/emotion_recognizer.cc.o.d"
+  "/root/repo/src/ml/face_recognizer.cc" "src/ml/CMakeFiles/dievent_ml.dir/face_recognizer.cc.o" "gcc" "src/ml/CMakeFiles/dievent_ml.dir/face_recognizer.cc.o.d"
+  "/root/repo/src/ml/hmm.cc" "src/ml/CMakeFiles/dievent_ml.dir/hmm.cc.o" "gcc" "src/ml/CMakeFiles/dievent_ml.dir/hmm.cc.o.d"
+  "/root/repo/src/ml/hungarian.cc" "src/ml/CMakeFiles/dievent_ml.dir/hungarian.cc.o" "gcc" "src/ml/CMakeFiles/dievent_ml.dir/hungarian.cc.o.d"
+  "/root/repo/src/ml/lbp.cc" "src/ml/CMakeFiles/dievent_ml.dir/lbp.cc.o" "gcc" "src/ml/CMakeFiles/dievent_ml.dir/lbp.cc.o.d"
+  "/root/repo/src/ml/neural_net.cc" "src/ml/CMakeFiles/dievent_ml.dir/neural_net.cc.o" "gcc" "src/ml/CMakeFiles/dievent_ml.dir/neural_net.cc.o.d"
+  "/root/repo/src/ml/tracker.cc" "src/ml/CMakeFiles/dievent_ml.dir/tracker.cc.o" "gcc" "src/ml/CMakeFiles/dievent_ml.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/vision/CMakeFiles/dievent_vision.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/render/CMakeFiles/dievent_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/image/CMakeFiles/dievent_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dievent_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/dievent_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geometry/CMakeFiles/dievent_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

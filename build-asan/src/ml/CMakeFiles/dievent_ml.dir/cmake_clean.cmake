@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_ml.dir/emotion_recognizer.cc.o"
+  "CMakeFiles/dievent_ml.dir/emotion_recognizer.cc.o.d"
+  "CMakeFiles/dievent_ml.dir/face_recognizer.cc.o"
+  "CMakeFiles/dievent_ml.dir/face_recognizer.cc.o.d"
+  "CMakeFiles/dievent_ml.dir/hmm.cc.o"
+  "CMakeFiles/dievent_ml.dir/hmm.cc.o.d"
+  "CMakeFiles/dievent_ml.dir/hungarian.cc.o"
+  "CMakeFiles/dievent_ml.dir/hungarian.cc.o.d"
+  "CMakeFiles/dievent_ml.dir/lbp.cc.o"
+  "CMakeFiles/dievent_ml.dir/lbp.cc.o.d"
+  "CMakeFiles/dievent_ml.dir/neural_net.cc.o"
+  "CMakeFiles/dievent_ml.dir/neural_net.cc.o.d"
+  "CMakeFiles/dievent_ml.dir/tracker.cc.o"
+  "CMakeFiles/dievent_ml.dir/tracker.cc.o.d"
+  "libdievent_ml.a"
+  "libdievent_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

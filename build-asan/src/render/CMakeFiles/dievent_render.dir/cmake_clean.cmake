@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_render.dir/face_renderer.cc.o"
+  "CMakeFiles/dievent_render.dir/face_renderer.cc.o.d"
+  "CMakeFiles/dievent_render.dir/scene_renderer.cc.o"
+  "CMakeFiles/dievent_render.dir/scene_renderer.cc.o.d"
+  "libdievent_render.a"
+  "libdievent_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/dievent_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/dievent_sim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/scene.cc" "src/sim/CMakeFiles/dievent_sim.dir/scene.cc.o" "gcc" "src/sim/CMakeFiles/dievent_sim.dir/scene.cc.o.d"
+  "/root/repo/src/sim/scene_config.cc" "src/sim/CMakeFiles/dievent_sim.dir/scene_config.cc.o" "gcc" "src/sim/CMakeFiles/dievent_sim.dir/scene_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/geometry/CMakeFiles/dievent_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/image/CMakeFiles/dievent_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dievent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_sim.dir/scenario.cc.o"
+  "CMakeFiles/dievent_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/dievent_sim.dir/scene.cc.o"
+  "CMakeFiles/dievent_sim.dir/scene.cc.o.d"
+  "CMakeFiles/dievent_sim.dir/scene_config.cc.o"
+  "CMakeFiles/dievent_sim.dir/scene_config.cc.o.d"
+  "libdievent_sim.a"
+  "libdievent_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/fault_injection.cc" "src/video/CMakeFiles/dievent_video.dir/fault_injection.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/fault_injection.cc.o.d"
+  "/root/repo/src/video/image_sequence_source.cc" "src/video/CMakeFiles/dievent_video.dir/image_sequence_source.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/image_sequence_source.cc.o.d"
+  "/root/repo/src/video/keyframes.cc" "src/video/CMakeFiles/dievent_video.dir/keyframes.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/keyframes.cc.o.d"
+  "/root/repo/src/video/parser.cc" "src/video/CMakeFiles/dievent_video.dir/parser.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/parser.cc.o.d"
+  "/root/repo/src/video/scene_segmentation.cc" "src/video/CMakeFiles/dievent_video.dir/scene_segmentation.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/scene_segmentation.cc.o.d"
+  "/root/repo/src/video/shot_detection.cc" "src/video/CMakeFiles/dievent_video.dir/shot_detection.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/shot_detection.cc.o.d"
+  "/root/repo/src/video/synthetic_source.cc" "src/video/CMakeFiles/dievent_video.dir/synthetic_source.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/synthetic_source.cc.o.d"
+  "/root/repo/src/video/video_source.cc" "src/video/CMakeFiles/dievent_video.dir/video_source.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/video_source.cc.o.d"
+  "/root/repo/src/video/video_structure.cc" "src/video/CMakeFiles/dievent_video.dir/video_structure.cc.o" "gcc" "src/video/CMakeFiles/dievent_video.dir/video_structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/render/CMakeFiles/dievent_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/image/CMakeFiles/dievent_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/dievent_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geometry/CMakeFiles/dievent_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dievent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_video.dir/fault_injection.cc.o"
+  "CMakeFiles/dievent_video.dir/fault_injection.cc.o.d"
+  "CMakeFiles/dievent_video.dir/image_sequence_source.cc.o"
+  "CMakeFiles/dievent_video.dir/image_sequence_source.cc.o.d"
+  "CMakeFiles/dievent_video.dir/keyframes.cc.o"
+  "CMakeFiles/dievent_video.dir/keyframes.cc.o.d"
+  "CMakeFiles/dievent_video.dir/parser.cc.o"
+  "CMakeFiles/dievent_video.dir/parser.cc.o.d"
+  "CMakeFiles/dievent_video.dir/scene_segmentation.cc.o"
+  "CMakeFiles/dievent_video.dir/scene_segmentation.cc.o.d"
+  "CMakeFiles/dievent_video.dir/shot_detection.cc.o"
+  "CMakeFiles/dievent_video.dir/shot_detection.cc.o.d"
+  "CMakeFiles/dievent_video.dir/synthetic_source.cc.o"
+  "CMakeFiles/dievent_video.dir/synthetic_source.cc.o.d"
+  "CMakeFiles/dievent_video.dir/video_source.cc.o"
+  "CMakeFiles/dievent_video.dir/video_source.cc.o.d"
+  "CMakeFiles/dievent_video.dir/video_structure.cc.o"
+  "CMakeFiles/dievent_video.dir/video_structure.cc.o.d"
+  "libdievent_video.a"
+  "libdievent_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/face_analyzer.cc" "src/vision/CMakeFiles/dievent_vision.dir/face_analyzer.cc.o" "gcc" "src/vision/CMakeFiles/dievent_vision.dir/face_analyzer.cc.o.d"
+  "/root/repo/src/vision/face_detector.cc" "src/vision/CMakeFiles/dievent_vision.dir/face_detector.cc.o" "gcc" "src/vision/CMakeFiles/dievent_vision.dir/face_detector.cc.o.d"
+  "/root/repo/src/vision/gaze_estimator.cc" "src/vision/CMakeFiles/dievent_vision.dir/gaze_estimator.cc.o" "gcc" "src/vision/CMakeFiles/dievent_vision.dir/gaze_estimator.cc.o.d"
+  "/root/repo/src/vision/head_pose.cc" "src/vision/CMakeFiles/dievent_vision.dir/head_pose.cc.o" "gcc" "src/vision/CMakeFiles/dievent_vision.dir/head_pose.cc.o.d"
+  "/root/repo/src/vision/landmarks.cc" "src/vision/CMakeFiles/dievent_vision.dir/landmarks.cc.o" "gcc" "src/vision/CMakeFiles/dievent_vision.dir/landmarks.cc.o.d"
+  "/root/repo/src/vision/overlay.cc" "src/vision/CMakeFiles/dievent_vision.dir/overlay.cc.o" "gcc" "src/vision/CMakeFiles/dievent_vision.dir/overlay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/render/CMakeFiles/dievent_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geometry/CMakeFiles/dievent_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/image/CMakeFiles/dievent_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/dievent_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dievent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dievent_vision.dir/face_analyzer.cc.o"
+  "CMakeFiles/dievent_vision.dir/face_analyzer.cc.o.d"
+  "CMakeFiles/dievent_vision.dir/face_detector.cc.o"
+  "CMakeFiles/dievent_vision.dir/face_detector.cc.o.d"
+  "CMakeFiles/dievent_vision.dir/gaze_estimator.cc.o"
+  "CMakeFiles/dievent_vision.dir/gaze_estimator.cc.o.d"
+  "CMakeFiles/dievent_vision.dir/head_pose.cc.o"
+  "CMakeFiles/dievent_vision.dir/head_pose.cc.o.d"
+  "CMakeFiles/dievent_vision.dir/landmarks.cc.o"
+  "CMakeFiles/dievent_vision.dir/landmarks.cc.o.d"
+  "CMakeFiles/dievent_vision.dir/overlay.cc.o"
+  "CMakeFiles/dievent_vision.dir/overlay.cc.o.d"
+  "libdievent_vision.a"
+  "libdievent_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dievent_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alerts.dir/test_alerts.cc.o"
+  "CMakeFiles/test_alerts.dir/test_alerts.cc.o.d"
+  "test_alerts"
+  "test_alerts.pdb"
+  "test_alerts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_camera.dir/test_camera.cc.o"
+  "CMakeFiles/test_camera.dir/test_camera.cc.o.d"
+  "test_camera"
+  "test_camera.pdb"
+  "test_camera[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

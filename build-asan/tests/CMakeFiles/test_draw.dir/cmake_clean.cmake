@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_draw.dir/test_draw.cc.o"
+  "CMakeFiles/test_draw.dir/test_draw.cc.o.d"
+  "test_draw"
+  "test_draw.pdb"
+  "test_draw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_draw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emotion_recognizer.dir/test_emotion_recognizer.cc.o"
+  "CMakeFiles/test_emotion_recognizer.dir/test_emotion_recognizer.cc.o.d"
+  "test_emotion_recognizer"
+  "test_emotion_recognizer.pdb"
+  "test_emotion_recognizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emotion_recognizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_emotion_recognizer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engagement.dir/test_engagement.cc.o"
+  "CMakeFiles/test_engagement.dir/test_engagement.cc.o.d"
+  "test_engagement"
+  "test_engagement.pdb"
+  "test_engagement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engagement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

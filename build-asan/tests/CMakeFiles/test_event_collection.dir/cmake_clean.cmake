@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_collection.dir/test_event_collection.cc.o"
+  "CMakeFiles/test_event_collection.dir/test_event_collection.cc.o.d"
+  "test_event_collection"
+  "test_event_collection.pdb"
+  "test_event_collection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eye_contact.dir/test_eye_contact.cc.o"
+  "CMakeFiles/test_eye_contact.dir/test_eye_contact.cc.o.d"
+  "test_eye_contact"
+  "test_eye_contact.pdb"
+  "test_eye_contact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eye_contact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

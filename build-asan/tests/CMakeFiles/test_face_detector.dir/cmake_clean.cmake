@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_face_detector.dir/test_face_detector.cc.o"
+  "CMakeFiles/test_face_detector.dir/test_face_detector.cc.o.d"
+  "test_face_detector"
+  "test_face_detector.pdb"
+  "test_face_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_face_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_face_recognizer.dir/test_face_recognizer.cc.o"
+  "CMakeFiles/test_face_recognizer.dir/test_face_recognizer.cc.o.d"
+  "test_face_recognizer"
+  "test_face_recognizer.pdb"
+  "test_face_recognizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_face_recognizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_face_renderer.dir/test_face_renderer.cc.o"
+  "CMakeFiles/test_face_renderer.dir/test_face_renderer.cc.o.d"
+  "test_face_renderer"
+  "test_face_renderer.pdb"
+  "test_face_renderer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_face_renderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

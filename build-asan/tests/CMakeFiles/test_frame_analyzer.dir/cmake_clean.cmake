@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_analyzer.dir/test_frame_analyzer.cc.o"
+  "CMakeFiles/test_frame_analyzer.dir/test_frame_analyzer.cc.o.d"
+  "test_frame_analyzer"
+  "test_frame_analyzer.pdb"
+  "test_frame_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaze.dir/test_gaze.cc.o"
+  "CMakeFiles/test_gaze.dir/test_gaze.cc.o.d"
+  "test_gaze"
+  "test_gaze.pdb"
+  "test_gaze[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_head_pose.dir/test_head_pose.cc.o"
+  "CMakeFiles/test_head_pose.dir/test_head_pose.cc.o.d"
+  "test_head_pose"
+  "test_head_pose.pdb"
+  "test_head_pose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_head_pose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmm.dir/test_hmm.cc.o"
+  "CMakeFiles/test_hmm.dir/test_hmm.cc.o.d"
+  "test_hmm"
+  "test_hmm.pdb"
+  "test_hmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hungarian.dir/test_hungarian.cc.o"
+  "CMakeFiles/test_hungarian.dir/test_hungarian.cc.o.d"
+  "test_hungarian"
+  "test_hungarian.pdb"
+  "test_hungarian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hungarian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integral.dir/test_integral.cc.o"
+  "CMakeFiles/test_integral.dir/test_integral.cc.o.d"
+  "test_integral"
+  "test_integral.pdb"
+  "test_integral[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keyframes.dir/test_keyframes.cc.o"
+  "CMakeFiles/test_keyframes.dir/test_keyframes.cc.o.d"
+  "test_keyframes"
+  "test_keyframes.pdb"
+  "test_keyframes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keyframes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_landmarks.dir/test_landmarks.cc.o"
+  "CMakeFiles/test_landmarks.dir/test_landmarks.cc.o.d"
+  "test_landmarks"
+  "test_landmarks.pdb"
+  "test_landmarks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_landmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbp.dir/test_lbp.cc.o"
+  "CMakeFiles/test_lbp.dir/test_lbp.cc.o.d"
+  "test_lbp"
+  "test_lbp.pdb"
+  "test_lbp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

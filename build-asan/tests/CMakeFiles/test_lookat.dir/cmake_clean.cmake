@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lookat.dir/test_lookat.cc.o"
+  "CMakeFiles/test_lookat.dir/test_lookat.cc.o.d"
+  "test_lookat"
+  "test_lookat.pdb"
+  "test_lookat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lookat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mat3.dir/test_mat3.cc.o"
+  "CMakeFiles/test_mat3.dir/test_mat3.cc.o.d"
+  "test_mat3"
+  "test_mat3.pdb"
+  "test_mat3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mat3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neural_net.dir/test_neural_net.cc.o"
+  "CMakeFiles/test_neural_net.dir/test_neural_net.cc.o.d"
+  "test_neural_net"
+  "test_neural_net.pdb"
+  "test_neural_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neural_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

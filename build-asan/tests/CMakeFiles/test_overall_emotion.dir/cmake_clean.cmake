@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overall_emotion.dir/test_overall_emotion.cc.o"
+  "CMakeFiles/test_overall_emotion.dir/test_overall_emotion.cc.o.d"
+  "test_overall_emotion"
+  "test_overall_emotion.pdb"
+  "test_overall_emotion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overall_emotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_overall_emotion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pnm.dir/test_pnm.cc.o"
+  "CMakeFiles/test_pnm.dir/test_pnm.cc.o.d"
+  "test_pnm"
+  "test_pnm.pdb"
+  "test_pnm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pnm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

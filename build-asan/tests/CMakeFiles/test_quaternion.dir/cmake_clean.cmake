@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quaternion.dir/test_quaternion.cc.o"
+  "CMakeFiles/test_quaternion.dir/test_quaternion.cc.o.d"
+  "test_quaternion"
+  "test_quaternion.pdb"
+  "test_quaternion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quaternion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

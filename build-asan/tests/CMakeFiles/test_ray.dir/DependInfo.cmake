@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ray.cc" "tests/CMakeFiles/test_ray.dir/test_ray.cc.o" "gcc" "tests/CMakeFiles/test_ray.dir/test_ray.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/dievent_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/metadata/CMakeFiles/dievent_metadata.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/analysis/CMakeFiles/dievent_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/dievent_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vision/CMakeFiles/dievent_vision.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/video/CMakeFiles/dievent_video.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/render/CMakeFiles/dievent_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/dievent_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/image/CMakeFiles/dievent_image.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geometry/CMakeFiles/dievent_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dievent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ray.dir/test_ray.cc.o"
+  "CMakeFiles/test_ray.dir/test_ray.cc.o.d"
+  "test_ray"
+  "test_ray.pdb"
+  "test_ray[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

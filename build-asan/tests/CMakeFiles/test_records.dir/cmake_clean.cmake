@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_records.dir/test_records.cc.o"
+  "CMakeFiles/test_records.dir/test_records.cc.o.d"
+  "test_records"
+  "test_records.pdb"
+  "test_records[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

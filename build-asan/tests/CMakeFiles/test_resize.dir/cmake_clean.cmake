@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resize.dir/test_resize.cc.o"
+  "CMakeFiles/test_resize.dir/test_resize.cc.o.d"
+  "test_resize"
+  "test_resize.pdb"
+  "test_resize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scene_renderer.dir/test_scene_renderer.cc.o"
+  "CMakeFiles/test_scene_renderer.dir/test_scene_renderer.cc.o.d"
+  "test_scene_renderer"
+  "test_scene_renderer.pdb"
+  "test_scene_renderer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scene_renderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

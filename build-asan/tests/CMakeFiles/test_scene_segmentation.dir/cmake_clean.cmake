@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scene_segmentation.dir/test_scene_segmentation.cc.o"
+  "CMakeFiles/test_scene_segmentation.dir/test_scene_segmentation.cc.o.d"
+  "test_scene_segmentation"
+  "test_scene_segmentation.pdb"
+  "test_scene_segmentation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scene_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

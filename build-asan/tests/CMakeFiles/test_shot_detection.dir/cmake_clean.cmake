@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shot_detection.dir/test_shot_detection.cc.o"
+  "CMakeFiles/test_shot_detection.dir/test_shot_detection.cc.o.d"
+  "test_shot_detection"
+  "test_shot_detection.pdb"
+  "test_shot_detection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shot_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summarization.dir/test_summarization.cc.o"
+  "CMakeFiles/test_summarization.dir/test_summarization.cc.o.d"
+  "test_summarization"
+  "test_summarization.pdb"
+  "test_summarization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topview.dir/test_topview.cc.o"
+  "CMakeFiles/test_topview.dir/test_topview.cc.o.d"
+  "test_topview"
+  "test_topview.pdb"
+  "test_topview[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

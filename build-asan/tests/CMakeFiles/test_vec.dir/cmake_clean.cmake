@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vec.dir/test_vec.cc.o"
+  "CMakeFiles/test_vec.dir/test_vec.cc.o.d"
+  "test_vec"
+  "test_vec.pdb"
+  "test_vec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_video_source.dir/test_video_source.cc.o"
+  "CMakeFiles/test_video_source.dir/test_video_source.cc.o.d"
+  "test_video_source"
+  "test_video_source.pdb"
+  "test_video_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_video_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
