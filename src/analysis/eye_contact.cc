@@ -1,5 +1,6 @@
 #include "analysis/eye_contact.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/strings.h"
@@ -62,6 +63,36 @@ Result<LookAtMatrix> EyeContactDetector::ComputeLookAtInCameraFrame(
     }
   }
   return ComputeLookAt(in_ref);
+}
+
+void AnnotateEpisodeAcquisition(
+    std::vector<EyeContactEpisode>* episodes,
+    const std::vector<FrameHealthRecord>& timeline) {
+  if (episodes == nullptr || timeline.empty()) return;
+  for (EyeContactEpisode& episode : *episodes) {
+    auto lo = std::lower_bound(
+        timeline.begin(), timeline.end(), episode.begin_frame,
+        [](const FrameHealthRecord& r, int frame) { return r.frame < frame; });
+    auto hi = std::lower_bound(
+        lo, timeline.end(), episode.end_frame,
+        [](const FrameHealthRecord& r, int frame) { return r.frame < frame; });
+    episode.degraded_frames = 0;
+    episode.skipped_frames = 0;
+    int total = 0;
+    for (auto it = lo; it != hi; ++it) {
+      ++total;
+      if (it->health == AcquisitionFrameHealth::kDegraded) {
+        ++episode.degraded_frames;
+      } else if (it->health == AcquisitionFrameHealth::kSkipped) {
+        ++episode.skipped_frames;
+      }
+    }
+    episode.confidence =
+        total > 0 ? static_cast<double>(total - episode.degraded_frames -
+                                        episode.skipped_frames) /
+                        total
+                  : 1.0;
+  }
 }
 
 }  // namespace dievent

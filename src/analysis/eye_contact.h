@@ -19,6 +19,7 @@
 #include "analysis/lookat_matrix.h"
 #include "common/result.h"
 #include "geometry/rig.h"
+#include "metadata/records.h"
 #include "sim/participant.h"
 
 namespace dievent {
@@ -45,6 +46,29 @@ struct EyeContactOptions {
   /// of roughly this many degrees still hits. 0 = exact paper semantics.
   double angular_tolerance_deg = 0.0;
 };
+
+/// How the acquisition layer delivered one analyzed (or skipped) frame.
+enum class AcquisitionFrameHealth {
+  kHealthy,   ///< every camera contributed a fresh decode
+  kDegraded,  ///< analyzed, but with held/missing/quarantined slots
+  kSkipped,   ///< below camera quorum; no analysis ran at all
+};
+
+/// One entry of the pipeline's per-frame acquisition-health timeline.
+struct FrameHealthRecord {
+  int frame = 0;
+  AcquisitionFrameHealth health = AcquisitionFrameHealth::kHealthy;
+};
+
+/// Folds an acquisition-health timeline into derived eye-contact episodes:
+/// each episode learns how many of its frames were degraded or skipped,
+/// and its confidence becomes the fraction of fully healthy frames. An
+/// episode spanning a below-quorum stretch is thereby flagged — the gap
+/// was bridged by the extractor's max_gap tolerance, not observed.
+/// `timeline` must be sorted by frame (the pipeline appends in order);
+/// episodes outside the timeline keep confidence 1.
+void AnnotateEpisodeAcquisition(std::vector<EyeContactEpisode>* episodes,
+                                const std::vector<FrameHealthRecord>& timeline);
 
 class EyeContactDetector {
  public:

@@ -1,0 +1,37 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dievent {
+
+namespace {
+
+/// splitmix64 finalizer (same construction as the fault schedules).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double HashUniform01(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t h = Mix(a ^ Mix(b ^ Mix(c ^ 0xb0ffull)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double BackoffPolicy::Delay(int attempt, uint64_t stream, uint64_t op) const {
+  if (attempt < 1 || base_s <= 0.0) return 0.0;
+  double d = base_s * std::pow(multiplier, attempt - 1);
+  d = std::min(d, max_s);
+  if (jitter > 0.0) {
+    const double u =
+        HashUniform01(seed, stream, op * 1315423911ull + attempt);
+    d *= 1.0 + jitter * (2.0 * u - 1.0);
+  }
+  return d;
+}
+
+}  // namespace dievent

@@ -1,0 +1,35 @@
+/// \file backoff.h
+/// Deterministic exponential backoff with jitter.
+///
+/// Retry pacing for the acquisition path: hammering a failing camera in a
+/// tight loop wastes the read deadline and synchronizes retries across
+/// cameras (every reader probing a shared flaky link at the same instant).
+/// Exponential growth spreads attempts out; jitter decorrelates cameras.
+/// Like the fault schedules, the jitter is a pure function of
+/// (seed, stream, attempt), so a degraded run replays bit-for-bit.
+
+#ifndef DIEVENT_COMMON_BACKOFF_H_
+#define DIEVENT_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+namespace dievent {
+
+/// Delay schedule for retries of a failing operation.
+struct BackoffPolicy {
+  double base_s = 0.001;   ///< delay before the first retry
+  double max_s = 0.050;    ///< cap on any single delay
+  double multiplier = 2.0; ///< growth per retry
+  /// Jitter fraction in [0, 1]: the delay is scaled by a deterministic
+  /// factor drawn from [1 - jitter, 1 + jitter].
+  double jitter = 0.5;
+  uint64_t seed = 1;       ///< decorrelates streams with equal policies
+
+  /// Delay in seconds before retry `attempt` (1 = first retry) of
+  /// operation `op` on stream `stream`. Pure in all inputs.
+  double Delay(int attempt, uint64_t stream, uint64_t op) const;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_BACKOFF_H_

@@ -1,0 +1,79 @@
+/// \file spsc_queue.h
+/// A bounded lock-free single-producer/single-consumer ring buffer.
+///
+/// The acquisition supervisor runs one reader thread per camera; each
+/// reader hands completed frame reads back to the supervisor through one
+/// of these queues. Exactly one thread pushes and exactly one pops, which
+/// is what lets the implementation get away with two atomics and no lock:
+/// the producer owns `head_`, the consumer owns `tail_`, and each only
+/// needs an acquire-load of the other's counter to know how much room or
+/// data exists.
+
+#ifndef DIEVENT_COMMON_SPSC_QUEUE_H_
+#define DIEVENT_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace dievent {
+
+/// Fixed-capacity SPSC queue. `TryPush`/`TryPop` never block and never
+/// allocate after construction. Capacity is rounded up to a power of two
+/// so the ring index is a mask, not a modulo.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == slots_.size()) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    T out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Approximate occupancy; exact when called from either endpoint thread
+  /// while the other is idle.
+  size_t SizeApprox() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  std::atomic<size_t> head_{0};  ///< next slot to write (producer-owned)
+  std::atomic<size_t> tail_{0};  ///< next slot to read (consumer-owned)
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_SPSC_QUEUE_H_

@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kCorruption = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -69,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

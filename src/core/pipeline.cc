@@ -1,13 +1,16 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/frame_analyzer.h"
 #include "geometry/ray.h"
+#include "video/acquisition_supervisor.h"
 
 namespace dievent {
 
@@ -74,6 +77,26 @@ std::string DegradationStats::ToString() const {
     out += "  quarantined at end of run:";
     for (int c : cameras_quarantined) out += StrFormat(" %d", c);
     out += "\n";
+  }
+  if (deadline_misses > 0 || watchdog_interrupts > 0 ||
+      reader_restarts > 0) {
+    out += StrFormat(
+        "  supervisor: %lld deadline misses, %d watchdog interrupts, "
+        "%d reader restarts\n",
+        deadline_misses, watchdog_interrupts, reader_restarts);
+  }
+  if (resync_corrections > 0) {
+    out += StrFormat(
+        "  clock resync: %lld corrections (%lld misalignments), worst "
+        "jitter %.4fs\n",
+        resync_corrections, resync_misalignments, max_timestamp_jitter_s);
+  }
+  if (parse_signatures_missing > 0 || parse_reference_switches > 0) {
+    out += StrFormat(
+        "  parsing: %d missing signatures (%d filled by interpolation), "
+        "%d frames signed by a fallback camera\n",
+        parse_signatures_missing, parse_signatures_interpolated,
+        parse_reference_switches);
   }
   return out;
 }
@@ -239,7 +262,13 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   EyeContactDetector ec_detector(options_.eye_contact);
   OverallEmotionEstimator overall(options_.overall_emotion);
   ShotBoundaryDetector signature_maker(options_.parsing.shot);
-  std::vector<Histogram> signatures;  // camera-0, for parsing
+  // Parsing signature timeline: one slot per processed frame position,
+  // empty when no camera could deliver that frame. Keeping empty slots in
+  // place (instead of omitting them) preserves shot/scene timing; the
+  // parser interpolates across the gaps.
+  std::vector<std::optional<Histogram>> signatures;
+  // Per-frame acquisition health, folded into episode confidence later.
+  std::vector<FrameHealthRecord> health_timeline;
 
   // Accuracy accumulators (kFullVision).
   long long cell_agree = 0, cell_total = 0;
@@ -276,6 +305,8 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       const int usable = set.NumUsable();
       if (usable < options_.acquisition.min_camera_quorum) {
         ++report.degradation.frames_skipped;
+        health_timeline.push_back({f, AcquisitionFrameHealth::kSkipped});
+        if (options_.parse_video) signatures.push_back(std::nullopt);
         ++consecutive_below_quorum;
         if (consecutive_below_quorum >
             options_.acquisition.max_consecutive_below_quorum) {
@@ -296,8 +327,10 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       consecutive_below_quorum = 0;
       if (set.FullyHealthy()) {
         ++report.degradation.frames_fully_healthy;
+        health_timeline.push_back({f, AcquisitionFrameHealth::kHealthy});
       } else {
         ++report.degradation.frames_degraded;
+        health_timeline.push_back({f, AcquisitionFrameHealth::kDegraded});
       }
       std::vector<CameraFrameQuality> quality(num_cameras,
                                               CameraFrameQuality::kAbsent);
@@ -324,9 +357,21 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
         }
       }
 
-      if (options_.parse_video &&
-          quality[0] != CameraFrameQuality::kAbsent) {
-        signatures.push_back(signature_maker.Signature(frames[0]));
+      if (options_.parse_video) {
+        // Camera 0 is the nominal parsing reference; when it missed this
+        // frame, sign the timeline from the lowest-index usable camera
+        // rather than dropping the slot (which would compact the timeline
+        // and shift every later shot boundary).
+        int ref = -1;
+        for (int c = 0; c < num_cameras && ref < 0; ++c) {
+          if (quality[c] != CameraFrameQuality::kAbsent) ref = c;
+        }
+        if (ref >= 0) {
+          if (ref != 0) ++report.degradation.parse_reference_switches;
+          signatures.push_back(signature_maker.Signature(frames[ref]));
+        } else {
+          signatures.push_back(std::nullopt);
+        }
       }
 
       if (options_.analyze_emotions && recognizer != nullptr) {
@@ -456,8 +501,12 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   if (options_.parse_video && !signatures.empty()) {
     StageTimer timer(&report.timings.parsing);
     VideoParser parser(options_.parsing);
-    report.structure = parser.ParseFromHistograms(
-        signatures, scene.fps() / options_.frame_stride);
+    SparseSignatureInfo sparse_info;
+    report.structure = parser.ParseFromSparseHistograms(
+        signatures, scene.fps() / options_.frame_stride, &sparse_info);
+    report.degradation.parse_signatures_missing = sparse_info.missing;
+    report.degradation.parse_signatures_interpolated =
+        sparse_info.interpolated + sparse_info.extrapolated;
     repository->SetVideoStructure(report.structure);
   }
 
@@ -474,6 +523,20 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       if (injectors[c] != nullptr) {
         deg.camera_corruptions[c] = injectors[c]->counters().corruptions;
       }
+      if (multi->supervisor() != nullptr) {
+        const AcquisitionSupervisor::ReaderStats reader_stats =
+            multi->supervisor()->stats(c);
+        deg.deadline_misses += reader_stats.deadline_misses;
+        deg.watchdog_interrupts += reader_stats.watchdog_interrupts;
+        deg.reader_restarts += reader_stats.restarts;
+        deg.max_queue_depth =
+            std::max(deg.max_queue_depth, reader_stats.max_queue_depth);
+      }
+      const TimestampResampler::Stats& resync = multi->resampler(c).stats();
+      deg.resync_corrections += resync.corrections;
+      deg.resync_misalignments += resync.misalignments;
+      deg.max_timestamp_jitter_s =
+          std::max(deg.max_timestamp_jitter_s, resync.max_jitter_s);
     }
     deg.cameras_quarantined = multi->QuarantinedCameras();
     if (report.frames_processed == 0 && deg.frames_skipped > 0) {
@@ -492,6 +555,9 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   // detector dropouts exactly as max_gap=1 does at stride 1.
   report.eye_contact_episodes = repository->EyeContactEpisodes(
       /*min_length=*/2, /*max_gap=*/2 * options_.frame_stride - 1);
+  // Episodes bridging degraded or below-quorum stretches carry lowered
+  // confidence instead of looking as trustworthy as fully observed ones.
+  AnnotateEpisodeAcquisition(&report.eye_contact_episodes, health_timeline);
   report.emotion_timeline = overall.timeline();
   report.mean_overall_happiness = overall.MeanHappiness();
   report.mean_valence = overall.MeanValence();

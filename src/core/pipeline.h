@@ -149,6 +149,22 @@ struct DegradationStats {
   int quarantine_events = 0;
   int readmissions = 0;
 
+  // Acquisition-supervisor mechanism counters (summed over cameras).
+  long long deadline_misses = 0;  ///< reads abandoned at the read deadline
+  int watchdog_interrupts = 0;    ///< stalled reads cancelled mid-flight
+  int reader_restarts = 0;        ///< wedged reader threads replaced
+  int max_queue_depth = 0;        ///< response-queue high-water mark
+
+  // Master-clock re-synchronization (timestamp resampling).
+  long long resync_corrections = 0;    ///< timestamps snapped to a tick
+  long long resync_misalignments = 0;  ///< off by more than half a period
+  double max_timestamp_jitter_s = 0;   ///< worst deviation before resync
+
+  // Fault-aware video parsing (camera-0 signature timeline repair).
+  int parse_signatures_missing = 0;       ///< slots no camera could fill
+  int parse_signatures_interpolated = 0;  ///< gaps filled before parsing
+  int parse_reference_switches = 0;  ///< frames signed by a fallback camera
+
   bool Degraded() const {
     return frames_degraded > 0 || frames_skipped > 0;
   }

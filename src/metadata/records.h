@@ -57,6 +57,15 @@ struct EyeContactEpisode {
   int begin_frame = 0;  ///< inclusive
   int end_frame = 0;    ///< exclusive
 
+  /// Acquisition-health annotation (filled by
+  /// AnnotateEpisodeAcquisition): frames of this episode that were
+  /// analyzed on a degraded frame set or skipped entirely (below camera
+  /// quorum), and the resulting fraction of fully healthy frames.
+  /// Episodes derived without health information keep confidence 1.
+  int degraded_frames = 0;
+  int skipped_frames = 0;
+  double confidence = 1.0;
+
   int Length() const { return end_frame - begin_frame; }
 };
 

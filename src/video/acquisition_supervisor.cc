@@ -1,0 +1,277 @@
+#include "video/acquisition_supervisor.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+double ToSeconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+std::chrono::steady_clock::duration FromSeconds(double s) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+AcquisitionSupervisor::AcquisitionSupervisor(
+    std::vector<VideoSource*> sources, SupervisorOptions options)
+    : options_(options) {
+  readers_.reserve(sources.size());
+  for (size_t c = 0; c < sources.size(); ++c) {
+    auto reader = std::make_unique<Reader>(
+        std::max(2, options_.queue_capacity));
+    reader->source = sources[c];
+    reader->camera = static_cast<int>(c);
+    readers_.push_back(std::move(reader));
+  }
+  for (auto& reader : readers_) SpawnReader(reader.get());
+}
+
+AcquisitionSupervisor::~AcquisitionSupervisor() {
+  for (auto& reader : readers_) {
+    {
+      std::lock_guard<std::mutex> lock(reader->mutex);
+      reader->stop = true;
+    }
+    reader->cv.notify_all();
+    // Wake a reader blocked inside the source (stalled read). Sources
+    // that ignore Interrupt() and never return will block the join.
+    reader->source->Interrupt();
+  }
+  for (auto& reader : readers_) {
+    if (reader->thread.joinable()) reader->thread.join();
+  }
+}
+
+double AcquisitionSupervisor::WatchdogThreshold() const {
+  if (options_.watchdog_stall_s > 0) return options_.watchdog_stall_s;
+  if (options_.read_deadline_s > 0) return 4.0 * options_.read_deadline_s;
+  return 0.0;  // unbounded reads: no watchdog
+}
+
+void AcquisitionSupervisor::SpawnReader(Reader* reader) {
+  reader->thread =
+      std::thread(&AcquisitionSupervisor::ReaderLoop, this, reader);
+}
+
+void AcquisitionSupervisor::MaybeInterruptLocked(Reader* reader,
+                                                 double stuck_s) {
+  const double threshold = WatchdogThreshold();
+  if (threshold <= 0 || stuck_s < threshold || reader->restart_pending) {
+    return;
+  }
+  reader->restart_pending = true;
+  ++reader->stats.watchdog_interrupts;
+  reader->stats.last_restart_reason = StrFormat(
+      "camera %d reader wedged %.3fs on frame %d; interrupted for restart",
+      reader->camera, stuck_s, reader->busy_frame);
+  // Thread-safe by contract; the reader blocked inside GetFrame does not
+  // hold reader->mutex, so there is no lock-order issue.
+  reader->source->Interrupt();
+  reader->cv.notify_all();  // also cancels a backoff sleep
+}
+
+void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
+  for (;;) {
+    ReaderRequest req;
+    {
+      std::unique_lock<std::mutex> lock(reader->mutex);
+      reader->cv.wait(lock, [&] {
+        return reader->stop || reader->request.has_value();
+      });
+      if (reader->stop) return;
+      req = *reader->request;
+      reader->request.reset();
+      reader->busy = true;
+      reader->busy_frame = req.index;
+      reader->busy_since = Clock::now();
+    }
+
+    ReaderResponse resp;
+    resp.seq = req.seq;
+    resp.index = req.index;
+    const Clock::time_point start = Clock::now();
+    bool cancelled = false;
+    for (int a = 0; a < req.max_attempts; ++a) {
+      if (a > 0) {
+        double delay = options_.backoff.Delay(
+            a, static_cast<uint64_t>(reader->camera),
+            static_cast<uint64_t>(req.index));
+        if (req.budget_s > 0 &&
+            ToSeconds(Clock::now() - start) + delay >= req.budget_s) {
+          break;  // the caller stopped listening; don't burn attempts
+        }
+        std::unique_lock<std::mutex> lock(reader->mutex);
+        ++reader->stats.backoff_waits;
+        reader->cv.wait_for(lock, FromSeconds(delay), [&] {
+          return reader->stop || reader->restart_pending;
+        });
+        if (reader->stop || reader->restart_pending) {
+          cancelled = true;
+          break;
+        }
+      }
+      ++resp.attempts_used;
+      Result<VideoFrame> attempt = reader->source->GetFrame(req.index);
+      if (attempt.ok()) {
+        resp.frame = std::move(attempt).value();
+        resp.error = Status::OK();
+        break;
+      }
+      resp.error = attempt.status();
+      if (a > 0) ++resp.retry_failures;
+    }
+    if (!resp.frame.has_value() && resp.error.ok()) {
+      resp.error = cancelled
+                       ? Status::DeadlineExceeded(StrFormat(
+                             "camera %d read of frame %d cancelled",
+                             reader->camera, req.index))
+                       : Status::Internal("no read attempt made");
+    }
+
+    bool exit_thread = false;
+    {
+      std::lock_guard<std::mutex> lock(reader->mutex);
+      reader->busy = false;
+      reader->busy_frame = -1;
+      ++reader->stats.reads_completed;
+      if (!reader->responses.TryPush(std::move(resp))) {
+        // Only reachable if the caller stopped draining; the response is
+        // stale by definition, so dropping it is safe.
+        ++reader->stats.stale_results;
+      }
+      reader->stats.max_queue_depth =
+          std::max(reader->stats.max_queue_depth,
+                   static_cast<int>(reader->responses.SizeApprox()));
+      if (reader->stop) return;
+      if (reader->restart_pending) {
+        reader->exited = true;
+        exit_thread = true;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+    }
+    responses_cv_.notify_all();
+    if (exit_thread) return;
+  }
+}
+
+std::vector<AcquisitionSupervisor::ReadOutcome> AcquisitionSupervisor::Read(
+    int index, const std::vector<int>& max_attempts) {
+  const long long seq = ++seq_;
+  const bool bounded = options_.read_deadline_s > 0;
+  const Clock::time_point deadline =
+      Clock::now() + FromSeconds(options_.read_deadline_s);
+
+  std::vector<ReadOutcome> out(readers_.size());
+  std::vector<bool> pending(readers_.size(), false);
+  size_t remaining = 0;
+
+  for (size_t c = 0; c < readers_.size(); ++c) {
+    if (c >= max_attempts.size() || max_attempts[c] <= 0) continue;
+    Reader& reader = *readers_[c];
+    out[c].dispatched = true;
+
+    // Drop responses from reads this caller already gave up on.
+    while (auto stale = reader.responses.TryPop()) {
+      std::lock_guard<std::mutex> lock(reader.mutex);
+      ++reader.stats.stale_results;
+    }
+
+    std::unique_lock<std::mutex> lock(reader.mutex);
+    if (reader.exited) {
+      // The watchdog's interrupt landed and the wedged thread has left its
+      // loop: replace it.
+      lock.unlock();
+      reader.thread.join();
+      lock.lock();
+      reader.exited = false;
+      reader.restart_pending = false;
+      reader.busy = false;
+      ++reader.stats.restarts;
+      SpawnReader(&reader);
+    }
+    if (reader.busy) {
+      // Still wedged on an earlier frame: this read is an immediate miss;
+      // the watchdog decides whether to interrupt.
+      const double stuck_s = ToSeconds(Clock::now() - reader.busy_since);
+      out[c].deadline_missed = true;
+      out[c].error = Status::DeadlineExceeded(StrFormat(
+          "camera %zu frame %d: reader wedged for %.3fs on frame %d", c,
+          index, stuck_s, reader.busy_frame));
+      ++reader.stats.deadline_misses;
+      MaybeInterruptLocked(&reader, stuck_s);
+      continue;
+    }
+    reader.request = ReaderRequest{seq, index, max_attempts[c],
+                                   bounded ? options_.read_deadline_s : 0.0};
+    lock.unlock();
+    reader.cv.notify_one();
+    pending[c] = true;
+    ++remaining;
+  }
+
+  auto drain = [&] {
+    for (size_t c = 0; c < readers_.size(); ++c) {
+      if (!pending[c]) continue;
+      Reader& reader = *readers_[c];
+      while (auto resp = reader.responses.TryPop()) {
+        if (resp->seq != seq) {
+          std::lock_guard<std::mutex> lock(reader.mutex);
+          ++reader.stats.stale_results;
+          continue;
+        }
+        out[c].frame = std::move(resp->frame);
+        out[c].error = resp->error;
+        out[c].attempts_used = resp->attempts_used;
+        out[c].retry_failures = resp->retry_failures;
+        pending[c] = false;
+        --remaining;
+        break;
+      }
+    }
+  };
+
+  std::unique_lock<std::mutex> wait_lock(wait_mutex_);
+  while (remaining > 0) {
+    drain();
+    if (remaining == 0) break;
+    if (bounded) {
+      if (Clock::now() >= deadline) break;
+      responses_cv_.wait_until(wait_lock, deadline);
+    } else {
+      responses_cv_.wait(wait_lock);
+    }
+  }
+  wait_lock.unlock();
+
+  // Whoever is still pending missed the deadline; their response, when it
+  // eventually lands, will be discarded as stale.
+  for (size_t c = 0; c < readers_.size(); ++c) {
+    if (!pending[c]) continue;
+    Reader& reader = *readers_[c];
+    out[c].deadline_missed = true;
+    out[c].error = Status::DeadlineExceeded(StrFormat(
+        "camera %zu frame %d: no response within %.3fs", c, index,
+        options_.read_deadline_s));
+    std::lock_guard<std::mutex> lock(reader.mutex);
+    ++reader.stats.deadline_misses;
+  }
+  return out;
+}
+
+AcquisitionSupervisor::ReaderStats AcquisitionSupervisor::stats(
+    int camera) const {
+  const Reader& reader = *readers_.at(camera);
+  std::lock_guard<std::mutex> lock(reader.mutex);
+  return reader.stats;
+}
+
+}  // namespace dievent

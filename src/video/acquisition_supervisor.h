@@ -1,0 +1,177 @@
+/// \file acquisition_supervisor.h
+/// Async per-camera acquisition with deadlines, backoff, and a watchdog.
+///
+/// PR 1's degradation policy still read cameras sequentially, so one
+/// stalled source serialized `MultiCameraSource::GetFrames` and blocked
+/// the whole frame set for as long as the stall lasted. The supervisor
+/// removes that coupling: one dedicated reader thread per camera performs
+/// the (possibly blocking) `VideoSource::GetFrame` calls and hands results
+/// back through a bounded SPSC queue, while the caller waits at most
+/// `read_deadline_s` for each synchronized read. A camera that misses the
+/// deadline becomes an ordinary failed read — exactly what the existing
+/// `AcquisitionPolicy` (retry budget, hold-last-good, circuit breaker,
+/// quorum) already absorbs.
+///
+/// Reader lifecycle:
+///
+///   idle -> reading -> (response in time)  -> idle
+///                   -> (deadline missed)   -> wedged
+///   wedged --(busy > watchdog_stall_s)--> interrupted (`Interrupt()`)
+///   interrupted reader finishes its blocking call, discards the stale
+///   result, and exits; the next dispatch joins the dead thread and spawns
+///   a fresh reader ("restart"), with the wedge recorded as error context.
+///
+/// Retries within one read are paced by `BackoffPolicy` (exponential,
+/// deterministically jittered) and never sleep past the read deadline.
+/// Dedicated threads — not pool workers — because readers block on I/O:
+/// parking a wedged reader must never steal a worker from a healthy
+/// camera.
+
+#ifndef DIEVENT_VIDEO_ACQUISITION_SUPERVISOR_H_
+#define DIEVENT_VIDEO_ACQUISITION_SUPERVISOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/spsc_queue.h"
+#include "video/video_source.h"
+
+namespace dievent {
+
+/// Mechanism options. Policy (what to do with a failed slot) stays in
+/// AcquisitionPolicy; the supervisor only knows how to read with a
+/// deadline and when to declare a reader wedged.
+struct SupervisorOptions {
+  /// Wall-clock budget for one synchronized read, seconds. 0 = unbounded
+  /// (behaves like the old synchronous path, stalls and all).
+  double read_deadline_s = 0.0;
+  /// A reader busy longer than this is interrupted and restarted.
+  /// 0 = derive as 4 * read_deadline_s (never, when unbounded).
+  double watchdog_stall_s = 0.0;
+  /// Retry pacing inside a single read.
+  BackoffPolicy backoff;
+  /// Capacity of each camera's response queue.
+  int queue_capacity = 8;
+};
+
+/// Drives one reader thread per camera and collects deadline-bounded
+/// synchronized reads. Does not own the sources.
+class AcquisitionSupervisor {
+ public:
+  /// One camera's result for one synchronized read.
+  struct ReadOutcome {
+    bool dispatched = false;       ///< false = caller asked to skip (0 attempts)
+    bool deadline_missed = false;  ///< no response within the deadline
+    std::optional<VideoFrame> frame;  ///< set on success
+    Status error;                  ///< set on failure or deadline miss
+    int attempts_used = 0;
+    int retry_failures = 0;        ///< failed attempts after the first
+
+    bool ok() const { return frame.has_value(); }
+  };
+
+  /// Per-camera lifetime statistics.
+  struct ReaderStats {
+    long long reads_completed = 0;  ///< requests the reader finished
+    long long deadline_misses = 0;  ///< reads abandoned by the caller
+    long long backoff_waits = 0;    ///< retry delays actually slept
+    long long stale_results = 0;    ///< late responses discarded
+    int watchdog_interrupts = 0;    ///< Interrupt() calls sent to the source
+    int restarts = 0;               ///< wedged readers replaced
+    int max_queue_depth = 0;        ///< response-queue high-water mark
+    std::string last_restart_reason;
+  };
+
+  /// Spawns one reader per source. Sources must outlive the supervisor.
+  AcquisitionSupervisor(std::vector<VideoSource*> sources,
+                        SupervisorOptions options);
+
+  /// Interrupts and joins every reader. A reader wedged inside a source
+  /// that ignores Interrupt() blocks destruction — wrap such sources in a
+  /// cancellable decorator if unbounded stalls are possible.
+  ~AcquisitionSupervisor();
+
+  AcquisitionSupervisor(const AcquisitionSupervisor&) = delete;
+  AcquisitionSupervisor& operator=(const AcquisitionSupervisor&) = delete;
+
+  int NumCameras() const { return static_cast<int>(readers_.size()); }
+
+  /// Reads frame `index` from every camera with `max_attempts[c] > 0`
+  /// concurrently, waiting at most the read deadline overall. Cameras with
+  /// `max_attempts[c] <= 0` are skipped (breaker open). Wedged readers are
+  /// reported as immediate deadline misses and handled by the watchdog.
+  std::vector<ReadOutcome> Read(int index,
+                                const std::vector<int>& max_attempts);
+
+  /// Snapshot of one camera's statistics (thread-safe).
+  ReaderStats stats(int camera) const;
+
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ReaderRequest {
+    long long seq = 0;
+    int index = 0;
+    int max_attempts = 1;
+    double budget_s = 0.0;  ///< 0 = unbounded
+  };
+
+  struct ReaderResponse {
+    long long seq = 0;
+    int index = 0;
+    std::optional<VideoFrame> frame;
+    Status error;
+    int attempts_used = 0;
+    int retry_failures = 0;
+  };
+
+  /// Per-camera reader state. The mutex guards everything except the
+  /// response queue (SPSC: reader pushes, supervisor pops).
+  struct Reader {
+    VideoSource* source = nullptr;
+    int camera = 0;
+    std::thread thread;
+    mutable std::mutex mutex;
+    std::condition_variable cv;  ///< wakes the reader: request/stop/interrupt
+    std::optional<ReaderRequest> request;
+    bool stop = false;
+    bool busy = false;             ///< currently executing a request
+    bool restart_pending = false;  ///< watchdog asked this reader to exit
+    bool exited = false;           ///< thread left its loop; joinable
+    int busy_frame = -1;
+    Clock::time_point busy_since;
+    ReaderStats stats;
+    SpscQueue<ReaderResponse> responses;
+
+    explicit Reader(int queue_capacity) : responses(queue_capacity) {}
+  };
+
+  void ReaderLoop(Reader* reader);
+  void SpawnReader(Reader* reader);
+  /// Watchdog decision for a busy reader; call with reader->mutex held.
+  void MaybeInterruptLocked(Reader* reader, double stuck_s);
+  /// Effective watchdog threshold, seconds; <= 0 disables it.
+  double WatchdogThreshold() const;
+
+  SupervisorOptions options_;
+  std::vector<std::unique_ptr<Reader>> readers_;
+  long long seq_ = 0;
+
+  /// Readers take this lock (empty critical section) before notifying, so
+  /// a response can never slip between the caller's drain and its wait.
+  std::mutex wait_mutex_;
+  std::condition_variable responses_cv_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VIDEO_ACQUISITION_SUPERVISOR_H_

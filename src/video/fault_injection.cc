@@ -1,6 +1,7 @@
 #include "video/fault_injection.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/rng.h"
@@ -29,6 +30,7 @@ double HashUniform(uint64_t seed, int frame, int attempt, uint64_t salt) {
 constexpr uint64_t kDropSalt = 0xd309u;
 constexpr uint64_t kCorruptSalt = 0xc089u;
 constexpr uint64_t kJitterSalt = 0x71773u;
+constexpr uint64_t kStallSalt = 0x57a11u;
 
 }  // namespace
 
@@ -56,6 +58,15 @@ double FaultSpec::TimestampJitter(int frame) const {
          timestamp_jitter_s;
 }
 
+bool FaultSpec::ShouldStall(int frame, int attempt) const {
+  if (stall_duration_s <= 0) return false;
+  for (const FlakyWindow& w : stall_windows) {
+    if (w.Contains(frame)) return true;
+  }
+  if (stall_probability <= 0) return false;
+  return HashUniform(seed, frame, attempt, kStallSalt) < stall_probability;
+}
+
 Result<VideoFrame> FaultyVideoSource::GetFrame(int index) {
   ++counters_.attempts;
   if (spec_.InScheduledOutage(index)) {
@@ -71,6 +82,22 @@ Result<VideoFrame> FaultyVideoSource::GetFrame(int index) {
       attempts_seen_.resize(index + 1, 0);
     }
     const int attempt = attempts_seen_[index]++;
+    if (spec_.ShouldStall(index, attempt)) {
+      ++counters_.stalls;
+      std::unique_lock<std::mutex> lock(stall_mutex_);
+      const bool cancelled = stall_cv_.wait_for(
+          lock,
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(spec_.stall_duration_s)),
+          [&] { return interrupted_; });
+      if (cancelled) {
+        interrupted_ = false;  // one-shot: consumed by this stall
+        ++counters_.interrupts;
+        return Status::DeadlineExceeded(StrFormat(
+            "read of frame %d interrupted after a stalled decode", index));
+      }
+      // The stall elapsed; the read completes (slowly) below.
+    }
     if (spec_.ShouldDrop(index, attempt)) {
       ++counters_.drops;
       return Status::IoError(
@@ -106,6 +133,12 @@ Result<VideoFrame> FaultyVideoSource::GetFrame(int index) {
     }
   }
   return frame;
+}
+
+void FaultyVideoSource::Interrupt() {
+  std::lock_guard<std::mutex> lock(stall_mutex_);
+  interrupted_ = true;
+  stall_cv_.notify_all();
 }
 
 }  // namespace dievent

@@ -16,8 +16,11 @@
 #ifndef DIEVENT_VIDEO_FAULT_INJECTION_H_
 #define DIEVENT_VIDEO_FAULT_INJECTION_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "video/video_source.h"
@@ -64,10 +67,21 @@ struct FaultSpec {
   /// Uniform timestamp jitter in [-j, +j] seconds — desynchronized clocks.
   double timestamp_jitter_s = 0.0;
 
+  /// Per-attempt probability that a read blocks for `stall_duration_s`
+  /// before completing — a hung decoder or congested link. The block is
+  /// cancellable via Interrupt(); a cancelled read fails with
+  /// DeadlineExceeded instead of completing.
+  double stall_probability = 0.0;
+  /// Scheduled stall ranges: every attempt in a window stalls.
+  std::vector<FlakyWindow> stall_windows;
+  /// How long a stalled read blocks, seconds.
+  double stall_duration_s = 1.0;
+
   bool HasFaults() const {
     return drop_probability > 0 || corrupt_probability > 0 ||
            outage_after_frame >= 0 || !flaky_windows.empty() ||
-           timestamp_jitter_s > 0;
+           timestamp_jitter_s > 0 || stall_probability > 0 ||
+           !stall_windows.empty();
   }
 
   /// True when `frame` falls in a scheduled (non-random) dead period.
@@ -81,19 +95,26 @@ struct FaultSpec {
 
   /// Deterministic timestamp jitter for `frame`, in seconds.
   double TimestampJitter(int frame) const;
+
+  /// True when attempt `attempt` at reading `frame` stalls.
+  bool ShouldStall(int frame, int attempt) const;
 };
 
 /// Decorates a VideoSource with the failures described by a FaultSpec.
 /// Thin and stateless apart from lifetime counters, so wrapping a source
-/// costs nothing on the healthy path.
+/// costs nothing on the healthy path. GetFrame is driven by a single
+/// reader thread; the counters are atomic so other threads (pipeline
+/// degradation reporting, tests) can read them while a read is in flight.
 class FaultyVideoSource : public VideoSource {
  public:
   /// Lifetime tallies, for degradation reporting and tests.
   struct Counters {
-    long long attempts = 0;     ///< GetFrame calls observed
-    long long drops = 0;        ///< random drops injected
-    long long outages = 0;      ///< scheduled-outage failures injected
-    long long corruptions = 0;  ///< corrupted frames delivered
+    std::atomic<long long> attempts{0};     ///< GetFrame calls observed
+    std::atomic<long long> drops{0};        ///< random drops injected
+    std::atomic<long long> outages{0};      ///< scheduled-outage failures
+    std::atomic<long long> corruptions{0};  ///< corrupted frames delivered
+    std::atomic<long long> stalls{0};       ///< reads that blocked
+    std::atomic<long long> interrupts{0};   ///< stalls cancelled early
   };
 
   FaultyVideoSource(std::unique_ptr<VideoSource> inner, FaultSpec spec)
@@ -102,6 +123,10 @@ class FaultyVideoSource : public VideoSource {
   int NumFrames() const override { return inner_->NumFrames(); }
   double Fps() const override { return inner_->Fps(); }
   Result<VideoFrame> GetFrame(int index) override;
+
+  /// Cancels an in-flight stalled read (one-shot: the next stall to
+  /// observe the flag consumes it). Thread-safe, non-blocking.
+  void Interrupt() override;
 
   const FaultSpec& spec() const { return spec_; }
   const Counters& counters() const { return counters_; }
@@ -112,8 +137,13 @@ class FaultyVideoSource : public VideoSource {
   FaultSpec spec_;
   Counters counters_;
   /// Attempt counters keyed by frame index, so retries of the same frame
-  /// draw fresh failure decisions. Sized lazily from NumFrames().
+  /// draw fresh failure decisions. Sized lazily from NumFrames(). Only
+  /// touched from GetFrame (one reader thread).
   std::vector<int> attempts_seen_;
+  /// Stall cancellation handshake.
+  std::mutex stall_mutex_;
+  std::condition_variable stall_cv_;
+  bool interrupted_ = false;
 };
 
 }  // namespace dievent

@@ -5,6 +5,8 @@
 #ifndef DIEVENT_VIDEO_PARSER_H_
 #define DIEVENT_VIDEO_PARSER_H_
 
+#include <optional>
+
 #include "common/result.h"
 #include "video/keyframes.h"
 #include "video/scene_segmentation.h"
@@ -17,6 +19,15 @@ struct VideoParserOptions {
   ShotDetectorOptions shot;
   KeyFrameOptions key_frames;
   SceneSegmentationOptions scenes;
+};
+
+/// How a sparse (gappy) signature timeline was repaired before parsing.
+struct SparseSignatureInfo {
+  int total = 0;         ///< timeline length, including empty slots
+  int missing = 0;       ///< slots that arrived without a signature
+  int interpolated = 0;  ///< gaps filled by interpolating valid neighbors
+  int extrapolated = 0;  ///< leading/trailing gaps clamped to the nearest
+  int longest_gap = 0;   ///< longest run of consecutive missing slots
 };
 
 /// Decomposes a video into the Fig. 3 hierarchy. Frame signatures are
@@ -33,6 +44,19 @@ class VideoParser {
   /// already holds decoded frames — e.g. the full DiEvent pipeline).
   VideoStructure ParseFromHistograms(
       const std::vector<Histogram>& signatures, double fps) const;
+
+  /// Parses a signature timeline with gaps (frames the acquisition path
+  /// could not deliver). Earlier pipeline versions simply omitted missing
+  /// frames, silently compacting the timeline and shifting every later
+  /// shot boundary; here each empty slot keeps its position and is filled
+  /// by linear interpolation between its valid neighbors (clamped at the
+  /// ends), so shot/scene timing stays aligned with the true frame axis.
+  /// An interpolated gap is smooth by construction and cannot create a
+  /// spurious cut inside itself. Returns an empty structure if no slot
+  /// holds a signature.
+  VideoStructure ParseFromSparseHistograms(
+      const std::vector<std::optional<Histogram>>& signatures, double fps,
+      SparseSignatureInfo* info = nullptr) const;
 
   const VideoParserOptions& options() const { return options_; }
 

@@ -1,8 +1,10 @@
 #include "video/video_source.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/strings.h"
+#include "video/acquisition_supervisor.h"
 
 namespace dievent {
 
@@ -18,6 +20,12 @@ int SynchronizedFrameSet::NumFresh() const {
   return n;
 }
 
+MultiCameraSource::MultiCameraSource() = default;
+MultiCameraSource::~MultiCameraSource() = default;
+MultiCameraSource::MultiCameraSource(MultiCameraSource&&) noexcept = default;
+MultiCameraSource& MultiCameraSource::operator=(MultiCameraSource&&) noexcept =
+    default;
+
 Result<MultiCameraSource> MultiCameraSource::Create(
     std::vector<std::unique_ptr<VideoSource>> sources,
     AcquisitionPolicy policy) {
@@ -29,6 +37,12 @@ Result<MultiCameraSource> MultiCameraSource::Create(
     return Status::InvalidArgument(
         "acquisition policy: retry_budget must be >= 0, "
         "min_camera_quorum and quarantine_after must be >= 1");
+  }
+  if (policy.read_deadline_s < 0 || policy.readmit_backoff < 1.0 ||
+      policy.readmit_jitter < 0) {
+    return Status::InvalidArgument(
+        "acquisition policy: read_deadline_s and readmit_jitter must be "
+        ">= 0, readmit_backoff must be >= 1");
   }
   const int frames = sources[0]->NumFrames();
   const double fps = sources[0]->Fps();
@@ -51,6 +65,7 @@ Result<MultiCameraSource> MultiCameraSource::Create(
   MultiCameraSource out;
   out.sources_ = std::move(sources);
   out.health_.resize(out.sources_.size());
+  out.resamplers_.assign(out.sources_.size(), TimestampResampler(fps));
   out.policy_ = policy;
   out.num_frames_ = frames;
   out.fps_ = fps;
@@ -67,25 +82,64 @@ std::vector<int> MultiCameraSource::QuarantinedCameras() const {
   return out;
 }
 
+void MultiCameraSource::EnsureSupervisor() {
+  if (supervisor_) return;
+  std::vector<VideoSource*> raw;
+  raw.reserve(sources_.size());
+  for (const auto& s : sources_) raw.push_back(s.get());
+  SupervisorOptions options;
+  options.read_deadline_s = policy_.read_deadline_s;
+  options.watchdog_stall_s = policy_.watchdog_stall_s;
+  options.backoff = policy_.retry_backoff;
+  supervisor_ =
+      std::make_unique<AcquisitionSupervisor>(std::move(raw), options);
+}
+
+int MultiCameraSource::ReadmitCooldownFrames(int camera,
+                                             const CameraHealth& health) const {
+  if (policy_.readmit_after <= 0) return 0;  // never readmit
+  // Express the cooldown growth through BackoffPolicy so the jitter is
+  // deterministic in the same way as retry pacing: attempt n is the n-th
+  // consecutive failed probe, the "seconds" are frames.
+  BackoffPolicy growth;
+  growth.base_s = static_cast<double>(policy_.readmit_after);
+  growth.max_s = static_cast<double>(policy_.readmit_max_cooldown);
+  growth.multiplier = policy_.readmit_backoff;
+  growth.jitter = policy_.readmit_jitter;
+  growth.seed = policy_.retry_backoff.seed;
+  const double frames = growth.Delay(health.probe_failures + 1,
+                                     static_cast<uint64_t>(camera),
+                                     /*op=*/0x5eadu);
+  return std::max(policy_.readmit_after,
+                  static_cast<int>(std::llround(frames)));
+}
+
 Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
   if (index < 0 || index >= num_frames_) {
     return Status::OutOfRange(
         StrFormat("frame %d outside [0, %d)", index, num_frames_));
   }
+  EnsureSupervisor();
+
   SynchronizedFrameSet set;
   set.frame_index = index;
   set.cameras.resize(sources_.size());
 
+  // Phase 1: per-camera breaker decisions — how many attempts each reader
+  // may spend on this frame (0 = skip, the camera is quarantined).
+  std::vector<int> attempts(sources_.size(), 0);
+  std::vector<bool> probing(sources_.size(), false);
   for (size_t c = 0; c < sources_.size(); ++c) {
     CameraHealth& health = health_[c];
     CameraFrame& slot = set.cameras[c];
 
     // Circuit breaker: an open camera is skipped entirely until the
-    // cooldown elapses, then probed once (half-open).
+    // cooldown (grown by the readmission backoff on every failed probe)
+    // elapses, then probed once (half-open).
     if (health.breaker == CameraHealth::Breaker::kOpen) {
+      const int cooldown = ReadmitCooldownFrames(static_cast<int>(c), health);
       const bool cooldown_over =
-          policy_.readmit_after > 0 &&
-          index - health.quarantined_at_frame >= policy_.readmit_after;
+          cooldown > 0 && index - health.quarantined_at_frame >= cooldown;
       if (!cooldown_over) {
         slot.status = CameraFrameStatus::kQuarantined;
         slot.error = Status::FailedPrecondition(StrFormat(
@@ -96,46 +150,59 @@ Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
       }
       health.breaker = CameraHealth::Breaker::kHalfOpen;
     }
-    const bool probing = health.breaker == CameraHealth::Breaker::kHalfOpen;
+    probing[c] = health.breaker == CameraHealth::Breaker::kHalfOpen;
     // A probe gets a single attempt; a healthy camera gets the budget.
-    const int attempts = probing ? 1 : 1 + policy_.retry_budget;
+    attempts[c] = probing[c] ? 1 : 1 + policy_.retry_budget;
+  }
 
-    Status last_error;
-    bool got = false;
-    for (int a = 0; a < attempts && !got; ++a) {
-      Result<VideoFrame> r = sources_[c]->GetFrame(index);
-      if (r.ok()) {
-        slot.frame = std::move(r).value();
-        slot.status = a == 0 ? CameraFrameStatus::kFresh
-                             : CameraFrameStatus::kRetried;
-        got = true;
-      } else {
-        last_error = r.status().WithContext(
-            StrFormat("camera %zu frame %d", c, index));
-        if (a > 0) ++health.retries;
+  // Phase 2: one concurrent deadline-bounded read across all admitted
+  // cameras. With read_deadline_s == 0 this blocks exactly as long as the
+  // slowest camera — the old synchronous behavior.
+  std::vector<AcquisitionSupervisor::ReadOutcome> outcomes =
+      supervisor_->Read(index, attempts);
+
+  // Phase 3: fold each outcome back into policy state.
+  for (size_t c = 0; c < sources_.size(); ++c) {
+    if (attempts[c] <= 0) continue;
+    CameraHealth& health = health_[c];
+    CameraFrame& slot = set.cameras[c];
+    AcquisitionSupervisor::ReadOutcome& outcome = outcomes[c];
+
+    health.retries += outcome.retry_failures;
+
+    if (outcome.ok()) {
+      slot.frame = std::move(*outcome.frame);
+      if (policy_.resync_timestamps) {
+        resamplers_[c].Align(index, &slot.frame);
       }
-    }
-
-    if (got) {
-      if (probing) {
+      slot.status = outcome.attempts_used > 1 ? CameraFrameStatus::kRetried
+                                              : CameraFrameStatus::kFresh;
+      if (probing[c]) {
         ++health.readmissions;
         health.quarantined_at_frame = -1;
       }
       health.breaker = CameraHealth::Breaker::kClosed;
       health.consecutive_failures = 0;
+      health.probe_failures = 0;
       health.last_good = slot.frame;
       continue;
     }
 
-    // All attempts failed.
+    // All attempts failed (or the camera missed the deadline, which the
+    // policy treats identically).
     ++health.failures;
     ++health.consecutive_failures;
-    slot.error = last_error;
+    slot.error = outcome.deadline_missed
+                     ? outcome.error  // already names camera and frame
+                     : outcome.error.WithContext(
+                           StrFormat("camera %zu frame %d", c, index));
 
-    if (probing) {
-      // Failed probe: back to open, cooldown restarts from this frame.
+    if (probing[c]) {
+      // Failed probe: back to open, cooldown restarts from this frame and
+      // grows with every consecutive failure.
       health.breaker = CameraHealth::Breaker::kOpen;
       health.quarantined_at_frame = index;
+      ++health.probe_failures;
       slot.status = CameraFrameStatus::kQuarantined;
       continue;
     }

@@ -4,11 +4,15 @@
 /// sit in front of a file decoder.
 ///
 /// MultiCameraSource is the acquisition platform's synchronization point.
-/// Real capture hardware degrades — frames drop, links flap, cameras die —
-/// so a synchronized read returns a per-camera SynchronizedFrameSet with
-/// health flags rather than all-or-nothing, governed by an
-/// AcquisitionPolicy (retry budget, hold-last-good fallback, quorum, and a
-/// per-camera circuit breaker).
+/// Real capture hardware degrades — frames drop, links flap, cameras die,
+/// sources stall — so a synchronized read returns a per-camera
+/// SynchronizedFrameSet with health flags rather than all-or-nothing,
+/// governed by an AcquisitionPolicy (retry budget, hold-last-good
+/// fallback, quorum, a per-camera circuit breaker with backoff-paced
+/// readmission, and a wall-clock read deadline). Since PR 2 the reads
+/// themselves are asynchronous: an AcquisitionSupervisor runs one reader
+/// thread per camera, so a stalled source costs at most the deadline, not
+/// the stall, and delivered timestamps are re-synced to the master clock.
 
 #ifndef DIEVENT_VIDEO_VIDEO_SOURCE_H_
 #define DIEVENT_VIDEO_VIDEO_SOURCE_H_
@@ -17,10 +21,14 @@
 #include <optional>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/result.h"
 #include "image/image.h"
+#include "video/clock_resync.h"
 
 namespace dievent {
+
+class AcquisitionSupervisor;
 
 /// One decoded frame.
 struct VideoFrame {
@@ -39,6 +47,12 @@ class VideoSource {
 
   /// Decodes frame `index`. OutOfRange for indices outside [0, NumFrames).
   virtual Result<VideoFrame> GetFrame(int index) = 0;
+
+  /// Best-effort cancellation of a GetFrame blocked in another thread
+  /// (the supervisor's watchdog uses this to un-wedge a stalled reader).
+  /// Must be thread-safe and non-blocking. Default: no-op — a source that
+  /// ignores it simply cannot be un-wedged before its read returns.
+  virtual void Interrupt() {}
 };
 
 /// How one camera's slot in a synchronized read was filled.
@@ -103,19 +117,46 @@ struct AcquisitionPolicy {
   /// Consecutive below-quorum frame sets a caller should tolerate before
   /// declaring the event unanalyzable.
   int max_consecutive_below_quorum = 25;
+
+  // --- async supervisor (PR 2) ------------------------------------------
+  /// Wall-clock budget for one synchronized read, seconds. A camera that
+  /// does not answer in time becomes an ordinary failed read (absorbed by
+  /// hold-last-good / the breaker). 0 = unbounded: identical outcomes to
+  /// the old synchronous path, stalls included.
+  double read_deadline_s = 0.0;
+  /// A reader busy past this is interrupted and restarted by the
+  /// watchdog. 0 = derive as 4 * read_deadline_s (disabled if unbounded).
+  double watchdog_stall_s = 0.0;
+  /// Pacing of retries inside one read (exponential, deterministic
+  /// jitter); sleeps never extend past the read deadline.
+  BackoffPolicy retry_backoff;
+  /// Readmission backoff: each consecutive failed probe multiplies the
+  /// next breaker cooldown by this factor (1.0 = constant cooldown, the
+  /// pre-supervisor behavior), capped at `readmit_max_cooldown` frames
+  /// and stretched by up to `readmit_jitter` (deterministic in
+  /// `retry_backoff.seed`).
+  double readmit_backoff = 1.0;
+  int readmit_max_cooldown = 600;
+  double readmit_jitter = 0.0;
+  /// Snap fresh frames' timestamps to the master clock (index / fps),
+  /// correcting injected or real encoder clock jitter.
+  bool resync_timestamps = true;
 };
 
 /// Per-camera acquisition health, maintained across GetFrames calls.
 struct CameraHealth {
   /// Circuit-breaker state machine: kClosed (healthy) -> kOpen
   /// (quarantined after `quarantine_after` consecutive failures) ->
-  /// kHalfOpen (probing after `readmit_after` frames) -> kClosed again on
-  /// a successful probe.
+  /// kHalfOpen (probing after the readmission cooldown) -> kClosed again
+  /// on a successful probe.
   enum class Breaker { kClosed, kOpen, kHalfOpen };
 
   Breaker breaker = Breaker::kClosed;
   int consecutive_failures = 0;
   int quarantined_at_frame = -1;  ///< frame index that opened the breaker
+  /// Consecutive failed half-open probes since the breaker last opened;
+  /// drives the readmission backoff. Reset on readmission.
+  int probe_failures = 0;
   std::optional<VideoFrame> last_good;
 
   // Lifetime tallies for degradation reporting.
@@ -137,33 +178,57 @@ class MultiCameraSource {
       std::vector<std::unique_ptr<VideoSource>> sources,
       AcquisitionPolicy policy = {});
 
+  ~MultiCameraSource();
+  MultiCameraSource(MultiCameraSource&&) noexcept;
+  MultiCameraSource& operator=(MultiCameraSource&&) noexcept;
+
   int NumCameras() const { return static_cast<int>(sources_.size()); }
   int NumFrames() const { return num_frames_; }
   double Fps() const { return fps_; }
   const AcquisitionPolicy& policy() const { return policy_; }
 
-  /// Reads the synchronized frame `index` from every camera, applying the
-  /// policy: retries, hold-last-good fallback, and the per-camera circuit
-  /// breaker. Always returns a set for a valid index — per-camera failures
-  /// are reported in the slots, not as an error. OutOfRange only for
-  /// indices outside [0, NumFrames).
+  /// Reads the synchronized frame `index` from every camera concurrently
+  /// (one supervisor reader per camera), applying the policy: per-read
+  /// deadline, backoff-paced retries, hold-last-good fallback, and the
+  /// per-camera circuit breaker. Always returns a set for a valid index —
+  /// per-camera failures are reported in the slots, not as an error.
+  /// OutOfRange only for indices outside [0, NumFrames).
   Result<SynchronizedFrameSet> GetFrames(int index);
 
   VideoSource& source(int camera) { return *sources_.at(camera); }
   const CameraHealth& health(int camera) const {
     return health_.at(camera);
   }
+  /// Per-camera clock re-sync state and statistics.
+  const TimestampResampler& resampler(int camera) const {
+    return resamplers_.at(camera);
+  }
+  /// Mechanism-level reader statistics (deadline misses, watchdog
+  /// restarts, queue depths). Null until the first GetFrames call.
+  const AcquisitionSupervisor* supervisor() const {
+    return supervisor_.get();
+  }
   /// Cameras whose circuit breaker is currently open or probing.
   std::vector<int> QuarantinedCameras() const;
 
  private:
-  MultiCameraSource() = default;
+  MultiCameraSource();
+
+  /// Spawns the reader threads on first use, so a freshly Created (and
+  /// possibly moved) source carries no running threads.
+  void EnsureSupervisor();
+  /// Breaker cooldown before the next probe, in frames — grows with
+  /// consecutive failed probes under the readmission backoff.
+  int ReadmitCooldownFrames(int camera, const CameraHealth& health) const;
 
   std::vector<std::unique_ptr<VideoSource>> sources_;
   std::vector<CameraHealth> health_;
+  std::vector<TimestampResampler> resamplers_;
   AcquisitionPolicy policy_;
   int num_frames_ = 0;
   double fps_ = 0.0;
+  /// Declared last: destroyed first, so readers stop before sources die.
+  std::unique_ptr<AcquisitionSupervisor> supervisor_;
 };
 
 /// An in-memory source over pre-rendered frames; useful in tests.

@@ -8,12 +8,26 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "core/pipeline.h"
 #include "sim/scenario.h"
 #include "video/video_source.h"
 
 namespace dievent {
 namespace {
+
+// Sanitizer builds run the pipeline several times slower; deadline-based
+// tests scale their clocks so a healthy read still fits its budget.
+#ifndef __has_feature
+#define __has_feature(x) 0  // GCC signals sanitizers via __SANITIZE_*__
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__) || \
+    __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr double kTimingSlack = 10.0;
+#else
+constexpr double kTimingSlack = 1.0;
+#endif
 
 std::vector<ImageRgb> GrayFrames(int n, int w = 8, int h = 8) {
   std::vector<ImageRgb> frames;
@@ -95,6 +109,30 @@ TEST(FaultSpec, TimestampJitterBoundedAndDeterministic) {
   EXPECT_TRUE(nonzero);
 }
 
+TEST(FaultSpec, StallScheduleIsDeterministicInSeed) {
+  FaultSpec spec;
+  spec.seed = 13;
+  spec.stall_probability = 0.25;
+  spec.stall_windows = {{40, 42}};
+  FaultSpec same = spec;
+  FaultSpec other = spec;
+  other.seed = 14;
+
+  int stalls = 0, differs = 0;
+  for (int f = 0; f < 40; ++f) {
+    EXPECT_EQ(spec.ShouldStall(f, 0), same.ShouldStall(f, 0));
+    stalls += spec.ShouldStall(f, 0) ? 1 : 0;
+    differs += spec.ShouldStall(f, 0) != other.ShouldStall(f, 0) ? 1 : 0;
+  }
+  EXPECT_GT(stalls, 0);
+  EXPECT_GT(differs, 0);
+  // Windows stall every attempt regardless of the random draw.
+  EXPECT_TRUE(spec.ShouldStall(40, 0));
+  EXPECT_TRUE(spec.ShouldStall(41, 3));
+  EXPECT_FALSE(FaultSpec{}.HasFaults());
+  EXPECT_TRUE(spec.HasFaults());
+}
+
 // --- FaultyVideoSource --------------------------------------------------
 
 TEST(FaultyVideoSource, HealthyPathIsTransparent) {
@@ -133,6 +171,38 @@ TEST(FaultyVideoSource, CorruptionIsReproduciblePerFrame) {
   EXPECT_FALSE(ia == clean->GetFrame(4).value().image);
   EXPECT_EQ(a->counters().corruptions, 2);
   EXPECT_EQ(clean->counters().corruptions, 0);
+}
+
+TEST(FaultyVideoSource, StallBlocksAndInterruptCancelsIt) {
+  FaultSpec spec;
+  spec.stall_windows = {{2, 3}};
+  spec.stall_duration_s = 0.05;
+  auto src = MakeFaulty(spec);
+  // An uncancelled stall elapses and the read still succeeds.
+  auto start = std::chrono::steady_clock::now();
+  auto f = src->GetFrame(2);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(f.ok());
+  EXPECT_GE(elapsed, 0.04);
+  EXPECT_EQ(src->counters().stalls, 1);
+  EXPECT_EQ(src->counters().interrupts, 0);
+
+  // A pre-posted interrupt cancels the next stall immediately.
+  src->Interrupt();
+  start = std::chrono::steady_clock::now();
+  auto cancelled = src->GetFrame(2);
+  elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 0.04);
+  EXPECT_EQ(src->counters().interrupts, 1);
+  // The flag is one-shot: the stall after the cancelled one runs again.
+  EXPECT_TRUE(src->GetFrame(2).ok());
+  EXPECT_EQ(src->counters().stalls, 3);
 }
 
 TEST(FaultyVideoSource, BlackoutZeroesABand) {
@@ -372,6 +442,99 @@ TEST(PipelineUnderFaults, AllCamerasDeadFromStartFailsCleanly) {
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
   EXPECT_NE(report.status().message().find("quorum"), std::string::npos);
+}
+
+TEST(PipelineUnderFaults, StalledCameraIsBoundedByTheReadDeadline) {
+  DiningScene scene = MakeMeetingScenario();
+  PipelineOptions opt = FaultPipelineOptions();
+  opt.frame_stride = 100;  // 7 synchronized reads
+  opt.camera_faults.resize(4);
+  // Camera 1 stalls on every attempt; without the supervisor each stalled
+  // read would serialize the whole frame set for 0.5s.
+  opt.camera_faults[1].stall_probability = 1.0;
+  opt.camera_faults[1].stall_duration_s = 0.5 * kTimingSlack;
+  opt.acquisition.read_deadline_s = 0.03 * kTimingSlack;
+  opt.acquisition.retry_budget = 0;
+  MetadataRepository repo;
+  auto report = DiEventPipeline(&scene, opt).Run(&repo);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const DegradationStats& deg = report.value().degradation;
+  EXPECT_GT(deg.deadline_misses, 0);
+  EXPECT_GT(deg.frames_degraded, 0);
+  EXPECT_EQ(deg.frames_skipped, 0);  // three healthy cameras carry quorum
+  // Bounded by the deadline, not by 7 x 0.5s of stalling.
+  EXPECT_LT(report.value().timings.acquisition, 2.0 * kTimingSlack);
+  EXPECT_NE(deg.ToString().find("supervisor"), std::string::npos);
+}
+
+TEST(PipelineUnderFaults, JitteredClockIsResyncedToMasterClock) {
+  DiningScene scene = MakeMeetingScenario();
+  PipelineOptions opt = FaultPipelineOptions();
+  opt.camera_faults.resize(4);
+  opt.camera_faults[2].seed = 31;
+  opt.camera_faults[2].timestamp_jitter_s = 0.015;
+  MetadataRepository repo;
+  auto report = DiEventPipeline(&scene, opt).Run(&repo);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const DegradationStats& deg = report.value().degradation;
+  EXPECT_GT(deg.resync_corrections, 0);
+  EXPECT_EQ(deg.resync_misalignments, 0);  // jitter stays under half period
+  EXPECT_GT(deg.max_timestamp_jitter_s, 0.0);
+  EXPECT_LE(deg.max_timestamp_jitter_s, 0.015);
+  EXPECT_NE(deg.ToString().find("clock resync"), std::string::npos);
+}
+
+TEST(PipelineUnderFaults, ParsingSurvivesReferenceCameraLoss) {
+  DiningScene scene = MakeMeetingScenario();
+  PipelineOptions opt = FaultPipelineOptions();
+  opt.parse_video = true;
+  opt.camera_faults.resize(4);
+  // Camera 0 (the parsing reference) is dead for stride-frames 20 and 30;
+  // held frames cannot bridge a 10-frame stride with max_held_age 5, so
+  // those slots lose their camera-0 signature entirely.
+  opt.camera_faults[0].flaky_windows = {{15, 35}};
+  opt.acquisition.retry_budget = 0;
+  MetadataRepository repo;
+  auto report = DiEventPipeline(&scene, opt).Run(&repo);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const DegradationStats& deg = report.value().degradation;
+  EXPECT_EQ(deg.parse_reference_switches, 2);  // signed by camera 1 instead
+  EXPECT_EQ(deg.parse_signatures_missing, 0);
+  // The timeline keeps one slot per processed frame — no silent
+  // compaction shifting later shot boundaries.
+  EXPECT_EQ(report.value().structure.num_frames,
+            report.value().frames_processed);
+}
+
+TEST(PipelineUnderFaults, EpisodesSpanningAnOutageLoseConfidence) {
+  DiningScene scene = MakeMeetingScenario();
+  PipelineOptions opt = FaultPipelineOptions();
+  opt.camera_faults.resize(4);
+  // Every camera fails at stride-frame 20: that set is below quorum and
+  // skipped, so episodes bridging it were not actually observed there.
+  for (auto& spec : opt.camera_faults) spec.flaky_windows = {{15, 25}};
+  opt.acquisition.retry_budget = 0;
+  opt.acquisition.max_held_age = 0;
+  opt.acquisition.hold_last_good = false;
+  MetadataRepository repo;
+  auto report = DiEventPipeline(&scene, opt).Run(&repo);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().degradation.frames_skipped, 1);
+
+  bool spanning_episode_flagged = true;
+  for (const EyeContactEpisode& episode :
+       report.value().eye_contact_episodes) {
+    EXPECT_GE(episode.confidence, 0.0);
+    EXPECT_LE(episode.confidence, 1.0);
+    if (episode.begin_frame <= 20 && episode.end_frame > 20) {
+      spanning_episode_flagged = spanning_episode_flagged &&
+                                 episode.skipped_frames >= 1 &&
+                                 episode.confidence < 1.0;
+    }
+  }
+  EXPECT_TRUE(spanning_episode_flagged);
 }
 
 TEST(PipelineUnderFaults, RejectsMismatchedFaultSpecCount) {
