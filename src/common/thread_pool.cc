@@ -42,10 +42,33 @@ void ThreadPool::ParallelFor(int count,
     fn(0);
     return;
   }
+  // A per-batch group (not Wait()) so concurrent ParallelFor callers
+  // don't block on each other's iterations.
+  TaskGroup group(this);
   for (int i = 0; i < count; ++i) {
-    Submit([&fn, i] { fn(i); });
+    group.Submit([&fn, i] { fn(i); });
   }
-  Wait();
+  group.Wait();
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    // Notify while holding the lock: the waiter may destroy the group the
+    // instant Wait returns, so the notify must complete before the waiter
+    // can re-acquire the mutex.
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -38,7 +38,9 @@ class ThreadPool {
   void Wait();
 
   /// Runs fn(0) .. fn(count-1) across the pool and blocks until all
-  /// complete. `fn` must be safe to invoke concurrently.
+  /// complete. `fn` must be safe to invoke concurrently. Multiple callers
+  /// may issue ParallelFor batches on the same pool concurrently; each
+  /// call blocks only on its own iterations.
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
  private:
@@ -51,6 +53,35 @@ class ThreadPool {
   int in_flight_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// Tracks completion of one batch of tasks submitted through a shared
+/// pool. ThreadPool::Wait blocks on *everything* in flight; the pipelined
+/// executor keeps several frames of per-camera tasks in flight at once
+/// and must wait for exactly one frame's batch, so each frame gets its
+/// own group. The group must outlive its tasks: the destructor waits.
+/// Never call Wait from inside a pool worker — the pool has no work
+/// stealing, so a worker blocked on its own pool deadlocks.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues one task on the pool and counts it against this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted through *this group* has finished.
+  /// Tasks other callers submitted to the pool are not waited on.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  int pending_ = 0;
 };
 
 }  // namespace dievent

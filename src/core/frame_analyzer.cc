@@ -68,49 +68,77 @@ Result<FrameAnalysis> FrameAnalyzer::Analyze(
         "expected %zu quality flags (one per frame), got %zu",
         frames.size(), quality.size()));
   }
-  FrameAnalysis result;
-  result.per_camera.resize(cameras_.size());
-  for (CameraFrameQuality q : quality) {
-    result.cameras_used += q != CameraFrameQuality::kAbsent ? 1 : 0;
-  }
 
+  std::vector<CameraVision> vision(cameras_.size());
   auto process_camera = [&](int c) {
-    if (quality[c] == CameraFrameQuality::kAbsent) {
-      // The camera produced nothing: feed the tracker an empty detection
-      // set so its tracks age out instead of freezing at the last sight.
-      trackers_[c].Update(frame_index, {}, {});
-      return;
-    }
-    const int rig_camera = cameras_[c];
-    auto& obs = result.per_camera[c];
-    obs = analyzer_.Analyze(rig_->camera(rig_camera), rig_camera,
-                            frames[c]);
-    std::vector<FaceDetection> dets;
-    std::vector<int> ids;
-    for (auto& o : obs) {
-      IdentityMatch m = recognizer_.Recognize(frames[c], o.detection);
-      o.identity = m.id;
-      o.identity_confidence = m.confidence;
-      o.stale = quality[c] == CameraFrameQuality::kStale;
-      dets.push_back(o.detection);
-      ids.push_back(m.id);
-    }
-    trackers_[c].Update(frame_index, dets, ids);
-    const std::vector<int>& track_ids =
-        trackers_[c].last_detection_track_ids();
-    for (size_t d = 0; d < obs.size(); ++d) {
-      if (obs[d].identity < 0 && d < track_ids.size()) {
-        obs[d].identity = trackers_[c].IdentityOfTrack(track_ids[d]);
-      }
-    }
+    vision[c] = AnalyzeCameraStateless(c, frames[c], quality[c]);
   };
-
   if (pool_ != nullptr) {
     pool_->ParallelFor(static_cast<int>(cameras_.size()), process_camera);
   } else {
     for (int c = 0; c < static_cast<int>(cameras_.size()); ++c) {
       process_camera(c);
     }
+  }
+  return CommitFrame(frame_index, std::move(vision), quality);
+}
+
+CameraVision FrameAnalyzer::AnalyzeCameraStateless(
+    int camera_slot, const ImageRgb& frame,
+    CameraFrameQuality quality) const {
+  CameraVision out;
+  if (quality == CameraFrameQuality::kAbsent) return out;
+  const int rig_camera = cameras_[camera_slot];
+  out.obs = analyzer_.Analyze(rig_->camera(rig_camera), rig_camera, frame);
+  out.detections.reserve(out.obs.size());
+  out.identities.reserve(out.obs.size());
+  for (auto& o : out.obs) {
+    IdentityMatch m = recognizer_.Recognize(frame, o.detection);
+    o.identity = m.id;
+    o.identity_confidence = m.confidence;
+    o.stale = quality == CameraFrameQuality::kStale;
+    out.detections.push_back(o.detection);
+    out.identities.push_back(m.id);
+  }
+  return out;
+}
+
+Result<FrameAnalysis> FrameAnalyzer::CommitFrame(
+    int frame_index, std::vector<CameraVision> vision,
+    const std::vector<CameraFrameQuality>& quality) {
+  if (vision.size() != cameras_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "expected %zu camera results (one per active camera), got %zu",
+        cameras_.size(), vision.size()));
+  }
+  if (quality.size() != vision.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "expected %zu quality flags (one per camera), got %zu",
+        vision.size(), quality.size()));
+  }
+  FrameAnalysis result;
+  result.per_camera.resize(cameras_.size());
+  for (CameraFrameQuality q : quality) {
+    result.cameras_used += q != CameraFrameQuality::kAbsent ? 1 : 0;
+  }
+
+  for (size_t c = 0; c < cameras_.size(); ++c) {
+    if (quality[c] == CameraFrameQuality::kAbsent) {
+      // The camera produced nothing: feed the tracker an empty detection
+      // set so its tracks age out instead of freezing at the last sight.
+      trackers_[c].Update(frame_index, {}, {});
+      continue;
+    }
+    CameraVision& v = vision[c];
+    trackers_[c].Update(frame_index, v.detections, v.identities);
+    const std::vector<int>& track_ids =
+        trackers_[c].last_detection_track_ids();
+    for (size_t d = 0; d < v.obs.size(); ++d) {
+      if (v.obs[d].identity < 0 && d < track_ids.size()) {
+        v.obs[d].identity = trackers_[c].IdentityOfTrack(track_ids[d]);
+      }
+    }
+    result.per_camera[c] = std::move(v.obs);
   }
 
   std::vector<FaceObservation> all;

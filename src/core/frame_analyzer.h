@@ -54,6 +54,18 @@ struct FrameAnalysis {
   int cameras_used = 0;  ///< cameras that contributed an image this frame
 };
 
+/// The stateless share of one camera's per-frame analysis: detections,
+/// landmarks, gaze, and appearance identity — everything except tracking.
+/// Produced by AnalyzeCameraStateless (any thread, any frame order) and
+/// consumed by CommitFrame (strict frame order).
+struct CameraVision {
+  std::vector<FaceObservation> obs;
+  /// Extracts handed to the per-camera tracker at commit time, parallel
+  /// to `obs`.
+  std::vector<FaceDetection> detections;
+  std::vector<int> identities;
+};
+
 class FrameAnalyzer {
  public:
   /// `rig` must outlive the analyzer. `cameras` selects active rig
@@ -76,6 +88,22 @@ class FrameAnalyzer {
   Result<FrameAnalysis> Analyze(int frame_index,
                                 const std::vector<ImageRgb>& frames,
                                 const std::vector<CameraFrameQuality>& quality);
+
+  /// The order-independent half of Analyze for one camera: detection,
+  /// landmarks, gaze, appearance identity. Touches no tracker state, so
+  /// the pipelined executor runs it concurrently across cameras *and*
+  /// frames; Analyze itself is AnalyzeCameraStateless per camera followed
+  /// by CommitFrame. `camera_slot` indexes the active camera list.
+  CameraVision AnalyzeCameraStateless(int camera_slot, const ImageRgb& frame,
+                                      CameraFrameQuality quality) const;
+
+  /// The order-dependent half: advances each camera's tracker, backfills
+  /// identities from tracks, fuses across cameras, and computes the
+  /// look-at matrix. Must be called exactly once per analyzed frame, in
+  /// frame order. `vision` must be parallel to the active camera list.
+  Result<FrameAnalysis> CommitFrame(int frame_index,
+                                    std::vector<CameraVision> vision,
+                                    const std::vector<CameraFrameQuality>& quality);
 
   /// Clears tracking state (e.g. when seeking in the video).
   void ResetTracking();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <optional>
 
 #include "common/logging.h"
@@ -48,13 +49,15 @@ EventContext ContextFromScene(const DiningScene& scene) {
 }
 
 /// Square crop around a detection matching the training-crop geometry
-/// (face radius = 0.46 * crop size).
-ImageRgb CropFace(const ImageRgb& frame, const FaceDetection& det) {
+/// (face radius = 0.46 * crop size). Writes into `*out` so hot loops can
+/// reuse one crop buffer instead of allocating per face.
+void CropFaceInto(const ImageRgb& frame, const FaceDetection& det,
+                  ImageRgb* out) {
   double half = det.radius_px / 0.92;
   int size = std::max(8, static_cast<int>(2.0 * half));
   int x0 = static_cast<int>(det.center_px.x - half);
   int y0 = static_cast<int>(det.center_px.y - half);
-  return frame.Crop(x0, y0, size, size);
+  frame.CropInto(x0, y0, size, size, out);
 }
 
 }  // namespace
@@ -139,9 +142,18 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   if (options_.frame_stride < 1) {
     return Status::InvalidArgument("frame_stride must be >= 1");
   }
+  if (options_.prefetch_depth < 0) {
+    return Status::InvalidArgument("prefetch_depth must be >= 0");
+  }
   const DiningScene& scene = *scene_;
   const int n = scene.NumParticipants();
   const bool full = options_.mode == PipelineMode::kFullVision;
+  // The pipelined streaming executor overlaps acquisition, stateless
+  // vision, and the ordered commit stage across frames; either knob
+  // selects it. num_threads = 1 and prefetch_depth = 0 is the sequential
+  // reference path, which the pipelined executor reproduces bit for bit.
+  const bool pipelined =
+      full && (options_.num_threads > 1 || options_.prefetch_depth > 0);
 
   // Resolve the camera subset (empty = the whole rig).
   std::vector<int> cameras = options_.camera_subset;
@@ -155,9 +167,6 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     }
   }
   const int num_cameras = static_cast<int>(cameras.size());
-  // Rig camera index -> position within the active subset.
-  std::vector<int> subset_pos(scene.rig().NumCameras(), -1);
-  for (int c = 0; c < num_cameras; ++c) subset_pos[cameras[c]] = c;
 
   *repository = MetadataRepository();
   repository->SetContext(ContextFromScene(scene));
@@ -247,7 +256,10 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     engine_options.tracker = options_.tracker;
     engine_options.fusion = fusion_options;
     engine_options.eye_contact = options_.eye_contact;
-    engine_options.num_threads = options_.num_threads;
+    // The pipeline's own executor owns all parallelism (per-(frame,
+    // camera) fan-out); the engine's internal per-camera pool would only
+    // oversubscribe it.
+    engine_options.num_threads = 1;
     std::vector<ParticipantProfile> profiles;
     for (const auto& p : scene.participants()) {
       profiles.push_back(p.profile);
@@ -282,75 +294,186 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
 
   int consecutive_below_quorum = 0;
 
-  // --- per-frame loop ----------------------------------------------------
-  for (int f = 0; f < scene.num_frames(); f += options_.frame_stride) {
-    const double t = scene.TimeOfFrame(f);
-    std::vector<ParticipantState> gt = scene.StateAt(t);
-
-    std::vector<ParticipantGeometry> geometry(n);
-    std::vector<EmotionObservation> emotions;
-    std::vector<FusedParticipant> fused;
-    std::vector<std::vector<FaceObservation>> per_camera_obs;
-    std::vector<ImageRgb> frames(num_cameras);
-
-    if (full) {
-      // Decode this frame set through the degradation-aware reader (timed
-      // as acquisition), then hand the usable views to the per-frame
-      // engine (detection + identity + fusion + eye contact).
-      SynchronizedFrameSet set;
-      {
-        StageTimer timer(&report.timings.acquisition);
-        DIEVENT_ASSIGN_OR_RETURN(set, multi->GetFrames(f));
+  // Repository + overall-emotion writes for one committed frame. Shared
+  // by the full-vision commit stage and the ground-truth loop.
+  auto store_frame = [&](int f, double t, const LookAtMatrix& lookat,
+                         const std::vector<EmotionObservation>& emotions)
+      -> Status {
+    StageTimer timer(&report.timings.storage);
+    DIEVENT_RETURN_NOT_OK(
+        repository->AddLookAt(LookAtRecord::FromMatrix(f, t, lookat)));
+    if (options_.analyze_emotions) {
+      OverallEmotion oe = overall.Update(f, t, emotions);
+      for (const EmotionObservation& eo : emotions) {
+        if (!eo.emotion) continue;
+        EmotionRecord er;
+        er.frame = f;
+        er.timestamp_s = t;
+        er.participant = eo.participant;
+        er.emotion = *eo.emotion;
+        er.confidence = eo.confidence;
+        DIEVENT_RETURN_NOT_OK(repository->AddEmotion(er));
       }
-      const int usable = set.NumUsable();
-      if (usable < options_.acquisition.min_camera_quorum) {
+      OverallEmotionRecord orec;
+      orec.frame = f;
+      orec.timestamp_s = t;
+      orec.overall_happiness = oe.overall_happiness;
+      orec.mean_valence = oe.mean_valence;
+      orec.observed = oe.observed;
+      DIEVENT_RETURN_NOT_OK(repository->AddOverallEmotion(orec));
+    }
+    return Status::OK();
+  };
+
+  // --- per-frame loop ----------------------------------------------------
+  if (full) {
+    // Both full-vision executors — the sequential reference and the
+    // pipelined one — run the exact same per-frame helpers below; only
+    // the scheduling differs. Determinism contract: every mutation of
+    // report / repository / tracker / accumulator state happens in the
+    // ordered helpers (account_acquisition, commit), called in frame
+    // order, so the pipelined executor is bit-identical to the
+    // sequential path at equal options and seeds.
+    struct FrameWork {
+      int f = 0;
+      double t = 0;
+      SynchronizedFrameSet set;
+      bool analyzable = false;
+      std::vector<ParticipantState> gt;
+      std::vector<ImageRgb> frames;
+      std::vector<CameraFrameQuality> quality;
+      std::vector<CameraVision> vision;
+      int parse_ref = -1;  ///< lowest usable camera; signs the timeline
+      std::optional<Histogram> signature;
+      /// Speculative emotion predictions per (camera slot, observation),
+      /// filled by the vision stage in pipelined mode for every candidate
+      /// the commit stage could possibly select.
+      std::vector<std::vector<std::optional<EmotionPrediction>>>
+          emotion_cache;
+      std::vector<double> vision_seconds;   // per camera, stateless stage
+      std::vector<double> emotion_seconds;  // per camera, speculation
+      std::unique_ptr<TaskGroup> group;
+    };
+
+    // Cheap per-frame setup after acquisition: quorum verdict, quality
+    // flags, frame extraction, parse-reference pick. No shared state.
+    auto prepare = [&](FrameWork& w) {
+      w.gt = scene.StateAt(w.t);
+      w.analyzable =
+          w.set.NumUsable() >= options_.acquisition.min_camera_quorum;
+      if (!w.analyzable) return;
+      w.quality.assign(num_cameras, CameraFrameQuality::kAbsent);
+      w.frames.assign(num_cameras, ImageRgb());
+      for (int c = 0; c < num_cameras; ++c) {
+        CameraFrame& slot = w.set.cameras[c];
+        if (!slot.usable()) continue;
+        w.quality[c] = slot.status == CameraFrameStatus::kHeld
+                           ? CameraFrameQuality::kStale
+                           : CameraFrameQuality::kFresh;
+        w.frames[c] = std::move(slot.frame.image);
+      }
+      if (options_.parse_video) {
+        // Camera 0 is the nominal parsing reference; when it missed this
+        // frame, sign the timeline from the lowest-index usable camera
+        // rather than dropping the slot (which would compact the
+        // timeline and shift every later shot boundary).
+        for (int c = 0; c < num_cameras && w.parse_ref < 0; ++c) {
+          if (w.quality[c] != CameraFrameQuality::kAbsent) w.parse_ref = c;
+        }
+      }
+      w.vision.resize(num_cameras);
+      w.emotion_cache.resize(num_cameras);
+      w.vision_seconds.assign(num_cameras, 0.0);
+      w.emotion_seconds.assign(num_cameras, 0.0);
+    };
+
+    // Ordered acquisition bookkeeping: skip/health tallies and the
+    // collapse check. Returns false when the frame is skipped. Uses the
+    // set's quarantine snapshot (not the source's live state) so the
+    // collapse message is identical whether the set came from the
+    // prefetch pump or a synchronous read.
+    auto account_acquisition = [&](FrameWork& w) -> Result<bool> {
+      if (!w.analyzable) {
         ++report.degradation.frames_skipped;
-        health_timeline.push_back({f, AcquisitionFrameHealth::kSkipped});
+        health_timeline.push_back({w.f, AcquisitionFrameHealth::kSkipped});
         if (options_.parse_video) signatures.push_back(std::nullopt);
         ++consecutive_below_quorum;
         if (consecutive_below_quorum >
             options_.acquisition.max_consecutive_below_quorum) {
           std::string quarantined;
-          for (int c : multi->QuarantinedCameras()) {
+          for (int c : w.set.quarantined_after) {
             quarantined += StrFormat(" %d", c);
           }
           return Status::FailedPrecondition(StrFormat(
               "acquisition collapsed at frame %d: %d consecutive frame "
               "sets below quorum (%d usable of %d cameras, quorum %d; "
               "quarantined:%s)",
-              f, consecutive_below_quorum, usable, num_cameras,
-              options_.acquisition.min_camera_quorum,
+              w.f, consecutive_below_quorum, w.set.NumUsable(),
+              num_cameras, options_.acquisition.min_camera_quorum,
               quarantined.empty() ? " none" : quarantined.c_str()));
         }
-        continue;  // no analysis, no records for this frame
+        return false;  // no analysis, no records for this frame
       }
       consecutive_below_quorum = 0;
-      if (set.FullyHealthy()) {
+      if (w.set.FullyHealthy()) {
         ++report.degradation.frames_fully_healthy;
-        health_timeline.push_back({f, AcquisitionFrameHealth::kHealthy});
+        health_timeline.push_back({w.f, AcquisitionFrameHealth::kHealthy});
       } else {
         ++report.degradation.frames_degraded;
-        health_timeline.push_back({f, AcquisitionFrameHealth::kDegraded});
+        health_timeline.push_back({w.f, AcquisitionFrameHealth::kDegraded});
       }
-      std::vector<CameraFrameQuality> quality(num_cameras,
-                                              CameraFrameQuality::kAbsent);
-      for (int c = 0; c < num_cameras; ++c) {
-        CameraFrame& slot = set.cameras[c];
-        if (!slot.usable()) continue;
-        quality[c] = slot.status == CameraFrameStatus::kHeld
-                         ? CameraFrameQuality::kStale
-                         : CameraFrameQuality::kFresh;
-        frames[c] = std::move(slot.frame.image);
+      return true;
+    };
+
+    // Stateless per-camera stage: detection + landmarks + gaze +
+    // appearance identity, plus (pipelined only) speculative emotion
+    // predictions. Candidates are every frontal observation with
+    // radius >= 8 px — a superset of what commit can select, since the
+    // tracker backfill there only changes identities, never geometry.
+    auto run_vision = [&](FrameWork& w, int c, bool speculate) {
+      const Clock::time_point start = Clock::now();
+      w.vision[c] =
+          engine->AnalyzeCameraStateless(c, w.frames[c], w.quality[c]);
+      const Clock::time_point mid = Clock::now();
+      w.vision_seconds[c] =
+          std::chrono::duration<double>(mid - start).count();
+      if (!speculate || !options_.analyze_emotions || recognizer == nullptr)
+        return;
+      auto& cache = w.emotion_cache[c];
+      cache.assign(w.vision[c].obs.size(), std::nullopt);
+      thread_local ImageRgb crop;
+      for (size_t oi = 0; oi < w.vision[c].obs.size(); ++oi) {
+        const FaceDetection& det = w.vision[c].obs[oi].detection;
+        if (!det.front_facing || det.radius_px < 8.0) continue;
+        CropFaceInto(w.frames[c], det, &crop);
+        cache[oi] = recognizer->Recognize(crop);
       }
+      w.emotion_seconds[c] =
+          std::chrono::duration<double>(Clock::now() - mid).count();
+    };
+
+    auto run_signature = [&](FrameWork& w) {
+      if (w.parse_ref >= 0) {
+        w.signature = signature_maker.Signature(w.frames[w.parse_ref]);
+      }
+    };
+
+    // Ordered commit: tracking + fusion + eye contact, parse-signature
+    // and emotion publication, accuracy bookkeeping, repository writes.
+    auto commit = [&](FrameWork& w) -> Status {
       FrameAnalysis analysis;
       {
         StageTimer timer(&report.timings.detection);
-        DIEVENT_ASSIGN_OR_RETURN(analysis,
-                                 engine->Analyze(f, frames, quality));
+        DIEVENT_ASSIGN_OR_RETURN(
+            analysis,
+            engine->CommitFrame(w.f, std::move(w.vision), w.quality));
       }
-      per_camera_obs = std::move(analysis.per_camera);
-      fused = std::move(analysis.fused);
-      geometry = ToGeometry(fused);
+      for (double s : w.vision_seconds) report.timings.detection += s;
+      for (double s : w.emotion_seconds) report.timings.emotion += s;
+      std::vector<std::vector<FaceObservation>> per_camera_obs =
+          std::move(analysis.per_camera);
+      std::vector<FusedParticipant> fused = std::move(analysis.fused);
+      std::vector<ParticipantGeometry> geometry = ToGeometry(fused);
       for (int i = 0; i < n; ++i) {
         if (fused[i].num_views == 0) {
           geometry[i].gaze_direction.reset();
@@ -358,22 +481,11 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       }
 
       if (options_.parse_video) {
-        // Camera 0 is the nominal parsing reference; when it missed this
-        // frame, sign the timeline from the lowest-index usable camera
-        // rather than dropping the slot (which would compact the timeline
-        // and shift every later shot boundary).
-        int ref = -1;
-        for (int c = 0; c < num_cameras && ref < 0; ++c) {
-          if (quality[c] != CameraFrameQuality::kAbsent) ref = c;
-        }
-        if (ref >= 0) {
-          if (ref != 0) ++report.degradation.parse_reference_switches;
-          signatures.push_back(signature_maker.Signature(frames[ref]));
-        } else {
-          signatures.push_back(std::nullopt);
-        }
+        if (w.parse_ref > 0) ++report.degradation.parse_reference_switches;
+        signatures.push_back(std::move(w.signature));
       }
 
+      std::vector<EmotionObservation> emotions;
       if (options_.analyze_emotions && recognizer != nullptr) {
         StageTimer timer(&report.timings.emotion);
         for (int i = 0; i < n; ++i) {
@@ -381,23 +493,35 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
           eo.participant = i;
           // Pick the largest frontal view of participant i.
           const FaceObservation* best = nullptr;
-          for (const auto& cam_obs : per_camera_obs) {
-            for (const auto& o : cam_obs) {
+          int best_cam = -1;
+          size_t best_idx = 0;
+          for (int c = 0; c < num_cameras; ++c) {
+            const std::vector<FaceObservation>& cam_obs =
+                per_camera_obs[c];
+            for (size_t oi = 0; oi < cam_obs.size(); ++oi) {
+              const FaceObservation& o = cam_obs[oi];
               if (o.identity == i && o.detection.front_facing &&
                   (best == nullptr ||
                    o.detection.radius_px > best->detection.radius_px)) {
                 best = &o;
+                best_cam = c;
+                best_idx = oi;
               }
             }
           }
           if (best != nullptr && best->detection.radius_px >= 8.0) {
-            ImageRgb crop =
-                CropFace(frames[subset_pos[best->camera_index]],
-                         best->detection);
-            EmotionPrediction p = recognizer->Recognize(crop);
+            EmotionPrediction p;
+            if (best_idx < w.emotion_cache[best_cam].size() &&
+                w.emotion_cache[best_cam][best_idx].has_value()) {
+              p = *w.emotion_cache[best_cam][best_idx];
+            } else {
+              thread_local ImageRgb crop;
+              CropFaceInto(w.frames[best_cam], best->detection, &crop);
+              p = recognizer->Recognize(crop);
+            }
             eo.emotion = p.emotion;
             eo.confidence = p.confidence;
-            if (eo.emotion == gt[i].emotion) ++emo_correct;
+            if (eo.emotion == w.gt[i].emotion) ++emo_correct;
             ++emo_total;
           }
           emotions.push_back(eo);
@@ -410,19 +534,151 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
         if (fused[i].num_views > 0) {
           ++detect_have;
           pos_err_sum +=
-              (fused[i].geometry.head_position - gt[i].head_position)
+              (fused[i].geometry.head_position - w.gt[i].head_position)
                   .Norm();
           ++pos_err_count;
         }
         if (geometry[i].gaze_direction) {
           ++gaze_have;
           gaze_err_sum += RadToDeg(AngleBetween(
-              *geometry[i].gaze_direction, gt[i].gaze_direction));
+              *geometry[i].gaze_direction, w.gt[i].gaze_direction));
           ++gaze_err_count;
         }
       }
+
+      LookAtMatrix lookat;
+      {
+        StageTimer timer(&report.timings.eye_contact);
+        lookat = ec_detector.ComputeLookAt(geometry);
+      }
+      DIEVENT_RETURN_NOT_OK(report.summary.Accumulate(lookat));
+
+      std::vector<std::vector<bool>> gt_look =
+          scene.GroundTruthLookAt(w.t);
+      for (int x = 0; x < n; ++x) {
+        for (int y = 0; y < n; ++y) {
+          if (x == y) continue;
+          bool est = lookat.At(x, y);
+          bool truth = gt_look[x][y];
+          ++cell_total;
+          if (est == truth) ++cell_agree;
+          if (est && truth) ++edge_tp;
+          if (est && !truth) ++edge_fp;
+          if (!est && truth) ++edge_fn;
+        }
+      }
+
+      DIEVENT_RETURN_NOT_OK(store_frame(w.f, w.t, lookat, emotions));
+      ++report.frames_processed;
+      return Status::OK();
+    };
+
+    if (!pipelined) {
+      // Sequential reference executor.
+      for (int f = 0; f < scene.num_frames(); f += options_.frame_stride) {
+        FrameWork w;
+        w.f = f;
+        w.t = scene.TimeOfFrame(f);
+        {
+          StageTimer timer(&report.timings.acquisition);
+          DIEVENT_ASSIGN_OR_RETURN(w.set, multi->GetFrames(f));
+        }
+        prepare(w);
+        DIEVENT_ASSIGN_OR_RETURN(bool analyze, account_acquisition(w));
+        if (!analyze) continue;
+        for (int c = 0; c < num_cameras; ++c) {
+          if (w.quality[c] == CameraFrameQuality::kAbsent) continue;
+          run_vision(w, c, /*speculate=*/false);
+        }
+        if (options_.parse_video) run_signature(w);
+        DIEVENT_RETURN_NOT_OK(commit(w));
+      }
     } else {
-      // Ground-truth mode: geometry straight from the simulator.
+      // Pipelined streaming executor. A window of frames is in flight at
+      // once: the acquisition pump (prefetch_depth > 0) reads ahead,
+      // per-(frame, camera) vision tasks fan out on the pool, and the
+      // head frame is committed in order. Worker tasks only ever touch
+      // their own FrameWork, so the sole synchronization points are the
+      // pool queue and each frame's TaskGroup barrier.
+      const int workers = std::max(1, options_.num_threads);
+      const int window =
+          std::max(2, std::max(workers, options_.prefetch_depth));
+      if (options_.prefetch_depth > 0 && scene.num_frames() > 0) {
+        DIEVENT_RETURN_NOT_OK(multi->StartPrefetch(
+            0, options_.frame_stride, options_.prefetch_depth));
+      }
+      Status run_status = Status::OK();
+      // `inflight` outlives `pool` so queued tasks can never outlive the
+      // FrameWork objects they reference.
+      std::deque<std::unique_ptr<FrameWork>> inflight;
+      ThreadPool pool(workers);
+      auto schedule = [&](FrameWork& w) {
+        if (!w.analyzable) return;
+        w.group = std::make_unique<TaskGroup>(&pool);
+        FrameWork* wp = &w;
+        for (int c = 0; c < num_cameras; ++c) {
+          if (w.quality[c] == CameraFrameQuality::kAbsent) continue;
+          w.group->Submit(
+              [&run_vision, wp, c] { run_vision(*wp, c, true); });
+        }
+        if (options_.parse_video) {
+          w.group->Submit([&run_signature, wp] { run_signature(*wp); });
+        }
+      };
+      int next_f = 0;
+      while (true) {
+        // Fill the window: acquire, prepare, and fan out vision tasks.
+        while (run_status.ok() &&
+               static_cast<int>(inflight.size()) < window &&
+               next_f < scene.num_frames()) {
+          auto w = std::make_unique<FrameWork>();
+          w->f = next_f;
+          w->t = scene.TimeOfFrame(next_f);
+          {
+            StageTimer timer(&report.timings.acquisition);
+            Result<SynchronizedFrameSet> set = multi->GetFrames(next_f);
+            if (!set.ok()) {
+              run_status = set.status();
+              break;
+            }
+            w->set = std::move(set).TakeValue();
+          }
+          prepare(*w);
+          schedule(*w);
+          inflight.push_back(std::move(w));
+          next_f += options_.frame_stride;
+        }
+        if (!run_status.ok() || inflight.empty()) break;
+        // Retire the head frame in order.
+        FrameWork& head = *inflight.front();
+        if (head.group != nullptr) head.group->Wait();
+        Result<bool> analyze = account_acquisition(head);
+        if (!analyze.ok()) {
+          run_status = analyze.status();
+        } else if (analyze.TakeValue()) {
+          run_status = commit(head);
+        }
+        inflight.pop_front();
+        if (!run_status.ok()) break;
+      }
+      // On error, drain in-flight work before the FrameWork objects die,
+      // then surface the same status (and frame index) the sequential
+      // executor would have reported.
+      for (auto& w : inflight) {
+        if (w->group != nullptr) w->group->Wait();
+      }
+      inflight.clear();
+      multi->StopPrefetch();
+      DIEVENT_RETURN_NOT_OK(run_status);
+    }
+  } else {
+    // Ground-truth mode: geometry straight from the simulator; only
+    // camera 0 is decoded, and only for video parsing.
+    for (int f = 0; f < scene.num_frames(); f += options_.frame_stride) {
+      const double t = scene.TimeOfFrame(f);
+      std::vector<ParticipantState> gt = scene.StateAt(t);
+      std::vector<ParticipantGeometry> geometry(n);
+      std::vector<EmotionObservation> emotions;
       {
         StageTimer timer(&report.timings.fusion);
         for (int i = 0; i < n; ++i) {
@@ -444,57 +700,15 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
         DIEVENT_ASSIGN_OR_RETURN(VideoFrame vf, parse_source->GetFrame(f));
         signatures.push_back(signature_maker.Signature(vf.image));
       }
-    }
-
-    LookAtMatrix lookat;
-    {
-      StageTimer timer(&report.timings.eye_contact);
-      lookat = ec_detector.ComputeLookAt(geometry);
-    }
-    DIEVENT_RETURN_NOT_OK(report.summary.Accumulate(lookat));
-
-    if (full) {
-      std::vector<std::vector<bool>> gt_look = scene.GroundTruthLookAt(t);
-      for (int x = 0; x < n; ++x) {
-        for (int y = 0; y < n; ++y) {
-          if (x == y) continue;
-          bool est = lookat.At(x, y);
-          bool truth = gt_look[x][y];
-          ++cell_total;
-          if (est == truth) ++cell_agree;
-          if (est && truth) ++edge_tp;
-          if (est && !truth) ++edge_fp;
-          if (!est && truth) ++edge_fn;
-        }
+      LookAtMatrix lookat;
+      {
+        StageTimer timer(&report.timings.eye_contact);
+        lookat = ec_detector.ComputeLookAt(geometry);
       }
+      DIEVENT_RETURN_NOT_OK(report.summary.Accumulate(lookat));
+      DIEVENT_RETURN_NOT_OK(store_frame(f, t, lookat, emotions));
+      ++report.frames_processed;
     }
-
-    {
-      StageTimer timer(&report.timings.storage);
-      DIEVENT_RETURN_NOT_OK(
-          repository->AddLookAt(LookAtRecord::FromMatrix(f, t, lookat)));
-      if (options_.analyze_emotions) {
-        OverallEmotion oe = overall.Update(f, t, emotions);
-        for (const EmotionObservation& eo : emotions) {
-          if (!eo.emotion) continue;
-          EmotionRecord er;
-          er.frame = f;
-          er.timestamp_s = t;
-          er.participant = eo.participant;
-          er.emotion = *eo.emotion;
-          er.confidence = eo.confidence;
-          DIEVENT_RETURN_NOT_OK(repository->AddEmotion(er));
-        }
-        OverallEmotionRecord orec;
-        orec.frame = f;
-        orec.timestamp_s = t;
-        orec.overall_happiness = oe.overall_happiness;
-        orec.mean_valence = oe.mean_valence;
-        orec.observed = oe.observed;
-        DIEVENT_RETURN_NOT_OK(repository->AddOverallEmotion(orec));
-      }
-    }
-    ++report.frames_processed;
   }
 
   // --- video composition analysis ---------------------------------------

@@ -85,11 +85,22 @@ struct PipelineOptions {
   /// Process every `frame_stride`-th frame (1 = all).
   int frame_stride = 1;
 
-  /// Worker threads for per-camera vision work (kFullVision only).
-  /// 1 = sequential with fine-grained stage timings; > 1 runs
-  /// acquisition + detection + identity per camera in parallel, with the
-  /// combined wall time attributed to the detection stage.
+  /// Worker threads for the stateless vision stage (kFullVision only).
+  /// 1 = the sequential reference executor. > 1 enables the pipelined
+  /// streaming executor: per-(frame, camera) detection/landmarks/gaze/
+  /// identity/emotion tasks fan out across a pool while an ordered commit
+  /// stage applies tracking, fusion, accuracy, and repository writes in
+  /// frame order. Results are bit-identical to the sequential executor at
+  /// equal seeds.
   int num_threads = 1;
+
+  /// Frame sets the acquisition pump may read ahead of the commit stage
+  /// (kFullVision only). 0 = synchronous reads. > 0 starts a prefetch
+  /// pump inside MultiCameraSource that runs the identical admission/
+  /// read/fold sequence ahead of the consumer, bounded by this depth, so
+  /// decode + retries + deadline waits overlap analysis. Either this or
+  /// num_threads > 1 selects the pipelined executor.
+  int prefetch_depth = 0;
 
   uint64_t seed = 42;  ///< master seed for training/augmentation
 };

@@ -68,12 +68,39 @@ class Image {
   /// Copies the axis-aligned window [x0, x0+w) x [y0, y0+h), clamping reads
   /// at the border (so crops may exceed the bounds).
   Image<T> Crop(int x0, int y0, int w, int h) const {
-    Image<T> out(w, h, channels_);
-    for (int y = 0; y < h; ++y)
-      for (int x = 0; x < w; ++x)
-        for (int c = 0; c < channels_; ++c)
-          out.at(x, y, c) = AtClamped(x0 + x, y0 + y, c);
+    Image<T> out;
+    CropInto(x0, y0, w, h, &out);
     return out;
+  }
+
+  /// As Crop, but reuses `out`'s storage when the size already matches —
+  /// the emotion path crops one face per observation per frame, and a
+  /// fresh allocation per crop is measurable on that hot path.
+  void CropInto(int x0, int y0, int w, int h, Image<T>* out) const {
+    assert(w >= 0 && h >= 0);
+    out->width_ = w;
+    out->height_ = h;
+    out->channels_ = channels_;
+    out->data_.resize(static_cast<size_t>(w) * h * channels_);
+    T* dst = out->data_.data();
+    for (int y = 0; y < h; ++y) {
+      const int sy = std::clamp(y0 + y, 0, height_ - 1);
+      const int x_lo = std::clamp(-x0, 0, w);
+      const int x_hi = std::clamp(width_ - x0, 0, w);
+      // Left and right of the source bounds: replicate the border pixel.
+      for (int x = 0; x < x_lo; ++x)
+        for (int c = 0; c < channels_; ++c) *dst++ = at(0, sy, c);
+      if (x_hi > x_lo) {
+        const T* src =
+            &data_[(static_cast<size_t>(sy) * width_ + (x0 + x_lo)) *
+                   channels_];
+        const size_t n = static_cast<size_t>(x_hi - x_lo) * channels_;
+        std::copy(src, src + n, dst);
+        dst += n;
+      }
+      for (int x = std::max(x_hi, x_lo); x < w; ++x)
+        for (int c = 0; c < channels_; ++c) *dst++ = at(width_ - 1, sy, c);
+    }
   }
 
   bool operator==(const Image<T>& o) const {

@@ -114,8 +114,12 @@ std::vector<float> EmotionRecognizer::ExtractFeatures(
 
 EmotionPrediction EmotionRecognizer::Recognize(
     const ImageRgb& face_crop) const {
+  // One forward-pass workspace per thread: Recognize is const and the
+  // pipelined executor calls it concurrently from pool workers, so the
+  // scratch cannot live on the recognizer itself.
+  thread_local NeuralNet::ForwardScratch scratch;
   EmotionPrediction pred;
-  pred.class_probabilities = net_.Predict(ExtractFeatures(face_crop));
+  pred.class_probabilities = net_.Predict(ExtractFeatures(face_crop), &scratch);
   auto it = std::max_element(pred.class_probabilities.begin(),
                              pred.class_probabilities.end());
   pred.emotion = static_cast<Emotion>(

@@ -54,6 +54,15 @@ struct EpochStats {
 
 class NeuralNet {
  public:
+  /// Reusable forward-pass workspace. Forward fills activations[0] with
+  /// the input and activations[i+1] with layer i's output; after the
+  /// first call the buffers are only resized, never reallocated, so the
+  /// emotion hot loop (one Predict per face per frame) runs
+  /// allocation-free. A scratch must not be shared across threads.
+  struct ForwardScratch {
+    std::vector<std::vector<float>> activations;
+  };
+
   NeuralNet() = default;
 
   /// Builds a network with the given layer widths, e.g. {2124, 48, 7}.
@@ -69,6 +78,11 @@ class NeuralNet {
 
   /// Forward pass: softmax class probabilities.
   std::vector<float> Predict(const std::vector<float>& input) const;
+
+  /// As Predict, but reuses a caller-owned scratch; the returned
+  /// reference aliases `scratch` and is valid until the next call.
+  const std::vector<float>& Predict(const std::vector<float>& input,
+                                    ForwardScratch* scratch) const;
 
   /// Argmax class of Predict().
   int Classify(const std::vector<float>& input) const;
@@ -93,9 +107,12 @@ class NeuralNet {
     std::vector<float> bias;     // out
   };
 
-  /// Forward keeping pre-activations and activations for backprop.
-  void Forward(const std::vector<float>& input,
-               std::vector<std::vector<float>>* activations) const;
+  /// Forward keeping every layer's activations (for backprop and for the
+  /// scratch-based Predict). Resizes rather than reallocates.
+  void Forward(const std::vector<float>& input, ForwardScratch* scratch) const;
+
+  /// One dense layer: out = weights * prev + bias.
+  static void MatVec(const Layer& layer, const float* prev, float* out);
 
   std::vector<int> layer_sizes_;
   std::vector<Layer> layers_;

@@ -165,14 +165,23 @@ void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
 
 std::vector<AcquisitionSupervisor::ReadOutcome> AcquisitionSupervisor::Read(
     int index, const std::vector<int>& max_attempts) {
-  const long long seq = ++seq_;
-  const bool bounded = options_.read_deadline_s > 0;
-  const Clock::time_point deadline =
-      Clock::now() + FromSeconds(options_.read_deadline_s);
+  return FinishRead(BeginRead(index, max_attempts));
+}
 
-  std::vector<ReadOutcome> out(readers_.size());
-  std::vector<bool> pending(readers_.size(), false);
-  size_t remaining = 0;
+AcquisitionSupervisor::PendingRead AcquisitionSupervisor::BeginRead(
+    int index, const std::vector<int>& max_attempts) {
+  PendingRead p;
+  p.index = index;
+  p.seq = ++seq_;
+  p.bounded = options_.read_deadline_s > 0;
+  p.deadline = Clock::now() + FromSeconds(options_.read_deadline_s);
+  p.out.resize(readers_.size());
+  p.pending.assign(readers_.size(), false);
+
+  const long long seq = p.seq;
+  std::vector<ReadOutcome>& out = p.out;
+  std::vector<bool>& pending = p.pending;
+  size_t& remaining = p.remaining;
 
   for (size_t c = 0; c < readers_.size(); ++c) {
     if (c >= max_attempts.size() || max_attempts[c] <= 0) continue;
@@ -210,13 +219,24 @@ std::vector<AcquisitionSupervisor::ReadOutcome> AcquisitionSupervisor::Read(
       MaybeInterruptLocked(&reader, stuck_s);
       continue;
     }
-    reader.request = ReaderRequest{seq, index, max_attempts[c],
-                                   bounded ? options_.read_deadline_s : 0.0};
+    reader.request =
+        ReaderRequest{seq, index, max_attempts[c],
+                      p.bounded ? options_.read_deadline_s : 0.0};
     lock.unlock();
     reader.cv.notify_one();
     pending[c] = true;
     ++remaining;
   }
+  return p;
+}
+
+std::vector<AcquisitionSupervisor::ReadOutcome>
+AcquisitionSupervisor::FinishRead(PendingRead p) {
+  const long long seq = p.seq;
+  const int index = p.index;
+  std::vector<ReadOutcome>& out = p.out;
+  std::vector<bool>& pending = p.pending;
+  size_t& remaining = p.remaining;
 
   auto drain = [&] {
     for (size_t c = 0; c < readers_.size(); ++c) {
@@ -243,9 +263,9 @@ std::vector<AcquisitionSupervisor::ReadOutcome> AcquisitionSupervisor::Read(
   while (remaining > 0) {
     drain();
     if (remaining == 0) break;
-    if (bounded) {
-      if (Clock::now() >= deadline) break;
-      responses_cv_.wait_until(wait_lock, deadline);
+    if (p.bounded) {
+      if (Clock::now() >= p.deadline) break;
+      responses_cv_.wait_until(wait_lock, p.deadline);
     } else {
       responses_cv_.wait(wait_lock);
     }
@@ -264,7 +284,7 @@ std::vector<AcquisitionSupervisor::ReadOutcome> AcquisitionSupervisor::Read(
     std::lock_guard<std::mutex> lock(reader.mutex);
     ++reader.stats.deadline_misses;
   }
-  return out;
+  return std::move(p.out);
 }
 
 AcquisitionSupervisor::ReaderStats AcquisitionSupervisor::stats(

@@ -65,6 +65,8 @@ struct SupervisorOptions {
 /// synchronized reads. Does not own the sources.
 class AcquisitionSupervisor {
  public:
+  using Clock = std::chrono::steady_clock;
+
   /// One camera's result for one synchronized read.
   struct ReadOutcome {
     bool dispatched = false;       ///< false = caller asked to skip (0 attempts)
@@ -103,6 +105,18 @@ class AcquisitionSupervisor {
 
   int NumCameras() const { return static_cast<int>(readers_.size()); }
 
+  /// An in-flight synchronized read: dispatched but not yet collected.
+  /// Opaque to callers; obtained from BeginRead, consumed by FinishRead.
+  struct PendingRead {
+    int index = 0;
+    long long seq = 0;
+    bool bounded = false;
+    Clock::time_point deadline;
+    std::vector<ReadOutcome> out;
+    std::vector<bool> pending;
+    size_t remaining = 0;
+  };
+
   /// Reads frame `index` from every camera with `max_attempts[c] > 0`
   /// concurrently, waiting at most the read deadline overall. Cameras with
   /// `max_attempts[c] <= 0` are skipped (breaker open). Wedged readers are
@@ -110,14 +124,24 @@ class AcquisitionSupervisor {
   std::vector<ReadOutcome> Read(int index,
                                 const std::vector<int>& max_attempts);
 
+  /// Dispatches the read without waiting. The deadline starts now, so the
+  /// caller can overlap other work (the prefetch pump hands the previous
+  /// frame set downstream, which may block on backpressure) with the
+  /// readers' wall-clock budget. At most one read may be pending at a
+  /// time; FinishRead must be called before the next BeginRead.
+  PendingRead BeginRead(int index, const std::vector<int>& max_attempts);
+
+  /// Collects a dispatched read: waits for the remaining responses up to
+  /// the deadline fixed at BeginRead time, then marks stragglers as
+  /// deadline misses. Read(i, a) == FinishRead(BeginRead(i, a)).
+  std::vector<ReadOutcome> FinishRead(PendingRead pending);
+
   /// Snapshot of one camera's statistics (thread-safe).
   ReaderStats stats(int camera) const;
 
   const SupervisorOptions& options() const { return options_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct ReaderRequest {
     long long seq = 0;
     int index = 0;

@@ -1,12 +1,37 @@
 #include "video/video_source.h"
 
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <utility>
 
+#include "common/spsc_queue.h"
 #include "common/strings.h"
 #include "video/acquisition_supervisor.h"
 
 namespace dievent {
+
+/// Prefetch pump state. The SPSC queue carries folded frame sets from the
+/// pump thread (sole producer) to GetFrames (sole consumer); the mutex and
+/// condition variables only coordinate blocking. `depth` is enforced with
+/// an explicit size check because SpscQueue rounds its capacity up to a
+/// power of two.
+struct MultiCameraSource::PumpState {
+  explicit PumpState(int depth_in)
+      : depth(depth_in), queue(static_cast<size_t>(depth_in)) {}
+
+  const int depth;
+  int next_index = 0;
+  int stride = 1;
+  SpscQueue<SynchronizedFrameSet> queue;
+  std::mutex mutex;
+  std::condition_variable produced;  ///< pump -> consumer: a set is ready
+  std::condition_variable consumed;  ///< consumer -> pump: room freed / stop
+  bool stop = false;
+  bool done = false;  ///< pump exhausted its index range and exited
+  std::thread thread;
+};
 
 int SynchronizedFrameSet::NumUsable() const {
   int n = 0;
@@ -21,7 +46,7 @@ int SynchronizedFrameSet::NumFresh() const {
 }
 
 MultiCameraSource::MultiCameraSource() = default;
-MultiCameraSource::~MultiCameraSource() = default;
+MultiCameraSource::~MultiCameraSource() { StopPrefetch(); }
 MultiCameraSource::MultiCameraSource(MultiCameraSource&&) noexcept = default;
 MultiCameraSource& MultiCameraSource::operator=(MultiCameraSource&&) noexcept =
     default;
@@ -114,24 +139,14 @@ int MultiCameraSource::ReadmitCooldownFrames(int camera,
                   static_cast<int>(std::llround(frames)));
 }
 
-Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
-  if (index < 0 || index >= num_frames_) {
-    return Status::OutOfRange(
-        StrFormat("frame %d outside [0, %d)", index, num_frames_));
-  }
-  EnsureSupervisor();
-
-  SynchronizedFrameSet set;
-  set.frame_index = index;
-  set.cameras.resize(sources_.size());
-
-  // Phase 1: per-camera breaker decisions — how many attempts each reader
-  // may spend on this frame (0 = skip, the camera is quarantined).
-  std::vector<int> attempts(sources_.size(), 0);
-  std::vector<bool> probing(sources_.size(), false);
+void MultiCameraSource::DecideAdmission(int index, SynchronizedFrameSet* set,
+                                        std::vector<int>* attempts,
+                                        std::vector<bool>* probing) {
+  attempts->assign(sources_.size(), 0);
+  probing->assign(sources_.size(), false);
   for (size_t c = 0; c < sources_.size(); ++c) {
     CameraHealth& health = health_[c];
-    CameraFrame& slot = set.cameras[c];
+    CameraFrame& slot = set->cameras[c];
 
     // Circuit breaker: an open camera is skipped entirely until the
     // cooldown (grown by the readmission backoff on every failed probe)
@@ -150,30 +165,38 @@ Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
       }
       health.breaker = CameraHealth::Breaker::kHalfOpen;
     }
-    probing[c] = health.breaker == CameraHealth::Breaker::kHalfOpen;
+    (*probing)[c] = health.breaker == CameraHealth::Breaker::kHalfOpen;
     // A probe gets a single attempt; a healthy camera gets the budget.
-    attempts[c] = probing[c] ? 1 : 1 + policy_.retry_budget;
+    (*attempts)[c] = (*probing)[c] ? 1 : 1 + policy_.retry_budget;
   }
+}
 
-  // Phase 2: one concurrent deadline-bounded read across all admitted
-  // cameras. With read_deadline_s == 0 this blocks exactly as long as the
-  // slowest camera — the old synchronous behavior.
-  std::vector<AcquisitionSupervisor::ReadOutcome> outcomes =
-      supervisor_->Read(index, attempts);
+namespace {
 
-  // Phase 3: fold each outcome back into policy state.
-  for (size_t c = 0; c < sources_.size(); ++c) {
+/// Phase 3 of a synchronized read: fold each camera's outcome back into
+/// breaker/hold-last-good state. A free function taking the pieces
+/// explicitly (rather than a member) because the supervisor's nested
+/// ReadOutcome type cannot appear in video_source.h — the headers would
+/// be circular.
+void FoldOutcomes(const AcquisitionPolicy& policy, int index,
+                  const std::vector<int>& attempts,
+                  const std::vector<bool>& probing,
+                  std::vector<AcquisitionSupervisor::ReadOutcome>* outcomes,
+                  std::vector<CameraHealth>* health_states,
+                  std::vector<TimestampResampler>* resamplers,
+                  SynchronizedFrameSet* set) {
+  for (size_t c = 0; c < health_states->size(); ++c) {
     if (attempts[c] <= 0) continue;
-    CameraHealth& health = health_[c];
-    CameraFrame& slot = set.cameras[c];
-    AcquisitionSupervisor::ReadOutcome& outcome = outcomes[c];
+    CameraHealth& health = (*health_states)[c];
+    CameraFrame& slot = set->cameras[c];
+    AcquisitionSupervisor::ReadOutcome& outcome = (*outcomes)[c];
 
     health.retries += outcome.retry_failures;
 
     if (outcome.ok()) {
       slot.frame = std::move(*outcome.frame);
-      if (policy_.resync_timestamps) {
-        resamplers_[c].Align(index, &slot.frame);
+      if (policy.resync_timestamps) {
+        (*resamplers)[c].Align(index, &slot.frame);
       }
       slot.status = outcome.attempts_used > 1 ? CameraFrameStatus::kRetried
                                               : CameraFrameStatus::kFresh;
@@ -206,15 +229,15 @@ Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
       slot.status = CameraFrameStatus::kQuarantined;
       continue;
     }
-    if (health.consecutive_failures >= policy_.quarantine_after) {
+    if (health.consecutive_failures >= policy.quarantine_after) {
       health.breaker = CameraHealth::Breaker::kOpen;
       health.quarantined_at_frame = index;
       ++health.quarantine_events;
       slot.status = CameraFrameStatus::kQuarantined;
       continue;
     }
-    if (policy_.hold_last_good && health.last_good.has_value() &&
-        index - health.last_good->index <= policy_.max_held_age) {
+    if (policy.hold_last_good && health.last_good.has_value() &&
+        index - health.last_good->index <= policy.max_held_age) {
       slot.frame = *health.last_good;
       slot.status = CameraFrameStatus::kHeld;
       ++health.held;
@@ -222,7 +245,136 @@ Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
       slot.status = CameraFrameStatus::kMissing;
     }
   }
+  set->quarantined_after.clear();
+  for (size_t c = 0; c < health_states->size(); ++c) {
+    if ((*health_states)[c].breaker != CameraHealth::Breaker::kClosed) {
+      set->quarantined_after.push_back(static_cast<int>(c));
+    }
+  }
+}
+
+}  // namespace
+
+SynchronizedFrameSet MultiCameraSource::ReadSet(int index) {
+  SynchronizedFrameSet set;
+  set.frame_index = index;
+  set.cameras.resize(sources_.size());
+
+  std::vector<int> attempts;
+  std::vector<bool> probing;
+  DecideAdmission(index, &set, &attempts, &probing);
+
+  // Phase 2: one concurrent deadline-bounded read across all admitted
+  // cameras. With read_deadline_s == 0 this blocks exactly as long as the
+  // slowest camera — the old synchronous behavior.
+  std::vector<AcquisitionSupervisor::ReadOutcome> outcomes =
+      supervisor_->Read(index, attempts);
+
+  FoldOutcomes(policy_, index, attempts, probing, &outcomes, &health_,
+               &resamplers_, &set);
   return set;
+}
+
+Status MultiCameraSource::StartPrefetch(int start_index, int stride,
+                                        int depth) {
+  if (pump_) return Status::FailedPrecondition("prefetch already running");
+  if (depth < 1 || stride < 1) {
+    return Status::InvalidArgument(
+        "prefetch depth and stride must be >= 1");
+  }
+  if (start_index < 0 || start_index >= num_frames_) {
+    return Status::OutOfRange(StrFormat(
+        "prefetch start %d outside [0, %d)", start_index, num_frames_));
+  }
+  pump_ = std::make_unique<PumpState>(depth);
+  pump_->next_index = start_index;
+  pump_->stride = stride;
+  pump_->thread = std::thread(&MultiCameraSource::PumpLoop, this);
+  return Status::OK();
+}
+
+void MultiCameraSource::StopPrefetch() {
+  if (!pump_) return;
+  {
+    std::lock_guard<std::mutex> lock(pump_->mutex);
+    pump_->stop = true;
+  }
+  pump_->consumed.notify_all();
+  if (pump_->thread.joinable()) pump_->thread.join();
+  pump_.reset();
+}
+
+bool MultiCameraSource::PumpPush(SynchronizedFrameSet set) {
+  std::unique_lock<std::mutex> lock(pump_->mutex);
+  pump_->consumed.wait(lock, [&] {
+    return pump_->stop ||
+           pump_->queue.SizeApprox() < static_cast<size_t>(pump_->depth);
+  });
+  if (pump_->stop) return false;
+  pump_->queue.TryPush(std::move(set));  // sole producer: room is certain
+  pump_->produced.notify_one();
+  return true;
+}
+
+void MultiCameraSource::PumpLoop() {
+  EnsureSupervisor();
+  // Exactly the sequential ReadSet sequence, one frame ahead: the push of
+  // the previous (folded) set — which may block on backpressure — overlaps
+  // the wall-clock window the supervisor's readers spend on this frame.
+  std::optional<SynchronizedFrameSet> ready;
+  for (int index = pump_->next_index; index < num_frames_;
+       index += pump_->stride) {
+    SynchronizedFrameSet set;
+    set.frame_index = index;
+    set.cameras.resize(sources_.size());
+    std::vector<int> attempts;
+    std::vector<bool> probing;
+    DecideAdmission(index, &set, &attempts, &probing);
+    AcquisitionSupervisor::PendingRead pending =
+        supervisor_->BeginRead(index, attempts);
+    if (ready.has_value() && !PumpPush(std::move(*ready))) return;
+    ready.reset();
+    std::vector<AcquisitionSupervisor::ReadOutcome> outcomes =
+        supervisor_->FinishRead(std::move(pending));
+    FoldOutcomes(policy_, index, attempts, probing, &outcomes, &health_,
+                 &resamplers_, &set);
+    ready = std::move(set);
+  }
+  if (ready.has_value() && !PumpPush(std::move(*ready))) return;
+  {
+    std::lock_guard<std::mutex> lock(pump_->mutex);
+    pump_->done = true;
+  }
+  pump_->produced.notify_all();
+}
+
+Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
+  if (index < 0 || index >= num_frames_) {
+    return Status::OutOfRange(
+        StrFormat("frame %d outside [0, %d)", index, num_frames_));
+  }
+  if (pump_) {
+    std::unique_lock<std::mutex> lock(pump_->mutex);
+    pump_->produced.wait(lock, [&] {
+      return pump_->queue.SizeApprox() > 0 || pump_->done;
+    });
+    std::optional<SynchronizedFrameSet> set = pump_->queue.TryPop();
+    if (!set.has_value()) {
+      return Status::Internal(StrFormat(
+          "prefetch pump exhausted before frame %d was requested", index));
+    }
+    pump_->consumed.notify_one();
+    lock.unlock();
+    if (set->frame_index != index) {
+      return Status::Internal(StrFormat(
+          "prefetch misalignment: consumer asked for frame %d, pump "
+          "produced %d (GetFrames must follow the StartPrefetch stride)",
+          index, set->frame_index));
+    }
+    return std::move(*set);
+  }
+  EnsureSupervisor();
+  return ReadSet(index);
 }
 
 Result<VideoFrame> MemoryVideoSource::GetFrame(int index) {

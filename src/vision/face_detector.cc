@@ -31,12 +31,17 @@ struct Component {
   long long area = 0;
 };
 
-/// 4-connected component extraction over a binary mask.
+/// 4-connected component extraction over a binary mask. The label and
+/// stack buffers persist per thread across calls: Detect runs once per
+/// (frame, camera) and the pipelined executor fans those out across pool
+/// workers, so per-call allocation of a frame-sized label array is both a
+/// hot-path cost and a cross-thread contention point in the allocator.
 std::vector<Component> FindComponents(const std::vector<uint8_t>& mask,
                                       int width, int height) {
   std::vector<Component> comps;
-  std::vector<int> label(mask.size(), -1);
-  std::vector<int> stack;
+  thread_local std::vector<int> label;
+  thread_local std::vector<int> stack;
+  label.assign(mask.size(), -1);
   for (int y = 0; y < height; ++y) {
     for (int x = 0; x < width; ++x) {
       size_t idx = static_cast<size_t>(y) * width + x;
@@ -81,15 +86,47 @@ std::vector<FaceDetection> FaceDetector::Detect(const ImageRgb& frame) const {
   const int w = frame.width(), h = frame.height();
   std::vector<FaceDetection> raw;
 
-  for (bool front : {true, false}) {
-    const Rgb ref = front ? face_model::kSkin : face_model::kHair;
-    const int tol = front ? options_.skin_tolerance : options_.hair_tolerance;
-    std::vector<uint8_t> mask(static_cast<size_t>(w) * h, 0);
-    for (int y = 0; y < h; ++y)
-      for (int x = 0; x < w; ++x)
-        mask[static_cast<size_t>(y) * w + x] =
-            NearColor(frame, x, y, ref, tol) ? 1 : 0;
+  // Both color gates are evaluated in one pass over the pixel data: the
+  // frame is streamed through the cache once instead of twice, and the
+  // bounds checks of per-pixel at() calls disappear. The mask buffers are
+  // reused across calls (per thread — the pipelined executor runs Detect
+  // concurrently across cameras and frames).
+  thread_local std::vector<uint8_t> skin_mask;
+  thread_local std::vector<uint8_t> hair_mask;
+  const size_t n = static_cast<size_t>(w) * h;
+  skin_mask.resize(n);
+  hair_mask.resize(n);
+  const Rgb skin = face_model::kSkin;
+  const Rgb hair = face_model::kHair;
+  const int skin_tol = options_.skin_tolerance;
+  const int hair_tol = options_.hair_tolerance;
+  if (frame.channels() == 3) {
+    const uint8_t* px = frame.data().data();
+    for (size_t i = 0; i < n; ++i, px += 3) {
+      const int r = px[0], g = px[1], b = px[2];
+      skin_mask[i] = std::abs(r - skin.r) <= skin_tol &&
+                             std::abs(g - skin.g) <= skin_tol &&
+                             std::abs(b - skin.b) <= skin_tol
+                         ? 1
+                         : 0;
+      hair_mask[i] = std::abs(r - hair.r) <= hair_tol &&
+                             std::abs(g - hair.g) <= hair_tol &&
+                             std::abs(b - hair.b) <= hair_tol
+                         ? 1
+                         : 0;
+    }
+  } else {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const size_t i = static_cast<size_t>(y) * w + x;
+        skin_mask[i] = NearColor(frame, x, y, skin, skin_tol) ? 1 : 0;
+        hair_mask[i] = NearColor(frame, x, y, hair, hair_tol) ? 1 : 0;
+      }
+    }
+  }
 
+  for (bool front : {true, false}) {
+    const std::vector<uint8_t>& mask = front ? skin_mask : hair_mask;
     for (const Component& c : FindComponents(mask, w, h)) {
       // The head disc's widest extent is skin/hair on both sides, so the
       // bbox width is the best radius estimate; the bottom of the disc is
