@@ -1,0 +1,50 @@
+# Configure-time proof that Clang's thread-safety analysis is live.
+#
+# Two probe translation units against src/common/thread_annotations.h:
+#   * thread_safety_negative.cc reads GUARDED_BY state without the lock and
+#     MUST fail to compile under -Werror=thread-safety. If it compiles, the
+#     flags are not reaching the compiler (or the macros expanded to no-ops)
+#     and every annotation in the tree is decorative — abort the configure.
+#   * thread_safety_positive.cc performs the identical access correctly
+#     locked and MUST compile. If it fails, the shim annotations themselves
+#     are wrong — abort the configure.
+#
+# Only included when the compiler is Clang; GCC ignores these attributes.
+
+set(_dievent_ts_flags "-Wthread-safety;-Werror=thread-safety")
+
+try_compile(DIEVENT_TS_NEGATIVE_COMPILED
+  SOURCES ${CMAKE_CURRENT_LIST_DIR}/thread_safety_negative.cc
+  CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+  COMPILE_DEFINITIONS "${_dievent_ts_flags}"
+  CXX_STANDARD 20
+  CXX_STANDARD_REQUIRED ON
+  OUTPUT_VARIABLE _dievent_ts_negative_output)
+
+if(DIEVENT_TS_NEGATIVE_COMPILED)
+  message(FATAL_ERROR
+    "Thread-safety self-check failed: the deliberately unguarded access in "
+    "cmake/thread_safety_negative.cc compiled cleanly, so "
+    "-Werror=thread-safety is not actually analyzing the tree. Refusing to "
+    "configure with decorative annotations.")
+endif()
+
+try_compile(DIEVENT_TS_POSITIVE_COMPILED
+  SOURCES ${CMAKE_CURRENT_LIST_DIR}/thread_safety_positive.cc
+  CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+  COMPILE_DEFINITIONS "${_dievent_ts_flags}"
+  CXX_STANDARD 20
+  CXX_STANDARD_REQUIRED ON
+  OUTPUT_VARIABLE _dievent_ts_positive_output)
+
+if(NOT DIEVENT_TS_POSITIVE_COMPILED)
+  message(FATAL_ERROR
+    "Thread-safety self-check failed: the correctly locked access in "
+    "cmake/thread_safety_positive.cc did not compile under "
+    "-Werror=thread-safety. The annotation shims are broken:\n"
+    "${_dievent_ts_positive_output}")
+endif()
+
+message(STATUS
+  "Thread-safety analysis verified: unguarded probe rejected, locked probe "
+  "accepted")

@@ -1,0 +1,27 @@
+// Negative probe for cmake/ThreadSafetyCheck.cmake: touches GUARDED_BY state
+// without holding the mutex. Under -Werror=thread-safety this translation
+// unit MUST fail to compile; if it ever compiles, the analysis is not
+// actually running and the configure step aborts.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Missing MutexLock on purpose: this is the unguarded access the
+  // analysis must reject.
+  void Increment() { ++value_; }
+
+ private:
+  dievent::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

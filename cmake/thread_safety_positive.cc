@@ -1,0 +1,33 @@
+// Positive probe for cmake/ThreadSafetyCheck.cmake: the same access as the
+// negative probe, correctly locked. This translation unit MUST compile under
+// -Werror=thread-safety; a failure means the annotations themselves are
+// broken (not that the analysis caught a bug) and the configure step aborts.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    dievent::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int Load() {
+    dievent::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  dievent::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Load();
+}

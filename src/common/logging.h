@@ -10,6 +10,7 @@
 #define DIEVENT_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <ostream>
 #include <sstream>
 #include <string>
 
@@ -27,6 +28,12 @@ enum class LogLevel : int {
 /// quiet unless asked).
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
+
+/// Redirects log output to `stream` (nullptr restores stderr). The sink is
+/// mutex-serialized: concurrent DIEVENT_LOG statements from reader/pump/
+/// worker threads emit whole lines, never interleaved fragments.
+/// Thread-safe; intended for tests and embedding applications.
+void SetLogStream(std::ostream* stream);
 
 namespace internal {
 

@@ -21,8 +21,10 @@ namespace dievent {
 ///   if (!img.ok()) return img.status();
 ///   Use(img.value());
 /// \endcode
+/// [[nodiscard]] like Status: a dropped Result silently swallows both the
+/// value and the error that explains its absence.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, so `return value;` works).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -33,8 +35,8 @@ class Result {
     assert(!status_.ok() && "OK Result must be built from a value");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     assert(ok());

@@ -38,8 +38,9 @@ class SpscQueue {
 
   size_t capacity() const { return slots_.size(); }
 
-  /// Producer side. Returns false when the ring is full.
-  bool TryPush(T value) {
+  /// Producer side. Returns false when the ring is full — the caller must
+  /// decide whether to retry, drop, or block; ignoring it loses `value`.
+  [[nodiscard]] bool TryPush(T value) {
     const size_t head = head_.load(std::memory_order_relaxed);
     const size_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail == slots_.size()) return false;
@@ -49,7 +50,7 @@ class SpscQueue {
   }
 
   /// Consumer side. Returns nullopt when the ring is empty.
-  std::optional<T> TryPop() {
+  [[nodiscard]] std::optional<T> TryPop() {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     const size_t head = head_.load(std::memory_order_acquire);
     if (head == tail) return std::nullopt;

@@ -38,7 +38,12 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 /// Ok statuses are cheap to copy (no allocation). Construct errors through the
 /// named factories, e.g. `Status::InvalidArgument("fps must be positive")`.
-class Status {
+///
+/// The class is [[nodiscard]]: any call returning a Status by value must be
+/// consumed. To drop an error deliberately, log it and say why:
+///   Status s = DoThing();
+///   if (!s.ok()) DIEVENT_LOG(Warning) << "best-effort: " << s;
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -75,8 +80,8 @@ class Status {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// Renders "OK" or "<CodeName>: <message>".

@@ -1,0 +1,177 @@
+/// \file thread_annotations.h
+/// Clang Thread Safety Analysis annotations and annotated locking shims.
+///
+/// Every locking invariant in the concurrent acquisition/executor stack
+/// (which mutex guards which field, which functions must hold which lock)
+/// is declared with these macros so that `-Wthread-safety
+/// -Werror=thread-safety` rejects an unguarded access at *compile time* —
+/// on every build, not only when a TSan run happens to hit the race.
+/// Under non-Clang compilers the macros expand to nothing and the shims
+/// are zero-cost wrappers over the std primitives.
+///
+/// Conventions (enforced by tools/dievent_lint.py):
+///  - every `Mutex`/`std::mutex` member has at least one field
+///    `GUARDED_BY` it, or carries an explicit `// lint: unguarded` waiver
+///    naming the external synchronization that replaces the lock;
+///  - lock-based classes use the annotated `Mutex`/`MutexLock`/`CondVar`
+///    shims below instead of raw `std::mutex`/`std::unique_lock`, because
+///    the std types carry no capability annotations;
+///  - condition waits are written as explicit `while (!cond) cv.Wait(mu)`
+///    loops. Predicate-taking waits hide the condition inside a lambda,
+///    which Clang analyzes as a separate function with an empty capability
+///    set, defeating the check.
+
+#ifndef DIEVENT_COMMON_THREAD_ANNOTATIONS_H_
+#define DIEVENT_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define DIEVENT_TS_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define DIEVENT_TS_ATTRIBUTE_(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" role).
+#define CAPABILITY(x) DIEVENT_TS_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY DIEVENT_TS_ATTRIBUTE_(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define GUARDED_BY(x) DIEVENT_TS_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer annotation: the pointed-to data requires holding `x`.
+#define PT_GUARDED_BY(x) DIEVENT_TS_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function annotation: caller must hold the given capabilities.
+#define REQUIRES(...) \
+  DIEVENT_TS_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DIEVENT_TS_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capabilities (not already held).
+#define ACQUIRE(...) DIEVENT_TS_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DIEVENT_TS_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: releases the capabilities (currently held).
+#define RELEASE(...) DIEVENT_TS_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DIEVENT_TS_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+/// Function annotation: attempts to acquire; `b` is the success value.
+#define TRY_ACQUIRE(...) \
+  DIEVENT_TS_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: caller must NOT hold the given capabilities
+/// (deadlock prevention for self-locking functions).
+#define EXCLUDES(...) DIEVENT_TS_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: asserts (at runtime, by contract) that the
+/// capability is held, teaching the analysis about external invariants.
+#define ASSERT_CAPABILITY(x) DIEVENT_TS_ATTRIBUTE_(assert_capability(x))
+
+/// Function annotation: returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) DIEVENT_TS_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Prefer a
+/// `// lint: unguarded` waiver plus a comment naming the real guarantee.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DIEVENT_TS_ATTRIBUTE_(no_thread_safety_analysis)
+
+/// Statement form of ASSERT_CAPABILITY for annotated Mutex members:
+/// `TS_ASSERT_HELD(mutex_);` documents (and, under Clang, informs the
+/// analysis) that the current scope holds `mutex_` through a path the
+/// analysis cannot see.
+#define TS_ASSERT_HELD(mu) ((mu).AssertHeld())
+
+namespace dievent {
+
+class CondVar;
+
+/// Annotated exclusive mutex. A thin wrapper over std::mutex that carries
+/// the `capability` attribute, so GUARDED_BY/REQUIRES declarations against
+/// it are compiler-checked under Clang.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Declares to the analysis that this mutex is held. The contract is the
+  /// caller's to uphold; use only where the holding path is invisible to
+  /// the analysis (e.g. a lock taken through a std primitive).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // lint: unguarded (the raw mutex this shim wraps)
+};
+
+/// RAII lock over an annotated Mutex (the std::lock_guard counterpart).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Waits REQUIRE the
+/// mutex: the analysis treats the wait as held throughout (it cannot model
+/// the internal release/reacquire, which is exactly the guarantee the
+/// caller observes — the lock is held before and after).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& d)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status st = cv_.wait_for(lock, d);
+    lock.release();
+    return st;
+  }
+
+  template <class ClockT, class Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<ClockT, Duration>& tp)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status st = cv_.wait_until(lock, tp);
+    lock.release();
+    return st;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_THREAD_ANNOTATIONS_H_

@@ -14,25 +14,25 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 void ThreadPool::ParallelFor(int count,
@@ -53,7 +53,7 @@ void ThreadPool::ParallelFor(int count,
 
 void TaskGroup::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)] {
@@ -61,34 +61,30 @@ void TaskGroup::Submit(std::function<void()> task) {
     // Notify while holding the lock: the waiter may destroy the group the
     // instant Wait returns, so the notify must complete before the waiter
     // can re-acquire the mutex.
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (--pending_ == 0) done_.notify_all();
+    MutexLock lock(mutex_);
+    if (--pending_ == 0) done_.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mutex_);
+  while (pending_ != 0) done_.Wait(mutex_);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock,
-                       [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && tasks_.empty()) task_ready_.Wait(mutex_);
+      if (tasks_.empty()) return;  // shutting down and fully drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

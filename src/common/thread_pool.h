@@ -7,12 +7,12 @@
 #ifndef DIEVENT_COMMON_THREAD_POOL_H_
 #define DIEVENT_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dievent {
 
@@ -32,10 +32,10 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues one task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
   /// Runs fn(0) .. fn(count-1) across the pool and blocks until all
   /// complete. `fn` must be safe to invoke concurrently. Multiple callers
@@ -44,14 +44,16 @@ class ThreadPool {
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  int in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  int in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor, before any worker exists; read-only
+  /// afterwards, so no guard is needed.
   std::vector<std::thread> workers_;
 };
 
@@ -71,17 +73,17 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Enqueues one task on the pool and counts it against this group.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until every task submitted through *this group* has finished.
   /// Tasks other callers submitted to the pool are not waited on.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
  private:
   ThreadPool* pool_;
-  std::mutex mutex_;
-  std::condition_variable done_;
-  int pending_ = 0;
+  Mutex mutex_;
+  CondVar done_;
+  int pending_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dievent

@@ -21,7 +21,7 @@ std::chrono::steady_clock::duration FromSeconds(double s) {
 
 AcquisitionSupervisor::AcquisitionSupervisor(
     std::vector<VideoSource*> sources, SupervisorOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
   readers_.reserve(sources.size());
   for (size_t c = 0; c < sources.size(); ++c) {
     auto reader = std::make_unique<Reader>(
@@ -36,10 +36,10 @@ AcquisitionSupervisor::AcquisitionSupervisor(
 AcquisitionSupervisor::~AcquisitionSupervisor() {
   for (auto& reader : readers_) {
     {
-      std::lock_guard<std::mutex> lock(reader->mutex);
+      MutexLock lock(reader->mutex);
       reader->stop = true;
     }
-    reader->cv.notify_all();
+    reader->cv.NotifyAll();
     // Wake a reader blocked inside the source (stalled read). Sources
     // that ignore Interrupt() and never return will block the join.
     reader->source->Interrupt();
@@ -74,17 +74,17 @@ void AcquisitionSupervisor::MaybeInterruptLocked(Reader* reader,
   // Thread-safe by contract; the reader blocked inside GetFrame does not
   // hold reader->mutex, so there is no lock-order issue.
   reader->source->Interrupt();
-  reader->cv.notify_all();  // also cancels a backoff sleep
+  reader->cv.NotifyAll();  // also cancels a backoff sleep
 }
 
 void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
   for (;;) {
     ReaderRequest req;
     {
-      std::unique_lock<std::mutex> lock(reader->mutex);
-      reader->cv.wait(lock, [&] {
-        return reader->stop || reader->request.has_value();
-      });
+      MutexLock lock(reader->mutex);
+      while (!reader->stop && !reader->request.has_value()) {
+        reader->cv.Wait(reader->mutex);
+      }
       if (reader->stop) return;
       req = *reader->request;
       reader->request.reset();
@@ -107,15 +107,19 @@ void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
             ToSeconds(Clock::now() - start) + delay >= req.budget_s) {
           break;  // the caller stopped listening; don't burn attempts
         }
-        std::unique_lock<std::mutex> lock(reader->mutex);
-        ++reader->stats.backoff_waits;
-        reader->cv.wait_for(lock, FromSeconds(delay), [&] {
-          return reader->stop || reader->restart_pending;
-        });
-        if (reader->stop || reader->restart_pending) {
-          cancelled = true;
-          break;
+        {
+          MutexLock lock(reader->mutex);
+          ++reader->stats.backoff_waits;
+          const Clock::time_point until = Clock::now() + FromSeconds(delay);
+          while (!reader->stop && !reader->restart_pending) {
+            if (reader->cv.WaitUntil(reader->mutex, until) ==
+                std::cv_status::timeout) {
+              break;
+            }
+          }
+          cancelled = reader->stop || reader->restart_pending;
         }
+        if (cancelled) break;
       }
       ++resp.attempts_used;
       Result<VideoFrame> attempt = reader->source->GetFrame(req.index);
@@ -137,7 +141,7 @@ void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
 
     bool exit_thread = false;
     {
-      std::lock_guard<std::mutex> lock(reader->mutex);
+      MutexLock lock(reader->mutex);
       reader->busy = false;
       reader->busy_frame = -1;
       ++reader->stats.reads_completed;
@@ -156,9 +160,9 @@ void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(wait_mutex_);
+      MutexLock lock(wait_mutex_);
     }
-    responses_cv_.notify_all();
+    responses_cv_.NotifyAll();
     if (exit_thread) return;
   }
 }
@@ -190,40 +194,50 @@ AcquisitionSupervisor::PendingRead AcquisitionSupervisor::BeginRead(
 
     // Drop responses from reads this caller already gave up on.
     while (auto stale = reader.responses.TryPop()) {
-      std::lock_guard<std::mutex> lock(reader.mutex);
+      MutexLock lock(reader.mutex);
       ++reader.stats.stale_results;
     }
 
-    std::unique_lock<std::mutex> lock(reader.mutex);
-    if (reader.exited) {
+    bool replace_thread = false;
+    {
+      MutexLock lock(reader.mutex);
+      replace_thread = reader.exited;
+    }
+    if (replace_thread) {
       // The watchdog's interrupt landed and the wedged thread has left its
-      // loop: replace it.
-      lock.unlock();
+      // loop: replace it. Joining outside the lock is safe — `exited` means
+      // the thread will never touch its state again, and only this control
+      // thread joins or spawns readers.
       reader.thread.join();
-      lock.lock();
+      MutexLock lock(reader.mutex);
       reader.exited = false;
       reader.restart_pending = false;
       reader.busy = false;
       ++reader.stats.restarts;
       SpawnReader(&reader);
     }
-    if (reader.busy) {
-      // Still wedged on an earlier frame: this read is an immediate miss;
-      // the watchdog decides whether to interrupt.
-      const double stuck_s = ToSeconds(Clock::now() - reader.busy_since);
-      out[c].deadline_missed = true;
-      out[c].error = Status::DeadlineExceeded(StrFormat(
-          "camera %zu frame %d: reader wedged for %.3fs on frame %d", c,
-          index, stuck_s, reader.busy_frame));
-      ++reader.stats.deadline_misses;
-      MaybeInterruptLocked(&reader, stuck_s);
-      continue;
+    bool dispatched = false;
+    {
+      MutexLock lock(reader.mutex);
+      if (reader.busy) {
+        // Still wedged on an earlier frame: this read is an immediate
+        // miss; the watchdog decides whether to interrupt.
+        const double stuck_s = ToSeconds(Clock::now() - reader.busy_since);
+        out[c].deadline_missed = true;
+        out[c].error = Status::DeadlineExceeded(StrFormat(
+            "camera %zu frame %d: reader wedged for %.3fs on frame %d", c,
+            index, stuck_s, reader.busy_frame));
+        ++reader.stats.deadline_misses;
+        MaybeInterruptLocked(&reader, stuck_s);
+      } else {
+        reader.request =
+            ReaderRequest{seq, index, max_attempts[c],
+                          p.bounded ? options_.read_deadline_s : 0.0};
+        dispatched = true;
+      }
     }
-    reader.request =
-        ReaderRequest{seq, index, max_attempts[c],
-                      p.bounded ? options_.read_deadline_s : 0.0};
-    lock.unlock();
-    reader.cv.notify_one();
+    if (!dispatched) continue;
+    reader.cv.NotifyOne();
     pending[c] = true;
     ++remaining;
   }
@@ -244,7 +258,7 @@ AcquisitionSupervisor::FinishRead(PendingRead p) {
       Reader& reader = *readers_[c];
       while (auto resp = reader.responses.TryPop()) {
         if (resp->seq != seq) {
-          std::lock_guard<std::mutex> lock(reader.mutex);
+          MutexLock lock(reader.mutex);
           ++reader.stats.stale_results;
           continue;
         }
@@ -259,18 +273,19 @@ AcquisitionSupervisor::FinishRead(PendingRead p) {
     }
   };
 
-  std::unique_lock<std::mutex> wait_lock(wait_mutex_);
-  while (remaining > 0) {
-    drain();
-    if (remaining == 0) break;
-    if (p.bounded) {
-      if (Clock::now() >= p.deadline) break;
-      responses_cv_.wait_until(wait_lock, p.deadline);
-    } else {
-      responses_cv_.wait(wait_lock);
+  {
+    MutexLock wait_lock(wait_mutex_);
+    while (remaining > 0) {
+      drain();
+      if (remaining == 0) break;
+      if (p.bounded) {
+        if (Clock::now() >= p.deadline) break;
+        responses_cv_.WaitUntil(wait_mutex_, p.deadline);
+      } else {
+        responses_cv_.Wait(wait_mutex_);
+      }
     }
   }
-  wait_lock.unlock();
 
   // Whoever is still pending missed the deadline; their response, when it
   // eventually lands, will be discarded as stale.
@@ -281,7 +296,7 @@ AcquisitionSupervisor::FinishRead(PendingRead p) {
     out[c].error = Status::DeadlineExceeded(StrFormat(
         "camera %zu frame %d: no response within %.3fs", c, index,
         options_.read_deadline_s));
-    std::lock_guard<std::mutex> lock(reader.mutex);
+    MutexLock lock(reader.mutex);
     ++reader.stats.deadline_misses;
   }
   return std::move(p.out);
@@ -290,7 +305,7 @@ AcquisitionSupervisor::FinishRead(PendingRead p) {
 AcquisitionSupervisor::ReaderStats AcquisitionSupervisor::stats(
     int camera) const {
   const Reader& reader = *readers_.at(camera);
-  std::lock_guard<std::mutex> lock(reader.mutex);
+  MutexLock lock(reader.mutex);
   return reader.stats;
 }
 

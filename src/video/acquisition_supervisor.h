@@ -31,9 +31,7 @@
 #define DIEVENT_VIDEO_ACQUISITION_SUPERVISOR_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -41,6 +39,7 @@
 
 #include "common/backoff.h"
 #include "common/spsc_queue.h"
+#include "common/thread_annotations.h"
 #include "video/video_source.h"
 
 namespace dievent {
@@ -159,21 +158,26 @@ class AcquisitionSupervisor {
   };
 
   /// Per-camera reader state. The mutex guards everything except the
-  /// response queue (SPSC: reader pushes, supervisor pops).
+  /// response queue (SPSC: reader pushes, supervisor pops) and `thread`/
+  /// `source`/`camera`, which only the control thread touches.
   struct Reader {
-    VideoSource* source = nullptr;
-    int camera = 0;
+    VideoSource* source = nullptr;  ///< set once before the thread spawns
+    int camera = 0;                 ///< set once before the thread spawns
+    /// Spawned/joined only by the control thread (SpawnReader/BeginRead/
+    /// the destructor); the reader thread never touches its own handle.
     std::thread thread;
-    mutable std::mutex mutex;
-    std::condition_variable cv;  ///< wakes the reader: request/stop/interrupt
-    std::optional<ReaderRequest> request;
-    bool stop = false;
-    bool busy = false;             ///< currently executing a request
-    bool restart_pending = false;  ///< watchdog asked this reader to exit
-    bool exited = false;           ///< thread left its loop; joinable
-    int busy_frame = -1;
-    Clock::time_point busy_since;
-    ReaderStats stats;
+    mutable Mutex mutex;
+    CondVar cv;  ///< wakes the reader: request/stop/interrupt
+    std::optional<ReaderRequest> request GUARDED_BY(mutex);
+    bool stop GUARDED_BY(mutex) = false;
+    bool busy GUARDED_BY(mutex) = false;  ///< executing a request
+    bool restart_pending GUARDED_BY(mutex) = false;  ///< watchdog: exit
+    bool exited GUARDED_BY(mutex) = false;  ///< left its loop; joinable
+    int busy_frame GUARDED_BY(mutex) = -1;
+    Clock::time_point busy_since GUARDED_BY(mutex);
+    ReaderStats stats GUARDED_BY(mutex);
+    /// Lock-free SPSC ring: the reader thread is the sole producer, the
+    /// control thread the sole consumer; neither side holds `mutex`.
     SpscQueue<ReaderResponse> responses;
 
     explicit Reader(int queue_capacity) : responses(queue_capacity) {}
@@ -181,19 +185,24 @@ class AcquisitionSupervisor {
 
   void ReaderLoop(Reader* reader);
   void SpawnReader(Reader* reader);
-  /// Watchdog decision for a busy reader; call with reader->mutex held.
-  void MaybeInterruptLocked(Reader* reader, double stuck_s);
+  /// Watchdog decision for a busy reader.
+  void MaybeInterruptLocked(Reader* reader, double stuck_s)
+      REQUIRES(reader->mutex);
   /// Effective watchdog threshold, seconds; <= 0 disables it.
   double WatchdogThreshold() const;
 
   SupervisorOptions options_;
   std::vector<std::unique_ptr<Reader>> readers_;
+  /// Monotonic read ticket. Touched only by the (single) control thread
+  /// driving BeginRead/FinishRead — the public contract forbids
+  /// overlapping reads — so it needs no lock.
   long long seq_ = 0;
 
   /// Readers take this lock (empty critical section) before notifying, so
   /// a response can never slip between the caller's drain and its wait.
-  std::mutex wait_mutex_;
-  std::condition_variable responses_cv_;
+  /// No fields are guarded by it; the lock itself is the protocol.
+  Mutex wait_mutex_;  // lint: unguarded (notify fence; guards no data)
+  CondVar responses_cv_;
 };
 
 }  // namespace dievent

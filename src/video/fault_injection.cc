@@ -84,13 +84,16 @@ Result<VideoFrame> FaultyVideoSource::GetFrame(int index) {
     const int attempt = attempts_seen_[index]++;
     if (spec_.ShouldStall(index, attempt)) {
       ++counters_.stalls;
-      std::unique_lock<std::mutex> lock(stall_mutex_);
-      const bool cancelled = stall_cv_.wait_for(
-          lock,
+      MutexLock lock(stall_mutex_);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(spec_.stall_duration_s)),
-          [&] { return interrupted_; });
-      if (cancelled) {
+              std::chrono::duration<double>(spec_.stall_duration_s));
+      while (!interrupted_ &&
+             stall_cv_.WaitUntil(stall_mutex_, deadline) !=
+                 std::cv_status::timeout) {
+      }
+      if (interrupted_) {
         interrupted_ = false;  // one-shot: consumed by this stall
         ++counters_.interrupts;
         return Status::DeadlineExceeded(StrFormat(
@@ -136,9 +139,9 @@ Result<VideoFrame> FaultyVideoSource::GetFrame(int index) {
 }
 
 void FaultyVideoSource::Interrupt() {
-  std::lock_guard<std::mutex> lock(stall_mutex_);
+  MutexLock lock(stall_mutex_);
   interrupted_ = true;
-  stall_cv_.notify_all();
+  stall_cv_.NotifyAll();
 }
 
 }  // namespace dievent

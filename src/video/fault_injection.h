@@ -17,12 +17,11 @@
 #define DIEVENT_VIDEO_FAULT_INJECTION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "video/video_source.h"
 
 namespace dievent {
@@ -118,7 +117,7 @@ class FaultyVideoSource : public VideoSource {
   };
 
   FaultyVideoSource(std::unique_ptr<VideoSource> inner, FaultSpec spec)
-      : inner_(std::move(inner)), spec_(spec) {}
+      : inner_(std::move(inner)), spec_(std::move(spec)) {}
 
   int NumFrames() const override { return inner_->NumFrames(); }
   double Fps() const override { return inner_->Fps(); }
@@ -141,9 +140,9 @@ class FaultyVideoSource : public VideoSource {
   /// touched from GetFrame (one reader thread).
   std::vector<int> attempts_seen_;
   /// Stall cancellation handshake.
-  std::mutex stall_mutex_;
-  std::condition_variable stall_cv_;
-  bool interrupted_ = false;
+  Mutex stall_mutex_;
+  CondVar stall_cv_;
+  bool interrupted_ GUARDED_BY(stall_mutex_) = false;
 };
 
 }  // namespace dievent

@@ -1,35 +1,37 @@
 #include "video/video_source.h"
 
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/spsc_queue.h"
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 #include "video/acquisition_supervisor.h"
 
 namespace dievent {
 
-/// Prefetch pump state. The SPSC queue carries folded frame sets from the
-/// pump thread (sole producer) to GetFrames (sole consumer); the mutex and
-/// condition variables only coordinate blocking. `depth` is enforced with
-/// an explicit size check because SpscQueue rounds its capacity up to a
-/// power of two.
+/// Prefetch pump state. Although the ring is SPSC, both endpoints access
+/// it under `mutex` (the blocking handshake needs the occupancy check and
+/// the push/pop to be atomic with the stop/done flags), so the queue is
+/// annotated as guarded. `depth` is enforced with an explicit size check
+/// because SpscQueue rounds its capacity up to a power of two.
 struct MultiCameraSource::PumpState {
   explicit PumpState(int depth_in)
       : depth(depth_in), queue(static_cast<size_t>(depth_in)) {}
 
   const int depth;
-  int next_index = 0;
-  int stride = 1;
-  SpscQueue<SynchronizedFrameSet> queue;
-  std::mutex mutex;
-  std::condition_variable produced;  ///< pump -> consumer: a set is ready
-  std::condition_variable consumed;  ///< consumer -> pump: room freed / stop
-  bool stop = false;
-  bool done = false;  ///< pump exhausted its index range and exited
+  int next_index = 0;  ///< set before the pump thread starts
+  int stride = 1;      ///< set before the pump thread starts
+  Mutex mutex;
+  SpscQueue<SynchronizedFrameSet> queue GUARDED_BY(mutex);
+  CondVar produced;  ///< pump -> consumer: a set is ready
+  CondVar consumed;  ///< consumer -> pump: room freed / stop
+  bool stop GUARDED_BY(mutex) = false;
+  bool done GUARDED_BY(mutex) = false;  ///< index range exhausted; exited
+  /// Spawned by StartPrefetch, joined by StopPrefetch (control thread
+  /// only); the pump thread never touches its own handle.
   std::thread thread;
 };
 
@@ -296,23 +298,24 @@ Status MultiCameraSource::StartPrefetch(int start_index, int stride,
 void MultiCameraSource::StopPrefetch() {
   if (!pump_) return;
   {
-    std::lock_guard<std::mutex> lock(pump_->mutex);
+    MutexLock lock(pump_->mutex);
     pump_->stop = true;
   }
-  pump_->consumed.notify_all();
+  pump_->consumed.NotifyAll();
   if (pump_->thread.joinable()) pump_->thread.join();
   pump_.reset();
 }
 
 bool MultiCameraSource::PumpPush(SynchronizedFrameSet set) {
-  std::unique_lock<std::mutex> lock(pump_->mutex);
-  pump_->consumed.wait(lock, [&] {
-    return pump_->stop ||
-           pump_->queue.SizeApprox() < static_cast<size_t>(pump_->depth);
-  });
+  MutexLock lock(pump_->mutex);
+  while (!pump_->stop &&
+         pump_->queue.SizeApprox() >= static_cast<size_t>(pump_->depth)) {
+    pump_->consumed.Wait(pump_->mutex);
+  }
   if (pump_->stop) return false;
-  pump_->queue.TryPush(std::move(set));  // sole producer: room is certain
-  pump_->produced.notify_one();
+  // Sole producer below the depth bound: room is certain.
+  DIEVENT_CHECK(pump_->queue.TryPush(std::move(set)));
+  pump_->produced.NotifyOne();
   return true;
 }
 
@@ -342,10 +345,10 @@ void MultiCameraSource::PumpLoop() {
   }
   if (ready.has_value() && !PumpPush(std::move(*ready))) return;
   {
-    std::lock_guard<std::mutex> lock(pump_->mutex);
+    MutexLock lock(pump_->mutex);
     pump_->done = true;
   }
-  pump_->produced.notify_all();
+  pump_->produced.NotifyAll();
 }
 
 Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
@@ -354,17 +357,19 @@ Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
         StrFormat("frame %d outside [0, %d)", index, num_frames_));
   }
   if (pump_) {
-    std::unique_lock<std::mutex> lock(pump_->mutex);
-    pump_->produced.wait(lock, [&] {
-      return pump_->queue.SizeApprox() > 0 || pump_->done;
-    });
-    std::optional<SynchronizedFrameSet> set = pump_->queue.TryPop();
+    std::optional<SynchronizedFrameSet> set;
+    {
+      MutexLock lock(pump_->mutex);
+      while (pump_->queue.SizeApprox() == 0 && !pump_->done) {
+        pump_->produced.Wait(pump_->mutex);
+      }
+      set = pump_->queue.TryPop();
+      if (set.has_value()) pump_->consumed.NotifyOne();
+    }
     if (!set.has_value()) {
       return Status::Internal(StrFormat(
           "prefetch pump exhausted before frame %d was requested", index));
     }
-    pump_->consumed.notify_one();
-    lock.unlock();
     if (set->frame_index != index) {
       return Status::Internal(StrFormat(
           "prefetch misalignment: consumer asked for frame %d, pump "

@@ -1,0 +1,18 @@
+/// \file bad_include.h
+/// Lint self-test fixture: include hygiene violations.
+/// Never compiled; scanned by `dievent_lint.py --self-test`.
+
+#ifndef WRONG_GUARD_NAME_H  // lint-expect(include-hygiene)
+#define WRONG_GUARD_NAME_H
+
+#include <bits/stdc++.h>  // lint-expect(include-hygiene)
+
+#include "../common/status.h"  // lint-expect(include-hygiene)
+
+namespace dievent {
+
+int PlaceholderSoTheHeaderIsNotEmpty();
+
+}  // namespace dievent
+
+#endif  // WRONG_GUARD_NAME_H

@@ -1,0 +1,34 @@
+/// \file bad_mutex.h
+/// Lint self-test fixture: mutex members that violate the guard rule.
+/// Never compiled; scanned by `dievent_lint.py --self-test`.
+
+#ifndef DIEVENT_TESTS_LINT_FIXTURES_BAD_MUTEX_H_
+#define DIEVENT_TESTS_LINT_FIXTURES_BAD_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dievent {
+
+class RawMutexHolder {
+ public:
+  void Touch();
+
+ private:
+  std::mutex mutex_;  // lint-expect(mutex-guard)
+  int counter_ = 0;
+};
+
+class UnguardedMutexHolder {
+ public:
+  void Touch();
+
+ private:
+  Mutex mutex_;  // lint-expect(mutex-guard)
+  int counter_ = 0;  ///< should be GUARDED_BY(mutex_) but is not
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_TESTS_LINT_FIXTURES_BAD_MUTEX_H_

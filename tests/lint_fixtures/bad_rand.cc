@@ -1,0 +1,24 @@
+/// \file bad_rand.cc
+/// Lint self-test fixture: banned sources of nondeterminism.
+/// Never compiled; scanned by `dievent_lint.py --self-test`.
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace dievent {
+
+int NondeterministicChoice() {
+  return std::rand() % 4;  // lint-expect(nondeterminism)
+}
+
+void SeedFromWallClock() {
+  std::srand(time(nullptr));  // lint-expect(nondeterminism)
+}
+
+unsigned HardwareEntropy() {
+  std::random_device device;  // lint-expect(nondeterminism)
+  return device();
+}
+
+}  // namespace dievent

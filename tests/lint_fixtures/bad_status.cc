@@ -1,0 +1,21 @@
+/// \file bad_status.cc
+/// Lint self-test fixture: silently dropped errors.
+/// Never compiled; scanned by `dievent_lint.py --self-test`.
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dievent {
+
+Result<int> LoadBudget();
+
+void DropsTheError() {
+  LoadBudget().status();  // lint-expect(status-discard)
+}
+
+void DropsViaVariable() {
+  Result<int> budget = LoadBudget();
+  budget.status();  // lint-expect(status-discard)
+}
+
+}  // namespace dievent

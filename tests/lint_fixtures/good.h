@@ -1,0 +1,54 @@
+/// \file good.h
+/// Lint self-test fixture: the blessed idioms. Must produce zero findings —
+/// the self-test fails on any unexpected finding in this file.
+/// Never compiled; scanned by `dievent_lint.py --self-test`.
+
+#ifndef DIEVENT_TESTS_LINT_FIXTURES_GOOD_H_
+#define DIEVENT_TESTS_LINT_FIXTURES_GOOD_H_
+
+#include <ctime>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace dievent {
+
+/// Guarded mutex: the declared state names its lock.
+class GuardedCounter {
+ public:
+  void Increment() {
+    MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+/// Waived mutex: serves purely as a notification fence, guards no data,
+/// and says so where the lint can see it.
+class NotifyFence {
+ private:
+  Mutex mutex_;  // lint: unguarded (wait/notify fence; guards no data)
+  CondVar cv_;
+};
+
+/// A deliberate wall-clock read, waived with a reason: log timestamps are
+/// presentation only and never feed back into pipeline decisions.
+inline long LogTimestamp() {
+  return static_cast<long>(time(nullptr));  // lint: allow(nondeterminism)
+}
+
+/// The blessed way to drop an error: consume it, log it, say why.
+inline void BestEffort(Status status) {
+  if (!status.ok()) {
+    // Best-effort cleanup; failure here must not mask the primary error.
+    DIEVENT_LOG(Warning) << "cleanup failed: " << status;
+  }
+}
+
+}  // namespace dievent
+
+#endif  // DIEVENT_TESTS_LINT_FIXTURES_GOOD_H_

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/emotion.h"
 
 namespace dievent {
@@ -36,6 +41,60 @@ TEST(Logging, AtOrAboveThresholdEmitsWithLocation) {
   EXPECT_NE(err.find("ERROR"), std::string::npos);
   EXPECT_NE(err.find("test_logging.cc"), std::string::npos);
   EXPECT_NE(err.find("disk 42 gone"), std::string::npos);
+  SetLogThreshold(original);
+}
+
+TEST(Logging, SetLogStreamRedirectsAndRestores) {
+  LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kInfo);
+  std::ostringstream captured;
+  SetLogStream(&captured);
+  DIEVENT_LOG(Info) << "redirected " << 7;
+  SetLogStream(nullptr);  // back to stderr
+  EXPECT_NE(captured.str().find("INFO"), std::string::npos);
+  EXPECT_NE(captured.str().find("redirected 7"), std::string::npos);
+  testing::internal::CaptureStderr();
+  DIEVENT_LOG(Info) << "back on stderr";
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("back on stderr"), std::string::npos);
+  EXPECT_EQ(captured.str().find("back on stderr"), std::string::npos);
+  SetLogThreshold(original);
+}
+
+TEST(Logging, ConcurrentStatementsEmitWholeLines) {
+  // The sink serializes emission: with many threads logging at once, every
+  // captured line must be exactly one complete statement, never a splice.
+  LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kInfo);
+  std::ostringstream captured;
+  SetLogStream(&captured);
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 25;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kLinesPerThread; ++i) {
+          DIEVENT_LOG(Info) << "worker=" << t << " line=" << i << " end";
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  SetLogStream(nullptr);
+  std::istringstream lines(captured.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_NE(line.find("worker="), std::string::npos) << line;
+    EXPECT_EQ(line.find("worker=", line.find("worker=") + 1),
+              std::string::npos)
+        << "two statements spliced into one line: " << line;
+    EXPECT_EQ(line.rfind(" end"), line.size() - 4) << line;
+  }
+  EXPECT_EQ(count, kThreads * kLinesPerThread);
   SetLogThreshold(original);
 }
 

@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""DiEvent repository lint: project-specific invariants the compiler can't see.
+
+Rules
+-----
+mutex-guard       Every mutex member must either guard something (appear in a
+                  GUARDED_BY / PT_GUARDED_BY annotation in the same file) or
+                  carry an explicit `// lint: unguarded` waiver explaining why
+                  it guards no data. Raw `std::mutex` members are rejected
+                  outright: use `dievent::Mutex` from common/thread_annotations.h
+                  so Clang's thread-safety analysis can check the locking.
+nondeterminism    `rand()`, `srand()`, `std::random_device`, and wall-clock
+                  `time(...)` seeds are banned outside common/rng: every run of
+                  the pipeline must be reproducible from an explicit Rng seed.
+status-discard    A naked `<expr>.status();` expression statement silently drops
+                  an error. Propagate it, or log it with a comment saying why
+                  the drop is deliberate.
+include-hygiene   No parent-relative includes (`#include "../..."`), no
+                  `<bits/...>` internals, and headers must carry the canonical
+                  guard `DIEVENT_<PATH>_H_` derived from their path.
+
+Waivers
+-------
+Append `// lint: unguarded` to a mutex declaration that intentionally guards no
+data, or `// lint: allow(<rule>)` to any other line to suppress a finding.
+Waivers are per-line and should say why in the surrounding comment.
+
+Self-test
+---------
+`--self-test` scans tests/lint_fixtures/ and requires the findings to match the
+`// lint-expect(<rule>)` markers in the fixtures exactly — proving each rule
+still fires (and that good.h stays clean) before the real tree is trusted.
+
+Exit status: 0 when clean, 1 on findings or self-test mismatch, 2 on usage
+errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# Files allowed to use raw randomness: the seeded Rng wrapper itself.
+NONDETERMINISM_ALLOWLIST = ("src/common/rng",)
+
+WAIVER_UNGUARDED = re.compile(r"//\s*lint:\s*unguarded\b")
+WAIVER_ALLOW = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
+EXPECT_MARKER = re.compile(r"//\s*lint-expect\((?P<rule>[a-z-]+)\)")
+
+MUTEX_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<type>(?:::)?(?:dievent::)?Mutex|std::mutex)\s+"
+    r"(?P<name>\w+)\s*;")
+GUARD_ANNOTATION = re.compile(r"(?:PT_)?GUARDED_BY\(\s*(?P<name>\w+)\s*\)")
+
+NONDETERMINISM_PATTERNS = (
+    (re.compile(r"(?<!\w)(?:std::)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"(?<![\w.>])(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "wall-clock time()"),
+)
+
+STATUS_DISCARD = re.compile(r"^\s*[\w\->.:\[\]()]*\.status\(\)\s*;\s*$")
+
+PARENT_INCLUDE = re.compile(r"^\s*#\s*include\s+\"\.\./")
+BITS_INCLUDE = re.compile(r"^\s*#\s*include\s+<bits/")
+IFNDEF_GUARD = re.compile(r"^\s*#\s*ifndef\s+(?P<guard>\w+)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+
+def strip_comment(line):
+    """Code portion of a line (before any // comment). Keeps string contents;
+    good enough for the patterns above, which never appear inside literals in
+    this codebase."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def expected_guard(relpath):
+    """Canonical header guard for a repo-relative header path.
+
+    src/common/foo_bar.h -> DIEVENT_COMMON_FOO_BAR_H_ (the leading src/ is
+    dropped to match the include-root layout); other trees keep their full
+    path (tests/lint_fixtures/good.h -> DIEVENT_TESTS_LINT_FIXTURES_GOOD_H_).
+    """
+    parts = relpath.split("/")
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.(h|hpp)$", "", stem)
+    return "DIEVENT_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def check_mutex_guard(relpath, lines, findings):
+    guarded_names = set()
+    for line in lines:
+        for match in GUARD_ANNOTATION.finditer(strip_comment(line)):
+            guarded_names.add(match.group("name"))
+    for lineno, line in enumerate(lines, start=1):
+        match = MUTEX_DECL.match(strip_comment(line))
+        if not match:
+            continue
+        if WAIVER_UNGUARDED.search(line):
+            continue
+        mutex_type = match.group("type")
+        name = match.group("name")
+        if mutex_type == "std::mutex":
+            findings.append(Finding(
+                relpath, lineno, "mutex-guard",
+                f"raw std::mutex member '{name}': use dievent::Mutex from "
+                "common/thread_annotations.h so thread-safety analysis "
+                "applies"))
+        elif name not in guarded_names:
+            findings.append(Finding(
+                relpath, lineno, "mutex-guard",
+                f"mutex '{name}' guards no declared state: add GUARDED_BY"
+                f"({name}) to the data it protects, or waive with "
+                "'// lint: unguarded' and say why"))
+
+
+def check_nondeterminism(relpath, lines, findings):
+    if any(relpath.startswith(prefix) for prefix in NONDETERMINISM_ALLOWLIST):
+        return
+    for lineno, line in enumerate(lines, start=1):
+        code = strip_comment(line)
+        for pattern, what in NONDETERMINISM_PATTERNS:
+            if pattern.search(code):
+                findings.append(Finding(
+                    relpath, lineno, "nondeterminism",
+                    f"{what} breaks run-to-run reproducibility: thread an "
+                    "explicit dievent::Rng through instead"))
+
+
+def check_status_discard(relpath, lines, findings):
+    for lineno, line in enumerate(lines, start=1):
+        if STATUS_DISCARD.match(strip_comment(line)):
+            findings.append(Finding(
+                relpath, lineno, "status-discard",
+                "naked '.status();' drops the error: propagate it or log it "
+                "with a comment explaining the deliberate drop"))
+
+
+def check_include_hygiene(relpath, lines, findings):
+    for lineno, line in enumerate(lines, start=1):
+        code = strip_comment(line)
+        if PARENT_INCLUDE.match(code):
+            findings.append(Finding(
+                relpath, lineno, "include-hygiene",
+                "parent-relative include: include from the source root "
+                "(e.g. \"common/foo.h\") instead"))
+        if BITS_INCLUDE.match(code):
+            findings.append(Finding(
+                relpath, lineno, "include-hygiene",
+                "<bits/...> is a libstdc++ internal: include the standard "
+                "header instead"))
+    if relpath.endswith((".h", ".hpp")):
+        want = expected_guard(relpath)
+        guard_line = None
+        guard_name = None
+        for lineno, line in enumerate(lines, start=1):
+            match = IFNDEF_GUARD.match(strip_comment(line))
+            if match:
+                guard_line = lineno
+                guard_name = match.group("guard")
+                break
+        if guard_name is None:
+            findings.append(Finding(
+                relpath, 1, "include-hygiene",
+                f"missing header guard: expected #ifndef {want}"))
+        elif guard_name != want:
+            findings.append(Finding(
+                relpath, guard_line, "include-hygiene",
+                f"header guard '{guard_name}' does not match the canonical "
+                f"'{want}'"))
+
+
+RULES = {
+    "mutex-guard": check_mutex_guard,
+    "nondeterminism": check_nondeterminism,
+    "status-discard": check_status_discard,
+    "include-hygiene": check_include_hygiene,
+}
+
+
+def apply_waivers(lines, findings):
+    kept = []
+    for finding in findings:
+        line = lines[finding.line - 1] if finding.line - 1 < len(lines) else ""
+        waived = any(
+            match.group("rule") == finding.rule
+            for match in WAIVER_ALLOW.finditer(line))
+        if not waived:
+            kept.append(finding)
+    return kept
+
+
+def lint_file(root, relpath):
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        return [Finding(relpath, 1, "io", f"unreadable: {err}")]
+    findings = []
+    for checker in RULES.values():
+        checker(relpath, lines, findings)
+    return apply_waivers(lines, findings)
+
+
+def collect_files(root, subdirs):
+    files = []
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    files.append(os.path.relpath(full, root).replace(os.sep, "/"))
+    return sorted(files)
+
+
+def run_lint(root, subdirs):
+    findings = []
+    for relpath in collect_files(root, subdirs):
+        findings.extend(lint_file(root, relpath))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"dievent_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"dievent_lint: clean ({len(collect_files(root, subdirs))} files)")
+    return 0
+
+
+def run_self_test(root):
+    fixtures = "tests/lint_fixtures"
+    expected = set()
+    for relpath in collect_files(root, [fixtures]):
+        with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh.read().splitlines(), start=1):
+                for match in EXPECT_MARKER.finditer(line):
+                    expected.add((relpath, lineno, match.group("rule")))
+    actual = set()
+    for relpath in collect_files(root, [fixtures]):
+        for finding in lint_file(root, relpath):
+            actual.add(finding.key())
+    missing = expected - actual
+    unexpected = actual - expected
+    for path, line, rule in sorted(missing):
+        print(f"{path}:{line}: [self-test] expected a {rule} finding here, "
+              "rule did not fire")
+    for path, line, rule in sorted(unexpected):
+        print(f"{path}:{line}: [self-test] unexpected {rule} finding "
+              "(no lint-expect marker)")
+    if missing or unexpected:
+        print(f"dievent_lint --self-test: FAILED "
+              f"({len(missing)} missing, {len(unexpected)} unexpected)",
+              file=sys.stderr)
+        return 1
+    print(f"dievent_lint --self-test: OK ({len(expected)} expected findings "
+          "all fired, no extras)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--subdir", action="append", default=None,
+                        help="tree(s) to scan relative to root "
+                             "(default: src)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against tests/lint_fixtures/")
+    args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"dievent_lint: no such root: {root}", file=sys.stderr)
+        return 2
+    if args.self_test:
+        return run_self_test(root)
+    return run_lint(root, args.subdir or ["src"])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
