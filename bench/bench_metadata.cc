@@ -145,21 +145,21 @@ void ScaleReport() {
   std::printf("%-12s %-14s %-16s %-16s\n", "frames", "ingest(ms)",
               "EC query(ms)", "scene query(ms)");
   for (int frames : {1000, 10000, 100000, 500000}) {
-    auto t0 = std::chrono::steady_clock::now();
+    auto t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
     MetadataRepository repo = MakeRepo(frames, 21);
     double ingest_ms =
         std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
+            std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock)
             .count();
-    t0 = std::chrono::steady_clock::now();
+    t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
     auto ec = Query(&repo).EyeContact(0, 3).Execute();
     double ec_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - t0)
+                       std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock)
                        .count();
-    t0 = std::chrono::steady_clock::now();
+    t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
     auto scenes = Query(&repo).AnyoneLookingAt(2).ExecuteScenes(0.4);
     double scene_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - t0)
+                          std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock)
                           .count();
     std::printf("%-12d %-14.1f %-16.2f %-16.2f (matches: %zu EC frames, "
                 "%zu scenes)\n",

@@ -1,0 +1,196 @@
+#include "common/clock.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace dievent {
+
+RealClock* RealClock::Get() {
+  static RealClock* const kInstance = new RealClock;
+  return kInstance;
+}
+
+void RealClock::SleepUntil(TimePoint tp) { std::this_thread::sleep_until(tp); }
+
+SimClock::SimClock(Options options) : auto_advance_(options.auto_advance) {
+  MutexLock lock(mu_);
+  now_ = TimePoint{} + FromSeconds(options.start_s);
+}
+
+SimClock::TimePoint SimClock::Now() {
+  MutexLock lock(mu_);
+  return now_;
+}
+
+std::vector<SimClock::WakeTarget> SimClock::AdvanceLocked(TimePoint target) {
+  std::vector<WakeTarget> due;
+  if (target <= now_) return due;
+  now_ = target;
+  for (Waiter* w : waiters_) {
+    if (w->deadline <= now_ && !w->woken) {
+      // The wake re-credits the token the waiter released at registration:
+      // from this instant the woken thread counts as runnable work, so no
+      // further step can slip in before it resumes and deregisters.
+      w->woken = true;
+      ++pending_work_;
+      due.push_back(WakeTarget{w->mu, w->cv, w->deadline});
+    }
+  }
+  return due;
+}
+
+std::vector<SimClock::WakeTarget> SimClock::MaybeAutoAdvanceLocked() {
+  if (!auto_advance_ || pending_work_ > 0) return {};
+  TimePoint target = TimePoint::max();
+  for (const Waiter* w : waiters_) {
+    if (w->deadline > now_) target = std::min(target, w->deadline);
+  }
+  if (target == TimePoint::max()) return {};  // no timed waiter ahead of now
+  return AdvanceLocked(target);
+}
+
+std::vector<SimClock::WakeTarget> SimClock::DeregisterLocked(Waiter* w) {
+  waiters_.erase(std::find(waiters_.begin(), waiters_.end(), w));
+  if (!w->woken) ++pending_work_;  // resuming thread is work again
+  changed_.NotifyAll();
+  return MaybeAutoAdvanceLocked();
+}
+
+void SimClock::WakeTargets(std::vector<WakeTarget> targets, const Mutex* held) {
+  std::sort(targets.begin(), targets.end(),
+            [](const WakeTarget& a, const WakeTarget& b) {
+              return a.deadline < b.deadline;
+            });
+  for (const WakeTarget& t : targets) {
+    if (t.mu != held) {
+      // Empty critical section: a waiter that has registered but not yet
+      // blocked still holds its mutex, so acquiring it here orders the
+      // notify after the wait begins — no lost wakeup. Waiters on `held`
+      // are already blocked (registration requires the mutex this caller
+      // still holds), so the fence is skipped to avoid self-deadlock.
+      t.mu->Lock();
+      t.mu->Unlock();
+    }
+    t.cv->NotifyAll();
+  }
+}
+
+std::cv_status SimClock::WaitUntil(Mutex& mu, CondVar& cv, TimePoint tp) {
+  Waiter w{&mu, &cv, tp};
+  std::vector<WakeTarget> targets;
+  bool due_at_registration = false;
+  {
+    MutexLock lock(mu_);
+    if (now_ >= tp) return std::cv_status::timeout;
+    waiters_.push_back(&w);
+    --pending_work_;
+    changed_.NotifyAll();
+    targets = MaybeAutoAdvanceLocked();
+    if (w.woken) {
+      // Registering made the system quiescent and our own deadline was
+      // the earliest: time just stepped to it. Timeout without blocking.
+      due_at_registration = true;
+      std::vector<WakeTarget> more = DeregisterLocked(&w);
+      targets.insert(targets.end(), more.begin(), more.end());
+    }
+  }
+  WakeTargets(std::move(targets), &mu);
+  if (due_at_registration) return std::cv_status::timeout;
+
+  // Single wait: spurious wakeups surface to the caller exactly as with a
+  // raw condition variable; callers keep their predicate loops.
+  cv.Wait(mu);
+
+  std::cv_status status;
+  {
+    MutexLock lock(mu_);
+    status = now_ >= tp ? std::cv_status::timeout : std::cv_status::no_timeout;
+    targets = DeregisterLocked(&w);
+  }
+  WakeTargets(std::move(targets), &mu);
+  return status;
+}
+
+void SimClock::Wait(Mutex& mu, CondVar& cv) {
+  Waiter w{&mu, &cv, TimePoint::max()};
+  std::vector<WakeTarget> targets;
+  {
+    MutexLock lock(mu_);
+    waiters_.push_back(&w);
+    --pending_work_;
+    changed_.NotifyAll();
+    targets = MaybeAutoAdvanceLocked();  // never wakes us: max is never due
+  }
+  WakeTargets(std::move(targets), &mu);
+  cv.Wait(mu);
+  {
+    MutexLock lock(mu_);
+    targets = DeregisterLocked(&w);
+  }
+  WakeTargets(std::move(targets), &mu);
+}
+
+void SimClock::NotifyAll([[maybe_unused]] Mutex& mu, CondVar& cv) {
+  {
+    MutexLock lock(mu_);
+    for (Waiter* w : waiters_) {
+      if (w->cv == &cv && !w->woken) {
+        // Same re-credit as a deadline wake: the notified thread is
+        // runnable work from this instant, which pins simulated time
+        // until it deregisters — a concurrent token release can no
+        // longer step to this waiter's deadline "behind" the notify.
+        w->woken = true;
+        ++pending_work_;
+      }
+    }
+  }
+  // Holding `mu` (required) is the lost-wakeup fence: a thread between
+  // its predicate check and its block still holds `mu`, so this notify
+  // cannot land in that window.
+  cv.NotifyAll();
+}
+
+void SimClock::SleepUntil(TimePoint tp) {
+  MutexLock lock(sleep_mutex_);
+  while (WaitUntil(sleep_mutex_, sleep_cv_, tp) != std::cv_status::timeout) {
+  }
+}
+
+void SimClock::AddPendingWork(int delta) {
+  std::vector<WakeTarget> targets;
+  {
+    MutexLock lock(mu_);
+    pending_work_ += delta;
+    if (delta < 0) targets = MaybeAutoAdvanceLocked();
+  }
+  // Contract: negative deltas must be posted while holding no waiter's
+  // mutex — the wake fence acquires those mutexes.
+  WakeTargets(std::move(targets), nullptr);
+}
+
+void SimClock::AdvanceTo(TimePoint tp) {
+  std::vector<WakeTarget> targets;
+  {
+    MutexLock lock(mu_);
+    targets = AdvanceLocked(tp);
+  }
+  WakeTargets(std::move(targets), nullptr);
+}
+
+int SimClock::NumWaiters() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(waiters_.size());
+}
+
+void SimClock::AwaitWaiters(int n) {
+  MutexLock lock(mu_);
+  while (static_cast<int>(waiters_.size()) < n) changed_.Wait(mu_);
+}
+
+int SimClock::pending_work() const {
+  MutexLock lock(mu_);
+  return pending_work_;
+}
+
+}  // namespace dievent

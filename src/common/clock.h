@@ -1,0 +1,208 @@
+/// \file clock.h
+/// Injectable time: a VirtualClock interface over steady_clock, with a
+/// production RealClock and a test-only SimClock.
+///
+/// Every timing decision in the acquisition path — read deadlines,
+/// watchdog stalls, backoff pacing, breaker readmission cooldowns, stall
+/// injection, stage timers — goes through a VirtualClock instead of
+/// calling `steady_clock::now()` directly (tools/dievent_lint.py bans the
+/// direct call outside this file). Production code injects nothing and
+/// gets RealClock; timing tests inject a SimClock whose `Now()` advances
+/// only when explicitly stepped, which turns wall-clock-dependent tests
+/// (deadline misses under load, stall/backoff interleavings) into exact,
+/// load-independent assertions.
+///
+/// SimClock auto-advance: with `Options::auto_advance`, the clock steps
+/// itself to the earliest waiter deadline whenever the system is
+/// *quiescent* — no pending work (see AddPendingWork) and at least one
+/// thread blocked in a timed wait. Work in flight holds a pending-work
+/// token, so simulated time can never pass a deadline while the read that
+/// must beat it is still executing; that is the property that makes the
+/// deadline tests deterministic on a loaded machine.
+///
+/// Blocking-wait protocol: `WaitUntil(mu, cv, tp)` is the clock-mediated
+/// form of `cv.WaitUntil(mu, tp)`. SimClock registers the waiter, releases
+/// one pending-work token while blocked (a blocked thread is not work),
+/// and wakes it with the same empty-critical-section fence the supervisor
+/// uses, so a step can never slip between a caller's predicate check and
+/// its wait. The clock must outlive every component it is injected into.
+
+#ifndef DIEVENT_COMMON_CLOCK_H_
+#define DIEVENT_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <condition_variable>  // std::cv_status
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace dievent {
+
+/// The time source every timing-sensitive component reads through.
+/// Durations and time points are steady_clock's types, so swapping the
+/// clock never changes arithmetic or storage — only where "now" comes
+/// from and what a blocked wait means.
+class VirtualClock {
+ public:
+  using Duration = std::chrono::steady_clock::duration;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~VirtualClock() = default;
+
+  virtual TimePoint Now() = 0;
+
+  /// Blocks the calling thread until `tp` (or `d` from now).
+  virtual void SleepUntil(TimePoint tp) = 0;
+  void SleepFor(Duration d) { SleepUntil(Now() + d); }
+
+  /// Clock-mediated `cv.WaitUntil(mu, tp)`: blocks until notified or until
+  /// the clock reaches `tp`. Spurious wakeups are possible exactly as with
+  /// the raw condition variable; callers keep their predicate loops.
+  virtual std::cv_status WaitUntil(Mutex& mu, CondVar& cv, TimePoint tp)
+      REQUIRES(mu) = 0;
+
+  /// Clock-mediated `cv.Wait(mu)` (no deadline). Under SimClock the
+  /// blocked thread releases its pending-work token like a timed wait, so
+  /// auto-advance can run work the waiter depends on.
+  virtual void Wait(Mutex& mu, CondVar& cv) REQUIRES(mu) = 0;
+
+  /// Clock-mediated `cv.NotifyAll()`. Any condition variable some thread
+  /// clock-Waits on must be notified through this (holding `mu`, which
+  /// doubles as the lost-wakeup fence): under SimClock the notify marks
+  /// the blocked waiters woken and re-credits their pending-work tokens
+  /// *atomically*, so a concurrent token release cannot step time to a
+  /// waiter's deadline in the window between its wakeup and its
+  /// deregistration — which would otherwise make wake-vs-advance races
+  /// visible as nondeterministic timestamps.
+  virtual void NotifyAll(Mutex& mu, CondVar& cv) REQUIRES(mu) = 0;
+
+  /// Pending-work accounting for SimClock auto-advance; no-op on the real
+  /// clock. A positive balance means some thread is mid-task and simulated
+  /// time must hold still; the balance may transiently go negative when
+  /// waits outnumber registered work (standalone use), which still counts
+  /// as quiescent.
+  virtual void AddPendingWork(int delta) { (void)delta; }
+
+  double NowSeconds() { return ToSeconds(Now().time_since_epoch()); }
+
+  static double ToSeconds(Duration d) {
+    return std::chrono::duration<double>(d).count();
+  }
+  static Duration FromSeconds(double s) {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(s));
+  }
+};
+
+/// The production clock: steady_clock reads, real sleeps, real waits.
+class RealClock : public VirtualClock {
+ public:
+  /// Process-wide instance (stateless; shared freely across threads).
+  static RealClock* Get();
+
+  TimePoint Now() override { return std::chrono::steady_clock::now(); }
+  void SleepUntil(TimePoint tp) override;
+  std::cv_status WaitUntil(Mutex& mu, CondVar& cv, TimePoint tp) override
+      REQUIRES(mu) {
+    return cv.WaitUntil(mu, tp);
+  }
+  void Wait(Mutex& mu, CondVar& cv) override REQUIRES(mu) { cv.Wait(mu); }
+  void NotifyAll([[maybe_unused]] Mutex& mu, CondVar& cv) override
+      REQUIRES(mu) {
+    cv.NotifyAll();
+  }
+};
+
+/// Test clock: time is a number that moves only via AdvanceBy/AdvanceTo
+/// (or auto-advance). Timed waits block until a step reaches their
+/// deadline or their condition variable is notified; steps wake exactly
+/// the waiters whose deadlines were reached, earliest first.
+class SimClock : public VirtualClock {
+ public:
+  struct Options {
+    /// Simulated time at construction, seconds past the epoch.
+    double start_s = 0.0;
+    /// Step to the earliest waiter deadline whenever no pending work
+    /// remains and someone is blocked (see AddPendingWork).
+    bool auto_advance = false;
+  };
+
+  SimClock() : SimClock(Options{}) {}
+  explicit SimClock(Options options);
+
+  TimePoint Now() override;
+  void SleepUntil(TimePoint tp) override;
+  std::cv_status WaitUntil(Mutex& mu, CondVar& cv, TimePoint tp) override
+      REQUIRES(mu);
+  void Wait(Mutex& mu, CondVar& cv) override REQUIRES(mu);
+  void NotifyAll(Mutex& mu, CondVar& cv) override REQUIRES(mu);
+  void AddPendingWork(int delta) override;
+
+  /// Steps simulated time forward and wakes every waiter whose deadline
+  /// was reached, in deadline order. Steps to the past are ignored.
+  void AdvanceTo(TimePoint tp);
+  void AdvanceBy(Duration d) { AdvanceTo(Now() + d); }
+  void AdvanceBySeconds(double s) { AdvanceBy(FromSeconds(s)); }
+
+  /// Number of threads currently blocked in a clock-mediated wait.
+  int NumWaiters() const;
+  /// Blocks (in real time) until at least `n` waiters are registered —
+  /// how a stepping test knows its worker threads have reached their
+  /// waits before it advances.
+  void AwaitWaiters(int n);
+
+  int pending_work() const;
+
+ private:
+  /// One blocked thread: where to find it (its mutex + condvar) and when
+  /// it is due. Lives on the waiter's stack; registered under mu_.
+  struct Waiter {
+    Mutex* mu;
+    CondVar* cv;
+    TimePoint deadline;  ///< TimePoint::max() = untimed Wait
+    /// Set (under mu_) when a step reaches the deadline or a clock
+    /// NotifyAll targets this waiter. The wake also re-credits the
+    /// waiter's pending-work token right then — the woken thread is
+    /// runnable work — so time cannot advance again in the window before
+    /// the waiter deregisters itself.
+    bool woken = false;
+  };
+  /// A wake to deliver after mu_ is released (never notify under mu_:
+  /// the fence locks waiter mutexes, which must stay ordered before mu_).
+  struct WakeTarget {
+    Mutex* mu;
+    CondVar* cv;
+    TimePoint deadline;  ///< for earliest-first ordering
+  };
+
+  /// Core step: sets now_ to `target` (if in the future) and collects the
+  /// due waiters. Callers deliver the wakes after releasing mu_.
+  std::vector<WakeTarget> AdvanceLocked(TimePoint target) REQUIRES(mu_);
+  /// Auto-advance decision: quiescent (pending_work_ <= 0) with at least
+  /// one timed waiter -> step to the earliest deadline.
+  std::vector<WakeTarget> MaybeAutoAdvanceLocked() REQUIRES(mu_);
+  /// Removes `w`, restores its token unless a wake already did (woken),
+  /// and re-checks auto-advance.
+  std::vector<WakeTarget> DeregisterLocked(Waiter* w) REQUIRES(mu_);
+  /// Delivers wakes, earliest deadline first. For each target not
+  /// protected by `held`, an empty lock/unlock of its mutex fences the
+  /// notify past a waiter that has registered but not yet blocked; targets
+  /// sharing `held` are provably already blocked (registration requires
+  /// the mutex the caller still holds), so a plain notify suffices.
+  void WakeTargets(std::vector<WakeTarget> targets, const Mutex* held);
+
+  const bool auto_advance_;
+  mutable Mutex mu_;
+  /// Signals waiter-set changes to AwaitWaiters.
+  CondVar changed_;
+  TimePoint now_ GUARDED_BY(mu_);
+  std::vector<Waiter*> waiters_ GUARDED_BY(mu_);
+  int pending_work_ GUARDED_BY(mu_) = 0;
+  /// Shared parking spot for SleepUntil (which has no caller mutex).
+  Mutex sleep_mutex_;  // lint: unguarded (parks sleepers; guards no data)
+  CondVar sleep_cv_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_CLOCK_H_

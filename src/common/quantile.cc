@@ -1,0 +1,98 @@
+#include "common/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dievent {
+
+P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
+  DIEVENT_CHECK(quantile > 0.0 && quantile < 1.0);
+  const double p = quantile_;
+  desired_inc_[0] = 0.0;
+  desired_inc_[1] = p / 2.0;
+  desired_inc_[2] = p;
+  desired_inc_[3] = (1.0 + p) / 2.0;
+  desired_inc_[4] = 1.0;
+}
+
+double P2Quantile::Parabolic(int i, double d) const {
+  // Piecewise-parabolic prediction of the marker height at position
+  // n_[i] + d (Jain & Chlamtac, eq. at step B.3).
+  return q_[i] + d / (n_[i + 1] - n_[i - 1]) *
+                     ((n_[i] - n_[i - 1] + d) * (q_[i + 1] - q_[i]) /
+                          (n_[i + 1] - n_[i]) +
+                      (n_[i + 1] - n_[i] - d) * (q_[i] - q_[i - 1]) /
+                          (n_[i] - n_[i - 1]));
+}
+
+double P2Quantile::Linear(int i, int d) const {
+  return q_[i] + d * (q_[i + d] - q_[i]) / (n_[i + d] - n_[i]);
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    q_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(q_, q_ + 5);
+      const double p = quantile_;
+      for (int i = 0; i < 5; ++i) n_[i] = i + 1;
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * p;
+      desired_[2] = 1.0 + 4.0 * p;
+      desired_[3] = 3.0 + 2.0 * p;
+      desired_[4] = 5.0;
+    }
+    return;
+  }
+
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += desired_inc_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double diff = desired_[i] - n_[i];
+    if ((diff >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (diff <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const int d = diff >= 0 ? 1 : -1;
+      const double candidate = Parabolic(i, d);
+      if (q_[i - 1] < candidate && candidate < q_[i + 1]) {
+        q_[i] = candidate;
+      } else {
+        q_[i] = Linear(i, d);
+      }
+      n_[i] += d;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::Estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact nearest-rank order statistic of the samples seen so far.
+    double sorted[5];
+    std::copy(q_, q_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const long long rank = static_cast<long long>(
+        std::ceil(quantile_ * static_cast<double>(count_)));
+    const long long index = std::max<long long>(rank, 1) - 1;
+    return sorted[std::min<long long>(index, count_ - 1)];
+  }
+  return q_[2];
+}
+
+}  // namespace dievent

@@ -8,6 +8,12 @@
 /// the producer owns `head_`, the consumer owns `tail_`, and each only
 /// needs an acquire-load of the other's counter to know how much room or
 /// data exists.
+///
+/// The single-thread-per-endpoint contract is checked at runtime:
+/// `TryPush`/`TryPop` each carry a ThreadOwner assertion, and a deliberate
+/// endpoint handoff (reader restart, prefetch pump takeover) must call
+/// `ResetProducerOwner`/`ResetConsumerOwner` at the externally
+/// synchronized handoff point.
 
 #ifndef DIEVENT_COMMON_SPSC_QUEUE_H_
 #define DIEVENT_COMMON_SPSC_QUEUE_H_
@@ -17,6 +23,8 @@
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "common/thread_ownership.h"
 
 namespace dievent {
 
@@ -41,6 +49,7 @@ class SpscQueue {
   /// Producer side. Returns false when the ring is full — the caller must
   /// decide whether to retry, drop, or block; ignoring it loses `value`.
   [[nodiscard]] bool TryPush(T value) {
+    DCHECK_OWNED_BY(producer_owner_);
     const size_t head = head_.load(std::memory_order_relaxed);
     const size_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail == slots_.size()) return false;
@@ -51,6 +60,7 @@ class SpscQueue {
 
   /// Consumer side. Returns nullopt when the ring is empty.
   [[nodiscard]] std::optional<T> TryPop() {
+    DCHECK_OWNED_BY(consumer_owner_);
     const size_t tail = tail_.load(std::memory_order_relaxed);
     const size_t head = head_.load(std::memory_order_acquire);
     if (head == tail) return std::nullopt;
@@ -68,11 +78,18 @@ class SpscQueue {
 
   bool EmptyApprox() const { return SizeApprox() == 0; }
 
+  /// Endpoint handoff hooks; the caller must have synchronized with the
+  /// previous owner (thread join/spawn) before resetting.
+  void ResetProducerOwner() { producer_owner_.Reset(); }
+  void ResetConsumerOwner() { consumer_owner_.Reset(); }
+
  private:
   std::vector<T> slots_;
   size_t mask_ = 0;
   std::atomic<size_t> head_{0};  ///< next slot to write (producer-owned)
   std::atomic<size_t> tail_{0};  ///< next slot to read (consumer-owned)
+  ThreadOwner producer_owner_{"spsc-producer"};
+  ThreadOwner consumer_owner_{"spsc-consumer"};
 };
 
 }  // namespace dievent

@@ -6,6 +6,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -17,23 +18,24 @@ namespace dievent {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-/// Adds the elapsed seconds since `start` to `*sink` and resets `start`.
+/// Adds the elapsed seconds since construction to `*sink`. Reads the
+/// injected clock, so stage timings are simulated under SimClock and
+/// wall-clock in production.
 class StageTimer {
  public:
-  explicit StageTimer(double* sink)
-      : sink_(sink), start_(Clock::now()) {}
+  StageTimer(VirtualClock* clock, double* sink)
+      : clock_(clock), sink_(sink), start_(clock->Now()) {}
   ~StageTimer() {
-    *sink_ += std::chrono::duration<double>(Clock::now() - start_).count();
+    *sink_ += VirtualClock::ToSeconds(clock_->Now() - start_);
   }
 
   StageTimer(const StageTimer&) = delete;
   StageTimer& operator=(const StageTimer&) = delete;
 
  private:
+  VirtualClock* clock_;
   double* sink_;
-  Clock::time_point start_;
+  VirtualClock::TimePoint start_;
 };
 
 EventContext ContextFromScene(const DiningScene& scene) {
@@ -93,6 +95,10 @@ std::string DegradationStats::ToString() const {
         "  clock resync: %lld corrections (%lld misalignments), worst "
         "jitter %.4fs\n",
         resync_corrections, resync_misalignments, max_timestamp_jitter_s);
+  }
+  if (resync_retunes > 0) {
+    out += StrFormat("  drift feedback: %lld master-clock retunes\n",
+                     resync_retunes);
   }
   if (parse_signatures_missing > 0 || parse_reference_switches > 0) {
     out += StrFormat(
@@ -154,6 +160,8 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   // reference path, which the pipelined executor reproduces bit for bit.
   const bool pipelined =
       full && (options_.num_threads > 1 || options_.prefetch_depth > 0);
+  VirtualClock* const clock =
+      options_.clock != nullptr ? options_.clock : RealClock::Get();
 
   // Resolve the camera subset (empty = the whole rig).
   std::vector<int> cameras = options_.camera_subset;
@@ -184,7 +192,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   const EmotionRecognizer* recognizer = options_.recognizer;
   std::unique_ptr<EmotionRecognizer> owned_recognizer;
   if (options_.analyze_emotions && full && recognizer == nullptr) {
-    StageTimer timer(&report.timings.training);
+    StageTimer timer(clock, &report.timings.training);
     DIEVENT_ASSIGN_OR_RETURN(
         EmotionRecognizer trained,
         EmotionRecognizer::Train(options_.emotion, &rng));
@@ -222,16 +230,17 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       if (!options_.camera_faults.empty() &&
           options_.camera_faults[c].HasFaults()) {
         auto faulty = std::make_unique<FaultyVideoSource>(
-            std::move(src), options_.camera_faults[c]);
+            std::move(src), options_.camera_faults[c], options_.clock);
         injectors[c] = faulty.get();
         src = std::move(faulty);
       }
       cam_sources.push_back(std::move(src));
     }
+    AcquisitionPolicy acquisition = options_.acquisition;
+    if (acquisition.clock == nullptr) acquisition.clock = options_.clock;
     DIEVENT_ASSIGN_OR_RETURN(
         MultiCameraSource created,
-        MultiCameraSource::Create(std::move(cam_sources),
-                                  options_.acquisition));
+        MultiCameraSource::Create(std::move(cam_sources), acquisition));
     multi = std::make_unique<MultiCameraSource>(std::move(created));
   } else {
     parse_source = make_source(0);
@@ -299,7 +308,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   auto store_frame = [&](int f, double t, const LookAtMatrix& lookat,
                          const std::vector<EmotionObservation>& emotions)
       -> Status {
-    StageTimer timer(&report.timings.storage);
+    StageTimer timer(clock, &report.timings.storage);
     DIEVENT_RETURN_NOT_OK(
         repository->AddLookAt(LookAtRecord::FromMatrix(f, t, lookat)));
     if (options_.analyze_emotions) {
@@ -431,12 +440,11 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     // radius >= 8 px — a superset of what commit can select, since the
     // tracker backfill there only changes identities, never geometry.
     auto run_vision = [&](FrameWork& w, int c, bool speculate) {
-      const Clock::time_point start = Clock::now();
+      const VirtualClock::TimePoint start = clock->Now();
       w.vision[c] =
           engine->AnalyzeCameraStateless(c, w.frames[c], w.quality[c]);
-      const Clock::time_point mid = Clock::now();
-      w.vision_seconds[c] =
-          std::chrono::duration<double>(mid - start).count();
+      const VirtualClock::TimePoint mid = clock->Now();
+      w.vision_seconds[c] = VirtualClock::ToSeconds(mid - start);
       if (!speculate || !options_.analyze_emotions || recognizer == nullptr)
         return;
       auto& cache = w.emotion_cache[c];
@@ -448,8 +456,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
         CropFaceInto(w.frames[c], det, &crop);
         cache[oi] = recognizer->Recognize(crop);
       }
-      w.emotion_seconds[c] =
-          std::chrono::duration<double>(Clock::now() - mid).count();
+      w.emotion_seconds[c] = VirtualClock::ToSeconds(clock->Now() - mid);
     };
 
     auto run_signature = [&](FrameWork& w) {
@@ -463,7 +470,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     auto commit = [&](FrameWork& w) -> Status {
       FrameAnalysis analysis;
       {
-        StageTimer timer(&report.timings.detection);
+        StageTimer timer(clock, &report.timings.detection);
         DIEVENT_ASSIGN_OR_RETURN(
             analysis,
             engine->CommitFrame(w.f, std::move(w.vision), w.quality));
@@ -487,7 +494,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
 
       std::vector<EmotionObservation> emotions;
       if (options_.analyze_emotions && recognizer != nullptr) {
-        StageTimer timer(&report.timings.emotion);
+        StageTimer timer(clock, &report.timings.emotion);
         for (int i = 0; i < n; ++i) {
           EmotionObservation eo;
           eo.participant = i;
@@ -548,7 +555,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
 
       LookAtMatrix lookat;
       {
-        StageTimer timer(&report.timings.eye_contact);
+        StageTimer timer(clock, &report.timings.eye_contact);
         lookat = ec_detector.ComputeLookAt(geometry);
       }
       DIEVENT_RETURN_NOT_OK(report.summary.Accumulate(lookat));
@@ -580,7 +587,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
         w.f = f;
         w.t = scene.TimeOfFrame(f);
         {
-          StageTimer timer(&report.timings.acquisition);
+          StageTimer timer(clock, &report.timings.acquisition);
           DIEVENT_ASSIGN_OR_RETURN(w.set, multi->GetFrames(f));
         }
         prepare(w);
@@ -635,7 +642,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
           w->f = next_f;
           w->t = scene.TimeOfFrame(next_f);
           {
-            StageTimer timer(&report.timings.acquisition);
+            StageTimer timer(clock, &report.timings.acquisition);
             Result<SynchronizedFrameSet> set = multi->GetFrames(next_f);
             if (!set.ok()) {
               run_status = set.status();
@@ -680,7 +687,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       std::vector<ParticipantGeometry> geometry(n);
       std::vector<EmotionObservation> emotions;
       {
-        StageTimer timer(&report.timings.fusion);
+        StageTimer timer(clock, &report.timings.fusion);
         for (int i = 0; i < n; ++i) {
           geometry[i].head_position = gt[i].head_position;
           geometry[i].gaze_direction = gt[i].gaze_direction;
@@ -696,13 +703,13 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
         }
       }
       if (options_.parse_video) {
-        StageTimer acquire(&report.timings.acquisition);
+        StageTimer acquire(clock, &report.timings.acquisition);
         DIEVENT_ASSIGN_OR_RETURN(VideoFrame vf, parse_source->GetFrame(f));
         signatures.push_back(signature_maker.Signature(vf.image));
       }
       LookAtMatrix lookat;
       {
-        StageTimer timer(&report.timings.eye_contact);
+        StageTimer timer(clock, &report.timings.eye_contact);
         lookat = ec_detector.ComputeLookAt(geometry);
       }
       DIEVENT_RETURN_NOT_OK(report.summary.Accumulate(lookat));
@@ -713,7 +720,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
 
   // --- video composition analysis ---------------------------------------
   if (options_.parse_video && !signatures.empty()) {
-    StageTimer timer(&report.timings.parsing);
+    StageTimer timer(clock, &report.timings.parsing);
     VideoParser parser(options_.parsing);
     SparseSignatureInfo sparse_info;
     report.structure = parser.ParseFromSparseHistograms(
@@ -751,6 +758,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       deg.resync_misalignments += resync.misalignments;
       deg.max_timestamp_jitter_s =
           std::max(deg.max_timestamp_jitter_s, resync.max_jitter_s);
+      deg.resync_retunes += resync.retunes;
     }
     deg.cameras_quarantined = multi->QuarantinedCameras();
     if (report.frames_processed == 0 && deg.frames_skipped > 0) {

@@ -94,6 +94,12 @@ struct PipelineOptions {
   /// equal seeds.
   int num_threads = 1;
 
+  /// Time source for every stage timer, acquisition deadline, watchdog,
+  /// backoff delay, and injected stall. Null = the real steady clock.
+  /// Must outlive the pipeline run; timing tests inject a SimClock so the
+  /// whole acquisition state machine runs on simulated time.
+  VirtualClock* clock = nullptr;
+
   /// Frame sets the acquisition pump may read ahead of the commit stage
   /// (kFullVision only). 0 = synchronous reads. > 0 starts a prefetch
   /// pump inside MultiCameraSource that runs the identical admission/
@@ -170,6 +176,7 @@ struct DegradationStats {
   long long resync_corrections = 0;    ///< timestamps snapped to a tick
   long long resync_misalignments = 0;  ///< off by more than half a period
   double max_timestamp_jitter_s = 0;   ///< worst deviation before resync
+  long long resync_retunes = 0;  ///< drift-feedback master-clock retunes
 
   // Fault-aware video parsing (camera-0 signature timeline repair).
   int parse_signatures_missing = 0;       ///< slots no camera could fill

@@ -6,22 +6,10 @@
 
 namespace dievent {
 
-namespace {
-
-double ToSeconds(std::chrono::steady_clock::duration d) {
-  return std::chrono::duration<double>(d).count();
-}
-
-std::chrono::steady_clock::duration FromSeconds(double s) {
-  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-      std::chrono::duration<double>(s));
-}
-
-}  // namespace
-
 AcquisitionSupervisor::AcquisitionSupervisor(
     std::vector<VideoSource*> sources, SupervisorOptions options)
     : options_(std::move(options)) {
+  clock_ = options_.clock != nullptr ? options_.clock : RealClock::Get();
   readers_.reserve(sources.size());
   for (size_t c = 0; c < sources.size(); ++c) {
     auto reader = std::make_unique<Reader>(
@@ -29,6 +17,10 @@ AcquisitionSupervisor::AcquisitionSupervisor(
     reader->source = sources[c];
     reader->camera = static_cast<int>(c);
     readers_.push_back(std::move(reader));
+    if (options_.adaptive.enabled) {
+      controllers_.push_back(std::make_unique<AdaptiveDeadlineController>(
+          options_.adaptive, options_.read_deadline_s));
+    }
   }
   for (auto& reader : readers_) SpawnReader(reader.get());
 }
@@ -38,8 +30,10 @@ AcquisitionSupervisor::~AcquisitionSupervisor() {
     {
       MutexLock lock(reader->mutex);
       reader->stop = true;
+      // Through the clock: a reader parked in a simulated backoff wait
+      // must have its wake re-credit its pending-work token.
+      clock_->NotifyAll(reader->mutex, reader->cv);
     }
-    reader->cv.NotifyAll();
     // Wake a reader blocked inside the source (stalled read). Sources
     // that ignore Interrupt() and never return will block the join.
     reader->source->Interrupt();
@@ -53,6 +47,26 @@ double AcquisitionSupervisor::WatchdogThreshold() const {
   if (options_.watchdog_stall_s > 0) return options_.watchdog_stall_s;
   if (options_.read_deadline_s > 0) return 4.0 * options_.read_deadline_s;
   return 0.0;  // unbounded reads: no watchdog
+}
+
+double AcquisitionSupervisor::CameraDeadlineS(size_t c) const {
+  if (c < controllers_.size()) return controllers_[c]->deadline_s();
+  return options_.read_deadline_s;
+}
+
+double AcquisitionSupervisor::camera_deadline_s(int camera) const {
+  return CameraDeadlineS(static_cast<size_t>(camera));
+}
+
+const AdaptiveDeadlineController* AcquisitionSupervisor::deadline_controller(
+    int camera) const {
+  const size_t c = static_cast<size_t>(camera);
+  return c < controllers_.size() ? controllers_[c].get() : nullptr;
+}
+
+void AcquisitionSupervisor::ReleaseControl() {
+  control_owner_.Reset();
+  for (auto& reader : readers_) reader->responses.ResetConsumerOwner();
 }
 
 void AcquisitionSupervisor::SpawnReader(Reader* reader) {
@@ -74,7 +88,9 @@ void AcquisitionSupervisor::MaybeInterruptLocked(Reader* reader,
   // Thread-safe by contract; the reader blocked inside GetFrame does not
   // hold reader->mutex, so there is no lock-order issue.
   reader->source->Interrupt();
-  reader->cv.NotifyAll();  // also cancels a backoff sleep
+  // Also cancels a backoff sleep; through the clock so a simulated
+  // sleeper's wake re-credits its token.
+  clock_->NotifyAll(reader->mutex, reader->cv);
 }
 
 void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
@@ -82,6 +98,8 @@ void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
     ReaderRequest req;
     {
       MutexLock lock(reader->mutex);
+      // Raw (clockless) wait: an idle reader is not pending work, and no
+      // simulated-time deadline ever wakes it — only a dispatch or stop.
       while (!reader->stop && !reader->request.has_value()) {
         reader->cv.Wait(reader->mutex);
       }
@@ -90,13 +108,13 @@ void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
       reader->request.reset();
       reader->busy = true;
       reader->busy_frame = req.index;
-      reader->busy_since = Clock::now();
+      reader->busy_since = clock_->Now();
     }
 
     ReaderResponse resp;
     resp.seq = req.seq;
     resp.index = req.index;
-    const Clock::time_point start = Clock::now();
+    const Clock::time_point start = clock_->Now();
     bool cancelled = false;
     for (int a = 0; a < req.max_attempts; ++a) {
       if (a > 0) {
@@ -104,15 +122,17 @@ void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
             a, static_cast<uint64_t>(reader->camera),
             static_cast<uint64_t>(req.index));
         if (req.budget_s > 0 &&
-            ToSeconds(Clock::now() - start) + delay >= req.budget_s) {
+            VirtualClock::ToSeconds(clock_->Now() - start) + delay >=
+                req.budget_s) {
           break;  // the caller stopped listening; don't burn attempts
         }
         {
           MutexLock lock(reader->mutex);
           ++reader->stats.backoff_waits;
-          const Clock::time_point until = Clock::now() + FromSeconds(delay);
+          const Clock::time_point until =
+              clock_->Now() + VirtualClock::FromSeconds(delay);
           while (!reader->stop && !reader->restart_pending) {
-            if (reader->cv.WaitUntil(reader->mutex, until) ==
+            if (clock_->WaitUntil(reader->mutex, reader->cv, until) ==
                 std::cv_status::timeout) {
               break;
             }
@@ -138,8 +158,10 @@ void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
                              reader->camera, req.index))
                        : Status::Internal("no read attempt made");
     }
+    resp.latency_s = VirtualClock::ToSeconds(clock_->Now() - start);
 
     bool exit_thread = false;
+    bool stopping = false;
     {
       MutexLock lock(reader->mutex);
       reader->busy = false;
@@ -153,17 +175,23 @@ void AcquisitionSupervisor::ReaderLoop(Reader* reader) {
       reader->stats.max_queue_depth =
           std::max(reader->stats.max_queue_depth,
                    static_cast<int>(reader->responses.SizeApprox()));
-      if (reader->stop) return;
+      stopping = reader->stop;
       if (reader->restart_pending) {
         reader->exited = true;
         exit_thread = true;
       }
     }
     {
+      // Fence + notify through the clock: a simulated finish-waiter's
+      // wake must re-credit its token atomically with the notify.
       MutexLock lock(wait_mutex_);
+      clock_->NotifyAll(wait_mutex_, responses_cv_);
     }
-    responses_cv_.NotifyAll();
-    if (exit_thread) return;
+    // The dispatch token, held since the request became visible. Posted
+    // outside every lock: a negative delta may advance simulated time and
+    // fence waiter mutexes.
+    clock_->AddPendingWork(-1);
+    if (stopping || exit_thread) return;
   }
 }
 
@@ -174,11 +202,18 @@ std::vector<AcquisitionSupervisor::ReadOutcome> AcquisitionSupervisor::Read(
 
 AcquisitionSupervisor::PendingRead AcquisitionSupervisor::BeginRead(
     int index, const std::vector<int>& max_attempts) {
+  DCHECK_OWNED_BY(control_owner_);
+  // Control token: the caller is mid-read until FinishRead returns, so
+  // simulated time must not advance just because readers went quiet.
+  clock_->AddPendingWork(1);
+
   PendingRead p;
   p.index = index;
   p.seq = ++seq_;
   p.bounded = options_.read_deadline_s > 0;
-  p.deadline = Clock::now() + FromSeconds(options_.read_deadline_s);
+  const Clock::time_point now = clock_->Now();
+  p.deadline = now;
+  p.deadlines.assign(readers_.size(), Clock::time_point{});
   p.out.resize(readers_.size());
   p.pending.assign(readers_.size(), false);
 
@@ -209,6 +244,9 @@ AcquisitionSupervisor::PendingRead AcquisitionSupervisor::BeginRead(
       // the thread will never touch its state again, and only this control
       // thread joins or spawns readers.
       reader.thread.join();
+      // The replacement thread becomes the queue's producer; the join
+      // above is the synchronization that makes the handoff sound.
+      reader.responses.ResetProducerOwner();
       MutexLock lock(reader.mutex);
       reader.exited = false;
       reader.restart_pending = false;
@@ -216,13 +254,15 @@ AcquisitionSupervisor::PendingRead AcquisitionSupervisor::BeginRead(
       ++reader.stats.restarts;
       SpawnReader(&reader);
     }
+    const double camera_deadline_s = CameraDeadlineS(c);
     bool dispatched = false;
     {
       MutexLock lock(reader.mutex);
       if (reader.busy) {
         // Still wedged on an earlier frame: this read is an immediate
         // miss; the watchdog decides whether to interrupt.
-        const double stuck_s = ToSeconds(Clock::now() - reader.busy_since);
+        const double stuck_s =
+            VirtualClock::ToSeconds(clock_->Now() - reader.busy_since);
         out[c].deadline_missed = true;
         out[c].error = Status::DeadlineExceeded(StrFormat(
             "camera %zu frame %d: reader wedged for %.3fs on frame %d", c,
@@ -230,9 +270,13 @@ AcquisitionSupervisor::PendingRead AcquisitionSupervisor::BeginRead(
         ++reader.stats.deadline_misses;
         MaybeInterruptLocked(&reader, stuck_s);
       } else {
-        reader.request =
-            ReaderRequest{seq, index, max_attempts[c],
-                          p.bounded ? options_.read_deadline_s : 0.0};
+        // Dispatch token BEFORE the request becomes visible: once the
+        // reader can see work, simulated time must treat it as in
+        // flight. A positive delta never advances or fences, so posting
+        // it under reader.mutex is safe.
+        clock_->AddPendingWork(1);
+        reader.request = ReaderRequest{seq, index, max_attempts[c],
+                                       p.bounded ? camera_deadline_s : 0.0};
         dispatched = true;
       }
     }
@@ -240,12 +284,15 @@ AcquisitionSupervisor::PendingRead AcquisitionSupervisor::BeginRead(
     reader.cv.NotifyOne();
     pending[c] = true;
     ++remaining;
+    p.deadlines[c] = now + VirtualClock::FromSeconds(camera_deadline_s);
+    p.deadline = std::max(p.deadline, p.deadlines[c]);
   }
   return p;
 }
 
 std::vector<AcquisitionSupervisor::ReadOutcome>
 AcquisitionSupervisor::FinishRead(PendingRead p) {
+  DCHECK_OWNED_BY(control_owner_);
   const long long seq = p.seq;
   const int index = p.index;
   std::vector<ReadOutcome>& out = p.out;
@@ -266,6 +313,7 @@ AcquisitionSupervisor::FinishRead(PendingRead p) {
         out[c].error = resp->error;
         out[c].attempts_used = resp->attempts_used;
         out[c].retry_failures = resp->retry_failures;
+        out[c].latency_s = resp->latency_s;
         pending[c] = false;
         --remaining;
         break;
@@ -273,31 +321,65 @@ AcquisitionSupervisor::FinishRead(PendingRead p) {
     }
   };
 
-  {
-    MutexLock wait_lock(wait_mutex_);
-    while (remaining > 0) {
-      drain();
-      if (remaining == 0) break;
+  // Marks every pending camera whose own deadline has passed as missed.
+  auto expire = [&](Clock::time_point at) {
+    if (!p.bounded) return;
+    for (size_t c = 0; c < readers_.size(); ++c) {
+      if (!pending[c] || p.deadlines[c] > at) continue;
+      Reader& reader = *readers_[c];
+      out[c].deadline_missed = true;
+      out[c].error = Status::DeadlineExceeded(
+          StrFormat("camera %zu frame %d: no response within %.3fs", c,
+                    index, CameraDeadlineS(c)));
+      pending[c] = false;
+      --remaining;
+      MutexLock lock(reader.mutex);
+      ++reader.stats.deadline_misses;
+    }
+  };
+
+  // Atomics only — safe to evaluate under wait_mutex_ (drain() itself
+  // takes reader mutexes for stale accounting, so it must not run there).
+  auto has_any_response = [&] {
+    for (size_t c = 0; c < readers_.size(); ++c) {
+      if (pending[c] && !readers_[c]->responses.EmptyApprox()) return true;
+    }
+    return false;
+  };
+
+  while (remaining > 0) {
+    drain();
+    if (remaining == 0) break;
+    expire(clock_->Now());
+    if (remaining == 0) break;
+    {
+      MutexLock wait_lock(wait_mutex_);
+      if (has_any_response()) continue;  // recheck under the fence mutex
       if (p.bounded) {
-        if (Clock::now() >= p.deadline) break;
-        responses_cv_.WaitUntil(wait_mutex_, p.deadline);
+        Clock::time_point next = Clock::time_point::max();
+        for (size_t c = 0; c < readers_.size(); ++c) {
+          if (pending[c]) next = std::min(next, p.deadlines[c]);
+        }
+        if (clock_->Now() >= next) continue;  // expire on the next pass
+        // Result deliberately unused: the loop re-drains and re-expires
+        // on every wakeup, timeout or not.
+        clock_->WaitUntil(wait_mutex_, responses_cv_, next);
       } else {
-        responses_cv_.Wait(wait_mutex_);
+        clock_->Wait(wait_mutex_, responses_cv_);
       }
     }
   }
 
-  // Whoever is still pending missed the deadline; their response, when it
-  // eventually lands, will be discarded as stale.
-  for (size_t c = 0; c < readers_.size(); ++c) {
-    if (!pending[c]) continue;
-    Reader& reader = *readers_[c];
-    out[c].deadline_missed = true;
-    out[c].error = Status::DeadlineExceeded(StrFormat(
-        "camera %zu frame %d: no response within %.3fs", c, index,
-        options_.read_deadline_s));
-    MutexLock lock(reader.mutex);
-    ++reader.stats.deadline_misses;
+  // Release the control token taken at BeginRead. Outside every lock: a
+  // negative delta may advance simulated time and fence waiter mutexes.
+  clock_->AddPendingWork(-1);
+
+  // Healthy reads feed the adaptive controllers; missed or failed reads
+  // say nothing about healthy latency (censored at the deadline).
+  if (!controllers_.empty()) {
+    for (size_t c = 0; c < out.size(); ++c) {
+      if (out[c].ok()) controllers_[c]->RecordHealthy(out[c].latency_s);
+    }
   }
   return std::move(p.out);
 }

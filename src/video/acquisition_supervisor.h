@@ -26,6 +26,18 @@
 /// Dedicated threads — not pool workers — because readers block on I/O:
 /// parking a wedged reader must never steal a worker from a healthy
 /// camera.
+///
+/// All timing goes through an injected VirtualClock (deadlines, watchdog,
+/// backoff pacing, latency measurement), so the whole state machine runs
+/// under SimClock in tests. SimClock pending-work tokens bracket every
+/// unit of in-flight work so simulated time can only advance while the
+/// system is genuinely blocked: the control thread holds one token from
+/// BeginRead to the end of FinishRead, and each dispatched camera read
+/// holds one from the instant its request becomes visible until its
+/// reader has pushed (or dropped) the response. Clock-mediated waits
+/// release the holder's token while blocked; notifies to clock-waited
+/// condition variables go through `clock->NotifyAll` so wakeups re-credit
+/// tokens atomically.
 
 #ifndef DIEVENT_VIDEO_ACQUISITION_SUPERVISOR_H_
 #define DIEVENT_VIDEO_ACQUISITION_SUPERVISOR_H_
@@ -38,8 +50,11 @@
 #include <vector>
 
 #include "common/backoff.h"
+#include "common/clock.h"
 #include "common/spsc_queue.h"
 #include "common/thread_annotations.h"
+#include "common/thread_ownership.h"
+#include "video/adaptive_deadline.h"
 #include "video/video_source.h"
 
 namespace dievent {
@@ -58,6 +73,15 @@ struct SupervisorOptions {
   BackoffPolicy backoff;
   /// Capacity of each camera's response queue.
   int queue_capacity = 8;
+  /// Time source for deadlines, watchdog, backoff pacing, and latency
+  /// measurement. Null = RealClock. Must outlive the supervisor; tests
+  /// inject a SimClock for deterministic timing.
+  VirtualClock* clock = nullptr;
+  /// Per-camera adaptive read deadlines (see adaptive_deadline.h). When
+  /// enabled, `read_deadline_s` is only the starting point; each camera's
+  /// deadline then tracks its healthy-latency percentile within
+  /// [min_deadline_s, max_deadline_s].
+  AdaptiveDeadlineOptions adaptive;
 };
 
 /// Drives one reader thread per camera and collects deadline-bounded
@@ -74,6 +98,10 @@ class AcquisitionSupervisor {
     Status error;                  ///< set on failure or deadline miss
     int attempts_used = 0;
     int retry_failures = 0;        ///< failed attempts after the first
+    /// Read latency as the reader measured it (request pickup to
+    /// completion), seconds. 0 for skipped/missed slots; feeds the
+    /// adaptive-deadline controller on success.
+    double latency_s = 0.0;
 
     bool ok() const { return frame.has_value(); }
   };
@@ -110,7 +138,10 @@ class AcquisitionSupervisor {
     int index = 0;
     long long seq = 0;
     bool bounded = false;
-    Clock::time_point deadline;
+    Clock::time_point deadline;  ///< latest per-camera deadline
+    /// Per-camera deadlines, fixed at dispatch (adaptive deadlines move
+    /// only between reads, never within one).
+    std::vector<Clock::time_point> deadlines;
     std::vector<ReadOutcome> out;
     std::vector<bool> pending;
     size_t remaining = 0;
@@ -138,6 +169,21 @@ class AcquisitionSupervisor {
   /// Snapshot of one camera's statistics (thread-safe).
   ReaderStats stats(int camera) const;
 
+  /// The camera's current effective read deadline, seconds — the static
+  /// `read_deadline_s` unless adaptive deadlines moved it. Control-thread
+  /// confined, like BeginRead/FinishRead.
+  double camera_deadline_s(int camera) const;
+
+  /// The camera's adaptive controller, or null when adaptive deadlines
+  /// are disabled. Control-thread confined.
+  const AdaptiveDeadlineController* deadline_controller(int camera) const;
+
+  /// Hands the control role (BeginRead/FinishRead and the response-queue
+  /// consumer side) to another thread. Call at an externally synchronized
+  /// handoff point — after joining the old control thread or before
+  /// spawning the new one.
+  void ReleaseControl();
+
   const SupervisorOptions& options() const { return options_; }
 
  private:
@@ -155,6 +201,7 @@ class AcquisitionSupervisor {
     Status error;
     int attempts_used = 0;
     int retry_failures = 0;
+    double latency_s = 0.0;  ///< pickup-to-completion, reader-measured
   };
 
   /// Per-camera reader state. The mutex guards everything except the
@@ -190,13 +237,21 @@ class AcquisitionSupervisor {
       REQUIRES(reader->mutex);
   /// Effective watchdog threshold, seconds; <= 0 disables it.
   double WatchdogThreshold() const;
+  /// Camera's effective deadline, seconds (adaptive or static).
+  double CameraDeadlineS(size_t c) const;
 
   SupervisorOptions options_;
+  VirtualClock* clock_ = nullptr;  ///< never null after construction
   std::vector<std::unique_ptr<Reader>> readers_;
+  /// Per-camera adaptive controllers; empty unless adaptive.enabled.
+  /// Control-thread confined (covered by control_owner_).
+  std::vector<std::unique_ptr<AdaptiveDeadlineController>> controllers_;
   /// Monotonic read ticket. Touched only by the (single) control thread
   /// driving BeginRead/FinishRead — the public contract forbids
-  /// overlapping reads — so it needs no lock.
+  /// overlapping reads — so it needs no lock. The contract is checked:
+  /// BeginRead/FinishRead assert control_owner_.
   long long seq_ = 0;
+  ThreadOwner control_owner_{"supervisor-control"};
 
   /// Readers take this lock (empty critical section) before notifying, so
   /// a response can never slip between the caller's drain and its wait.

@@ -1,0 +1,28 @@
+#include "video/adaptive_deadline.h"
+
+#include <algorithm>
+
+namespace dievent {
+
+AdaptiveDeadlineController::AdaptiveDeadlineController(
+    const AdaptiveDeadlineOptions& options, double initial_deadline_s)
+    : options_(options),
+      estimator_(options.quantile),
+      deadline_s_(initial_deadline_s) {}
+
+void AdaptiveDeadlineController::RecordHealthy(double latency_s) {
+  estimator_.Add(latency_s);
+  const long long warmup = std::max<long long>(options_.warmup_reads, 5);
+  if (estimator_.count() < warmup) return;
+  const double target =
+      std::clamp(options_.headroom * estimator_.Estimate(),
+                 options_.min_deadline_s, options_.max_deadline_s);
+  if (target < deadline_s_) {
+    ++tightened_;
+  } else if (target > deadline_s_) {
+    ++relaxed_;
+  }
+  deadline_s_ = target;
+}
+
+}  // namespace dievent

@@ -1,0 +1,70 @@
+/// \file adaptive_deadline.h
+/// Per-camera adaptive read deadlines (ROADMAP "adaptive deadlines").
+///
+/// A static `read_deadline_s` must be tuned per deployment: too tight and
+/// a loaded rig misses frames it would have delivered a few milliseconds
+/// later; too loose and a genuinely wedged camera stalls every set by the
+/// full deadline. The controller instead tracks a percentile of each
+/// camera's *healthy* read latency with a P² streaming estimator (O(1)
+/// memory, no sample window) and, after a warmup, pins the deadline to
+/// `headroom ×` that percentile, clamped to configured bounds — the
+/// deadline tightens on fast rigs and relaxes under load on its own.
+///
+/// Only successful reads feed the estimator: a missed deadline says
+/// nothing about how long a healthy read takes (the latency is censored
+/// at the deadline), and folding misses in would ratchet the deadline
+/// toward its own current value.
+///
+/// Confined to the supervisor's control thread (the same single-thread
+/// contract as `seq_`, checked by the supervisor's ThreadOwner).
+
+#ifndef DIEVENT_VIDEO_ADAPTIVE_DEADLINE_H_
+#define DIEVENT_VIDEO_ADAPTIVE_DEADLINE_H_
+
+#include "common/quantile.h"
+
+namespace dievent {
+
+struct AdaptiveDeadlineOptions {
+  bool enabled = false;
+  /// Bounds the deadline may move within, seconds. Required when enabled:
+  /// 0 < min_deadline_s <= max_deadline_s.
+  double min_deadline_s = 0.0;
+  double max_deadline_s = 0.0;
+  /// Healthy-latency percentile to track, in (0, 1).
+  double quantile = 0.9;
+  /// Deadline = headroom × latency percentile (then clamped).
+  double headroom = 2.0;
+  /// Healthy reads observed before the deadline first moves. At least 5
+  /// (the P² estimator needs five samples to initialize its markers).
+  int warmup_reads = 8;
+};
+
+/// One controller per camera, owned and driven by the supervisor's
+/// control thread.
+class AdaptiveDeadlineController {
+ public:
+  AdaptiveDeadlineController(const AdaptiveDeadlineOptions& options,
+                             double initial_deadline_s);
+
+  /// Feeds one successful read's latency and retunes the deadline once
+  /// past warmup.
+  void RecordHealthy(double latency_s);
+
+  double deadline_s() const { return deadline_s_; }
+  long long healthy_samples() const { return estimator_.count(); }
+  /// Deadline-decrease / -increase transition counts (observability).
+  long long tightened() const { return tightened_; }
+  long long relaxed() const { return relaxed_; }
+
+ private:
+  const AdaptiveDeadlineOptions options_;
+  P2Quantile estimator_;
+  double deadline_s_;
+  long long tightened_ = 0;
+  long long relaxed_ = 0;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_VIDEO_ADAPTIVE_DEADLINE_H_

@@ -86,11 +86,9 @@ Result<VideoFrame> FaultyVideoSource::GetFrame(int index) {
       ++counters_.stalls;
       MutexLock lock(stall_mutex_);
       const auto deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(spec_.stall_duration_s));
+          clock_->Now() + VirtualClock::FromSeconds(spec_.stall_duration_s);
       while (!interrupted_ &&
-             stall_cv_.WaitUntil(stall_mutex_, deadline) !=
+             clock_->WaitUntil(stall_mutex_, stall_cv_, deadline) !=
                  std::cv_status::timeout) {
       }
       if (interrupted_) {
@@ -141,7 +139,9 @@ Result<VideoFrame> FaultyVideoSource::GetFrame(int index) {
 void FaultyVideoSource::Interrupt() {
   MutexLock lock(stall_mutex_);
   interrupted_ = true;
-  stall_cv_.NotifyAll();
+  // Through the clock: a simulated staller's wake must re-credit its
+  // pending-work token atomically with the notify.
+  clock_->NotifyAll(stall_mutex_, stall_cv_);
 }
 
 }  // namespace dievent

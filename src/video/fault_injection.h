@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/thread_annotations.h"
 #include "video/video_source.h"
 
@@ -116,8 +117,13 @@ class FaultyVideoSource : public VideoSource {
     std::atomic<long long> interrupts{0};   ///< stalls cancelled early
   };
 
-  FaultyVideoSource(std::unique_ptr<VideoSource> inner, FaultSpec spec)
-      : inner_(std::move(inner)), spec_(std::move(spec)) {}
+  /// `clock` drives stall timing (null = RealClock); injecting a SimClock
+  /// makes stall durations simulated instead of wall-clock.
+  FaultyVideoSource(std::unique_ptr<VideoSource> inner, FaultSpec spec,
+                    VirtualClock* clock = nullptr)
+      : inner_(std::move(inner)),
+        spec_(std::move(spec)),
+        clock_(clock != nullptr ? clock : RealClock::Get()) {}
 
   int NumFrames() const override { return inner_->NumFrames(); }
   double Fps() const override { return inner_->Fps(); }
@@ -134,6 +140,7 @@ class FaultyVideoSource : public VideoSource {
  private:
   std::unique_ptr<VideoSource> inner_;
   FaultSpec spec_;
+  VirtualClock* clock_;
   Counters counters_;
   /// Attempt counters keyed by frame index, so retries of the same frame
   /// draw fresh failure decisions. Sized lazily from NumFrames(). Only

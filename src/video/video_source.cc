@@ -71,6 +71,30 @@ Result<MultiCameraSource> MultiCameraSource::Create(
         "acquisition policy: read_deadline_s and readmit_jitter must be "
         ">= 0, readmit_backoff must be >= 1");
   }
+  if (policy.adaptive_deadline.enabled) {
+    const AdaptiveDeadlineOptions& a = policy.adaptive_deadline;
+    if (policy.read_deadline_s <= 0) {
+      return Status::InvalidArgument(
+          "adaptive deadlines need a bounded starting point: "
+          "read_deadline_s must be > 0");
+    }
+    if (a.min_deadline_s <= 0 || a.max_deadline_s < a.min_deadline_s) {
+      return Status::InvalidArgument(
+          "adaptive deadlines: need 0 < min_deadline_s <= max_deadline_s");
+    }
+    if (a.quantile <= 0 || a.quantile >= 1 || a.headroom <= 0 ||
+        a.warmup_reads < 1) {
+      return Status::InvalidArgument(
+          "adaptive deadlines: quantile must be in (0, 1), headroom > 0, "
+          "warmup_reads >= 1");
+    }
+  }
+  if (policy.drift_feedback.enabled &&
+      (policy.drift_feedback.activation_s <= 0 ||
+       policy.drift_feedback.min_frames < 1)) {
+    return Status::InvalidArgument(
+        "drift feedback: activation_s must be > 0 and min_frames >= 1");
+  }
   const int frames = sources[0]->NumFrames();
   const double fps = sources[0]->Fps();
   for (size_t i = 1; i < sources.size(); ++i) {
@@ -92,7 +116,9 @@ Result<MultiCameraSource> MultiCameraSource::Create(
   MultiCameraSource out;
   out.sources_ = std::move(sources);
   out.health_.resize(out.sources_.size());
-  out.resamplers_.assign(out.sources_.size(), TimestampResampler(fps));
+  out.resamplers_.assign(
+      out.sources_.size(),
+      TimestampResampler(fps, /*drift_alpha=*/0.1, policy.drift_feedback));
   out.policy_ = policy;
   out.num_frames_ = frames;
   out.fps_ = fps;
@@ -118,6 +144,8 @@ void MultiCameraSource::EnsureSupervisor() {
   options.read_deadline_s = policy_.read_deadline_s;
   options.watchdog_stall_s = policy_.watchdog_stall_s;
   options.backoff = policy_.retry_backoff;
+  options.clock = policy_.clock;
+  options.adaptive = policy_.adaptive_deadline;
   supervisor_ =
       std::make_unique<AcquisitionSupervisor>(std::move(raw), options);
 }
@@ -291,6 +319,10 @@ Status MultiCameraSource::StartPrefetch(int start_index, int stride,
   pump_ = std::make_unique<PumpState>(depth);
   pump_->next_index = start_index;
   pump_->stride = stride;
+  // The pump thread becomes the supervisor's control thread; release the
+  // checked control role before it spawns (externally synchronized: the
+  // new thread does not exist yet).
+  if (supervisor_) supervisor_->ReleaseControl();
   pump_->thread = std::thread(&MultiCameraSource::PumpLoop, this);
   return Status::OK();
 }
@@ -304,6 +336,9 @@ void MultiCameraSource::StopPrefetch() {
   pump_->consumed.NotifyAll();
   if (pump_->thread.joinable()) pump_->thread.join();
   pump_.reset();
+  // Control returns to whichever thread drives GetFrames next (the pump
+  // thread is joined, so the handoff is externally synchronized).
+  if (supervisor_) supervisor_->ReleaseControl();
 }
 
 bool MultiCameraSource::PumpPush(SynchronizedFrameSet set) {

@@ -24,11 +24,13 @@
 #include "common/backoff.h"
 #include "common/result.h"
 #include "image/image.h"
+#include "video/adaptive_deadline.h"
 #include "video/clock_resync.h"
 
 namespace dievent {
 
 class AcquisitionSupervisor;
+class VirtualClock;  // common/clock.h
 
 /// One decoded frame.
 struct VideoFrame {
@@ -146,6 +148,21 @@ struct AcquisitionPolicy {
   /// Snap fresh frames' timestamps to the master clock (index / fps),
   /// correcting injected or real encoder clock jitter.
   bool resync_timestamps = true;
+
+  // --- injectable timing (PR 5) -----------------------------------------
+  /// Time source for every acquisition timing decision (deadlines,
+  /// watchdog, backoff). Null = the real steady clock. Must outlive the
+  /// source; tests inject a SimClock for deterministic timing.
+  VirtualClock* clock = nullptr;
+  /// Per-camera adaptive read deadlines: when enabled, each camera's
+  /// deadline tracks its healthy read-latency percentile within
+  /// [min_deadline_s, max_deadline_s], starting from `read_deadline_s`
+  /// (which must be > 0).
+  AdaptiveDeadlineOptions adaptive_deadline;
+  /// Drift feedback: let each camera's resampler fold a settled drift
+  /// EWMA into its master-clock mapping instead of snapping frame by
+  /// frame (requires `resync_timestamps`).
+  DriftFeedbackOptions drift_feedback;
 };
 
 /// Per-camera acquisition health, maintained across GetFrames calls.

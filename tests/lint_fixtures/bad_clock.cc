@@ -1,0 +1,32 @@
+/// \file bad_clock.cc
+/// Lint self-test fixture: direct chrono clock reads that bypass the
+/// injectable VirtualClock (common/clock.h).
+/// Never compiled; scanned by `dievent_lint.py --self-test`.
+
+#include <chrono>
+
+namespace dievent {
+
+double UntestableElapsed() {
+  auto start = std::chrono::steady_clock::now();  // lint-expect(steady-clock)
+  auto stop = std::chrono::steady_clock::now();  // lint-expect(steady-clock)
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+long long WallClockStamp() {
+  using std::chrono::system_clock;
+  return system_clock::now().time_since_epoch().count();  // lint-expect(steady-clock)
+}
+
+double HighResRead() {
+  auto t = std::chrono::high_resolution_clock::now();  // lint-expect(steady-clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double WaivedBenchmarkRead() {
+  // Benchmarks measuring real wall time opt out per line:
+  auto t = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace dievent

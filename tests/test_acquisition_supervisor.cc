@@ -145,6 +145,53 @@ TEST(TimestampResampler, DriftEstimateTracksConstantSkew) {
   EXPECT_NEAR(resampler.stats().drift_estimate_s, 0.02, 1e-4);
 }
 
+TEST(TimestampResampler, DriftFeedbackRetunesTheMasterClockMapping) {
+  // A purely skewed camera (+20ms on every frame, no jitter) should cost
+  // one correction per frame only until the feedback loop folds the skew
+  // into the standing clock offset; afterwards the camera reads as clean.
+  // drift_alpha = 1 makes the EWMA equal the last deviation, so the
+  // retune fires on the first eligible frame and the folded offset is the
+  // skew itself up to float residue.
+  DriftFeedbackOptions feedback;
+  feedback.enabled = true;
+  feedback.activation_s = 0.005;
+  feedback.min_frames = 10;
+  TimestampResampler resampler(10.0, /*drift_alpha=*/1.0, feedback);
+  for (int f = 0; f < 30; ++f) {
+    VideoFrame frame;
+    frame.index = f;
+    frame.timestamp_s = f * 0.1 + 0.02;
+    resampler.Align(f, &frame);
+    if (f >= 10) {
+      // Post-retune the offset removes the skew before alignment; the
+      // sub-noise-floor residue is delivered uncorrected.
+      EXPECT_NEAR(frame.timestamp_s, f * 0.1, 1e-9) << "frame " << f;
+    } else {
+      EXPECT_DOUBLE_EQ(frame.timestamp_s, f * 0.1) << "frame " << f;
+    }
+  }
+  EXPECT_EQ(resampler.stats().retunes, 1);
+  EXPECT_EQ(resampler.stats().corrections, 10);  // frames 0..9 only
+  EXPECT_EQ(resampler.stats().misalignments, 0);
+  EXPECT_NEAR(resampler.stats().clock_offset_s, 0.02, 1e-12);
+  EXPECT_NEAR(resampler.stats().drift_estimate_s, 0.0, 1e-9);
+}
+
+TEST(TimestampResampler, DriftFeedbackIsOffByDefault) {
+  // Without the opt-in, a constant skew keeps costing a correction per
+  // frame and the mapping is never retuned — PR 1 behavior, unchanged.
+  TimestampResampler resampler(10.0, /*drift_alpha=*/1.0);
+  for (int f = 0; f < 30; ++f) {
+    VideoFrame frame;
+    frame.index = f;
+    frame.timestamp_s = f * 0.1 + 0.02;
+    resampler.Align(f, &frame);
+  }
+  EXPECT_EQ(resampler.stats().retunes, 0);
+  EXPECT_DOUBLE_EQ(resampler.stats().clock_offset_s, 0.0);
+  EXPECT_EQ(resampler.stats().corrections, 30);
+}
+
 // --- deadline conversion -------------------------------------------------
 
 TEST(AcquisitionSupervisor, StalledCameraBecomesDeadlineBoundedHold) {

@@ -18,6 +18,12 @@ status-discard    A naked `<expr>.status();` expression statement silently drops
 include-hygiene   No parent-relative includes (`#include "../..."`), no
                   `<bits/...>` internals, and headers must carry the canonical
                   guard `DIEVENT_<PATH>_H_` derived from their path.
+steady-clock      Direct `steady_clock::now()` (or system/high_resolution
+                  clock) reads are banned outside src/common/clock.*: go
+                  through the injected `VirtualClock` so timing-dependent code
+                  stays testable under SimClock. Benchmarks that measure real
+                  wall time carry per-line `// lint: allow(steady-clock)`
+                  waivers.
 
 Waivers
 -------
@@ -45,6 +51,10 @@ SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 # Files allowed to use raw randomness: the seeded Rng wrapper itself.
 NONDETERMINISM_ALLOWLIST = ("src/common/rng",)
 
+# Files allowed to read std::chrono clocks directly: the VirtualClock
+# implementation (RealClock must bottom out somewhere).
+STEADY_CLOCK_ALLOWLIST = ("src/common/clock.",)
+
 WAIVER_UNGUARDED = re.compile(r"//\s*lint:\s*unguarded\b")
 WAIVER_ALLOW = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
 EXPECT_MARKER = re.compile(r"//\s*lint-expect\((?P<rule>[a-z-]+)\)")
@@ -62,6 +72,9 @@ NONDETERMINISM_PATTERNS = (
 )
 
 STATUS_DISCARD = re.compile(r"^\s*[\w\->.:\[\]()]*\.status\(\)\s*;\s*$")
+
+DIRECT_CLOCK_NOW = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)::now\s*\(")
 
 PARENT_INCLUDE = re.compile(r"^\s*#\s*include\s+\"\.\./")
 BITS_INCLUDE = re.compile(r"^\s*#\s*include\s+<bits/")
@@ -188,11 +201,24 @@ def check_include_hygiene(relpath, lines, findings):
                 f"'{want}'"))
 
 
+def check_steady_clock(relpath, lines, findings):
+    if any(relpath.startswith(prefix) for prefix in STEADY_CLOCK_ALLOWLIST):
+        return
+    for lineno, line in enumerate(lines, start=1):
+        if DIRECT_CLOCK_NOW.search(strip_comment(line)):
+            findings.append(Finding(
+                relpath, lineno, "steady-clock",
+                "direct chrono clock read: take a VirtualClock* and call "
+                "Now() so the code runs under SimClock in tests (benchmarks "
+                "measuring wall time may waive per line)"))
+
+
 RULES = {
     "mutex-guard": check_mutex_guard,
     "nondeterminism": check_nondeterminism,
     "status-discard": check_status_discard,
     "include-hygiene": check_include_hygiene,
+    "steady-clock": check_steady_clock,
 }
 
 
@@ -282,7 +308,7 @@ def main(argv):
                         help="repository root (default: cwd)")
     parser.add_argument("--subdir", action="append", default=None,
                         help="tree(s) to scan relative to root "
-                             "(default: src)")
+                             "(default: src and bench)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the rules against tests/lint_fixtures/")
     args = parser.parse_args(argv)
@@ -292,7 +318,7 @@ def main(argv):
         return 2
     if args.self_test:
         return run_self_test(root)
-    return run_lint(root, args.subdir or ["src"])
+    return run_lint(root, args.subdir or ["src", "bench"])
 
 
 if __name__ == "__main__":

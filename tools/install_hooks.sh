@@ -1,0 +1,29 @@
+#!/bin/sh
+# Installs the repository git hooks from tools/hooks/ into .git/hooks/.
+#
+# Copies (not symlinks) so a checkout on filesystems without symlink
+# support still works; re-run after pulling hook changes. Refuses to
+# clobber a hook it did not install unless --force is given.
+
+set -e
+
+force=0
+[ "$1" = "--force" ] && force=1
+
+root="$(git rev-parse --show-toplevel)"
+hooks_src="$root/tools/hooks"
+hooks_dst="$(git rev-parse --git-path hooks)"
+marker="DiEvent pre-commit hook"
+
+for hook in "$hooks_src"/*; do
+    name="$(basename "$hook")"
+    dst="$hooks_dst/$name"
+    if [ -e "$dst" ] && [ "$force" -ne 1 ] && \
+       ! grep -q "$marker" "$dst" 2>/dev/null; then
+        echo "install_hooks: $dst exists and is not ours; use --force" >&2
+        exit 1
+    fi
+    cp "$hook" "$dst"
+    chmod +x "$dst"
+    echo "installed $name -> $dst"
+done
