@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/rng.h"
+#include "metadata/durable_store.h"
 #include "metadata/query.h"
 #include "metadata/repository.h"
 
@@ -137,6 +138,131 @@ void BM_SaveLoad(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
 }
 BENCHMARK(BM_SaveLoad)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// --- durable store (write-ahead journal + checkpoints) -------------------
+
+/// Removes every file in `dir` so each iteration starts cold.
+void WipeDir(const std::string& dir) {
+  FileSystem* fs = FileSystem::Default();
+  if (!fs->Exists(dir)) return;
+  auto names = fs->ListDir(dir);
+  if (!names.ok()) return;
+  for (const auto& n : names.value()) (void)fs->Remove(JoinPath(dir, n));
+}
+
+LookAtRecord BenchRecord(int f) {
+  LookAtMatrix m(6);
+  m.Set(f % 6, (f + 1) % 6, true);
+  return LookAtRecord::FromMatrix(f, f / 15.25, m);
+}
+
+/// Journal append throughput per fsync policy: the cost of durability
+/// per acknowledged record.
+void BM_JournalAppend(benchmark::State& state) {
+  const std::string dir = "/tmp/dievent_bench_store";
+  JournalOptions jopt;
+  switch (state.range(0)) {
+    case 0:
+      jopt.fsync = FsyncPolicy::kEveryRecord;
+      break;
+    case 1:
+      jopt.fsync = FsyncPolicy::kEveryN;
+      break;
+    default:
+      jopt.fsync = FsyncPolicy::kNever;
+      break;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    WipeDir(dir);
+    DurableStoreOptions opt;
+    opt.journal = jopt;
+    auto store = DurableEventStore::Open(dir, opt);
+    if (!store.ok()) {
+      state.SkipWithError("open failed");
+      break;
+    }
+    state.ResumeTiming();
+    for (int f = 0; f < 1000; ++f) {
+      if (!store.value()->AddLookAt(BenchRecord(f)).ok()) {
+        state.SkipWithError("append failed");
+        break;
+      }
+    }
+    state.PauseTiming();
+    (void)store.value()->Close();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetLabel(state.range(0) == 0   ? "fsync=every"
+                 : state.range(0) == 1 ? "fsync=every32"
+                                       : "fsync=never");
+}
+BENCHMARK(BM_JournalAppend)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/// Checkpoint cost: fold a journal of `range(0)` records into a
+/// snapshot and reset the segments.
+void BM_Checkpoint(benchmark::State& state) {
+  const std::string dir = "/tmp/dievent_bench_store";
+  for (auto _ : state) {
+    state.PauseTiming();
+    WipeDir(dir);
+    DurableStoreOptions opt;
+    opt.journal.fsync = FsyncPolicy::kEveryN;
+    auto store = DurableEventStore::Open(dir, opt);
+    if (!store.ok()) {
+      state.SkipWithError("open failed");
+      break;
+    }
+    for (int f = 0; f < state.range(0); ++f) {
+      (void)store.value()->AddLookAt(BenchRecord(f));
+    }
+    state.ResumeTiming();
+    if (!store.value()->Checkpoint().ok()) {
+      state.SkipWithError("checkpoint failed");
+      break;
+    }
+    state.PauseTiming();
+    (void)store.value()->Close();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Checkpoint)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Recovery (Open) latency: snapshot load + journal replay.
+void BM_Recover(benchmark::State& state) {
+  const std::string dir = "/tmp/dievent_bench_store";
+  WipeDir(dir);
+  {
+    DurableStoreOptions opt;
+    opt.journal.fsync = FsyncPolicy::kNever;
+    auto store = DurableEventStore::Open(dir, opt);
+    if (!store.ok()) {
+      state.SkipWithError("seed open failed");
+      return;
+    }
+    for (int f = 0; f < state.range(0); ++f) {
+      (void)store.value()->AddLookAt(BenchRecord(f));
+      if (f == state.range(0) / 2) (void)store.value()->Checkpoint();
+    }
+    (void)store.value()->Close();
+  }
+  for (auto _ : state) {
+    auto store = DurableEventStore::Open(dir);
+    if (!store.ok()) {
+      state.SkipWithError("recover failed");
+      break;
+    }
+    benchmark::DoNotOptimize(store.value()->recovery().records_replayed);
+    (void)store.value()->Close();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Recover)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
 
 /// Printed scale table: ingest + query latency up to 10^6 records.
 void ScaleReport() {

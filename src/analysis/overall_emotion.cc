@@ -60,4 +60,17 @@ void OverallEmotionEstimator::Reset() {
   has_state_ = false;
 }
 
+void OverallEmotionEstimator::Restore(std::vector<OverallEmotion> timeline) {
+  timeline_ = std::move(timeline);
+  if (timeline_.empty()) {
+    smoothed_happiness_ = 0.0;
+    smoothed_valence_ = 0.0;
+    has_state_ = false;
+    return;
+  }
+  smoothed_happiness_ = timeline_.back().overall_happiness;
+  smoothed_valence_ = timeline_.back().mean_valence;
+  has_state_ = true;
+}
+
 }  // namespace dievent

@@ -60,6 +60,15 @@ class OverallEmotionEstimator {
 
   void Reset();
 
+  /// Restores streaming state for a resumed run. The entries become the
+  /// timeline and the EWMA is seeded from the last one — whose
+  /// `overall_happiness` / `mean_valence` are already the smoothed
+  /// values — so subsequent Update calls produce exactly what an
+  /// uninterrupted run would have. Per-emotion `counts` of restored
+  /// entries are whatever the caller recovered (typically zero; they are
+  /// not persisted). An empty vector is equivalent to Reset().
+  void Restore(std::vector<OverallEmotion> timeline);
+
  private:
   OverallEmotionOptions options_;
   std::vector<OverallEmotion> timeline_;

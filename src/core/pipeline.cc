@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "core/frame_analyzer.h"
 #include "geometry/ray.h"
+#include "metadata/durable_store.h"
 #include "video/acquisition_supervisor.h"
 
 namespace dievent {
@@ -107,6 +108,23 @@ std::string DegradationStats::ToString() const {
         parse_signatures_missing, parse_signatures_interpolated,
         parse_reference_switches);
   }
+  if (deadline_tightened > 0 || deadline_relaxed > 0) {
+    out += StrFormat(
+        "  adaptive deadline: %lld tightened, %lld relaxed transitions\n",
+        deadline_tightened, deadline_relaxed);
+  }
+  if (journal_records > 0 || checkpoints_committed > 0 ||
+      resumed_from_frame >= 0) {
+    out += StrFormat(
+        "  durability: %lld journal records (%lld bytes), %d checkpoints\n",
+        journal_records, journal_bytes, checkpoints_committed);
+  }
+  if (resumed_from_frame >= 0) {
+    out += StrFormat(
+        "  resume: continued after durable frame %d (%d stored frame "
+        "records reused)\n",
+        resumed_from_frame, resume_reused_frames);
+  }
   return out;
 }
 
@@ -176,9 +194,63 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   }
   const int num_cameras = static_cast<int>(cameras.size());
 
-  *repository = MetadataRepository();
-  repository->SetContext(ContextFromScene(scene));
-  repository->set_fps(scene.fps());
+  // --- durable store / resume -------------------------------------------
+  DurableEventStore* const store = options_.store;
+  int resume_after_frame = -1;
+  if (store != nullptr) {
+    if (options_.checkpoint_every_frames < 0) {
+      return Status::InvalidArgument(
+          "checkpoint_every_frames must be >= 0");
+    }
+    DIEVENT_RETURN_NOT_OK(store->broken());
+    const std::vector<LookAtRecord>& durable =
+        store->repository().lookat_records();
+    if (!durable.empty()) resume_after_frame = durable.back().frame;
+    if (resume_after_frame >= 0 && options_.analyze_emotions) {
+      // A frame is committed by its overall-emotion record — the last
+      // record store_frame journals for it. A look-at record past the
+      // last overall record is the partial tail of a crash mid-frame:
+      // durably rewind to the last whole frame so it is reprocessed
+      // complete instead of resumed half-written (which would drop its
+      // remaining records or duplicate the ones already journaled).
+      const std::vector<OverallEmotionRecord>& committed =
+          store->repository().overall_records();
+      const int last_complete =
+          committed.empty() ? -1 : committed.back().frame;
+      if (last_complete < resume_after_frame) {
+        DIEVENT_RETURN_NOT_OK(store->RewindToFrame(last_complete));
+        resume_after_frame = last_complete;
+      }
+    }
+    if (resume_after_frame >= 0) {
+      if (full) {
+        return Status::FailedPrecondition(
+            "durable store already holds frame records; full-vision runs "
+            "cannot resume (tracker state is not checkpointed) — open a "
+            "fresh store directory or resume in ground-truth mode");
+      }
+      if (resume_after_frame % options_.frame_stride != 0) {
+        return Status::FailedPrecondition(StrFormat(
+            "durable frame %d is not aligned to frame_stride %d; the "
+            "store was written by a run with different options",
+            resume_after_frame, options_.frame_stride));
+      }
+    }
+  }
+
+  if (resume_after_frame >= 0) {
+    // Resume: adopt the recovered repository — context, fps, and every
+    // acknowledged record — instead of starting over.
+    *repository = store->repository();
+  } else {
+    *repository = MetadataRepository();
+    repository->SetContext(ContextFromScene(scene));
+    repository->set_fps(scene.fps());
+    if (store != nullptr) {
+      DIEVENT_RETURN_NOT_OK(store->SetContext(repository->context()));
+      DIEVENT_RETURN_NOT_OK(store->SetFps(scene.fps()));
+    }
+  }
 
   DiEventReport report;
   report.summary = LookAtSummary(n);
@@ -304,13 +376,18 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
   int consecutive_below_quorum = 0;
 
   // Repository + overall-emotion writes for one committed frame. Shared
-  // by the full-vision commit stage and the ground-truth loop.
+  // by the full-vision commit stage and the ground-truth loop. With a
+  // durable store attached, every record is journaled before the frame
+  // is acknowledged, and the repository is checkpointed every
+  // `checkpoint_every_frames` committed frames.
+  int frames_since_checkpoint = 0;
   auto store_frame = [&](int f, double t, const LookAtMatrix& lookat,
                          const std::vector<EmotionObservation>& emotions)
       -> Status {
     StageTimer timer(clock, &report.timings.storage);
-    DIEVENT_RETURN_NOT_OK(
-        repository->AddLookAt(LookAtRecord::FromMatrix(f, t, lookat)));
+    const LookAtRecord lar = LookAtRecord::FromMatrix(f, t, lookat);
+    DIEVENT_RETURN_NOT_OK(repository->AddLookAt(lar));
+    if (store != nullptr) DIEVENT_RETURN_NOT_OK(store->AddLookAt(lar));
     if (options_.analyze_emotions) {
       OverallEmotion oe = overall.Update(f, t, emotions);
       for (const EmotionObservation& eo : emotions) {
@@ -322,6 +399,7 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
         er.emotion = *eo.emotion;
         er.confidence = eo.confidence;
         DIEVENT_RETURN_NOT_OK(repository->AddEmotion(er));
+        if (store != nullptr) DIEVENT_RETURN_NOT_OK(store->AddEmotion(er));
       }
       OverallEmotionRecord orec;
       orec.frame = f;
@@ -330,9 +408,54 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       orec.mean_valence = oe.mean_valence;
       orec.observed = oe.observed;
       DIEVENT_RETURN_NOT_OK(repository->AddOverallEmotion(orec));
+      if (store != nullptr) {
+        DIEVENT_RETURN_NOT_OK(store->AddOverallEmotion(orec));
+      }
+    }
+    if (store != nullptr && options_.checkpoint_every_frames > 0 &&
+        ++frames_since_checkpoint >= options_.checkpoint_every_frames) {
+      DIEVENT_RETURN_NOT_OK(store->Checkpoint());
+      frames_since_checkpoint = 0;
     }
     return Status::OK();
   };
+
+  // --- durable resume reconstruction ------------------------------------
+  // Rebuild every piece of streaming state the recovered records cover,
+  // so the ground-truth loop below continues exactly where the dead run
+  // stopped: running look-at summary, overall-emotion EWMA (the stored
+  // values are the smoothed values, so re-seeding reproduces the
+  // uninterrupted timeline bit for bit), and — because parse signatures
+  // are not persisted — re-decoded camera-0 signatures for the already
+  // durable frame positions.
+  int start_frame = 0;
+  if (resume_after_frame >= 0) {
+    start_frame = resume_after_frame + options_.frame_stride;
+    report.summary = repository->Summarize();
+    report.frames_processed =
+        static_cast<int>(repository->lookat_records().size());
+    std::vector<OverallEmotion> timeline;
+    for (const OverallEmotionRecord& r : repository->overall_records()) {
+      OverallEmotion oe;
+      oe.frame = r.frame;
+      oe.timestamp_s = r.timestamp_s;
+      oe.overall_happiness = r.overall_happiness;
+      oe.mean_valence = r.mean_valence;
+      oe.observed = r.observed;
+      timeline.push_back(oe);
+    }
+    overall.Restore(std::move(timeline));
+    if (options_.parse_video) {
+      StageTimer acquire(clock, &report.timings.acquisition);
+      for (int f = 0; f < start_frame && f < scene.num_frames();
+           f += options_.frame_stride) {
+        DIEVENT_ASSIGN_OR_RETURN(VideoFrame vf, parse_source->GetFrame(f));
+        signatures.push_back(signature_maker.Signature(vf.image));
+      }
+    }
+    report.degradation.resumed_from_frame = resume_after_frame;
+    report.degradation.resume_reused_frames = report.frames_processed;
+  }
 
   // --- per-frame loop ----------------------------------------------------
   if (full) {
@@ -680,8 +803,10 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     }
   } else {
     // Ground-truth mode: geometry straight from the simulator; only
-    // camera 0 is decoded, and only for video parsing.
-    for (int f = 0; f < scene.num_frames(); f += options_.frame_stride) {
+    // camera 0 is decoded, and only for video parsing. A durable resume
+    // starts after the last recovered frame instead of frame 0.
+    for (int f = start_frame; f < scene.num_frames();
+         f += options_.frame_stride) {
       const double t = scene.TimeOfFrame(f);
       std::vector<ParticipantState> gt = scene.StateAt(t);
       std::vector<ParticipantGeometry> geometry(n);
@@ -729,6 +854,9 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     report.degradation.parse_signatures_interpolated =
         sparse_info.interpolated + sparse_info.extrapolated;
     repository->SetVideoStructure(report.structure);
+    if (store != nullptr) {
+      DIEVENT_RETURN_NOT_OK(store->SetVideoStructure(report.structure));
+    }
   }
 
   // --- degradation accounting --------------------------------------------
@@ -752,6 +880,12 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
         deg.reader_restarts += reader_stats.restarts;
         deg.max_queue_depth =
             std::max(deg.max_queue_depth, reader_stats.max_queue_depth);
+        const AdaptiveDeadlineController* deadline =
+            multi->supervisor()->deadline_controller(c);
+        if (deadline != nullptr) {
+          deg.deadline_tightened += deadline->tightened();
+          deg.deadline_relaxed += deadline->relaxed();
+        }
       }
       const TimestampResampler::Stats& resync = multi->resampler(c).stats();
       deg.resync_corrections += resync.corrections;
@@ -768,6 +902,23 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
           options_.acquisition.min_camera_quorum, num_cameras,
           deg.frames_skipped));
     }
+  }
+
+  // --- final durable checkpoint ------------------------------------------
+  // Folds everything the run journaled (including the parse structure)
+  // into one snapshot, so a clean exit leaves a compact store.
+  if (store != nullptr) {
+    {
+      StageTimer timer(clock, &report.timings.storage);
+      DIEVENT_RETURN_NOT_OK(store->Checkpoint());
+    }
+    const DurableStoreStats store_stats = store->stats();
+    report.degradation.journal_records =
+        static_cast<long long>(store_stats.records_appended);
+    report.degradation.journal_bytes =
+        static_cast<long long>(store_stats.bytes_appended);
+    report.degradation.checkpoints_committed =
+        static_cast<int>(store_stats.checkpoints);
   }
 
   // --- report ------------------------------------------------------------

@@ -37,6 +37,8 @@
 
 namespace dievent {
 
+class DurableEventStore;
+
 enum class PipelineMode { kFullVision, kGroundTruth };
 
 struct PipelineOptions {
@@ -107,6 +109,19 @@ struct PipelineOptions {
   /// decode + retries + deadline waits overlap analysis. Either this or
   /// num_threads > 1 selects the pipelined executor.
   int prefetch_depth = 0;
+
+  /// Durable persistence (optional; not owned, must outlive the run).
+  /// When set, every record committed by the pipeline is appended to
+  /// this store's write-ahead journal before the frame is acknowledged,
+  /// and the run checkpoints the repository every
+  /// `checkpoint_every_frames` committed frames (plus once at the end).
+  /// If the store already holds frame records — a previous run died —
+  /// a kGroundTruth run resumes after the last durable frame instead of
+  /// starting over; kFullVision refuses to resume (tracker state is not
+  /// checkpointed) but journals fresh runs normally.
+  DurableEventStore* store = nullptr;
+  /// Committed frames between checkpoints; 0 = only the final one.
+  int checkpoint_every_frames = 0;
 
   uint64_t seed = 42;  ///< master seed for training/augmentation
 };
@@ -182,6 +197,17 @@ struct DegradationStats {
   int parse_signatures_missing = 0;       ///< slots no camera could fill
   int parse_signatures_interpolated = 0;  ///< gaps filled before parsing
   int parse_reference_switches = 0;  ///< frames signed by a fallback camera
+
+  // Adaptive read-deadline controller transitions (summed over cameras).
+  long long deadline_tightened = 0;  ///< deadline lowered toward healthy p95
+  long long deadline_relaxed = 0;    ///< deadline backed off after misses
+
+  // Durability (populated when PipelineOptions::store is attached).
+  long long journal_records = 0;  ///< records acknowledged durable
+  long long journal_bytes = 0;    ///< framed journal bytes written
+  int checkpoints_committed = 0;  ///< snapshots folded during the run
+  int resumed_from_frame = -1;    ///< last durable frame resumed after (-1 = fresh)
+  int resume_reused_frames = 0;   ///< frame records recovered, not recomputed
 
   bool Degraded() const {
     return frames_degraded > 0 || frames_skipped > 0;

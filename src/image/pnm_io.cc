@@ -1,6 +1,9 @@
 #include "image/pnm_io.h"
 
+#include <cctype>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 
 #include "common/strings.h"
 
@@ -25,40 +28,46 @@ Status WritePnm(const Image<uint8_t>& image, const std::string& path,
   return Status::OK();
 }
 
-/// Reads one whitespace-delimited token, skipping '#' comments.
-Status NextToken(std::istream& in, std::string* token) {
+/// Reads one whitespace-delimited token, skipping '#' comments. Leaves
+/// `*pos` one past the token's whitespace terminator — the byte where a
+/// binary payload following the final header token begins.
+Status NextToken(std::string_view data, size_t* pos, std::string* token) {
   token->clear();
-  int c;
-  while ((c = in.get()) != EOF) {
-    if (c == '#') {
-      while ((c = in.get()) != EOF && c != '\n') {
-      }
+  size_t i = *pos;
+  while (i < data.size()) {
+    if (data[i] == '#') {
+      while (i < data.size() && data[i] != '\n') ++i;
       continue;
     }
-    if (!std::isspace(c)) break;
+    if (!std::isspace(static_cast<unsigned char>(data[i]))) break;
+    ++i;
   }
-  if (c == EOF) return Status::Corruption("unexpected end of PNM header");
-  do {
-    token->push_back(static_cast<char>(c));
-    c = in.get();
-  } while (c != EOF && !std::isspace(c));
+  if (i >= data.size()) {
+    return Status::Corruption("unexpected end of PNM header");
+  }
+  while (i < data.size() &&
+         !std::isspace(static_cast<unsigned char>(data[i]))) {
+    token->push_back(data[i]);
+    ++i;
+  }
+  *pos = i < data.size() ? i + 1 : i;
   return Status::OK();
 }
 
-Result<Image<uint8_t>> ReadPnm(const std::string& path, const char* magic,
-                               int channels) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
+Result<Image<uint8_t>> ParsePnm(std::string_view data,
+                                const std::string& name, const char* magic,
+                                int channels) {
+  size_t pos = 0;
   std::string tok;
-  DIEVENT_RETURN_NOT_OK(NextToken(in, &tok));
+  DIEVENT_RETURN_NOT_OK(NextToken(data, &pos, &tok));
   if (tok != magic) {
     return Status::Corruption(
         StrFormat("bad magic '%s' in %s (want %s)", tok.c_str(),
-                  path.c_str(), magic));
+                  name.c_str(), magic));
   }
   int dims[3];
   for (int& d : dims) {
-    DIEVENT_RETURN_NOT_OK(NextToken(in, &tok));
+    DIEVENT_RETURN_NOT_OK(NextToken(data, &pos, &tok));
     try {
       d = std::stoi(tok);
     } catch (...) {
@@ -75,15 +84,24 @@ Result<Image<uint8_t>> ReadPnm(const std::string& path, const char* magic,
   if (dims[0] > kMaxDim || dims[1] > kMaxDim) {
     return Status::Corruption(
         StrFormat("implausible PNM dimensions %dx%d in %s", dims[0],
-                  dims[1], path.c_str()));
+                  dims[1], name.c_str()));
   }
   Image<uint8_t> img(dims[0], dims[1], channels);
-  in.read(reinterpret_cast<char*>(img.data().data()),
-          static_cast<std::streamsize>(img.size()));
-  if (in.gcount() != static_cast<std::streamsize>(img.size())) {
-    return Status::Corruption("truncated PNM payload: " + path);
+  if (data.size() - pos < img.size()) {
+    return Status::Corruption("truncated PNM payload: " + name);
   }
+  std::memcpy(img.data().data(), data.data() + pos, img.size());
   return img;
+}
+
+Result<Image<uint8_t>> ReadPnm(const std::string& path, const char* magic,
+                               int channels) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return ParsePnm(data, path, magic, channels);
 }
 
 }  // namespace
@@ -102,6 +120,14 @@ Result<ImageU8> ReadPgm(const std::string& path) {
 
 Result<ImageRgb> ReadPpm(const std::string& path) {
   return ReadPnm(path, "P6", 3);
+}
+
+Result<ImageU8> ParsePgm(std::string_view data, const std::string& name) {
+  return ParsePnm(data, name, "P5", 1);
+}
+
+Result<ImageRgb> ParsePpm(std::string_view data, const std::string& name) {
+  return ParsePnm(data, name, "P6", 3);
 }
 
 }  // namespace dievent

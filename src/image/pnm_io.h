@@ -9,6 +9,7 @@
 #define DIEVENT_IMAGE_PNM_IO_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "image/image.h"
@@ -26,6 +27,14 @@ Result<ImageU8> ReadPgm(const std::string& path);
 
 /// Reads a binary PPM into a 3-channel image.
 Result<ImageRgb> ReadPpm(const std::string& path);
+
+/// Parses a binary PGM from an in-memory buffer. `name` appears in
+/// error messages (typically the originating path). Lets callers that
+/// read bytes through an injectable FileSystem reuse the real decoder.
+Result<ImageU8> ParsePgm(std::string_view data, const std::string& name);
+
+/// Parses a binary PPM from an in-memory buffer.
+Result<ImageRgb> ParsePpm(std::string_view data, const std::string& name);
 
 }  // namespace dievent
 

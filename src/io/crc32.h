@@ -1,0 +1,43 @@
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to frame journal
+/// records and checksum snapshot sections. Table-driven, byte at a time:
+/// plenty fast for metadata-sized payloads and trivially portable.
+
+#ifndef DIEVENT_IO_CRC32_H_
+#define DIEVENT_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dievent {
+
+/// Extends a running CRC-32 with `n` bytes. Start from `Crc32(data, n)`
+/// or chain with `Crc32Extend(crc, more, n)`.
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC-32 of a buffer.
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Extend(0, data, n);
+}
+
+inline uint32_t Crc32(std::string_view s) {
+  return Crc32(s.data(), s.size());
+}
+
+/// Masked CRC in the spirit of the LevelDB log format: storing the CRC
+/// of a payload *next to* that payload invites accidental matches when
+/// the file itself contains embedded CRCs. The mask is a rotation plus
+/// an additive constant; `Crc32Unmask` inverts it.
+inline uint32_t Crc32Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t Crc32Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace dievent
+
+#endif  // DIEVENT_IO_CRC32_H_

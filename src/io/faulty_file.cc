@@ -1,0 +1,266 @@
+#include "io/faulty_file.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dievent {
+
+namespace {
+
+// splitmix64 finalizer, matching the FaultSpec hashing idiom: every
+// fault decision is a pure function of its inputs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double HashUniform(uint64_t seed, long long op, uint64_t salt) {
+  uint64_t h = Mix(seed ^ Mix(static_cast<uint64_t>(op) ^ salt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kWriteErrSalt = 0xe10u;
+constexpr uint64_t kShortWriteSalt = 0x5077u;
+constexpr uint64_t kSyncErrSalt = 0xf5f5u;
+constexpr uint64_t kReadErrSalt = 0x4ead0u;
+constexpr uint64_t kShortReadSalt = 0x54eadu;
+constexpr uint64_t kFractionSalt = 0xf4acu;
+
+}  // namespace
+
+bool FileFaultSpec::ShouldFailWrite(long long op) const {
+  if (write_error_probability <= 0) return false;
+  return HashUniform(seed, op, kWriteErrSalt) < write_error_probability;
+}
+
+bool FileFaultSpec::ShouldShortWrite(long long op) const {
+  if (short_write_probability <= 0) return false;
+  return HashUniform(seed, op, kShortWriteSalt) < short_write_probability;
+}
+
+bool FileFaultSpec::ShouldFailSync(long long op) const {
+  if (sync_error_probability <= 0) return false;
+  return HashUniform(seed, op, kSyncErrSalt) < sync_error_probability;
+}
+
+bool FileFaultSpec::ShouldFailRead(long long op) const {
+  if (read_error_probability <= 0) return false;
+  return HashUniform(seed, op, kReadErrSalt) < read_error_probability;
+}
+
+bool FileFaultSpec::ShouldShortRead(long long op) const {
+  if (short_read_probability <= 0) return false;
+  return HashUniform(seed, op, kShortReadSalt) < short_read_probability;
+}
+
+double FileFaultSpec::ShortFraction(long long op) const {
+  return HashUniform(seed, op, kFractionSalt);
+}
+
+// Defined at namespace scope (not anonymous) so the friend declaration
+// in FaultyFileSystem matches.
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultyFileSystem* parent,
+                     std::unique_ptr<WritableFile> base, std::string path)
+      : parent_(parent), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultyFileSystem* parent_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+Status FaultyFileSystem::CheckAlive(const char* op) const {
+  if (counters_.crashed) {
+    return Status::IoError(
+        StrFormat("injected crash: %s after writer death", op));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyFileSystem::OpenForAppend(
+    const std::string& path) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("open"));
+  DIEVENT_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                           base_->OpenForAppend(path));
+  FileState& state = files_[path];
+  if (base_->Exists(path)) {
+    auto size = base_->FileSize(path);
+    if (size.ok()) {
+      state.size = size.value();
+      // Pre-existing bytes are assumed durable; only bytes written
+      // through this wrapper participate in the power-cut model.
+      state.synced = std::max(state.synced, state.size);
+    }
+  }
+  return std::unique_ptr<WritableFile>(
+      new FaultyWritableFile(this, std::move(base), path));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyFileSystem::OpenForWrite(
+    const std::string& path) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("open"));
+  DIEVENT_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                           base_->OpenForWrite(path));
+  files_[path] = FileState{};
+  return std::unique_ptr<WritableFile>(
+      new FaultyWritableFile(this, std::move(base), path));
+}
+
+namespace {
+
+Status InjectedIo(const char* what, const std::string& path) {
+  return Status::IoError(StrFormat("injected %s: %s", what, path.c_str()));
+}
+
+}  // namespace
+
+Status FaultyWritableFile::Append(std::string_view data) {
+  DIEVENT_RETURN_NOT_OK(parent_->CheckAlive("append"));
+  FaultyFileSystem::Counters& c = parent_->counters_;
+  const FileFaultSpec& spec = parent_->spec_;
+  const long long op = parent_->write_ops_++;
+  ++c.appends;
+
+  // Torn write at an exact global byte: the budget cuts this append.
+  if (spec.crash_after_bytes >= 0 &&
+      parent_->bytes_appended_ + static_cast<long long>(data.size()) >
+          spec.crash_after_bytes) {
+    size_t keep = static_cast<size_t>(
+        std::max<long long>(0, spec.crash_after_bytes -
+                                   parent_->bytes_appended_));
+    Status torn = base_->Append(data.substr(0, keep));
+    parent_->bytes_appended_ += static_cast<long long>(keep);
+    parent_->files_[path_].size += keep;
+    c.crashed = true;
+    if (!torn.ok()) return torn;
+    return InjectedIo("power loss (torn write)", path_);
+  }
+
+  if (spec.ShouldFailWrite(op)) {
+    ++c.injected_write_errors;
+    return InjectedIo("EIO on write", path_);
+  }
+  if (spec.ShouldShortWrite(op) && !data.empty()) {
+    size_t keep = static_cast<size_t>(spec.ShortFraction(op) *
+                                      static_cast<double>(data.size()));
+    Status partial = base_->Append(data.substr(0, keep));
+    parent_->bytes_appended_ += static_cast<long long>(keep);
+    parent_->files_[path_].size += keep;
+    ++c.injected_short_writes;
+    if (!partial.ok()) return partial;
+    return InjectedIo("short write", path_);
+  }
+
+  DIEVENT_RETURN_NOT_OK(base_->Append(data));
+  parent_->bytes_appended_ += static_cast<long long>(data.size());
+  parent_->files_[path_].size += data.size();
+  return Status::OK();
+}
+
+Status FaultyWritableFile::Sync() {
+  DIEVENT_RETURN_NOT_OK(parent_->CheckAlive("fsync"));
+  const long long op = parent_->sync_ops_++;
+  if (parent_->spec_.ShouldFailSync(op)) {
+    ++parent_->counters_.injected_sync_errors;
+    return InjectedIo("fsync failure", path_);
+  }
+  DIEVENT_RETURN_NOT_OK(base_->Sync());
+  FaultyFileSystem::FileState& state = parent_->files_[path_];
+  state.synced = state.size;
+  return Status::OK();
+}
+
+Result<std::string> FaultyFileSystem::ReadFile(const std::string& path) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("read"));
+  const long long op = read_ops_++;
+  if (spec_.ShouldFailRead(op)) {
+    ++counters_.injected_read_errors;
+    return InjectedIo("EIO on read", path);
+  }
+  DIEVENT_ASSIGN_OR_RETURN(std::string data, base_->ReadFile(path));
+  if (spec_.ShouldShortRead(op) && !data.empty()) {
+    ++counters_.injected_short_reads;
+    data.resize(static_cast<size_t>(spec_.ShortFraction(op) *
+                                    static_cast<double>(data.size())));
+  }
+  return data;
+}
+
+Result<uint64_t> FaultyFileSystem::FileSize(const std::string& path) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("stat"));
+  return base_->FileSize(path);
+}
+
+Status FaultyFileSystem::Rename(const std::string& from,
+                                const std::string& to) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("rename"));
+  DIEVENT_RETURN_NOT_OK(base_->Rename(from, to));
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultyFileSystem::Remove(const std::string& path) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("remove"));
+  DIEVENT_RETURN_NOT_OK(base_->Remove(path));
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultyFileSystem::Truncate(const std::string& path, uint64_t size) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("truncate"));
+  DIEVENT_RETURN_NOT_OK(base_->Truncate(path, size));
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.size = std::min(it->second.size, size);
+    it->second.synced = std::min(it->second.synced, size);
+  }
+  return Status::OK();
+}
+
+Status FaultyFileSystem::CreateDir(const std::string& path) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("mkdir"));
+  return base_->CreateDir(path);
+}
+
+bool FaultyFileSystem::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+Result<std::vector<std::string>> FaultyFileSystem::ListDir(
+    const std::string& dir) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("listdir"));
+  return base_->ListDir(dir);
+}
+
+Status FaultyFileSystem::SyncDir(const std::string& dir) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("fsync dir"));
+  return base_->SyncDir(dir);
+}
+
+Status FaultyFileSystem::LoseUnsyncedData() {
+  // Runs on the base filesystem: the faulty layer may already be
+  // "dead", but the simulated power cut must still take effect.
+  for (auto& [path, state] : files_) {
+    if (!base_->Exists(path)) continue;
+    if (state.size > state.synced) {
+      DIEVENT_RETURN_NOT_OK(base_->Truncate(path, state.synced));
+      state.size = state.synced;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dievent

@@ -1,0 +1,140 @@
+/// \file faulty_file.h
+/// Deterministic storage fault injection — the disk-side sibling of the
+/// camera-side FaultSpec (video/fault_injection.h).
+///
+/// FaultyFileSystem wraps any FileSystem and injects seeded short
+/// writes, torn writes at an exact byte, EIO, fsync failures, and
+/// power-cut truncation of unsynced bytes. Random faults are a pure
+/// function of (seed, operation index, salt), so every drill is
+/// bit-for-bit reproducible from its spec.
+///
+/// Crash model: once `crash_after_bytes` total appended bytes are
+/// reached, the write in flight is torn at exactly that byte and every
+/// subsequent filesystem operation fails — the process is "dead", the
+/// disk unreachable. A drill then either reopens the directory as-is
+/// (process kill: OS buffers survive) or calls LoseUnsyncedData() first
+/// (power cut: everything not fsynced is gone).
+
+#ifndef DIEVENT_IO_FAULTY_FILE_H_
+#define DIEVENT_IO_FAULTY_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "io/file.h"
+
+namespace dievent {
+
+/// The fault schedule for one FaultyFileSystem. Default = no faults.
+struct FileFaultSpec {
+  /// Seed for the random components; equal specs inject identically.
+  uint64_t seed = 1;
+
+  /// Per-append probability of failing with EIO, nothing written.
+  double write_error_probability = 0.0;
+
+  /// Per-append probability of a short write: a seeded strict prefix
+  /// reaches the file, then the append fails with EIO.
+  double short_write_probability = 0.0;
+
+  /// Per-fsync probability of failure (bytes stay unsynced).
+  double sync_error_probability = 0.0;
+
+  /// Per-read probability that ReadFile fails with EIO.
+  double read_error_probability = 0.0;
+
+  /// Per-read probability that ReadFile returns a seeded truncation of
+  /// the real contents — a torn read that real decoders must survive.
+  double short_read_probability = 0.0;
+
+  /// Total appended bytes after which the writer "dies": the append in
+  /// flight is torn at exactly this global byte count and all later
+  /// operations fail. -1 = never.
+  long long crash_after_bytes = -1;
+
+  bool HasFaults() const {
+    return write_error_probability > 0 || short_write_probability > 0 ||
+           sync_error_probability > 0 || read_error_probability > 0 ||
+           short_read_probability > 0 || crash_after_bytes >= 0;
+  }
+
+  /// Seeded draws, pure functions of (seed, op index).
+  bool ShouldFailWrite(long long op) const;
+  bool ShouldShortWrite(long long op) const;
+  bool ShouldFailSync(long long op) const;
+  bool ShouldFailRead(long long op) const;
+  bool ShouldShortRead(long long op) const;
+  /// Fraction in [0, 1) of the data that survives a short write/read.
+  double ShortFraction(long long op) const;
+};
+
+/// FileSystem decorator injecting the faults described by a
+/// FileFaultSpec. Tracks synced vs unsynced bytes per file so a power
+/// cut can be simulated faithfully. Single-threaded, like the
+/// durability layer it tests.
+class FaultyFileSystem : public FileSystem {
+ public:
+  /// Lifetime tallies for assertions.
+  struct Counters {
+    long long appends = 0;
+    long long injected_write_errors = 0;
+    long long injected_short_writes = 0;
+    long long injected_sync_errors = 0;
+    long long injected_read_errors = 0;
+    long long injected_short_reads = 0;
+    bool crashed = false;
+  };
+
+  FaultyFileSystem(FileSystem* base, FileFaultSpec spec)
+      : base_(base), spec_(spec) {}
+
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+
+  /// Simulates power loss: every file written through this wrapper is
+  /// truncated (via the base filesystem) to its last successfully
+  /// fsynced size. Call between a crash and the recovery reopen.
+  Status LoseUnsyncedData();
+
+  /// Total bytes appended through this wrapper so far.
+  long long bytes_appended() const { return bytes_appended_; }
+  bool crashed() const { return counters_.crashed; }
+  const Counters& counters() const { return counters_; }
+  const FileFaultSpec& spec() const { return spec_; }
+
+ private:
+  friend class FaultyWritableFile;
+
+  struct FileState {
+    uint64_t size = 0;    ///< bytes that reached the base file
+    uint64_t synced = 0;  ///< bytes guaranteed durable (last fsync)
+  };
+
+  Status CheckAlive(const char* op) const;
+
+  FileSystem* base_;
+  FileFaultSpec spec_;
+  Counters counters_;
+  long long bytes_appended_ = 0;
+  long long write_ops_ = 0;
+  long long sync_ops_ = 0;
+  long long read_ops_ = 0;
+  std::map<std::string, FileState> files_;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_IO_FAULTY_FILE_H_

@@ -1,0 +1,64 @@
+/// \file fsck.h
+/// Scrub / verify / repair for a DurableEventStore directory.
+///
+/// Verify mode (`repair = false`) reads every byte of the snapshot and
+/// journal — section CRCs, frame CRCs, payload decode, sequence
+/// continuity — and reports problems without touching the disk.
+///
+/// Repair mode additionally applies the safe subset of fixes:
+///   - stray checkpoint temp files are removed
+///   - a torn journal tail is truncated to its valid prefix
+///   - a mid-stream corrupt segment is truncated at the damage and all
+///     later segments (now unreachable past the sequence break) are
+///     quarantined to `<name>.corrupt`
+///   - a corrupt snapshot is quarantined and replaced by an empty one
+///     anchored at the journal's first sequence, so the surviving
+///     journal records still replay (checkpointed state before them is
+///     reported as lost, never silently resurrected)
+/// and finally verifies the repaired directory by opening it as a
+/// DurableEventStore.
+
+#ifndef DIEVENT_METADATA_FSCK_H_
+#define DIEVENT_METADATA_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/journal.h"
+
+namespace dievent {
+
+struct FsckOptions {
+  bool repair = false;
+  /// Journal options used for the post-repair verification open.
+  JournalOptions journal;
+};
+
+struct FsckReport {
+  bool snapshot_present = false;
+  bool snapshot_ok = false;
+  uint64_t snapshot_sequence = 0;
+  uint64_t journal_segments = 0;
+  uint64_t journal_records = 0;  ///< structurally valid records scanned
+  /// Human-readable findings; empty => the store is clean.
+  std::vector<std::string> problems;
+  /// Repairs applied (repair mode only).
+  std::vector<std::string> repairs;
+  /// Repair mode: the repaired directory reopened cleanly.
+  bool verified = false;
+
+  bool clean() const { return problems.empty(); }
+  std::string ToString() const;
+};
+
+/// Scrubs the store directory `dir`. Returns a non-OK Status only for
+/// environmental failures (directory missing, unreadable files);
+/// corruption findings land in the report.
+Result<FsckReport> RunFsck(FileSystem* fs, const std::string& dir,
+                           const FsckOptions& options = {});
+
+}  // namespace dievent
+
+#endif  // DIEVENT_METADATA_FSCK_H_

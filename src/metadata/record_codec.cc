@@ -1,0 +1,156 @@
+#include "metadata/record_codec.h"
+
+#include "common/emotion.h"
+#include "common/strings.h"
+
+namespace dievent {
+
+void EncodeLookAt(const LookAtRecord& r, std::string* out) {
+  BinWriter w(out);
+  w.I32(r.frame);
+  w.F64(r.timestamp_s);
+  w.I32(r.n);
+  w.Bytes(r.cells);
+}
+
+Status DecodeLookAt(BinReader* in, LookAtRecord* out) {
+  out->frame = in->I32();
+  out->timestamp_s = in->F64();
+  out->n = in->I32();
+  out->cells = in->Bytes();
+  if (!in->ok()) return Status::Corruption("truncated look-at record");
+  if (out->n < 0 ||
+      out->cells.size() !=
+          static_cast<size_t>(out->n) * static_cast<size_t>(out->n)) {
+    return Status::Corruption("malformed look-at record");
+  }
+  return Status::OK();
+}
+
+void EncodeEmotion(const EmotionRecord& r, std::string* out) {
+  BinWriter w(out);
+  w.I32(r.frame);
+  w.F64(r.timestamp_s);
+  w.I32(r.participant);
+  w.I32(static_cast<int32_t>(r.emotion));
+  w.F64(r.confidence);
+}
+
+Status DecodeEmotion(BinReader* in, EmotionRecord* out) {
+  out->frame = in->I32();
+  out->timestamp_s = in->F64();
+  out->participant = in->I32();
+  int32_t e = in->I32();
+  out->confidence = in->F64();
+  if (!in->ok()) return Status::Corruption("truncated emotion record");
+  if (e < 0 || e >= kNumEmotions) {
+    return Status::Corruption(StrFormat("invalid emotion id %d", e));
+  }
+  out->emotion = static_cast<Emotion>(e);
+  return Status::OK();
+}
+
+void EncodeOverallEmotion(const OverallEmotionRecord& r, std::string* out) {
+  BinWriter w(out);
+  w.I32(r.frame);
+  w.F64(r.timestamp_s);
+  w.F64(r.overall_happiness);
+  w.F64(r.mean_valence);
+  w.I32(r.observed);
+}
+
+Status DecodeOverallEmotion(BinReader* in, OverallEmotionRecord* out) {
+  out->frame = in->I32();
+  out->timestamp_s = in->F64();
+  out->overall_happiness = in->F64();
+  out->mean_valence = in->F64();
+  out->observed = in->I32();
+  if (!in->ok()) {
+    return Status::Corruption("truncated overall-emotion record");
+  }
+  return Status::OK();
+}
+
+void EncodeContext(const EventContext& ctx, std::string* out) {
+  BinWriter w(out);
+  w.Str(ctx.event_id);
+  w.Str(ctx.location);
+  w.Str(ctx.date);
+  w.Str(ctx.occasion);
+  w.U32(static_cast<uint32_t>(ctx.menu.size()));
+  for (const auto& m : ctx.menu) w.Str(m);
+  w.F64(ctx.temperature_c);
+  w.I32(ctx.num_participants);
+  w.U32(static_cast<uint32_t>(ctx.participant_names.size()));
+  for (const auto& nm : ctx.participant_names) w.Str(nm);
+  w.U32(static_cast<uint32_t>(ctx.relations.size()));
+  for (const auto& rel : ctx.relations) {
+    w.I32(rel.a);
+    w.I32(rel.b);
+    w.Str(rel.relation);
+  }
+}
+
+Status DecodeContext(BinReader* in, EventContext* out) {
+  EventContext ctx;
+  ctx.event_id = in->Str();
+  ctx.location = in->Str();
+  ctx.date = in->Str();
+  ctx.occasion = in->Str();
+  uint32_t n_menu = in->U32();
+  for (uint32_t i = 0; i < n_menu && in->ok(); ++i) {
+    ctx.menu.push_back(in->Str());
+  }
+  ctx.temperature_c = in->F64();
+  ctx.num_participants = in->I32();
+  uint32_t n_names = in->U32();
+  for (uint32_t i = 0; i < n_names && in->ok(); ++i) {
+    ctx.participant_names.push_back(in->Str());
+  }
+  uint32_t n_rel = in->U32();
+  for (uint32_t i = 0; i < n_rel && in->ok(); ++i) {
+    SocialRelation rel;
+    rel.a = in->I32();
+    rel.b = in->I32();
+    rel.relation = in->Str();
+    ctx.relations.push_back(std::move(rel));
+  }
+  if (!in->ok()) return Status::Corruption("truncated event context");
+  *out = std::move(ctx);
+  return Status::OK();
+}
+
+void EncodeShots(const std::vector<StoredShot>& shots, int num_scenes,
+                 std::string* out) {
+  BinWriter w(out);
+  w.U32(static_cast<uint32_t>(shots.size()));
+  w.I32(num_scenes);
+  for (const auto& s : shots) {
+    w.I32(s.begin_frame);
+    w.I32(s.end_frame);
+    w.I32(s.scene_index);
+    w.Ints(s.key_frames);
+  }
+}
+
+Status DecodeShots(BinReader* in, std::vector<StoredShot>* shots,
+                   int* num_scenes) {
+  uint32_t n_shots = in->U32();
+  *num_scenes = in->I32();
+  if (!in->ok() || n_shots > (64u << 20)) {
+    return Status::Corruption("truncated shot table");
+  }
+  shots->clear();
+  for (uint32_t i = 0; i < n_shots && in->ok(); ++i) {
+    StoredShot s;
+    s.begin_frame = in->I32();
+    s.end_frame = in->I32();
+    s.scene_index = in->I32();
+    s.key_frames = in->Ints();
+    shots->push_back(std::move(s));
+  }
+  if (!in->ok()) return Status::Corruption("truncated shot table");
+  return Status::OK();
+}
+
+}  // namespace dievent

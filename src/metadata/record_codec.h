@@ -1,0 +1,164 @@
+/// \file record_codec.h
+/// Bounds-checked binary encoding of repository records, shared by the
+/// snapshot format (repository.cc) and the write-ahead journal
+/// (durable_store.cc) so one record has exactly one byte layout.
+
+#ifndef DIEVENT_METADATA_RECORD_CODEC_H_
+#define DIEVENT_METADATA_RECORD_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/layers.h"
+#include "common/result.h"
+#include "metadata/records.h"
+
+namespace dievent {
+
+/// Appends little-endian fields to a std::string.
+class BinWriter {
+ public:
+  explicit BinWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Bytes(const std::vector<uint8_t>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    Raw(v.data(), v.size());
+  }
+  void Ints(const std::vector<int>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (int x : v) I32(x);
+  }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    out_->append(static_cast<const char*>(p), n);
+  }
+  std::string* out_;
+};
+
+/// Reads little-endian fields from a buffer. Out-of-bounds or absurd
+/// field lengths flip ok() to false and make every later read return
+/// zero values — callers check ok() once at the end of a parse.
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  size_t offset() const { return pos_; }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (!Check(n)) return {};
+    std::string s(n, '\0');
+    Raw(s.data(), n);
+    return ok_ ? s : std::string();
+  }
+  std::vector<uint8_t> Bytes() {
+    uint32_t n = U32();
+    if (!Check(n)) return {};
+    std::vector<uint8_t> v(n);
+    Raw(v.data(), n);
+    return ok_ ? v : std::vector<uint8_t>();
+  }
+  std::vector<int> Ints() {
+    uint32_t n = U32();
+    if (!Check(n)) return {};
+    std::vector<int> v(n);
+    for (uint32_t i = 0; i < n && ok_; ++i) v[i] = I32();
+    return ok_ ? v : std::vector<int>();
+  }
+  /// A raw sub-span of `n` bytes (for nested, checksummed sections).
+  std::string_view Span(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  bool Check(uint32_t n) {
+    // Field-length sanity: a corrupt length must never trigger a
+    // multi-gigabyte allocation.
+    if (n > (64u << 20)) ok_ = false;
+    return ok_;
+  }
+  void Raw(void* p, size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- per-record encode/decode -------------------------------------------
+// Decoders validate shape (matrix cell counts, emotion ids) and return
+// Corruption with the offending detail, never a malformed record.
+
+void EncodeLookAt(const LookAtRecord& r, std::string* out);
+Status DecodeLookAt(BinReader* in, LookAtRecord* out);
+
+void EncodeEmotion(const EmotionRecord& r, std::string* out);
+Status DecodeEmotion(BinReader* in, EmotionRecord* out);
+
+void EncodeOverallEmotion(const OverallEmotionRecord& r, std::string* out);
+Status DecodeOverallEmotion(BinReader* in, OverallEmotionRecord* out);
+
+void EncodeContext(const EventContext& ctx, std::string* out);
+Status DecodeContext(BinReader* in, EventContext* out);
+
+void EncodeShots(const std::vector<StoredShot>& shots, int num_scenes,
+                 std::string* out);
+Status DecodeShots(BinReader* in, std::vector<StoredShot>* shots,
+                   int* num_scenes);
+
+}  // namespace dievent
+
+#endif  // DIEVENT_METADATA_RECORD_CODEC_H_

@@ -2,107 +2,54 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <fstream>
+#include <utility>
 
 #include "common/strings.h"
+#include "io/crc32.h"
+#include "io/file.h"
+#include "metadata/record_codec.h"
 
 namespace dievent {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x444D5231;  // "DMR1"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMagicV1 = 0x444D5231;  // "DMR1": legacy, unchecksummed
+constexpr uint32_t kMagicV2 = 0x444D5232;  // "DMR2": per-section CRC32
+constexpr uint32_t kVersionV2 = 2;
 
-// --- little binary writer/reader helpers -------------------------------
-
-class Writer {
- public:
-  explicit Writer(std::ostream* out) : out_(out) {}
-
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void I32(int32_t v) { Raw(&v, sizeof(v)); }
-  void F64(double v) { Raw(&v, sizeof(v)); }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    Raw(s.data(), s.size());
-  }
-  void Bytes(const std::vector<uint8_t>& v) {
-    U32(static_cast<uint32_t>(v.size()));
-    Raw(v.data(), v.size());
-  }
-  void Ints(const std::vector<int>& v) {
-    U32(static_cast<uint32_t>(v.size()));
-    for (int x : v) I32(x);
-  }
-
- private:
-  void Raw(const void* p, size_t n) {
-    out_->write(static_cast<const char*>(p),
-                static_cast<std::streamsize>(n));
-  }
-  std::ostream* out_;
+// Version-2 section identifiers. Each section is framed as
+// [u8 id][u32 payload length][u32 masked crc32][payload]; the file ends
+// with an empty kSectionEnd.
+enum : uint8_t {
+  kSectionEnd = 0,
+  kSectionContext = 1,
+  kSectionFps = 2,
+  kSectionLookAt = 3,
+  kSectionEmotions = 4,
+  kSectionOverall = 5,
+  kSectionShots = 6,
 };
 
-class Reader {
- public:
-  explicit Reader(std::istream* in) : in_(in) {}
+const char* SectionName(uint8_t id) {
+  switch (id) {
+    case kSectionContext: return "context";
+    case kSectionFps: return "fps";
+    case kSectionLookAt: return "look-at";
+    case kSectionEmotions: return "emotions";
+    case kSectionOverall: return "overall-emotion";
+    case kSectionShots: return "shots";
+    default: return "unknown";
+  }
+}
 
-  bool ok() const { return ok_ && in_->good(); }
-
-  uint32_t U32() {
-    uint32_t v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  int32_t I32() {
-    int32_t v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  double F64() {
-    double v = 0;
-    Raw(&v, sizeof(v));
-    return v;
-  }
-  std::string Str() {
-    uint32_t n = U32();
-    if (!Check(n)) return {};
-    std::string s(n, '\0');
-    Raw(s.data(), n);
-    return s;
-  }
-  std::vector<uint8_t> Bytes() {
-    uint32_t n = U32();
-    if (!Check(n)) return {};
-    std::vector<uint8_t> v(n);
-    Raw(v.data(), n);
-    return v;
-  }
-  std::vector<int> Ints() {
-    uint32_t n = U32();
-    if (!Check(n)) return {};
-    std::vector<int> v(n);
-    for (uint32_t i = 0; i < n; ++i) v[i] = I32();
-    return v;
-  }
-
- private:
-  bool Check(uint32_t n) {
-    // Field-length sanity: refuse absurd sizes so a corrupt file cannot
-    // trigger a multi-gigabyte allocation.
-    if (n > (64u << 20)) {
-      ok_ = false;
-      return false;
-    }
-    return true;
-  }
-  void Raw(void* p, size_t n) {
-    in_->read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-    if (in_->gcount() != static_cast<std::streamsize>(n)) ok_ = false;
-  }
-  std::istream* in_;
-  bool ok_ = true;
-};
+void AppendSection(uint8_t id, const std::string& payload,
+                   std::string* out) {
+  BinWriter w(out);
+  w.U8(id);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.U32(Crc32Mask(Crc32(payload.data(), payload.size())));
+  out->append(payload);
+}
 
 }  // namespace
 
@@ -152,6 +99,12 @@ void MetadataRepository::SetVideoStructure(const VideoStructure& structure) {
       shots_.push_back(std::move(s));
     }
   }
+}
+
+void MetadataRepository::SetStoredShots(std::vector<StoredShot> shots,
+                                        int num_scenes) {
+  shots_ = std::move(shots);
+  num_scenes_ = num_scenes;
 }
 
 Result<int> MetadataRepository::FindLookAtIndex(int frame) const {
@@ -240,155 +193,232 @@ std::vector<EyeContactEpisode> MetadataRepository::EyeContactEpisodes(
 }
 
 Status MetadataRepository::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  Writer w(&out);
-  w.U32(kMagic);
-  w.U32(kVersion);
+  return Save(FileSystem::Default(), path, 0);
+}
 
-  // Context.
-  w.Str(context_.event_id);
-  w.Str(context_.location);
-  w.Str(context_.date);
-  w.Str(context_.occasion);
-  w.U32(static_cast<uint32_t>(context_.menu.size()));
-  for (const auto& m : context_.menu) w.Str(m);
-  w.F64(context_.temperature_c);
-  w.I32(context_.num_participants);
-  w.U32(static_cast<uint32_t>(context_.participant_names.size()));
-  for (const auto& nm : context_.participant_names) w.Str(nm);
-  w.U32(static_cast<uint32_t>(context_.relations.size()));
-  for (const auto& rel : context_.relations) {
-    w.I32(rel.a);
-    w.I32(rel.b);
-    w.Str(rel.relation);
+Status MetadataRepository::Save(FileSystem* fs, const std::string& path,
+                                uint64_t last_sequence) const {
+  std::string data;
+  {
+    BinWriter w(&data);
+    w.U32(kMagicV2);
+    w.U32(kVersionV2);
+    w.U64(last_sequence);
+    w.U32(Crc32Mask(Crc32(data.data(), data.size())));
   }
 
-  w.F64(fps_);
+  std::string payload;
+  EncodeContext(context_, &payload);
+  AppendSection(kSectionContext, payload, &data);
 
-  w.U32(static_cast<uint32_t>(lookat_.size()));
-  for (const auto& r : lookat_) {
-    w.I32(r.frame);
-    w.F64(r.timestamp_s);
-    w.I32(r.n);
-    w.Bytes(r.cells);
+  payload.clear();
+  BinWriter(&payload).F64(fps_);
+  AppendSection(kSectionFps, payload, &data);
+
+  payload.clear();
+  BinWriter(&payload).U32(static_cast<uint32_t>(lookat_.size()));
+  for (const auto& r : lookat_) EncodeLookAt(r, &payload);
+  AppendSection(kSectionLookAt, payload, &data);
+
+  payload.clear();
+  BinWriter(&payload).U32(static_cast<uint32_t>(emotions_.size()));
+  for (const auto& r : emotions_) EncodeEmotion(r, &payload);
+  AppendSection(kSectionEmotions, payload, &data);
+
+  payload.clear();
+  BinWriter(&payload).U32(static_cast<uint32_t>(overall_.size()));
+  for (const auto& r : overall_) EncodeOverallEmotion(r, &payload);
+  AppendSection(kSectionOverall, payload, &data);
+
+  payload.clear();
+  EncodeShots(shots_, num_scenes_, &payload);
+  AppendSection(kSectionShots, payload, &data);
+
+  AppendSection(kSectionEnd, std::string(), &data);
+  return AtomicWriteFile(fs, path, data);
+}
+
+namespace {
+
+/// Legacy v1 body (everything after magic+version): the exact field
+/// sequence the codec encoders use, with no checksums.
+Result<MetadataRepository> LoadV1Body(BinReader* r,
+                                      const std::string& path) {
+  MetadataRepository repo;
+  EventContext ctx;
+  DIEVENT_RETURN_NOT_OK(DecodeContext(r, &ctx));
+  repo.SetContext(std::move(ctx));
+  repo.set_fps(r->F64());
+
+  uint32_t n_look = r->U32();
+  for (uint32_t i = 0; i < n_look && r->ok(); ++i) {
+    LookAtRecord rec;
+    Status s = DecodeLookAt(r, &rec);
+    if (!s.ok()) {
+      return Status::Corruption(s.message() + " in " + path);
+    }
+    DIEVENT_RETURN_NOT_OK(repo.AddLookAt(std::move(rec)));
   }
-  w.U32(static_cast<uint32_t>(emotions_.size()));
-  for (const auto& r : emotions_) {
-    w.I32(r.frame);
-    w.F64(r.timestamp_s);
-    w.I32(r.participant);
-    w.I32(static_cast<int32_t>(r.emotion));
-    w.F64(r.confidence);
+  uint32_t n_emo = r->U32();
+  for (uint32_t i = 0; i < n_emo && r->ok(); ++i) {
+    EmotionRecord rec;
+    Status s = DecodeEmotion(r, &rec);
+    if (!s.ok()) {
+      return Status::Corruption(s.message() + " in " + path);
+    }
+    DIEVENT_RETURN_NOT_OK(repo.AddEmotion(rec));
   }
-  w.U32(static_cast<uint32_t>(overall_.size()));
-  for (const auto& r : overall_) {
-    w.I32(r.frame);
-    w.F64(r.timestamp_s);
-    w.F64(r.overall_happiness);
-    w.F64(r.mean_valence);
-    w.I32(r.observed);
+  uint32_t n_overall = r->U32();
+  for (uint32_t i = 0; i < n_overall && r->ok(); ++i) {
+    OverallEmotionRecord rec;
+    Status s = DecodeOverallEmotion(r, &rec);
+    if (!s.ok()) {
+      return Status::Corruption(s.message() + " in " + path);
+    }
+    DIEVENT_RETURN_NOT_OK(repo.AddOverallEmotion(rec));
   }
-  w.U32(static_cast<uint32_t>(shots_.size()));
-  w.I32(num_scenes_);
-  for (const auto& s : shots_) {
-    w.I32(s.begin_frame);
-    w.I32(s.end_frame);
-    w.I32(s.scene_index);
-    w.Ints(s.key_frames);
+  std::vector<StoredShot> shots;
+  int num_scenes = 0;
+  Status s = DecodeShots(r, &shots, &num_scenes);
+  if (!s.ok()) return Status::Corruption(s.message() + " in " + path);
+  repo.SetStoredShots(std::move(shots), num_scenes);
+  if (!r->ok()) return Status::Corruption("truncated repository: " + path);
+  return repo;
+}
+
+/// Parses one v2 section payload into `repo`.
+Status ParseV2Section(uint8_t id, std::string_view payload,
+                      MetadataRepository* repo) {
+  BinReader r(payload);
+  switch (id) {
+    case kSectionContext: {
+      EventContext ctx;
+      DIEVENT_RETURN_NOT_OK(DecodeContext(&r, &ctx));
+      repo->SetContext(std::move(ctx));
+      break;
+    }
+    case kSectionFps:
+      repo->set_fps(r.F64());
+      break;
+    case kSectionLookAt: {
+      uint32_t n = r.U32();
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        LookAtRecord rec;
+        DIEVENT_RETURN_NOT_OK(DecodeLookAt(&r, &rec));
+        DIEVENT_RETURN_NOT_OK(repo->AddLookAt(std::move(rec)));
+      }
+      break;
+    }
+    case kSectionEmotions: {
+      uint32_t n = r.U32();
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        EmotionRecord rec;
+        DIEVENT_RETURN_NOT_OK(DecodeEmotion(&r, &rec));
+        DIEVENT_RETURN_NOT_OK(repo->AddEmotion(rec));
+      }
+      break;
+    }
+    case kSectionOverall: {
+      uint32_t n = r.U32();
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        OverallEmotionRecord rec;
+        DIEVENT_RETURN_NOT_OK(DecodeOverallEmotion(&r, &rec));
+        DIEVENT_RETURN_NOT_OK(repo->AddOverallEmotion(rec));
+      }
+      break;
+    }
+    case kSectionShots: {
+      std::vector<StoredShot> shots;
+      int num_scenes = 0;
+      DIEVENT_RETURN_NOT_OK(DecodeShots(&r, &shots, &num_scenes));
+      repo->SetStoredShots(std::move(shots), num_scenes);
+      break;
+    }
+    default:
+      return Status::Corruption(
+          StrFormat("unknown snapshot section id %u", id));
   }
-  if (!out) return Status::IoError("short write: " + path);
+  if (!r.ok()) {
+    return Status::Corruption(StrFormat("truncated %s section",
+                                        SectionName(id)));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption(
+        StrFormat("%s section has %zu trailing bytes", SectionName(id),
+                  r.remaining()));
+  }
   return Status::OK();
 }
 
+}  // namespace
+
 Result<MetadataRepository> MetadataRepository::Load(
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  Reader r(&in);
-  if (r.U32() != kMagic) {
+  return Load(FileSystem::Default(), path, nullptr);
+}
+
+Result<MetadataRepository> MetadataRepository::Load(FileSystem* fs,
+                                                    const std::string& path,
+                                                    SnapshotInfo* info) {
+  DIEVENT_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+  BinReader r(data);
+  const uint32_t magic = r.U32();
+  if (!r.ok()) {
     return Status::Corruption("bad repository magic: " + path);
   }
-  if (r.U32() != kVersion) {
+
+  if (magic == kMagicV1) {
+    if (r.U32() != 1 || !r.ok()) {
+      return Status::Corruption("unsupported repository version: " + path);
+    }
+    if (info != nullptr) *info = SnapshotInfo{0, 1};
+    return LoadV1Body(&r, path);
+  }
+  if (magic != kMagicV2) {
+    return Status::Corruption("bad repository magic: " + path);
+  }
+
+  const uint32_t version = r.U32();
+  const uint64_t last_sequence = r.U64();
+  const uint32_t header_crc = r.U32();
+  if (!r.ok() || version != kVersionV2) {
     return Status::Corruption("unsupported repository version: " + path);
   }
+  if (Crc32Unmask(header_crc) != Crc32(data.data(), 16)) {
+    return Status::Corruption("snapshot header checksum mismatch: " + path);
+  }
+  if (info != nullptr) *info = SnapshotInfo{last_sequence, version};
 
   MetadataRepository repo;
-  EventContext ctx;
-  ctx.event_id = r.Str();
-  ctx.location = r.Str();
-  ctx.date = r.Str();
-  ctx.occasion = r.Str();
-  uint32_t n_menu = r.U32();
-  for (uint32_t i = 0; i < n_menu && r.ok(); ++i) {
-    ctx.menu.push_back(r.Str());
-  }
-  ctx.temperature_c = r.F64();
-  ctx.num_participants = r.I32();
-  uint32_t n_names = r.U32();
-  for (uint32_t i = 0; i < n_names && r.ok(); ++i) {
-    ctx.participant_names.push_back(r.Str());
-  }
-  uint32_t n_rel = r.U32();
-  for (uint32_t i = 0; i < n_rel && r.ok(); ++i) {
-    SocialRelation rel;
-    rel.a = r.I32();
-    rel.b = r.I32();
-    rel.relation = r.Str();
-    ctx.relations.push_back(std::move(rel));
-  }
-  repo.SetContext(std::move(ctx));
-
-  repo.fps_ = r.F64();
-
-  uint32_t n_look = r.U32();
-  for (uint32_t i = 0; i < n_look && r.ok(); ++i) {
-    LookAtRecord rec;
-    rec.frame = r.I32();
-    rec.timestamp_s = r.F64();
-    rec.n = r.I32();
-    rec.cells = r.Bytes();
-    if (rec.n < 0 ||
-        rec.cells.size() != static_cast<size_t>(rec.n) * rec.n) {
-      return Status::Corruption("malformed look-at record in " + path);
+  bool saw_end = false;
+  while (!saw_end) {
+    const uint8_t id = r.U8();
+    const uint32_t len = r.U32();
+    const uint32_t masked_crc = r.U32();
+    if (!r.ok()) {
+      return Status::Corruption("truncated snapshot section header: " +
+                                path);
     }
-    repo.lookat_.push_back(std::move(rec));
-  }
-  uint32_t n_emo = r.U32();
-  for (uint32_t i = 0; i < n_emo && r.ok(); ++i) {
-    EmotionRecord rec;
-    rec.frame = r.I32();
-    rec.timestamp_s = r.F64();
-    rec.participant = r.I32();
-    int32_t e = r.I32();
-    if (e < 0 || e >= kNumEmotions) {
-      return Status::Corruption("invalid emotion id in " + path);
+    std::string_view payload = r.Span(len);
+    if (!r.ok()) {
+      return Status::Corruption(
+          StrFormat("truncated %s section in %s", SectionName(id),
+                    path.c_str()));
     }
-    rec.emotion = static_cast<Emotion>(e);
-    rec.confidence = r.F64();
-    repo.emotions_.push_back(rec);
+    if (Crc32Unmask(masked_crc) != Crc32(payload.data(), payload.size())) {
+      return Status::Corruption(
+          StrFormat("%s section checksum mismatch in %s", SectionName(id),
+                    path.c_str()));
+    }
+    if (id == kSectionEnd) {
+      saw_end = true;
+      break;
+    }
+    DIEVENT_RETURN_NOT_OK(ParseV2Section(id, payload, &repo));
   }
-  uint32_t n_overall = r.U32();
-  for (uint32_t i = 0; i < n_overall && r.ok(); ++i) {
-    OverallEmotionRecord rec;
-    rec.frame = r.I32();
-    rec.timestamp_s = r.F64();
-    rec.overall_happiness = r.F64();
-    rec.mean_valence = r.F64();
-    rec.observed = r.I32();
-    repo.overall_.push_back(rec);
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after snapshot end: " + path);
   }
-  uint32_t n_shots = r.U32();
-  repo.num_scenes_ = r.I32();
-  for (uint32_t i = 0; i < n_shots && r.ok(); ++i) {
-    StoredShot s;
-    s.begin_frame = r.I32();
-    s.end_frame = r.I32();
-    s.scene_index = r.I32();
-    s.key_frames = r.Ints();
-    repo.shots_.push_back(std::move(s));
-  }
-  if (!r.ok()) return Status::Corruption("truncated repository: " + path);
   return repo;
 }
 

@@ -19,6 +19,8 @@
 
 namespace dievent {
 
+class FileSystem;
+
 class MetadataRepository {
  public:
   MetadataRepository() = default;
@@ -32,6 +34,10 @@ class MetadataRepository {
   Status AddEmotion(EmotionRecord record);
   Status AddOverallEmotion(OverallEmotionRecord record);
   void SetVideoStructure(const VideoStructure& structure);
+
+  /// Replaces the stored shot table directly — used by persistence
+  /// replay (durable_store.cc), which journals the derived form.
+  void SetStoredShots(std::vector<StoredShot> shots, int num_scenes);
 
   // --- access -----------------------------------------------------------
   const std::vector<LookAtRecord>& lookat_records() const {
@@ -65,8 +71,27 @@ class MetadataRepository {
                                                     int max_gap = 0) const;
 
   // --- persistence ------------------------------------------------------
+  /// Sidecar facts a snapshot carries beyond the records themselves.
+  struct SnapshotInfo {
+    uint64_t last_sequence = 0;  ///< journal sequence folded in (0 = none)
+    uint32_t version = 0;        ///< on-disk format version loaded
+  };
+
+  /// Atomically writes the version-2 snapshot (write-temp / fsync /
+  /// rename): per-section CRC32s, a version tag, and `last_sequence`
+  /// for journal replay dedup. Readers never observe a partial file.
   Status Save(const std::string& path) const;
+  Status Save(FileSystem* fs, const std::string& path,
+              uint64_t last_sequence) const;
+
+  /// Loads a snapshot, accepting both the legacy unchecksummed v1
+  /// format and checksummed v2. Any framing, checksum, or shape
+  /// violation returns a descriptive Corruption — never a partial or
+  /// silently wrong repository.
   static Result<MetadataRepository> Load(const std::string& path);
+  static Result<MetadataRepository> Load(FileSystem* fs,
+                                         const std::string& path,
+                                         SnapshotInfo* info = nullptr);
 
   /// Total stored record count across all types.
   size_t TotalRecords() const {

@@ -1,7 +1,5 @@
 #include "video/image_sequence_source.h"
 
-#include <filesystem>
-
 #include "common/strings.h"
 #include "image/pnm_io.h"
 
@@ -12,20 +10,22 @@ std::string ImageSequenceSource::FramePath(int index) const {
 }
 
 Result<ImageSequenceSource> ImageSequenceSource::Open(
-    const std::string& pattern, double fps, int first_index) {
+    const std::string& pattern, double fps, int first_index,
+    FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
   if (fps <= 0) return Status::InvalidArgument("fps must be positive");
   if (pattern.find("%d") == std::string::npos &&
       pattern.find("%0") == std::string::npos) {
     return Status::InvalidArgument(
         "pattern must contain a %d-style frame placeholder: " + pattern);
   }
-  ImageSequenceSource probe(pattern, fps, first_index, 0);
-  if (!std::filesystem::exists(probe.FramePath(0))) {
+  ImageSequenceSource probe(pattern, fps, first_index, 0, fs);
+  if (!fs->Exists(probe.FramePath(0))) {
     return Status::NotFound("no frame at " + probe.FramePath(0));
   }
   int count = 1;
-  while (std::filesystem::exists(probe.FramePath(count))) ++count;
-  return ImageSequenceSource(pattern, fps, first_index, count);
+  while (fs->Exists(probe.FramePath(count))) ++count;
+  return ImageSequenceSource(pattern, fps, first_index, count, fs);
 }
 
 Result<VideoFrame> ImageSequenceSource::GetFrame(int index) {
@@ -33,7 +33,9 @@ Result<VideoFrame> ImageSequenceSource::GetFrame(int index) {
     return Status::OutOfRange(
         StrFormat("frame %d outside [0, %d)", index, num_frames_));
   }
-  DIEVENT_ASSIGN_OR_RETURN(ImageRgb image, ReadPpm(FramePath(index)));
+  const std::string path = FramePath(index);
+  DIEVENT_ASSIGN_OR_RETURN(std::string data, fs_->ReadFile(path));
+  DIEVENT_ASSIGN_OR_RETURN(ImageRgb image, ParsePpm(data, path));
   VideoFrame frame;
   frame.index = index;
   frame.timestamp_s = index / fps_;

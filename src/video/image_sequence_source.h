@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "io/file.h"
 #include "video/video_source.h"
 
 namespace dievent {
@@ -20,8 +21,12 @@ class ImageSequenceSource : public VideoSource {
  public:
   /// Scans for consecutive files matching the pattern and fixes the frame
   /// count up front. Fails when no frame exists at `first_index`.
+  /// `fs` is the filesystem every read goes through (null = the real
+  /// one); tests inject a FaultyFileSystem so mid-read I/O errors and
+  /// short reads exercise the real decoder failure paths.
   static Result<ImageSequenceSource> Open(const std::string& pattern,
-                                          double fps, int first_index = 0);
+                                          double fps, int first_index = 0,
+                                          FileSystem* fs = nullptr);
 
   int NumFrames() const override { return num_frames_; }
   double Fps() const override { return fps_; }
@@ -32,11 +37,12 @@ class ImageSequenceSource : public VideoSource {
 
  private:
   ImageSequenceSource(std::string pattern, double fps, int first_index,
-                      int num_frames)
+                      int num_frames, FileSystem* fs)
       : pattern_(std::move(pattern)),
         fps_(fps),
         first_index_(first_index),
-        num_frames_(num_frames) {}
+        num_frames_(num_frames),
+        fs_(fs) {}
 
   std::string FramePath(int index) const;
 
@@ -44,6 +50,7 @@ class ImageSequenceSource : public VideoSource {
   double fps_;
   int first_index_;
   int num_frames_;
+  FileSystem* fs_;  ///< not owned; never null after Open
 };
 
 }  // namespace dievent

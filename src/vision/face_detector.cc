@@ -62,8 +62,9 @@ std::vector<Component> FindComponents(const std::vector<uint8_t>& mask,
         max_x = std::max(max_x, cx);
         min_y = std::min(min_y, cy);
         max_y = std::max(max_y, cy);
-        const int nbr[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
-        for (auto& d : nbr) {
+        static constexpr int kNeighbors[4][2] = {
+            {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+        for (const auto& d : kNeighbors) {
           int nx = cx + d[0], ny = cy + d[1];
           if (nx < 0 || nx >= width || ny < 0 || ny >= height) continue;
           size_t nidx = static_cast<size_t>(ny) * width + nx;
@@ -138,8 +139,8 @@ std::vector<FaceDetection> FaceDetector::Detect(const ImageRgb& frame) const {
       if (aspect < options_.min_aspect || aspect > options_.max_aspect) {
         continue;
       }
-      double fill = static_cast<double>(c.area) /
-                    (3.14159265358979323846 * radius * radius);
+      constexpr double kPi = 3.14159265358979323846;
+      double fill = static_cast<double>(c.area) / (kPi * radius * radius);
       if (fill < options_.min_fill_ratio) continue;
       FaceDetection det;
       det.bbox = c.bbox;

@@ -7,7 +7,11 @@
 #include <fstream>
 
 #include "common/rng.h"
+#include "common/strings.h"
 #include "image/pnm_io.h"
+#include "io/journal.h"
+#include "metadata/durable_store.h"
+#include "metadata/fsck.h"
 #include "metadata/query_parser.h"
 #include "metadata/repository.h"
 #include "ml/neural_net.h"
@@ -111,6 +115,138 @@ TEST(FuzzRobustness, NeuralNetLoadSurvivesRandomBytes) {
     out.write(reinterpret_cast<char*>(sizes), 12);
   }
   EXPECT_FALSE(NeuralNet::Load(path).ok());
+}
+
+// --- durability surfaces -------------------------------------------------
+
+std::string FreshFuzzDir(const std::string& name) {
+  FileSystem* fs = FileSystem::Default();
+  const std::string dir = testing::TempDir() + "/" + name;
+  if (fs->Exists(dir)) {
+    auto names = fs->ListDir(dir);
+    EXPECT_TRUE(names.ok());
+    for (const std::string& n : names.value()) {
+      EXPECT_TRUE(fs->Remove(JoinPath(dir, n)).ok());
+    }
+  } else {
+    EXPECT_TRUE(fs->CreateDir(dir).ok());
+  }
+  return dir;
+}
+
+/// Builds a store with a snapshot AND live journal segments, then
+/// returns every file's pristine bytes.
+std::vector<std::pair<std::string, std::string>> BuildPristineStore(
+    const std::string& dir) {
+  FileSystem* fs = FileSystem::Default();
+  auto store = DurableEventStore::Open(dir);
+  EXPECT_TRUE(store.ok());
+  EXPECT_TRUE(store.value()->SetFps(24.0).ok());
+  LookAtMatrix m(3);
+  m.Set(0, 1, true);
+  for (int f = 0; f < 6; ++f) {
+    EXPECT_TRUE(
+        store.value()
+            ->AddLookAt(LookAtRecord::FromMatrix(f, f / 24.0, m))
+            .ok());
+    if (f == 2) EXPECT_TRUE(store.value()->Checkpoint().ok());
+  }
+  EXPECT_TRUE(store.value()->Close().ok());
+  std::vector<std::pair<std::string, std::string>> files;
+  auto names = fs->ListDir(dir);
+  EXPECT_TRUE(names.ok());
+  for (const std::string& n : names.value()) {
+    auto data = fs->ReadFile(JoinPath(dir, n));
+    EXPECT_TRUE(data.ok());
+    files.emplace_back(n, data.value());
+  }
+  return files;
+}
+
+TEST(FuzzRobustness, JournalReplaySurvivesRandomSegmentBytes) {
+  FileSystem* fs = FileSystem::Default();
+  Rng rng(76);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string dir = FreshFuzzDir("fuzz_jrnl");
+    std::string bytes;
+    size_t size = rng.NextBelow(512);
+    for (size_t i = 0; i < size; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    ASSERT_TRUE(
+        AtomicWriteFile(fs, JoinPath(dir, "journal-000000.wal"), bytes).ok());
+    JournalReplayInfo info;
+    // Any outcome is fine — salvage or a descriptive Corruption — as
+    // long as it is a Status and not a crash or runaway allocation.
+    (void)ReplayJournal(
+        fs, dir, [](std::string_view) { return Status::OK(); }, &info);
+  }
+}
+
+TEST(FuzzRobustness, DurableStoreOpenSurvivesBitFlips) {
+  FileSystem* fs = FileSystem::Default();
+  const std::string pristine_dir = FreshFuzzDir("fuzz_store_src");
+  const auto pristine = BuildPristineStore(pristine_dir);
+  ASSERT_GE(pristine.size(), 2u);  // snapshot + at least one segment
+
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string dir = FreshFuzzDir("fuzz_store_mut");
+    const size_t victim = rng.NextBelow(pristine.size());
+    for (size_t i = 0; i < pristine.size(); ++i) {
+      std::string data = pristine[i].second;
+      if (i == victim && !data.empty()) {
+        int flips = 1 + static_cast<int>(rng.NextBelow(6));
+        for (int k = 0; k < flips; ++k) {
+          data[rng.NextBelow(data.size())] ^=
+              static_cast<char>(1u << rng.NextBelow(8));
+        }
+      }
+      ASSERT_TRUE(
+          AtomicWriteFile(fs, JoinPath(dir, pristine[i].first), data).ok());
+    }
+    auto store = DurableEventStore::Open(dir);
+    if (store.ok()) {
+      // Whatever survived must be internally consistent.
+      for (const auto& r : store.value()->repository().lookat_records()) {
+        EXPECT_EQ(r.cells.size(),
+                  static_cast<size_t>(r.n) * static_cast<size_t>(r.n));
+      }
+    } else {
+      // Descriptive failure, never an empty message.
+      EXPECT_FALSE(store.status().message().empty());
+    }
+  }
+}
+
+TEST(FuzzRobustness, FsckSurvivesAndRepairsBitFlips) {
+  FileSystem* fs = FileSystem::Default();
+  const std::string pristine_dir = FreshFuzzDir("fuzz_fsck_src");
+  const auto pristine = BuildPristineStore(pristine_dir);
+
+  Rng rng(78);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string dir = FreshFuzzDir("fuzz_fsck_mut");
+    const size_t victim = rng.NextBelow(pristine.size());
+    for (size_t i = 0; i < pristine.size(); ++i) {
+      std::string data = pristine[i].second;
+      if (i == victim && !data.empty()) {
+        data[rng.NextBelow(data.size())] ^=
+            static_cast<char>(1u << rng.NextBelow(8));
+      }
+      ASSERT_TRUE(
+          AtomicWriteFile(fs, JoinPath(dir, pristine[i].first), data).ok());
+    }
+    auto verify = RunFsck(fs, dir, FsckOptions{});
+    ASSERT_TRUE(verify.ok()) << verify.status().ToString();
+    FsckOptions repair_opts;
+    repair_opts.repair = true;
+    auto repair = RunFsck(fs, dir, repair_opts);
+    ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+    // Whatever fsck did, the directory must now open.
+    auto store = DurableEventStore::Open(dir);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+  }
 }
 
 TEST(FuzzRobustness, QueryParserSurvivesRandomStrings) {

@@ -1,0 +1,221 @@
+// SimClock ports of the acquisition retry-backoff and breaker-cooldown
+// timing behavior. The originals in test_fault_injection.cc exercise the
+// same paths over the real clock, where the backoff sleeps are real
+// (tiny) delays that can only be bounded, not pinned. Here the whole
+// retry state machine runs on simulated time, so the tests assert the
+// EXACT retry timeline: total simulated time equals the integer-duration
+// sum of the BackoffPolicy delays for precisely the retries that
+// happened, and nothing else ever advances the clock.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "image/image.h"
+#include "video/fault_injection.h"
+#include "video/video_source.h"
+
+namespace dievent {
+namespace {
+
+std::vector<ImageRgb> GrayFrames(int n, int w = 8, int h = 8) {
+  std::vector<ImageRgb> frames;
+  for (int i = 0; i < n; ++i) {
+    ImageRgb f(w, h, 3);
+    f.Fill(static_cast<uint8_t>(10 + i));
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+std::unique_ptr<VideoSource> Camera(FaultSpec spec, SimClock* sim,
+                                    int n = 50) {
+  return std::make_unique<FaultyVideoSource>(
+      std::make_unique<MemoryVideoSource>(GrayFrames(n), 10.0), spec, sim);
+}
+
+/// Sum of the backoff delays slept before retries 1..`retries` of
+/// (camera, frame), in integer duration space — exactly what the reader
+/// thread asks the clock to wait, in order.
+VirtualClock::Duration RetrySleep(const BackoffPolicy& backoff, int camera,
+                                  int frame, int retries) {
+  VirtualClock::Duration total{};
+  for (int attempt = 1; attempt <= retries; ++attempt) {
+    total += VirtualClock::FromSeconds(backoff.Delay(
+        attempt, static_cast<uint64_t>(camera),
+        static_cast<uint64_t>(frame)));
+  }
+  return total;
+}
+
+TEST(RetryTimeline, ExhaustedRetriesSleepExactlyTheBackoffSchedule) {
+  SimClock::Options sim_options;
+  sim_options.auto_advance = true;
+  SimClock sim(sim_options);
+
+  FaultSpec spec;
+  spec.flaky_windows = {{5, 6}};  // frame 5 fails every attempt
+  AcquisitionPolicy policy;
+  policy.retry_budget = 3;
+  policy.hold_last_good = true;
+  policy.quarantine_after = 100;
+  policy.clock = &sim;
+  policy.retry_backoff.base_s = 0.01;
+  policy.retry_backoff.max_s = 0.05;
+  policy.retry_backoff.multiplier = 2.0;
+  policy.retry_backoff.jitter = 0.5;
+  policy.retry_backoff.seed = 11;
+
+  std::vector<std::unique_ptr<VideoSource>> sources;
+  sources.push_back(Camera(spec, &sim));
+  auto multi = MultiCameraSource::Create(std::move(sources), policy);
+  ASSERT_TRUE(multi.ok());
+
+  for (int f = 0; f < 5; ++f) {
+    auto set = multi.value().GetFrames(f);
+    ASSERT_TRUE(set.ok());
+    EXPECT_TRUE(set.value().cameras[0].fresh());
+  }
+  // Healthy reads never touch the backoff path: zero simulated time.
+  EXPECT_EQ(sim.Now().time_since_epoch(), VirtualClock::Duration::zero());
+
+  auto held = multi.value().GetFrames(5);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(held.value().cameras[0].status, CameraFrameStatus::kHeld);
+  EXPECT_EQ(multi.value().health(0).retries, policy.retry_budget);
+
+  // The failing frame burned 1 + retry_budget attempts, sleeping the
+  // deterministic backoff delay before each retry — and nothing else.
+  EXPECT_EQ(sim.Now().time_since_epoch(),
+            RetrySleep(policy.retry_backoff, 0, 5, policy.retry_budget));
+}
+
+TEST(RetryTimeline, TransientDropsSpendExactlyTheRetriesTheyNeed) {
+  // Port of MultiCameraDegradation.RetryRecoversTransientDrop: random
+  // per-attempt drops, deep retry budget. The drop schedule is a pure
+  // function of (seed, frame, attempt), so the exact retry timeline —
+  // which attempts failed, hence which backoff delays were slept — is
+  // recomputable and the simulated clock must land on it precisely.
+  SimClock::Options sim_options;
+  sim_options.auto_advance = true;
+  SimClock sim(sim_options);
+
+  FaultSpec spec;
+  spec.seed = 5;
+  spec.drop_probability = 0.5;
+  AcquisitionPolicy policy;
+  policy.retry_budget = 4;
+  policy.hold_last_good = false;
+  policy.quarantine_after = 100;
+  policy.clock = &sim;
+  policy.retry_backoff.seed = 3;
+
+  std::vector<std::unique_ptr<VideoSource>> sources;
+  sources.push_back(Camera(spec, &sim));
+  sources.push_back(Camera(FaultSpec{}, &sim));  // healthy: never sleeps
+  auto multi = MultiCameraSource::Create(std::move(sources), policy);
+  ASSERT_TRUE(multi.ok());
+
+  VirtualClock::Duration expected{};
+  long long expected_retries = 0;
+  int retried_frames = 0;
+  for (int f = 0; f < 50; ++f) {
+    auto set = multi.value().GetFrames(f);
+    ASSERT_TRUE(set.ok());
+    EXPECT_TRUE(set.value().cameras[1].fresh());
+    // Recompute this frame's retry count from the pure drop schedule.
+    int failures = 0;
+    while (failures <= policy.retry_budget && spec.ShouldDrop(f, failures)) {
+      ++failures;
+    }
+    // One backoff sleep precedes each attempt after the first; the retry
+    // stat counts only attempts after the first that FAILED, so a frame
+    // recovered on attempt k sleeps k delays but records k-1 retries.
+    expected += RetrySleep(policy.retry_backoff, 0, f,
+                           std::min(failures, policy.retry_budget));
+    expected_retries += std::max(0, failures - 1);
+    const CameraFrameStatus status = set.value().cameras[0].status;
+    if (failures == 0) {
+      EXPECT_EQ(status, CameraFrameStatus::kFresh) << "frame " << f;
+    } else if (failures <= policy.retry_budget) {
+      EXPECT_EQ(status, CameraFrameStatus::kRetried) << "frame " << f;
+      ++retried_frames;
+    } else {
+      EXPECT_EQ(status, CameraFrameStatus::kMissing) << "frame " << f;
+    }
+  }
+  EXPECT_GT(retried_frames, 0);  // the scenario actually exercised retries
+  EXPECT_EQ(multi.value().health(0).retries, expected_retries);
+  EXPECT_EQ(sim.Now().time_since_epoch(), expected);
+}
+
+TEST(RetryTimeline, BreakerCooldownSpendsTimeOnlyWhileTheBreakerIsClosed) {
+  // Port of MultiCameraDegradation.CircuitBreakerQuarantinesAndReadmits
+  // with a retry budget: the failing closed-breaker reads (5, 6, 7) each
+  // sleep their full backoff schedule; quarantined frames are never read
+  // and cost zero simulated time; and half-open probes (17 fails, 27
+  // readmits) get exactly ONE attempt, so neither sleeps at all.
+  SimClock::Options sim_options;
+  sim_options.auto_advance = true;
+  SimClock sim(sim_options);
+
+  FaultSpec spec;
+  spec.flaky_windows = {{5, 20}};
+  AcquisitionPolicy policy;
+  policy.retry_budget = 2;
+  policy.hold_last_good = false;
+  policy.quarantine_after = 3;
+  policy.readmit_after = 10;
+  policy.clock = &sim;
+  policy.retry_backoff.base_s = 0.005;
+  policy.retry_backoff.seed = 7;
+
+  std::vector<std::unique_ptr<VideoSource>> sources;
+  sources.push_back(Camera(spec, &sim));
+  auto multi = MultiCameraSource::Create(std::move(sources), policy);
+  ASSERT_TRUE(multi.ok());
+
+  VirtualClock::Duration expected{};
+  for (int f = 0; f < 5; ++f) ASSERT_TRUE(multi.value().GetFrames(f).ok());
+  EXPECT_EQ(sim.Now().time_since_epoch(), expected);
+
+  // Three consecutive failures open the breaker; each slept both delays.
+  EXPECT_EQ(multi.value().GetFrames(5).value().cameras[0].status,
+            CameraFrameStatus::kMissing);
+  EXPECT_EQ(multi.value().GetFrames(6).value().cameras[0].status,
+            CameraFrameStatus::kMissing);
+  EXPECT_EQ(multi.value().GetFrames(7).value().cameras[0].status,
+            CameraFrameStatus::kQuarantined);
+  for (int f : {5, 6, 7}) {
+    expected += RetrySleep(policy.retry_backoff, 0, f, policy.retry_budget);
+  }
+  EXPECT_EQ(sim.Now().time_since_epoch(), expected);
+
+  // Quarantined: the source is not read, the clock does not move.
+  for (int f = 8; f < 17; ++f) {
+    EXPECT_EQ(multi.value().GetFrames(f).value().cameras[0].status,
+              CameraFrameStatus::kQuarantined);
+  }
+  EXPECT_EQ(sim.Now().time_since_epoch(), expected);
+
+  // Failed probe at 17 (window runs to 20): a probe is a single attempt
+  // with no retry budget, so even its failure costs zero simulated time.
+  EXPECT_EQ(multi.value().GetFrames(17).value().cameras[0].status,
+            CameraFrameStatus::kQuarantined);
+  EXPECT_EQ(sim.Now().time_since_epoch(), expected);
+
+  // Successful probe at 27: single attempt decodes, no backoff sleep.
+  for (int f = 18; f < 27; ++f) (void)multi.value().GetFrames(f);
+  auto back = multi.value().GetFrames(27);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().cameras[0].fresh());
+  EXPECT_EQ(multi.value().health(0).readmissions, 1);
+  EXPECT_EQ(sim.Now().time_since_epoch(), expected);
+}
+
+}  // namespace
+}  // namespace dievent
