@@ -1,0 +1,51 @@
+/// \file cancellation.h
+/// Cooperative cancellation for long-running jobs.
+///
+/// A CancellationToken is a sticky flag shared between a controller (the
+/// fleet scheduler's watchdog, an operator CLI) and a worker (a pipeline
+/// run). The controller calls Cancel(); the worker polls cancelled() at
+/// its frame boundaries and unwinds with Status::Cancelled. Cancellation
+/// is cooperative on purpose: the pipeline only stops at a committed
+/// frame boundary, so the durable store is always left on the
+/// commit-marker protocol's happy path and a restart resumes exactly
+/// after the last acknowledged frame.
+///
+/// Reset() re-arms the token between attempts of the same job. The
+/// controller must not call Reset() while a worker still polls the token
+/// (the scheduler resets only between attempts, when no runner holds the
+/// job).
+
+#ifndef DIEVENT_COMMON_CANCELLATION_H_
+#define DIEVENT_COMMON_CANCELLATION_H_
+
+#include <atomic>
+
+namespace dievent {
+
+/// Sticky cancel flag. All operations are lock-free and safe to call
+/// from any thread.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() has been called (until Reset).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms the token for a new attempt. Caller must have synchronized
+  /// with every worker that polled the previous generation.
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_CANCELLATION_H_

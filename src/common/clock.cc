@@ -57,29 +57,39 @@ std::vector<SimClock::WakeTarget> SimClock::DeregisterLocked(Waiter* w) {
   return MaybeAutoAdvanceLocked();
 }
 
-void SimClock::WakeTargets(std::vector<WakeTarget> targets, const Mutex* held) {
+void SimClock::WakeTargets(std::vector<WakeTarget> targets) {
   std::sort(targets.begin(), targets.end(),
             [](const WakeTarget& a, const WakeTarget& b) {
               return a.deadline < b.deadline;
             });
   for (const WakeTarget& t : targets) {
-    if (t.mu != held) {
-      // Empty critical section: a waiter that has registered but not yet
-      // blocked still holds its mutex, so acquiring it here orders the
-      // notify after the wait begins — no lost wakeup. Waiters on `held`
-      // are already blocked (registration requires the mutex this caller
-      // still holds), so the fence is skipped to avoid self-deadlock.
-      t.mu->Lock();
-      t.mu->Unlock();
-    }
+    // Empty critical section: a waiter that has registered but not yet
+    // blocked either still holds its mutex (so acquiring it here orders
+    // the notify after the wait begins) or has released it to deliver
+    // wakes of its own and will re-check its woken flag before blocking.
+    // Either way the notify is never lost. Callers hold no waiter mutex
+    // (see DeliverWakes), so taking each target's in turn cannot form a
+    // lock cycle.
+    t.mu->Lock();
+    t.mu->Unlock();
     t.cv->NotifyAll();
   }
+}
+
+void SimClock::DeliverWakes(Mutex& mu, std::vector<WakeTarget> targets) {
+  if (targets.empty()) return;
+  // Fencing another waiter's mutex while holding our own would invert
+  // lock order against that waiter doing the same toward us; release
+  // `mu` for the delivery. Wakes aimed at *us* in the window are not
+  // lost: they set `woken`, which callers re-check before blocking.
+  mu.Unlock();
+  WakeTargets(std::move(targets));
+  mu.Lock();
 }
 
 std::cv_status SimClock::WaitUntil(Mutex& mu, CondVar& cv, TimePoint tp) {
   Waiter w{&mu, &cv, tp};
   std::vector<WakeTarget> targets;
-  bool due_at_registration = false;
   {
     MutexLock lock(mu_);
     if (now_ >= tp) return std::cv_status::timeout;
@@ -87,20 +97,22 @@ std::cv_status SimClock::WaitUntil(Mutex& mu, CondVar& cv, TimePoint tp) {
     --pending_work_;
     changed_.NotifyAll();
     targets = MaybeAutoAdvanceLocked();
-    if (w.woken) {
-      // Registering made the system quiescent and our own deadline was
-      // the earliest: time just stepped to it. Timeout without blocking.
-      due_at_registration = true;
-      std::vector<WakeTarget> more = DeregisterLocked(&w);
-      targets.insert(targets.end(), more.begin(), more.end());
-    }
   }
-  WakeTargets(std::move(targets), &mu);
-  if (due_at_registration) return std::cv_status::timeout;
+  DeliverWakes(mu, std::move(targets));
 
-  // Single wait: spurious wakeups surface to the caller exactly as with a
-  // raw condition variable; callers keep their predicate loops.
-  cv.Wait(mu);
+  // Block unless a wake already claimed this waiter: our own registration
+  // may have made the system quiescent and stepped time to our deadline,
+  // or a notify may have landed while DeliverWakes had `mu` released.
+  bool wake_pending;
+  {
+    MutexLock lock(mu_);
+    wake_pending = w.woken;
+  }
+  if (!wake_pending) {
+    // Single wait: spurious wakeups surface to the caller exactly as with
+    // a raw condition variable; callers keep their predicate loops.
+    cv.Wait(mu);
+  }
 
   std::cv_status status;
   {
@@ -108,7 +120,7 @@ std::cv_status SimClock::WaitUntil(Mutex& mu, CondVar& cv, TimePoint tp) {
     status = now_ >= tp ? std::cv_status::timeout : std::cv_status::no_timeout;
     targets = DeregisterLocked(&w);
   }
-  WakeTargets(std::move(targets), &mu);
+  DeliverWakes(mu, std::move(targets));
   return status;
 }
 
@@ -122,13 +134,19 @@ void SimClock::Wait(Mutex& mu, CondVar& cv) {
     changed_.NotifyAll();
     targets = MaybeAutoAdvanceLocked();  // never wakes us: max is never due
   }
-  WakeTargets(std::move(targets), &mu);
-  cv.Wait(mu);
+  DeliverWakes(mu, std::move(targets));
+  bool wake_pending;
+  {
+    MutexLock lock(mu_);
+    // A NotifyAll may have landed while DeliverWakes had `mu` released.
+    wake_pending = w.woken;
+  }
+  if (!wake_pending) cv.Wait(mu);
   {
     MutexLock lock(mu_);
     targets = DeregisterLocked(&w);
   }
-  WakeTargets(std::move(targets), &mu);
+  DeliverWakes(mu, std::move(targets));
 }
 
 void SimClock::NotifyAll([[maybe_unused]] Mutex& mu, CondVar& cv) {
@@ -166,7 +184,7 @@ void SimClock::AddPendingWork(int delta) {
   }
   // Contract: negative deltas must be posted while holding no waiter's
   // mutex — the wake fence acquires those mutexes.
-  WakeTargets(std::move(targets), nullptr);
+  WakeTargets(std::move(targets));
 }
 
 void SimClock::AdvanceTo(TimePoint tp) {
@@ -175,7 +193,7 @@ void SimClock::AdvanceTo(TimePoint tp) {
     MutexLock lock(mu_);
     targets = AdvanceLocked(tp);
   }
-  WakeTargets(std::move(targets), nullptr);
+  WakeTargets(std::move(targets));
 }
 
 int SimClock::NumWaiters() const {

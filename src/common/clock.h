@@ -184,12 +184,16 @@ class SimClock : public VirtualClock {
   /// Removes `w`, restores its token unless a wake already did (woken),
   /// and re-checks auto-advance.
   std::vector<WakeTarget> DeregisterLocked(Waiter* w) REQUIRES(mu_);
-  /// Delivers wakes, earliest deadline first. For each target not
-  /// protected by `held`, an empty lock/unlock of its mutex fences the
-  /// notify past a waiter that has registered but not yet blocked; targets
-  /// sharing `held` are provably already blocked (registration requires
-  /// the mutex the caller still holds), so a plain notify suffices.
-  void WakeTargets(std::vector<WakeTarget> targets, const Mutex* held);
+  /// Delivers wakes, earliest deadline first. An empty lock/unlock of each
+  /// target's mutex fences the notify past a waiter that has registered
+  /// but not yet blocked. Must be called with no waiter mutex held —
+  /// fencing B's mutex while holding A's inverts lock order against a
+  /// thread fencing A's while holding B's.
+  void WakeTargets(std::vector<WakeTarget> targets);
+  /// WakeTargets for wait paths that hold their own waiter mutex: releases
+  /// `mu` around the delivery, so callers must re-check their Waiter's
+  /// `woken` flag before blocking (a wake may land in the window).
+  void DeliverWakes(Mutex& mu, std::vector<WakeTarget> targets) REQUIRES(mu);
 
   const bool auto_advance_;
   mutable Mutex mu_;

@@ -1,0 +1,136 @@
+/// \file mpmc_queue.h
+/// A bounded multi-producer/multi-consumer work queue.
+///
+/// The fleet scheduler feeds admitted event jobs to its runner threads
+/// through one of these: the dispatcher (and, in principle, several
+/// control threads) pushes, M runners pop. Unlike the SPSC ring in
+/// spsc_queue.h — whose whole point is that each endpoint is a single
+/// thread — this queue takes a lock, because admission is a control-path
+/// operation measured in jobs per second, not frames per second, and a
+/// mutex keeps the blocking semantics (bounded backpressure, clean
+/// close) trivially correct and thread-safety-annotatable.
+///
+/// Blocking waits are clock-mediated: under a SimClock, a runner parked
+/// in Pop() releases its pending-work token exactly like the acquisition
+/// supervisor's waiters, so simulated time can auto-advance across an
+/// idle fleet. Pass no clock (or RealClock) for production behavior.
+///
+/// Close() wakes everyone: blocked Push() calls fail, blocked Pop()
+/// calls drain the remaining items and then return nullopt — the
+/// standard "queue closed" shutdown handshake.
+
+#ifndef DIEVENT_COMMON_MPMC_QUEUE_H_
+#define DIEVENT_COMMON_MPMC_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+
+namespace dievent {
+
+/// Bounded MPMC queue of `T`. All methods are safe from any thread.
+template <typename T>
+class MpmcQueue {
+ public:
+  /// `capacity` >= 1 (values < 1 are clamped to 1). `clock` null = the
+  /// real clock; the clock must outlive the queue.
+  explicit MpmcQueue(size_t capacity, VirtualClock* clock = nullptr)
+      : capacity_(capacity < 1 ? 1 : capacity),
+        clock_(clock != nullptr ? clock : RealClock::Get()) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Non-blocking push. False when the queue is full or closed.
+  [[nodiscard]] bool TryPush(T value) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    if (items_.size() > max_depth_seen_) max_depth_seen_ = items_.size();
+    clock_->NotifyAll(mutex_, not_empty_);
+    return true;
+  }
+
+  /// Blocking push: waits while the queue is full. False when the queue
+  /// was closed before the item could be enqueued (the item is dropped).
+  [[nodiscard]] bool Push(T value) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) {
+      clock_->Wait(mutex_, not_full_);
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    if (items_.size() > max_depth_seen_) max_depth_seen_ = items_.size();
+    clock_->NotifyAll(mutex_, not_empty_);
+    return true;
+  }
+
+  /// Non-blocking pop. nullopt when the queue is empty (closed or not).
+  [[nodiscard]] std::optional<T> TryPop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return PopLocked();
+  }
+
+  /// Blocking pop: waits while the queue is empty and open. nullopt only
+  /// after Close() once every queued item has been drained.
+  [[nodiscard]] std::optional<T> Pop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      clock_->Wait(mutex_, not_empty_);
+    }
+    return PopLocked();
+  }
+
+  /// Closes the queue and wakes every blocked producer and consumer.
+  /// Items already queued remain poppable. Idempotent.
+  void Close() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    closed_ = true;
+    clock_->NotifyAll(mutex_, not_empty_);
+    clock_->NotifyAll(mutex_, not_full_);
+  }
+
+  bool closed() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return items_.size();
+  }
+
+  /// Occupancy high-water mark since construction.
+  size_t max_depth_seen() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return max_depth_seen_;
+  }
+
+ private:
+  std::optional<T> PopLocked() REQUIRES(mutex_) {
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    clock_->NotifyAll(mutex_, not_full_);
+    return out;
+  }
+
+  const size_t capacity_;
+  VirtualClock* const clock_;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
+  size_t max_depth_seen_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_MPMC_QUEUE_H_

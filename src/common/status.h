@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kUnimplemented = 8,
   kInternal = 9,
   kDeadlineExceeded = 10,
+  kCancelled = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -78,6 +79,11 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A cooperative cancellation request was observed (not a failure of
+  /// the work itself): the caller decides whether to retry or resume.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

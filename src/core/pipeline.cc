@@ -6,6 +6,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/cancellation.h"
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -417,7 +418,18 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       DIEVENT_RETURN_NOT_OK(store->Checkpoint());
       frames_since_checkpoint = 0;
     }
+    // The frame is acknowledged (and durable, when a store is attached):
+    // tell the progress observer. Runs on the committing thread, in
+    // frame order, for every executor.
+    if (options_.on_frame_committed) options_.on_frame_committed(f, t);
     return Status::OK();
+  };
+
+  // Cooperative cancellation, polled at frame boundaries only, so a
+  // cancelled run always stops between committed frames (the durable
+  // store never sees a partial frame from cancellation).
+  auto cancel_requested = [this] {
+    return options_.cancel != nullptr && options_.cancel->cancelled();
   };
 
   // --- durable resume reconstruction ------------------------------------
@@ -706,6 +718,10 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     if (!pipelined) {
       // Sequential reference executor.
       for (int f = 0; f < scene.num_frames(); f += options_.frame_stride) {
+        if (cancel_requested()) {
+          return Status::Cancelled(
+              StrFormat("run cancelled before frame %d", f));
+        }
         FrameWork w;
         w.f = f;
         w.t = scene.TimeOfFrame(f);
@@ -757,6 +773,13 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
       };
       int next_f = 0;
       while (true) {
+        // Honor cancellation before admitting or committing any more
+        // frames; the drain below still waits out in-flight vision tasks
+        // so no task outlives its FrameWork.
+        if (run_status.ok() && cancel_requested()) {
+          run_status = Status::Cancelled(
+              StrFormat("run cancelled before frame %d", next_f));
+        }
         // Fill the window: acquire, prepare, and fan out vision tasks.
         while (run_status.ok() &&
                static_cast<int>(inflight.size()) < window &&
@@ -807,6 +830,10 @@ Result<DiEventReport> DiEventPipeline::Run(MetadataRepository* repository) {
     // starts after the last recovered frame instead of frame 0.
     for (int f = start_frame; f < scene.num_frames();
          f += options_.frame_stride) {
+      if (cancel_requested()) {
+        return Status::Cancelled(
+            StrFormat("run cancelled before frame %d", f));
+      }
       const double t = scene.TimeOfFrame(f);
       std::vector<ParticipantState> gt = scene.StateAt(t);
       std::vector<ParticipantGeometry> geometry(n);

@@ -15,6 +15,7 @@
 #ifndef DIEVENT_CORE_PIPELINE_H_
 #define DIEVENT_CORE_PIPELINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +38,7 @@
 
 namespace dievent {
 
+class CancellationToken;
 class DurableEventStore;
 
 enum class PipelineMode { kFullVision, kGroundTruth };
@@ -122,6 +124,22 @@ struct PipelineOptions {
   DurableEventStore* store = nullptr;
   /// Committed frames between checkpoints; 0 = only the final one.
   int checkpoint_every_frames = 0;
+
+  /// Cooperative cancellation (optional; not owned, must outlive the
+  /// run). Polled at every frame boundary in all executors; once
+  /// Cancel() is observed the run stops WITHOUT processing the frame and
+  /// returns Status::Cancelled. Every already committed frame stays
+  /// acknowledged (and durable when a store is attached), so a
+  /// cancelled ground-truth run restarts from its checkpoint via the
+  /// normal resume path. This is the fleet scheduler's watchdog handle.
+  CancellationToken* cancel = nullptr;
+
+  /// Invoked on the committing thread after each frame's records are
+  /// acknowledged (journaled durably when a store is attached), with the
+  /// frame index and its timestamp. Liveness/progress signal for the
+  /// fleet watchdog and load controller; keep it cheap — it runs inside
+  /// the ordered commit stage.
+  std::function<void(int frame, double timestamp_s)> on_frame_committed;
 
   uint64_t seed = 42;  ///< master seed for training/augmentation
 };

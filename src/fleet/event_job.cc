@@ -1,0 +1,117 @@
+#include "fleet/event_job.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "io/file.h"
+#include "metadata/durable_store.h"
+
+namespace dievent {
+
+std::string_view JobPriorityName(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::kLow:
+      return "low";
+    case JobPriority::kNormal:
+      return "normal";
+    case JobPriority::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
+std::string_view JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kBackoff:
+      return "backoff";
+    case JobState::kParked:
+      return "parked";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+EventJobResult RunEventJobOnce(const EventJobSpec& spec,
+                               const EventJobRunContext& ctx) {
+  EventJobResult out;
+  if (spec.scene == nullptr) {
+    out.status = Status::InvalidArgument("event job has no scene: " +
+                                         spec.name);
+    return out;
+  }
+
+  PipelineOptions opts = spec.pipeline;
+  opts.clock = ctx.clock;
+  opts.cancel = ctx.cancel;
+  if (opts.checkpoint_every_frames == 0) {
+    opts.checkpoint_every_frames = ctx.default_checkpoint_every_frames;
+  }
+  // Scheduler bookkeeping first (watchdog liveness, latency sampling),
+  // then the tenant's hook, so an injected per-frame sleep is *measured*
+  // as that frame's latency rather than hiding from it.
+  const auto& on_commit = ctx.on_frame_committed;
+  const auto& hook = spec.post_frame_hook;
+  if (on_commit || hook) {
+    opts.on_frame_committed = [&on_commit, &hook](int frame, double t) {
+      if (on_commit) on_commit(frame, t);
+      if (hook) hook(frame, t);
+    };
+  }
+
+  // Fresh store per attempt: an instance wedged by a previous attempt's
+  // I/O failure is useless (every mutation replays the original error);
+  // reopening recovers the acknowledged prefix from disk instead.
+  std::unique_ptr<DurableEventStore> store;
+  if (!spec.store_dir.empty()) {
+    DurableStoreOptions store_options;
+    store_options.journal = spec.journal;
+    if (spec.fs_for_attempt) {
+      store_options.fs = spec.fs_for_attempt(ctx.attempt);
+    }
+    Result<std::unique_ptr<DurableEventStore>> opened =
+        DurableEventStore::Open(spec.store_dir, store_options);
+    if (!opened.ok()) {
+      out.status =
+          opened.status().WithContext("opening store for job " + spec.name);
+      return out;
+    }
+    store = std::move(opened).TakeValue();
+    opts.store = store.get();
+  }
+
+  DiEventPipeline pipeline(spec.scene, opts);
+  Result<DiEventReport> report = pipeline.Run(&out.repository);
+
+  if (store != nullptr) {
+    Status closed = store->Close();
+    if (!closed.ok()) {
+      if (report.ok()) {
+        // The analysis finished but its tail is not durable: the attempt
+        // failed, and the retry resumes from the last acknowledged frame.
+        out.status =
+            closed.WithContext("closing store for job " + spec.name);
+        return out;
+      }
+      DIEVENT_LOG(Warning) << "job " << spec.name
+                           << ": best-effort store close after failed run: "
+                           << closed;
+    }
+  }
+
+  if (!report.ok()) {
+    out.status = report.status();
+    return out;
+  }
+  out.report = std::move(report).TakeValue();
+  return out;
+}
+
+}  // namespace dievent

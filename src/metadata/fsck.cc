@@ -235,4 +235,43 @@ Result<FsckReport> RunFsck(FileSystem* fs, const std::string& dir,
   return report;
 }
 
+std::string FleetFsckReport::ToString() const {
+  std::string out = StrFormat("fleet fsck: %zu store(s), %d damaged\n",
+                              stores.size(), damaged);
+  for (const FleetFsckEntry& entry : stores) {
+    out += StrFormat("store %s: %s\n", entry.name.c_str(),
+                     entry.damaged ? "DAMAGED" : "clean");
+    if (entry.damaged) out += entry.report.ToString();
+  }
+  return out;
+}
+
+Result<FleetFsckReport> RunFleetFsck(FileSystem* fs,
+                                     const std::string& root,
+                                     const FsckOptions& options) {
+  if (!fs->Exists(root)) {
+    return Status::NotFound("no such fleet root: " + root);
+  }
+  DIEVENT_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           fs->ListDir(root));
+  std::sort(names.begin(), names.end());
+
+  FleetFsckReport fleet;
+  for (const std::string& name : names) {
+    const std::string dir = JoinPath(root, name);
+    // A store is a subdirectory; regular files under the root (logs,
+    // configs) are not ours to judge. Listing is the only directory
+    // probe the FileSystem interface offers.
+    if (!fs->ListDir(dir).ok()) continue;
+    FleetFsckEntry entry;
+    entry.name = name;
+    DIEVENT_ASSIGN_OR_RETURN(entry.report, RunFsck(fs, dir, options));
+    entry.damaged =
+        options.repair ? !entry.report.verified : !entry.report.clean();
+    if (entry.damaged) ++fleet.damaged;
+    fleet.stores.push_back(std::move(entry));
+  }
+  return fleet;
+}
+
 }  // namespace dievent

@@ -59,6 +59,36 @@ struct FsckReport {
 Result<FsckReport> RunFsck(FileSystem* fs, const std::string& dir,
                            const FsckOptions& options = {});
 
+/// One tenant's store within a fleet scan.
+struct FleetFsckEntry {
+  std::string name;  ///< subdirectory name under the fleet root
+  FsckReport report;
+  /// Mirrors the single-store CLI verdict: verify mode = any problem
+  /// found; repair mode = the store failed post-repair verification.
+  bool damaged = false;
+};
+
+/// Aggregate of a fleet-root scan.
+struct FleetFsckReport {
+  std::vector<FleetFsckEntry> stores;
+  /// Stores with problems (verify mode) or that failed post-repair
+  /// verification (repair mode).
+  int damaged = 0;
+
+  bool clean() const { return damaged == 0; }
+  /// One summary line plus each damaged store's full report.
+  std::string ToString() const;
+};
+
+/// Scrubs a fleet root as laid out by the event scheduler: every
+/// subdirectory of `root` is one tenant's DurableEventStore, scanned
+/// with RunFsck under the same options. Non-directory entries are
+/// ignored. Like RunFsck, a non-OK Status means an environmental
+/// failure; per-store damage lands in the report.
+Result<FleetFsckReport> RunFleetFsck(FileSystem* fs,
+                                     const std::string& root,
+                                     const FsckOptions& options = {});
+
 }  // namespace dievent
 
 #endif  // DIEVENT_METADATA_FSCK_H_

@@ -12,6 +12,7 @@ namespace {
 constexpr double kMeetingFps = 15.25;  // 610 frames / 40 s (Section III)
 constexpr int kMeetingFrames = 610;
 constexpr double kHeadHeight = 1.15;   // seated head-centre height, metres
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
 
 ScriptedParticipant MakeParticipant(int id, const char* name, Rgb color,
                                     Vec3 seat) {
@@ -112,7 +113,7 @@ DiningScene MakeDinnerScenario(int n, double duration_s, double fps) {
                          {90, 200, 220}, {150, 90, 200}};
   const double table_r = 0.9;
   for (int i = 0; i < n; ++i) {
-    double a = 2.0 * 3.14159265358979323846 * i / n;
+    double a = kTwoPi * i / n;
     Vec3 seat{table_r * std::cos(a), table_r * std::sin(a), kHeadHeight};
     people.push_back(MakeParticipant(
         i, StrFormat("P%d", i + 1).c_str(), palette[i % 8], seat));
@@ -186,7 +187,7 @@ PhasedScene MakePhasedDinnerScenario(
                          {90, 200, 220}, {150, 90, 200}};
   const double table_r = 0.9;
   for (int i = 0; i < n; ++i) {
-    double a = 2.0 * 3.14159265358979323846 * i / n;
+    double a = kTwoPi * i / n;
     people.push_back(MakeParticipant(
         i, StrFormat("P%d", i + 1).c_str(), palette[i % 8],
         {table_r * std::cos(a), table_r * std::sin(a), kHeadHeight}));
@@ -330,8 +331,7 @@ DiningScene MakeRandomScenario(int n, int num_frames, double fps, Rng* rng) {
   std::vector<ScriptedParticipant> people;
   const double table_r = 0.9;
   for (int i = 0; i < n; ++i) {
-    double a = 2.0 * 3.14159265358979323846 * i / n +
-               rng->Uniform(-0.05, 0.05);
+    double a = kTwoPi * i / n + rng->Uniform(-0.05, 0.05);
     Vec3 seat{table_r * std::cos(a), table_r * std::sin(a),
               kHeadHeight + rng->Uniform(-0.05, 0.05)};
     Rgb color{static_cast<uint8_t>(40 + rng->NextBelow(200)),

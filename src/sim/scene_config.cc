@@ -162,6 +162,7 @@ Result<DiningScene> ParseSceneConfig(std::string_view text) {
         if (args[3] == EmotionName(e)) {
           emotion = e;
           found = true;
+          break;
         }
       }
       if (!found) return LineError(line_no, "unknown emotion: " + args[3]);

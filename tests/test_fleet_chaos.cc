@@ -1,0 +1,299 @@
+// Fleet chaos drill: ten tenants run concurrently under seeded storage
+// faults — one tenant permanently wedged (parked after its error budget
+// is spent), one crash-restarted mid-run with a power cut, one flaky
+// then healed — and the bulkheads must hold: every healthy or recovered
+// tenant's durable state is bit-identical to an uninterrupted solo run
+// of the same scene (zero acked-record loss, zero duplicate replay),
+// and the wedged tenant's blast radius is exactly itself. Fleet-level
+// fsck must report every surviving store clean, flag deliberate damage,
+// and repair it.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "fleet/scheduler.h"
+#include "io/faulty_file.h"
+#include "metadata/durable_store.h"
+#include "metadata/fsck.h"
+#include "sim/scenario.h"
+
+namespace dievent {
+namespace {
+
+/// Empties `dir` and one level of subdirectories (a fleet root holds
+/// one flat store directory per tenant). The FileSystem interface has
+/// no directory removal, so emptied directories stay behind — harmless,
+/// the drill reuses the same tenant names every run.
+std::string FreshTree(const std::string& name) {
+  FileSystem* fs = FileSystem::Default();
+  const std::string dir = testing::TempDir() + "/" + name;
+  if (!fs->Exists(dir)) return dir;
+  auto names = fs->ListDir(dir);
+  EXPECT_TRUE(names.ok()) << names.status().ToString();
+  for (const std::string& n : names.value()) {
+    const std::string path = JoinPath(dir, n);
+    auto sub = fs->ListDir(path);
+    if (!sub.ok()) {
+      EXPECT_TRUE(fs->Remove(path).ok());
+      continue;
+    }
+    for (const std::string& s : sub.value()) {
+      EXPECT_TRUE(fs->Remove(JoinPath(path, s)).ok());
+    }
+  }
+  return dir;
+}
+
+/// Serializes a repository's logical state: the byte-identity oracle
+/// for "recovered exactly the acknowledged records".
+std::string StateBytes(const MetadataRepository& repo,
+                       const std::string& scratch_name) {
+  FileSystem* fs = FileSystem::Default();
+  const std::string path = testing::TempDir() + "/" + scratch_name;
+  EXPECT_TRUE(repo.Save(fs, path, 0).ok());
+  auto data = fs->ReadFile(path);
+  EXPECT_TRUE(data.ok());
+  EXPECT_TRUE(fs->Remove(path).ok());
+  return data.ok() ? data.value() : std::string();
+}
+
+constexpr int kTenants = 10;
+constexpr int kWedged = 3;  ///< every attempt fails: parked
+constexpr int kCrashy = 5;  ///< attempt 0 dies mid-run + power cut
+constexpr int kFlaky = 7;   ///< attempt 0 on a lossy disk, then healed
+
+DiningScene TenantScene(int i) {
+  return MakeDinnerScenario(3 + i % 3, 2.0, 10.0);
+}
+
+std::string TenantName(int i) { return StrFormat("tenant%02d", i); }
+
+JobPriority TenantPriority(int i) {
+  if (i == 2 || i == 8) return JobPriority::kLow;
+  if (i == 4) return JobPriority::kHigh;
+  return JobPriority::kNormal;
+}
+
+EventJobSpec BaseSpec(const std::string& name, const DiningScene* scene) {
+  EventJobSpec spec;
+  spec.name = name;
+  spec.scene = scene;
+  spec.pipeline.mode = PipelineMode::kGroundTruth;
+  spec.pipeline.parse_video = false;
+  return spec;
+}
+
+/// Uninterrupted in-memory run of one tenant's scene: the ground truth
+/// the fleet's durable output must match byte for byte.
+MetadataRepository SoloOracle(const DiningScene* scene) {
+  EventJobSpec spec = BaseSpec("solo", scene);
+  EventJobRunContext ctx;
+  ctx.clock = RealClock::Get();
+  EventJobResult solo = RunEventJobOnce(spec, ctx);
+  EXPECT_TRUE(solo.status.ok()) << solo.status.ToString();
+  return std::move(solo.repository);
+}
+
+TEST(FleetChaosTest, BulkheadsHoldUnderStorageFaults) {
+  FileSystem* fs = FileSystem::Default();
+  const std::string root = FreshTree("fleet_chaos");
+  // The wedged tenant lives outside the fleet root: its store never
+  // becomes consistent, and the fleet-fsck sweep below asserts every
+  // *surviving* store is clean.
+  const std::string wedged_dir = FreshTree("fleet_chaos_wedged");
+  ASSERT_TRUE(fs->CreateDir(root).ok() || fs->Exists(root));
+
+  std::deque<DiningScene> scenes;
+  for (int i = 0; i < kTenants; ++i) scenes.push_back(TenantScene(i));
+
+  // Calibrate the crash point from an uninterrupted store-backed run of
+  // the crashy tenant's scene: dying after half the journal bytes lands
+  // mid-run with at least one durable checkpoint behind it. This
+  // measuring run doubles as the crashy tenant's oracle.
+  MetadataRepository crashy_oracle;
+  long long crashy_total_bytes = 0;
+  {
+    FaultyFileSystem counting_fs(fs, FileFaultSpec{});  // no faults
+    EventJobSpec probe =
+        BaseSpec("probe", &scenes[kCrashy]);
+    probe.store_dir = FreshTree("fleet_chaos_probe");
+    probe.fs_for_attempt = [&counting_fs](int) -> FileSystem* {
+      return &counting_fs;
+    };
+    EventJobRunContext ctx;
+    ctx.clock = RealClock::Get();
+    ctx.default_checkpoint_every_frames = 4;
+    EventJobResult measured = RunEventJobOnce(probe, ctx);
+    ASSERT_TRUE(measured.status.ok()) << measured.status.ToString();
+    crashy_oracle = std::move(measured.repository);
+    crashy_total_bytes = counting_fs.bytes_appended();
+    ASSERT_GT(crashy_total_bytes, 0);
+  }
+
+  FaultyFileSystem wedged_fs(fs, [] {
+    FileFaultSpec spec;
+    spec.seed = 11;
+    spec.write_error_probability = 1.0;
+    return spec;
+  }());
+  FaultyFileSystem crash_fs(fs, [&] {
+    FileFaultSpec spec;
+    spec.seed = 12;
+    spec.crash_after_bytes = crashy_total_bytes / 2;
+    return spec;
+  }());
+  FaultyFileSystem flaky_fs(fs, [] {
+    FileFaultSpec spec;
+    spec.seed = 13;
+    spec.write_error_probability = 0.15;
+    spec.sync_error_probability = 0.05;
+    return spec;
+  }());
+  bool power_cut_done = false;
+
+  SchedulerOptions options;
+  options.max_concurrent = 4;
+  options.checkpoint_every_frames = 4;
+  options.max_attempts = 3;
+  EventScheduler scheduler(options);
+
+  std::vector<int> ids;
+  for (int i = 0; i < kTenants; ++i) {
+    EventJobSpec spec = BaseSpec(TenantName(i), &scenes[i]);
+    spec.priority = TenantPriority(i);
+    spec.store_dir =
+        i == kWedged ? wedged_dir : JoinPath(root, TenantName(i));
+    if (i == kWedged) {
+      spec.fs_for_attempt = [&wedged_fs](int) -> FileSystem* {
+        return &wedged_fs;
+      };
+    } else if (i == kCrashy) {
+      spec.fs_for_attempt = [&crash_fs, &power_cut_done,
+                             fs](int attempt) -> FileSystem* {
+        if (attempt == 0) return &crash_fs;
+        if (!power_cut_done) {
+          // Power cut between death and restart: everything the dead
+          // writer did not fsync is gone; only acknowledged (= synced)
+          // records may be recovered.
+          power_cut_done = true;
+          EXPECT_TRUE(crash_fs.LoseUnsyncedData().ok());
+        }
+        return fs;
+      };
+    } else if (i == kFlaky) {
+      spec.fs_for_attempt = [&flaky_fs, fs](int attempt) -> FileSystem* {
+        return attempt == 0 ? &flaky_fs : fs;
+      };
+    }
+    ids.push_back(scheduler.Submit(std::move(spec)));
+  }
+
+  const Status drained = scheduler.RunUntilDrained();
+  // The wedged tenant parks, and only it: the drain reports exactly
+  // that, while every other tenant completed.
+  EXPECT_FALSE(drained.ok());
+  EXPECT_NE(drained.ToString().find(TenantName(kWedged)),
+            std::string::npos)
+      << drained.ToString();
+
+  FleetStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, kTenants);
+  EXPECT_EQ(stats.completed, kTenants - 1);
+  EXPECT_EQ(stats.parked, 1);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_FALSE(stats.AllHealthy());
+
+  const JobStats& wedged = stats.jobs[ids[kWedged]];
+  EXPECT_EQ(wedged.state, JobState::kParked);
+  EXPECT_EQ(wedged.attempts, options.max_attempts);
+  EXPECT_FALSE(wedged.last_error.ok());
+
+  const JobStats& crashy = stats.jobs[ids[kCrashy]];
+  EXPECT_EQ(crashy.state, JobState::kCompleted);
+  EXPECT_EQ(crashy.attempts, 2) << "died once, recovered once";
+  EXPECT_TRUE(crash_fs.crashed());
+  const EventJobResult* crashy_result = scheduler.result(ids[kCrashy]);
+  ASSERT_NE(crashy_result, nullptr);
+  EXPECT_GE(crashy_result->report.degradation.resumed_from_frame, 0)
+      << "the restart must resume from a durable checkpoint, not redo "
+         "the whole event";
+  EXPECT_GT(crashy_result->report.degradation.resume_reused_frames, 0);
+
+  const JobStats& flaky = stats.jobs[ids[kFlaky]];
+  EXPECT_EQ(flaky.state, JobState::kCompleted);
+  EXPECT_GE(flaky.attempts, 2) << "the lossy disk must have bitten";
+
+  // --- zero loss, zero duplicates, bulkheads held ----------------------
+  // Reopen every surviving store from disk and compare its recovered
+  // state byte-for-byte against an uninterrupted solo run.
+  for (int i = 0; i < kTenants; ++i) {
+    if (i == kWedged) continue;
+    SCOPED_TRACE(TenantName(i));
+    MetadataRepository oracle =
+        i == kCrashy ? std::move(crashy_oracle) : SoloOracle(&scenes[i]);
+    auto reopened =
+        DurableEventStore::Open(JoinPath(root, TenantName(i)));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(
+        StateBytes(reopened.value()->repository(),
+                   StrFormat("chaos_fleet_%02d.dmr", i)),
+        StateBytes(oracle, StrFormat("chaos_solo_%02d.dmr", i)));
+    EXPECT_TRUE(reopened.value()->Close().ok());
+  }
+
+  // --- fleet fsck: clean sweep, then deliberate damage -----------------
+  auto sweep = RunFleetFsck(fs, root);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  EXPECT_EQ(sweep.value().stores.size(),
+            static_cast<size_t>(kTenants - 1));
+  EXPECT_EQ(sweep.value().damaged, 0) << sweep.value().ToString();
+  EXPECT_TRUE(sweep.value().clean());
+
+  // Tear one surviving store's journal tail, as a crashed writer would.
+  const std::string victim = JoinPath(root, TenantName(0));
+  auto victim_files = fs->ListDir(victim);
+  ASSERT_TRUE(victim_files.ok());
+  std::string segment;
+  for (const std::string& n : victim_files.value()) {
+    if (n.rfind("journal", 0) == 0) segment = JoinPath(victim, n);
+  }
+  ASSERT_FALSE(segment.empty()) << "no journal segment in " << victim;
+  {
+    auto f = fs->OpenForAppend(segment);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f.value()->Append("garbage from a torn write").ok());
+    ASSERT_TRUE(f.value()->Close().ok());
+  }
+  auto damaged = RunFleetFsck(fs, root);
+  ASSERT_TRUE(damaged.ok());
+  EXPECT_EQ(damaged.value().damaged, 1) << damaged.value().ToString();
+  EXPECT_FALSE(damaged.value().clean());
+  for (const FleetFsckEntry& entry : damaged.value().stores) {
+    EXPECT_EQ(entry.damaged, entry.name == TenantName(0)) << entry.name;
+  }
+
+  // Repair heals the fleet: every store verifies, and a fresh verify
+  // sweep is clean again.
+  FsckOptions repair;
+  repair.repair = true;
+  auto repaired = RunFleetFsck(fs, root, repair);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired.value().damaged, 0) << repaired.value().ToString();
+  EXPECT_TRUE(repaired.value().clean());
+  EXPECT_TRUE(RunFleetFsck(fs, root).value().clean());
+}
+
+TEST(FleetChaosTest, FleetFsckMissingRootIsAnEnvironmentalError) {
+  auto report = RunFleetFsck(FileSystem::Default(),
+                             testing::TempDir() + "/fleet_no_such_root");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dievent

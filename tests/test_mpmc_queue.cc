@@ -1,0 +1,160 @@
+// Bounded MPMC work queue: FIFO semantics, capacity backpressure, the
+// closed-queue shutdown handshake, a many-producer/many-consumer
+// accounting stress, and SimClock integration (a blocked Pop releases
+// its pending-work token so simulated time can auto-advance).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mpmc_queue.h"
+
+namespace dievent {
+namespace {
+
+TEST(MpmcQueueTest, FifoAndCapacity) {
+  MpmcQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_FALSE(q.TryPush(4)) << "queue is full";
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.max_depth_seen(), 3u);
+
+  std::optional<int> v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2);
+  EXPECT_TRUE(q.TryPush(4));
+  v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 3);
+  v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 4);
+  EXPECT_FALSE(q.TryPop().has_value());
+  EXPECT_EQ(q.max_depth_seen(), 3u);
+}
+
+TEST(MpmcQueueTest, CapacityClampedToOne) {
+  MpmcQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(7));
+  EXPECT_FALSE(q.TryPush(8));
+}
+
+TEST(MpmcQueueTest, CloseWakesConsumersAfterDrain) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.Push(3)) << "push after close fails";
+  EXPECT_FALSE(q.TryPush(3));
+  // Queued items remain poppable; then the closed queue reports empty.
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueueTest, BlockingPushUnblocksOnPop) {
+  MpmcQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks until the consumer makes room
+    pushed.store(true);
+  });
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(MpmcQueueTest, CloseUnblocksWaitingProducer) {
+  MpmcQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.Push(2)) << "closed while blocked: item dropped";
+  });
+  q.Close();
+  producer.join();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumersExactAccounting) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  MpmcQueue<int> q(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::vector<int>> received(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &received, c] {
+      while (std::optional<int> v = q.Pop()) {
+        received[c].push_back(*v);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  // Every pushed item popped exactly once.
+  std::multiset<int> all;
+  for (const auto& r : received) all.insert(r.begin(), r.end());
+  ASSERT_EQ(all.size(), static_cast<size_t>(kProducers * kPerProducer));
+  for (int v = 0; v < kProducers * kPerProducer; ++v) {
+    EXPECT_EQ(all.count(v), 1u) << "item " << v;
+  }
+  EXPECT_LE(q.max_depth_seen(), q.capacity());
+}
+
+TEST(MpmcQueueTest, BlockedPopReleasesSimClockToken) {
+  // A consumer parked in Pop() must not hold simulated time still: the
+  // producer's sleep is the only pending deadline, so auto-advance
+  // should jump straight to it and the item should arrive at exactly
+  // t = 5s.
+  SimClock::Options options;
+  options.auto_advance = true;
+  SimClock clock(options);
+  MpmcQueue<int> q(2, &clock);
+
+  clock.AddPendingWork(2);  // one token per thread, credited pre-spawn
+  double popped_at_s = -1;
+  std::thread consumer([&] {
+    std::optional<int> v = q.Pop();
+    popped_at_s = clock.NowSeconds();
+    EXPECT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+    clock.AddPendingWork(-1);
+  });
+  std::thread producer([&] {
+    clock.SleepFor(VirtualClock::FromSeconds(5.0));
+    EXPECT_TRUE(q.Push(42));
+    clock.AddPendingWork(-1);
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_DOUBLE_EQ(popped_at_s, 5.0);
+}
+
+}  // namespace
+}  // namespace dievent

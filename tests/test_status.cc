@@ -36,6 +36,7 @@ TEST(Status, FactoriesSetCodeAndMessage) {
       {Status::Unimplemented("h"), StatusCode::kUnimplemented,
        "Unimplemented"},
       {Status::Internal("i"), StatusCode::kInternal, "Internal"},
+      {Status::Cancelled("j"), StatusCode::kCancelled, "Cancelled"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -7,10 +7,15 @@
 ///   dievent_fsck --repair <store-dir>   verify, apply safe repairs,
 ///                                       then reopen the store to prove
 ///                                       recovery works
+///   dievent_fsck --fleet <root>         scan every per-event store
+///                                       directory under a fleet root
+///                                       (combines with --repair)
 ///
 /// Exit codes:
-///   0  clean store, or repairs applied and the store reopens cleanly
+///   0  clean store(s), or repairs applied and the store(s) reopen
+///      cleanly
 ///   1  problems found (verify mode) or post-repair verification failed
+///      — in fleet mode, in any store
 ///   2  usage or environmental error (missing directory, unreadable)
 
 #include <cstdio>
@@ -24,12 +29,15 @@ namespace {
 
 void PrintUsage(std::FILE* out) {
   std::fputs(
-      "usage: dievent_fsck [--repair] <store-dir>\n"
+      "usage: dievent_fsck [--repair] [--fleet] <store-dir|fleet-root>\n"
       "  Verifies a durable event store: snapshot section checksums,\n"
       "  journal frame CRCs, record decode, and sequence continuity.\n"
       "  With --repair, additionally removes stray checkpoint temps,\n"
       "  truncates torn journal tails, quarantines unreachable segments\n"
-      "  and corrupt snapshots, and re-verifies by reopening the store.\n",
+      "  and corrupt snapshots, and re-verifies by reopening the store.\n"
+      "  With --fleet, the argument is a scheduler fleet root: every\n"
+      "  subdirectory is scanned as one tenant's store, and the exit\n"
+      "  code is non-zero iff any store is damaged.\n",
       out);
 }
 
@@ -37,10 +45,13 @@ void PrintUsage(std::FILE* out) {
 
 int main(int argc, char** argv) {
   bool repair = false;
+  bool fleet = false;
   std::string dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repair") == 0) {
       repair = true;
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       PrintUsage(stdout);
@@ -64,6 +75,18 @@ int main(int argc, char** argv) {
 
   dievent::FsckOptions options;
   options.repair = repair;
+  if (fleet) {
+    auto result = dievent::RunFleetFsck(dievent::FileSystem::Default(),
+                                        dir, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "dievent_fsck: %s\n",
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    const dievent::FleetFsckReport& report = result.value();
+    std::fputs(report.ToString().c_str(), stdout);
+    return report.clean() ? 0 : 1;
+  }
   auto result =
       dievent::RunFsck(dievent::FileSystem::Default(), dir, options);
   if (!result.ok()) {
