@@ -1,0 +1,320 @@
+// KERNELS: scalar-vs-SIMD microbenchmarks for the vision/ML hot-path
+// kernels in src/common/simd.h — blocked matvec, row-wise LBP codes, the
+// integral-image prefix scan, the detector's dual color gate, and the
+// mask occupancy reduce.
+//
+// `bench_kernels --perf_smoke=PATH` verifies the kernels' bit-identical
+// equivalence contract (simd::SelfCheck), measures each kernel scalar vs
+// dispatched (best of 3), gates on a per-kernel speedup floor when a
+// vectorized backend is compiled in, and writes PATH as JSON. Wired into
+// the `perf-smoke` CMake target; BENCH_kernels.json at the repo root is
+// the committed snapshot — per-kernel history makes a pipeline perf
+// regression attributable to a specific loop.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/simd.h"
+
+namespace dievent {
+namespace {
+
+// Deterministic pseudo-random fill; the same stream every run so the
+// committed snapshots are comparable across machines and PRs.
+struct XorShift {
+  uint32_t s = 0x243F6A88u;
+  uint32_t Next() {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    return s;
+  }
+};
+
+constexpr int kFrameW = 640, kFrameH = 480;
+
+// Emotion-net first-layer shape: 6x6 LBP grid x 59 bins -> 48 hidden.
+constexpr int kMatVecIn = 2124, kMatVecOut = 48;
+
+struct KernelData {
+  std::vector<float> w, bias, x, y;
+  std::vector<uint8_t> gray, codes, rgb, mask_a, mask_b, sparse, occ;
+  std::vector<uint32_t> prev, integral_out;
+
+  KernelData() {
+    XorShift rng;
+    w.resize(static_cast<size_t>(kMatVecIn) * kMatVecOut);
+    bias.resize(kMatVecOut);
+    x.resize(kMatVecIn);
+    y.resize(kMatVecOut);
+    for (auto& v : w) {
+      v = static_cast<float>(static_cast<int>(rng.Next() % 2001) - 1000) /
+          1000.0f;
+    }
+    for (auto& v : bias) {
+      v = static_cast<float>(static_cast<int>(rng.Next() % 201) - 100) /
+          100.0f;
+    }
+    for (auto& v : x) v = static_cast<float>(rng.Next() % 1000) / 1000.0f;
+
+    const size_t n = static_cast<size_t>(kFrameW) * kFrameH;
+    gray.resize(n);
+    codes.resize(n);
+    for (auto& v : gray) v = static_cast<uint8_t>(rng.Next());
+    prev.resize(kFrameW);
+    integral_out.resize(kFrameW);
+    for (auto& v : prev) v = rng.Next() % 1000000;
+
+    rgb.resize(n * 3);
+    mask_a.resize(n);
+    mask_b.resize(n);
+    // Mid-range pixels so the gates see realistic hit rates.
+    for (auto& v : rgb) v = static_cast<uint8_t>(rng.Next() % 128 + 64);
+
+    // Sparse mask (~2% density in a few blobs), the detector's typical
+    // input for the occupancy reduce.
+    sparse.assign(n, 0);
+    for (int blob = 0; blob < 6; ++blob) {
+      const int cx = static_cast<int>(rng.Next() % kFrameW);
+      const int cy = static_cast<int>(rng.Next() % kFrameH);
+      for (int dy = -20; dy <= 20; ++dy) {
+        for (int dx = -20; dx <= 20; ++dx) {
+          const int px = cx + dx, py = cy + dy;
+          if (px < 0 || px >= kFrameW || py < 0 || py >= kFrameH) continue;
+          sparse[static_cast<size_t>(py) * kFrameW + px] = 1;
+        }
+      }
+    }
+    occ.resize(simd::OccupancyEntries(n));
+  }
+};
+
+KernelData& Data() {
+  static KernelData* data = new KernelData();
+  return *data;
+}
+
+// One batch of work per kernel, sized so a measurement lasts ~tens of ms.
+void RunMatVec(bool simd_path) {
+  KernelData& d = Data();
+  for (int r = 0; r < 64; ++r) {
+    if (simd_path) {
+      simd::MatVec(d.w.data(), d.bias.data(), d.x.data(), kMatVecIn,
+                   kMatVecOut, d.y.data());
+    } else {
+      simd::MatVecScalar(d.w.data(), d.bias.data(), d.x.data(), kMatVecIn,
+                         kMatVecOut, d.y.data());
+    }
+    benchmark::DoNotOptimize(d.y.data());
+  }
+}
+
+void RunLbp(bool simd_path) {
+  KernelData& d = Data();
+  for (int r = 0; r < 4; ++r) {
+    if (simd_path) {
+      simd::LbpCodes(d.gray.data(), kFrameW, kFrameH, d.codes.data());
+    } else {
+      simd::LbpCodesScalar(d.gray.data(), kFrameW, kFrameH, d.codes.data());
+    }
+    benchmark::DoNotOptimize(d.codes.data());
+  }
+}
+
+void RunIntegral(bool simd_path) {
+  KernelData& d = Data();
+  // Full-image build cost: kFrameH dependent row scans.
+  for (int r = 0; r < 8; ++r) {
+    for (int y = 0; y < kFrameH; ++y) {
+      const uint8_t* src = d.gray.data() + static_cast<size_t>(y) * kFrameW;
+      if (simd_path) {
+        simd::IntegralRow(src, d.prev.data(), d.integral_out.data(),
+                          kFrameW);
+      } else {
+        simd::IntegralRowScalar(src, d.prev.data(), d.integral_out.data(),
+                                kFrameW);
+      }
+    }
+    benchmark::DoNotOptimize(d.integral_out.data());
+  }
+}
+
+void RunColorMasks(bool simd_path) {
+  KernelData& d = Data();
+  const size_t n = static_cast<size_t>(kFrameW) * kFrameH;
+  for (int r = 0; r < 4; ++r) {
+    if (simd_path) {
+      simd::ColorMasks2(d.rgb.data(), n, 224, 172, 150, 32, 40, 30, 22, 26,
+                        d.mask_a.data(), d.mask_b.data());
+    } else {
+      simd::ColorMasks2Scalar(d.rgb.data(), n, 224, 172, 150, 32, 40, 30,
+                              22, 26, d.mask_a.data(), d.mask_b.data());
+    }
+    benchmark::DoNotOptimize(d.mask_a.data());
+  }
+}
+
+void RunOccupancy(bool simd_path) {
+  KernelData& d = Data();
+  const size_t n = static_cast<size_t>(kFrameW) * kFrameH;
+  for (int r = 0; r < 64; ++r) {
+    if (simd_path) {
+      simd::OccupancyMap(d.sparse.data(), n, d.occ.data());
+    } else {
+      simd::OccupancyMapScalar(d.sparse.data(), n, d.occ.data());
+    }
+    benchmark::DoNotOptimize(d.occ.data());
+  }
+}
+
+struct Kernel {
+  const char* name;
+  void (*run)(bool simd_path);
+  // Minimum dispatched-vs-scalar speedup gated in --perf_smoke when a
+  // vectorized backend is compiled in. Compute-bound kernels measure
+  // >= 2x on commodity x86; 1.5 leaves margin for noisy shared CI
+  // runners. The integral row is the exception: the kernel streams ~9
+  // bytes of table traffic per pixel while the scalar recurrence already
+  // runs at one add per cycle, so both sides sit near the memory
+  // bandwidth limit and the honest speedup is ~1.6-2x.
+  double floor;
+};
+
+constexpr Kernel kKernels[] = {
+    {"matvec", RunMatVec, 1.5},
+    {"lbp_codes", RunLbp, 1.5},
+    {"integral_row", RunIntegral, 1.2},
+    {"color_masks", RunColorMasks, 1.5},
+    {"occupancy_map", RunOccupancy, 1.5},
+};
+
+// --- google-benchmark registrations -------------------------------------
+
+void BM_Kernel(benchmark::State& state, const Kernel& kernel,
+               bool simd_path) {
+  for (auto _ : state) kernel.run(simd_path);
+  state.SetLabel(simd_path ? simd::ActiveBackend() : "scalar");
+}
+
+// --- perf smoke ----------------------------------------------------------
+
+double MeasureBatchSeconds(const Kernel& kernel, bool simd_path) {
+  // Warm-up pass (page in buffers, settle frequency), then best of 3.
+  kernel.run(simd_path);
+  double best = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
+    kernel.run(simd_path);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock)
+                      .count();
+    if (best == 0 || wall < best) best = wall;
+  }
+  return best;
+}
+
+int RunPerfSmoke(const std::string& path) {
+  // The speedup numbers mean nothing if the vectorized kernels drifted
+  // from their scalar references, so equivalence is checked first.
+  if (!simd::SelfCheck()) {
+    std::fprintf(stderr,
+                 "perf_smoke: simd::SelfCheck FAILED — %s kernels do not "
+                 "match the scalar reference\n",
+                 simd::ActiveBackend());
+    return 2;
+  }
+
+  // Per-kernel speedup floors (see kKernels), gated only when a
+  // vectorized backend is compiled in (on the scalar fallback both paths
+  // are the same code and the ratio hovers around 1).
+  const bool gated = simd::kEnabled;
+
+  struct Row {
+    const char* name;
+    double scalar_ms, simd_ms, speedup, floor;
+  };
+  std::vector<Row> rows;
+  bool pass = true;
+  for (const Kernel& kernel : kKernels) {
+    const double scalar_s = MeasureBatchSeconds(kernel, false);
+    const double simd_s = MeasureBatchSeconds(kernel, true);
+    const double speedup = scalar_s / simd_s;
+    rows.push_back(
+        Row{kernel.name, scalar_s * 1e3, simd_s * 1e3, speedup, kernel.floor});
+    if (gated && speedup < kernel.floor) pass = false;
+  }
+
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"benchmark\": \"kernels_smoke\",\n"
+      << "  \"backend\": \"" << simd::ActiveBackend() << "\",\n"
+      << "  \"frame\": \"" << kFrameW << "x" << kFrameH << "\",\n"
+      << "  \"matvec_shape\": \"" << kMatVecIn << "->" << kMatVecOut
+      << "\",\n"
+      << "  \"kernels\": {\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    \"" << r.name << "\": {\"scalar_ms\": " << r.scalar_ms
+        << ", \"simd_ms\": " << r.simd_ms << ", \"speedup\": " << r.speedup
+        << ", \"floor\": " << r.floor << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  },\n"
+      << "  \"gated\": " << (gated ? "true" : "false") << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << ",\n"
+      << "  \"note\": \"scalar/simd ms per work batch, best of 3; outputs "
+         "are bit-identical across backends (simd::SelfCheck + "
+         "test_simd_kernels); floors apply per kernel and only when a "
+         "vectorized backend is compiled in (integral_row is memory-"
+         "bandwidth-bound, hence its lower floor)\"\n"
+      << "}\n";
+  out.close();
+
+  for (const Row& r : rows) {
+    std::printf(
+        "perf_smoke: %-14s scalar %7.2f ms  %s %7.2f ms  %.2fx "
+        "(floor %.1fx)%s\n",
+        r.name, r.scalar_ms, simd::ActiveBackend(), r.simd_ms, r.speedup,
+        r.floor, gated && r.speedup < r.floor ? "  << FLOOR" : "");
+  }
+  std::printf("perf_smoke: backend %s, per-kernel floors (%s) -> %s\n",
+              simd::ActiveBackend(),
+              gated ? "gated" : "not gated on scalar fallback",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dievent
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string flag = "--perf_smoke=";
+    if (arg.rfind(flag, 0) == 0) {
+      return dievent::RunPerfSmoke(arg.substr(flag.size()));
+    }
+  }
+  for (const dievent::Kernel& kernel : dievent::kKernels) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_") + kernel.name + "/scalar").c_str(),
+        [&kernel](benchmark::State& s) { dievent::BM_Kernel(s, kernel, false); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_") + kernel.name + "/simd").c_str(),
+        [&kernel](benchmark::State& s) { dievent::BM_Kernel(s, kernel, true); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,198 @@
+/// \file arena.h
+/// Per-frame bump allocator for vision/ML scratch memory.
+///
+/// An Arena hands out pointer-bumped allocations from a chain of large
+/// blocks and frees them all at once with Reset(). The hot path owns one
+/// arena per worker, resets it at the top of each frame, and carves every
+/// mask, label map, feature vector, and scratch buffer out of it — after
+/// the first few frames the block chain reaches steady state and frame
+/// analysis performs zero heap allocations.
+///
+/// Lifetime rules (see DESIGN.md §13):
+///  - Arena memory is valid until the next Reset(); nothing that outlives
+///    the frame may live on the arena.
+///  - Reset() retains the blocks, so capacity warms up once and is reused.
+///  - Under AddressSanitizer, Reset() poisons everything it reclaims;
+///    touching a stale pointer after Reset() reports use-after-poison
+///    instead of silently reading the next frame's data.
+///
+/// ArenaAllocator<T> adapts an arena to the standard allocator interface
+/// so `ArenaVector<T>` (std::vector on arena memory) works for dynamic
+/// scratch like flood-fill stacks. Deallocation is a no-op; vector growth
+/// abandons the old buffer until the next Reset(), which is fine for the
+/// bounded, short-lived scratch this is meant for.
+
+#ifndef DIEVENT_COMMON_ARENA_H_
+#define DIEVENT_COMMON_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define DIEVENT_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DIEVENT_ARENA_ASAN 1
+#endif
+#endif
+
+#if defined(DIEVENT_ARENA_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace dievent {
+
+class Arena {
+ public:
+  /// \p block_bytes is the granularity of backing allocations; requests
+  /// larger than it get a dedicated block of their own size.
+  explicit Arena(size_t block_bytes = 256 * 1024)
+      : default_block_bytes_(block_bytes == 0 ? 1 : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+#if defined(DIEVENT_ARENA_ASAN)
+    // Blocks must be unpoisoned before the backing memory is returned to
+    // the system allocator.
+    for (Block& b : blocks_) {
+      __asan_unpoison_memory_region(b.data.get(), b.size);
+    }
+#endif
+  }
+
+  /// Returns \p bytes of uninitialized storage aligned to \p align (a
+  /// power of two). Zero-byte requests return a unique, valid pointer.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    assert(align != 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    while (active_ < blocks_.size()) {
+      Block& b = blocks_[active_];
+      // Align the absolute address, not the block offset: new[] storage
+      // is only guaranteed aligned to max_align_t, and callers may ask
+      // for more (e.g. 64 for cache-line scratch).
+      const uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+      const size_t aligned = AlignUp(base + b.used, align) - base;
+      if (aligned + bytes <= b.size) {
+        b.used = aligned + bytes;
+        frame_bytes_ += bytes;
+        uint8_t* p = b.data.get() + aligned;
+#if defined(DIEVENT_ARENA_ASAN)
+        __asan_unpoison_memory_region(p, bytes);
+#endif
+        return p;
+      }
+      ++active_;
+    }
+    // The slack guarantees the request fits after address alignment even
+    // in a dedicated block.
+    AddBlock(bytes < default_block_bytes_ ? default_block_bytes_ + align
+                                          : bytes + align);
+    return Allocate(bytes, align);
+  }
+
+  /// Typed array allocation (uninitialized — callers that need zeroing or
+  /// construction do it themselves; the hot path usually overwrites).
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Reclaims everything allocated since the last Reset(). Blocks are
+  /// retained, so steady-state frames never touch the heap.
+  void Reset() {
+    for (Block& b : blocks_) {
+#if defined(DIEVENT_ARENA_ASAN)
+      __asan_poison_memory_region(b.data.get(), b.size);
+#endif
+      b.used = 0;
+    }
+    active_ = 0;
+    frame_bytes_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset() (excludes alignment gaps).
+  size_t bytes_allocated() const { return frame_bytes_; }
+
+  /// Total capacity held across all retained blocks.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static size_t AlignUp(size_t v, size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  void AddBlock(size_t size) {
+    Block b;
+    // operator new[] storage is aligned for max_align_t; larger requests
+    // re-align inside the block.
+    b.data = std::make_unique<uint8_t[]>(size);
+    b.size = size;
+#if defined(DIEVENT_ARENA_ASAN)
+    __asan_poison_memory_region(b.data.get(), b.size);
+#endif
+    blocks_.push_back(std::move(b));
+    active_ = blocks_.size() - 1;
+  }
+
+  const size_t default_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t active_ = 0;
+  size_t frame_bytes_ = 0;
+};
+
+/// Standard-allocator adapter over Arena. deallocate() is a no-op; memory
+/// comes back at the owning arena's next Reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other)  // NOLINT(google-explicit-constructor)
+      : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// std::vector whose storage lives on an Arena.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace dievent
+
+#endif  // DIEVENT_COMMON_ARENA_H_

@@ -58,6 +58,17 @@ class Image {
   /// Sets every sample in every channel to `value`.
   void Fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Re-dimensions the image in place, reusing the existing storage
+  /// capacity where possible. Pixel contents are unspecified afterwards —
+  /// this is for scratch images that are fully overwritten each frame.
+  void Reshape(int width, int height, int channels = 1) {
+    assert(width >= 0 && height >= 0 && channels >= 1);
+    width_ = width;
+    height_ = height;
+    channels_ = channels;
+    data_.resize(static_cast<size_t>(width) * height * channels);
+  }
+
   /// Reads a pixel with the coordinates clamped to the image border.
   T AtClamped(int x, int y, int c = 0) const {
     x = std::clamp(x, 0, width_ - 1);
@@ -130,18 +141,29 @@ struct Rgb {
   bool operator==(const Rgb&) const = default;
 };
 
-/// ITU-R BT.601 luma. Converts an interleaved RGB image to grayscale;
-/// 1-channel inputs are copied through.
-inline ImageU8 ToGray(const ImageRgb& rgb) {
-  if (rgb.channels() == 1) return rgb;
-  ImageU8 out(rgb.width(), rgb.height(), 1);
+/// ITU-R BT.601 luma, writing into `out` (storage reused; must not alias
+/// `rgb`). 1-channel inputs are copied through.
+inline void ToGrayInto(const ImageRgb& rgb, ImageU8* out) {
+  if (rgb.channels() == 1) {
+    *out = rgb;
+    return;
+  }
+  out->Reshape(rgb.width(), rgb.height(), 1);
   for (int y = 0; y < rgb.height(); ++y) {
     for (int x = 0; x < rgb.width(); ++x) {
       double v = 0.299 * rgb.at(x, y, 0) + 0.587 * rgb.at(x, y, 1) +
                  0.114 * rgb.at(x, y, 2);
-      out.at(x, y) = static_cast<uint8_t>(v + 0.5);
+      out->at(x, y) = static_cast<uint8_t>(v + 0.5);
     }
   }
+}
+
+/// ITU-R BT.601 luma. Converts an interleaved RGB image to grayscale;
+/// 1-channel inputs are copied through.
+inline ImageU8 ToGray(const ImageRgb& rgb) {
+  if (rgb.channels() == 1) return rgb;
+  ImageU8 out;
+  ToGrayInto(rgb, &out);
   return out;
 }
 

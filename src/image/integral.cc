@@ -1,27 +1,39 @@
 #include "image/integral.h"
 
 #include <cassert>
+#include <cstdint>
+
+#include "common/simd.h"
 
 namespace dievent {
 
 IntegralImage::IntegralImage(const ImageU8& gray)
     : width_(gray.width()), height_(gray.height()) {
   assert(gray.channels() == 1);
+  // uint32 capacity bound: the bottom-right entry is the full-image sum.
+  assert(static_cast<uint64_t>(width_) * height_ * 255 <= UINT32_MAX);
   table_.assign(static_cast<size_t>(width_ + 1) * (height_ + 1), 0);
+  const uint8_t* src = gray.data().data();
+  const size_t stride = static_cast<size_t>(width_) + 1;
   for (int y = 0; y < height_; ++y) {
-    uint64_t row = 0;
-    for (int x = 0; x < width_; ++x) {
-      row += gray.at(x, y);
-      table_[static_cast<size_t>(y + 1) * (width_ + 1) + (x + 1)] =
-          At(x + 1, y) + row;
-    }
+    // Row recurrence as a prefix scan: table row y+1 (past the leading
+    // zero column) is the previous table row plus the inclusive prefix
+    // sums of the source row. Kernel in common/simd.h.
+    const uint32_t* prev = table_.data() + static_cast<size_t>(y) * stride + 1;
+    uint32_t* out = table_.data() + static_cast<size_t>(y + 1) * stride + 1;
+    simd::IntegralRow(src + static_cast<size_t>(y) * width_, prev, out,
+                      width_);
   }
 }
 
 uint64_t IntegralImage::Sum(int x0, int y0, int w, int h) const {
   assert(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0 && x0 + w <= width_ &&
          y0 + h <= height_);
-  return At(x0 + w, y0 + h) - At(x0, y0 + h) - At(x0 + w, y0) + At(x0, y0);
+  // Widen before combining: the inclusion-exclusion intermediates can go
+  // negative, which would wrap in the table's uint32 domain.
+  const int64_t sum = static_cast<int64_t>(At(x0 + w, y0 + h)) -
+                      At(x0, y0 + h) - At(x0 + w, y0) + At(x0, y0);
+  return static_cast<uint64_t>(sum);
 }
 
 double IntegralImage::Mean(int x0, int y0, int w, int h) const {

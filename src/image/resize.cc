@@ -8,9 +8,10 @@ namespace dievent {
 
 namespace {
 
-Image<uint8_t> ResizeImpl(const Image<uint8_t>& in, int nw, int nh) {
-  assert(nw > 0 && nh > 0 && !in.empty());
-  Image<uint8_t> out(nw, nh, in.channels());
+void ResizeImplInto(const Image<uint8_t>& in, int nw, int nh,
+                    Image<uint8_t>* out) {
+  assert(nw > 0 && nh > 0 && !in.empty() && out != &in);
+  out->Reshape(nw, nh, in.channels());
   const double sx = static_cast<double>(in.width()) / nw;
   const double sy = static_cast<double>(in.height()) / nh;
   for (int y = 0; y < nh; ++y) {
@@ -28,23 +29,31 @@ Image<uint8_t> ResizeImpl(const Image<uint8_t>& in, int nw, int nh) {
         double v11 = in.AtClamped(x0 + 1, y0 + 1, c);
         double v = v00 * (1 - wx) * (1 - wy) + v10 * wx * (1 - wy) +
                    v01 * (1 - wx) * wy + v11 * wx * wy;
-        out.at(x, y, c) = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+        out->at(x, y, c) =
+            static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
       }
     }
   }
-  return out;
 }
 
 }  // namespace
 
 ImageU8 ResizeBilinear(const ImageU8& gray, int nw, int nh) {
+  ImageU8 out;
+  ResizeBilinearInto(gray, nw, nh, &out);
+  return out;
+}
+
+void ResizeBilinearInto(const ImageU8& gray, int nw, int nh, ImageU8* out) {
   assert(gray.channels() == 1);
-  return ResizeImpl(gray, nw, nh);
+  ResizeImplInto(gray, nw, nh, out);
 }
 
 ImageRgb ResizeBilinearRgb(const ImageRgb& rgb, int nw, int nh) {
   assert(rgb.channels() == 3);
-  return ResizeImpl(rgb, nw, nh);
+  ImageRgb out;
+  ResizeImplInto(rgb, nw, nh, &out);
+  return out;
 }
 
 }  // namespace dievent

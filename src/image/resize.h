@@ -11,6 +11,11 @@ namespace dievent {
 /// Bilinear resampling of a 1-channel image to the given size.
 ImageU8 ResizeBilinear(const ImageU8& gray, int new_width, int new_height);
 
+/// As ResizeBilinear, but writes into `out` (must not alias `gray`),
+/// reusing its storage — for per-frame scratch on the emotion path.
+void ResizeBilinearInto(const ImageU8& gray, int new_width, int new_height,
+                        ImageU8* out);
+
 /// Bilinear resampling of a 3-channel image to the given size.
 ImageRgb ResizeBilinearRgb(const ImageRgb& rgb, int new_width,
                            int new_height);

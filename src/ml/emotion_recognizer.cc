@@ -104,22 +104,43 @@ Result<EmotionRecognizer> EmotionRecognizer::FromNetwork(
 
 std::vector<float> EmotionRecognizer::ExtractFeatures(
     const ImageRgb& face_crop) const {
-  ImageU8 gray = ToGray(face_crop);
-  if (gray.width() != options_.crop_size ||
-      gray.height() != options_.crop_size) {
-    gray = ResizeBilinear(gray, options_.crop_size, options_.crop_size);
+  EmotionScratch scratch;
+  return ExtractFeatures(face_crop, &scratch);
+}
+
+const std::vector<float>& EmotionRecognizer::ExtractFeatures(
+    const ImageRgb& face_crop, EmotionScratch* scratch) const {
+  // lint: hot-path-begin(emotion-features)
+  ToGrayInto(face_crop, &scratch->gray);
+  const ImageU8* gray = &scratch->gray;
+  if (gray->width() != options_.crop_size ||
+      gray->height() != options_.crop_size) {
+    ResizeBilinearInto(*gray, options_.crop_size, options_.crop_size,
+                       &scratch->resized);
+    gray = &scratch->resized;
   }
-  return ScaledLbpFeatures(gray, options_.lbp_grid);
+  LbpGridFeaturesInto(*gray, options_.lbp_grid, options_.lbp_grid,
+                      &scratch->lbp_codes, &scratch->features);
+  // Hellinger transform (see ScaledLbpFeatures).
+  for (float& v : scratch->features) v = std::sqrt(v);
+  return scratch->features;
+  // lint: hot-path-end
 }
 
 EmotionPrediction EmotionRecognizer::Recognize(
     const ImageRgb& face_crop) const {
-  // One forward-pass workspace per thread: Recognize is const and the
-  // pipelined executor calls it concurrently from pool workers, so the
-  // scratch cannot live on the recognizer itself.
-  thread_local NeuralNet::ForwardScratch scratch;
+  // One workspace per thread: Recognize is const and the pipelined
+  // executor calls it concurrently from pool workers, so the scratch
+  // cannot live on the recognizer itself.
+  thread_local EmotionScratch scratch;
+  return Recognize(face_crop, &scratch);
+}
+
+EmotionPrediction EmotionRecognizer::Recognize(const ImageRgb& face_crop,
+                                               EmotionScratch* scratch) const {
   EmotionPrediction pred;
-  pred.class_probabilities = net_.Predict(ExtractFeatures(face_crop), &scratch);
+  pred.class_probabilities =
+      net_.Predict(ExtractFeatures(face_crop, scratch), &scratch->nn);
   auto it = std::max_element(pred.class_probabilities.begin(),
                              pred.class_probabilities.end());
   pred.emotion = static_cast<Emotion>(

@@ -29,6 +29,15 @@ double Distance(const std::vector<double>& a, const std::vector<double>& b) {
 std::vector<double> FaceEmbedder::Embed(const ImageRgb& frame,
                                         const FaceDetection& det) const {
   std::vector<double> emb;
+  EmbedInto(frame, det, &emb);
+  return emb;
+}
+
+void FaceEmbedder::EmbedInto(const ImageRgb& frame, const FaceDetection& det,
+                             std::vector<double>* out) const {
+  // lint: hot-path-begin(face-embed)
+  std::vector<double>& emb = *out;
+  emb.clear();
   emb.reserve(kDims);
 
   // Marker (cap) region mean color.
@@ -55,7 +64,7 @@ std::vector<double> FaceEmbedder::Embed(const ImageRgb& frame,
   }
 
   // Coarse 4x4x4 color histogram of the whole head box.
-  std::vector<double> hist(64, 0.0);
+  double hist[64] = {};
   long long total = 0;
   for (int y = std::max(0, det.bbox.y);
        y < std::min(frame.height(), det.bbox.y2()); ++y) {
@@ -69,7 +78,7 @@ std::vector<double> FaceEmbedder::Embed(const ImageRgb& frame,
     }
   }
   for (double v : hist) emb.push_back(total > 0 ? v / total : 0.0);
-  return emb;
+  // lint: hot-path-end
 }
 
 Status FaceRecognizer::Enroll(
@@ -159,6 +168,13 @@ IdentityMatch FaceRecognizer::Recognize(
 IdentityMatch FaceRecognizer::Recognize(const ImageRgb& frame,
                                         const FaceDetection& det) const {
   return Recognize(embedder_.Embed(frame, det));
+}
+
+IdentityMatch FaceRecognizer::Recognize(
+    const ImageRgb& frame, const FaceDetection& det,
+    std::vector<double>* embedding_scratch) const {
+  embedder_.EmbedInto(frame, det, embedding_scratch);
+  return Recognize(*embedding_scratch);
 }
 
 }  // namespace dievent

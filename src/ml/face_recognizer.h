@@ -28,6 +28,12 @@ class FaceEmbedder {
   std::vector<double> Embed(const ImageRgb& frame,
                             const FaceDetection& detection) const;
 
+  /// As above, but overwrites `emb` reusing its capacity — the hot path
+  /// embeds one head per detection per frame, so per-call allocation of
+  /// the 67-dim vector is measurable.
+  void EmbedInto(const ImageRgb& frame, const FaceDetection& detection,
+                 std::vector<double>* emb) const;
+
   /// Dimensionality of the embedding.
   static constexpr int kDims = 3 + 64;
 };
@@ -61,6 +67,12 @@ class FaceRecognizer {
   /// Convenience: embed + recognize.
   IdentityMatch Recognize(const ImageRgb& frame,
                           const FaceDetection& detection) const;
+
+  /// As above with a caller-owned embedding scratch vector (overwritten,
+  /// capacity reused across frames).
+  IdentityMatch Recognize(const ImageRgb& frame,
+                          const FaceDetection& detection,
+                          std::vector<double>* embedding_scratch) const;
 
   int NumEnrolled() const { return static_cast<int>(centroids_.size()); }
 

@@ -3,6 +3,8 @@
 #include <array>
 #include <cassert>
 
+#include "common/simd.h"
+
 namespace dievent {
 
 namespace {
@@ -36,24 +38,18 @@ const std::array<int, 256>& UniformTable() {
 }  // namespace
 
 ImageU8 ComputeLbpCodes(const ImageU8& gray) {
-  assert(gray.channels() == 1);
-  ImageU8 out(gray.width(), gray.height());
-  // Neighbour order: clockwise from top-left, the standard LBP(8,1) ring.
-  const int dx[8] = {-1, 0, 1, 1, 1, 0, -1, -1};
-  const int dy[8] = {-1, -1, -1, 0, 1, 1, 1, 0};
-  for (int y = 0; y < gray.height(); ++y) {
-    for (int x = 0; x < gray.width(); ++x) {
-      uint8_t center = gray.at(x, y);
-      uint8_t code = 0;
-      for (int b = 0; b < 8; ++b) {
-        if (gray.AtClamped(x + dx[b], y + dy[b]) >= center) {
-          code |= static_cast<uint8_t>(1u << b);
-        }
-      }
-      out.at(x, y) = code;
-    }
-  }
+  ImageU8 out;
+  ComputeLbpCodesInto(gray, &out);
   return out;
+}
+
+void ComputeLbpCodesInto(const ImageU8& gray, ImageU8* out) {
+  assert(gray.channels() == 1);
+  out->Reshape(gray.width(), gray.height());
+  // The row-wise branch-free kernel (clockwise-from-top-left LBP(8,1)
+  // ring, clamped borders) lives in common/simd.h.
+  simd::LbpCodes(gray.data().data(), gray.width(), gray.height(),
+                 out->data().data());
 }
 
 int UniformLbpBin(uint8_t code) { return UniformTable()[code]; }
@@ -71,31 +67,42 @@ std::vector<float> LbpHistogram(const ImageU8& gray) {
 
 std::vector<float> LbpGridFeatures(const ImageU8& gray, int grid_x,
                                    int grid_y) {
-  assert(grid_x > 0 && grid_y > 0);
+  ImageU8 codes;
   std::vector<float> features;
-  features.reserve(static_cast<size_t>(grid_x) * grid_y * kUniformLbpBins);
-  ImageU8 codes = ComputeLbpCodes(gray);
+  LbpGridFeaturesInto(gray, grid_x, grid_y, &codes, &features);
+  return features;
+}
+
+void LbpGridFeaturesInto(const ImageU8& gray, int grid_x, int grid_y,
+                         ImageU8* codes_scratch,
+                         std::vector<float>* features) {
+  assert(grid_x > 0 && grid_y > 0);
+  ComputeLbpCodesInto(gray, codes_scratch);
+  const ImageU8& codes = *codes_scratch;
+  features->clear();
+  features->reserve(static_cast<size_t>(grid_x) * grid_y * kUniformLbpBins);
   for (int gy = 0; gy < grid_y; ++gy) {
     for (int gx = 0; gx < grid_x; ++gx) {
       int x0 = gx * gray.width() / grid_x;
       int x1 = (gx + 1) * gray.width() / grid_x;
       int y0 = gy * gray.height() / grid_y;
       int y1 = (gy + 1) * gray.height() / grid_y;
-      std::vector<float> hist(kUniformLbpBins, 0.0f);
+      float hist[kUniformLbpBins] = {};
       int count = 0;
       for (int y = y0; y < y1; ++y) {
+        const uint8_t* row =
+            codes.data().data() + static_cast<size_t>(y) * codes.width();
         for (int x = x0; x < x1; ++x) {
-          hist[UniformLbpBin(codes.at(x, y))] += 1.0f;
+          hist[UniformLbpBin(row[x])] += 1.0f;
           ++count;
         }
       }
       if (count > 0) {
         for (float& v : hist) v /= static_cast<float>(count);
       }
-      features.insert(features.end(), hist.begin(), hist.end());
+      features->insert(features->end(), hist, hist + kUniformLbpBins);
     }
   }
-  return features;
 }
 
 }  // namespace dievent

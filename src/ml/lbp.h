@@ -23,6 +23,11 @@ inline constexpr int kUniformLbpBins = 59;
 /// Per-pixel LBP(8,1) codes. Border pixels use clamped neighbours.
 ImageU8 ComputeLbpCodes(const ImageU8& gray);
 
+/// As ComputeLbpCodes, but writes into `out`, reusing its storage — the
+/// emotion path computes codes for one crop per face per frame, and the
+/// per-call allocation is measurable there.
+void ComputeLbpCodesInto(const ImageU8& gray, ImageU8* out);
+
 /// Maps a raw 8-bit LBP code to its uniform-pattern bin in [0, 59).
 int UniformLbpBin(uint8_t code);
 
@@ -34,6 +39,12 @@ std::vector<float> LbpHistogram(const ImageU8& gray);
 /// emotion classifier. Length: grid_x * grid_y * kUniformLbpBins.
 std::vector<float> LbpGridFeatures(const ImageU8& gray, int grid_x,
                                    int grid_y);
+
+/// As LbpGridFeatures, but reuses caller-owned scratch: `codes_scratch`
+/// holds the per-pixel code image and `features` is overwritten (resized
+/// to grid_x * grid_y * kUniformLbpBins). Zero steady-state allocations.
+void LbpGridFeaturesInto(const ImageU8& gray, int grid_x, int grid_y,
+                         ImageU8* codes_scratch, std::vector<float>* features);
 
 }  // namespace dievent
 

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <numeric>
 
+#include "common/simd.h"
 #include "common/strings.h"
 
 namespace dievent {
@@ -15,6 +16,9 @@ namespace {
 constexpr uint32_t kMagic = 0x444E4E31;  // "DNN1"
 
 void Softmax(std::vector<float>* v) {
+  // A zero-width output layer can't happen through NeuralNet::Create, but
+  // Softmax must not dereference max_element on an empty range regardless.
+  if (v->empty()) return;
   float mx = *std::max_element(v->begin(), v->end());
   float sum = 0.0f;
   for (float& x : *v) {
@@ -57,53 +61,27 @@ Result<NeuralNet> NeuralNet::Create(const std::vector<int>& layer_sizes,
 }
 
 void NeuralNet::MatVec(const Layer& layer, const float* prev, float* out) {
-  const int in = layer.in;
-  const int on = layer.out;
-  // Four output rows per pass: one streaming read of `prev` feeds four
-  // accumulators, quartering the input-vector cache traffic (each weight
-  // row is read exactly once either way). Each accumulator still sums its
-  // row in ascending input order, so results stay bit-identical to the
-  // row-at-a-time loop.
-  int o = 0;
-  for (; o + 4 <= on; o += 4) {
-    const float* w0 = &layer.weights[static_cast<size_t>(o) * in];
-    const float* w1 = w0 + in;
-    const float* w2 = w1 + in;
-    const float* w3 = w2 + in;
-    float a0 = layer.bias[o];
-    float a1 = layer.bias[o + 1];
-    float a2 = layer.bias[o + 2];
-    float a3 = layer.bias[o + 3];
-    for (int i = 0; i < in; ++i) {
-      const float v = prev[i];
-      a0 += w0[i] * v;
-      a1 += w1[i] * v;
-      a2 += w2[i] * v;
-      a3 += w3[i] * v;
-    }
-    out[o] = a0;
-    out[o + 1] = a1;
-    out[o + 2] = a2;
-    out[o + 3] = a3;
-  }
-  for (; o < on; ++o) {
-    const float* wrow = &layer.weights[static_cast<size_t>(o) * in];
-    float acc = layer.bias[o];
-    for (int i = 0; i < in; ++i) acc += wrow[i] * prev[i];
-    out[o] = acc;
-  }
+  // The blocked kernel lives in common/simd.h (SSE2/NEON with a scalar
+  // fallback). Its summation order is lane-partitioned — four interleaved
+  // partial sums per row, combined in a fixed tree — so the vectorized and
+  // scalar builds produce bit-identical activations.
+  simd::MatVec(layer.weights.data(), layer.bias.data(), prev, layer.in,
+               layer.out, out);
 }
 
 void NeuralNet::Forward(const std::vector<float>& input,
                         ForwardScratch* scratch) const {
+  // lint: hot-path-begin(nn-forward)
   std::vector<std::vector<float>>& acts = scratch->activations;
-  acts.resize(layers_.size() + 1);
+  // Both resizes hit warmed-up scratch capacity from the second call on
+  // (the network's shape is fixed), so steady state is allocation-free.
+  acts.resize(layers_.size() + 1);  // lint: allow(hot-path-alloc)
   acts[0].assign(input.begin(), input.end());
   for (size_t li = 0; li < layers_.size(); ++li) {
     const Layer& layer = layers_[li];
     const std::vector<float>& prev = acts[li];
     std::vector<float>& cur = acts[li + 1];
-    cur.resize(layer.out);
+    cur.resize(layer.out);  // lint: allow(hot-path-alloc)
     MatVec(layer, prev.data(), cur.data());
     const bool last = (li + 1 == layers_.size());
     if (last) {
@@ -117,6 +95,7 @@ void NeuralNet::Forward(const std::vector<float>& input,
       }
     }
   }
+  // lint: hot-path-end
 }
 
 std::vector<float> NeuralNet::Predict(const std::vector<float>& input) const {

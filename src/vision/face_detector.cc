@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/simd.h"
 #include "render/face_renderer.h"
 
 namespace dievent {
@@ -31,24 +32,48 @@ struct Component {
   long long area = 0;
 };
 
-/// 4-connected component extraction over a binary mask. The label and
-/// stack buffers persist per thread across calls: Detect runs once per
-/// (frame, camera) and the pipelined executor fans those out across pool
-/// workers, so per-call allocation of a frame-sized label array is both a
-/// hot-path cost and a cross-thread contention point in the allocator.
-std::vector<Component> FindComponents(const std::vector<uint8_t>& mask,
-                                      int width, int height) {
-  std::vector<Component> comps;
-  thread_local std::vector<int> label;
-  thread_local std::vector<int> stack;
-  label.assign(mask.size(), -1);
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
-      size_t idx = static_cast<size_t>(y) * width + x;
+/// 4-connected component extraction over a binary mask.
+///
+/// The scan is driven by a chunk-occupancy map (one byte per 64 mask
+/// bytes, built by a SIMD OR-reduce): the component-seed walk and the
+/// label-array clear both visit occupied chunks only, so the cost scales
+/// with mask density, not frame area — on a typical dining frame faces
+/// cover a few percent of the pixels. Skipping the clear of unoccupied
+/// chunks is sound because labels are only ever read at indices where the
+/// mask is nonzero, and every such index lies in an occupied chunk.
+/// Occupied chunks are walked in index order, so seeds are discovered in
+/// exactly the row-major order of the full scan and the component list
+/// (and everything downstream) is bit-identical to it.
+///
+/// All scratch (occupancy, labels, stack) lives on the caller's arena.
+std::vector<Component> FindComponents(const uint8_t* mask, int width,
+                                      int height, Arena* arena) {
+  // lint: hot-path-begin(find-components)
+  // The returned list is the function's product and escapes the frame, so
+  // it alone stays on the heap.
+  std::vector<Component> comps;  // lint: allow(hot-path-alloc)
+  const size_t n = static_cast<size_t>(width) * height;
+  const size_t chunks = simd::OccupancyEntries(n);
+  uint8_t* occ = arena->AllocateArray<uint8_t>(chunks);
+  simd::OccupancyMap(mask, n, occ);
+  int32_t* label = arena->AllocateArray<int32_t>(n);
+  for (size_t c = 0; c < chunks; ++c) {
+    if (!occ[c]) continue;
+    const size_t begin = c * simd::kOccChunk;
+    const size_t end = std::min(n, begin + simd::kOccChunk);
+    std::fill(label + begin, label + end, -1);
+  }
+  ArenaVector<int32_t> stack{ArenaAllocator<int32_t>(arena)};
+  for (size_t c = 0; c < chunks; ++c) {
+    if (!occ[c]) continue;
+    const size_t begin = c * simd::kOccChunk;
+    const size_t end = std::min(n, begin + simd::kOccChunk);
+    for (size_t idx = begin; idx < end; ++idx) {
       if (!mask[idx] || label[idx] >= 0) continue;
+      const int x = static_cast<int>(idx) % width;
+      const int y = static_cast<int>(idx) / width;
       int id = static_cast<int>(comps.size());
-      Component c;
-      c.bbox = BBox{x, y, 1, 1};
+      Component comp;
       int min_x = x, max_x = x, min_y = y, max_y = y;
       stack.clear();
       stack.push_back(static_cast<int>(idx));
@@ -57,7 +82,7 @@ std::vector<Component> FindComponents(const std::vector<uint8_t>& mask,
         int cur = stack.back();
         stack.pop_back();
         int cx = cur % width, cy = cur / width;
-        ++c.area;
+        ++comp.area;
         min_x = std::min(min_x, cx);
         max_x = std::max(max_x, cx);
         min_y = std::min(min_y, cy);
@@ -74,48 +99,46 @@ std::vector<Component> FindComponents(const std::vector<uint8_t>& mask,
           }
         }
       }
-      c.bbox = BBox{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
-      comps.push_back(c);
+      comp.bbox = BBox{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+      comps.push_back(comp);
     }
   }
   return comps;
+  // lint: hot-path-end
 }
 
 }  // namespace
 
 std::vector<FaceDetection> FaceDetector::Detect(const ImageRgb& frame) const {
-  const int w = frame.width(), h = frame.height();
-  std::vector<FaceDetection> raw;
+  // The pipelined executor runs Detect concurrently across cameras and
+  // frames; the implicit scratch is therefore per thread.
+  thread_local FaceDetectorScratch scratch;
+  return Detect(frame, &scratch);
+}
 
-  // Both color gates are evaluated in one pass over the pixel data: the
-  // frame is streamed through the cache once instead of twice, and the
-  // bounds checks of per-pixel at() calls disappear. The mask buffers are
-  // reused across calls (per thread — the pipelined executor runs Detect
-  // concurrently across cameras and frames).
-  thread_local std::vector<uint8_t> skin_mask;
-  thread_local std::vector<uint8_t> hair_mask;
+std::vector<FaceDetection> FaceDetector::Detect(
+    const ImageRgb& frame, FaceDetectorScratch* scratch) const {
+  const int w = frame.width(), h = frame.height();
+  Arena& arena = scratch->arena;
+  arena.Reset();
+  // lint: hot-path-begin(face-detect)
+  // Detections escape the frame (they flow into tracks and records); the
+  // raw and suppressed lists are the only heap traffic left here.
+  std::vector<FaceDetection> raw;  // lint: allow(hot-path-alloc)
+
+  // Both color gates are evaluated in one pass over the pixel data (the
+  // frame streams through the cache once, 16 pixels per step under SIMD).
   const size_t n = static_cast<size_t>(w) * h;
-  skin_mask.resize(n);
-  hair_mask.resize(n);
+  uint8_t* skin_mask = arena.AllocateArray<uint8_t>(n);
+  uint8_t* hair_mask = arena.AllocateArray<uint8_t>(n);
   const Rgb skin = face_model::kSkin;
   const Rgb hair = face_model::kHair;
   const int skin_tol = options_.skin_tolerance;
   const int hair_tol = options_.hair_tolerance;
   if (frame.channels() == 3) {
-    const uint8_t* px = frame.data().data();
-    for (size_t i = 0; i < n; ++i, px += 3) {
-      const int r = px[0], g = px[1], b = px[2];
-      skin_mask[i] = std::abs(r - skin.r) <= skin_tol &&
-                             std::abs(g - skin.g) <= skin_tol &&
-                             std::abs(b - skin.b) <= skin_tol
-                         ? 1
-                         : 0;
-      hair_mask[i] = std::abs(r - hair.r) <= hair_tol &&
-                             std::abs(g - hair.g) <= hair_tol &&
-                             std::abs(b - hair.b) <= hair_tol
-                         ? 1
-                         : 0;
-    }
+    simd::ColorMasks2(frame.data().data(), n, skin.r, skin.g, skin.b,
+                      skin_tol, hair.r, hair.g, hair.b, hair_tol, skin_mask,
+                      hair_mask);
   } else {
     for (int y = 0; y < h; ++y) {
       for (int x = 0; x < w; ++x) {
@@ -127,8 +150,8 @@ std::vector<FaceDetection> FaceDetector::Detect(const ImageRgb& frame) const {
   }
 
   for (bool front : {true, false}) {
-    const std::vector<uint8_t>& mask = front ? skin_mask : hair_mask;
-    for (const Component& c : FindComponents(mask, w, h)) {
+    const uint8_t* mask = front ? skin_mask : hair_mask;
+    for (const Component& c : FindComponents(mask, w, h, &arena)) {
       // The head disc's widest extent is skin/hair on both sides, so the
       // bbox width is the best radius estimate; the bottom of the disc is
       // uncovered, so the centre sits one radius above the bbox bottom.
@@ -161,7 +184,7 @@ std::vector<FaceDetection> FaceDetector::Detect(const ImageRgb& frame) const {
             [](const FaceDetection& a, const FaceDetection& b) {
               return a.score > b.score;
             });
-  std::vector<FaceDetection> out;
+  std::vector<FaceDetection> out;  // lint: allow(hot-path-alloc)
   for (const FaceDetection& det : raw) {
     bool keep = true;
     for (const FaceDetection& kept : out) {
@@ -173,6 +196,7 @@ std::vector<FaceDetection> FaceDetector::Detect(const ImageRgb& frame) const {
     if (keep) out.push_back(det);
   }
   return out;
+  // lint: hot-path-end
 }
 
 }  // namespace dievent

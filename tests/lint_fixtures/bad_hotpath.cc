@@ -1,0 +1,49 @@
+/// \file bad_hotpath.cc
+/// Lint self-test fixture: per-frame heap allocation inside an annotated
+/// hot-path region, plus the blessed arena/scratch idioms that must stay
+/// clean and the waiver escape hatch.
+/// Never compiled; scanned by `dievent_lint.py --self-test`.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace dievent {
+
+void AnalyzeFrame(const uint8_t* pixels, size_t n, Arena* arena) {
+  // lint: hot-path-begin(analyze-frame)
+  std::vector<uint8_t> mask(n);  // lint-expect(hot-path-alloc)
+  uint8_t* arena_mask = arena->AllocateArray<uint8_t>(n);  // fine
+  float* scores = new float[n];  // lint-expect(hot-path-alloc)
+  std::vector<float> feats;  // lint-expect(hot-path-alloc)
+  feats.resize(n);  // lint-expect(hot-path-alloc)
+  // References and pointers to vectors someone else owns are fine:
+  const std::vector<float>& view = feats;
+  std::vector<float>* handle = &feats;
+  ArenaVector<int32_t> stack{ArenaAllocator<int32_t>(arena)};  // fine
+  // Steady-state-stable growth may waive per line, with a reason:
+  feats.resize(n);  // capacity warmed up on frame 0  // lint: allow(hot-path-alloc)
+  (void)mask;
+  (void)arena_mask;
+  (void)scores;
+  (void)view;
+  (void)handle;
+  (void)stack;
+  // lint: hot-path-end
+}
+
+void OutsideRegionIsUnconstrained(size_t n) {
+  // Cold paths allocate freely; the rule only fires inside regions.
+  std::vector<double> history(n);
+  history.resize(2 * n);
+  (void)history;
+}
+
+// lint: hot-path-end  // lint-expect(hot-path-alloc)
+
+void Unterminated() {
+  // lint: hot-path-begin(leaky-region)  // lint-expect(hot-path-alloc)
+}
+
+}  // namespace dievent

@@ -24,6 +24,16 @@ steady-clock      Direct `steady_clock::now()` (or system/high_resolution
                   stays testable under SimClock. Benchmarks that measure real
                   wall time carry per-line `// lint: allow(steady-clock)`
                   waivers.
+hot-path-alloc    Inside a region bracketed by `// lint: hot-path-begin(name)`
+                  and `// lint: hot-path-end`, per-frame heap allocation is
+                  banned: no `new`, no `std::vector<...>` construction
+                  (references and pointers are fine), no `.resize(...)`
+                  growth. Hot-path scratch belongs on the frame Arena or in a
+                  reused per-thread scratch struct (see DESIGN.md §13). Lines
+                  that are allocation-free in steady state (e.g. a resize that
+                  never exceeds warmed-up capacity) may waive per line with
+                  `// lint: allow(hot-path-alloc)` and a comment saying why.
+                  Unbalanced begin/end markers are themselves findings.
 
 Waivers
 -------
@@ -75,6 +85,19 @@ STATUS_DISCARD = re.compile(r"^\s*[\w\->.:\[\]()]*\.status\(\)\s*;\s*$")
 
 DIRECT_CLOCK_NOW = re.compile(
     r"\b(?:steady_clock|system_clock|high_resolution_clock)::now\s*\(")
+
+HOT_PATH_BEGIN = re.compile(r"//\s*lint:\s*hot-path-begin\((?P<name>[\w-]+)\)")
+HOT_PATH_END = re.compile(r"//\s*lint:\s*hot-path-end\b")
+# `new` as an expression (placement or plain); \b keeps identifiers like
+# new_size out.
+HOT_NEW = re.compile(r"\bnew\b")
+# A std::vector type not immediately followed by & or * — i.e. a
+# declaration or temporary that owns heap storage, as opposed to a
+# reference/pointer to one someone else owns. Handles one level of nested
+# template arguments.
+HOT_VECTOR = re.compile(
+    r"std::vector\s*<(?:[^<>]|<[^<>]*>)*>+(?!\s*[>&*])")
+HOT_RESIZE = re.compile(r"\.\s*resize\s*\(")
 
 PARENT_INCLUDE = re.compile(r"^\s*#\s*include\s+\"\.\./")
 BITS_INCLUDE = re.compile(r"^\s*#\s*include\s+<bits/")
@@ -213,12 +236,59 @@ def check_steady_clock(relpath, lines, findings):
                 "measuring wall time may waive per line)"))
 
 
+def check_hot_path_alloc(relpath, lines, findings):
+    region = None  # (name, begin_lineno)
+    for lineno, line in enumerate(lines, start=1):
+        begin = HOT_PATH_BEGIN.search(line)
+        if begin:
+            if region is not None:
+                findings.append(Finding(
+                    relpath, lineno, "hot-path-alloc",
+                    f"hot-path-begin({begin.group('name')}) opens inside "
+                    f"region '{region[0]}' (begun at line {region[1]}): "
+                    "regions do not nest, close the outer one first"))
+            region = (begin.group("name"), lineno)
+            continue
+        if HOT_PATH_END.search(line):
+            if region is None:
+                findings.append(Finding(
+                    relpath, lineno, "hot-path-alloc",
+                    "hot-path-end without a matching hot-path-begin"))
+            region = None
+            continue
+        if region is None:
+            continue
+        code = strip_comment(line)
+        if HOT_NEW.search(code):
+            findings.append(Finding(
+                relpath, lineno, "hot-path-alloc",
+                f"'new' in hot path '{region[0]}': allocate from the frame "
+                "Arena or a reused scratch struct instead"))
+        if HOT_VECTOR.search(code):
+            findings.append(Finding(
+                relpath, lineno, "hot-path-alloc",
+                f"std::vector constructed in hot path '{region[0]}': use "
+                "ArenaVector, an arena array, or caller-owned scratch"))
+        if HOT_RESIZE.search(code):
+            findings.append(Finding(
+                relpath, lineno, "hot-path-alloc",
+                f".resize() in hot path '{region[0]}' can grow the heap "
+                "mid-frame: size scratch up front, or waive with a comment "
+                "if capacity is provably stable"))
+    if region is not None:
+        findings.append(Finding(
+            relpath, region[1], "hot-path-alloc",
+            f"unterminated hot-path region '{region[0]}': add "
+            "'// lint: hot-path-end'"))
+
+
 RULES = {
     "mutex-guard": check_mutex_guard,
     "nondeterminism": check_nondeterminism,
     "status-discard": check_status_discard,
     "include-hygiene": check_include_hygiene,
     "steady-clock": check_steady_clock,
+    "hot-path-alloc": check_hot_path_alloc,
 }
 
 
