@@ -83,10 +83,10 @@ void ComparisonReport() {
     auto hmm = DiscreteHmm::CreateRandom(kNumDiningPhases,
                                          kActivitySymbols, &rng);
     if (!hmm.ok()) continue;
-    auto t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
+    auto t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
     auto history = hmm.value().BaumWelch({w.symbols}, 60);
     train_secs += std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock)
+                      std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock): measures real wall time
                       .count();
     if (!history.ok()) continue;
     auto states = hmm.value().Viterbi(w.symbols);

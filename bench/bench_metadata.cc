@@ -271,21 +271,21 @@ void ScaleReport() {
   std::printf("%-12s %-14s %-16s %-16s\n", "frames", "ingest(ms)",
               "EC query(ms)", "scene query(ms)");
   for (int frames : {1000, 10000, 100000, 500000}) {
-    auto t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
+    auto t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
     MetadataRepository repo = MakeRepo(frames, 21);
     double ingest_ms =
         std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock)
+            std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock): measures real wall time
             .count();
-    t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
+    t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
     auto ec = Query(&repo).EyeContact(0, 3).Execute();
     double ec_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock)
+                       std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock): measures real wall time
                        .count();
-    t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
+    t0 = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
     auto scenes = Query(&repo).AnyoneLookingAt(2).ExecuteScenes(0.4);
     double scene_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock)
+                          std::chrono::steady_clock::now() - t0)  // lint: allow(steady-clock): measures real wall time
                           .count();
     std::printf("%-12d %-14.1f %-16.2f %-16.2f (matches: %zu EC frames, "
                 "%zu scenes)\n",

@@ -220,11 +220,11 @@ SmokeRun MeasureExecutor(bool pipelined) {
   SmokeRun best;
   for (int attempt = 0; attempt < 2; ++attempt) {
     MetadataRepository repo;
-    auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
+    auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
     auto report =
         DiEventPipeline(&Scene(), ExecutorOptions(pipelined)).Run(&repo);
     double wall = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock)
+                      std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock): measures real wall time
                       .count();
     if (!report.ok()) {
       std::fprintf(stderr, "perf_smoke: pipeline failed: %s\n",

@@ -328,10 +328,10 @@ void StallSweep() {
     double sum_s = 0.0, max_s = 0.0;
     long long usable = 0;
     for (int f = 0; f < kFrames; ++f) {
-      auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
+      auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
       auto set = multi.GetFrames(f);
       double dt = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock)
+                      std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock): measures real wall time
                       .count();
       sum_s += dt;
       max_s = std::max(max_s, dt);

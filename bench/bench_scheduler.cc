@@ -127,10 +127,10 @@ double MeasureFleetFps(int max_concurrent) {
     for (int i = 0; i < kSmokeJobs; ++i) {
       scheduler.Submit(InMemoryJob("smoke" + std::to_string(i)));
     }
-    auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock)
+    auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
     Status drained = scheduler.RunUntilDrained();
     double wall = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock)
+                      std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock): measures real wall time
                       .count();
     if (!drained.ok()) {
       std::fprintf(stderr, "perf_smoke: fleet failed: %s\n",

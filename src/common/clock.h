@@ -196,14 +196,14 @@ class SimClock : public VirtualClock {
   void DeliverWakes(Mutex& mu, std::vector<WakeTarget> targets) REQUIRES(mu);
 
   const bool auto_advance_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kClockWaiters};
   /// Signals waiter-set changes to AwaitWaiters.
   CondVar changed_;
   TimePoint now_ GUARDED_BY(mu_);
   std::vector<Waiter*> waiters_ GUARDED_BY(mu_);
   int pending_work_ GUARDED_BY(mu_) = 0;
   /// Shared parking spot for SleepUntil (which has no caller mutex).
-  Mutex sleep_mutex_;  // lint: unguarded (parks sleepers; guards no data)
+  Mutex sleep_mutex_{LockRank::kClockSleep};  // lint: unguarded (parks sleepers; guards no data)
   CondVar sleep_cv_;
 };
 

@@ -30,7 +30,7 @@ class LogSink {
   }
 
  private:
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kLogSink};
   std::ostream* stream_ GUARDED_BY(mutex_) = nullptr;  ///< null = stderr
 };
 

@@ -123,7 +123,7 @@ class MpmcQueue {
 
   const size_t capacity_;
   VirtualClock* const clock_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kReadyQueue};
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> items_ GUARDED_BY(mutex_);

@@ -28,6 +28,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_ranks.h"
+
 #if defined(__clang__) && !defined(SWIG)
 #define DIEVENT_TS_ATTRIBUTE_(x) __attribute__((x))
 #else
@@ -98,13 +100,28 @@ class CondVar;
 /// it are compiler-checked under Clang.
 class CAPABILITY("mutex") Mutex {
  public:
+  /// Unranked: invisible to the lock-rank tracker. Reserved for
+  /// test-local and scratch mutexes; every named mutex in the tree takes
+  /// the ranked constructor (enforced by tools/lockrank_check.py).
   Mutex() = default;
+  /// Ranked: participates in the lock-rank discipline (lock_ranks.h).
+  explicit Mutex(LockRank rank) { SetRank(rank); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    NoteAcquire();  // before the lock: a violation aborts, not deadlocks
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    NoteRelease();
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    NoteAcquireTry();
+    return true;
+  }
 
   /// Declares to the analysis that this mutex is held. The contract is the
   /// caller's to uphold; use only where the holding path is invisible to
@@ -114,6 +131,21 @@ class CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
   std::mutex mu_;  // lint: unguarded (the raw mutex this shim wraps)
+
+#if DIEVENT_LOCK_RANKS
+  void SetRank(LockRank rank) { rank_ = rank; }
+  void NoteAcquire() const { lockrank::NoteAcquire(rank_, this); }
+  void NoteAcquireTry() const { lockrank::NoteAcquireTry(rank_, this); }
+  void NoteRelease() const { lockrank::NoteRelease(rank_, this); }
+  void NoteWait() const { lockrank::NoteWait(rank_, this); }
+  LockRank rank_ = LockRank::kUnranked;
+#else
+  void SetRank(LockRank) {}
+  void NoteAcquire() const {}
+  void NoteAcquireTry() const {}
+  void NoteRelease() const {}
+  void NoteWait() const {}
+#endif
 };
 
 /// RAII lock over an annotated Mutex (the std::lock_guard counterpart).
@@ -140,6 +172,7 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex& mu) REQUIRES(mu) {
+    mu.NoteWait();  // mu must be the innermost held lock (lock_ranks.h)
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's MutexLock
@@ -149,6 +182,7 @@ class CondVar {
   std::cv_status WaitFor(Mutex& mu,
                          const std::chrono::duration<Rep, Period>& d)
       REQUIRES(mu) {
+    mu.NoteWait();
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     std::cv_status st = cv_.wait_for(lock, d);
     lock.release();
@@ -159,6 +193,7 @@ class CondVar {
   std::cv_status WaitUntil(
       Mutex& mu, const std::chrono::time_point<ClockT, Duration>& tp)
       REQUIRES(mu) {
+    mu.NoteWait();
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     std::cv_status st = cv_.wait_until(lock, tp);
     lock.release();

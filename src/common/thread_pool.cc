@@ -53,7 +53,7 @@ void ThreadPool::ParallelFor(int count,
 
 void TaskGroup::Submit(std::function<void()> task) {
   {
-    MutexLock lock(mutex_);
+    MutexLock lock(group_mutex_);
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)] {
@@ -61,14 +61,14 @@ void TaskGroup::Submit(std::function<void()> task) {
     // Notify while holding the lock: the waiter may destroy the group the
     // instant Wait returns, so the notify must complete before the waiter
     // can re-acquire the mutex.
-    MutexLock lock(mutex_);
+    MutexLock lock(group_mutex_);
     if (--pending_ == 0) done_.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
-  MutexLock lock(mutex_);
-  while (pending_ != 0) done_.Wait(mutex_);
+  MutexLock lock(group_mutex_);
+  while (pending_ != 0) done_.Wait(group_mutex_);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -215,7 +215,7 @@ class EventScheduler {
   /// backpressure.
   MpmcQueue<int> ready_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kFleetScheduler};
   /// Wakes the dispatcher: new submission, attempt finished, frame
   /// committed (liveness deadline moved), shutdown.
   CondVar dispatcher_cv_;

@@ -81,6 +81,7 @@ void NeuralNet::Forward(const std::vector<float>& input,
     const Layer& layer = layers_[li];
     const std::vector<float>& prev = acts[li];
     std::vector<float>& cur = acts[li + 1];
+    // Same warmed-up-capacity argument as the resize above.
     cur.resize(layer.out);  // lint: allow(hot-path-alloc)
     MatVec(layer, prev.data(), cur.data());
     const bool last = (li + 1 == layers_.size());

@@ -213,7 +213,7 @@ class AcquisitionSupervisor {
     /// Spawned/joined only by the control thread (SpawnReader/BeginRead/
     /// the destructor); the reader thread never touches its own handle.
     std::thread thread;
-    mutable Mutex mutex;
+    mutable Mutex mutex{LockRank::kAcqReader};
     CondVar cv;  ///< wakes the reader: request/stop/interrupt
     std::optional<ReaderRequest> request GUARDED_BY(mutex);
     bool stop GUARDED_BY(mutex) = false;
@@ -256,7 +256,7 @@ class AcquisitionSupervisor {
   /// Readers take this lock (empty critical section) before notifying, so
   /// a response can never slip between the caller's drain and its wait.
   /// No fields are guarded by it; the lock itself is the protocol.
-  Mutex wait_mutex_;  // lint: unguarded (notify fence; guards no data)
+  Mutex wait_mutex_{LockRank::kAcqWaitFence};  // lint: unguarded (notify fence; guards no data)
   CondVar responses_cv_;
 };
 

@@ -130,8 +130,10 @@ class FaultyVideoSource : public VideoSource {
   Result<VideoFrame> GetFrame(int index) override;
 
   /// Cancels an in-flight stalled read (one-shot: the next stall to
-  /// observe the flag consumes it). Thread-safe, non-blocking.
-  void Interrupt() override;
+  /// observe the flag consumes it). Thread-safe, non-blocking. The
+  /// EXCLUDES also feeds the static lock graph: the watchdog calls this
+  /// while holding a reader lock, so kAcqReader -> kSourceInterrupt.
+  void Interrupt() EXCLUDES(stall_mutex_) override;
 
   const FaultSpec& spec() const { return spec_; }
   const Counters& counters() const { return counters_; }
@@ -147,7 +149,7 @@ class FaultyVideoSource : public VideoSource {
   /// touched from GetFrame (one reader thread).
   std::vector<int> attempts_seen_;
   /// Stall cancellation handshake.
-  Mutex stall_mutex_;
+  Mutex stall_mutex_{LockRank::kSourceInterrupt};
   CondVar stall_cv_;
   bool interrupted_ GUARDED_BY(stall_mutex_) = false;
 };

@@ -24,7 +24,7 @@ struct MultiCameraSource::PumpState {
   const int depth;
   int next_index = 0;  ///< set before the pump thread starts
   int stride = 1;      ///< set before the pump thread starts
-  Mutex mutex;
+  Mutex mutex{LockRank::kPrefetchPump};
   SpscQueue<SynchronizedFrameSet> queue GUARDED_BY(mutex);
   CondVar produced;  ///< pump -> consumer: a set is ready
   CondVar consumed;  ///< consumer -> pump: room freed / stop
@@ -349,6 +349,7 @@ bool MultiCameraSource::PumpPush(SynchronizedFrameSet set) {
   }
   if (pump_->stop) return false;
   // Sole producer below the depth bound: room is certain.
+  // lockrank: allow(order): lock-free SpscQueue, not the ranked MpmcQueue
   DIEVENT_CHECK(pump_->queue.TryPush(std::move(set)));
   pump_->produced.NotifyOne();
   return true;
@@ -398,6 +399,7 @@ Result<SynchronizedFrameSet> MultiCameraSource::GetFrames(int index) {
       while (pump_->queue.SizeApprox() == 0 && !pump_->done) {
         pump_->produced.Wait(pump_->mutex);
       }
+      // lockrank: allow(order): lock-free SpscQueue, not the ranked MpmcQueue
       set = pump_->queue.TryPop();
       if (set.has_value()) pump_->consumed.NotifyOne();
     }

@@ -184,6 +184,8 @@ std::vector<FaceDetection> FaceDetector::Detect(
             [](const FaceDetection& a, const FaceDetection& b) {
               return a.score > b.score;
             });
+  // The suppressed list escapes the frame with the detections;
+  // see the region-level note at face-detect's begin marker.
   std::vector<FaceDetection> out;  // lint: allow(hot-path-alloc)
   for (const FaceDetection& det : raw) {
     bool keep = true;

@@ -1,0 +1,41 @@
+/// \file bad_lockorder.cc
+/// Lock-rank self-test fixture: acquisition orders the check must reject.
+/// Never compiled; scanned by `tools/lockrank_check.py --self-test`.
+/// (Kept dievent_lint-clean: the lint self-test scans this directory too.)
+
+#include "common/thread_annotations.h"
+
+namespace dievent {
+
+class BadLockOrder {
+ public:
+  /// Acquires against rank order: the sink-ranked lock is held when the
+  /// scheduler-ranked one is taken. This edge is both an order finding
+  /// and (with ForwardOk below) one half of a two-lock cycle.
+  void BackwardBad() {
+    MutexLock outer(sink_like_);
+    MutexLock inner(scheduler_like_);  // lockrank-expect(order) // lockrank-expect(cycle)
+    ++guarded_a_;
+    ++guarded_b_;
+  }
+
+  /// Rank-increasing on its own, but combined with BackwardBad the graph
+  /// has scheduler -> sink -> scheduler: the cycle finding anchors at the
+  /// cycle's first edge site, which is BackwardBad's inner acquisition.
+  void ForwardOk() {
+    MutexLock outer(scheduler_like_);
+    MutexLock inner(sink_like_);
+    ++guarded_a_;
+    ++guarded_b_;
+  }
+
+ private:
+  Mutex scheduler_like_{LockRank::kFleetScheduler};
+  Mutex sink_like_{LockRank::kLogSink};
+  Mutex plain_;  // lockrank-expect(unranked)
+  int guarded_a_ GUARDED_BY(scheduler_like_) = 0;
+  int guarded_b_ GUARDED_BY(sink_like_) = 0;
+  int guarded_c_ GUARDED_BY(plain_) = 0;
+};
+
+}  // namespace dievent

@@ -29,6 +29,17 @@ class UnguardedMutexHolder {
   int counter_ = 0;  ///< should be GUARDED_BY(mutex_) but is not
 };
 
+/// A lock rank is not a guard: the brace-initialized form must still name
+/// the state it protects.
+class RankedUnguardedMutexHolder {
+ public:
+  void Touch();
+
+ private:
+  Mutex mutex_{LockRank::kLogSink};  // lint-expect(mutex-guard)
+  int counter_ = 0;  ///< should be GUARDED_BY(mutex_) but is not
+};
+
 }  // namespace dievent
 
 #endif  // DIEVENT_TESTS_LINT_FIXTURES_BAD_MUTEX_H_

@@ -14,7 +14,8 @@
 
 namespace dievent {
 
-/// Guarded mutex: the declared state names its lock.
+/// Guarded, ranked mutex: the declared state names its lock and the lock
+/// declares its place in the acquisition order (src/common/lock_ranks.h).
 class GuardedCounter {
  public:
   void Increment() {
@@ -23,14 +24,16 @@ class GuardedCounter {
   }
 
  private:
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kLogSink};
   int value_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Waived mutex: serves purely as a notification fence, guards no data,
-/// and says so where the lint can see it.
+/// and says so where the lint can see it. Fixture-local, so it also waives
+/// the lock-rank discipline with a reason.
 class NotifyFence {
  private:
+  // lockrank: allow(unranked): fixture-only fence, never built or locked
   Mutex mutex_;  // lint: unguarded (wait/notify fence; guards no data)
   CondVar cv_;
 };

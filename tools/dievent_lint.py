@@ -39,7 +39,11 @@ Waivers
 -------
 Append `// lint: unguarded` to a mutex declaration that intentionally guards no
 data, or `// lint: allow(<rule>)` to any other line to suppress a finding.
-Waivers are per-line and should say why in the surrounding comment.
+Waivers are per-line and must say why: either trailing text on the waiver line
+itself or a comment-only line directly above. `--waiver-report` lists every
+waiver (including the lock-rank checker's `// lockrank: allow(...)`) with its
+justification and fails on any waiver that has none — an unexplained waiver is
+a finding, not an exemption.
 
 Self-test
 ---------
@@ -69,9 +73,11 @@ WAIVER_UNGUARDED = re.compile(r"//\s*lint:\s*unguarded\b")
 WAIVER_ALLOW = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
 EXPECT_MARKER = re.compile(r"//\s*lint-expect\((?P<rule>[a-z-]+)\)")
 
+# Matches plain members and rank-initialized ones
+# (`Mutex mu_{LockRank::kFoo};`, see common/lock_ranks.h).
 MUTEX_DECL = re.compile(
     r"^\s*(?:mutable\s+)?(?P<type>(?:::)?(?:dievent::)?Mutex|std::mutex)\s+"
-    r"(?P<name>\w+)\s*;")
+    r"(?P<name>\w+)\s*(?:\{[^{}]*\})?\s*;")
 GUARD_ANNOTATION = re.compile(r"(?:PT_)?GUARDED_BY\(\s*(?P<name>\w+)\s*\)")
 
 NONDETERMINISM_PATTERNS = (
@@ -342,6 +348,68 @@ def run_lint(root, subdirs):
     return 0
 
 
+# Every waiver form in the tree, for --waiver-report: this lint's two
+# markers plus the lock-rank checker's (tools/lockrank_check.py).
+WAIVER_FORMS = (
+    ("lint: unguarded",
+     re.compile(r"//\s*lint:\s*unguarded\b")),
+    ("lint: allow",
+     re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")),
+    ("lockrank: allow",
+     re.compile(r"//\s*lockrank:\s*allow\((?P<rule>[a-z-]+)\)")),
+)
+
+
+def waiver_justification(lines, lineno, match):
+    """The waiver's stated reason: trailing text on the waiver line, else
+    the nearest comment-only line(s) directly above. None when absent."""
+    trailing = lines[lineno - 1][match.end():].strip().lstrip(":").strip()
+    if re.search(r"\w", trailing):
+        return trailing
+    comment = []
+    idx = lineno - 2
+    while idx >= 0 and lines[idx].strip().startswith("//"):
+        text = lines[idx].strip().lstrip("/").strip()
+        # Another waiver marker is not a justification for this one.
+        if any(pat.search(lines[idx]) for _, pat in WAIVER_FORMS):
+            text = ""
+        if re.search(r"\w", text):
+            comment.insert(0, text)
+        idx -= 1
+    return " ".join(comment) if comment else None
+
+
+def run_waiver_report(root, subdirs):
+    entries = []  # (relpath, lineno, label, justification or None)
+    for relpath in collect_files(root, subdirs):
+        with open(os.path.join(root, relpath), encoding="utf-8",
+                  errors="replace") as fh:
+            lines = fh.read().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if line.lstrip().startswith("///"):
+                continue  # doc comments quote waiver syntax in prose
+            for kind, pattern in WAIVER_FORMS:
+                for match in pattern.finditer(line):
+                    rule = (match.groupdict().get("rule") or "").strip()
+                    label = f"{kind}({rule})" if rule else kind
+                    entries.append((relpath, lineno, label,
+                                    waiver_justification(lines, lineno,
+                                                         match)))
+    unjustified = [e for e in entries if e[3] is None]
+    for relpath, lineno, label, justification in entries:
+        why = justification if justification else "<NO JUSTIFICATION>"
+        print(f"{relpath}:{lineno}: [{label}] {why}")
+    if unjustified:
+        print(f"dievent_lint --waiver-report: {len(unjustified)} of "
+              f"{len(entries)} waiver(s) have no justification (say why "
+              "on the waiver line or a comment directly above)",
+              file=sys.stderr)
+        return 1
+    print(f"dievent_lint --waiver-report: {len(entries)} waiver(s), "
+          "all justified")
+    return 0
+
+
 def run_self_test(root):
     fixtures = "tests/lint_fixtures"
     expected = set()
@@ -378,9 +446,12 @@ def main(argv):
                         help="repository root (default: cwd)")
     parser.add_argument("--subdir", action="append", default=None,
                         help="tree(s) to scan relative to root "
-                             "(default: src and bench)")
+                             "(default: src, bench, and tools)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the rules against tests/lint_fixtures/")
+    parser.add_argument("--waiver-report", action="store_true",
+                        help="list every waiver with its justification; "
+                             "fail on waivers that give none")
     args = parser.parse_args(argv)
     root = os.path.abspath(args.root)
     if not os.path.isdir(root):
@@ -388,7 +459,10 @@ def main(argv):
         return 2
     if args.self_test:
         return run_self_test(root)
-    return run_lint(root, args.subdir or ["src", "bench"])
+    subdirs = args.subdir or ["src", "bench", "tools"]
+    if args.waiver_report:
+        return run_waiver_report(root, subdirs)
+    return run_lint(root, subdirs)
 
 
 if __name__ == "__main__":
