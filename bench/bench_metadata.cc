@@ -1,16 +1,30 @@
 // META: metadata repository ingest and query vocabulary (paper Section
 // II-E) — record ingest rate, query latency across repository sizes
-// (10^3 .. 10^6 records), episode derivation, scene retrieval, and
-// save/load throughput.
+// (10^3 .. 10^6 records), episode derivation, scene retrieval,
+// save/load throughput, and the sharded corpus engine (batched ingest
+// amortization + manifest-pruned cross-event queries).
+//
+// `bench_metadata --perf_smoke=PATH` additionally runs the corpus
+// smoke: builds a sharded corpus with disjoint per-event time windows,
+// then gates that a shard-pruned cross-event query beats the
+// open-every-shard baseline while returning bit-identical results.
+// Writes PATH as JSON; wired into the `perf-smoke` CMake target.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
+#include "io/file.h"
+#include "metadata/corpus.h"
 #include "metadata/durable_store.h"
 #include "metadata/query.h"
+#include "metadata/query_parser.h"
 #include "metadata/repository.h"
 
 namespace dievent {
@@ -264,6 +278,260 @@ void BM_Recover(benchmark::State& state) {
 BENCHMARK(BM_Recover)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
+// --- sharded corpus (cross-event storage + query engine) -----------------
+
+/// Wipes a corpus directory: shard subdirectories first, then the root
+/// entries themselves.
+void WipeCorpusDir(const std::string& dir) {
+  FileSystem* fs = FileSystem::Default();
+  if (!fs->Exists(dir)) return;
+  auto names = fs->ListDir(dir);
+  if (!names.ok()) return;
+  for (const auto& name : names.value()) {
+    const std::string path = JoinPath(dir, name);
+    auto nested = fs->ListDir(path);
+    if (nested.ok()) {  // a shard directory: wipe contents, then rmdir
+      for (const auto& inner : nested.value()) {
+        (void)fs->Remove(JoinPath(path, inner));
+      }
+      (void)fs->RemoveDir(path);
+    } else {
+      (void)fs->Remove(path);
+    }
+  }
+}
+
+/// Seconds between event start times: shard time windows are disjoint,
+/// which is what makes time-range pruning decisive.
+constexpr double kShardWindowS = 1000.0;
+
+/// One event's worth of synthetic records (look-at + overall), offset
+/// into the event's own time window.
+RecordBatch MakeEventBatch(int event, int frames, uint64_t seed) {
+  RecordBatch batch;
+  Rng rng(seed + static_cast<uint64_t>(event));
+  const int n = 6;
+  const double offset = event * kShardWindowS;
+  batch.lookat.reserve(frames);
+  batch.overall.reserve(frames);
+  for (int f = 0; f < frames; ++f) {
+    LookAtMatrix m(n);
+    for (int x = 0; x < n; ++x) {
+      if (rng.NextBool(0.7)) {
+        int y;
+        do {
+          y = static_cast<int>(rng.NextBelow(n));
+        } while (y == x);
+        m.Set(x, y, true);
+      }
+    }
+    batch.lookat.push_back(
+        LookAtRecord::FromMatrix(f, offset + f / 15.25, m));
+    OverallEmotionRecord oe;
+    oe.frame = f;
+    oe.timestamp_s = offset + f / 15.25;
+    oe.overall_happiness = rng.NextDouble();
+    oe.mean_valence = rng.Uniform(-1, 1);
+    oe.observed = n;
+    batch.overall.push_back(oe);
+  }
+  return batch;
+}
+
+EventContext MakeEventContext(int event) {
+  EventContext context;
+  char id[32];
+  std::snprintf(id, sizeof(id), "event-%03d", event);
+  context.event_id = id;
+  context.location = (event % 2 == 0) ? "sala roja" : "terrace";
+  context.occasion = (event % 3 == 0) ? "birthday" : "dinner";
+  context.num_participants = 6;
+  return context;
+}
+
+/// Builds a corpus of `events` sealed shards, `frames` frames each,
+/// ingested through AppendBatch in chunks of `batch_size` records.
+/// Returns false (and reports via benchmark::State or stderr) on error.
+bool BuildCorpus(const std::string& dir, int events, int frames,
+                 int batch_size, double* ingest_wall_s) {
+  WipeCorpusDir(dir);
+  auto corpus = EventCorpus::Open(dir);
+  if (!corpus.ok()) return false;
+  auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
+  for (int e = 0; e < events; ++e) {
+    auto store = corpus.value()->BeginShard(MakeEventContext(e).event_id);
+    if (!store.ok()) return false;
+    if (!store.value()->SetContext(MakeEventContext(e)).ok()) return false;
+    RecordBatch all = MakeEventBatch(e, frames, 17);
+    for (size_t at = 0; at < all.lookat.size();
+         at += static_cast<size_t>(batch_size)) {
+      RecordBatch chunk;
+      const size_t end =
+          std::min(all.lookat.size(), at + static_cast<size_t>(batch_size));
+      chunk.lookat.assign(all.lookat.begin() + at, all.lookat.begin() + end);
+      chunk.overall.assign(all.overall.begin() + at,
+                           all.overall.begin() + end);
+      if (!store.value()->AppendBatch(chunk).ok()) return false;
+    }
+    if (!corpus.value()->SealShard(MakeEventContext(e).event_id).ok()) {
+      return false;
+    }
+  }
+  if (ingest_wall_s != nullptr) {
+    *ingest_wall_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock): measures real wall time
+                         .count();
+  }
+  return true;
+}
+
+/// Batched vs record-at-a-time journal appends: same records, same
+/// fsync policy — the batch frames amortize both the write syscalls and
+/// the fsyncs.
+void BM_BatchedAppend(benchmark::State& state) {
+  const std::string dir = "/tmp/dievent_bench_store";
+  const int batch_size = static_cast<int>(state.range(0));
+  const int frames = 1000;
+  RecordBatch all = MakeEventBatch(0, frames, 23);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WipeDir(dir);
+    DurableStoreOptions opt;
+    opt.journal.fsync = FsyncPolicy::kEveryRecord;
+    auto store = DurableEventStore::Open(dir, opt);
+    if (!store.ok()) {
+      state.SkipWithError("open failed");
+      break;
+    }
+    state.ResumeTiming();
+    if (batch_size <= 1) {
+      for (int f = 0; f < frames; ++f) {
+        if (!store.value()->AddLookAt(all.lookat[f]).ok() ||
+            !store.value()->AddOverallEmotion(all.overall[f]).ok()) {
+          state.SkipWithError("append failed");
+          break;
+        }
+      }
+    } else {
+      for (size_t at = 0; at < all.lookat.size();
+           at += static_cast<size_t>(batch_size)) {
+        RecordBatch chunk;
+        const size_t end = std::min(all.lookat.size(),
+                                    at + static_cast<size_t>(batch_size));
+        chunk.lookat.assign(all.lookat.begin() + at,
+                            all.lookat.begin() + end);
+        chunk.overall.assign(all.overall.begin() + at,
+                             all.overall.begin() + end);
+        if (!store.value()->AppendBatch(chunk).ok()) {
+          state.SkipWithError("batch append failed");
+          break;
+        }
+      }
+    }
+    state.PauseTiming();
+    (void)store.value()->Close();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * frames * 2);
+  state.SetLabel(batch_size <= 1 ? "record-at-a-time"
+                                 : "batch=" + std::to_string(batch_size));
+}
+BENCHMARK(BM_BatchedAppend)->Arg(1)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+/// The corpus smoke query: a time window inside one shard plus an
+/// eye-contact predicate — the manifest prunes every other shard.
+CorpusQuerySpec SmokeQuery(int events) {
+  const double t0 = (events / 2) * kShardWindowS;
+  auto parsed = ParseCorpusQuery(
+      "events : time[" + std::to_string(t0) + "," +
+      std::to_string(t0 + kShardWindowS) + ") & ec(P1, P4)");
+  return parsed.ok() ? parsed.value() : CorpusQuerySpec{};
+}
+
+/// Open-every-shard baseline: scope-filter against the manifest but
+/// load and evaluate every in-scope shard, no pruning. This is what a
+/// corpus without per-shard bounds would have to do.
+Result<std::vector<EventMatches>> OpenAllBaseline(
+    const std::string& dir, const CorpusQuerySpec& spec) {
+  auto corpus = EventCorpus::Open(dir);
+  if (!corpus.ok()) return corpus.status();
+  std::vector<EventMatches> events;
+  for (const auto& entry : corpus.value()->shards()) {
+    if (!EventCorpus::ShardInScope(entry, spec.scope)) continue;
+    auto repo = DurableEventStore::LoadState(FileSystem::Default(),
+                                            JoinPath(dir, entry.dir));
+    if (!repo.ok()) return repo.status();
+    EventMatches matches;
+    matches.event_id = entry.event_id;
+    matches.shard_dir = entry.dir;
+    matches.frames = Query(&repo.value(), spec.frame).Execute();
+    events.push_back(std::move(matches));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const EventMatches& a, const EventMatches& b) {
+              return a.event_id != b.event_id ? a.event_id < b.event_id
+                                              : a.shard_dir < b.shard_dir;
+            });
+  return events;
+}
+
+/// Manifest-pruned corpus query over `range(0)` shards; a fresh
+/// EventCorpus per iteration keeps the repository cache cold, so the
+/// measurement includes the shard opens pruning avoids.
+void BM_CorpusQueryPruned(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  const std::string dir =
+      "/tmp/dievent_bench_corpus_" + std::to_string(events);
+  if (!BuildCorpus(dir, events, 200, 256, nullptr)) {
+    state.SkipWithError("corpus build failed");
+    return;
+  }
+  const CorpusQuerySpec spec = SmokeQuery(events);
+  uint64_t pruned = 0;
+  for (auto _ : state) {
+    auto corpus = EventCorpus::Open(dir);
+    if (!corpus.ok()) {
+      state.SkipWithError("open failed");
+      break;
+    }
+    auto result = corpus.value()->Query(spec);
+    if (!result.ok()) {
+      state.SkipWithError("query failed");
+      break;
+    }
+    pruned = result.value().shards_pruned;
+    benchmark::DoNotOptimize(result.value().total_frames);
+  }
+  state.SetLabel("pruned=" + std::to_string(pruned) + "/" +
+                 std::to_string(events));
+}
+BENCHMARK(BM_CorpusQueryPruned)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same query answered by opening every shard (the no-index
+/// baseline BM_CorpusQueryPruned beats).
+void BM_CorpusQueryOpenAll(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  const std::string dir =
+      "/tmp/dievent_bench_corpus_" + std::to_string(events);
+  if (!BuildCorpus(dir, events, 200, 256, nullptr)) {
+    state.SkipWithError("corpus build failed");
+    return;
+  }
+  const CorpusQuerySpec spec = SmokeQuery(events);
+  for (auto _ : state) {
+    auto result = OpenAllBaseline(dir, spec);
+    if (!result.ok()) {
+      state.SkipWithError("baseline failed");
+      break;
+    }
+    benchmark::DoNotOptimize(result.value().size());
+  }
+}
+BENCHMARK(BM_CorpusQueryOpenAll)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
 /// Printed scale table: ingest + query latency up to 10^6 records.
 void ScaleReport() {
   std::printf(
@@ -294,11 +562,153 @@ void ScaleReport() {
   }
 }
 
+// --- perf smoke ----------------------------------------------------------
+// `bench_metadata --perf_smoke=PATH` builds a sharded corpus (batched
+// ingest, disjoint per-event time windows), answers one cross-event
+// query twice — manifest-pruned vs opening every shard — and writes
+// PATH as JSON. It exits nonzero when the pruned path fails to beat the
+// open-every-shard baseline or when the two paths disagree on any
+// matched frame. Wired up as the `perf-smoke` CMake target for CI.
+
+struct CorpusSmoke {
+  double wall_s = 0;
+  CorpusQueryResult result;
+};
+
+int RunPerfSmoke(const std::string& path) {
+  const int kEvents = 32;
+  const int kFrames = 400;
+  const std::string dir = "/tmp/dievent_bench_corpus_smoke";
+
+  // Batched vs record-at-a-time ingest of the same corpus (reported,
+  // not gated — the gate is the query below).
+  double batch_ingest_s = 0;
+  if (!BuildCorpus(dir, kEvents, kFrames, 512, &batch_ingest_s)) {
+    std::fprintf(stderr, "perf_smoke: corpus build failed\n");
+    return 2;
+  }
+  double single_ingest_s = 0;
+  {
+    const std::string probe = "/tmp/dievent_bench_corpus_probe";
+    WipeCorpusDir(probe);
+    if (!BuildCorpus(probe, 2, kFrames, 1, &single_ingest_s)) {
+      std::fprintf(stderr, "perf_smoke: probe build failed\n");
+      return 2;
+    }
+    // Scale to the same work as the batched build.
+    single_ingest_s *= kEvents / 2.0;
+  }
+  const long long records = 2LL * kEvents * kFrames;
+  const double batch_rps = records / batch_ingest_s;
+  const double single_rps = records / single_ingest_s;
+
+  const CorpusQuerySpec spec = SmokeQuery(kEvents);
+  CorpusSmoke pruned;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto corpus = EventCorpus::Open(dir);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "perf_smoke: %s\n",
+                   corpus.status().ToString().c_str());
+      return 2;
+    }
+    auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
+    auto result = corpus.value()->Query(spec);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock): measures real wall time
+                      .count();
+    if (!result.ok()) {
+      std::fprintf(stderr, "perf_smoke: %s\n",
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    if (pruned.wall_s == 0 || wall < pruned.wall_s) {
+      pruned.wall_s = wall;
+      pruned.result = std::move(result).value();
+    }
+  }
+
+  double open_all_s = 0;
+  std::vector<EventMatches> baseline;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto start = std::chrono::steady_clock::now();  // lint: allow(steady-clock): measures real wall time
+    auto result = OpenAllBaseline(dir, spec);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)  // lint: allow(steady-clock): measures real wall time
+                      .count();
+    if (!result.ok()) {
+      std::fprintf(stderr, "perf_smoke: baseline: %s\n",
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    if (open_all_s == 0 || wall < open_all_s) {
+      open_all_s = wall;
+      baseline = std::move(result).value();
+    }
+  }
+
+  // Bit-identical results: the pruned result carries every in-scope
+  // event (pruned shards with empty lists), so align by event id.
+  bool identical = pruned.result.events.size() == baseline.size();
+  for (size_t i = 0; identical && i < baseline.size(); ++i) {
+    identical = pruned.result.events[i].event_id == baseline[i].event_id &&
+                pruned.result.events[i].frames == baseline[i].frames;
+  }
+
+  const double speedup = open_all_s / pruned.wall_s;
+  // Pruning answers all but one shard from the manifest; even on a
+  // loaded single-core CI host that must beat loading every shard.
+  const double floor = 1.5;
+  const bool pass = identical && speedup >= floor;
+
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"benchmark\": \"metadata_corpus_smoke\",\n"
+      << "  \"events\": " << kEvents << ",\n"
+      << "  \"frames_per_event\": " << kFrames << ",\n"
+      << "  \"records\": " << records << ",\n"
+      << "  \"batch_ingest_rps\": " << batch_rps << ",\n"
+      << "  \"single_ingest_rps\": " << single_rps << ",\n"
+      << "  \"batch_ingest_speedup\": " << batch_rps / single_rps << ",\n"
+      << "  \"query\": \"" << FormatCorpusQuery(spec) << "\",\n"
+      << "  \"shards_in_scope\": " << pruned.result.shards_in_scope << ",\n"
+      << "  \"shards_pruned\": " << pruned.result.shards_pruned << ",\n"
+      << "  \"shards_opened\": " << pruned.result.shards_opened << ",\n"
+      << "  \"matched_frames\": " << pruned.result.total_frames << ",\n"
+      << "  \"pruned_ms\": " << pruned.wall_s * 1e3 << ",\n"
+      << "  \"open_all_ms\": " << open_all_s * 1e3 << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"speedup_floor\": " << floor << ",\n"
+      << "  \"results_identical\": " << (identical ? "true" : "false")
+      << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << ",\n"
+      << "  \"note\": \"pruned = manifest time/participant bounds skip "
+         "shards before opening them; open_all = load + evaluate every "
+         "in-scope shard. Both must return bit-identical frame "
+         "matches.\"\n"
+      << "}\n";
+  out.close();
+  std::printf(
+      "perf_smoke: pruned %.2f ms vs open-all %.2f ms (%.1fx, floor "
+      "%.1fx), %llu/%d shards pruned, results %s -> %s\n",
+      pruned.wall_s * 1e3, open_all_s * 1e3, speedup, floor,
+      static_cast<unsigned long long>(pruned.result.shards_pruned), kEvents,
+      identical ? "identical" : "DIVERGED", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace dievent
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string flag = "--perf_smoke=";
+    if (arg.rfind(flag, 0) == 0) {
+      return dievent::RunPerfSmoke(arg.substr(flag.size()));
+    }
+  }
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   dievent::ScaleReport();

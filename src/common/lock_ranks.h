@@ -69,6 +69,13 @@ enum class LockRank : int {
   kFleetScheduler = 30,
   /// MpmcQueue::mutex_ — the fleet ready queue; parks on the clock.
   kReadyQueue = 40,
+  /// EventCorpus::mu_ — shard manifest + repository cache. Never held
+  /// across pool submits, store I/O, or TaskGroup::Wait; fleet job
+  /// completion registers shards with no scheduler lock held, so the
+  /// rank only has to sit above the locks held when workers touch the
+  /// cache (none) and below nothing it acquires (it logs only outside
+  /// its critical sections).
+  kCorpus = 45,
   /// MultiCameraSource::PumpState::mutex — prefetch pump handshake.
   kPrefetchPump = 50,
   /// AcquisitionSupervisor::Reader::mutex — per-reader request/response
@@ -98,6 +105,7 @@ inline const char* LockRankName(LockRank rank) {
     case LockRank::kThreadPool: return "kThreadPool";
     case LockRank::kFleetScheduler: return "kFleetScheduler";
     case LockRank::kReadyQueue: return "kReadyQueue";
+    case LockRank::kCorpus: return "kCorpus";
     case LockRank::kPrefetchPump: return "kPrefetchPump";
     case LockRank::kAcqReader: return "kAcqReader";
     case LockRank::kSourceInterrupt: return "kSourceInterrupt";

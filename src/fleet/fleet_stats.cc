@@ -13,6 +13,10 @@ std::string FleetStats::ToString() const {
       frames_committed, frame_latency_quantile_s, latency_samples,
       ready_queue_max_depth, ready_queue_capacity, retries,
       watchdog_interrupts, deferred_dispatches);
+  if (corpus_registered > 0 || corpus_register_failures > 0) {
+    out += StrFormat(" | corpus %d registered, %d failed",
+                     corpus_registered, corpus_register_failures);
+  }
   for (const JobStats& job : jobs) {
     out += StrFormat(
         "\n  [%d] %-16s %-6s %-9s attempts=%d frames=%lld",
@@ -25,6 +29,9 @@ std::string FleetStats::ToString() const {
     }
     if (!job.last_error.ok() && job.state != JobState::kCompleted) {
       out += " err=" + job.last_error.ToString();
+    }
+    if (!job.corpus_register_error.ok()) {
+      out += " corpus_err=" + job.corpus_register_error.ToString();
     }
   }
   return out;

@@ -50,6 +50,13 @@ struct JobStats {
 
   /// From the last completed attempt's report (zero otherwise).
   DegradationStats degradation;
+
+  /// True once the completed tenant's store directory was published to
+  /// the corpus (SchedulerOptions::corpus); stays false when no corpus
+  /// is configured, the job has no store_dir, or registration failed
+  /// (then corpus_register_error carries the reason).
+  bool registered_in_corpus = false;
+  Status corpus_register_error;
 };
 
 /// Fleet-wide aggregate snapshot.
@@ -67,6 +74,8 @@ struct FleetStats {
   long long retries = 0;           ///< attempts beyond each job's first
   int watchdog_interrupts = 0;
   int deferred_dispatches = 0;     ///< dispatch rounds that skipped kLow
+  int corpus_registered = 0;       ///< tenants published to the corpus
+  int corpus_register_failures = 0;
 
   /// Fleet-wide frame-latency quantile the load controller samples.
   double frame_latency_quantile_s = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "metadata/corpus.h"
 
 namespace dievent {
 
@@ -250,6 +251,17 @@ void EventScheduler::RunOneJob(int job_id) {
 
   EventJobResult result = RunEventJobOnce(job->spec, ctx);
 
+  // Publish the finished tenant's store into the corpus BEFORE taking
+  // mu_: registration does store I/O and takes the corpus lock
+  // (kCorpus), neither of which belongs under the scheduler mutex.
+  Status register_status = Status::OK();
+  bool registered = false;
+  if (result.status.ok() && options_.corpus != nullptr &&
+      !job->spec.store_dir.empty()) {
+    register_status = options_.corpus->RegisterShard(job->spec.store_dir);
+    registered = register_status.ok();
+  }
+
   {
     MutexLock lock(mu_);
     --running_;
@@ -257,6 +269,8 @@ void EventScheduler::RunOneJob(int job_id) {
       job->state = JobState::kCompleted;
       job->stats.completed_at_s = clock_->NowSeconds();
       job->stats.degradation = result.report.degradation;
+      job->stats.registered_in_corpus = registered;
+      job->stats.corpus_register_error = register_status;
       job->result =
           std::make_unique<EventJobResult>(std::move(result));
     } else {
@@ -319,6 +333,11 @@ FleetStats EventScheduler::stats() const {
     switch (job->state) {
       case JobState::kCompleted:
         ++out.completed;
+        if (stats.registered_in_corpus) {
+          ++out.corpus_registered;
+        } else if (!stats.corpus_register_error.ok()) {
+          ++out.corpus_register_failures;
+        }
         break;
       case JobState::kParked:
         ++out.parked;

@@ -73,6 +73,8 @@
 
 namespace dievent {
 
+class EventCorpus;
+
 /// Retry pacing at job scale. BackoffPolicy's own defaults are tuned for
 /// camera reads (milliseconds); fleet retries wait fractions of a second
 /// up to seconds.
@@ -120,6 +122,12 @@ struct SchedulerOptions {
   double latency_quantile = 0.95;
   /// Defer decisions need at least this many latency samples.
   long long min_latency_samples = 8;
+
+  /// When set, each completed tenant whose spec names a store_dir is
+  /// registered into this corpus (EventCorpus::RegisterShard) right
+  /// after completion, with no scheduler lock held — cross-event
+  /// queries then see the finished event. Must outlive the scheduler.
+  EventCorpus* corpus = nullptr;
 };
 
 class EventScheduler {

@@ -219,6 +219,11 @@ Status FaultyFileSystem::Remove(const std::string& path) {
   return Status::OK();
 }
 
+Status FaultyFileSystem::RemoveDir(const std::string& path) {
+  DIEVENT_RETURN_NOT_OK(CheckAlive("rmdir"));
+  return base_->RemoveDir(path);
+}
+
 Status FaultyFileSystem::Truncate(const std::string& path, uint64_t size) {
   DIEVENT_RETURN_NOT_OK(CheckAlive("truncate"));
   DIEVENT_RETURN_NOT_OK(base_->Truncate(path, size));

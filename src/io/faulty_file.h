@@ -98,6 +98,7 @@ class FaultyFileSystem : public FileSystem {
   Result<uint64_t> FileSize(const std::string& path) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
+  Status RemoveDir(const std::string& path) override;
   Status Truncate(const std::string& path, uint64_t size) override;
   Status CreateDir(const std::string& path) override;
   bool Exists(const std::string& path) override;

@@ -115,6 +115,11 @@ class PosixFileSystem : public FileSystem {
     return Status::OK();
   }
 
+  Status RemoveDir(const std::string& path) override {
+    if (::rmdir(path.c_str()) != 0) return ErrnoStatus("rmdir", path);
+    return Status::OK();
+  }
+
   Status Truncate(const std::string& path, uint64_t size) override {
     if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
       return ErrnoStatus("truncate", path);

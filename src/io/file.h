@@ -66,6 +66,9 @@ class FileSystem {
 
   virtual Status Remove(const std::string& path) = 0;
 
+  /// Removes an empty directory (POSIX rmdir semantics).
+  virtual Status RemoveDir(const std::string& path) = 0;
+
   /// Truncates the file to exactly `size` bytes.
   virtual Status Truncate(const std::string& path, uint64_t size) = 0;
 

@@ -127,6 +127,53 @@ Status JournalWriter::Append(std::string_view payload) {
   return Status::OK();
 }
 
+Status JournalWriter::AppendBatch(
+    const std::vector<std::string_view>& payloads) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal writer is closed");
+  }
+  if (payloads.empty()) return Status::OK();
+  size_t total = 0;
+  for (std::string_view p : payloads) {
+    if (p.size() > kMaxRecordBytes) {
+      return Status::InvalidArgument(
+          StrFormat("journal record too large: %zu bytes", p.size()));
+    }
+    total += kFrameHeaderBytes + p.size();
+  }
+  if (segment_bytes_ >= options_.rotate_bytes) {
+    if (options_.fsync != FsyncPolicy::kNever && unsynced_records_ > 0) {
+      DIEVENT_RETURN_NOT_OK(Sync());
+    }
+    DIEVENT_RETURN_NOT_OK(file_->Close());
+    DIEVENT_RETURN_NOT_OK(OpenSegment(segment_index_ + 1));
+  }
+
+  std::string buf;
+  buf.reserve(total);
+  for (std::string_view p : payloads) {
+    PutU32(&buf, static_cast<uint32_t>(p.size()));
+    PutU32(&buf, Crc32Mask(Crc32(p.data(), p.size())));
+    buf.append(p.data(), p.size());
+  }
+  DIEVENT_RETURN_NOT_OK(file_->Append(buf));
+  segment_bytes_ += buf.size();
+  bytes_appended_ += buf.size();
+  records_appended_ += payloads.size();
+  unsynced_records_ += static_cast<int>(payloads.size());
+
+  switch (options_.fsync) {
+    case FsyncPolicy::kEveryRecord:
+      return Sync();
+    case FsyncPolicy::kEveryN:
+      if (unsynced_records_ >= options_.sync_every) return Sync();
+      return Status::OK();
+    case FsyncPolicy::kNever:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
 Status JournalWriter::Sync() {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("journal writer is closed");

@@ -28,6 +28,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "io/file.h"
@@ -67,6 +68,14 @@ class JournalWriter {
   /// Appends one record and applies the fsync policy. On OK the record
   /// is durable per policy.
   Status Append(std::string_view payload);
+
+  /// Appends every payload as its own framed record with ONE buffered
+  /// write and at most one fsync — the batched-ingest fast path. Under
+  /// kEveryRecord the whole batch is durable on OK; the per-record
+  /// guarantee is unchanged because nothing is acknowledged until the
+  /// batch returns. Frames land contiguously in one segment (rotation
+  /// happens only between batches).
+  Status AppendBatch(const std::vector<std::string_view>& payloads);
 
   /// Forces an fsync regardless of policy.
   Status Sync();

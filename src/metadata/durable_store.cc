@@ -12,6 +12,9 @@ const char kSnapshotFileName[] = "snapshot.dmr";
 namespace {
 
 // Journal payload framing: [u8 record type][u64 sequence][record body].
+// A kRecBatch body is a run of [u8 frame-record type][record] entries
+// (look-at / emotion / overall only) sharing the frame's sequence
+// number, so a whole batch chunk commits or vanishes with its CRC.
 enum : uint8_t {
   kRecLookAt = 1,
   kRecEmotion = 2,
@@ -19,7 +22,106 @@ enum : uint8_t {
   kRecContext = 4,
   kRecFps = 5,
   kRecShots = 6,
+  kRecBatch = 7,
 };
+
+// A batch larger than this is split into multiple kRecBatch frames —
+// each individually atomic — still written and synced as one call.
+constexpr size_t kBatchChunkBytes = 1u << 20;
+
+/// Decodes and applies one typed record body into `repo`.
+Status ApplyOneRecord(uint8_t type, BinReader* r, MetadataRepository* repo) {
+  switch (type) {
+    case kRecLookAt: {
+      LookAtRecord rec;
+      DIEVENT_RETURN_NOT_OK(DecodeLookAt(r, &rec));
+      DIEVENT_RETURN_NOT_OK(repo->AddLookAt(std::move(rec)));
+      break;
+    }
+    case kRecEmotion: {
+      EmotionRecord rec;
+      DIEVENT_RETURN_NOT_OK(DecodeEmotion(r, &rec));
+      DIEVENT_RETURN_NOT_OK(repo->AddEmotion(rec));
+      break;
+    }
+    case kRecOverall: {
+      OverallEmotionRecord rec;
+      DIEVENT_RETURN_NOT_OK(DecodeOverallEmotion(r, &rec));
+      DIEVENT_RETURN_NOT_OK(repo->AddOverallEmotion(rec));
+      break;
+    }
+    case kRecContext: {
+      EventContext ctx;
+      DIEVENT_RETURN_NOT_OK(DecodeContext(r, &ctx));
+      repo->SetContext(std::move(ctx));
+      break;
+    }
+    case kRecFps:
+      repo->set_fps(r->F64());
+      break;
+    case kRecShots: {
+      const double fps = r->F64();
+      std::vector<StoredShot> shots;
+      int num_scenes = 0;
+      DIEVENT_RETURN_NOT_OK(DecodeShots(r, &shots, &num_scenes));
+      repo->set_fps(fps);
+      repo->SetStoredShots(std::move(shots), num_scenes);
+      break;
+    }
+    default:
+      return Status::Corruption(
+          StrFormat("unknown journal record type %u", type));
+  }
+  return Status::OK();
+}
+
+/// The replay core shared by writer recovery and read-only LoadState:
+/// sequence dedup against the snapshot, gap detection, record apply.
+/// `applied`/`deduped` are optional tallies.
+Status ApplyJournalPayload(std::string_view payload,
+                           uint64_t snapshot_sequence,
+                           uint64_t* expected_seq, MetadataRepository* repo,
+                           uint64_t* applied, uint64_t* deduped) {
+  BinReader r(payload);
+  const uint8_t type = r.U8();
+  const uint64_t seq = r.U64();
+  if (!r.ok()) return Status::Corruption("truncated journal payload");
+
+  if (seq <= snapshot_sequence) {
+    // A stale segment surviving a crash mid checkpoint: the snapshot
+    // already folded this record in. Skipping it is what makes replay
+    // duplicate-free.
+    if (deduped != nullptr) ++*deduped;
+    return Status::OK();
+  }
+  if (seq != *expected_seq) {
+    return Status::Corruption(
+        StrFormat("journal sequence gap: expected %llu, found %llu",
+                  static_cast<unsigned long long>(*expected_seq),
+                  static_cast<unsigned long long>(seq)));
+  }
+
+  if (type == kRecBatch) {
+    while (r.ok() && !r.AtEnd()) {
+      const uint8_t entry = r.U8();
+      if (entry != kRecLookAt && entry != kRecEmotion &&
+          entry != kRecOverall) {
+        return Status::Corruption(
+            StrFormat("unexpected record type %u in batch frame", entry));
+      }
+      DIEVENT_RETURN_NOT_OK(ApplyOneRecord(entry, &r, repo));
+    }
+  } else {
+    DIEVENT_RETURN_NOT_OK(ApplyOneRecord(type, &r, repo));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::Corruption("journal payload size mismatch");
+  }
+
+  *expected_seq = seq + 1;
+  if (applied != nullptr) ++*applied;
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -87,73 +189,11 @@ Status DurableEventStore::Recover() {
 
 Status DurableEventStore::ApplyReplay(std::string_view payload,
                                       uint64_t* expected_seq) {
-  BinReader r(payload);
-  const uint8_t type = r.U8();
-  const uint64_t seq = r.U64();
-  if (!r.ok()) return Status::Corruption("truncated journal payload");
-
-  if (seq <= recovery_.snapshot_sequence) {
-    // A stale segment surviving a crash mid checkpoint: the snapshot
-    // already folded this record in. Skipping it is what makes replay
-    // duplicate-free.
-    ++recovery_.records_deduped;
-    return Status::OK();
-  }
-  if (seq != *expected_seq) {
-    return Status::Corruption(
-        StrFormat("journal sequence gap: expected %llu, found %llu",
-                  static_cast<unsigned long long>(*expected_seq),
-                  static_cast<unsigned long long>(seq)));
-  }
-
-  switch (type) {
-    case kRecLookAt: {
-      LookAtRecord rec;
-      DIEVENT_RETURN_NOT_OK(DecodeLookAt(&r, &rec));
-      DIEVENT_RETURN_NOT_OK(repo_.AddLookAt(std::move(rec)));
-      break;
-    }
-    case kRecEmotion: {
-      EmotionRecord rec;
-      DIEVENT_RETURN_NOT_OK(DecodeEmotion(&r, &rec));
-      DIEVENT_RETURN_NOT_OK(repo_.AddEmotion(rec));
-      break;
-    }
-    case kRecOverall: {
-      OverallEmotionRecord rec;
-      DIEVENT_RETURN_NOT_OK(DecodeOverallEmotion(&r, &rec));
-      DIEVENT_RETURN_NOT_OK(repo_.AddOverallEmotion(rec));
-      break;
-    }
-    case kRecContext: {
-      EventContext ctx;
-      DIEVENT_RETURN_NOT_OK(DecodeContext(&r, &ctx));
-      repo_.SetContext(std::move(ctx));
-      break;
-    }
-    case kRecFps:
-      repo_.set_fps(r.F64());
-      break;
-    case kRecShots: {
-      const double fps = r.F64();
-      std::vector<StoredShot> shots;
-      int num_scenes = 0;
-      DIEVENT_RETURN_NOT_OK(DecodeShots(&r, &shots, &num_scenes));
-      repo_.set_fps(fps);
-      repo_.SetStoredShots(std::move(shots), num_scenes);
-      break;
-    }
-    default:
-      return Status::Corruption(
-          StrFormat("unknown journal record type %u", type));
-  }
-  if (!r.ok() || !r.AtEnd()) {
-    return Status::Corruption("journal payload size mismatch");
-  }
-
-  last_sequence_ = seq;
-  *expected_seq = seq + 1;
-  ++recovery_.records_replayed;
+  const uint64_t before = *expected_seq;
+  DIEVENT_RETURN_NOT_OK(ApplyJournalPayload(
+      payload, recovery_.snapshot_sequence, expected_seq, &repo_,
+      &recovery_.records_replayed, &recovery_.records_deduped));
+  if (*expected_seq != before) last_sequence_ = *expected_seq - 1;
   return Status::OK();
 }
 
@@ -233,6 +273,141 @@ Status DurableEventStore::SetVideoStructure(
   BinWriter(&body).F64(repo_.fps());
   EncodeShots(repo_.shots(), repo_.NumScenes(), &body);
   return AppendRecord(kRecShots, body);
+}
+
+Status DurableEventStore::ValidateBatch(const RecordBatch& batch) const {
+  // Mirrors the MetadataRepository::Add* checks so the later in-memory
+  // apply cannot fail halfway through the batch.
+  int last = repo_.lookat_records().empty()
+                 ? -0x7fffffff
+                 : repo_.lookat_records().back().frame;
+  for (const LookAtRecord& r : batch.lookat) {
+    if (r.n <= 0 ||
+        r.cells.size() != static_cast<size_t>(r.n) * r.n) {
+      return Status::InvalidArgument("malformed look-at record in batch");
+    }
+    if (r.frame < last) {
+      return Status::FailedPrecondition(
+          "batch look-at records out of frame order");
+    }
+    last = r.frame;
+  }
+  last = repo_.emotion_records().empty()
+             ? -0x7fffffff
+             : repo_.emotion_records().back().frame;
+  for (const EmotionRecord& r : batch.emotions) {
+    if (r.frame < last) {
+      return Status::FailedPrecondition(
+          "batch emotion records out of frame order");
+    }
+    last = r.frame;
+  }
+  last = repo_.overall_records().empty()
+             ? -0x7fffffff
+             : repo_.overall_records().back().frame;
+  for (const OverallEmotionRecord& r : batch.overall) {
+    if (r.frame < last) {
+      return Status::FailedPrecondition(
+          "batch overall-emotion records out of frame order");
+    }
+    last = r.frame;
+  }
+  return Status::OK();
+}
+
+Status DurableEventStore::AppendBatch(const RecordBatch& batch) {
+  DIEVENT_RETURN_NOT_OK(broken_);
+  if (closed_) return Status::FailedPrecondition("store is closed");
+  if (batch.Empty()) return Status::OK();
+  DIEVENT_RETURN_NOT_OK(ValidateBatch(batch));
+
+  // Pack [type][record] entries into chunk bodies; each chunk becomes
+  // one CRC-framed kRecBatch journal record.
+  std::vector<std::string> chunks;
+  std::string body;
+  std::string rec;
+  auto add = [&chunks, &body, &rec](uint8_t type) {
+    if (!body.empty() && body.size() + rec.size() + 1 > kBatchChunkBytes) {
+      chunks.push_back(std::move(body));
+      body.clear();
+    }
+    BinWriter(&body).U8(type);
+    body.append(rec);
+    rec.clear();
+  };
+  for (const LookAtRecord& r : batch.lookat) {
+    EncodeLookAt(r, &rec);
+    add(kRecLookAt);
+  }
+  for (const EmotionRecord& r : batch.emotions) {
+    EncodeEmotion(r, &rec);
+    add(kRecEmotion);
+  }
+  for (const OverallEmotionRecord& r : batch.overall) {
+    EncodeOverallEmotion(r, &rec);
+    add(kRecOverall);
+  }
+  if (!body.empty()) chunks.push_back(std::move(body));
+
+  // In-memory apply; ValidateBatch made these infallible.
+  for (const LookAtRecord& r : batch.lookat) {
+    DIEVENT_RETURN_NOT_OK(repo_.AddLookAt(r));
+  }
+  for (const EmotionRecord& r : batch.emotions) {
+    DIEVENT_RETURN_NOT_OK(repo_.AddEmotion(r));
+  }
+  for (const OverallEmotionRecord& r : batch.overall) {
+    DIEVENT_RETURN_NOT_OK(repo_.AddOverallEmotion(r));
+  }
+
+  std::vector<std::string> payloads;
+  payloads.reserve(chunks.size());
+  for (std::string& chunk : chunks) {
+    std::string payload;
+    BinWriter w(&payload);
+    w.U8(kRecBatch);
+    w.U64(last_sequence_ + 1 + payloads.size());
+    payload.append(chunk);
+    payloads.push_back(std::move(payload));
+  }
+  std::vector<std::string_view> views(payloads.begin(), payloads.end());
+  Status s = journal_->AppendBatch(views);
+  if (!s.ok()) {
+    // Same contract as AppendRecord: nothing was acknowledged, disk
+    // state is undefined past the last sync — wedge.
+    broken_ = s;
+    return s;
+  }
+  last_sequence_ += payloads.size();
+  records_appended_ += payloads.size();
+  return Status::OK();
+}
+
+Result<MetadataRepository> DurableEventStore::LoadState(
+    FileSystem* fs, const std::string& dir) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  MetadataRepository repo;
+  uint64_t snapshot_sequence = 0;
+  const std::string snapshot_path = JoinPath(dir, kSnapshotFileName);
+  if (fs->Exists(snapshot_path)) {
+    MetadataRepository::SnapshotInfo info;
+    auto loaded = MetadataRepository::Load(fs, snapshot_path, &info);
+    if (!loaded.ok()) {
+      return loaded.status().WithContext("loading snapshot");
+    }
+    repo = std::move(loaded).value();
+    snapshot_sequence = info.last_sequence;
+  }
+  uint64_t expected_seq = snapshot_sequence + 1;
+  JournalReplayInfo replay;
+  DIEVENT_RETURN_NOT_OK(ReplayJournal(
+      fs, dir,
+      [&](std::string_view payload) {
+        return ApplyJournalPayload(payload, snapshot_sequence,
+                                   &expected_seq, &repo, nullptr, nullptr);
+      },
+      &replay));
+  return repo;
 }
 
 Status DurableEventStore::Checkpoint() {

@@ -36,12 +36,34 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "io/journal.h"
 #include "metadata/repository.h"
 
 namespace dievent {
+
+/// A multi-record ingest unit (the corpus batched-ingest fast path).
+/// Records are applied lookat -> emotions -> overall, each vector in
+/// frame order. The whole batch is journaled with ONE buffered write
+/// and at most one fsync; on-disk it becomes one or more kRecBatch
+/// frames, each individually CRC-atomic, so replay after a crash never
+/// yields a torn record — and under a power cut (nothing synced since
+/// the previous acknowledged call) the recovered state is exactly the
+/// acknowledged batches.
+struct RecordBatch {
+  std::vector<LookAtRecord> lookat;
+  std::vector<EmotionRecord> emotions;
+  std::vector<OverallEmotionRecord> overall;
+
+  bool Empty() const {
+    return lookat.empty() && emotions.empty() && overall.empty();
+  }
+  size_t TotalRecords() const {
+    return lookat.size() + emotions.size() + overall.size();
+  }
+};
 
 struct DurableStoreOptions {
   /// Journal durability/rotation knobs (fsync policy, segment size).
@@ -91,6 +113,13 @@ class DurableEventStore {
   Status SetFps(double fps);
   Status SetVideoStructure(const VideoStructure& structure);
 
+  /// Applies and journals every record of `batch` with one buffered
+  /// journal write and at most one fsync, amortizing framing and sync
+  /// cost over the whole batch. The batch is validated up front — on
+  /// InvalidArgument / FailedPrecondition neither memory nor disk has
+  /// changed. On OK the entire batch is durable per fsync policy.
+  Status AppendBatch(const RecordBatch& batch);
+
   /// Atomically folds all journaled state into a new snapshot and
   /// resets the journal. Safe to crash at any byte of this protocol.
   Status Checkpoint();
@@ -106,6 +135,14 @@ class DurableEventStore {
 
   /// Syncs and closes the journal. Mutations after Close fail.
   Status Close();
+
+  /// Read-only recovery: the state a fresh Open would recover from
+  /// `dir` (snapshot + journal replay with sequence dedup), without
+  /// truncating torn tails or opening a journal writer. This is what
+  /// corpus readers use to inspect a store another process may still
+  /// own. Null `fs` means FileSystem::Default().
+  static Result<MetadataRepository> LoadState(FileSystem* fs,
+                                              const std::string& dir);
 
   /// The recovered + live in-memory state.
   const MetadataRepository& repository() const { return repo_; }
@@ -128,6 +165,7 @@ class DurableEventStore {
   Status Recover();
   Status AppendRecord(uint8_t type, const std::string& body);
   Status ApplyReplay(std::string_view payload, uint64_t* expected_seq);
+  Status ValidateBatch(const RecordBatch& batch) const;
   /// Snapshot `state` at the current sequence and reset the journal
   /// (steps 2-3 of the checkpoint protocol). Wedges the store on error.
   Status CommitSnapshot(const MetadataRepository& state);

@@ -22,60 +22,68 @@ std::pair<int, int> FrameRange(const std::vector<T>& v, int frame) {
 
 }  // namespace
 
+int QuerySpec::MaxParticipantRef() const {
+  int max_ref = -1;
+  for (const auto& [a, b] : looking) max_ref = std::max({max_ref, a, b});
+  for (const auto& [a, b] : eye_contact) max_ref = std::max({max_ref, a, b});
+  for (int t : anyone_at) max_ref = std::max(max_ref, t);
+  return max_ref;
+}
+
 Query& Query::TimeRange(double t0, double t1) {
-  time_range_ = {t0, t1};
+  spec_.time_range = {t0, t1};
   return *this;
 }
 
 Query& Query::Looking(int looker, int target) {
-  looking_.emplace_back(looker, target);
+  spec_.looking.emplace_back(looker, target);
   return *this;
 }
 
 Query& Query::EyeContact(int a, int b) {
-  eye_contact_.emplace_back(a, b);
+  spec_.eye_contact.emplace_back(a, b);
   return *this;
 }
 
 Query& Query::Feeling(int participant, Emotion emotion) {
-  feeling_.emplace_back(participant, emotion);
+  spec_.feeling.emplace_back(participant, emotion);
   return *this;
 }
 
 Query& Query::MinOverallHappiness(double min_oh) {
-  min_oh_ = min_oh;
+  spec_.min_oh = min_oh;
   return *this;
 }
 
 Query& Query::MinValence(double min_valence) {
-  min_valence_ = min_valence;
+  spec_.min_valence = min_valence;
   return *this;
 }
 
 Query& Query::AnyoneLookingAt(int target) {
-  anyone_at_.push_back(target);
+  spec_.anyone_at.push_back(target);
   return *this;
 }
 
 bool Query::FrameMatches(const LookAtRecord& r) const {
-  if (time_range_ &&
-      (r.timestamp_s < time_range_->first ||
-       r.timestamp_s >= time_range_->second)) {
+  if (spec_.time_range &&
+      (r.timestamp_s < spec_.time_range->first ||
+       r.timestamp_s >= spec_.time_range->second)) {
     return false;
   }
-  for (const auto& [looker, target] : looking_) {
+  for (const auto& [looker, target] : spec_.looking) {
     if (looker < 0 || looker >= r.n || target < 0 || target >= r.n ||
         !r.At(looker, target)) {
       return false;
     }
   }
-  for (const auto& [a, b] : eye_contact_) {
+  for (const auto& [a, b] : spec_.eye_contact) {
     if (a < 0 || a >= r.n || b < 0 || b >= r.n || !r.At(a, b) ||
         !r.At(b, a)) {
       return false;
     }
   }
-  for (int target : anyone_at_) {
+  for (int target : spec_.anyone_at) {
     if (target < 0 || target >= r.n) return false;
     bool any = false;
     for (int x = 0; x < r.n && !any; ++x) {
@@ -84,10 +92,10 @@ bool Query::FrameMatches(const LookAtRecord& r) const {
     if (!any) return false;
   }
 
-  if (!feeling_.empty()) {
+  if (!spec_.feeling.empty()) {
     const auto& emotions = repo_->emotion_records();
     auto [lo, hi] = FrameRange(emotions, r.frame);
-    for (const auto& [participant, emotion] : feeling_) {
+    for (const auto& [participant, emotion] : spec_.feeling) {
       bool found = false;
       for (int i = lo; i < hi && !found; ++i) {
         if (emotions[i].participant == participant &&
@@ -99,20 +107,33 @@ bool Query::FrameMatches(const LookAtRecord& r) const {
     }
   }
 
-  if (min_oh_ || min_valence_) {
+  if (spec_.min_oh || spec_.min_valence) {
     const auto& overall = repo_->overall_records();
     auto [lo, hi] = FrameRange(overall, r.frame);
     if (lo == hi) return false;
     const OverallEmotionRecord& rec = overall[lo];
-    if (min_oh_ && rec.overall_happiness < *min_oh_) return false;
-    if (min_valence_ && rec.mean_valence < *min_valence_) return false;
+    if (spec_.min_oh && rec.overall_happiness < *spec_.min_oh) return false;
+    if (spec_.min_valence && rec.mean_valence < *spec_.min_valence) {
+      return false;
+    }
   }
   return true;
 }
 
 std::vector<FrameMatch> Query::Execute() const {
+  const auto& records = repo_->lookat_records();
+  // A time-ranged query only needs to scan the candidate window — the
+  // repository's time index narrows it to [lo, hi) instead of a full
+  // linear pass (falling back to the full range when timestamps are not
+  // monotone).
+  int lo = 0, hi = static_cast<int>(records.size());
+  if (spec_.time_range) {
+    std::tie(lo, hi) = repo_->LookAtIndexRangeForTime(
+        spec_.time_range->first, spec_.time_range->second);
+  }
   std::vector<FrameMatch> out;
-  for (const LookAtRecord& r : repo_->lookat_records()) {
+  for (int i = lo; i < hi; ++i) {
+    const LookAtRecord& r = records[i];
     if (FrameMatches(r)) out.push_back(FrameMatch{r.frame, r.timestamp_s});
   }
   return out;
@@ -124,14 +145,20 @@ std::vector<SegmentMatch> RollUp(
     const std::vector<FrameMatch>& frames,
     const std::vector<std::pair<int, std::pair<int, int>>>& segments,
     double min_coverage) {
+  // `frames` is produced in record order, so frame numbers are
+  // non-decreasing: each segment's hit count is two binary searches,
+  // not a scan over every match.
   std::vector<SegmentMatch> out;
   for (const auto& [index, range] : segments) {
     const auto [begin, end] = range;
     if (end <= begin) continue;
-    int hits = 0;
-    for (const FrameMatch& f : frames) {
-      if (f.frame >= begin && f.frame < end) ++hits;
-    }
+    auto lo = std::lower_bound(
+        frames.begin(), frames.end(), begin,
+        [](const FrameMatch& f, int b) { return f.frame < b; });
+    auto hi = std::lower_bound(
+        frames.begin(), frames.end(), end,
+        [](const FrameMatch& f, int e) { return f.frame < e; });
+    const int hits = static_cast<int>(hi - lo);
     double coverage = static_cast<double>(hits) / (end - begin);
     if (coverage >= min_coverage) {
       out.push_back(SegmentMatch{index, begin, end, coverage});

@@ -2,15 +2,20 @@
 /// The repository's query vocabulary (paper Section II-E: "a rich query
 /// vocabulary so that the queries will return more semantic results").
 ///
-/// A Query is a conjunction of predicates over the per-frame layers; it
-/// evaluates to matching frames, which can additionally be rolled up into
-/// matching shots or scenes ("querying scenes w.r.t. a particular
-/// context").
+/// A QuerySpec is a repository-independent conjunction of predicates
+/// over the per-frame layers; binding it to a repository yields a Query
+/// that evaluates to matching frames, which can additionally be rolled
+/// up into matching shots or scenes ("querying scenes w.r.t. a
+/// particular context"). Keeping the spec separate from the binding is
+/// what lets the corpus engine (metadata/corpus.h) evaluate one parsed
+/// query against many event shards in parallel.
 
 #ifndef DIEVENT_METADATA_QUERY_H_
 #define DIEVENT_METADATA_QUERY_H_
 
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/emotion.h"
@@ -24,6 +29,10 @@ struct FrameMatch {
   double timestamp_s = 0.0;
 };
 
+inline bool operator==(const FrameMatch& a, const FrameMatch& b) {
+  return a.frame == b.frame && a.timestamp_s == b.timestamp_s;
+}
+
 /// A matched structural unit (shot or scene) with predicate coverage.
 struct SegmentMatch {
   int index = 0;        ///< shot or scene index
@@ -32,10 +41,54 @@ struct SegmentMatch {
   double coverage = 0;  ///< fraction of the segment's frames that match
 };
 
+inline bool operator==(const SegmentMatch& a, const SegmentMatch& b) {
+  return a.index == b.index && a.begin_frame == b.begin_frame &&
+         a.end_frame == b.end_frame && a.coverage == b.coverage;
+}
+
+/// The frame-level predicate conjunction, independent of any repository.
+/// Predicate vectors keep insertion order; FormatQuerySpec
+/// (query_parser.h) prints them in that order, so parse -> print is a
+/// fixpoint.
+struct QuerySpec {
+  std::optional<std::pair<double, double>> time_range;
+  std::vector<std::pair<int, int>> looking;      ///< (looker, target)
+  std::vector<std::pair<int, int>> eye_contact;  ///< unordered pair
+  std::vector<std::pair<int, Emotion>> feeling;
+  std::optional<double> min_oh;
+  std::optional<double> min_valence;
+  std::vector<int> anyone_at;
+
+  bool Empty() const {
+    return !time_range && looking.empty() && eye_contact.empty() &&
+           feeling.empty() && !min_oh && !min_valence && anyone_at.empty();
+  }
+
+  /// Largest participant id referenced by a look-matrix predicate
+  /// (looking / eye_contact / anyone_at), or -1 when none. These
+  /// predicates fail on every record whose matrix is smaller than the
+  /// reference, so a shard whose largest matrix is <= this id can be
+  /// pruned without opening it. `feeling` is deliberately excluded:
+  /// emotion records carry their own participant ids, unbounded by the
+  /// look-at matrix, so pruning on them would not be exact.
+  int MaxParticipantRef() const;
+};
+
+inline bool operator==(const QuerySpec& a, const QuerySpec& b) {
+  return a.time_range == b.time_range && a.looking == b.looking &&
+         a.eye_contact == b.eye_contact && a.feeling == b.feeling &&
+         a.min_oh == b.min_oh && a.min_valence == b.min_valence &&
+         a.anyone_at == b.anyone_at;
+}
+
 /// Fluent conjunction of predicates evaluated against a repository.
 class Query {
  public:
   explicit Query(const MetadataRepository* repo) : repo_(repo) {}
+  Query(const MetadataRepository* repo, QuerySpec spec)
+      : repo_(repo), spec_(std::move(spec)) {}
+
+  const QuerySpec& spec() const { return spec_; }
 
   /// Restricts to timestamps in [t0, t1) seconds.
   Query& TimeRange(double t0, double t1);
@@ -73,14 +126,42 @@ class Query {
   bool FrameMatches(const LookAtRecord& lookat) const;
 
   const MetadataRepository* repo_;
-  std::optional<std::pair<double, double>> time_range_;
-  std::vector<std::pair<int, int>> looking_;
-  std::vector<std::pair<int, int>> eye_contact_;
-  std::vector<std::pair<int, Emotion>> feeling_;
-  std::optional<double> min_oh_;
-  std::optional<double> min_valence_;
-  std::vector<int> anyone_at_;
+  QuerySpec spec_;
 };
+
+/// Corpus scope: which events a cross-event query runs over. Context
+/// predicates evaluate against the shard manifest (metadata/corpus.h),
+/// which carries each sealed event's context — so scope filtering never
+/// needs to open a shard.
+struct CorpusScopeSpec {
+  std::optional<std::string> event_id;   ///< exact EventContext.event_id
+  std::optional<std::string> venue;      ///< exact EventContext.location
+  std::optional<std::string> occasion;   ///< exact EventContext.occasion
+  std::optional<std::string> date;       ///< exact EventContext.date
+  std::optional<int> min_participants;   ///< at least this many
+
+  bool Empty() const {
+    return !event_id && !venue && !occasion && !date && !min_participants;
+  }
+};
+
+inline bool operator==(const CorpusScopeSpec& a, const CorpusScopeSpec& b) {
+  return a.event_id == b.event_id && a.venue == b.venue &&
+         a.occasion == b.occasion && a.date == b.date &&
+         a.min_participants == b.min_participants;
+}
+
+/// A full cross-event query: scope (which events) + frame predicates
+/// (which frames within them). An empty frame spec matches every frame
+/// that has a look-at record.
+struct CorpusQuerySpec {
+  CorpusScopeSpec scope;
+  QuerySpec frame;
+};
+
+inline bool operator==(const CorpusQuerySpec& a, const CorpusQuerySpec& b) {
+  return a.scope == b.scope && a.frame == b.frame;
+}
 
 }  // namespace dievent
 

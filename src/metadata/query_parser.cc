@@ -1,6 +1,10 @@
 #include "metadata/query_parser.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/strings.h"
@@ -53,7 +57,10 @@ class Scanner {
     return out;
   }
 
-  /// Reads a (possibly signed, possibly fractional) number.
+  /// Reads a (possibly signed, possibly fractional) number. Uses strtod
+  /// rather than stod so malformed spellings (".", "--") and
+  /// out-of-range digit strings surface as InvalidArgument instead of
+  /// thrown exceptions.
   Result<double> Number() {
     SkipSpace();
     size_t start = pos_;
@@ -65,11 +72,34 @@ class Scanner {
             text_[pos_] == '.')) {
       ++pos_;
     }
+    // Exponent part ("1e-10"): only consumed when a digit follows, so a
+    // trailing 'e' stays in the stream and fails as an unknown term.
+    if (pos_ > start && pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      size_t p = pos_ + 1;
+      if (p < text_.size() && (text_[p] == '-' || text_[p] == '+')) ++p;
+      if (p < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[p]))) {
+        pos_ = p;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+      }
+    }
     if (pos_ == start) {
       return Status::InvalidArgument(
           StrFormat("expected a number at offset %zu", start));
     }
-    return std::stod(std::string(text_.substr(start, pos_ - start)));
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(value)) {
+      return Status::InvalidArgument("malformed number: " + token);
+    }
+    return value;
   }
 
   /// Reads a participant: optional 'P' prefix, 1-based index.
@@ -88,11 +118,46 @@ class Scanner {
       return Status::InvalidArgument(StrFormat(
           "expected a participant (e.g. P1) at offset %zu", start));
     }
-    int one_based = std::stoi(std::string(text_.substr(start, pos_ - start)));
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    const long one_based = std::strtol(token.c_str(), nullptr, 10);
+    if (errno == ERANGE || one_based > 4096) {
+      return Status::InvalidArgument("participant id out of range: P" +
+                                     token);
+    }
     if (one_based < 1) {
       return Status::InvalidArgument("participants are numbered from P1");
     }
-    return one_based - 1;
+    return static_cast<int>(one_based - 1);
+  }
+
+  /// Reads a double-quoted string with \" and \\ escapes.
+  Result<std::string> QuotedString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::InvalidArgument(StrFormat(
+          "expected a quoted string near \"%s\"", Context().c_str()));
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        if (esc != '"' && esc != '\\') {
+          return Status::InvalidArgument(
+              StrFormat("bad string escape '\\%c'", esc));
+        }
+        c = esc;
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    return out;
   }
 
   std::string Context() const {
@@ -121,15 +186,11 @@ Result<Emotion> ParseEmotion(const std::string& name) {
     }                                                              \
   } while (false)
 
-}  // namespace
-
-Result<Query> ParseQuery(std::string_view text,
-                         const MetadataRepository* repository) {
-  if (repository == nullptr) {
-    return Status::InvalidArgument("repository must not be null");
-  }
-  Query query(repository);
-  Scanner scanner(text);
+/// Parses one '&'-joined conjunction of frame terms, stopping at end of
+/// input. The scanner is shared so the corpus parser can hand off after
+/// its ':' separator.
+Result<QuerySpec> ParseFrameTerms(Scanner& scanner) {
+  QuerySpec spec;
   bool first = true;
   while (!scanner.AtEnd()) {
     if (!first) {
@@ -149,19 +210,19 @@ Result<Query> ParseQuery(std::string_view text,
       PARSER_EXPECT(scanner, ",");
       DIEVENT_ASSIGN_OR_RETURN(int b, scanner.Participant());
       PARSER_EXPECT(scanner, ")");
-      query.EyeContact(a, b);
+      spec.eye_contact.emplace_back(a, b);
     } else if (keyword == "look") {
       PARSER_EXPECT(scanner, "(");
       DIEVENT_ASSIGN_OR_RETURN(int a, scanner.Participant());
       PARSER_EXPECT(scanner, ",");
       DIEVENT_ASSIGN_OR_RETURN(int b, scanner.Participant());
       PARSER_EXPECT(scanner, ")");
-      query.Looking(a, b);
+      spec.looking.emplace_back(a, b);
     } else if (keyword == "watched") {
       PARSER_EXPECT(scanner, "(");
       DIEVENT_ASSIGN_OR_RETURN(int a, scanner.Participant());
       PARSER_EXPECT(scanner, ")");
-      query.AnyoneLookingAt(a);
+      spec.anyone_at.push_back(a);
     } else if (keyword == "feel") {
       PARSER_EXPECT(scanner, "(");
       DIEVENT_ASSIGN_OR_RETURN(int a, scanner.Participant());
@@ -170,7 +231,7 @@ Result<Query> ParseQuery(std::string_view text,
       DIEVENT_ASSIGN_OR_RETURN(Emotion emotion,
                                ParseEmotion(emotion_name));
       PARSER_EXPECT(scanner, ")");
-      query.Feeling(a, emotion);
+      spec.feeling.emplace_back(a, emotion);
     } else if (keyword == "time") {
       PARSER_EXPECT(scanner, "[");
       DIEVENT_ASSIGN_OR_RETURN(double t0, scanner.Number());
@@ -182,15 +243,15 @@ Result<Query> ParseQuery(std::string_view text,
       if (t1 <= t0) {
         return Status::InvalidArgument("time range must have t1 > t0");
       }
-      query.TimeRange(t0, t1);
+      spec.time_range = {t0, t1};
     } else if (keyword == "oh") {
       PARSER_EXPECT(scanner, ">=");
       DIEVENT_ASSIGN_OR_RETURN(double v, scanner.Number());
-      query.MinOverallHappiness(v);
+      spec.min_oh = v;
     } else if (keyword == "valence") {
       PARSER_EXPECT(scanner, ">=");
       DIEVENT_ASSIGN_OR_RETURN(double v, scanner.Number());
-      query.MinValence(v);
+      spec.min_valence = v;
     } else if (keyword.empty()) {
       return Status::InvalidArgument(StrFormat(
           "expected a query term near \"%s\"", scanner.Context().c_str()));
@@ -201,7 +262,181 @@ Result<Query> ParseQuery(std::string_view text,
   if (first) {
     return Status::InvalidArgument("empty query");
   }
-  return query;
+  return spec;
+}
+
+/// Canonical double spelling: round-trips exactly through strtod, so
+/// printed queries reparse to the same spec.
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void AppendTerm(std::string* out, const std::string& term) {
+  if (!out->empty()) out->append(" & ");
+  out->append(term);
+}
+
+}  // namespace
+
+Result<QuerySpec> ParseQuerySpec(std::string_view text) {
+  Scanner scanner(text);
+  return ParseFrameTerms(scanner);
+}
+
+Result<Query> ParseQuery(std::string_view text,
+                         const MetadataRepository* repository) {
+  if (repository == nullptr) {
+    return Status::InvalidArgument("repository must not be null");
+  }
+  DIEVENT_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuerySpec(text));
+  return Query(repository, std::move(spec));
+}
+
+Result<CorpusQuerySpec> ParseCorpusQuery(std::string_view text) {
+  Scanner scanner(text);
+  std::string head = scanner.Identifier();
+  if (head != "events") {
+    return Status::InvalidArgument(
+        "corpus queries start with 'events', got: " +
+        (head.empty() ? "<nothing>" : head));
+  }
+
+  CorpusQuerySpec spec;
+  if (scanner.Consume("where")) {
+    bool first = true;
+    while (!scanner.AtEnd() && !scanner.Consume(":")) {
+      if (!first) {
+        if (!scanner.Consume("&&") && !scanner.Consume("&") &&
+            !scanner.Consume("and")) {
+          return Status::InvalidArgument(StrFormat(
+              "expected '&' between scope terms near \"%s\"",
+              scanner.Context().c_str()));
+        }
+      }
+      std::string field = scanner.Identifier();
+      if (field == "context" && scanner.Consume(".")) {
+        field = scanner.Identifier();
+      }
+      if (field == "participants") {
+        PARSER_EXPECT(scanner, ">=");
+        DIEVENT_ASSIGN_OR_RETURN(int n, scanner.Participant());
+        spec.scope.min_participants = n + 1;  // Participant() is 0-based
+      } else if (field == "event" || field == "venue" ||
+                 field == "occasion" || field == "date") {
+        PARSER_EXPECT(scanner, "=");
+        DIEVENT_ASSIGN_OR_RETURN(std::string value, scanner.QuotedString());
+        if (field == "event") {
+          spec.scope.event_id = std::move(value);
+        } else if (field == "venue") {
+          spec.scope.venue = std::move(value);
+        } else if (field == "occasion") {
+          spec.scope.occasion = std::move(value);
+        } else {
+          spec.scope.date = std::move(value);
+        }
+      } else if (field.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "expected a scope field near \"%s\"",
+            scanner.Context().c_str()));
+      } else {
+        return Status::InvalidArgument("unknown scope field: " + field);
+      }
+      first = false;
+    }
+    if (first) {
+      return Status::InvalidArgument("'where' needs at least one term");
+    }
+    // Consume(":") above already swallowed the separator when present;
+    // fall through to frame terms either way.
+    if (!scanner.AtEnd()) {
+      DIEVENT_ASSIGN_OR_RETURN(spec.frame, ParseFrameTerms(scanner));
+    }
+    return spec;
+  }
+
+  if (scanner.Consume(":")) {
+    DIEVENT_ASSIGN_OR_RETURN(spec.frame, ParseFrameTerms(scanner));
+    return spec;
+  }
+  if (!scanner.AtEnd()) {
+    return Status::InvalidArgument(StrFormat(
+        "expected 'where', ':' or end of query near \"%s\"",
+        scanner.Context().c_str()));
+  }
+  return spec;
+}
+
+std::string FormatQuerySpec(const QuerySpec& spec) {
+  std::string out;
+  if (spec.time_range) {
+    AppendTerm(&out, StrFormat("time[%s, %s)",
+                               FormatDouble(spec.time_range->first).c_str(),
+                               FormatDouble(spec.time_range->second).c_str()));
+  }
+  for (const auto& [a, b] : spec.looking) {
+    AppendTerm(&out, StrFormat("look(P%d, P%d)", a + 1, b + 1));
+  }
+  for (const auto& [a, b] : spec.eye_contact) {
+    AppendTerm(&out, StrFormat("ec(P%d, P%d)", a + 1, b + 1));
+  }
+  for (const auto& [p, e] : spec.feeling) {
+    AppendTerm(&out, StrFormat("feel(P%d, %s)", p + 1,
+                               std::string(EmotionName(e)).c_str()));
+  }
+  if (spec.min_oh) {
+    AppendTerm(&out,
+               StrFormat("oh >= %s", FormatDouble(*spec.min_oh).c_str()));
+  }
+  if (spec.min_valence) {
+    AppendTerm(&out, StrFormat("valence >= %s",
+                               FormatDouble(*spec.min_valence).c_str()));
+  }
+  for (int t : spec.anyone_at) {
+    AppendTerm(&out, StrFormat("watched(P%d)", t + 1));
+  }
+  return out;
+}
+
+std::string FormatCorpusQuery(const CorpusQuerySpec& spec) {
+  std::string out = "events";
+  if (!spec.scope.Empty()) {
+    out.append(" where ");
+    std::string terms;
+    if (spec.scope.event_id) {
+      AppendTerm(&terms, "event = " + QuoteString(*spec.scope.event_id));
+    }
+    if (spec.scope.venue) {
+      AppendTerm(&terms, "venue = " + QuoteString(*spec.scope.venue));
+    }
+    if (spec.scope.occasion) {
+      AppendTerm(&terms, "occasion = " + QuoteString(*spec.scope.occasion));
+    }
+    if (spec.scope.date) {
+      AppendTerm(&terms, "date = " + QuoteString(*spec.scope.date));
+    }
+    if (spec.scope.min_participants) {
+      AppendTerm(&terms, StrFormat("participants >= %d",
+                                   *spec.scope.min_participants));
+    }
+    out.append(terms);
+  }
+  if (!spec.frame.Empty()) {
+    out.append(" : ");
+    out.append(FormatQuerySpec(spec.frame));
+  }
+  return out;
 }
 
 }  // namespace dievent

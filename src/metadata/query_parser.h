@@ -4,7 +4,8 @@
 /// II-E), so a sociologist can type retrieval requests instead of
 /// composing builder calls.
 ///
-/// Grammar (conjunctive; '&' or 'and' between terms; case-insensitive):
+/// Frame grammar (conjunctive; '&' or 'and' between terms;
+/// case-insensitive):
 ///
 ///   ec(P1, P3)          mutual eye contact between P1 and P3
 ///   look(P2, P1)        P2 looking at P1
@@ -17,11 +18,27 @@
 /// Participants are written 1-based with an optional 'P' prefix ("P1" or
 /// "1") and mapped to the repository's 0-based ids.
 ///
+/// Corpus grammar (query_parser.cc; evaluated by metadata/corpus.h):
+///
+///   events
+///   events where venue = "sala roja" & participants >= 4
+///   events where occasion = "birthday" : ec(P1, P2) & oh >= 0.5
+///
+/// Scope fields: event, venue, occasion, date (string equality, quoted)
+/// and participants >= N. An optional 'context.' prefix on a scope
+/// field name is accepted ("context.venue"). Everything after ':' is a
+/// frame query applied within each matching event.
+///
+/// FormatQuerySpec / FormatCorpusQuery print the canonical spelling:
+/// parse -> print is a fixpoint (print(parse(print(q))) == print(q)),
+/// which is what the grammar fuzz tests pin.
+///
 /// Example: "ec(P1,P3) & time[8,12) and oh >= 0.25"
 
 #ifndef DIEVENT_METADATA_QUERY_PARSER_H_
 #define DIEVENT_METADATA_QUERY_PARSER_H_
 
+#include <string>
 #include <string_view>
 
 #include "common/result.h"
@@ -29,10 +46,25 @@
 
 namespace dievent {
 
+/// Parses `text` into a repository-independent frame predicate spec.
+/// Errors are InvalidArgument and carry the offending token; malformed
+/// input never crashes or returns a partial spec.
+Result<QuerySpec> ParseQuerySpec(std::string_view text);
+
 /// Parses `text` into a Query over `repository`. The repository must
-/// outlive the returned query. Errors carry the offending token.
+/// outlive the returned query.
 Result<Query> ParseQuery(std::string_view text,
                          const MetadataRepository* repository);
+
+/// Parses a cross-event corpus query ("events [where ...] [: ...]").
+Result<CorpusQuerySpec> ParseCorpusQuery(std::string_view text);
+
+/// Canonical text for a frame spec; empty string for an empty spec.
+/// ParseQuerySpec(FormatQuerySpec(s)) reproduces `s` exactly.
+std::string FormatQuerySpec(const QuerySpec& spec);
+
+/// Canonical text for a corpus query ("events" when fully empty).
+std::string FormatCorpusQuery(const CorpusQuerySpec& spec);
 
 }  // namespace dievent
 

@@ -122,16 +122,86 @@ LookAtSummary MetadataRepository::Summarize(int begin_frame,
                                             int end_frame) const {
   if (lookat_.empty()) return LookAtSummary(0);
   LookAtSummary summary(lookat_.front().n);
-  for (const LookAtRecord& r : lookat_) {
-    if (r.frame < begin_frame || r.frame >= end_frame) continue;
-    // Cheap accumulate without materializing a LookAtMatrix.
-    LookAtMatrix m = r.ToMatrix();
+  // Records are frame-sorted, so the requested window is a contiguous
+  // index range — no need to test every record against the bounds.
+  auto lo = std::lower_bound(
+      lookat_.begin(), lookat_.end(), begin_frame,
+      [](const LookAtRecord& r, int f) { return r.frame < f; });
+  auto hi = std::lower_bound(
+      lo, lookat_.end(), end_frame,
+      [](const LookAtRecord& r, int f) { return r.frame < f; });
+  for (auto it = lo; it != hi; ++it) {
+    LookAtMatrix m = it->ToMatrix();
     (void)summary.Accumulate(m);
   }
   return summary;
 }
 
-void MetadataRepository::InvalidateIndexes() { pair_index_valid_ = false; }
+std::optional<std::pair<int, int>> MetadataRepository::FrameBounds() const {
+  std::optional<std::pair<int, int>> bounds;
+  auto fold = [&bounds](int first, int last) {
+    if (!bounds) {
+      bounds = {first, last};
+    } else {
+      bounds->first = std::min(bounds->first, first);
+      bounds->second = std::max(bounds->second, last);
+    }
+  };
+  if (!lookat_.empty()) fold(lookat_.front().frame, lookat_.back().frame);
+  if (!emotions_.empty()) {
+    fold(emotions_.front().frame, emotions_.back().frame);
+  }
+  if (!overall_.empty()) fold(overall_.front().frame, overall_.back().frame);
+  return bounds;
+}
+
+std::optional<std::pair<double, double>>
+MetadataRepository::LookAtTimeBounds() const {
+  if (lookat_.empty()) return std::nullopt;
+  if (!time_index_valid_) BuildTimeIndex();
+  if (time_monotonic_) {
+    return std::make_pair(lookat_.front().timestamp_s,
+                          lookat_.back().timestamp_s);
+  }
+  double lo = lookat_.front().timestamp_s, hi = lo;
+  for (const LookAtRecord& r : lookat_) {
+    lo = std::min(lo, r.timestamp_s);
+    hi = std::max(hi, r.timestamp_s);
+  }
+  return std::make_pair(lo, hi);
+}
+
+std::pair<int, int> MetadataRepository::LookAtIndexRangeForTime(
+    double t0, double t1) const {
+  const int size = static_cast<int>(lookat_.size());
+  if (size == 0 || t1 <= t0) return {0, 0};
+  if (!time_index_valid_) BuildTimeIndex();
+  if (!time_monotonic_) return {0, size};
+  auto lo = std::lower_bound(
+      lookat_.begin(), lookat_.end(), t0,
+      [](const LookAtRecord& r, double t) { return r.timestamp_s < t; });
+  auto hi = std::lower_bound(
+      lo, lookat_.end(), t1,
+      [](const LookAtRecord& r, double t) { return r.timestamp_s < t; });
+  return {static_cast<int>(lo - lookat_.begin()),
+          static_cast<int>(hi - lookat_.begin())};
+}
+
+void MetadataRepository::BuildTimeIndex() const {
+  time_monotonic_ = true;
+  for (size_t i = 1; i < lookat_.size(); ++i) {
+    if (lookat_[i].timestamp_s < lookat_[i - 1].timestamp_s) {
+      time_monotonic_ = false;
+      break;
+    }
+  }
+  time_index_valid_ = true;
+}
+
+void MetadataRepository::InvalidateIndexes() {
+  pair_index_valid_ = false;
+  time_index_valid_ = false;
+}
 
 void MetadataRepository::BuildPairIndex() const {
   pair_index_.clear();

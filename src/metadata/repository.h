@@ -8,6 +8,7 @@
 #define DIEVENT_METADATA_REPOSITORY_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -57,6 +58,21 @@ class MetadataRepository {
   /// Index of the look-at record for `frame`, or NotFound.
   Result<int> FindLookAtIndex(int frame) const;
 
+  /// Inclusive frame bounds over every frame-stamped record type, or
+  /// nullopt when the repository holds no frame records. Feeds the
+  /// corpus shard manifest (metadata/corpus.h).
+  std::optional<std::pair<int, int>> FrameBounds() const;
+
+  /// Inclusive timestamp bounds over the look-at records, or nullopt
+  /// when there are none.
+  std::optional<std::pair<double, double>> LookAtTimeBounds() const;
+
+  /// [lo, hi) index range into lookat_records() whose timestamps can
+  /// fall inside [t0, t1). Binary-searched when timestamps are
+  /// non-decreasing (the steady-state ingest order); falls back to the
+  /// full range otherwise, so callers can always filter within it.
+  std::pair<int, int> LookAtIndexRangeForTime(double t0, double t1) const;
+
   /// Builds the Fig. 9 summary over a frame range ([0, INT_MAX) = all).
   LookAtSummary Summarize(int begin_frame = 0,
                           int end_frame = 0x7fffffff) const;
@@ -102,6 +118,7 @@ class MetadataRepository {
  private:
   void InvalidateIndexes();
   void BuildPairIndex() const;
+  void BuildTimeIndex() const;
 
   EventContext context_;
   double fps_ = 0.0;
@@ -114,6 +131,11 @@ class MetadataRepository {
   // Lazy pair index: (looker, target) -> sorted record indices.
   mutable bool pair_index_valid_ = false;
   mutable std::map<std::pair<int, int>, std::vector<int>> pair_index_;
+
+  // Lazy time index: whether look-at timestamps are non-decreasing,
+  // which is what makes LookAtIndexRangeForTime binary-searchable.
+  mutable bool time_index_valid_ = false;
+  mutable bool time_monotonic_ = false;
 };
 
 }  // namespace dievent

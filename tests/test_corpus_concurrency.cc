@@ -1,0 +1,217 @@
+// Concurrent-corpus stress: N writer threads batch-ingest and seal
+// their own event shards while M reader threads run cross-event
+// queries the whole time. Sealed-only visibility is the correctness
+// anchor: every event a reader sees must already be complete, so every
+// mid-flight result must equal the serial-replay oracle for exactly
+// the events it contains — no torn shards, no partial matches. Run
+// under TSan by the fleet-chaos CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "metadata/corpus.h"
+#include "metadata/query_parser.h"
+
+namespace dievent {
+namespace {
+
+constexpr int kWriters = 4;
+constexpr int kEventsPerWriter = 5;
+constexpr int kFramesPerEvent = 8;
+
+std::string FreshCorpusDir(const std::string& name) {
+  FileSystem* fs = FileSystem::Default();
+  const std::string dir = testing::TempDir() + "/" + name;
+  if (fs->Exists(dir)) {
+    auto names = fs->ListDir(dir);
+    EXPECT_TRUE(names.ok());
+    for (const std::string& n : names.value()) {
+      const std::string path = JoinPath(dir, n);
+      auto nested = fs->ListDir(path);
+      if (nested.ok()) {  // a shard directory: wipe contents, then rmdir
+        for (const std::string& inner : nested.value()) {
+          EXPECT_TRUE(fs->Remove(JoinPath(path, inner)).ok());
+        }
+        EXPECT_TRUE(fs->RemoveDir(path).ok());
+      } else {
+        EXPECT_TRUE(fs->Remove(path).ok());
+      }
+    }
+  }
+  return dir;
+}
+
+std::string EventId(int event) { return StrFormat("event-%03d", event); }
+
+EventContext Context(int event) {
+  EventContext ctx;
+  ctx.event_id = EventId(event);
+  ctx.location = event % 2 == 0 ? "hall" : "garden";
+  ctx.num_participants = 4;
+  return ctx;
+}
+
+/// Deterministic per-event records; every event lives in its own time
+/// window so queries mix pruned and opened shards.
+RecordBatch EventBatch(int event, int first_frame, int frames) {
+  RecordBatch batch;
+  const double offset = event * 50.0;
+  for (int i = 0; i < frames; ++i) {
+    const int f = first_frame + i;
+    LookAtMatrix m(4);
+    m.Set(0, (event + f) % 3 + 1, true);
+    if ((event + f) % 2 == 0) m.Set(1, 0, true);
+    batch.lookat.push_back(
+        LookAtRecord::FromMatrix(f, offset + f * 0.25, m));
+    OverallEmotionRecord oe;
+    oe.frame = f;
+    oe.timestamp_s = offset + f * 0.25;
+    oe.overall_happiness = 0.1 * (event % 9) + 0.01 * f;
+    oe.mean_valence = 0.0;
+    oe.observed = 4;
+    batch.overall.push_back(oe);
+  }
+  return batch;
+}
+
+/// The serial-replay oracle for one event under `spec`.
+std::vector<FrameMatch> OracleMatches(int event, const QuerySpec& spec) {
+  MetadataRepository repo;
+  repo.SetContext(Context(event));
+  const RecordBatch batch = EventBatch(event, 0, kFramesPerEvent);
+  for (const LookAtRecord& r : batch.lookat) {
+    EXPECT_TRUE(repo.AddLookAt(r).ok());
+  }
+  for (const OverallEmotionRecord& r : batch.overall) {
+    EXPECT_TRUE(repo.AddOverallEmotion(r).ok());
+  }
+  return Query(&repo, spec).Execute();
+}
+
+TEST(CorpusConcurrency, WritersIngestWhileReadersQuery) {
+  const std::string dir = FreshCorpusDir("corpus_concurrency");
+  ThreadPool pool(3);
+  CorpusOptions options;
+  options.pool = &pool;
+  auto opened = EventCorpus::Open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EventCorpus* corpus = opened.value().get();
+
+  const char* query_texts[] = {
+      "events : look(P1, P2)",
+      "events",
+      "events : time[100, 400)",
+      "events where venue = \"garden\" : watched(P1)",
+  };
+  // Parse once up front; readers share the immutable specs.
+  std::vector<CorpusQuerySpec> specs;
+  for (const char* text : query_texts) {
+    auto spec = ParseCorpusQuery(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    specs.push_back(spec.value());
+  }
+  // Oracle matches per (event, spec), precomputed serially.
+  std::map<std::pair<int, size_t>, std::vector<FrameMatch>> oracle;
+  for (int e = 0; e < kWriters * kEventsPerWriter; ++e) {
+    for (size_t q = 0; q < specs.size(); ++q) {
+      oracle[{e, q}] = OracleMatches(e, specs[q].frame);
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> sealed{0};
+  std::atomic<int> reader_failures{0};
+  std::atomic<long long> consistent_results{0};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([corpus, w, &sealed] {
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        const int event = w * kEventsPerWriter + i;
+        auto store = corpus->BeginShard(EventId(event));
+        ASSERT_TRUE(store.ok()) << store.status().ToString();
+        ASSERT_TRUE(store.value()->SetContext(Context(event)).ok());
+        // Two batches per shard: batched ingest, mid-shard visibility
+        // never leaks (the shard is unsealed until both landed).
+        ASSERT_TRUE(
+            store.value()
+                ->AppendBatch(EventBatch(event, 0, kFramesPerEvent / 2))
+                .ok());
+        ASSERT_TRUE(store.value()
+                        ->AppendBatch(EventBatch(event, kFramesPerEvent / 2,
+                                                 kFramesPerEvent -
+                                                     kFramesPerEvent / 2))
+                        .ok());
+        ASSERT_TRUE(corpus->SealShard(EventId(event)).ok());
+        sealed.fetch_add(1);
+      }
+    });
+  }
+
+  auto check_result = [&](const CorpusQueryResult& result, size_t q) {
+    for (const EventMatches& em : result.events) {
+      int event = -1;
+      if (std::sscanf(em.event_id.c_str(), "event-%d", &event) != 1) {
+        ++reader_failures;
+        return;
+      }
+      auto it = oracle.find({event, q});
+      if (it == oracle.end() || em.frames != it->second) {
+        ++reader_failures;
+        return;
+      }
+    }
+    ++consistent_results;
+  };
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      size_t q = static_cast<size_t>(r) % specs.size();
+      while (!done.load()) {
+        auto result = corpus->Query(specs[q]);
+        if (!result.ok()) {
+          ++reader_failures;
+          break;
+        }
+        check_result(result.value(), q);
+        q = (q + 1) % specs.size();
+      }
+    });
+  }
+
+  for (std::thread& t : writers) t.join();
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(sealed.load(), kWriters * kEventsPerWriter);
+  EXPECT_EQ(reader_failures.load(), 0);
+  EXPECT_GT(consistent_results.load(), 0);
+
+  // Steady state: every query now sees all events, equal to the serial
+  // replay oracle event by event.
+  for (size_t q = 0; q < specs.size(); ++q) {
+    auto result = corpus->Query(specs[q]);
+    ASSERT_TRUE(result.ok());
+    check_result(result.value(), q);
+  }
+  EXPECT_EQ(reader_failures.load(), 0);
+
+  // The final full-scope query returns one entry per event.
+  auto all = corpus->Query(specs[1]);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().events.size(),
+            static_cast<size_t>(kWriters * kEventsPerWriter));
+}
+
+}  // namespace
+}  // namespace dievent

@@ -333,6 +333,115 @@ TEST(DurableStore, FirstFailureWedgesEveryLaterMutation) {
   EXPECT_EQ(recovered.value()->repository().lookat_records().size(), acked);
 }
 
+/// A three-type batch whose frames continue from `first_frame`.
+RecordBatch Batch(int first_frame, int frames) {
+  RecordBatch batch;
+  for (int i = 0; i < frames; ++i) {
+    const int f = first_frame + i;
+    batch.lookat.push_back(La(f, f * 0.1, 3, {{0, 1}, {1, 0}}));
+    if (f % 2 == 0) {
+      EmotionRecord er;
+      er.frame = f;
+      er.timestamp_s = f * 0.1;
+      er.participant = f % 3;
+      er.emotion = Emotion::kSurprise;
+      er.confidence = 0.6;
+      batch.emotions.push_back(er);
+    }
+    OverallEmotionRecord oe;
+    oe.frame = f;
+    oe.timestamp_s = f * 0.1;
+    oe.overall_happiness = 0.3 + 0.01 * f;
+    oe.mean_valence = 0.1;
+    oe.observed = 3;
+    batch.overall.push_back(oe);
+  }
+  return batch;
+}
+
+TEST(DurableStore, AppendBatchRecoversLikeSerialAdds) {
+  // Oracle: the same records applied one by one to a bare repository.
+  MetadataRepository want;
+  want.SetContext(Ctx());
+  want.set_fps(10.0);
+  for (int first : {0, 6}) {
+    const RecordBatch b = Batch(first, 6);
+    for (const auto& r : b.lookat) ASSERT_TRUE(want.AddLookAt(r).ok());
+    for (const auto& r : b.emotions) ASSERT_TRUE(want.AddEmotion(r).ok());
+    for (const auto& r : b.overall) {
+      ASSERT_TRUE(want.AddOverallEmotion(r).ok());
+    }
+  }
+
+  const std::string dir = FreshDir("store_batch");
+  {
+    auto store = DurableEventStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->SetContext(Ctx()).ok());
+    ASSERT_TRUE(store.value()->SetFps(10.0).ok());
+    ASSERT_TRUE(store.value()->AppendBatch(Batch(0, 6)).ok());
+    ASSERT_TRUE(store.value()->AppendBatch(Batch(6, 6)).ok());
+    ExpectSameState(store.value()->repository(), want);
+    ASSERT_TRUE(store.value()->Close().ok());
+  }
+  // Crash-free reopen replays the batch frames back to the same state.
+  auto reopened = DurableEventStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectSameState(reopened.value()->repository(), want);
+}
+
+TEST(DurableStore, AppendBatchValidatesUpFrontAndChangesNothing) {
+  const std::string dir = FreshDir("store_batch_invalid");
+  auto store = DurableEventStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->AppendBatch(Batch(0, 4)).ok());
+  const size_t before = store.value()->repository().TotalRecords();
+  const uint64_t journaled = store.value()->stats().records_appended;
+
+  // Frame regression inside the batch: rejected whole.
+  RecordBatch bad = Batch(4, 2);
+  bad.lookat.push_back(La(3, 0.3, 3, {}));
+  EXPECT_EQ(store.value()->AppendBatch(bad).code(),
+            StatusCode::kFailedPrecondition);
+  // Frame regression against already-stored records: also rejected.
+  EXPECT_EQ(store.value()->AppendBatch(Batch(1, 2)).code(),
+            StatusCode::kFailedPrecondition);
+  // A malformed record: rejected without applying the valid prefix.
+  RecordBatch malformed = Batch(4, 2);
+  malformed.lookat[1].cells.pop_back();
+  EXPECT_EQ(store.value()->AppendBatch(malformed).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(store.value()->repository().TotalRecords(), before);
+  EXPECT_EQ(store.value()->stats().records_appended, journaled);
+  // An empty batch is an acknowledged no-op.
+  EXPECT_TRUE(store.value()->AppendBatch(RecordBatch{}).ok());
+  // The store is not wedged: a well-formed batch still lands.
+  EXPECT_TRUE(store.value()->AppendBatch(Batch(4, 2)).ok());
+  ASSERT_TRUE(store.value()->Close().ok());
+}
+
+TEST(DurableStore, LoadStateReadsWithoutDisturbingALiveWriter) {
+  const std::string dir = FreshDir("store_loadstate");
+  auto store = DurableEventStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->SetContext(Ctx()).ok());
+  ASSERT_TRUE(store.value()->AppendBatch(Batch(0, 5)).ok());
+
+  // Read-only recovery while the writer is still open (corpus readers
+  // inspecting an unsealed shard).
+  auto snapshot = DurableEventStore::LoadState(nullptr, dir);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ExpectSameState(snapshot.value(), store.value()->repository());
+
+  // The writer keeps going afterwards, and LoadState sees the growth.
+  ASSERT_TRUE(store.value()->AppendBatch(Batch(5, 3)).ok());
+  auto again = DurableEventStore::LoadState(nullptr, dir);
+  ASSERT_TRUE(again.ok());
+  ExpectSameState(again.value(), store.value()->repository());
+  ASSERT_TRUE(store.value()->Close().ok());
+}
+
 TEST(DurableStore, MutationsAfterCloseFailCleanly) {
   const std::string dir = FreshDir("store_closed");
   auto store = DurableEventStore::Open(dir);

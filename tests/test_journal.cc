@@ -237,6 +237,76 @@ TEST(Journal, InjectedIoErrorsSurfaceAsIoError) {
   EXPECT_GT(fs.counters().injected_write_errors, 0);
 }
 
+TEST(Journal, AppendBatchIsOneBufferedWriteAndReplaysInOrder) {
+  std::vector<std::string> want;
+  for (int i = 0; i < 10; ++i) {
+    want.push_back(StrFormat("batched-%02d-%s", i,
+                             std::string(i % 5, 'y').c_str()));
+  }
+  std::vector<std::string_view> views(want.begin(), want.end());
+
+  // Same payloads through both paths; count physical appends.
+  const std::string batch_dir = FreshDir("journal_batch");
+  FaultyFileSystem batch_fs(FileSystem::Default(), FileFaultSpec{});
+  auto batch = JournalWriter::Open(&batch_fs, batch_dir, 0, JournalOptions{});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_TRUE(batch.value()->AppendBatch(views).ok());
+  EXPECT_EQ(batch.value()->records_appended(), want.size());
+  ASSERT_TRUE(batch.value()->Close().ok());
+
+  const std::string serial_dir = FreshDir("journal_batch_serial");
+  FaultyFileSystem serial_fs(FileSystem::Default(), FileFaultSpec{});
+  auto serial =
+      JournalWriter::Open(&serial_fs, serial_dir, 0, JournalOptions{});
+  ASSERT_TRUE(serial.ok());
+  for (const std::string& p : want) {
+    ASSERT_TRUE(serial.value()->Append(p).ok());
+  }
+  ASSERT_TRUE(serial.value()->Close().ok());
+
+  // Bit-compatible framing: both replay to the same payload sequence...
+  JournalReplayInfo info;
+  EXPECT_EQ(Replay(FileSystem::Default(), batch_dir, &info), want);
+  EXPECT_EQ(Replay(FileSystem::Default(), serial_dir, &info), want);
+  // ...but the batch amortized N appends into one buffered write.
+  EXPECT_EQ(batch_fs.counters().appends,
+            serial_fs.counters().appends -
+                static_cast<long long>(want.size()) + 1);
+}
+
+TEST(Journal, AppendBatchLandsContiguouslyInOneSegment) {
+  FileSystem* fs = FileSystem::Default();
+  const std::string dir = FreshDir("journal_batch_rotate");
+  JournalOptions options;
+  options.rotate_bytes = 64;  // far smaller than the batch below
+  auto writer = JournalWriter::Open(fs, dir, 0, options);
+  ASSERT_TRUE(writer.ok());
+
+  std::vector<std::string> want(12, std::string(16, 'z'));
+  std::vector<std::string_view> views(want.begin(), want.end());
+  ASSERT_TRUE(writer.value()->AppendBatch(views).ok());
+  // Rotation only happens between batches, never inside one.
+  EXPECT_EQ(writer.value()->segments_created(), 1u);
+  ASSERT_TRUE(writer.value()->Append("after").ok());
+  EXPECT_EQ(writer.value()->segments_created(), 2u);
+  ASSERT_TRUE(writer.value()->Close().ok());
+
+  want.push_back("after");
+  JournalReplayInfo info;
+  EXPECT_EQ(Replay(fs, dir, &info), want);
+  EXPECT_EQ(info.records, want.size());
+}
+
+TEST(Journal, AppendBatchOfNothingIsANoOp) {
+  const std::string dir = FreshDir("journal_batch_empty");
+  auto writer =
+      JournalWriter::Open(FileSystem::Default(), dir, 0, JournalOptions{});
+  ASSERT_TRUE(writer.ok());
+  EXPECT_TRUE(writer.value()->AppendBatch({}).ok());
+  EXPECT_EQ(writer.value()->records_appended(), 0u);
+  ASSERT_TRUE(writer.value()->Close().ok());
+}
+
 TEST(Journal, OversizedRecordIsRejectedUpFront) {
   const std::string dir = FreshDir("journal_oversize");
   auto writer =

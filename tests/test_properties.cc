@@ -145,8 +145,12 @@ TEST_P(PipelineProperties, RepositoryMatchesReport) {
     }
   }
   EXPECT_EQ(report.value().dominant_participant, best_col);
-  // Save/load round trip preserves every record count.
-  std::string path = testing::TempDir() + "/prop_repo.dmr";
+  // Save/load round trip preserves every record count. The path is
+  // per-parameter: ctest runs each instance as its own process, so a
+  // shared file would race under a parallel suite.
+  std::string path = testing::TempDir() +
+                     "/prop_repo_" + std::to_string(p.participants) + "_" +
+                     std::to_string(p.frames) + ".dmr";
   ASSERT_TRUE(repo.Save(path).ok());
   auto loaded = MetadataRepository::Load(path);
   ASSERT_TRUE(loaded.ok());

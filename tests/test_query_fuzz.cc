@@ -1,0 +1,255 @@
+// Property and fuzz tests for the query grammar. Two invariants:
+//
+//  1. Round-trip: for seeded random specs, parse(print(spec)) == spec
+//     and print is a fixpoint (print(parse(print(q))) == print(q)) —
+//     for both frame specs and full corpus queries.
+//  2. Robustness: malformed input — random bytes, truncations, and
+//     splices of valid queries — always returns InvalidArgument and
+//     never crashes, throws, or returns a partial spec.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/emotion.h"
+#include "common/rng.h"
+#include "metadata/query_parser.h"
+
+namespace dievent {
+namespace {
+
+// --- generators ----------------------------------------------------------
+
+int RandomParticipant(Rng* rng) {
+  // The parser caps participant ids at 4096 (1-based).
+  return static_cast<int>(rng->NextBelow(64));
+}
+
+double RandomDouble(Rng* rng) {
+  switch (rng->NextBelow(4)) {
+    case 0:
+      return rng->Uniform(-1, 1);
+    case 1:
+      return static_cast<double>(rng->NextBelow(1000));
+    case 2:
+      return rng->Uniform(-1e6, 1e6);
+    default:
+      // Awkward magnitudes: %.17g must still round-trip these exactly.
+      return rng->Uniform(-1, 1) * 1e-9;
+  }
+}
+
+QuerySpec RandomFrameSpec(Rng* rng) {
+  QuerySpec spec;
+  if (rng->NextBool(0.5)) {
+    const double lo = RandomDouble(rng);
+    spec.time_range = {lo, lo + 1 + rng->Uniform(0, 100)};
+  }
+  for (uint64_t i = rng->NextBelow(3); i > 0; --i) {
+    spec.looking.push_back({RandomParticipant(rng), RandomParticipant(rng)});
+  }
+  for (uint64_t i = rng->NextBelow(3); i > 0; --i) {
+    spec.eye_contact.push_back(
+        {RandomParticipant(rng), RandomParticipant(rng)});
+  }
+  for (uint64_t i = rng->NextBelow(3); i > 0; --i) {
+    spec.feeling.push_back(
+        {RandomParticipant(rng),
+         kAllEmotions[rng->NextBelow(kNumEmotions)]});
+  }
+  if (rng->NextBool(0.4)) spec.min_oh = RandomDouble(rng);
+  if (rng->NextBool(0.4)) spec.min_valence = RandomDouble(rng);
+  for (uint64_t i = rng->NextBelow(3); i > 0; --i) {
+    spec.anyone_at.push_back(RandomParticipant(rng));
+  }
+  return spec;
+}
+
+/// Scope strings exercise the quoting escapes: spaces, quotes,
+/// backslashes, punctuation.
+std::string RandomScopeString(Rng* rng) {
+  static const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 _-.,:()&\"\\";
+  std::string out;
+  const uint64_t len = 1 + rng->NextBelow(12);
+  for (uint64_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[rng->NextBelow(sizeof(alphabet) - 1)]);
+  }
+  return out;
+}
+
+CorpusQuerySpec RandomCorpusSpec(Rng* rng) {
+  CorpusQuerySpec spec;
+  if (rng->NextBool(0.4)) spec.scope.event_id = RandomScopeString(rng);
+  if (rng->NextBool(0.4)) spec.scope.venue = RandomScopeString(rng);
+  if (rng->NextBool(0.3)) spec.scope.occasion = RandomScopeString(rng);
+  if (rng->NextBool(0.3)) spec.scope.date = RandomScopeString(rng);
+  if (rng->NextBool(0.3)) {
+    spec.scope.min_participants = 1 + static_cast<int>(rng->NextBelow(20));
+  }
+  if (rng->NextBool(0.7)) spec.frame = RandomFrameSpec(rng);
+  return spec;
+}
+
+// --- round-trip properties -----------------------------------------------
+
+TEST(QueryFuzz, FrameSpecParsePrintParseIsAFixpoint) {
+  Rng rng(0xF00D);
+  for (int i = 0; i < 500; ++i) {
+    const QuerySpec spec = RandomFrameSpec(&rng);
+    const std::string printed = FormatQuerySpec(spec);
+    SCOPED_TRACE(printed);
+    if (spec.Empty()) {
+      EXPECT_TRUE(printed.empty());
+      continue;
+    }
+    auto reparsed = ParseQuerySpec(printed);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_TRUE(reparsed.value() == spec);
+    EXPECT_EQ(FormatQuerySpec(reparsed.value()), printed);
+  }
+}
+
+TEST(QueryFuzz, CorpusQueryParsePrintParseIsAFixpoint) {
+  Rng rng(0xBEEF);
+  for (int i = 0; i < 500; ++i) {
+    const CorpusQuerySpec spec = RandomCorpusSpec(&rng);
+    const std::string printed = FormatCorpusQuery(spec);
+    SCOPED_TRACE(printed);
+    auto reparsed = ParseCorpusQuery(printed);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_TRUE(reparsed.value() == spec);
+    EXPECT_EQ(FormatCorpusQuery(reparsed.value()), printed);
+  }
+}
+
+TEST(QueryFuzz, CanonicalSpellingIsCaseAndWhitespaceInsensitive) {
+  const char* variants[] = {
+      "EC(p1, P2) AND oh >= 0.5",
+      "ec(P1,P2)&OH>=0.5",
+      "  ec( P1 , P2 )   and   oh   >=   0.5  ",
+  };
+  auto canon = ParseQuerySpec("ec(P1, P2) & oh >= 0.5");
+  ASSERT_TRUE(canon.ok());
+  for (const char* text : variants) {
+    auto spec = ParseQuerySpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_TRUE(spec.value() == canon.value()) << text;
+  }
+}
+
+// --- malformed-input fuzzing ---------------------------------------------
+
+/// Every parser outcome a fuzz input is allowed to produce: success or
+/// a clean InvalidArgument. Anything else (crash, throw, other code)
+/// fails the test.
+void ExpectParsesCleanly(const std::string& text) {
+  SCOPED_TRACE(text);
+  auto frame = ParseQuerySpec(text);
+  if (!frame.ok()) {
+    EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  }
+  auto corpus = ParseCorpusQuery(text);
+  if (!corpus.ok()) {
+    EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(QueryFuzz, HandCraftedNastiesNeverCrash) {
+  const char* nasties[] = {
+      "",
+      ".",
+      "time[., 2)",
+      "time[1, )",
+      "time[1, 2",
+      "time[999999999999999999999999999999999, 2)",
+      "time[1e999, 2)",
+      "oh >= .",
+      "oh >=",
+      "oh >= --5",
+      "valence >= 1e-999999",
+      "look(P99999999999999999999, P1)",
+      "look(P0, P1)",
+      "look(P1)",
+      "ec(P1, P2",
+      "ec(, P2)",
+      "feel(P1, bogus)",
+      "feel(P1, )",
+      "watched()",
+      "watched(P1) extra",
+      "& ec(P1, P2)",
+      "ec(P1, P2) &",
+      "ec(P1, P2) and and oh >= 0.5",
+      "events where",
+      "events where venue",
+      "events where venue = ",
+      "events where venue = \"unterminated",
+      "events where venue = \"escaped\\\" still unterminated",
+      "events where venue = bare",
+      "events where participants >= ",
+      "events where participants >= lots",
+      "events where bogus = \"x\"",
+      "events :",
+      "events : &",
+      "events events",
+      "where venue = \"x\"",
+      "events where context. = \"x\"",
+      "events where context.venue >= \"x\"",
+      "\xff\xfe garbage \x01",
+      "time[nan, inf)",
+  };
+  for (const char* text : nasties) ExpectParsesCleanly(text);
+}
+
+TEST(QueryFuzz, RandomBytesNeverCrash) {
+  Rng rng(0xDADA);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const uint64_t len = rng.NextBelow(40);
+    for (uint64_t j = 0; j < len; ++j) {
+      text.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    ExpectParsesCleanly(text);
+  }
+}
+
+TEST(QueryFuzz, MutatedValidQueriesNeverCrashOrPartiallyParse) {
+  const std::string seeds[] = {
+      "ec(P1, P3) & time[8, 12) and oh >= 0.25",
+      "events where venue = \"sala roja\" & participants >= 4 : "
+      "look(P2, P1) & valence >= -0.5",
+      "feel(P2, happy) & watched(P4)",
+  };
+  Rng rng(0xC0FFEE);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = seeds[rng.NextBelow(3)];
+    switch (rng.NextBelow(4)) {
+      case 0:  // truncate
+        text.resize(rng.NextBelow(text.size() + 1));
+        break;
+      case 1: {  // flip one byte
+        if (!text.empty()) {
+          text[rng.NextBelow(text.size())] =
+              static_cast<char>(rng.NextBelow(256));
+        }
+        break;
+      }
+      case 2: {  // splice two seeds
+        const std::string& other = seeds[rng.NextBelow(3)];
+        text = text.substr(0, rng.NextBelow(text.size() + 1)) +
+               other.substr(rng.NextBelow(other.size() + 1));
+        break;
+      }
+      default: {  // duplicate a chunk
+        const uint64_t at = rng.NextBelow(text.size() + 1);
+        text.insert(at, text.substr(0, rng.NextBelow(text.size() + 1)));
+        break;
+      }
+    }
+    ExpectParsesCleanly(text);
+  }
+}
+
+}  // namespace
+}  // namespace dievent

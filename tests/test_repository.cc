@@ -205,5 +205,117 @@ TEST(Repository, TotalRecordsCounts) {
   EXPECT_EQ(repo.TotalRecords(), 5u);  // 3 lookat + 1 emotion + 1 overall
 }
 
+TEST(Repository, FrameBoundsSpanEveryRecordType) {
+  MetadataRepository empty;
+  EXPECT_FALSE(empty.FrameBounds().has_value());
+
+  MetadataRepository repo = SmallRepo();  // look-at frames 0..2
+  auto bounds = repo.FrameBounds();
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->first, 0);
+  EXPECT_EQ(bounds->second, 2);
+
+  // An emotion record past the look-at range widens the upper bound.
+  EmotionRecord er;
+  er.frame = 7;
+  er.timestamp_s = 0.7;
+  er.participant = 1;
+  er.emotion = Emotion::kSad;
+  er.confidence = 0.5;
+  ASSERT_TRUE(repo.AddEmotion(er).ok());
+  bounds = repo.FrameBounds();
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->second, 7);
+}
+
+TEST(Repository, LookAtTimeBoundsAreInclusive) {
+  MetadataRepository empty;
+  EXPECT_FALSE(empty.LookAtTimeBounds().has_value());
+
+  MetadataRepository repo = SmallRepo();
+  auto bounds = repo.LookAtTimeBounds();
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_DOUBLE_EQ(bounds->first, 0.0);
+  EXPECT_DOUBLE_EQ(bounds->second, 0.2);
+}
+
+TEST(Repository, LookAtTimeBoundsSurviveNonMonotonicTimestamps) {
+  // Frame order is enforced, timestamp order is not (per-camera clock
+  // skew): bounds must still be the true min/max.
+  MetadataRepository repo;
+  ASSERT_TRUE(repo.AddLookAt(Rec(0, 5.0, 2, {})).ok());
+  ASSERT_TRUE(repo.AddLookAt(Rec(1, 1.0, 2, {})).ok());
+  ASSERT_TRUE(repo.AddLookAt(Rec(2, 3.0, 2, {})).ok());
+  auto bounds = repo.LookAtTimeBounds();
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_DOUBLE_EQ(bounds->first, 1.0);
+  EXPECT_DOUBLE_EQ(bounds->second, 5.0);
+}
+
+/// Full-scan oracle: indices whose timestamp falls inside [t0, t1).
+std::vector<int> ScanForTime(const MetadataRepository& repo, double t0,
+                             double t1) {
+  std::vector<int> hits;
+  const auto& records = repo.lookat_records();
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].timestamp_s >= t0 && records[i].timestamp_s < t1) {
+      hits.push_back(static_cast<int>(i));
+    }
+  }
+  return hits;
+}
+
+TEST(Repository, TimeIndexRangeMatchesFullScanWhenMonotonic) {
+  MetadataRepository repo;
+  for (int f = 0; f < 20; ++f) {
+    ASSERT_TRUE(repo.AddLookAt(Rec(f, f * 0.5, 2, {})).ok());
+  }
+  const std::pair<double, double> windows[] = {
+      {0.0, 10.0}, {2.5, 2.5001}, {-5.0, 0.0}, {9.5, 99.0}, {3.0, 3.0}};
+  for (auto [t0, t1] : windows) {
+    auto [lo, hi] = repo.LookAtIndexRangeForTime(t0, t1);
+    const std::vector<int> want = ScanForTime(repo, t0, t1);
+    // Monotonic timestamps: the binary-searched range is exact.
+    ASSERT_LE(lo, hi);
+    std::vector<int> got;
+    for (int i = lo; i < hi; ++i) got.push_back(i);
+    EXPECT_EQ(got, want) << "[" << t0 << ", " << t1 << ")";
+  }
+}
+
+TEST(Repository, TimeIndexFallsBackToFullRangeWhenNotMonotonic) {
+  MetadataRepository repo;
+  ASSERT_TRUE(repo.AddLookAt(Rec(0, 5.0, 2, {})).ok());
+  ASSERT_TRUE(repo.AddLookAt(Rec(1, 1.0, 2, {})).ok());
+  ASSERT_TRUE(repo.AddLookAt(Rec(2, 3.0, 2, {})).ok());
+  auto [lo, hi] = repo.LookAtIndexRangeForTime(2.0, 4.0);
+  // The conservative range covers everything; filtering inside it must
+  // reproduce the full scan.
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 3);
+  std::vector<int> got;
+  for (int i = lo; i < hi; ++i) {
+    const LookAtRecord& r = repo.lookat_records()[i];
+    if (r.timestamp_s >= 2.0 && r.timestamp_s < 4.0) got.push_back(i);
+  }
+  EXPECT_EQ(got, ScanForTime(repo, 2.0, 4.0));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 2);
+}
+
+TEST(Repository, TimeIndexRebuildsAfterNewRecords) {
+  MetadataRepository repo;
+  ASSERT_TRUE(repo.AddLookAt(Rec(0, 0.0, 2, {})).ok());
+  ASSERT_TRUE(repo.AddLookAt(Rec(1, 1.0, 2, {})).ok());
+  auto [lo1, hi1] = repo.LookAtIndexRangeForTime(0.0, 10.0);
+  EXPECT_EQ(hi1 - lo1, 2);
+  // A timestamp regression after the index was built must demote the
+  // repository to the conservative full-range answer.
+  ASSERT_TRUE(repo.AddLookAt(Rec(2, 0.5, 2, {})).ok());
+  auto [lo2, hi2] = repo.LookAtIndexRangeForTime(0.9, 10.0);
+  EXPECT_EQ(lo2, 0);
+  EXPECT_EQ(hi2, 3);
+}
+
 }  // namespace
 }  // namespace dievent

@@ -26,11 +26,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fleet/scheduler.h"
 #include "io/file.h"
+#include "metadata/corpus.h"
 #include "sim/scene_config.h"
 
 namespace {
@@ -55,6 +57,9 @@ void PrintUsage(std::FILE* out) {
       "  --defer-latency S     defer low-priority dispatch while the\n"
       "                        fleet P95 frame latency exceeds S seconds\n"
       "                        (default: off)\n"
+      "  --corpus DIR          register each completed tenant's store\n"
+      "                        into the event corpus at DIR (needs --out;\n"
+      "                        query it with dievent_query)\n"
       "  --parse-video         enable video composition analysis\n",
       out);
 }
@@ -87,6 +92,7 @@ int main(int argc, char** argv) {
   sched.checkpoint_every_frames = 8;
   std::string scenario_dir;
   std::string out_dir;
+  std::string corpus_dir;
   bool parse_video = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +110,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       out_dir = v;
+    } else if (std::strcmp(arg, "--corpus") == 0) {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "dievent_fleet: --corpus needs a value\n");
+        return 2;
+      }
+      corpus_dir = v;
     } else if (std::strcmp(arg, "--parse-video") == 0) {
       parse_video = true;
     } else {
@@ -155,6 +168,26 @@ int main(int argc, char** argv) {
   if (scenario_dir.empty()) {
     PrintUsage(stderr);
     return 2;
+  }
+  if (!corpus_dir.empty() && out_dir.empty()) {
+    std::fprintf(stderr,
+                 "dievent_fleet: --corpus needs --out (only tenants with "
+                 "a durable store can be registered)\n");
+    return 2;
+  }
+
+  // The corpus must outlive the scheduler that registers into it.
+  std::unique_ptr<dievent::EventCorpus> corpus;
+  if (!corpus_dir.empty()) {
+    auto opened = dievent::EventCorpus::Open(corpus_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "dievent_fleet: --corpus %s: %s\n",
+                   corpus_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 2;
+    }
+    corpus = std::move(opened).TakeValue();
+    sched.corpus = corpus.get();
   }
 
   dievent::FileSystem* fs = dievent::FileSystem::Default();
